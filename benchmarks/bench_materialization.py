@@ -1,0 +1,96 @@
+"""Ablation: virtual views (query rewriting) vs materialized views.
+
+The paper's motivation for rewriting (Section 4): "it is expensive to
+actually materialize and maintain multiple security views of a large
+XML document".  This bench quantifies the trade-off on the Adex
+workload:
+
+* ``materialize`` — build ``Tv`` once, then answer queries on it;
+* ``rewrite``     — answer each query on ``T`` through rewriting.
+
+Rewriting wins whenever documents change between queries (the
+materialized view must be rebuilt) or many policies exist (one view
+each); materialization can amortize for a hot, read-only document and
+one policy.  Both rows are reported so the crossover is visible.
+"""
+
+import pytest
+
+from repro.core.derive import derive
+from repro.core.materialize import materialize
+from repro.core.rewrite import Rewriter
+from repro.workloads.documents import dataset
+from repro.workloads.queries import ADEX_QUERIES
+from repro.xpath.evaluator import XPathEvaluator
+
+
+@pytest.fixture(scope="module")
+def setting(adex, adex_policy, adex_view):
+    document = dataset("D2")
+    rewriter = Rewriter(adex_view)
+    plans = {
+        name: rewriter.rewrite(query) for name, query in ADEX_QUERIES.items()
+    }
+    return document, adex_view, adex_policy, plans
+
+
+def test_materialize_view_cost(benchmark, setting):
+    document, view, spec, _ = setting
+    benchmark.group = "view-strategy-setup"
+    benchmark(materialize, document, view, spec)
+
+
+def test_rewrite_setup_cost(benchmark, setting, adex_view):
+    _, _, _, _ = setting
+    from repro.workloads.queries import adex_query
+
+    benchmark.group = "view-strategy-setup"
+
+    def run():
+        rewriter = Rewriter(adex_view)
+        for name in ADEX_QUERIES:
+            rewriter.rewrite(adex_query(name))
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize("query_name", list(ADEX_QUERIES))
+def test_query_on_materialized_view(benchmark, setting, query_name):
+    document, view, spec, _ = setting
+    view_tree = materialize(document, view, spec)
+    evaluator = XPathEvaluator()
+    query = ADEX_QUERIES[query_name]
+    benchmark.group = "view-strategy-query-%s" % query_name
+    benchmark(evaluator.evaluate, query, view_tree)
+
+
+@pytest.mark.parametrize("query_name", list(ADEX_QUERIES))
+def test_query_via_rewriting(benchmark, setting, query_name):
+    document, _, _, plans = setting
+    evaluator = XPathEvaluator()
+    benchmark.group = "view-strategy-query-%s" % query_name
+    benchmark(evaluator.evaluate, plans[query_name], document)
+
+
+def test_update_scenario_favors_rewriting(setting):
+    """One document update between every query: the materialized-view
+    strategy pays a rebuild each time, rewriting pays nothing."""
+    import time
+
+    document, view, spec, plans = setting
+    evaluator = XPathEvaluator()
+    query = ADEX_QUERIES["Q1"]
+    rounds = 3
+
+    started = time.perf_counter()
+    for _ in range(rounds):
+        view_tree = materialize(document, view, spec)  # rebuild after update
+        evaluator.evaluate(query, view_tree)
+    materialized_cost = time.perf_counter() - started
+
+    started = time.perf_counter()
+    for _ in range(rounds):
+        evaluator.evaluate(plans["Q1"], document)
+    rewriting_cost = time.perf_counter() - started
+
+    assert rewriting_cost < materialized_cost

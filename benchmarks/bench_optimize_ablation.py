@@ -1,0 +1,104 @@
+"""Ablation: what does the optimizer cost, and what does it buy?
+
+For each workload query this measures (a) the one-off optimization
+time and (b) the per-evaluation time with and without optimization.
+The paper's Section 6 claims the optimize approach is never slower and
+up to ~2x faster (Q3), with Q4 eliminated entirely; DESIGN.md calls
+out the three constraint families as the design choices under test, so
+the hospital queries isolate co-existence, exclusive, and
+non-existence constraints individually.
+"""
+
+import pytest
+
+from repro.core.derive import derive
+from repro.core.optimize import Optimizer
+from repro.core.rewrite import Rewriter
+from repro.workloads.documents import dataset
+from repro.workloads.hospital import hospital_document, hospital_dtd
+from repro.workloads.queries import ADEX_QUERIES
+from repro.xpath.evaluator import XPathEvaluator
+from repro.xpath.parser import parse_xpath
+
+#: Hospital document-level queries isolating one constraint family each.
+HOSPITAL_ABLATION = {
+    "coexistence": "//patient[name and wardNo]",  # both required: folds
+    "exclusive": "//treatment[trial and regular]",  # disjunction: empty
+    "nonexistence": "//staffInfo[medication]",  # impossible child: empty
+    "wildcard-expansion": "//dept/*/patient",
+    "descendant-expansion": "//medication",
+}
+
+
+@pytest.mark.parametrize("query_name", list(ADEX_QUERIES))
+def test_optimizer_cost_adex(benchmark, adex_rewriter, adex, query_name):
+    rewritten = adex_rewriter.rewrite(ADEX_QUERIES[query_name])
+    benchmark.group = "optimizer-cost"
+
+    def run():
+        Optimizer(adex).optimize(rewritten)  # fresh caches: worst case
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize("case", list(HOSPITAL_ABLATION))
+def test_hospital_constraint_ablation(benchmark, case):
+    dtd = hospital_dtd()
+    query = parse_xpath(HOSPITAL_ABLATION[case])
+    optimized = Optimizer(dtd).optimize(query)
+    document = hospital_document(seed=5, max_branch=12)
+    evaluator = XPathEvaluator()
+    benchmark.group = "hospital-ablation-" + case
+    benchmark(evaluator.evaluate, optimized, document)
+
+
+@pytest.mark.parametrize("case", list(HOSPITAL_ABLATION))
+def test_hospital_constraint_ablation_baseline(benchmark, case):
+    dtd = hospital_dtd()
+    query = parse_xpath(HOSPITAL_ABLATION[case])
+    document = hospital_document(seed=5, max_branch=12)
+    evaluator = XPathEvaluator()
+    benchmark.group = "hospital-ablation-" + case
+    benchmark(evaluator.evaluate, query, document)
+
+
+def test_optimizer_amortizes(adex, adex_rewriter, adex_optimizer):
+    """The optimizer's one-off cost is repaid within a few evaluations
+    on the queries it improves (Q3/Q4 of Table 1)."""
+    import time
+
+    document = dataset("D2")
+    for name in ("Q3", "Q4"):
+        rewritten = adex_rewriter.rewrite(ADEX_QUERIES[name])
+        started = time.perf_counter()
+        optimized = Optimizer(adex).optimize(rewritten)
+        optimize_cost = time.perf_counter() - started
+
+        evaluator = XPathEvaluator()
+        started = time.perf_counter()
+        evaluator.evaluate(rewritten, document)
+        baseline = time.perf_counter() - started
+
+        started = time.perf_counter()
+        evaluator.evaluate(optimized, document)
+        improved = time.perf_counter() - started
+
+        saving = baseline - improved
+        assert saving > 0, name
+        assert optimize_cost < 50 * max(saving, 1e-9), (
+            name,
+            optimize_cost,
+            saving,
+        )
+
+
+def test_optimizer_never_hurts_evaluation(adex, adex_rewriter, adex_optimizer):
+    document = dataset("D1")
+    for name, query in ADEX_QUERIES.items():
+        rewritten = adex_rewriter.rewrite(query)
+        optimized = adex_optimizer.optimize(rewritten)
+        before = XPathEvaluator()
+        before.evaluate(rewritten, document)
+        after = XPathEvaluator()
+        after.evaluate(optimized, document)
+        assert after.visits <= before.visits, name

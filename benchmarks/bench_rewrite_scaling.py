@@ -1,0 +1,101 @@
+"""Scaling of Algorithm rewrite (Theorem 4.1: O(|p| * |Dv|^2)).
+
+Varies the query size over a fixed view and the view size under a
+fixed query, including the diamond family whose root-to-leaf path
+*count* is exponential — the recProc sharing must keep rewriting
+polynomial regardless.
+"""
+
+import time
+
+import pytest
+
+from repro.benchtools.scaling import (
+    chain_dtd,
+    deep_query,
+    descendant_query,
+    diamond_dtd,
+    full_access_spec,
+    qualifier_query,
+    union_query,
+    wide_dtd,
+)
+from repro.core.derive import derive
+from repro.core.rewrite import Rewriter
+
+QUERY_SIZES = [4, 8, 16, 32]
+VIEW_SIZES = [8, 16, 32, 64]
+
+
+@pytest.fixture(scope="module")
+def chain_rewriter():
+    dtd = chain_dtd(64)
+    return Rewriter(derive(full_access_spec(dtd)))
+
+
+@pytest.mark.parametrize("depth", QUERY_SIZES)
+def test_rewrite_query_depth(benchmark, chain_rewriter, depth):
+    query = deep_query(depth)
+    benchmark.group = "rewrite-query-depth"
+    benchmark(chain_rewriter.rewrite, query)
+
+
+@pytest.mark.parametrize("depth", [2, 4, 8])
+def test_rewrite_descendant_query(benchmark, chain_rewriter, depth):
+    query = descendant_query(depth)
+    benchmark.group = "rewrite-descendants"
+    benchmark(chain_rewriter.rewrite, query)
+
+
+@pytest.mark.parametrize("width", QUERY_SIZES)
+def test_rewrite_union_width(benchmark, width):
+    rewriter = Rewriter(derive(full_access_spec(wide_dtd(64))))
+    query = union_query(width)
+    benchmark.group = "rewrite-union-width"
+    benchmark(rewriter.rewrite, query)
+
+
+@pytest.mark.parametrize("width", [2, 4, 8, 16])
+def test_rewrite_qualifier_width(benchmark, width):
+    rewriter = Rewriter(derive(full_access_spec(wide_dtd(32))))
+    query = qualifier_query(width)
+    benchmark.group = "rewrite-qualifiers"
+    benchmark(rewriter.rewrite, query)
+
+
+@pytest.mark.parametrize("size", VIEW_SIZES)
+def test_rewrite_view_size(benchmark, size):
+    rewriter = Rewriter(derive(full_access_spec(chain_dtd(size))))
+    query = descendant_query(3)
+    benchmark.group = "rewrite-view-size"
+    benchmark(rewriter.rewrite, query)
+
+
+@pytest.mark.parametrize("layers", [4, 8, 12])
+def test_rewrite_diamond_paths(benchmark, layers):
+    """2^layers root-to-leaf paths; recProc's shared sub-expressions
+    must keep this polynomial."""
+    rewriter = Rewriter(derive(full_access_spec(diamond_dtd(layers))))
+    from repro.xpath.ast import Descendant, Label
+
+    query = Descendant(Label("d%d" % layers))
+    benchmark.group = "rewrite-diamond"
+    benchmark(rewriter.rewrite, query)
+
+
+def test_rewrite_growth_linear_in_query():
+    """Doubling |p| on a fixed view grows time roughly linearly
+    (guarded at 4x with slack)."""
+    rewriter = Rewriter(derive(full_access_spec(chain_dtd(64))))
+    timings = []
+    for depth in (8, 16, 32):
+        query = deep_query(depth)
+        rewriter.rewrite(query)  # warm caches
+        started = time.perf_counter()
+        for _ in range(20):
+            # fresh rewriter state is unnecessary: the DP memo is keyed
+            # by sub-query, so repeated calls measure lookup+assembly
+            rewriter.rewrite(query)
+        timings.append(time.perf_counter() - started)
+    for previous, current in zip(timings, timings[1:]):
+        assert current < max(previous, 1e-4) * 8

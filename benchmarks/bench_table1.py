@@ -1,0 +1,90 @@
+"""Table 1 (the paper's only experimental exhibit): query evaluation
+time of the naive / rewrite / optimize approaches for Q1-Q4 over the
+four generated Adex documents D1-D4.
+
+Run only the benchmarks with::
+
+    pytest benchmarks/ --benchmark-only
+
+Regenerate the paper-formatted table with::
+
+    python -m repro.benchtools.table1
+
+Expected shape (the paper's findings): naive is one to two orders of
+magnitude slower than rewrite (the paper reports up to 40x); optimize
+matches rewrite on Q1/Q2, improves Q3 (up to ~2x at scale), and makes
+Q4 free.  ``test_table1_shape`` asserts the orderings after the timed
+runs.
+"""
+
+import pytest
+
+from repro.core.accessibility import annotate_accessibility
+from repro.core.naive import naive_rewrite
+from repro.workloads.documents import DATASET_SCALES, dataset
+from repro.workloads.queries import ADEX_QUERIES
+from repro.xpath.evaluator import XPathEvaluator
+
+APPROACHES = ("naive", "rewrite", "optimize")
+QUERIES = tuple(ADEX_QUERIES)
+#: Benchmark the smallest and largest datasets by default (all four
+#: run in the printed-table tool; two keep the pytest suite quick).
+BENCH_DATASETS = ("D1", "D4")
+
+
+def _plans(adex_rewriter, adex_optimizer):
+    plans = {}
+    for name, query in ADEX_QUERIES.items():
+        rewritten = adex_rewriter.rewrite(query)
+        plans[name] = {
+            "naive": naive_rewrite(query),
+            "rewrite": rewritten,
+            "optimize": adex_optimizer.optimize(rewritten),
+        }
+    return plans
+
+
+@pytest.fixture(scope="module")
+def prepared(adex_policy, adex_rewriter, adex_optimizer):
+    documents = {}
+    for dataset_name in BENCH_DATASETS:
+        document = dataset(dataset_name)
+        annotate_accessibility(document, adex_policy)
+        documents[dataset_name] = document
+    return _plans(adex_rewriter, adex_optimizer), documents
+
+
+@pytest.mark.parametrize("dataset_name", BENCH_DATASETS)
+@pytest.mark.parametrize("approach", APPROACHES)
+@pytest.mark.parametrize("query_name", QUERIES)
+def test_table1_cell(benchmark, prepared, query_name, approach, dataset_name):
+    plans, documents = prepared
+    plan = plans[query_name][approach]
+    document = documents[dataset_name]
+    evaluator = XPathEvaluator()
+    benchmark.group = "table1-%s-%s" % (query_name, dataset_name)
+    benchmark(evaluator.evaluate, plan, document)
+
+
+def test_table1_shape(prepared):
+    """The orderings Table 1 demonstrates, asserted on wall-clock-free
+    node-visit counts."""
+    import math
+
+    plans, documents = prepared
+    for dataset_name, document in documents.items():
+        for query_name, row in plans.items():
+            visits = {}
+            for approach in APPROACHES:
+                evaluator = XPathEvaluator()
+                evaluator.evaluate(row[approach], document)
+                visits[approach] = evaluator.visits
+            assert visits["naive"] > 5 * max(visits["rewrite"], 1), (
+                query_name,
+                dataset_name,
+                visits,
+            )
+            assert visits["optimize"] <= visits["rewrite"]
+            if query_name == "Q4":
+                assert visits["optimize"] == 0
+    assert math.isfinite(1.0)  # keep pytest happy about assertions above

@@ -1,0 +1,38 @@
+"""Benchmark fixtures.
+
+Dataset sizes honor ``REPRO_BENCH_SCALE`` (default 1.0; see
+``repro.workloads.documents``).  Set e.g. ``REPRO_BENCH_SCALE=3`` for
+larger, paper-ratio documents.
+"""
+
+import pytest
+
+from repro.core.derive import derive
+from repro.core.optimize import Optimizer
+from repro.core.rewrite import Rewriter
+from repro.workloads.adex import adex_dtd, adex_spec
+
+
+@pytest.fixture(scope="session")
+def adex():
+    return adex_dtd()
+
+
+@pytest.fixture(scope="session")
+def adex_policy(adex):
+    return adex_spec(adex)
+
+
+@pytest.fixture(scope="session")
+def adex_view(adex_policy):
+    return derive(adex_policy)
+
+
+@pytest.fixture(scope="session")
+def adex_rewriter(adex_view):
+    return Rewriter(adex_view)
+
+
+@pytest.fixture(scope="session")
+def adex_optimizer(adex):
+    return Optimizer(adex)

@@ -1,0 +1,93 @@
+"""The inference attack of Example 1.1 — and how security views stop it.
+
+The paper motivates security views with an attack: if nurses are
+denied ``clinicalTrial`` but still see the *full document DTD*, the
+two permissible queries
+
+    p1: //dept//patientInfo/patient/name
+    p2: //dept/patientInfo/patient/name
+
+differ exactly on patients in clinical trials — p1 follows
+``hospital/dept/(clinicalTrial | .)/patientInfo`` while p2 follows
+only the direct path, so ``p1 - p2`` *is* the confidential list.
+
+This script runs the attack twice:
+
+1. against a strawman enforcement that merely filters inaccessible
+   elements (the per-element model the paper criticizes) while
+   exposing the document DTD — the attack succeeds;
+2. against the security view — both queries rewrite to the *same*
+   document query, the difference is empty, and the view DTD gives the
+   attacker no path structure to exploit.
+
+Run:  python examples/inference_attack.py
+"""
+
+from repro import Rewriter, accessible_nodes, derive, parse_xpath
+from repro.workloads.hospital import hospital_document, hospital_dtd, nurse_spec
+from repro.xpath.evaluator import XPathEvaluator
+
+P1 = parse_xpath("//dept//patientInfo/patient/name")
+P2 = parse_xpath("//dept/patientInfo/patient/name")
+
+
+def main() -> None:
+    dtd = hospital_dtd()
+    document = hospital_document(seed=3, max_branch=4)
+
+    # The nurse policy without the ward restriction, to keep the attack
+    # about clinicalTrial only.
+    concrete = nurse_spec(dtd).remove("hospital", "dept")
+
+    evaluator = XPathEvaluator()
+
+    print("== 1. Element-filtering enforcement (document DTD exposed) ==")
+    accessible = {id(node) for node in accessible_nodes(document, concrete)}
+
+    def filtered(query):
+        return {
+            node.string_value()
+            for node in evaluator.evaluate(query, document)
+            if id(node) in accessible
+        }
+
+    names_p1 = filtered(P1)
+    names_p2 = filtered(P2)
+    leaked = sorted(names_p1 - names_p2)
+    print("p1 returned %d names, p2 returned %d" % (len(names_p1), len(names_p2)))
+    print("p1 - p2  =>  patients inferred to be in clinical trials:")
+    for name in leaked:
+        print("   *", name)
+    assert leaked, "the strawman leaks (that is the point of Example 1.1)"
+    print()
+
+    print("== 2. Security-view enforcement ==")
+    view = derive(concrete)
+    rewriter = Rewriter(view)
+    rewritten_p1 = rewriter.rewrite(P1)
+    rewritten_p2 = rewriter.rewrite(P2)
+    print("p1 rewrites to:", rewritten_p1)
+    print("p2 rewrites to:", rewritten_p2)
+    results_p1 = {
+        node.string_value()
+        for node in evaluator.evaluate(rewritten_p1, document)
+    }
+    results_p2 = {
+        node.string_value()
+        for node in evaluator.evaluate(rewritten_p2, document)
+    }
+    print("p1 - p2  =>  %d names" % len(results_p1 - results_p2))
+    assert results_p1 == results_p2, "the view makes p1 and p2 coincide"
+    print()
+    print(
+        "Under the view, dept has a single patientInfo* edge covering\n"
+        "both document paths, so the attack queries are one and the\n"
+        "same; the clinicalTrial label never appears in the view DTD:"
+    )
+    print()
+    print(view.exposed_dtd().to_dtd_text())
+    assert "clinicalTrial" not in view.exposed_dtd().to_dtd_text()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Shim so `pip install -e .` works on environments without the
+`wheel` package (offline build): falls back to setup.py develop."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,155 @@
+"""repro — Secure XML Querying with Security Views.
+
+A from-scratch reproduction of Fan, Chan & Garofalakis, *Secure XML
+Querying with Security Views* (SIGMOD 2004): a DTD-based XML
+access-control model in which each user class receives a *security
+view* — a view DTD exposing exactly the structure it may see — and
+queries over that view are rewritten (never materialized) into
+equivalent, optimized queries over the original document.
+
+Quickstart::
+
+    from repro import (
+        parse_dtd, AccessSpec, SecureQueryEngine, DocumentGenerator,
+    )
+
+    dtd = parse_dtd(open("hospital.dtd").read())
+    spec = (
+        AccessSpec(dtd, name="nurse")
+        .annotate("dept", "clinicalTrial", "N")
+    )
+    engine = SecureQueryEngine(dtd)
+    engine.register_policy("nurse", spec)
+    print(engine.view_dtd_text("nurse"))        # what the nurse sees
+    document = DocumentGenerator(dtd, seed=1).generate()
+    results = engine.query("nurse", "//patient/name", document)
+
+The subpackages are usable on their own:
+
+* :mod:`repro.xmlmodel` — XML tree model, parser, serializer;
+* :mod:`repro.dtd` — DTD model, parser, validator, normalizer, and a
+  random document generator;
+* :mod:`repro.xpath` — the paper's XPath fragment ``C``: AST, parser,
+  set-semantics evaluator;
+* :mod:`repro.core` — the paper's algorithms (``derive``, ``rewrite``,
+  ``optimize``, materialization, the naive baseline, the engine);
+* :mod:`repro.workloads` — the hospital running example, the
+  reconstructed Adex workload of Section 6, and dataset generation.
+"""
+
+from repro.errors import (
+    DTDError,
+    DTDParseError,
+    DTDValidationError,
+    MaterializationAborted,
+    QueryRejectedError,
+    ReproError,
+    RewriteError,
+    SecurityError,
+    SpecificationError,
+    ViewDerivationError,
+    XMLParseError,
+    XPathEvaluationError,
+    XPathSyntaxError,
+)
+from repro.xmlmodel import (
+    XMLElement,
+    XMLText,
+    new_document,
+    parse_document,
+    pretty_print,
+    serialize,
+)
+from repro.dtd import (
+    DTD,
+    DocumentGenerator,
+    conforms,
+    normalize_dtd,
+    parse_dtd,
+    validate,
+)
+from repro.xpath import (
+    XPathEvaluator,
+    evaluate,
+    parse_qualifier,
+    parse_xpath,
+)
+from repro.core import (
+    ANN_N,
+    ANN_Y,
+    AccessSpec,
+    load_view,
+    save_view,
+    verify_policy,
+    Optimizer,
+    QueryReport,
+    Rewriter,
+    SecureQueryEngine,
+    SecurityView,
+    accessible_nodes,
+    annotate_document,
+    derive,
+    materialize,
+    naive_rewrite,
+    optimize,
+    rewrite,
+    unfold_view,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # errors
+    "ReproError",
+    "XMLParseError",
+    "DTDError",
+    "DTDParseError",
+    "DTDValidationError",
+    "XPathSyntaxError",
+    "XPathEvaluationError",
+    "SecurityError",
+    "SpecificationError",
+    "ViewDerivationError",
+    "MaterializationAborted",
+    "RewriteError",
+    "QueryRejectedError",
+    # xml
+    "XMLElement",
+    "XMLText",
+    "new_document",
+    "parse_document",
+    "serialize",
+    "pretty_print",
+    # dtd
+    "DTD",
+    "parse_dtd",
+    "normalize_dtd",
+    "validate",
+    "conforms",
+    "DocumentGenerator",
+    # xpath
+    "parse_xpath",
+    "parse_qualifier",
+    "evaluate",
+    "XPathEvaluator",
+    # core
+    "AccessSpec",
+    "ANN_Y",
+    "ANN_N",
+    "SecurityView",
+    "derive",
+    "materialize",
+    "Rewriter",
+    "rewrite",
+    "unfold_view",
+    "Optimizer",
+    "optimize",
+    "naive_rewrite",
+    "annotate_document",
+    "accessible_nodes",
+    "SecureQueryEngine",
+    "QueryReport",
+    "verify_policy",
+    "save_view",
+    "load_view",
+]

@@ -1,0 +1,5 @@
+"""Benchmark drivers that regenerate the paper's evaluation exhibits.
+
+Each module is runnable (``python -m repro.benchtools.table1``) and is
+also imported by the pytest-benchmark suites under ``benchmarks/``.
+"""

@@ -1,0 +1,144 @@
+"""Synthetic DTD/query families for complexity-claim benchmarks.
+
+Theorem 3.2 claims ``derive`` runs in ``O(|D|^2)``; Theorem 4.1 claims
+``rewrite`` runs in ``O(|p| * |Dv|^2)``.  These families let the bench
+suites vary one size parameter at a time:
+
+* ``chain_dtd(n)`` — a linear chain ``r -> a1 -> ... -> an``;
+* ``wide_dtd(n)`` — one root with ``n`` required children;
+* ``diamond_dtd(n)`` — ``n`` stacked diamonds (the worst case for
+  ``//``-path counting: ``2^n`` root-to-leaf paths, which ``recProc``
+  must capture in a polynomial-size expression);
+* ``deep_query(n)`` / ``union_query(n)`` / ``qualifier_query(n)`` —
+  query families of size ``Theta(n)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.dtd.content import Choice, EPSILON, Name, STR, Seq, Star
+from repro.dtd.dtd import DTD
+from repro.core.spec import AccessSpec
+from repro.xpath.ast import (
+    Descendant,
+    Label,
+    Path,
+    QPath,
+    path_seq,
+    qualified,
+    union,
+)
+
+
+def chain_dtd(length: int) -> DTD:
+    """``r -> a1``, ``a1 -> a2``, ..., ``a<length> -> str``."""
+    productions = {"r": Name("a1") if length else STR}
+    for index in range(1, length + 1):
+        name = "a%d" % index
+        if index == length:
+            productions[name] = STR
+        else:
+            productions[name] = Name("a%d" % (index + 1))
+    return DTD("r", productions)
+
+
+def wide_dtd(width: int) -> DTD:
+    """``r -> b1, ..., b<width>``; each ``bi -> str``."""
+    productions = {
+        "r": Seq([Name("b%d" % i) for i in range(1, width + 1)])
+        if width > 1
+        else Name("b1")
+    }
+    for index in range(1, width + 1):
+        productions["b%d" % index] = STR
+    return DTD("r", productions)
+
+
+def diamond_dtd(layers: int) -> DTD:
+    """``r = d0``, ``d<i> -> (l<i> | r<i>)``, both -> ``d<i+1>``;
+    the final layer is a leaf.  ``2^layers`` distinct root-to-leaf
+    paths through ``layers`` diamonds."""
+    productions: Dict[str, object] = {}
+    for index in range(layers):
+        top = "d%d" % index
+        left = "l%d" % index
+        right = "rr%d" % index
+        bottom = "d%d" % (index + 1)
+        productions[top] = Choice([Name(left), Name(right)])
+        productions[left] = Name(bottom)
+        productions[right] = Name(bottom)
+    productions["d%d" % layers] = STR
+    return DTD("d0", productions)
+
+
+def star_tree_dtd(depth: int, fanout: int = 2) -> DTD:
+    """A complete ``fanout``-ary tree of star productions, depth
+    ``depth`` — exercises generator and accessibility scaling."""
+    productions: Dict[str, object] = {}
+
+    def build(name: str, level: int):
+        if level == depth:
+            productions[name] = STR
+            return
+        children = []
+        for branch in range(fanout):
+            child = "%s_%d" % (name, branch)
+            children.append(Name(child))
+            build(child, level + 1)
+        productions[name] = (
+            Seq(children) if len(children) > 1 else children[0]
+        )
+
+    build("n", 0)
+    return DTD("n", productions)
+
+
+def full_access_spec(dtd: DTD) -> AccessSpec:
+    """Everything accessible (identity view)."""
+    return AccessSpec(dtd, name="full")
+
+
+def alternating_spec(dtd: DTD, chain_length: int) -> AccessSpec:
+    """Every other chain node inaccessible — maximizes short-cutting
+    work in ``derive``."""
+    spec = AccessSpec(dtd, name="alternating")
+    previous = "r"
+    for index in range(1, chain_length + 1):
+        name = "a%d" % index
+        if index % 2 == 1 and index < chain_length:
+            spec.annotate(previous, name, "N")
+            spec.annotate(name, "a%d" % (index + 1), "Y")
+        previous = name
+    return spec
+
+
+def deep_query(depth: int) -> Path:
+    """``a1/a2/.../a<depth>``."""
+    return path_seq(Label("a%d" % i) for i in range(1, depth + 1))
+
+
+def descendant_query(depth: int) -> Path:
+    """``//a1//a2//...//a<depth>``."""
+    query: Path = Descendant(Label("a1"))
+    for index in range(2, depth + 1):
+        query = path_seq([query, Descendant(Label("a%d" % index))])
+    return query
+
+
+def union_query(width: int) -> Path:
+    """``b1 U b2 U ... U b<width>``."""
+    return union(Label("b%d" % i) for i in range(1, width + 1))
+
+
+def qualifier_query(width: int) -> Path:
+    """``r[b1][b2]...[b<width>]`` over the wide DTD."""
+    query: Path = Label("r")
+    for index in range(1, width + 1):
+        query = qualified(query, QPath(Label("b%d" % index)))
+    return query
+
+
+def chain_sizes(points: int = 4, start: int = 8) -> List[int]:
+    """A doubling progression of family sizes."""
+    return [start * (2 ** i) for i in range(points)]

@@ -1,0 +1,180 @@
+"""Table 1 reproduction: naive vs rewrite vs optimize on Q1-Q4, D1-D4.
+
+The paper's Table 1 reports query evaluation time (seconds) of three
+approaches for four queries over four documents of growing size.  This
+module regenerates the same rows: for every (query, dataset) pair it
+prepares the three document-level queries —
+
+* **naive**: the two element-annotation rewrite rules of Section 6
+  (child axes relaxed to descendant axes + ``[@accessibility = "1"]``),
+  evaluated against the accessibility-annotated document;
+* **rewrite**: Algorithm ``rewrite`` over the security view;
+* **optimize**: Algorithm ``optimize`` applied to the rewritten query —
+
+and measures evaluation wall-clock time plus the evaluator's node-visit
+count (a machine-independent work measure).  Following the paper, a
+``-`` is printed in the optimize column when optimization does not
+change the query.
+
+Run:  ``python -m repro.benchtools.table1 [--scale S] [--repeat N]``
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from typing import Dict, List, Optional
+
+from repro.core.accessibility import annotate_accessibility
+from repro.core.naive import naive_rewrite
+from repro.core.optimize import Optimizer
+from repro.core.rewrite import Rewriter
+from repro.core.derive import derive
+from repro.workloads.adex import adex_dtd, adex_spec
+from repro.workloads.documents import DATASET_SCALES, dataset
+from repro.workloads.queries import ADEX_QUERIES
+from repro.xpath.evaluator import XPathEvaluator
+
+
+class Cell:
+    """One measurement: seconds and evaluator node visits."""
+
+    __slots__ = ("seconds", "visits", "results", "skipped")
+
+    def __init__(self, seconds: float, visits: int, results: int, skipped=False):
+        self.seconds = seconds
+        self.visits = visits
+        self.results = results
+        self.skipped = skipped
+
+    def render(self) -> str:
+        if self.skipped:
+            return "-"
+        return "%.4f" % self.seconds
+
+
+def _measure(query, document, repeat: int) -> Cell:
+    evaluator = XPathEvaluator()
+    results = 0
+    best = float("inf")
+    for _ in range(repeat):
+        evaluator.reset_counters()
+        started = time.perf_counter()
+        results = len(evaluator.evaluate(query, document))
+        elapsed = time.perf_counter() - started
+        if elapsed < best:
+            best = elapsed
+    return Cell(best, evaluator.visits, results)
+
+
+def run_table1(
+    datasets: Optional[List[str]] = None,
+    queries: Optional[List[str]] = None,
+    scale: Optional[float] = None,
+    repeat: int = 1,
+) -> Dict[str, Dict[str, Dict[str, Cell]]]:
+    """Compute the table.  Returns ``rows[query][dataset][approach]``
+    where approach is ``naive`` / ``rewrite`` / ``optimize``."""
+    datasets = list(DATASET_SCALES) if datasets is None else datasets
+    queries = list(ADEX_QUERIES) if queries is None else queries
+
+    dtd = adex_dtd()
+    spec = adex_spec(dtd)
+    view = derive(spec)
+    rewriter = Rewriter(view)
+    optimizer = Optimizer(dtd)
+
+    plans = {}
+    for name in queries:
+        source = ADEX_QUERIES[name]
+        rewritten = rewriter.rewrite(source)
+        optimized = optimizer.optimize(rewritten)
+        plans[name] = {
+            "naive": naive_rewrite(source),
+            "rewrite": rewritten,
+            "optimize": optimized,
+            "improved": optimized != rewritten,
+        }
+
+    documents = {}
+    for dataset_name in datasets:
+        document = dataset(dataset_name, scale)
+        annotate_accessibility(document, spec)
+        documents[dataset_name] = document
+
+    rows: Dict[str, Dict[str, Dict[str, Cell]]] = {}
+    for query_name in queries:
+        plan = plans[query_name]
+        rows[query_name] = {}
+        for dataset_name in datasets:
+            document = documents[dataset_name]
+            row = {
+                "naive": _measure(plan["naive"], document, repeat),
+                "rewrite": _measure(plan["rewrite"], document, repeat),
+            }
+            if plan["improved"]:
+                row["optimize"] = _measure(plan["optimize"], document, repeat)
+            else:
+                row["optimize"] = Cell(0.0, 0, 0, skipped=True)
+            rows[query_name][dataset_name] = row
+    return rows
+
+
+def format_table(rows, scale: Optional[float] = None) -> str:
+    """Render in the paper's row format (query x dataset, one line per
+    dataset) with node-visit counts appended."""
+    lines = []
+    lines.append("Table 1: Performance Comparison (evaluation seconds)")
+    sizes = {name: dataset(name, scale).size() for name in DATASET_SCALES}
+    lines.append(
+        "datasets: "
+        + ", ".join("%s=%d nodes" % (name, sizes[name]) for name in sizes)
+    )
+    header = "%-6s %-8s %10s %10s %10s   %12s %12s" % (
+        "Query",
+        "Data Set",
+        "Naive",
+        "Rewrite",
+        "Optimize",
+        "naive-visits",
+        "rw-visits",
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for query_name, per_dataset in rows.items():
+        for dataset_name, row in per_dataset.items():
+            lines.append(
+                "%-6s %-8s %10s %10s %10s   %12d %12d"
+                % (
+                    query_name,
+                    dataset_name,
+                    row["naive"].render(),
+                    row["rewrite"].render(),
+                    row["optimize"].render(),
+                    row["naive"].visits,
+                    row["rewrite"].visits,
+                )
+            )
+        lines.append("")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=None)
+    parser.add_argument("--repeat", type=int, default=1)
+    parser.add_argument(
+        "--datasets", nargs="*", default=None, choices=list(DATASET_SCALES)
+    )
+    arguments = parser.parse_args(argv)
+    rows = run_table1(
+        datasets=arguments.datasets,
+        scale=arguments.scale,
+        repeat=arguments.repeat,
+    )
+    print(format_table(rows, arguments.scale))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

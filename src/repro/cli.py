@@ -1,0 +1,254 @@
+"""Command-line interface: the secure-querying pipeline from a shell.
+
+    repro validate  DOC.xml  DTD.dtd
+    repro generate  DTD.dtd  [--seed N] [--max-branch N] [-o OUT.xml]
+    repro view-dtd  DTD.dtd  SPEC.txt  [--bind name=value ...]
+    repro rewrite   DTD.dtd  SPEC.txt  QUERY [--bind ...] [--no-optimize]
+    repro query     DTD.dtd  SPEC.txt  DOC.xml QUERY [--bind ...]
+                    [--no-optimize] [--explain]
+    repro table1    [--scale S] [--repeat N]
+
+Specification files use the line format of
+:func:`repro.core.spec.parse_spec_text`:
+
+    # nurse policy
+    hospital dept [*/patient/wardNo = $wardNo]
+    dept clinicalTrial N
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.engine import SecureQueryEngine
+from repro.core.spec import parse_spec_text
+from repro.dtd.generator import DocumentGenerator
+from repro.dtd.parser import parse_dtd
+from repro.dtd.validate import validate
+from repro.errors import ReproError
+from repro.xmlmodel.parser import parse_document
+from repro.xmlmodel.serialize import pretty_print, serialize
+
+
+def _read(path: str) -> str:
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def _bindings(pairs) -> dict:
+    bindings = {}
+    for pair in pairs or ():
+        if "=" not in pair:
+            raise ReproError("--bind expects name=value, got %r" % pair)
+        name, _, value = pair.partition("=")
+        bindings[name] = value
+    return bindings
+
+
+def _engine(arguments) -> SecureQueryEngine:
+    dtd = parse_dtd(_read(arguments.dtd))
+    spec = parse_spec_text(dtd, _read(arguments.spec))
+    engine = SecureQueryEngine(dtd)
+    engine.register_policy("policy", spec, **_bindings(arguments.bind))
+    return engine
+
+
+def cmd_validate(arguments) -> int:
+    dtd = parse_dtd(_read(arguments.dtd))
+    document = parse_document(_read(arguments.document))
+    issues = validate(document, dtd)
+    if not issues:
+        print("valid: document conforms to the DTD")
+        return 0
+    for issue in issues:
+        print("invalid: %s" % issue)
+    return 1
+
+
+def cmd_generate(arguments) -> int:
+    dtd = parse_dtd(_read(arguments.dtd))
+    generator = DocumentGenerator(
+        dtd, seed=arguments.seed, max_branch=arguments.max_branch
+    )
+    document = generator.generate()
+    rendered = (
+        pretty_print(document) if arguments.pretty else serialize(document)
+    )
+    if arguments.output:
+        with open(arguments.output, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")
+        print(
+            "wrote %s (%d nodes)" % (arguments.output, document.size()),
+            file=sys.stderr,
+        )
+    else:
+        print(rendered)
+    return 0
+
+
+def cmd_view_dtd(arguments) -> int:
+    engine = _engine(arguments)
+    print(engine.view_dtd_text("policy"))
+    view = engine._policies["policy"].view
+    for warning in view.warnings:
+        print("warning: %s" % warning, file=sys.stderr)
+    return 0
+
+
+def cmd_rewrite(arguments) -> int:
+    engine = _engine(arguments)
+    rewritten = engine.rewrite_query("policy", arguments.query)
+    print("rewritten: %s" % rewritten)
+    if not arguments.no_optimize:
+        optimized = engine._optimizer.optimize(rewritten)
+        print("optimized: %s" % optimized)
+    return 0
+
+
+def cmd_query(arguments) -> int:
+    engine = _engine(arguments)
+    document = parse_document(_read(arguments.document))
+    if arguments.explain:
+        report = engine.explain(
+            "policy",
+            arguments.query,
+            document,
+            optimize=not arguments.no_optimize,
+        )
+        print("query    : %s" % report.original)
+        print("rewritten: %s" % report.rewritten)
+        print("optimized: %s" % report.optimized)
+        print("results  : %d  (node visits: %d)" % (
+            report.result_count,
+            report.visits,
+        ))
+    results = engine.query(
+        "policy",
+        arguments.query,
+        document,
+        optimize=not arguments.no_optimize,
+    )
+    for result in results:
+        print(result if isinstance(result, str) else serialize(result))
+    return 0
+
+
+def cmd_verify(arguments) -> int:
+    from repro.core.verify import verify_policy
+
+    dtd = parse_dtd(_read(arguments.dtd))
+    spec = parse_spec_text(dtd, _read(arguments.spec))
+    bindings = _bindings(arguments.bind)
+    if bindings:
+        spec = spec.bind(**bindings)
+    report = verify_policy(spec, trials=arguments.trials, seed=arguments.seed)
+    print(report.summary())
+    for warning in report.warnings:
+        print("warning: %s" % warning, file=sys.stderr)
+    return 0 if report.ok else 1
+
+
+def cmd_table1(arguments) -> int:
+    from repro.benchtools.table1 import main as table1_main
+
+    table_arguments = []
+    if arguments.scale is not None:
+        table_arguments += ["--scale", str(arguments.scale)]
+    table_arguments += ["--repeat", str(arguments.repeat)]
+    return table1_main(table_arguments)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Secure XML querying with security views (SIGMOD 2004)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    validate_cmd = commands.add_parser(
+        "validate", help="check a document against a DTD"
+    )
+    validate_cmd.add_argument("document")
+    validate_cmd.add_argument("dtd")
+    validate_cmd.set_defaults(handler=cmd_validate)
+
+    generate_cmd = commands.add_parser(
+        "generate", help="generate a random conforming document"
+    )
+    generate_cmd.add_argument("dtd")
+    generate_cmd.add_argument("--seed", type=int, default=0)
+    generate_cmd.add_argument("--max-branch", type=int, default=3)
+    generate_cmd.add_argument("-o", "--output")
+    generate_cmd.add_argument("--pretty", action="store_true")
+    generate_cmd.set_defaults(handler=cmd_generate)
+
+    def add_policy_arguments(sub):
+        sub.add_argument("dtd")
+        sub.add_argument("spec")
+        sub.add_argument(
+            "--bind",
+            action="append",
+            metavar="NAME=VALUE",
+            help="bind a $parameter of the specification",
+        )
+
+    view_cmd = commands.add_parser(
+        "view-dtd", help="derive a policy's security view DTD"
+    )
+    add_policy_arguments(view_cmd)
+    view_cmd.set_defaults(handler=cmd_view_dtd)
+
+    rewrite_cmd = commands.add_parser(
+        "rewrite", help="rewrite a view query over the document"
+    )
+    add_policy_arguments(rewrite_cmd)
+    rewrite_cmd.add_argument("query")
+    rewrite_cmd.add_argument("--no-optimize", action="store_true")
+    rewrite_cmd.set_defaults(handler=cmd_rewrite)
+
+    query_cmd = commands.add_parser(
+        "query", help="answer a view query on a document"
+    )
+    add_policy_arguments(query_cmd)
+    query_cmd.add_argument("document")
+    query_cmd.add_argument("query")
+    query_cmd.add_argument("--no-optimize", action="store_true")
+    query_cmd.add_argument("--explain", action="store_true")
+    query_cmd.set_defaults(handler=cmd_query)
+
+    verify_cmd = commands.add_parser(
+        "verify", help="fuzz-check a policy's soundness/completeness"
+    )
+    add_policy_arguments(verify_cmd)
+    verify_cmd.add_argument("--trials", type=int, default=25)
+    verify_cmd.add_argument("--seed", type=int, default=0)
+    verify_cmd.set_defaults(handler=cmd_verify)
+
+    table_cmd = commands.add_parser(
+        "table1", help="reproduce the paper's Table 1"
+    )
+    table_cmd.add_argument("--scale", type=float, default=None)
+    table_cmd.add_argument("--repeat", type=int, default=1)
+    table_cmd.set_defaults(handler=cmd_table1)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    arguments = parser.parse_args(argv)
+    try:
+        return arguments.handler(arguments)
+    except BrokenPipeError:
+        return 0  # e.g. output truncated by `| head`
+    except ReproError as error:
+        print("error: %s" % error, file=sys.stderr)
+        return 2
+    except OSError as error:
+        print("error: %s" % error, file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

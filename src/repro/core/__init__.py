@@ -1,0 +1,61 @@
+"""The paper's algorithms: access specifications, security-view
+derivation, view materialization, query rewriting, and DTD-aware
+query optimization."""
+
+from repro.core.spec import AccessSpec, ANN_Y, ANN_N, CondAnnotation, spec_from_edges
+from repro.core.accessibility import (
+    ACCESSIBILITY_ATTRIBUTE,
+    accessible_nodes,
+    annotate_accessibility,
+    compute_accessibility,
+    is_accessible,
+)
+from repro.core.view import SecurityView, ViewNode
+from repro.core.derive import derive
+from repro.core.materialize import materialize, materialize_subtree
+from repro.core.rewrite import Rewriter, rewrite
+from repro.core.unfold import unfold_view, view_min_heights
+from repro.core.optimize import Optimizer, optimize
+from repro.core.naive import naive_rewrite, annotate_document
+from repro.core.engine import SecureQueryEngine, QueryReport
+from repro.core.verify import VerificationReport, verify_policy
+from repro.core.persistence import (
+    load_view,
+    save_view,
+    view_from_dict,
+    view_to_dict,
+)
+
+__all__ = [
+    "AccessSpec",
+    "ANN_Y",
+    "ANN_N",
+    "CondAnnotation",
+    "spec_from_edges",
+    "ACCESSIBILITY_ATTRIBUTE",
+    "accessible_nodes",
+    "annotate_accessibility",
+    "compute_accessibility",
+    "is_accessible",
+    "SecurityView",
+    "ViewNode",
+    "derive",
+    "materialize",
+    "materialize_subtree",
+    "Rewriter",
+    "rewrite",
+    "unfold_view",
+    "view_min_heights",
+    "Optimizer",
+    "optimize",
+    "naive_rewrite",
+    "annotate_document",
+    "SecureQueryEngine",
+    "QueryReport",
+    "VerificationReport",
+    "verify_policy",
+    "save_view",
+    "load_view",
+    "view_to_dict",
+    "view_from_dict",
+]

@@ -1,0 +1,102 @@
+"""Accessibility of document nodes w.r.t. an access specification.
+
+Implements the semantics of Section 3.2 / Proposition 3.1: for an
+instance ``T`` of the document DTD and a specification ``S = (D,
+ann)``, each element ``v`` of ``T`` has a uniquely defined
+accessibility:
+
+* if ``ann(v)`` (the annotation of the edge from ``v``'s parent type to
+  ``v``'s type) is explicitly defined:
+
+  - ``Y``: accessible iff every conditionally-annotated ancestor's
+    qualifier holds at that ancestor;
+  - ``[q]``: accessible iff ``q`` holds at ``v`` *and* every
+    conditionally-annotated ancestor's qualifier holds;
+  - ``N``: inaccessible;
+
+* otherwise ``v`` inherits the accessibility of its parent.
+
+The root is accessible (annotated ``Y`` by default).
+
+This module is used (a) as the semantic ground truth in tests, and
+(b) by the naive baseline of Section 6, which stores the result in an
+``accessibility`` attribute on every element.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.spec import ANN_N, ANN_Y, AccessSpec, CondAnnotation
+from repro.xpath.evaluator import XPathEvaluator
+
+#: Attribute name used by the naive baseline (Section 6).
+ACCESSIBILITY_ATTRIBUTE = "accessibility"
+
+
+def compute_accessibility(root, spec: AccessSpec) -> Dict[int, bool]:
+    """Map ``id(element) -> accessible?`` for every element under (and
+    including) ``root``."""
+    evaluator = XPathEvaluator()
+    result: Dict[int, bool] = {id(root): True}
+    # state per node: (parent_accessible, ancestors_conditions_ok)
+    stack: List[tuple] = [(root, True, True)]
+    while stack:
+        node, node_accessible, conditions_ok = stack.pop()
+        for child in node.children:
+            if not child.is_element:
+                continue
+            annotation = spec.ann(node.label, child.label)
+            child_conditions_ok = conditions_ok
+            if annotation is ANN_Y:
+                child_accessible = conditions_ok
+            elif annotation is ANN_N:
+                child_accessible = False
+            elif isinstance(annotation, CondAnnotation):
+                holds = evaluator.evaluate_qualifier(
+                    annotation.qualifier, child
+                )
+                child_conditions_ok = conditions_ok and holds
+                child_accessible = conditions_ok and holds
+            else:
+                child_accessible = node_accessible
+            result[id(child)] = child_accessible
+            stack.append((child, child_accessible, child_conditions_ok))
+    return result
+
+
+def is_accessible(element, root, spec: AccessSpec) -> bool:
+    """Accessibility of a single element (recomputes ancestors; for
+    bulk queries use :func:`compute_accessibility`)."""
+    return compute_accessibility(root, spec)[id(element)]
+
+
+def accessible_nodes(root, spec: AccessSpec) -> List:
+    """All accessible elements of the document, in document order."""
+    accessibility = compute_accessibility(root, spec)
+    return [
+        element
+        for element in root.iter_elements()
+        if accessibility[id(element)]
+    ]
+
+
+def annotate_accessibility(root, spec: AccessSpec) -> int:
+    """Write each element's accessibility into its ``accessibility``
+    attribute (``"1"`` / ``"0"``), as required by the naive baseline
+    of Section 6.  Returns the number of accessible elements."""
+    accessibility = compute_accessibility(root, spec)
+    accessible_count = 0
+    for element in root.iter_elements():
+        flag = accessibility[id(element)]
+        element.set(ACCESSIBILITY_ATTRIBUTE, "1" if flag else "0")
+        if flag:
+            accessible_count += 1
+    return accessible_count
+
+
+def strip_accessibility(root) -> None:
+    """Remove naive-baseline annotations again (useful between bench
+    configurations sharing one document)."""
+    for element in root.iter_elements():
+        element.attributes.pop(ACCESSIBILITY_ATTRIBUTE, None)

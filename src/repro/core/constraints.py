@@ -1,0 +1,300 @@
+"""DTD structural constraints for qualifier evaluation (Section 5.1).
+
+Three families of constraints are read off a production ``A -> alpha``
+(Example 5.1):
+
+* **co-existence**: if ``alpha`` is a concatenation, all its children
+  exist together — ``[b and c]`` is *true* at ``a -> (b, c)``;
+* **exclusive**: if ``alpha`` is a disjunction, exactly one child
+  exists — ``[b and c]`` is *false* at ``a -> (b | c)``;
+* **non-existence**: a child label absent from ``alpha`` cannot exist —
+  ``[c]`` is *false* at ``b -> (d)``.
+
+``evaluate_qualifier_bool`` is the paper's ``bool([q], A)``: a
+three-valued (True/False/None) static evaluation of a qualifier at a
+DTD node.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+from repro.dtd.content import Choice, Epsilon, Name, Seq, Star, Str
+from repro.dtd.dtd import DTD
+from repro.core.image import reach_types
+from repro.xpath.ast import (
+    Absolute,
+    Descendant,
+    Empty,
+    EpsilonPath,
+    Label,
+    Parent,
+    Path,
+    QAnd,
+    QAttr,
+    QAttrEquals,
+    QBool,
+    QEquals,
+    QNot,
+    QOr,
+    QPath,
+    Qualified,
+    Qualifier,
+    Slash,
+    TextStep,
+    Union,
+    Wildcard,
+)
+
+
+def evaluate_qualifier_bool(
+    dtd: DTD, qualifier: Qualifier, node: str
+) -> Optional[bool]:
+    """``bool([q], A)``: True/False when the DTD decides the qualifier
+    at every ``A`` element, None when undetermined."""
+    if isinstance(qualifier, QBool):
+        return qualifier.value
+    if isinstance(qualifier, QPath):
+        return path_exists_bool(dtd, qualifier.path, node)
+    if isinstance(qualifier, QEquals):
+        # values are data-dependent; only a structural False is decidable
+        if path_exists_bool(dtd, qualifier.path, node) is False:
+            return False
+        return None
+    if isinstance(qualifier, QAttr):
+        return _attribute_test_bool(dtd, qualifier.path, qualifier.name, node)
+    if isinstance(qualifier, QAttrEquals):
+        exists = _attribute_test_bool(
+            dtd, qualifier.path, qualifier.name, node
+        )
+        if exists is False:
+            return False
+        value = qualifier.value
+        if isinstance(value, str):
+            targets = reach_types(dtd, qualifier.path, node)
+            decided = []
+            for target in targets:
+                declaration = (
+                    dtd.attribute_decl(target, qualifier.name)
+                    if dtd.has_type(target)
+                    else None
+                )
+                decided.append(
+                    declaration is not None and not declaration.allows(value)
+                )
+            if targets and all(decided):
+                return False  # no target's declaration admits the value
+        return None
+    if isinstance(qualifier, QAnd):
+        left = evaluate_qualifier_bool(dtd, qualifier.left, node)
+        right = evaluate_qualifier_bool(dtd, qualifier.right, node)
+        if left is False or right is False:
+            return False
+        if exclusive_conflict(dtd, qualifier.left, qualifier.right, node):
+            return False
+        if left is True and right is True:
+            return True
+        return None
+    if isinstance(qualifier, QOr):
+        left = evaluate_qualifier_bool(dtd, qualifier.left, node)
+        right = evaluate_qualifier_bool(dtd, qualifier.right, node)
+        if left is True or right is True:
+            return True
+        if left is False and right is False:
+            return False
+        return None
+    if isinstance(qualifier, QNot):
+        inner = evaluate_qualifier_bool(dtd, qualifier.inner, node)
+        if inner is None:
+            return None
+        return not inner
+    raise TypeError("unknown qualifier node %r" % qualifier)
+
+
+def _attribute_test_bool(dtd, path, name, node) -> Optional[bool]:
+    """Three-valued ``[p/@name]`` at ``node``: combines the path's
+    existence with per-target attribute declarations."""
+    from repro.xpath.ast import EpsilonPath as _Eps
+
+    if isinstance(path, _Eps):
+        return attribute_exists_bool(dtd, node, name)
+    targets = reach_types(dtd, path, node)
+    if not targets:
+        return False
+    per_target = [
+        attribute_exists_bool(dtd, target, name)
+        for target in targets
+        if target != "#text"
+    ]
+    if per_target and all(result is False for result in per_target):
+        return False
+    path_sure = path_exists_bool(dtd, path, node)
+    if path_sure is True and per_target and all(
+        result is True for result in per_target
+    ):
+        return True
+    return None
+
+
+def attribute_exists_bool(dtd: DTD, node: str, name: str) -> Optional[bool]:
+    """Three-valued ``[@name]`` at ``node`` elements using ATTLIST
+    declarations: a ``#REQUIRED`` attribute always exists; an
+    undeclared one never does (on elements that declare attributes at
+    all — undeclared elements are lax, see the validator)."""
+    if node == "#text" or not dtd.has_type(node):
+        return False
+    if not dtd.has_attribute_declarations(node):
+        return None
+    declaration = dtd.attribute_decl(node, name)
+    if declaration is None:
+        return False
+    if declaration.required:
+        return True
+    return None
+
+
+def path_exists_bool(dtd: DTD, path: Path, node: str) -> Optional[bool]:
+    """Three-valued ``[p]`` at ``A`` elements: does ``p`` surely select
+    something (True), surely nothing (False), or is it data-dependent
+    (None)?"""
+    if isinstance(path, Empty):
+        return False
+    if isinstance(path, EpsilonPath):
+        return True
+    if node == "#text" or not dtd.has_type(node):
+        return False
+    content = dtd.production(node)
+    if isinstance(path, Label):
+        if not dtd.is_child(node, path.name):
+            return False  # non-existence constraint
+        if isinstance(content, Name):
+            return True
+        if isinstance(content, Seq) and content.is_normal_form():
+            return True  # co-existence: every concatenation child exists
+        if isinstance(content, Choice) and len(content.items) == 1:
+            return True
+        return None  # choice or star position: data-dependent
+    if isinstance(path, Wildcard):
+        # the paper's case (7)
+        if isinstance(content, (Epsilon, Str)):
+            return False
+        if isinstance(content, (Name, Seq, Choice)):
+            return True
+        return None  # star
+    if isinstance(path, TextStep):
+        if not isinstance(content, Str):
+            return False
+        return None  # PCDATA may be empty
+    if isinstance(path, Slash):
+        targets = reach_types(dtd, path.left, node)
+        if not targets:
+            return False
+        tails = [path_exists_bool(dtd, path.right, t) for t in targets]
+        head = path_exists_bool(dtd, path.left, node)
+        if head is True and all(tail is True for tail in tails):
+            return True
+        if all(tail is False for tail in tails):
+            return False
+        return None
+    if isinstance(path, Descendant):
+        origins = dtd.reachable(node)
+        results = [path_exists_bool(dtd, path.inner, o) for o in origins]
+        if path_exists_bool(dtd, path.inner, node) is True:
+            return True  # descendant-or-self includes the context
+        if all(result is False for result in results):
+            return False
+        return None
+    if isinstance(path, Union):
+        results = [
+            path_exists_bool(dtd, branch, node) for branch in path.branches
+        ]
+        if any(result is True for result in results):
+            return True
+        if all(result is False for result in results):
+            return False
+        return None
+    if isinstance(path, Qualified):
+        base = path_exists_bool(dtd, path.path, node)
+        if base is False:
+            return False
+        targets = reach_types(dtd, path.path, node)
+        if not targets:
+            return False
+        quals = [
+            evaluate_qualifier_bool(dtd, path.qualifier, t) for t in targets
+        ]
+        if all(q is False for q in quals):
+            return False
+        if base is True and all(q is True for q in quals):
+            return True
+        return None
+    if isinstance(path, Parent):
+        parents = dtd.parents_of(node)
+        if node != dtd.root:
+            return True  # every non-root element has a parent
+        return False if not parents else None
+    if isinstance(path, Absolute):
+        return None  # absolute sub-paths inside qualifiers: give up
+    raise TypeError("unknown path node %r" % path)
+
+
+def exclusive_conflict(
+    dtd: DTD, left: Qualifier, right: Qualifier, node: str
+) -> bool:
+    """The exclusive constraint: at a disjunction production, two
+    qualifiers that each *require* a child from disjoint label sets
+    cannot both hold (the element has exactly one child)."""
+    if node == "#text" or not dtd.has_type(node):
+        return False
+    content = dtd.production(node)
+    if not (isinstance(content, Choice) and content.is_normal_form()):
+        return False
+    left_required = required_first_labels(left)
+    right_required = required_first_labels(right)
+    if left_required is None or right_required is None:
+        return False
+    if not left_required or not right_required:
+        return False
+    return not (left_required & right_required)
+
+
+def required_first_labels(qualifier: Qualifier) -> Optional[Set[str]]:
+    """The set ``S`` such that the qualifier requires at least one
+    child whose label is in ``S`` — or None when no such definite set
+    exists (e.g. with ``//`` or ``*`` first steps)."""
+    if isinstance(qualifier, QPath):
+        return _first_labels(qualifier.path)
+    if isinstance(qualifier, QEquals):
+        return _first_labels(qualifier.path)
+    if isinstance(qualifier, QAnd):
+        left = required_first_labels(qualifier.left)
+        right = required_first_labels(qualifier.right)
+        # either conjunct's requirement suffices; prefer the tighter one
+        if left is not None and right is not None:
+            return left if len(left) <= len(right) else right
+        return left if left is not None else right
+    if isinstance(qualifier, QOr):
+        left = required_first_labels(qualifier.left)
+        right = required_first_labels(qualifier.right)
+        if left is None or right is None:
+            return None
+        return left | right
+    return None
+
+
+def _first_labels(path: Path) -> Optional[Set[str]]:
+    if isinstance(path, Label):
+        return {path.name}
+    if isinstance(path, Slash):
+        return _first_labels(path.left)
+    if isinstance(path, Qualified):
+        return _first_labels(path.path)
+    if isinstance(path, Union):
+        labels: Set[str] = set()
+        for branch in path.branches:
+            branch_labels = _first_labels(branch)
+            if branch_labels is None:
+                return None
+            labels |= branch_labels
+        return labels
+    return None

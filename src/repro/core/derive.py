@@ -1,0 +1,563 @@
+"""Algorithm ``derive`` (Fig. 5): security-view derivation.
+
+Given an access specification ``S = (D, ann)``, build a security view
+``V = (Dv, sigma)`` that is sound and complete w.r.t. ``S`` whenever
+such a view exists (Theorem 3.2).  The construction walks the document
+DTD top-down with two mutually recursive procedures:
+
+* ``Proc_Acc(A)`` — for accessible types: emits a view production for
+  ``A`` and sigma annotations for its children;
+* ``Proc_InAcc(A)`` — for inaccessible types: computes ``reg(A)``, a
+  regular expression over the *closest accessible descendants* of
+  ``A``, together with the XPath path to each of them.
+
+Inaccessible types are hidden by (a) *pruning* them when they have no
+accessible descendants, (b) *short-cutting* them when their ``reg``
+fits the surrounding production shape, or (c) renaming them to fresh
+``dummyN`` labels that keep the DTD structure while hiding the real
+label (Example 3.2's dummy1/dummy2).
+
+Deviations from the printed figure, as recorded in DESIGN.md:
+
+* step 18 of ``Proc_InAcc`` writes into ``path`` rather than ``sigma``
+  (the printed ``sigma(A, X) := B_i`` is a typo — ``A`` is
+  inaccessible, so it has no sigma edges);
+* duplicate labels produced by short-cutting are compacted into a
+  starred occurrence with a union annotation, following Example 3.4
+  ("a more compact form of this production is
+  ``dept -> patientInfo*, staffInfo``");
+* a removed *choice* branch (an inaccessible alternative with no
+  accessible descendants) is, by default, replaced by an empty dummy
+  instead of dropped, which preserves soundness for documents that use
+  that alternative; pass ``preserve_choice_branches=False`` for the
+  figure's literal behaviour (a warning is recorded).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ViewDerivationError
+from repro.dtd.content import (
+    Choice,
+    ContentModel,
+    EPSILON as EPSILON_CONTENT,
+    Epsilon,
+    Name,
+    STR as STR_CONTENT,
+    Seq,
+    Star,
+    Str,
+)
+from repro.core.spec import ANN_N, ANN_Y, AccessSpec, CondAnnotation, STR_CHILD
+from repro.core.view import SecurityView, ViewNode
+from repro.xpath.ast import (
+    EPSILON as EPSILON_PATH,
+    Label,
+    Path,
+    TEXT,
+    qualified,
+    slash,
+    union,
+)
+
+# ---------------------------------------------------------------------------
+# Internal representation of reg(A): regular expressions over "slots".
+# A slot pairs a view-node key with the XPath path (relative to the
+# inaccessible context element) extracting the corresponding nodes.
+# ---------------------------------------------------------------------------
+
+
+class _Slot:
+    __slots__ = ("target", "path", "starred")
+
+    def __init__(self, target: str, path: Path, starred: bool = False):
+        self.target = target
+        self.path = path
+        self.starred = starred
+
+    def prefixed(self, prefix: Path) -> "_Slot":
+        return _Slot(self.target, slash(prefix, self.path), self.starred)
+
+    def __repr__(self):
+        star = "*" if self.starred else ""
+        return "Slot(%s%s <- %s)" % (self.target, star, self.path)
+
+
+class _REps:
+    """reg(A) is empty: nothing accessible below A."""
+
+    def __repr__(self):
+        return "REps"
+
+
+class _RSeq:
+    __slots__ = ("items",)
+
+    def __init__(self, items: List[_Slot]):
+        self.items = items
+
+    def __repr__(self):
+        return "RSeq(%r)" % (self.items,)
+
+
+class _RChoice:
+    __slots__ = ("items",)
+
+    def __init__(self, items: List[_Slot]):
+        self.items = items
+
+    def __repr__(self):
+        return "RChoice(%r)" % (self.items,)
+
+
+class _RStar:
+    __slots__ = ("item",)
+
+    def __init__(self, item: _Slot):
+        self.item = item
+
+    def __repr__(self):
+        return "RStar(%r)" % (self.item,)
+
+
+class _RecursiveRef:
+    """Marker returned when Proc_InAcc re-enters a type that is still
+    being processed (a cycle through inaccessible types)."""
+
+    __slots__ = ("type_name",)
+
+    def __init__(self, type_name: str):
+        self.type_name = type_name
+
+
+_REPS = _REps()
+
+
+def _single_slot(reg) -> Optional[_Slot]:
+    """The single non-starred slot of a 1-ary reg, if that is reg's shape."""
+    if isinstance(reg, (_RSeq, _RChoice)) and len(reg.items) == 1:
+        only = reg.items[0]
+        if not only.starred:
+            return only
+    return None
+
+
+class _Deriver:
+    def __init__(self, spec: AccessSpec, preserve_choice_branches: bool):
+        self.spec = spec
+        self.dtd = spec.dtd
+        self.preserve_choice_branches = preserve_choice_branches
+        self.view = SecurityView(self.dtd, root_key=self.dtd.root)
+        self.acc_done: set = set()
+        self.inacc_memo: Dict[str, object] = {}
+        self.inacc_in_progress: set = set()
+        self.recursive_dummy: Dict[str, str] = {}
+        self.empty_dummy_key: Optional[str] = None
+        self._dummy_counter = 0
+
+    # -- helpers ---------------------------------------------------------------
+
+    def run(self) -> SecurityView:
+        if not self.dtd.is_normal_form():
+            raise ViewDerivationError(
+                "the document DTD must be in the paper's normal form; "
+                "apply repro.dtd.normalize_dtd first"
+            )
+        self.proc_acc(self.dtd.root)
+        # attribute-level access control: record hidden attributes per
+        # real (non-dummy) view node
+        for key, node in self.view.nodes.items():
+            if node.is_dummy:
+                continue
+            hidden = self.spec.hidden_attributes(node.label)
+            if hidden:
+                self.view.hidden_attributes[key] = hidden
+        return self.view
+
+    def new_dummy_key(self) -> str:
+        while True:
+            self._dummy_counter += 1
+            candidate = "dummy%d" % self._dummy_counter
+            if not self.dtd.has_type(candidate) and not self.view.has_node(
+                candidate
+            ):
+                return candidate
+
+    def effective_annotation(self, parent: str, child: str, parent_accessible: bool):
+        explicit = self.spec.ann(parent, child)
+        if explicit is not None:
+            return explicit
+        return ANN_Y if parent_accessible else ANN_N
+
+    def warn(self, message: str) -> None:
+        self.view.warnings.append(message)
+
+    # -- Proc_Acc ------------------------------------------------------------------
+
+    def proc_acc(self, type_name: str) -> None:
+        """Emit the view production for an accessible element type."""
+        if type_name in self.acc_done:
+            return
+        self.acc_done.add(type_name)
+        content = self.dtd.production(type_name)
+        kind = self.dtd.production_kind(type_name)
+
+        if kind == "str":
+            if self.spec.ann(type_name, STR_CHILD) is ANN_N:
+                # case (4) of Fig. 5: hidden text -> empty production
+                node_content: ContentModel = EPSILON_CONTENT
+            else:
+                node_content = STR_CONTENT
+                self.view.sigma_text[type_name] = TEXT
+            self.view.add_node(ViewNode(type_name, type_name, node_content))
+            return
+
+        if kind == "epsilon":
+            self.view.add_node(
+                ViewNode(type_name, type_name, EPSILON_CONTENT)
+            )
+            return
+
+        if kind == "seq":
+            child_names = (
+                [content.name]
+                if isinstance(content, Name)
+                else [item.name for item in content.items]
+            )
+            slots = self._process_seq_children(type_name, child_names)
+            self._register_seq(type_name, slots)
+            return
+
+        if kind == "choice":
+            child_names = [item.name for item in content.items]
+            slots = self._process_choice_children(type_name, child_names)
+            self._register_choice(type_name, slots)
+            return
+
+        if kind == "star":
+            child_name = content.item.name
+            slot = self._process_star_child(type_name, child_name)
+            if slot is None:
+                self.view.add_node(
+                    ViewNode(type_name, type_name, EPSILON_CONTENT)
+                )
+            else:
+                self.view.add_node(
+                    ViewNode(type_name, type_name, Star(Name(slot.target)))
+                )
+                self.view.set_sigma(type_name, slot.target, slot.path)
+            return
+
+        raise ViewDerivationError(
+            "unsupported production kind %r for %r" % (kind, type_name)
+        )
+
+    # -- children processing (shared by Proc_Acc / Proc_InAcc) -----------------------
+
+    def _process_seq_children(
+        self, parent: str, child_names: List[str]
+    ) -> List[_Slot]:
+        """Slots of a concatenation production (cases 1/6-20 of Fig. 5)."""
+        slots: List[_Slot] = []
+        parent_accessible = True  # caller context decides; see _inacc_seq
+        for child in child_names:
+            slots.extend(
+                self._child_slots(
+                    parent, child, parent_accessible, container="seq"
+                )
+            )
+        return slots
+
+    def _process_choice_children(
+        self, parent: str, child_names: List[str]
+    ) -> List[_Slot]:
+        slots: List[_Slot] = []
+        for child in child_names:
+            slots.extend(
+                self._child_slots(parent, child, True, container="choice")
+            )
+        return slots
+
+    def _process_star_child(self, parent: str, child: str) -> Optional[_Slot]:
+        return self._star_slot(parent, child, True)
+
+    def _child_slots(
+        self,
+        parent: str,
+        child: str,
+        parent_accessible: bool,
+        container: str,
+    ) -> List[_Slot]:
+        """Slots contributed by one child edge in a seq/choice
+        production.  Implements prune / short-cut / dummy."""
+        annotation = self.effective_annotation(parent, child, parent_accessible)
+        if annotation is ANN_Y:
+            self.proc_acc(child)
+            return [_Slot(child, Label(child))]
+        if isinstance(annotation, CondAnnotation):
+            if container in ("seq", "choice"):
+                self.warn(
+                    "conditional annotation ann(%s, %s) under a %s "
+                    "production: materialization may abort when the "
+                    "qualifier fails (Theorem 3.2)"
+                    % (parent, child, container)
+                )
+            self.proc_acc(child)
+            return [
+                _Slot(child, qualified(Label(child), annotation.qualifier))
+            ]
+        # inaccessible child
+        reg = self.proc_inacc(child)
+        prefix = Label(child)
+        if isinstance(reg, _REps):
+            if container == "choice":
+                return self._pruned_choice_branch(parent, child, prefix)
+            return []  # step 11: remove from the production
+        if isinstance(reg, _RecursiveRef):
+            dummy = self._dummy_for_recursion(reg.type_name)
+            return [_Slot(dummy, prefix)]
+        if isinstance(reg, _RSeq) and container == "seq":
+            # short-cut: splice the concatenation into the parent
+            # (steps 12-15; a 1-ary concatenation splices too)
+            return [slot.prefixed(prefix) for slot in reg.items]
+        if isinstance(reg, _RChoice) and container == "choice":
+            # case (2): splice a disjunction into a disjunction
+            return [slot.prefixed(prefix) for slot in reg.items]
+        # shape mismatch (e.g. a concatenation under a disjunction, as
+        # with trial/regular in Example 3.4): hide behind a dummy label
+        # (steps 16-20)
+        dummy = self._make_dummy(reg, preferred_for=child)
+        return [_Slot(dummy, prefix)]
+
+    def _star_slot(
+        self, parent: str, child: str, parent_accessible: bool
+    ) -> Optional[_Slot]:
+        """The single slot of a star production ``A -> B*`` (case 3)."""
+        annotation = self.effective_annotation(parent, child, parent_accessible)
+        if annotation is ANN_Y:
+            self.proc_acc(child)
+            return _Slot(child, Label(child))
+        if isinstance(annotation, CondAnnotation):
+            # safe under a star: failing qualifiers just yield fewer children
+            self.proc_acc(child)
+            return _Slot(child, qualified(Label(child), annotation.qualifier))
+        reg = self.proc_inacc(child)
+        prefix = Label(child)
+        if isinstance(reg, _REps):
+            return None
+        if isinstance(reg, _RecursiveRef):
+            return _Slot(self._dummy_for_recursion(reg.type_name), prefix)
+        single = _single_slot(reg)
+        if single is not None:
+            # case (3): reg(B) = C — each hidden B holds one C => view C*
+            return single.prefixed(prefix)
+        if isinstance(reg, _RStar):
+            # case (3): reg(B) = C* — view C* with path B/path
+            return reg.item.prefixed(prefix)
+        dummy = self._make_dummy(reg, preferred_for=child)
+        return _Slot(dummy, prefix)
+
+    def _pruned_choice_branch(
+        self, parent: str, child: str, prefix: Path
+    ) -> List[_Slot]:
+        if not self.preserve_choice_branches:
+            self.warn(
+                "choice branch %s of %s removed (no accessible "
+                "descendants): documents using that alternative will "
+                "fail materialization" % (child, parent)
+            )
+            return []
+        return [_Slot(self._empty_dummy(), prefix)]
+
+    # -- Proc_InAcc -----------------------------------------------------------------
+
+    def proc_inacc(self, type_name: str):
+        """Compute ``reg(type_name)`` for an inaccessible type.  Slot
+        paths are relative to an element of this type (the step into
+        the type itself is added by the caller)."""
+        if type_name in self.inacc_memo:
+            return self.inacc_memo[type_name]
+        if type_name in self.inacc_in_progress:
+            return _RecursiveRef(type_name)
+        self.inacc_in_progress.add(type_name)
+        try:
+            reg = self._compute_reg(type_name)
+        finally:
+            self.inacc_in_progress.discard(type_name)
+        self.inacc_memo[type_name] = reg
+        # If recursion forced a dummy for this type, give it a production.
+        dummy_key = self.recursive_dummy.get(type_name)
+        if dummy_key is not None and not self.view.has_node(dummy_key):
+            self._register_dummy_node(dummy_key, reg)
+        return reg
+
+    def _compute_reg(self, type_name: str):
+        content = self.dtd.production(type_name)
+        kind = self.dtd.production_kind(type_name)
+        if kind in ("str", "epsilon"):
+            return _REPS
+        if kind == "seq":
+            child_names = (
+                [content.name]
+                if isinstance(content, Name)
+                else [item.name for item in content.items]
+            )
+            slots: List[_Slot] = []
+            for child in child_names:
+                slots.extend(
+                    self._child_slots(type_name, child, False, container="seq")
+                )
+            return self._pack_seq(slots)
+        if kind == "choice":
+            child_names = [item.name for item in content.items]
+            slots = []
+            for child in child_names:
+                slots.extend(
+                    self._child_slots(
+                        type_name, child, False, container="choice"
+                    )
+                )
+            return self._pack_choice(slots)
+        if kind == "star":
+            child_name = content.item.name
+            slot = self._star_slot(type_name, child_name, False)
+            if slot is None:
+                return _REPS
+            return _RStar(_Slot(slot.target, slot.path))
+        raise ViewDerivationError(
+            "unsupported production kind %r for %r" % (kind, type_name)
+        )
+
+    @staticmethod
+    def _pack_seq(slots: List[_Slot]):
+        # Shape is preserved even for a single item: Example 3.4 treats
+        # reg(trial) = bill as a (1-ary) concatenation, which does NOT
+        # splice into a disjunction.
+        if not slots:
+            return _REPS
+        return _RSeq(slots)
+
+    @staticmethod
+    def _pack_choice(slots: List[_Slot]):
+        if not slots:
+            return _REPS
+        return _RChoice(slots)
+
+    # -- dummy management ---------------------------------------------------------------
+
+    def _dummy_for_recursion(self, type_name: str) -> str:
+        key = self.recursive_dummy.get(type_name)
+        if key is None:
+            key = self.new_dummy_key()
+            self.recursive_dummy[type_name] = key
+        return key
+
+    def _empty_dummy(self) -> str:
+        if self.empty_dummy_key is None:
+            self.empty_dummy_key = self.new_dummy_key()
+            self.view.add_node(
+                ViewNode(
+                    self.empty_dummy_key,
+                    self.empty_dummy_key,
+                    EPSILON_CONTENT,
+                    is_dummy=True,
+                )
+            )
+        return self.empty_dummy_key
+
+    def _make_dummy(self, reg, preferred_for: Optional[str] = None) -> str:
+        """Create a dummy view node whose production realizes ``reg``."""
+        if preferred_for is not None:
+            existing = self.recursive_dummy.get(preferred_for)
+            if existing is not None:
+                return existing
+        key = self.new_dummy_key()
+        self._register_dummy_node(key, reg)
+        return key
+
+    def _register_dummy_node(self, key: str, reg) -> None:
+        if isinstance(reg, _REps):
+            self.view.add_node(
+                ViewNode(key, key, EPSILON_CONTENT, is_dummy=True)
+            )
+            return
+        if isinstance(reg, _RecursiveRef):
+            inner = self._dummy_for_recursion(reg.type_name)
+            self.view.add_node(ViewNode(key, key, Name(inner), is_dummy=True))
+            self.view.set_sigma(key, inner, EPSILON_PATH)
+            return
+        if isinstance(reg, _RSeq):
+            self._register_slots(key, reg.items, Seq, is_dummy=True)
+            return
+        if isinstance(reg, _RChoice):
+            self._register_slots(key, reg.items, Choice, is_dummy=True)
+            return
+        if isinstance(reg, _RStar):
+            self.view.add_node(
+                ViewNode(key, key, Star(Name(reg.item.target)), is_dummy=True)
+            )
+            self.view.set_sigma(key, reg.item.target, reg.item.path)
+            return
+        raise ViewDerivationError("cannot realize reg %r" % (reg,))
+
+    # -- production registration with compaction -------------------------------------------
+
+    def _register_seq(self, key: str, slots: List[_Slot]) -> None:
+        if not slots:
+            self.view.add_node(ViewNode(key, key, EPSILON_CONTENT))
+            return
+        self._register_slots(key, slots, Seq, is_dummy=False)
+
+    def _register_choice(self, key: str, slots: List[_Slot]) -> None:
+        if not slots:
+            self.view.add_node(ViewNode(key, key, EPSILON_CONTENT))
+            return
+        self._register_slots(key, slots, Choice, is_dummy=False)
+
+    def _register_slots(self, key: str, slots, combinator, is_dummy: bool):
+        """Compact duplicate targets (Example 3.4) and emit the
+        production plus sigma edges."""
+        merged: List[_Slot] = []
+        position: Dict[str, int] = {}
+        for slot in slots:
+            index = position.get(slot.target)
+            if index is None:
+                position[slot.target] = len(merged)
+                merged.append(
+                    _Slot(slot.target, slot.path, starred=slot.starred)
+                )
+            else:
+                kept = merged[index]
+                starred = True if combinator is Seq else kept.starred
+                merged[index] = _Slot(
+                    kept.target,
+                    union([kept.path, slot.path]),
+                    starred=starred or slot.starred,
+                )
+        if len(merged) == 1:
+            only = merged[0]
+            content: ContentModel = (
+                Star(Name(only.target)) if only.starred else Name(only.target)
+            )
+        else:
+            atoms = [
+                Star(Name(slot.target)) if slot.starred else Name(slot.target)
+                for slot in merged
+            ]
+            content = combinator(atoms)
+        self.view.add_node(ViewNode(key, key, content, is_dummy=is_dummy))
+        for slot in merged:
+            self.view.set_sigma(key, slot.target, slot.path)
+
+
+def derive(
+    spec: AccessSpec, preserve_choice_branches: bool = True
+) -> SecurityView:
+    """Derive a sound and complete security view from an access
+    specification (Algorithm ``derive``, Fig. 5).
+
+    ``preserve_choice_branches`` controls the handling of fully
+    inaccessible choice alternatives; see the module docstring.
+    """
+    return _Deriver(spec, preserve_choice_branches).run()

@@ -1,0 +1,360 @@
+"""End-to-end secure query engine (the framework of Fig. 3).
+
+``SecureQueryEngine`` ties the pieces together the way the paper's
+architecture diagram does:
+
+1. a security administrator registers access specifications (one per
+   user class) against the document DTD;
+2. each specification is compiled into a security view by Algorithm
+   ``derive``; the *exposed* view DTD is available to the user class,
+   while sigma and the document DTD stay hidden;
+3. a user query over the view is rewritten (Algorithm ``rewrite``,
+   after unfolding if the view is recursive) and optionally optimized
+   (Algorithm ``optimize``) into a query over the document;
+4. the rewritten query is evaluated on the document; results are
+   *projected through the view* (dummy relabeling, hidden descendants
+   removed) before being returned.
+
+The security view is never materialized; projection only copies the
+actual result subtrees.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union as TypingUnion
+
+from repro.errors import QueryRejectedError, SecurityError
+from repro.dtd.dtd import DTD
+from repro.core.derive import derive
+from repro.core.materialize import materialize_subtree
+from repro.core.optimize import Optimizer
+from repro.core.rewrite import Rewriter
+from repro.core.spec import AccessSpec
+from repro.core.unfold import unfold_view
+from repro.core.view import SecurityView
+from repro.xpath.ast import Absolute, Label, Path
+from repro.xpath.evaluator import XPathEvaluator
+from repro.xpath.parser import parse_xpath
+
+
+class QueryReport:
+    """What happened to one query: the rewritten and optimized forms
+    plus evaluation statistics (for benchmarking and ``explain``)."""
+
+    __slots__ = (
+        "policy",
+        "original",
+        "rewritten",
+        "optimized",
+        "result_count",
+        "visits",
+    )
+
+    def __init__(self, policy, original, rewritten, optimized, result_count, visits):
+        self.policy = policy
+        self.original = original
+        self.rewritten = rewritten
+        self.optimized = optimized
+        self.result_count = result_count
+        self.visits = visits
+
+    def __repr__(self):
+        return (
+            "QueryReport(policy=%r, original=%s, rewritten=%s, "
+            "optimized=%s, results=%d, visits=%d)"
+            % (
+                self.policy,
+                self.original,
+                self.rewritten,
+                self.optimized,
+                self.result_count,
+                self.visits,
+            )
+        )
+
+
+class _Policy:
+    __slots__ = ("name", "spec", "view", "rewriters", "materialized")
+
+    def __init__(self, name: str, spec: AccessSpec, view: SecurityView):
+        self.name = name
+        self.spec = spec
+        self.view = view
+        self.rewriters: Dict[Optional[int], Rewriter] = {}
+        # id(document) -> (document, materialized view tree); the
+        # strong document reference keeps the id stable
+        self.materialized: Dict[int, tuple] = {}
+
+
+class SecureQueryEngine:
+    """Multi-policy secure query answering over one document DTD."""
+
+    def __init__(self, dtd: DTD, strict: bool = False):
+        self.dtd = dtd
+        self.strict = strict
+        self._policies: Dict[str, _Policy] = {}
+        self._optimizer = Optimizer(dtd)
+        # id(document) -> (document, DocumentIndex); shared by policies
+        self._indexes: Dict[int, tuple] = {}
+
+    # -- administration (security-officer side) ---------------------------
+
+    def register_policy(
+        self,
+        name: str,
+        spec: AccessSpec,
+        preserve_choice_branches: bool = True,
+        **parameters: str,
+    ) -> SecurityView:
+        """Register a user class: derive (and cache) its security view.
+        ``parameters`` bind the spec's ``$parameters`` (Example 3.1's
+        ``$wardNo``)."""
+        if name in self._policies:
+            raise SecurityError("policy %r is already registered" % name)
+        if spec.dtd is not self.dtd and spec.dtd != self.dtd:
+            raise SecurityError(
+                "policy %r is specified against a different DTD" % name
+            )
+        concrete = spec.bind(**parameters) if parameters else spec
+        if concrete.parameters():
+            raise SecurityError(
+                "policy %r has unbound parameters: %s"
+                % (name, ", ".join(sorted(concrete.parameters())))
+            )
+        view = derive(
+            concrete, preserve_choice_branches=preserve_choice_branches
+        )
+        self._policies[name] = _Policy(name, concrete, view)
+        return view
+
+    def drop_policy(self, name: str) -> None:
+        self._policies.pop(name, None)
+
+    def policies(self) -> List[str]:
+        return sorted(self._policies)
+
+    # -- user-visible surface ----------------------------------------------------
+
+    def view_dtd(self, policy: str) -> DTD:
+        """The exposed view DTD — everything a user of this policy may
+        know about the document structure."""
+        return self._policy(policy).view.exposed_dtd()
+
+    def view_dtd_text(self, policy: str) -> str:
+        return self.view_dtd(policy).to_dtd_text()
+
+    # -- querying -------------------------------------------------------------------
+
+    def rewrite_query(
+        self,
+        policy: str,
+        query: TypingUnion[str, Path],
+        document=None,
+    ) -> Path:
+        """Rewrite a view query into a document query (no evaluation).
+        A document (or height bound) is only needed for recursive
+        views (Section 4.2)."""
+        entry = self._policy(policy)
+        parsed = self._parse(entry, query)
+        return self._rewriter(entry, document).rewrite(parsed)
+
+    def query(
+        self,
+        policy: str,
+        query: TypingUnion[str, Path],
+        document,
+        optimize: bool = True,
+        project: bool = True,
+        strategy: str = "rewrite",
+        use_index: bool = False,
+    ) -> List:
+        """Answer a view query on ``document``.
+
+        With ``project=True`` (default) the results are view-projected
+        copies — exactly the elements a materialized view would hold.
+        With ``project=False`` the raw document nodes are returned
+        (useful for benchmarking; callers must not expose raw dummy
+        origins to users, since their labels and hidden children are
+        confidential).
+
+        ``strategy`` selects the enforcement mechanism:
+
+        * ``"rewrite"`` (default, the paper's approach) — the view
+          stays virtual; the query is rewritten over the document;
+        * ``"materialized"`` — the view tree is materialized (cached
+          per document until :meth:`invalidate`) and the query runs
+          directly on it.  Useful for hot, read-only documents; the
+          benchmark suite quantifies the trade-off.
+
+        ``use_index=True`` builds (and caches until :meth:`invalidate`)
+        a :class:`~repro.xmlmodel.index.DocumentIndex` so rewritten
+        queries with residual ``//`` steps evaluate via binary search.
+        """
+        if strategy == "materialized":
+            return self._query_materialized(policy, query, document)
+        if strategy != "rewrite":
+            raise SecurityError(
+                "unknown strategy %r (use 'rewrite' or 'materialized')"
+                % strategy
+            )
+        report_nodes, _ = self._execute(
+            policy, query, document, optimize, project, use_index
+        )
+        return report_nodes
+
+    def invalidate(self, policy: Optional[str] = None) -> None:
+        """Drop cached materialized views and document indexes (call
+        after document updates).  Without ``policy``, caches of all
+        policies clear."""
+        names = [policy] if policy is not None else list(self._policies)
+        for name in names:
+            self._policy(name).materialized.clear()
+        self._indexes.clear()
+
+    def _index_for(self, document):
+        from repro.xmlmodel.index import DocumentIndex
+
+        cached = self._indexes.get(id(document))
+        if cached is not None and cached[0] is document:
+            return cached[1]
+        index = DocumentIndex(document)
+        self._indexes[id(document)] = (document, index)
+        return index
+
+    def _query_materialized(self, policy, query, document) -> List:
+        from repro.core.materialize import materialize
+
+        entry = self._policy(policy)
+        parsed = self._parse(entry, query)
+        cached = entry.materialized.get(id(document))
+        if cached is None or cached[0] is not document:
+            view_tree = materialize(document, entry.view, entry.spec)
+            entry.materialized[id(document)] = (document, view_tree)
+        else:
+            view_tree = cached[1]
+        evaluator = XPathEvaluator()
+        results = []
+        for node in evaluator.evaluate(parsed, view_tree, ordered=True):
+            results.append(node.value if node.is_text else node)
+        return results
+
+    def explain(
+        self,
+        policy: str,
+        query: TypingUnion[str, Path],
+        document,
+        optimize: bool = True,
+    ) -> QueryReport:
+        """Like :meth:`query` but returns the rewriting pipeline's
+        stages and evaluation statistics."""
+        _, report = self._execute(policy, query, document, optimize, True)
+        return report
+
+    # -- internals -----------------------------------------------------------------------
+
+    def _policy(self, name: str) -> _Policy:
+        try:
+            return self._policies[name]
+        except KeyError:
+            raise SecurityError("unknown policy %r" % name) from None
+
+    def _parse(self, entry: _Policy, query: TypingUnion[str, Path]) -> Path:
+        parsed = parse_xpath(query) if isinstance(query, str) else query
+        if self.strict:
+            self._check_labels(entry, parsed)
+        return parsed
+
+    def _check_labels(self, entry: _Policy, query: Path) -> None:
+        labels = entry.view.labels()
+        for node in query.iter_nodes():
+            if isinstance(node, Label) and node.name not in labels:
+                raise QueryRejectedError(
+                    "label %r is not part of the %r view DTD"
+                    % (node.name, entry.name)
+                )
+
+    def _rewriter(self, entry: _Policy, document) -> Rewriter:
+        if not entry.view.is_recursive():
+            rewriter = entry.rewriters.get(None)
+            if rewriter is None:
+                rewriter = Rewriter(entry.view)
+                entry.rewriters[None] = rewriter
+            return rewriter
+        if document is None:
+            raise SecurityError(
+                "policy %r has a recursive view DTD; rewriting needs the "
+                "document (its height bounds the unfolding, Section 4.2)"
+                % entry.name
+            )
+        height = document if isinstance(document, int) else document.height()
+        rewriter = entry.rewriters.get(height)
+        if rewriter is None:
+            rewriter = Rewriter(unfold_view(entry.view, height))
+            entry.rewriters[height] = rewriter
+        return rewriter
+
+    def _execute(self, policy, query, document, optimize, project, use_index=False):
+        entry = self._policy(policy)
+        parsed = self._parse(entry, query)
+        rewriter = self._rewriter(entry, document)
+        rewritten = rewriter.rewrite(parsed)
+        optimized = (
+            self._optimizer.optimize(rewritten) if optimize else rewritten
+        )
+        evaluator = XPathEvaluator(
+            index=self._index_for(document) if use_index else None
+        )
+        if project:
+            results = self._evaluate_projected(
+                entry, rewriter, parsed, optimized, document, evaluator
+            )
+        else:
+            results = evaluator.evaluate(optimized, document, ordered=True)
+        report = QueryReport(
+            policy,
+            parsed,
+            rewritten,
+            optimized,
+            len(results),
+            evaluator.visits,
+        )
+        return results, report
+
+    def _evaluate_projected(
+        self, entry, rewriter, parsed, optimized, document, evaluator
+    ):
+        """Evaluate per target view node so each raw result can be
+        projected through the view (dummies relabeled, hidden
+        descendants removed)."""
+        if isinstance(parsed, Absolute):
+            per_target = rewriter._rw(parsed.inner, "#document")
+            wrap_absolute = True
+        else:
+            per_target = rewriter._rw(parsed, rewriter.view.root_key)
+            wrap_absolute = False
+        projected = []
+        seen = set()
+        for target, path in sorted(per_target.items()):
+            if target.startswith("#text"):
+                raw = evaluator.evaluate(
+                    Absolute(path) if wrap_absolute else path, document
+                )
+                for node in raw:
+                    if id(node) not in seen:
+                        seen.add(id(node))
+                        projected.append(node.value)
+                continue
+            document_path = Absolute(path) if wrap_absolute else path
+            optimized_path = self._optimizer.optimize(document_path)
+            raw = evaluator.evaluate(optimized_path, document, ordered=True)
+            for node in raw:
+                if id(node) in seen:
+                    continue
+                seen.add(id(node))
+                projected.append(
+                    materialize_subtree(
+                        document, rewriter.view, entry.spec, target, node
+                    )
+                )
+        del optimized
+        return projected

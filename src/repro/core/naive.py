@@ -1,0 +1,156 @@
+"""The naive baseline of Section 6.
+
+The comparison baseline annotates every element of the document with an
+``accessibility`` attribute (``"1"`` / ``"0"``) and rewrites a view
+query with two rules:
+
+1. append the qualifier ``[@accessibility = "1"]`` to the last step of
+   the query, so only authorized elements are returned;
+2. replace every *child* axis with the *descendant* axis, because one
+   edge of the view DTD may correspond to a multi-step path in the
+   document (sound as long as the DTD has unique element names —
+   footnote 3 of the paper).
+
+Rule 2 is what makes the baseline slow: every step degenerates into a
+full-subtree scan.  Table 1 measures exactly this gap.
+"""
+
+from __future__ import annotations
+
+from repro.errors import RewriteError
+from repro.core.accessibility import ACCESSIBILITY_ATTRIBUTE, annotate_accessibility
+from repro.core.spec import AccessSpec
+from repro.xpath.ast import (
+    Absolute,
+    Descendant,
+    Empty,
+    EpsilonPath,
+    Label,
+    Parent,
+    Path,
+    QAttr,
+    QAttrEquals,
+    Qualified,
+    Slash,
+    TextStep,
+    Union,
+    Wildcard,
+    descendant,
+    qualified,
+    slash,
+    union,
+)
+
+#: The qualifier appended by rule 1.
+ACCESSIBLE_QUALIFIER = QAttrEquals(ACCESSIBILITY_ATTRIBUTE, "1")
+
+
+def annotate_document(document_root, spec: AccessSpec) -> int:
+    """Prepare a document for the naive baseline: store per-element
+    accessibility in attributes.  Returns the accessible-element
+    count.  (Re-exported from :mod:`repro.core.accessibility`.)"""
+    return annotate_accessibility(document_root, spec)
+
+
+def naive_rewrite(query: Path) -> Path:
+    """Apply the two naive rewrite rules to a view query."""
+    relaxed = _relax_axes(query)
+    return _append_accessibility(relaxed)
+
+
+def _relax_axes(query: Path) -> Path:
+    """Rule 2: child steps become descendant steps.  Upward steps
+    have no sound relaxation and are kept as-is."""
+    if isinstance(query, (Empty, EpsilonPath, TextStep, Parent)):
+        return query
+    if isinstance(query, (Label, Wildcard)):
+        return Descendant(query)
+    if isinstance(query, Slash):
+        return slash(_relax_axes(query.left), _relax_axes(query.right))
+    if isinstance(query, Descendant):
+        return descendant(_relax_axes_inner(query.inner))
+    if isinstance(query, Union):
+        return union(_relax_axes(branch) for branch in query.branches)
+    if isinstance(query, Qualified):
+        # qualifiers are relative paths over the view too: relax them
+        return qualified(
+            _relax_axes(query.path), _relax_qualifier(query.qualifier)
+        )
+    if isinstance(query, Absolute):
+        return Absolute(_relax_axes_inner(query.inner))
+    raise RewriteError("cannot relax query node %r" % query)
+
+
+def _relax_qualifier(condition):
+    from repro.xpath.ast import (
+        QAnd,
+        QAttr,
+        QAttrEquals,
+        QBool,
+        QEquals,
+        QNot,
+        QOr,
+        QPath,
+        qand,
+        qnot,
+        qor,
+        qpath,
+    )
+
+    if isinstance(condition, QBool):
+        return condition
+    if isinstance(condition, QAttr):
+        return QAttr(condition.name, _relax_axes(condition.path))
+    if isinstance(condition, QAttrEquals):
+        return QAttrEquals(
+            condition.name, condition.value, _relax_axes(condition.path)
+        )
+    if isinstance(condition, QPath):
+        return qpath(_relax_axes(condition.path))
+    if isinstance(condition, QEquals):
+        return QEquals(_relax_axes(condition.path), condition.value)
+    if isinstance(condition, QAnd):
+        return qand(
+            _relax_qualifier(condition.left), _relax_qualifier(condition.right)
+        )
+    if isinstance(condition, QOr):
+        return qor(
+            _relax_qualifier(condition.left), _relax_qualifier(condition.right)
+        )
+    if isinstance(condition, QNot):
+        return qnot(_relax_qualifier(condition.inner))
+    raise RewriteError("cannot relax qualifier %r" % condition)
+
+
+def _relax_axes_inner(query: Path) -> Path:
+    """Relaxation below an existing ``//``: the step itself stays a
+    child step of the descendant-or-self context, but nested structure
+    is still relaxed."""
+    if isinstance(query, (Empty, EpsilonPath, TextStep, Label, Wildcard, Parent)):
+        return query
+    if isinstance(query, Slash):
+        return slash(_relax_axes_inner(query.left), _relax_axes(query.right))
+    if isinstance(query, Qualified):
+        return qualified(
+            _relax_axes_inner(query.path), _relax_qualifier(query.qualifier)
+        )
+    if isinstance(query, Union):
+        return union(_relax_axes_inner(branch) for branch in query.branches)
+    return _relax_axes(query)
+
+
+def _append_accessibility(query: Path) -> Path:
+    """Rule 1: add ``[@accessibility = "1"]`` to the last step."""
+    if isinstance(query, Empty):
+        return query
+    if isinstance(query, Union):
+        return union(
+            _append_accessibility(branch) for branch in query.branches
+        )
+    if isinstance(query, Slash):
+        return Slash(query.left, _append_accessibility(query.right))
+    if isinstance(query, Descendant):
+        return Descendant(_append_accessibility(query.inner))
+    if isinstance(query, Absolute):
+        return Absolute(_append_accessibility(query.inner))
+    return qualified(query, ACCESSIBLE_QUALIFIER)

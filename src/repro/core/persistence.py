@@ -1,0 +1,99 @@
+"""Saving and loading derived security views.
+
+Deriving a view is cheap, but production deployments separate duties:
+a security administrator derives and audits views offline, and the
+query tier loads the approved definitions.  Views serialize to plain
+JSON-able dictionaries; XPath annotations are stored in their surface
+syntax and reparsed on load (all annotation constructs round-trip, as
+the XPath property suite verifies).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict
+
+from repro.errors import ViewDerivationError
+from repro.dtd.parser import parse_content_model, parse_dtd
+from repro.core.view import SecurityView, ViewNode
+from repro.xpath.parser import parse_xpath
+
+#: Format marker for forward compatibility.
+FORMAT = "repro-security-view/1"
+
+
+def view_to_dict(view: SecurityView) -> Dict:
+    """A JSON-able representation of the view (including the document
+    DTD it is bound to — sigma paths only make sense against it)."""
+    return {
+        "format": FORMAT,
+        "document_dtd": view.doc_dtd.to_dtd_text(),
+        "root": view.root_key,
+        "nodes": [
+            {
+                "key": node.key,
+                "label": node.label,
+                "content": node.content.to_dtd_syntax(),
+                "dummy": node.is_dummy,
+            }
+            for node in view.nodes.values()
+        ],
+        "sigma": [
+            {"parent": parent, "child": child, "path": str(path)}
+            for (parent, child), path in view.sigma.items()
+        ],
+        "sigma_text": {
+            key: str(path) for key, path in view.sigma_text.items()
+        },
+        "hidden_attributes": {
+            key: sorted(names)
+            for key, names in view.hidden_attributes.items()
+        },
+        "warnings": list(view.warnings),
+    }
+
+
+def view_from_dict(payload: Dict) -> SecurityView:
+    """Reconstruct a view saved by :func:`view_to_dict`."""
+    if payload.get("format") != FORMAT:
+        raise ViewDerivationError(
+            "unsupported security-view format %r" % payload.get("format")
+        )
+    doc_dtd = parse_dtd(payload["document_dtd"])
+    view = SecurityView(doc_dtd, root_key=payload["root"])
+    for entry in payload["nodes"]:
+        view.add_node(
+            ViewNode(
+                entry["key"],
+                entry["label"],
+                parse_content_model(entry["content"]),
+                is_dummy=entry["dummy"],
+            )
+        )
+    for entry in payload["sigma"]:
+        view.set_sigma(
+            entry["parent"], entry["child"], parse_xpath(entry["path"])
+        )
+    for key, text in payload["sigma_text"].items():
+        view.sigma_text[key] = parse_xpath(text)
+    for key, names in payload.get("hidden_attributes", {}).items():
+        view.hidden_attributes[key] = frozenset(names)
+    view.warnings.extend(payload.get("warnings", ()))
+    if view.root_key not in view.nodes:
+        raise ViewDerivationError(
+            "saved view references missing root %r" % view.root_key
+        )
+    return view
+
+
+def save_view(view: SecurityView, path: str) -> None:
+    """Write the view to a JSON file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(view_to_dict(view), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_view(path: str) -> SecurityView:
+    """Load a view written by :func:`save_view`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return view_from_dict(json.load(handle))

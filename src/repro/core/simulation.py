@@ -1,0 +1,81 @@
+"""Graph simulation with qualifier direction flip (Section 5.1).
+
+``simu(v1, v2)`` holds iff
+
+1. ``v1`` and ``v2`` carry the same label;
+2. every non-qualifier child ``x`` of ``v1`` is simulated by some
+   child ``y`` of ``v2``;
+3. every qualifier child ``y`` of ``v2`` is matched by a qualifier
+   child ``x`` of ``v1`` with ``simu(y, x)`` — note the *reversed*
+   direction: a qualifier on ``v2`` is an extra requirement of the
+   containing query, so the contained query must impose it too.
+
+``image(p1, A)`` simulated by ``image(p2, A)`` implies ``p1`` is
+contained in ``p2`` at ``A`` (Proposition 5.1); the converse may fail,
+making the test approximate but sound.  The fixpoint is the standard
+quadratic refinement, extended to run over pairs drawn from *both*
+graphs (the direction flip mixes them).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core.image import ImageGraph, INode
+
+
+def _collect(node: INode, seen: Dict[int, INode]) -> None:
+    if id(node) in seen:
+        return
+    seen[id(node)] = node
+    for child in node.children:
+        _collect(child, seen)
+    for qual in node.quals:
+        _collect(qual, seen)
+
+
+def simulates(smaller: ImageGraph, larger: ImageGraph) -> bool:
+    """True iff ``smaller`` is simulated by ``larger`` (and neither
+    graph is marked imprecise), i.e. the query of ``smaller`` is
+    (approximately) contained in the query of ``larger``."""
+    if smaller.imprecise or larger.imprecise:
+        return False
+    return node_simulated(smaller.root, larger.root)
+
+
+def node_simulated(small_root: INode, large_root: INode) -> bool:
+    """The raw fixpoint on roots (no imprecision guard)."""
+    nodes: Dict[int, INode] = {}
+    _collect(small_root, nodes)
+    _collect(large_root, nodes)
+    ordered: List[INode] = list(nodes.values())
+
+    sim: Dict[Tuple[int, int], bool] = {}
+    for a in ordered:
+        for b in ordered:
+            sim[(id(a), id(b))] = a.label == b.label
+
+    changed = True
+    while changed:
+        changed = False
+        for a in ordered:
+            for b in ordered:
+                key = (id(a), id(b))
+                if not sim[key]:
+                    continue
+                if not _check(a, b, sim):
+                    sim[key] = False
+                    changed = True
+    return sim[(id(small_root), id(large_root))]
+
+
+def _check(a: INode, b: INode, sim: Dict[Tuple[int, int], bool]) -> bool:
+    # rule 2: children of a covered by children of b
+    for x in a.children:
+        if not any(sim[(id(x), id(y))] for y in b.children):
+            return False
+    # rule 3 (flipped): qualifiers of b implied by qualifiers of a
+    for y in b.quals:
+        if not any(sim[(id(y), id(x))] for x in a.quals):
+            return False
+    return True

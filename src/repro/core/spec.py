@@ -1,0 +1,329 @@
+"""Access specifications ``S = (D, ann)`` (Section 3.2).
+
+An access specification extends a document DTD with a partial mapping
+``ann`` that annotates *edges* of the DTD graph: for a production
+``A -> alpha`` and a child type ``B`` in ``alpha``, ``ann(A, B)`` is
+
+* ``Y``  — ``B`` children of ``A`` elements are accessible,
+* ``N``  — they are inaccessible,
+* ``[q]`` — they are conditionally accessible (``q`` is an XPath
+  qualifier of the fragment ``C``, evaluated at the ``B`` child).
+
+Unannotated edges inherit the accessibility of the parent; explicit
+annotations override.  The root is annotated ``Y`` by default.
+
+Qualifiers may mention ``$parameters`` (the paper's ``$wardNo``);
+:meth:`AccessSpec.bind` produces a concrete specification.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple, Union
+
+from repro.errors import SpecificationError
+from repro.dtd.content import TEXT_SYMBOL
+from repro.dtd.dtd import DTD
+from repro.xpath.ast import Qualifier, substitute_qualifier
+from repro.xpath.parser import parse_qualifier
+
+
+class _Atom:
+    """Y / N annotation markers (singletons with readable repr)."""
+
+    __slots__ = ("symbol",)
+
+    def __init__(self, symbol: str):
+        self.symbol = symbol
+
+    def __repr__(self):
+        return self.symbol
+
+
+#: The unconditional "accessible" annotation.
+ANN_Y = _Atom("Y")
+#: The unconditional "inaccessible" annotation.
+ANN_N = _Atom("N")
+
+
+class CondAnnotation:
+    """A conditional annotation ``[q]``."""
+
+    __slots__ = ("qualifier",)
+
+    def __init__(self, qualifier: Qualifier):
+        self.qualifier = qualifier
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, CondAnnotation)
+            and self.qualifier == other.qualifier
+        )
+
+    def __hash__(self):
+        return hash(("CondAnnotation", self.qualifier))
+
+    def __repr__(self):
+        return "[%s]" % self.qualifier
+
+
+Annotation = Union[_Atom, CondAnnotation]
+
+#: The pseudo child type used to annotate text content of a ``str``
+#: production, as in the paper's case (4) "ann(A, str) = N".
+STR_CHILD = TEXT_SYMBOL
+
+
+class AccessSpec:
+    """An access specification ``S = (D, ann)``.
+
+    ``annotations`` maps ``(parent type, child type)`` edges to
+    annotations; the child type may be :data:`STR_CHILD` to annotate
+    text content.  String shorthand is accepted: ``"Y"``, ``"N"``, or a
+    qualifier string such as ``"[*/patient/wardNo = $wardNo]"``.
+    """
+
+    def __init__(
+        self,
+        dtd: DTD,
+        annotations: Optional[Dict[Tuple[str, str], object]] = None,
+        name: str = "spec",
+    ):
+        self.dtd = dtd
+        self.name = name
+        self._ann: Dict[Tuple[str, str], Annotation] = {}
+        self._attr_ann: Dict[Tuple[str, str], Annotation] = {}
+        if annotations:
+            for (parent, child), value in annotations.items():
+                self.annotate(parent, child, value)
+
+    # -- construction ------------------------------------------------------
+
+    def annotate(self, parent: str, child: str, value) -> "AccessSpec":
+        """Set ``ann(parent, child)``; returns self for chaining."""
+        annotation = _coerce_annotation(value)
+        if not self.dtd.has_type(parent):
+            raise SpecificationError(
+                "annotation on unknown element type %r" % parent
+            )
+        if child == STR_CHILD:
+            if not self.dtd.production(parent).mentions_text():
+                raise SpecificationError(
+                    "ann(%s, str): production of %r has no text content"
+                    % (parent, parent)
+                )
+        elif not self.dtd.is_child(parent, child):
+            raise SpecificationError(
+                "annotation on edge (%s, %s) absent from the DTD graph"
+                % (parent, child)
+            )
+        if parent == self.dtd.root and child == self.dtd.root:
+            raise SpecificationError("the root is always annotated Y")
+        self._ann[(parent, child)] = annotation
+        return self
+
+    def remove(self, parent: str, child: str) -> "AccessSpec":
+        """Remove an explicit annotation (the edge reverts to
+        inheritance); returns self for chaining."""
+        self._ann.pop((parent, child), None)
+        return self
+
+    def annotate_attribute(
+        self, element: str, attribute: str, value
+    ) -> "AccessSpec":
+        """Attribute-level access control (the paper's "attributes can
+        be easily incorporated" extension): ``Y`` or ``N`` on one
+        attribute of an element type.  ``N``-annotated attributes are
+        stripped from security views; unannotated attributes inherit
+        the element's accessibility."""
+        annotation = _coerce_annotation(value)
+        if isinstance(annotation, CondAnnotation):
+            raise SpecificationError(
+                "attribute annotations must be Y or N (conditions are "
+                "only supported on element edges)"
+            )
+        if not self.dtd.has_type(element):
+            raise SpecificationError(
+                "attribute annotation on unknown element type %r" % element
+            )
+        declarations = self.dtd.attribute_decls(element)
+        if declarations and attribute not in declarations:
+            raise SpecificationError(
+                "attribute %r is not declared on %r" % (attribute, element)
+            )
+        self._attr_ann[(element, attribute)] = annotation
+        return self
+
+    def hidden_attributes(self, element: str) -> frozenset:
+        """Names of attributes hidden on an element type."""
+        return frozenset(
+            attribute
+            for (owner, attribute), annotation in self._attr_ann.items()
+            if owner == element and annotation is ANN_N
+        )
+
+    def attribute_annotations(self) -> Dict[Tuple[str, str], Annotation]:
+        return dict(self._attr_ann)
+
+    # -- lookup ------------------------------------------------------------
+
+    def ann(self, parent: str, child: str) -> Optional[Annotation]:
+        """The explicit annotation of the edge, or None (inherit)."""
+        return self._ann.get((parent, child))
+
+    def annotations(self) -> Dict[Tuple[str, str], Annotation]:
+        return dict(self._ann)
+
+    def is_explicit(self, parent: str, child: str) -> bool:
+        return (parent, child) in self._ann
+
+    # -- parameters -----------------------------------------------------------
+
+    def parameters(self) -> set:
+        """Names of all ``$parameters`` used by qualifiers."""
+        names = set()
+        for annotation in self._ann.values():
+            if isinstance(annotation, CondAnnotation):
+                # piggyback on the Path parameter scan via a wrapper
+                from repro.xpath.ast import EPSILON, qualified
+
+                names |= qualified(EPSILON, annotation.qualifier).parameters()
+        return names
+
+    def bind(self, **bindings: str) -> "AccessSpec":
+        """Substitute parameters; returns a new concrete specification.
+
+        Raises :class:`SpecificationError` if any parameter remains
+        unbound afterwards.
+        """
+        bound = AccessSpec(self.dtd, name=self.name)
+        for edge, annotation in self._ann.items():
+            if isinstance(annotation, CondAnnotation):
+                try:
+                    qualifier = substitute_qualifier(
+                        annotation.qualifier, bindings
+                    )
+                except KeyError as missing:
+                    raise SpecificationError(
+                        "unbound parameter $%s in ann%r" % (missing.args[0], edge)
+                    ) from None
+                bound._ann[edge] = CondAnnotation(qualifier)
+            else:
+                bound._ann[edge] = annotation
+        bound._attr_ann = dict(self._attr_ann)
+        remaining = bound.parameters()
+        if remaining:
+            raise SpecificationError(
+                "parameters left unbound: %s"
+                % ", ".join("$" + name for name in sorted(remaining))
+            )
+        return bound
+
+    # -- static semantics ------------------------------------------------------
+
+    def type_accessibility(self) -> Dict[Tuple[str, str], str]:
+        """Resolve inheritance *statically over the DTD graph*: for
+        every edge ``(A, B)`` reachable from the root, classify it as
+        ``"Y"``, ``"N"``, or ``"cond"``.
+
+        Because inheritance follows document paths, an edge's effective
+        annotation is path-dependent only through its *explicit*
+        annotations; an unannotated edge inherits from the parent
+        context.  This resolver computes, for every element type, the
+        set of accessibility states it can be reached in; it is the
+        basis of the derivation algorithm's accessible/inaccessible
+        processing split (Section 3.4).
+        """
+        states: Dict[str, set] = {self.dtd.root: {"acc"}}
+        frontier = [self.dtd.root]
+        edge_class: Dict[Tuple[str, str], str] = {}
+        while frontier:
+            parent = frontier.pop()
+            for child in self.dtd.children_of(parent):
+                annotation = self.ann(parent, child)
+                for parent_state in tuple(states.get(parent, ())):
+                    if annotation is ANN_Y:
+                        child_state = "acc"
+                        edge_class[(parent, child)] = "Y"
+                    elif annotation is ANN_N:
+                        child_state = "inacc"
+                        edge_class[(parent, child)] = "N"
+                    elif isinstance(annotation, CondAnnotation):
+                        child_state = "acc"
+                        edge_class[(parent, child)] = "cond"
+                    else:
+                        child_state = (
+                            "acc" if parent_state == "acc" else "inacc"
+                        )
+                        edge_class.setdefault(
+                            (parent, child),
+                            "Y" if child_state == "acc" else "N",
+                        )
+                    known = states.setdefault(child, set())
+                    if child_state not in known:
+                        known.add(child_state)
+                        frontier.append(child)
+        return edge_class
+
+    def __repr__(self):
+        return "AccessSpec(%r, %d annotations)" % (self.name, len(self._ann))
+
+
+def _coerce_annotation(value) -> Annotation:
+    if value is ANN_Y or value is ANN_N or isinstance(value, CondAnnotation):
+        return value
+    if isinstance(value, Qualifier):
+        return CondAnnotation(value)
+    if isinstance(value, str):
+        text = value.strip()
+        if text == "Y":
+            return ANN_Y
+        if text == "N":
+            return ANN_N
+        return CondAnnotation(parse_qualifier(text))
+    raise SpecificationError("cannot interpret annotation %r" % (value,))
+
+
+def spec_from_edges(
+    dtd: DTD,
+    edges: Iterable[Tuple[str, str, object]],
+    name: str = "spec",
+) -> AccessSpec:
+    """Build a spec from ``(parent, child, annotation)`` triples."""
+    spec = AccessSpec(dtd, name=name)
+    for parent, child, value in edges:
+        spec.annotate(parent, child, value)
+    return spec
+
+
+def parse_spec_text(dtd: DTD, text: str, name: str = "spec") -> AccessSpec:
+    """Parse the simple line-oriented specification format used by the
+    command-line tool::
+
+        # nurse policy (Example 3.1)
+        hospital dept [*/patient/wardNo = $wardNo]
+        dept clinicalTrial N
+        clinicalTrial patientInfo Y
+
+    Each non-comment line is ``parent child annotation`` where the
+    annotation is ``Y``, ``N``, or a bracketed qualifier (which may
+    contain spaces).
+    """
+    spec = AccessSpec(dtd, name=name)
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split(None, 2)
+        if len(parts) != 3:
+            raise SpecificationError(
+                "spec line %d: expected 'parent child annotation', got %r"
+                % (line_number, raw)
+            )
+        parent, child, annotation = parts
+        try:
+            spec.annotate(parent, child, annotation)
+        except SpecificationError as error:
+            raise SpecificationError(
+                "spec line %d: %s" % (line_number, error)
+            ) from None
+    return spec

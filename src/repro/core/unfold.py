@@ -1,0 +1,200 @@
+"""Unfolding of recursive security views (Section 4.2).
+
+A query like ``//b`` over a recursive view DTD cannot always be
+rewritten into an XPath query over the document: the paths from the
+root to ``b`` form a regular language such as ``(a/c)*/b``, which plain
+XPath cannot express.  The paper's solution: since a security view is
+always queried against a *concrete* document ``T`` whose height is
+known, recursive view nodes can be *unfolded* level by level down to
+that height, producing a DAG view DTD that ``T`` is guaranteed to
+conform to; Algorithm ``rewrite`` then applies as before.
+
+Unfolding replicates each view node per depth level (key ``A@k``;
+label preserved), applying the DTD's *non-recursive rules* near the
+bottom: a child whose minimum instance height does not fit in the
+remaining budget is dropped from star/choice positions (documents of
+the given height cannot contain it there anyway), and a node whose
+required children cannot fit is infeasible and removed from its
+parents' alternatives.
+
+The unfolded view is internal machinery: its ``exposed_dtd`` is never
+shown to users (the user-facing DTD is the original recursive one).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Tuple
+
+from repro.errors import ViewDerivationError
+from repro.dtd.content import (
+    Choice,
+    ContentModel,
+    Epsilon,
+    EPSILON as EPSILON_CONTENT,
+    Name,
+    Seq,
+    Star,
+    Str,
+)
+from repro.core.view import SecurityView, ViewNode
+
+
+def view_min_heights(view: SecurityView) -> Dict[str, float]:
+    """Minimum instance-subtree height per view node (leaf = 1);
+    ``inf`` for nodes with no finite instance."""
+    heights: Dict[str, float] = {key: math.inf for key in view.nodes}
+
+    def content_height(content: ContentModel) -> float:
+        if isinstance(content, (Str, Epsilon)):
+            return 0.0
+        if isinstance(content, Name):
+            return heights[content.name]
+        if isinstance(content, Seq):
+            return max(content_height(item) for item in content.items)
+        if isinstance(content, Choice):
+            return min(content_height(item) for item in content.items)
+        if isinstance(content, Star):
+            return 0.0
+        raise ViewDerivationError("unexpected content %r" % content)
+
+    changed = True
+    while changed:
+        changed = False
+        for key, node in view.nodes.items():
+            candidate = 1.0 + content_height(node.content)
+            if candidate < heights[key]:
+                heights[key] = candidate
+                changed = True
+    return heights
+
+
+def unfold_view(view: SecurityView, height: int) -> SecurityView:
+    """Unfold ``view`` into a DAG sufficient for documents whose view
+    image has element height at most ``height``.
+
+    For non-recursive views the input is returned unchanged.  Raises
+    :class:`ViewDerivationError` if the view is inconsistent (no
+    finite instances) or ``height`` is below the minimum instance
+    height of the root.
+    """
+    if not view.is_recursive():
+        return view
+    heights = view_min_heights(view)
+    root_height = heights[view.root_key]
+    if root_height == math.inf:
+        raise ViewDerivationError(
+            "cannot unfold: the view DTD admits no finite instances"
+        )
+    if height < root_height:
+        raise ViewDerivationError(
+            "cannot unfold to height %d: minimum view instance height is %d"
+            % (height, int(root_height))
+        )
+
+    unfolded = SecurityView(view.doc_dtd, root_key=_key_at(view.root_key, 1))
+    unfolded.warnings.extend(view.warnings)
+    pending = [(view.root_key, 1)]
+    created = set()
+    while pending:
+        original_key, level = pending.pop()
+        new_key = _key_at(original_key, level)
+        if new_key in created:
+            continue
+        created.add(new_key)
+        node = view.node(original_key)
+        remaining = height - level  # height budget for children subtrees
+        content = _prune_content(node.content, heights, remaining)
+        renamed = _shift_content(content, level + 1)
+        unfolded.add_node(
+            ViewNode(new_key, node.label, renamed, is_dummy=node.is_dummy)
+        )
+        if original_key in view.sigma_text:
+            unfolded.sigma_text[new_key] = view.sigma_text[original_key]
+        hidden = view.hidden_attributes_of(original_key)
+        if hidden:
+            unfolded.hidden_attributes[new_key] = hidden
+        for child in _content_names(content):
+            child_key = _key_at(child, level + 1)
+            unfolded.set_sigma(
+                new_key, child_key, view.sigma_of(original_key, child)
+            )
+            pending.append((child, level + 1))
+    return unfolded
+
+
+def _key_at(key: str, level: int) -> str:
+    return "%s@%d" % (key, level)
+
+
+def _content_names(content: ContentModel) -> Tuple[str, ...]:
+    seen = set()
+    ordered = []
+    for name in content.child_names():
+        if name not in seen:
+            seen.add(name)
+            ordered.append(name)
+    return tuple(ordered)
+
+
+def _prune_content(
+    content: ContentModel, heights: Dict[str, float], remaining: int
+) -> ContentModel:
+    """Apply the non-recursive rules: drop alternatives/repetitions
+    that cannot fit in the remaining height budget."""
+    if isinstance(content, (Str, Epsilon)):
+        return content
+    if isinstance(content, Name):
+        if heights[content.name] > remaining:
+            raise ViewDerivationError(
+                "unfolding failed: required child %r does not fit in the "
+                "height budget" % content.name
+            )
+        return content
+    if isinstance(content, Seq):
+        items = [
+            _prune_content(item, heights, remaining) for item in content.items
+        ]
+        items = [item for item in items if not isinstance(item, Epsilon)]
+        if not items:
+            return EPSILON_CONTENT
+        if len(items) == 1:
+            return items[0]
+        return Seq(items)
+    if isinstance(content, Choice):
+        feasible = []
+        for item in content.items:
+            try:
+                feasible.append(_prune_content(item, heights, remaining))
+            except ViewDerivationError:
+                continue
+        if not feasible:
+            raise ViewDerivationError(
+                "unfolding failed: no alternative of a choice production "
+                "fits in the height budget"
+            )
+        if len(feasible) == 1:
+            return feasible[0]
+        return Choice(feasible)
+    if isinstance(content, Star):
+        inner = content.item
+        if isinstance(inner, Name) and heights[inner.name] > remaining:
+            # the non-recursive rule: a -> b, a*  becomes  a -> b
+            return EPSILON_CONTENT
+        return Star(inner)
+    raise ViewDerivationError("unexpected content %r" % content)
+
+
+def _shift_content(content: ContentModel, level: int) -> ContentModel:
+    """Rename every name atom to its level-``level`` copy."""
+    if isinstance(content, (Str, Epsilon)):
+        return content
+    if isinstance(content, Name):
+        return Name(_key_at(content.name, level))
+    if isinstance(content, Seq):
+        return Seq([_shift_content(item, level) for item in content.items])
+    if isinstance(content, Choice):
+        return Choice([_shift_content(item, level) for item in content.items])
+    if isinstance(content, Star):
+        return Star(_shift_content(content.item, level))
+    raise ViewDerivationError("unexpected content %r" % content)

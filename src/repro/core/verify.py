@@ -1,0 +1,124 @@
+"""Empirical soundness/completeness checking for derived views.
+
+Theorem 3.2 guarantees that Algorithm ``derive`` produces a sound and
+complete view *when one exists*; specifications with conditional
+annotations under concatenation or disjunction productions may admit no
+such view (materialization aborts on some instances), and the deriver
+records warnings for those patterns.  This module gives security
+administrators an empirical check before deploying a policy: fuzz
+random conforming documents, materialize the view on each, and compare
+the view's contents against the ground-truth accessibility labeling of
+Section 3.2.
+
+This is a library extension (the paper leaves policy validation to the
+administrator); it reuses only published machinery — the generator,
+the materializer, and the accessibility semantics.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import List, Optional
+
+from repro.errors import MaterializationAborted
+from repro.core.accessibility import compute_accessibility
+from repro.core.derive import derive
+from repro.core.spec import AccessSpec
+from repro.core.view import SecurityView
+from repro.dtd.generator import DocumentGenerator
+
+
+class VerificationReport:
+    """Outcome of :func:`verify_policy`."""
+
+    __slots__ = ("trials", "aborts", "mismatches", "warnings")
+
+    def __init__(self, trials: int, aborts: List[str], mismatches: List[str], warnings: List[str]):
+        self.trials = trials
+        self.aborts = aborts
+        self.mismatches = mismatches
+        self.warnings = warnings
+
+    @property
+    def ok(self) -> bool:
+        return not self.aborts and not self.mismatches
+
+    def summary(self) -> str:
+        if self.ok:
+            extra = (
+                " (%d static warnings)" % len(self.warnings)
+                if self.warnings
+                else ""
+            )
+            return "OK: %d/%d trials sound and complete%s" % (
+                self.trials,
+                self.trials,
+                extra,
+            )
+        lines = [
+            "UNSOUND policy: %d aborts, %d mismatches over %d trials"
+            % (len(self.aborts), len(self.mismatches), self.trials)
+        ]
+        lines.extend("  abort: %s" % message for message in self.aborts[:5])
+        lines.extend(
+            "  mismatch: %s" % message for message in self.mismatches[:5]
+        )
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return "VerificationReport(%s)" % self.summary().splitlines()[0]
+
+
+def verify_policy(
+    spec: AccessSpec,
+    trials: int = 25,
+    seed: int = 0,
+    max_branch: int = 3,
+    view: Optional[SecurityView] = None,
+) -> VerificationReport:
+    """Fuzz-check that the view derived from ``spec`` is sound and
+    complete: on every generated instance, materialization succeeds and
+    the view holds exactly the accessible elements (per label counts;
+    dummies excluded).
+
+    The specification must be concrete (no unbound ``$parameters``).
+    """
+    view = derive(spec) if view is None else view
+    dummy_labels = {
+        node.label for node in view.nodes.values() if node.is_dummy
+    }
+    from repro.core.materialize import materialize
+
+    aborts: List[str] = []
+    mismatches: List[str] = []
+    for trial in range(trials):
+        generator = DocumentGenerator(
+            spec.dtd, seed=seed + trial, max_branch=max_branch
+        )
+        document = generator.generate()
+        try:
+            view_tree = materialize(document, view, spec)
+        except MaterializationAborted as abort:
+            aborts.append("trial %d: %s" % (trial, abort))
+            continue
+        flags = compute_accessibility(document, spec)
+        expected = Counter(
+            node.label
+            for node in document.iter_elements()
+            if flags[id(node)]
+        )
+        actual = Counter(
+            node.label
+            for node in view_tree.iter_elements()
+            if node.label not in dummy_labels
+        )
+        if expected != actual:
+            missing = expected - actual
+            extra = actual - expected
+            mismatches.append(
+                "trial %d: missing=%s extra=%s"
+                % (trial, dict(missing), dict(extra))
+            )
+    return VerificationReport(
+        trials, aborts, mismatches, list(view.warnings)
+    )

@@ -1,0 +1,287 @@
+"""Security views ``V = (Dv, sigma)`` (Section 3.3).
+
+A security view packages
+
+* a *view DTD* ``Dv`` — the only schema information exposed to users
+  authorized by the specification, and
+* ``sigma`` — hidden XPath annotations: for each edge ``(A, B)`` of the
+  view DTD, ``sigma(A, B)`` is a query over *document* instances that
+  extracts the ``B`` children of an ``A`` view element.
+
+The view DTD is represented as a graph of :class:`ViewNode` objects
+rather than as a plain :class:`~repro.dtd.dtd.DTD`, for one reason:
+the unfolding of recursive views (Section 4.2) produces several nodes
+sharing one *label*.  Each node has a unique ``key``; before unfolding,
+``key == label``.  Productions are content models whose atoms are
+child *keys*.
+
+Note on normal form: view productions may contain starred atoms inside
+a concatenation (e.g. ``dept -> patientInfo*, staffInfo`` of Example
+3.2/3.4, where short-cutting an inaccessible node produced duplicate
+adjacent labels that are compacted into a star).  This mirrors the
+paper's own output and keeps the view DTD 1-unambiguous.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.errors import ViewDerivationError
+from repro.dtd.content import (
+    Choice,
+    ContentModel,
+    Epsilon,
+    Name,
+    Seq,
+    Star,
+    Str,
+)
+from repro.dtd.dtd import DTD
+from repro.xpath.ast import Path
+
+
+class ViewNode:
+    """One node of the view DTD graph."""
+
+    __slots__ = ("key", "label", "content", "is_dummy")
+
+    def __init__(
+        self,
+        key: str,
+        label: str,
+        content: ContentModel,
+        is_dummy: bool = False,
+    ):
+        self.key = key
+        self.label = label
+        self.content = content
+        self.is_dummy = is_dummy
+
+    def child_keys(self) -> Tuple[str, ...]:
+        seen = set()
+        ordered = []
+        for name in self.content.child_names():
+            if name not in seen:
+                seen.add(name)
+                ordered.append(name)
+        return tuple(ordered)
+
+    def __repr__(self):
+        return "ViewNode(%r -> %s)" % (self.key, self.content.to_dtd_syntax())
+
+
+class SecurityView:
+    """The pair ``(Dv, sigma)`` plus a pointer to the document DTD.
+
+    ``sigma`` maps view-DTD edges ``(parent key, child key)`` to XPath
+    paths over the document.  ``sigma_text`` maps keys of ``str``-typed
+    view nodes to the path extracting their text.
+    """
+
+    def __init__(self, doc_dtd: DTD, root_key: str):
+        self.doc_dtd = doc_dtd
+        self.root_key = root_key
+        self.nodes: Dict[str, ViewNode] = {}
+        self.sigma: Dict[Tuple[str, str], Path] = {}
+        self.sigma_text: Dict[str, Path] = {}
+        #: attribute names hidden per view node key (attribute-level
+        #: access control; empty for unrestricted nodes and dummies)
+        self.hidden_attributes: Dict[str, frozenset] = {}
+        self.warnings: List[str] = []
+
+    # -- construction --------------------------------------------------------
+
+    def add_node(self, node: ViewNode) -> ViewNode:
+        if node.key in self.nodes:
+            raise ViewDerivationError("duplicate view node key %r" % node.key)
+        self.nodes[node.key] = node
+        return node
+
+    def set_sigma(self, parent_key: str, child_key: str, path: Path) -> None:
+        self.sigma[(parent_key, child_key)] = path
+
+    # -- lookup ----------------------------------------------------------------
+
+    @property
+    def root(self) -> ViewNode:
+        return self.nodes[self.root_key]
+
+    def node(self, key: str) -> ViewNode:
+        try:
+            return self.nodes[key]
+        except KeyError:
+            raise ViewDerivationError("unknown view node %r" % key) from None
+
+    def has_node(self, key: str) -> bool:
+        return key in self.nodes
+
+    def children_of(self, key: str) -> Tuple[str, ...]:
+        return self.node(key).child_keys()
+
+    def children_with_label(self, key: str, label: str) -> List[str]:
+        return [
+            child
+            for child in self.children_of(key)
+            if self.nodes[child].label == label
+        ]
+
+    def sigma_of(self, parent_key: str, child_key: str) -> Path:
+        try:
+            return self.sigma[(parent_key, child_key)]
+        except KeyError:
+            raise ViewDerivationError(
+                "sigma undefined for view edge (%s, %s)"
+                % (parent_key, child_key)
+            ) from None
+
+    def labels(self) -> Set[str]:
+        return {node.label for node in self.nodes.values()}
+
+    def hidden_attributes_of(self, key: str) -> frozenset:
+        return self.hidden_attributes.get(key, frozenset())
+
+    def visible_attribute_decls(self, key: str) -> Dict[str, object]:
+        """Attribute declarations a user of the view may know about:
+        the document DTD's declarations for the node's label, minus
+        hidden ones.  Dummies expose nothing."""
+        node = self.node(key)
+        if node.is_dummy:
+            return {}
+        hidden = self.hidden_attributes_of(key)
+        return {
+            name: declaration
+            for name, declaration in self.doc_dtd.attribute_decls(
+                node.label
+            ).items()
+            if name not in hidden
+        }
+
+    # -- structure ----------------------------------------------------------------
+
+    def reachable(self, start: Optional[str] = None) -> Set[str]:
+        start = self.root_key if start is None else start
+        seen = {start}
+        frontier = [start]
+        while frontier:
+            current = frontier.pop()
+            for child in self.children_of(current):
+                if child not in seen:
+                    seen.add(child)
+                    frontier.append(child)
+        return seen
+
+    def is_recursive(self) -> bool:
+        # Kahn-style check for a cycle among reachable nodes.
+        reachable = self.reachable()
+        indegree = {key: 0 for key in reachable}
+        for key in reachable:
+            for child in self.children_of(key):
+                if child in reachable:
+                    indegree[child] += 1
+        queue = [key for key, degree in indegree.items() if degree == 0]
+        visited = 0
+        while queue:
+            current = queue.pop()
+            visited += 1
+            for child in self.children_of(current):
+                indegree[child] -= 1
+                if indegree[child] == 0:
+                    queue.append(child)
+        return visited != len(reachable)
+
+    def topological_order(self) -> List[str]:
+        """Reachable node keys, parents before children.  Raises
+        :class:`ViewDerivationError` on recursive views."""
+        reachable = self.reachable()
+        indegree = {key: 0 for key in reachable}
+        for key in reachable:
+            for child in self.children_of(key):
+                if child in reachable:
+                    indegree[child] += 1
+        queue = [key for key, degree in indegree.items() if degree == 0]
+        order: List[str] = []
+        while queue:
+            current = queue.pop()
+            order.append(current)
+            for child in self.children_of(current):
+                indegree[child] -= 1
+                if indegree[child] == 0:
+                    queue.append(child)
+        if len(order) != len(reachable):
+            raise ViewDerivationError(
+                "topological order undefined: view DTD is recursive"
+            )
+        return order
+
+    def size(self) -> int:
+        """|Dv|: nodes plus total production size."""
+        return len(self.nodes) + sum(
+            node.content.size() for node in self.nodes.values()
+        )
+
+    # -- export -----------------------------------------------------------------
+
+    def exposed_dtd(self) -> DTD:
+        """The view DTD as a plain :class:`DTD`, keyed by labels.
+
+        This is what an authorized user receives (Fig. 3); the sigma
+        annotations are *not* part of it.  Only valid while labels are
+        unique (always true for views produced by ``derive``; unfolded
+        views are internal and never exposed)."""
+        by_label: Dict[str, ContentModel] = {}
+        attlists: Dict[str, dict] = {}
+        for key in sorted(self.reachable()):
+            node = self.nodes[key]
+            relabeled = _relabel_content(node.content, self.nodes)
+            existing = by_label.get(node.label)
+            if existing is not None and existing != relabeled:
+                raise ViewDerivationError(
+                    "cannot export view DTD: label %r is shared by nodes "
+                    "with different productions" % node.label
+                )
+            by_label[node.label] = relabeled
+            declarations = self.visible_attribute_decls(key)
+            if declarations:
+                attlists[node.label] = declarations
+        return DTD(self.nodes[self.root_key].label, by_label, attlists)
+
+    def describe(self) -> str:
+        """Debug rendering of both the view DTD and sigma."""
+        lines = ["view DTD (root %s):" % self.root.label]
+        for key in sorted(self.reachable()):
+            node = self.nodes[key]
+            lines.append(
+                "  %s -> %s" % (node.label, node.content.to_dtd_syntax())
+            )
+        lines.append("sigma:")
+        for (parent, child), path in sorted(
+            self.sigma.items(), key=lambda item: item[0]
+        ):
+            if parent in self.reachable():
+                lines.append("  sigma(%s, %s) = %s" % (parent, child, path))
+        for key, path in sorted(self.sigma_text.items()):
+            lines.append("  sigma(%s, str) = %s" % (key, path))
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return "SecurityView(root=%r, %d nodes)" % (
+            self.root_key,
+            len(self.nodes),
+        )
+
+
+def _relabel_content(
+    content: ContentModel, nodes: Dict[str, ViewNode]
+) -> ContentModel:
+    """Translate a production over keys into one over labels."""
+    if isinstance(content, (Str, Epsilon)):
+        return content
+    if isinstance(content, Name):
+        return Name(nodes[content.name].label)
+    if isinstance(content, Seq):
+        return Seq([_relabel_content(item, nodes) for item in content.items])
+    if isinstance(content, Choice):
+        return Choice([_relabel_content(item, nodes) for item in content.items])
+    if isinstance(content, Star):
+        return Star(_relabel_content(content.item, nodes))
+    raise ViewDerivationError("unexpected content model %r in a view" % content)

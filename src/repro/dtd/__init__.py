@@ -1,0 +1,40 @@
+"""DTD substrate: content models, DTD graph, parsing, validation,
+normalization to the paper's normal form, and random instance
+generation (the substitute for IBM's XML Generator)."""
+
+from repro.dtd.content import (
+    Choice,
+    ContentModel,
+    Epsilon,
+    Name,
+    Opt,
+    Plus,
+    Seq,
+    Star,
+    Str,
+)
+from repro.dtd.dtd import DTD
+from repro.dtd.parser import parse_dtd, parse_content_model
+from repro.dtd.normalize import normalize_dtd
+from repro.dtd.validate import validate, conforms, ValidationIssue
+from repro.dtd.generator import DocumentGenerator
+
+__all__ = [
+    "ContentModel",
+    "Str",
+    "Epsilon",
+    "Name",
+    "Seq",
+    "Choice",
+    "Star",
+    "Opt",
+    "Plus",
+    "DTD",
+    "parse_dtd",
+    "parse_content_model",
+    "normalize_dtd",
+    "validate",
+    "conforms",
+    "ValidationIssue",
+    "DocumentGenerator",
+]

@@ -1,0 +1,105 @@
+"""Attribute-list declarations (``<!ATTLIST ...>``).
+
+The paper notes that "attributes are not considered here, but they can
+be easily incorporated" — this module is that incorporation.  An
+attribute declaration carries the pieces the rest of the system uses:
+
+* **validation** — required attributes must be present, enumerated
+  attributes must take a declared value, fixed attributes must equal
+  their value;
+* **generation** — the document generator fills required (and,
+  randomly, implied) attributes;
+* **optimization** — ``[@a]`` qualifiers fold to true/false when the
+  declaration decides them (a ``#REQUIRED`` attribute always exists; an
+  undeclared one never does on a valid document);
+* **access control** — attribute-level ``Y``/``N`` annotations hide
+  attributes from security views.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+#: Default kinds.
+REQUIRED = "#REQUIRED"
+IMPLIED = "#IMPLIED"
+FIXED = "#FIXED"
+
+
+class AttributeDecl:
+    """One declared attribute of an element type."""
+
+    __slots__ = ("name", "attr_type", "choices", "default_kind", "default")
+
+    def __init__(
+        self,
+        name: str,
+        attr_type: str = "CDATA",
+        choices: Optional[Tuple[str, ...]] = None,
+        default_kind: str = IMPLIED,
+        default: Optional[str] = None,
+    ):
+        self.name = name
+        self.attr_type = attr_type
+        self.choices = tuple(choices) if choices else None
+        self.default_kind = default_kind
+        self.default = default
+
+    @property
+    def required(self) -> bool:
+        return self.default_kind == REQUIRED
+
+    @property
+    def fixed(self) -> bool:
+        return self.default_kind == FIXED
+
+    def allows(self, value: str) -> bool:
+        """Is ``value`` legal for this attribute?"""
+        if self.choices is not None and value not in self.choices:
+            return False
+        if self.fixed and value != self.default:
+            return False
+        return True
+
+    def to_dtd_syntax(self) -> str:
+        type_text = (
+            "(%s)" % " | ".join(self.choices)
+            if self.choices is not None
+            else self.attr_type
+        )
+        if self.default_kind in (REQUIRED, IMPLIED):
+            default_text = self.default_kind
+        elif self.fixed:
+            default_text = '%s "%s"' % (FIXED, self.default)
+        else:
+            default_text = '"%s"' % self.default
+        return "%s %s %s" % (self.name, type_text, default_text)
+
+    def __eq__(self, other):
+        return isinstance(other, AttributeDecl) and (
+            self.name,
+            self.attr_type,
+            self.choices,
+            self.default_kind,
+            self.default,
+        ) == (
+            other.name,
+            other.attr_type,
+            other.choices,
+            other.default_kind,
+            other.default,
+        )
+
+    def __hash__(self):
+        return hash(
+            (
+                self.name,
+                self.attr_type,
+                self.choices,
+                self.default_kind,
+                self.default,
+            )
+        )
+
+    def __repr__(self):
+        return "AttributeDecl(%s)" % self.to_dtd_syntax()

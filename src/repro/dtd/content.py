@@ -1,0 +1,441 @@
+"""DTD content models as regular expressions.
+
+The paper (Section 2) normalizes every production to one of:
+
+    alpha ::= str | epsilon | B1, ..., Bn | B1 + ... + Bn | B*
+
+We additionally support the general DTD operators ``?`` (:class:`Opt`),
+``+`` one-or-more (:class:`Plus`), and arbitrary nesting, because
+real-world DTD text uses them; :mod:`repro.dtd.normalize` rewrites a
+general DTD into the paper's normal form by introducing synthetic
+element types, exactly as footnoted in the paper ("all DTDs can be
+expressed in this form by introducing new element types").
+
+Content models are immutable and hashable.  Matching of child
+sequences is implemented with Brzozowski derivatives in
+:mod:`repro.dtd.validate`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+#: The pseudo-symbol used for text children when matching content
+#: models against child sequences.
+TEXT_SYMBOL = "#PCDATA"
+
+
+class ContentModel:
+    """Base class of content-model expressions."""
+
+    __slots__ = ()
+
+    # -- structure -----------------------------------------------------
+
+    def child_names(self) -> Tuple[str, ...]:
+        """Element-type names mentioned, in order, with duplicates."""
+        return tuple(self._names())
+
+    def _names(self) -> Iterator[str]:
+        return iter(())
+
+    def size(self) -> int:
+        """Number of AST nodes; used for the |D| size measures."""
+        return 1
+
+    def is_normal_form(self) -> bool:
+        """True iff the expression is one of the paper's five shapes."""
+        return False
+
+    def mentions_text(self) -> bool:
+        return False
+
+    # -- matching helpers (Brzozowski) ----------------------------------
+
+    def nullable(self) -> bool:
+        """Does the language of this expression contain the empty word?"""
+        raise NotImplementedError
+
+    def derivative(self, symbol: str) -> "ContentModel":
+        """Brzozowski derivative with respect to one child symbol."""
+        raise NotImplementedError
+
+    def first_symbols(self) -> frozenset:
+        """Symbols that can begin a word of the language."""
+        raise NotImplementedError
+
+    # -- misc ------------------------------------------------------------
+
+    def __eq__(self, other) -> bool:
+        return type(self) is type(other) and self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self._key()))
+
+    def _key(self):
+        return ()
+
+    def __repr__(self) -> str:
+        return "%s(%s)" % (type(self).__name__, self.to_dtd_syntax())
+
+    def to_dtd_syntax(self) -> str:
+        raise NotImplementedError
+
+
+class _Singleton(ContentModel):
+    __slots__ = ()
+
+
+class Str(_Singleton):
+    """``str`` — PCDATA content (one or more text children; the empty
+    string is also allowed, matching empty elements of text type)."""
+
+    __slots__ = ()
+
+    def is_normal_form(self) -> bool:
+        return True
+
+    def mentions_text(self) -> bool:
+        return True
+
+    def nullable(self) -> bool:
+        return True
+
+    def derivative(self, symbol: str) -> ContentModel:
+        if symbol == TEXT_SYMBOL:
+            return STR
+        return EMPTY_SET
+
+    def first_symbols(self) -> frozenset:
+        return frozenset((TEXT_SYMBOL,))
+
+    def to_dtd_syntax(self) -> str:
+        return "(#PCDATA)"
+
+
+class Epsilon(_Singleton):
+    """``epsilon`` — the empty content model (DTD ``EMPTY``)."""
+
+    __slots__ = ()
+
+    def is_normal_form(self) -> bool:
+        return True
+
+    def nullable(self) -> bool:
+        return True
+
+    def derivative(self, symbol: str) -> ContentModel:
+        return EMPTY_SET
+
+    def first_symbols(self) -> frozenset:
+        return frozenset()
+
+    def to_dtd_syntax(self) -> str:
+        return "EMPTY"
+
+
+class _EmptySet(_Singleton):
+    """The empty language; only appears as an intermediate derivative,
+    never in a DTD."""
+
+    __slots__ = ()
+
+    def nullable(self) -> bool:
+        return False
+
+    def derivative(self, symbol: str) -> ContentModel:
+        return EMPTY_SET
+
+    def first_symbols(self) -> frozenset:
+        return frozenset()
+
+    def to_dtd_syntax(self) -> str:
+        return "<empty-set>"
+
+
+class Name(ContentModel):
+    """A single element-type reference ``B``."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def _key(self):
+        return self.name
+
+    def _names(self):
+        yield self.name
+
+    def nullable(self) -> bool:
+        return False
+
+    def derivative(self, symbol: str) -> ContentModel:
+        if symbol == self.name:
+            return EPSILON
+        return EMPTY_SET
+
+    def first_symbols(self) -> frozenset:
+        return frozenset((self.name,))
+
+    def to_dtd_syntax(self) -> str:
+        return self.name
+
+
+class Seq(ContentModel):
+    """Concatenation ``B1, ..., Bn`` (items may be arbitrary
+    sub-expressions in the general form)."""
+
+    __slots__ = ("items",)
+
+    def __init__(self, items):
+        self.items = tuple(items)
+        if len(self.items) < 1:
+            raise ValueError("Seq requires at least one item; use Epsilon")
+
+    def _key(self):
+        return self.items
+
+    def _names(self):
+        for item in self.items:
+            for name in item._names():
+                yield name
+
+    def size(self) -> int:
+        return 1 + sum(item.size() for item in self.items)
+
+    def is_normal_form(self) -> bool:
+        return all(isinstance(item, Name) for item in self.items)
+
+    def mentions_text(self) -> bool:
+        return any(item.mentions_text() for item in self.items)
+
+    def nullable(self) -> bool:
+        return all(item.nullable() for item in self.items)
+
+    def derivative(self, symbol: str) -> ContentModel:
+        # d(AB) = d(A)B  +  (A nullable ? d(B) : empty-set)
+        head, tail = self.items[0], self.items[1:]
+        rest = seq(tail) if tail else EPSILON
+        branches = []
+        left = concat(head.derivative(symbol), rest)
+        if not isinstance(left, _EmptySet):
+            branches.append(left)
+        if head.nullable():
+            right = rest.derivative(symbol)
+            if not isinstance(right, _EmptySet):
+                branches.append(right)
+        return alternation(branches)
+
+    def first_symbols(self) -> frozenset:
+        symbols = set()
+        for item in self.items:
+            symbols |= item.first_symbols()
+            if not item.nullable():
+                break
+        return frozenset(symbols)
+
+    def to_dtd_syntax(self) -> str:
+        return "(%s)" % ", ".join(item.to_dtd_syntax() for item in self.items)
+
+
+class Choice(ContentModel):
+    """Disjunction ``B1 + ... + Bn`` (DTD syntax ``(B1 | ... | Bn)``)."""
+
+    __slots__ = ("items",)
+
+    def __init__(self, items):
+        self.items = tuple(items)
+        if len(self.items) < 1:
+            raise ValueError("Choice requires at least one item")
+
+    def _key(self):
+        return self.items
+
+    def _names(self):
+        for item in self.items:
+            for name in item._names():
+                yield name
+
+    def size(self) -> int:
+        return 1 + sum(item.size() for item in self.items)
+
+    def is_normal_form(self) -> bool:
+        return all(isinstance(item, Name) for item in self.items)
+
+    def mentions_text(self) -> bool:
+        return any(item.mentions_text() for item in self.items)
+
+    def nullable(self) -> bool:
+        return any(item.nullable() for item in self.items)
+
+    def derivative(self, symbol: str) -> ContentModel:
+        return alternation(
+            [item.derivative(symbol) for item in self.items]
+        )
+
+    def first_symbols(self) -> frozenset:
+        symbols = set()
+        for item in self.items:
+            symbols |= item.first_symbols()
+        return frozenset(symbols)
+
+    def to_dtd_syntax(self) -> str:
+        return "(%s)" % " | ".join(item.to_dtd_syntax() for item in self.items)
+
+
+class Star(ContentModel):
+    """Kleene star ``B*``."""
+
+    __slots__ = ("item",)
+
+    def __init__(self, item: ContentModel):
+        self.item = item
+
+    def _key(self):
+        return self.item
+
+    def _names(self):
+        return self.item._names()
+
+    def size(self) -> int:
+        return 1 + self.item.size()
+
+    def is_normal_form(self) -> bool:
+        return isinstance(self.item, Name)
+
+    def mentions_text(self) -> bool:
+        return self.item.mentions_text()
+
+    def nullable(self) -> bool:
+        return True
+
+    def derivative(self, symbol: str) -> ContentModel:
+        return concat(self.item.derivative(symbol), self)
+
+    def first_symbols(self) -> frozenset:
+        return self.item.first_symbols()
+
+    def to_dtd_syntax(self) -> str:
+        return "%s*" % self.item.to_dtd_syntax()
+
+
+class Opt(ContentModel):
+    """Zero-or-one ``B?`` (general form only; normalized away)."""
+
+    __slots__ = ("item",)
+
+    def __init__(self, item: ContentModel):
+        self.item = item
+
+    def _key(self):
+        return self.item
+
+    def _names(self):
+        return self.item._names()
+
+    def size(self) -> int:
+        return 1 + self.item.size()
+
+    def mentions_text(self) -> bool:
+        return self.item.mentions_text()
+
+    def nullable(self) -> bool:
+        return True
+
+    def derivative(self, symbol: str) -> ContentModel:
+        return self.item.derivative(symbol)
+
+    def first_symbols(self) -> frozenset:
+        return self.item.first_symbols()
+
+    def to_dtd_syntax(self) -> str:
+        return "%s?" % self.item.to_dtd_syntax()
+
+
+class Plus(ContentModel):
+    """One-or-more ``B+`` (general form only; normalized away)."""
+
+    __slots__ = ("item",)
+
+    def __init__(self, item: ContentModel):
+        self.item = item
+
+    def _key(self):
+        return self.item
+
+    def _names(self):
+        return self.item._names()
+
+    def size(self) -> int:
+        return 1 + self.item.size()
+
+    def mentions_text(self) -> bool:
+        return self.item.mentions_text()
+
+    def nullable(self) -> bool:
+        return self.item.nullable()
+
+    def derivative(self, symbol: str) -> ContentModel:
+        return concat(self.item.derivative(symbol), Star(self.item))
+
+    def first_symbols(self) -> frozenset:
+        return self.item.first_symbols()
+
+    def to_dtd_syntax(self) -> str:
+        return "%s+" % self.item.to_dtd_syntax()
+
+
+#: Shared singleton instances.
+STR = Str()
+EPSILON = Epsilon()
+EMPTY_SET = _EmptySet()
+
+
+def seq(items) -> ContentModel:
+    """Smart constructor: flatten nested Seqs, drop epsilons."""
+    flat = []
+    for item in items:
+        if isinstance(item, Seq):
+            flat.extend(item.items)
+        elif isinstance(item, Epsilon):
+            continue
+        elif isinstance(item, _EmptySet):
+            return EMPTY_SET
+        else:
+            flat.append(item)
+    if not flat:
+        return EPSILON
+    if len(flat) == 1:
+        return flat[0]
+    return Seq(flat)
+
+
+def concat(left: ContentModel, right: ContentModel) -> ContentModel:
+    return seq([left, right])
+
+
+def alternation(items) -> ContentModel:
+    """Smart constructor for unions used by derivatives: flatten,
+    deduplicate, drop empty sets."""
+    flat = []
+    seen = set()
+    for item in items:
+        candidates = item.items if isinstance(item, Choice) else (item,)
+        for candidate in candidates:
+            if isinstance(candidate, _EmptySet):
+                continue
+            if candidate in seen:
+                continue
+            seen.add(candidate)
+            flat.append(candidate)
+    if not flat:
+        return EMPTY_SET
+    if len(flat) == 1:
+        return flat[0]
+    return Choice(flat)
+
+
+def names(*labels: str):
+    """Convenience: a tuple of :class:`Name` nodes."""
+    return tuple(Name(label) for label in labels)

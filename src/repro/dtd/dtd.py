@@ -1,0 +1,352 @@
+"""The DTD class and its graph structure.
+
+A DTD is the triple ``(Ele, Rg, r)`` of Section 2: a finite set of
+element types, a production (content model) per type, and a root type.
+The *DTD graph* has a node per element type and an edge ``A -> B``
+whenever ``B`` occurs in ``Rg(A)``.  The graph may be a DAG or even
+cyclic (recursive DTDs); both are supported throughout the library.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.errors import DTDError
+from repro.dtd.attributes import AttributeDecl
+from repro.dtd.content import (
+    Choice,
+    ContentModel,
+    Epsilon,
+    Name,
+    Seq,
+    Star,
+    Str,
+)
+
+
+class DTD:
+    """An immutable DTD ``(Ele, Rg, r)``.
+
+    ``productions`` maps each element-type name to its content model.
+    Every name referenced inside a content model must itself have a
+    production (use :data:`repro.dtd.content.EPSILON` for empty
+    elements).
+    """
+
+    def __init__(
+        self,
+        root: str,
+        productions: Dict[str, ContentModel],
+        attlists: Optional[Dict[str, Dict[str, "AttributeDecl"]]] = None,
+    ):
+        if root not in productions:
+            raise DTDError("root type %r has no production" % root)
+        undeclared = sorted(
+            {
+                name
+                for content in productions.values()
+                for name in content.child_names()
+                if name not in productions
+            }
+        )
+        if undeclared:
+            raise DTDError(
+                "content models reference undeclared element types: %s"
+                % ", ".join(undeclared)
+            )
+        self.root = root
+        self.productions: Dict[str, ContentModel] = dict(productions)
+        self.attlists: Dict[str, Dict[str, "AttributeDecl"]] = {
+            element: dict(declarations)
+            for element, declarations in (attlists or {}).items()
+        }
+        for element in self.attlists:
+            if element not in productions:
+                raise DTDError(
+                    "ATTLIST for undeclared element type %r" % element
+                )
+        self._children_cache: Dict[str, Tuple[str, ...]] = {}
+        self._min_height: Optional[Dict[str, float]] = None
+
+    # -- basic views -----------------------------------------------------
+
+    @property
+    def element_types(self) -> List[str]:
+        return list(self.productions)
+
+    def production(self, element_type: str) -> ContentModel:
+        try:
+            return self.productions[element_type]
+        except KeyError:
+            raise DTDError("unknown element type %r" % element_type) from None
+
+    def has_type(self, element_type: str) -> bool:
+        return element_type in self.productions
+
+    # -- attributes --------------------------------------------------------
+
+    def attribute_decls(self, element_type: str) -> Dict[str, "AttributeDecl"]:
+        """Declared attributes of an element type (empty dict when the
+        type has no ATTLIST — such elements accept any attributes in
+        lax mode)."""
+        return self.attlists.get(element_type, {})
+
+    def attribute_decl(self, element_type: str, name: str):
+        return self.attlists.get(element_type, {}).get(name)
+
+    def has_attribute_declarations(self, element_type: str) -> bool:
+        return element_type in self.attlists
+
+    def children_of(self, element_type: str) -> Tuple[str, ...]:
+        """Ordered, de-duplicated child type names of a production."""
+        cached = self._children_cache.get(element_type)
+        if cached is not None:
+            return cached
+        seen: Set[str] = set()
+        ordered: List[str] = []
+        for name in self.production(element_type).child_names():
+            if name not in seen:
+                seen.add(name)
+                ordered.append(name)
+        result = tuple(ordered)
+        self._children_cache[element_type] = result
+        return result
+
+    def is_child(self, parent: str, child: str) -> bool:
+        return child in self.children_of(parent)
+
+    def parents_of(self, element_type: str) -> List[str]:
+        return [
+            candidate
+            for candidate in self.productions
+            if element_type in self.children_of(candidate)
+        ]
+
+    def edges(self) -> Iterator[Tuple[str, str, str]]:
+        """Yield ``(parent, child, kind)`` triples of the DTD graph,
+        where kind is the production shape at the parent
+        (``seq``/``choice``/``star``/``mixed``)."""
+        for parent in self.productions:
+            kind = self.production_kind(parent)
+            for child in self.children_of(parent):
+                yield parent, child, kind
+
+    def production_kind(self, element_type: str) -> str:
+        """Shape of a production: ``str``, ``epsilon``, ``seq``,
+        ``choice``, ``star`` for normal-form content; ``mixed``
+        otherwise."""
+        content = self.production(element_type)
+        if isinstance(content, Str):
+            return "str"
+        if isinstance(content, Epsilon):
+            return "epsilon"
+        if isinstance(content, Name):
+            return "seq"  # a single required child is a 1-ary concatenation
+        if isinstance(content, Seq) and content.is_normal_form():
+            return "seq"
+        if isinstance(content, Choice) and content.is_normal_form():
+            return "choice"
+        if isinstance(content, Star) and content.is_normal_form():
+            return "star"
+        return "mixed"
+
+    def is_normal_form(self) -> bool:
+        """True iff every production has one of the paper's five shapes."""
+        return all(
+            self.production_kind(name) != "mixed" for name in self.productions
+        )
+
+    def size(self) -> int:
+        """|D|: number of element types plus total content-model size."""
+        return len(self.productions) + sum(
+            content.size() for content in self.productions.values()
+        )
+
+    # -- reachability and recursion ---------------------------------------
+
+    def reachable(self, start: Optional[str] = None) -> Set[str]:
+        """Element types reachable from ``start`` (default: the root),
+        including ``start`` itself."""
+        start = self.root if start is None else start
+        seen = {start}
+        frontier = [start]
+        while frontier:
+            current = frontier.pop()
+            for child in self.children_of(current):
+                if child not in seen:
+                    seen.add(child)
+                    frontier.append(child)
+        return seen
+
+    def descendant_types(self, start: str) -> Set[str]:
+        """Proper-or-self descendants of ``start`` in the DTD graph."""
+        return self.reachable(start)
+
+    def recursive_types(self) -> Set[str]:
+        """Element types that lie on a cycle of the DTD graph (i.e.
+        types defined directly or indirectly in terms of themselves)."""
+        order, components = self._strongly_connected_components()
+        del order
+        recursive: Set[str] = set()
+        for component in components:
+            if len(component) > 1:
+                recursive.update(component)
+            else:
+                only = next(iter(component))
+                if only in self.children_of(only):
+                    recursive.add(only)
+        return recursive
+
+    def is_recursive(self) -> bool:
+        return bool(self.recursive_types())
+
+    def topological_order(self) -> List[str]:
+        """Element types in a topological order of the DTD graph
+        (parents before children).  Raises :class:`DTDError` if the
+        graph has a cycle."""
+        if self.is_recursive():
+            raise DTDError("topological order undefined: DTD is recursive")
+        order, _ = self._strongly_connected_components()
+        return order
+
+    def _strongly_connected_components(self):
+        """Iterative Tarjan SCC.  Returns ``(reverse_topo_of_types,
+        components)`` where components are emitted in reverse
+        topological order; the type order returned is topological."""
+        index: Dict[str, int] = {}
+        lowlink: Dict[str, int] = {}
+        on_stack: Set[str] = set()
+        stack: List[str] = []
+        components: List[Set[str]] = []
+        counter = [0]
+        finish_order: List[str] = []
+
+        for start in self.productions:
+            if start in index:
+                continue
+            work = [(start, iter(self.children_of(start)))]
+            index[start] = lowlink[start] = counter[0]
+            counter[0] += 1
+            stack.append(start)
+            on_stack.add(start)
+            while work:
+                node, children = work[-1]
+                advanced = False
+                for child in children:
+                    if child not in index:
+                        index[child] = lowlink[child] = counter[0]
+                        counter[0] += 1
+                        stack.append(child)
+                        on_stack.add(child)
+                        work.append((child, iter(self.children_of(child))))
+                        advanced = True
+                        break
+                    if child in on_stack:
+                        lowlink[node] = min(lowlink[node], index[child])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    lowlink[parent] = min(lowlink[parent], lowlink[node])
+                if lowlink[node] == index[node]:
+                    component: Set[str] = set()
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component.add(member)
+                        if member == node:
+                            break
+                    components.append(component)
+                finish_order.append(node)
+        # finish_order is reverse topological over the condensation
+        topo = list(reversed(finish_order))
+        return topo, components
+
+    # -- consistency / heights ---------------------------------------------
+
+    def min_heights(self) -> Dict[str, float]:
+        """Minimal instance-subtree height per element type (a leaf
+        element counts as height 1).  ``math.inf`` marks inconsistent
+        types that admit no finite instance (e.g. ``a -> a``)."""
+        if self._min_height is not None:
+            return self._min_height
+        heights: Dict[str, float] = {name: math.inf for name in self.productions}
+
+        def content_height(content: ContentModel) -> float:
+            if isinstance(content, (Str, Epsilon)):
+                return 0.0
+            if isinstance(content, Name):
+                return heights[content.name]
+            if isinstance(content, Seq):
+                return max(content_height(item) for item in content.items)
+            if isinstance(content, Choice):
+                return min(content_height(item) for item in content.items)
+            if isinstance(content, Star):
+                return 0.0
+            # Opt is 0, Plus needs one occurrence
+            from repro.dtd.content import Opt, Plus
+
+            if isinstance(content, Opt):
+                return 0.0
+            if isinstance(content, Plus):
+                return content_height(content.item)
+            raise DTDError("unknown content model %r" % content)
+
+        changed = True
+        while changed:
+            changed = False
+            for name, content in self.productions.items():
+                candidate = 1.0 + content_height(content)
+                if candidate < heights[name]:
+                    heights[name] = candidate
+                    changed = True
+        self._min_height = heights
+        return heights
+
+    def is_consistent(self) -> bool:
+        """A DTD is *consistent* if documents conforming to it exist,
+        i.e. the root admits a finite instance (Section 4.2)."""
+        return self.min_heights()[self.root] != math.inf
+
+    def inconsistent_types(self) -> Set[str]:
+        return {
+            name
+            for name, height in self.min_heights().items()
+            if height == math.inf
+        }
+
+    # -- serialization ------------------------------------------------------
+
+    def to_dtd_text(self) -> str:
+        """Render as ``<!ELEMENT ...>`` declarations (root first)."""
+        ordering = [self.root] + [
+            name for name in self.productions if name != self.root
+        ]
+        lines = []
+        for name in ordering:
+            content = self.productions[name]
+            lines.append("<!ELEMENT %s %s>" % (name, content.to_dtd_syntax()))
+            declarations = self.attlists.get(name)
+            if declarations:
+                body = " ".join(
+                    declaration.to_dtd_syntax()
+                    for declaration in declarations.values()
+                )
+                lines.append("<!ATTLIST %s %s>" % (name, body))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return "DTD(root=%r, %d element types)" % (self.root, len(self.productions))
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, DTD)
+            and self.root == other.root
+            and self.productions == other.productions
+            and self.attlists == other.attlists
+        )
+
+    def __hash__(self):
+        return hash((self.root, tuple(sorted(self.productions.items(), key=lambda kv: kv[0]))))

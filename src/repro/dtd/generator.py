@@ -1,0 +1,222 @@
+"""Seeded random generation of DTD-conforming documents.
+
+This is the library's substitute for IBM's XML Generator [12], which
+the paper uses to produce its datasets D1-D4 by "varying the maximum
+branching factor parameter".  The generator exposes the same knob
+(``max_branch``, the maximum repetition count of a starred child) plus
+a depth limit, and is fully deterministic for a given seed.
+
+Generated documents always conform to the DTD (asserted by the test
+suite via :mod:`repro.dtd.validate`): depth limits are enforced by
+steering choices toward minimum-height alternatives instead of
+truncating.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import DTDError
+from repro.dtd.content import (
+    Choice,
+    ContentModel,
+    Epsilon,
+    Name,
+    Opt,
+    Plus,
+    Seq,
+    Star,
+    Str,
+)
+from repro.dtd.dtd import DTD
+from repro.xmlmodel.nodes import XMLElement
+
+_DEFAULT_VOCABULARY = (
+    "alpha bravo charlie delta echo foxtrot golf hotel india juliet kilo "
+    "lima mike november oscar papa quebec romeo sierra tango uniform victor"
+).split()
+
+
+class DocumentGenerator:
+    """Generates random instances of a DTD.
+
+    Parameters
+    ----------
+    dtd:
+        The DTD to instantiate.  Must be consistent (finite instances
+        exist).
+    seed:
+        Seed for the internal :class:`random.Random`.
+    max_branch:
+        Maximum number of repetitions generated for a ``B*`` (and the
+        extra repetitions of ``B+``).  This is the paper's "maximum
+        branching factor" dataset-size knob.
+    max_depth:
+        Hard bound on element nesting depth.  Defaults to
+        ``min_height(root) + 8`` so recursive DTDs terminate.
+    value_pools:
+        Optional mapping ``element type -> sequence of strings``; text
+        content of that element type is drawn from the pool instead of
+        the generic vocabulary.  Lets tests control qualifier
+        selectivity (e.g. give ``wardNo`` values ``"1".."4"``).
+    """
+
+    def __init__(
+        self,
+        dtd: DTD,
+        seed: int = 0,
+        max_branch: int = 3,
+        max_depth: Optional[int] = None,
+        value_pools: Optional[Dict[str, Sequence[str]]] = None,
+    ):
+        if not dtd.is_consistent():
+            raise DTDError(
+                "cannot generate instances of an inconsistent DTD "
+                "(types without finite instances: %s)"
+                % ", ".join(sorted(dtd.inconsistent_types()))
+            )
+        self.dtd = dtd
+        self.rng = random.Random(seed)
+        self.max_branch = max(1, max_branch)
+        self.min_heights = dtd.min_heights()
+        root_height = int(self.min_heights[dtd.root])
+        self.max_depth = max_depth if max_depth is not None else root_height + 8
+        if self.max_depth < root_height:
+            raise DTDError(
+                "max_depth=%d is below the DTD's minimum instance height %d"
+                % (self.max_depth, root_height)
+            )
+        self.value_pools = dict(value_pools) if value_pools else {}
+        self.vocabulary = list(_DEFAULT_VOCABULARY)
+
+    # -- public API -------------------------------------------------------
+
+    def generate(self) -> XMLElement:
+        """Generate one conforming document and return its root."""
+        return self._generate_element(self.dtd.root, self.max_depth)
+
+    def generate_many(self, count: int) -> List[XMLElement]:
+        return [self.generate() for _ in range(count)]
+
+    # -- internals ----------------------------------------------------------
+
+    def _generate_element(self, element_type: str, budget: int) -> XMLElement:
+        """Generate an element subtree of height at most ``budget``."""
+        element = XMLElement(element_type)
+        self._fill_attributes(element)
+        content = self.dtd.production(element_type)
+        self._fill(element, content, budget - 1)
+        return element
+
+    def _fill_attributes(self, element: XMLElement) -> None:
+        """Required attributes always; implied ones with probability
+        1/2; fixed/defaulted ones get their declared value.  Values of
+        attribute ``a`` on element ``e`` can be steered with a
+        ``"e@a"`` entry in ``value_pools``."""
+        for name, declaration in self.dtd.attribute_decls(
+            element.label
+        ).items():
+            if declaration.fixed or declaration.default_kind == "default":
+                element.set(name, declaration.default)
+                continue
+            if not declaration.required and self.rng.random() < 0.5:
+                continue
+            if declaration.choices is not None:
+                element.set(name, self.rng.choice(list(declaration.choices)))
+            else:
+                element.set(
+                    name, self._text_for("%s@%s" % (element.label, name))
+                )
+
+    def _fill(self, element: XMLElement, content: ContentModel, budget: int):
+        """Append children of ``element`` following ``content``; every
+        generated child subtree has height <= budget."""
+        if isinstance(content, Str):
+            element.add_text(self._text_for(element.label))
+            return
+        if isinstance(content, Epsilon):
+            return
+        if isinstance(content, Name):
+            element.append(self._generate_element(content.name, budget))
+            return
+        if isinstance(content, Seq):
+            for item in content.items:
+                self._fill(element, item, budget)
+            return
+        if isinstance(content, Choice):
+            choice = self._pick_branch(content.items, budget)
+            self._fill(element, choice, budget)
+            return
+        if isinstance(content, Star):
+            for _ in range(self._repetitions(content.item, budget, minimum=0)):
+                self._fill(element, content.item, budget)
+            return
+        if isinstance(content, Opt):
+            if self._fits(content.item, budget) and self.rng.random() < 0.5:
+                self._fill(element, content.item, budget)
+            return
+        if isinstance(content, Plus):
+            for _ in range(self._repetitions(content.item, budget, minimum=1)):
+                self._fill(element, content.item, budget)
+            return
+        raise DTDError("unknown content model %r" % content)
+
+    def _content_min_height(self, content: ContentModel) -> float:
+        if isinstance(content, (Str, Epsilon, Star, Opt)):
+            return 0.0
+        if isinstance(content, Name):
+            return self.min_heights[content.name]
+        if isinstance(content, Seq):
+            return max(self._content_min_height(item) for item in content.items)
+        if isinstance(content, Choice):
+            return min(self._content_min_height(item) for item in content.items)
+        if isinstance(content, Plus):
+            return self._content_min_height(content.item)
+        raise DTDError("unknown content model %r" % content)
+
+    def _fits(self, content: ContentModel, budget: int) -> bool:
+        return self._content_min_height(content) <= budget
+
+    def _pick_branch(self, items, budget: int) -> ContentModel:
+        feasible = [item for item in items if self._fits(item, budget)]
+        if not feasible:
+            # Should not happen when the initial budget respects
+            # min_height, but fall back to the shallowest branch.
+            return min(items, key=self._content_min_height)
+        return self.rng.choice(feasible)
+
+    def _repetitions(self, item: ContentModel, budget: int, minimum: int) -> int:
+        if not self._fits(item, budget):
+            if minimum > 0:
+                raise DTDError(
+                    "depth budget exhausted while a repetition is required"
+                )
+            return 0
+        return self.rng.randint(minimum, max(minimum, self.max_branch))
+
+    def _text_for(self, element_type: str) -> str:
+        pool = self.value_pools.get(element_type)
+        if pool:
+            return str(self.rng.choice(list(pool)))
+        words = self.rng.randint(1, 3)
+        return " ".join(self.rng.choice(self.vocabulary) for _ in range(words))
+
+
+def generate_document(
+    dtd: DTD,
+    seed: int = 0,
+    max_branch: int = 3,
+    max_depth: Optional[int] = None,
+    value_pools: Optional[Dict[str, Sequence[str]]] = None,
+) -> XMLElement:
+    """One-shot convenience wrapper around :class:`DocumentGenerator`."""
+    generator = DocumentGenerator(
+        dtd,
+        seed=seed,
+        max_branch=max_branch,
+        max_depth=max_depth,
+        value_pools=value_pools,
+    )
+    return generator.generate()

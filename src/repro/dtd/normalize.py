@@ -1,0 +1,139 @@
+"""Normalization of general DTDs into the paper's normal form.
+
+Section 2 of the paper restricts productions to
+
+    alpha ::= str | epsilon | B1, ..., Bn | B1 + ... + Bn | B*
+
+and notes that "all DTDs can be expressed in this form by introducing
+new element types (entities)".  This module performs that rewriting:
+
+* nested groups become synthetic element types,
+* ``e?`` becomes a synthetic choice ``(e | x-empty)`` where ``x-empty``
+  is a synthetic type with EMPTY content,
+* ``e+`` becomes a synthetic concatenation ``(e, x-star)`` with
+  ``x-star -> e*``.
+
+Note that normalization introduces *wrapper elements*: instances of the
+normalized DTD contain synthetic elements that instances of the
+original DTD do not.  The library's workloads are therefore authored
+directly in normal form; normalization exists so arbitrary DTD text can
+still be brought into the model.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.errors import ContentModelError
+from repro.dtd.content import (
+    Choice,
+    ContentModel,
+    EPSILON,
+    Epsilon,
+    Name,
+    Opt,
+    Plus,
+    Seq,
+    Star,
+    Str,
+)
+from repro.dtd.dtd import DTD
+
+#: Prefix used for synthetic element types introduced by normalization.
+SYNTHETIC_PREFIX = "x-"
+
+
+class _Synthesizer:
+    """Allocates synthetic element types, de-duplicating by content."""
+
+    def __init__(self, taken):
+        self.taken = set(taken)
+        self.by_content: Dict[ContentModel, str] = {}
+        self.new_productions: Dict[str, ContentModel] = {}
+        self.counter = 0
+
+    def type_for(self, content: ContentModel) -> str:
+        existing = self.by_content.get(content)
+        if existing is not None:
+            return existing
+        while True:
+            self.counter += 1
+            candidate = "%sgrp%d" % (SYNTHETIC_PREFIX, self.counter)
+            if candidate not in self.taken:
+                break
+        self.taken.add(candidate)
+        self.by_content[content] = candidate
+        self.new_productions[candidate] = content
+        return candidate
+
+    def empty_type(self) -> str:
+        return self.type_for(EPSILON)
+
+
+def normalize_dtd(dtd: DTD) -> Tuple[DTD, Dict[str, ContentModel]]:
+    """Return ``(normalized_dtd, synthetic_types)`` where
+    ``synthetic_types`` maps each introduced type name to the content it
+    wraps.  If the input is already in normal form it is returned as-is
+    with an empty mapping."""
+    if dtd.is_normal_form():
+        return dtd, {}
+    synthesizer = _Synthesizer(dtd.productions)
+    productions: Dict[str, ContentModel] = {}
+    pending = list(dtd.productions.items())
+    while pending:
+        name, content = pending.pop()
+        normalized = _normalize_production(content, synthesizer)
+        productions[name] = normalized
+        # Newly synthesized productions may themselves need normalizing.
+        for synth_name, synth_content in list(
+            synthesizer.new_productions.items()
+        ):
+            if synth_name not in productions and all(
+                synth_name != queued for queued, _ in pending
+            ):
+                pending.append((synth_name, synth_content))
+    result = DTD(dtd.root, productions)
+    synthetic = {
+        name: content
+        for name, content in productions.items()
+        if name.startswith(SYNTHETIC_PREFIX) and name not in dtd.productions
+    }
+    return result, synthetic
+
+
+def _normalize_production(
+    content: ContentModel, synthesizer: _Synthesizer
+) -> ContentModel:
+    """Rewrite one production body into a normal-form shape."""
+    if isinstance(content, (Str, Epsilon, Name)):
+        return content
+    if isinstance(content, Seq):
+        return Seq([_as_name(item, synthesizer) for item in content.items])
+    if isinstance(content, Choice):
+        return Choice([_as_name(item, synthesizer) for item in content.items])
+    if isinstance(content, Star):
+        return Star(_as_name(content.item, synthesizer))
+    if isinstance(content, Opt):
+        # e?  ==>  (e | x-empty)
+        return Choice(
+            [
+                _as_name(content.item, synthesizer),
+                Name(synthesizer.empty_type()),
+            ]
+        )
+    if isinstance(content, Plus):
+        # e+  ==>  (e, x-star) with x-star -> e*
+        inner = _as_name(content.item, synthesizer)
+        star_type = synthesizer.type_for(Star(inner))
+        return Seq([inner, Name(star_type)])
+    raise ContentModelError("cannot normalize content model %r" % content)
+
+
+def _as_name(item: ContentModel, synthesizer: _Synthesizer) -> Name:
+    """Reduce an arbitrary sub-expression to a single Name, introducing
+    a synthetic element type when necessary."""
+    if isinstance(item, Name):
+        return item
+    if isinstance(item, (Str, Epsilon)):
+        return Name(synthesizer.type_for(item))
+    return Name(synthesizer.type_for(item))

@@ -1,0 +1,283 @@
+"""Parser for ``<!ELEMENT ...>`` and ``<!ATTLIST ...>`` declarations.
+
+Supports the standard element content syntax: ``EMPTY``, ``ANY`` is
+rejected (the paper's model has no ANY), ``(#PCDATA)``, sequences
+``(a, b)``, choices ``(a | b)``, and the ``*``/``+``/``?`` occurrence
+operators on names and groups.  ``<!ATTLIST>`` declarations are parsed
+into :class:`~repro.dtd.attributes.AttributeDecl` entries (CDATA /
+NMTOKEN / ID / enumerated types; ``#REQUIRED`` / ``#IMPLIED`` /
+``#FIXED`` / literal defaults); comments are skipped.  The root type
+is the first declared element unless overridden.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.errors import DTDParseError
+from repro.dtd.attributes import (
+    AttributeDecl,
+    FIXED,
+    IMPLIED,
+    REQUIRED,
+)
+from repro.dtd.content import (
+    Choice,
+    ContentModel,
+    EPSILON,
+    Name,
+    Opt,
+    Plus,
+    Seq,
+    STR,
+    Star,
+)
+from repro.dtd.dtd import DTD
+
+_NAME_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_:")
+_NAME_CHARS = _NAME_START | set("0123456789.-")
+
+
+class _Cursor:
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+
+    def eof(self) -> bool:
+        return self.pos >= len(self.text)
+
+    def skip_space(self) -> None:
+        while not self.eof() and self.text[self.pos] in " \t\r\n":
+            self.pos += 1
+
+    def peek(self, n: int = 1) -> str:
+        return self.text[self.pos : self.pos + n]
+
+    def take(self, n: int = 1) -> str:
+        chunk = self.peek(n)
+        self.pos += n
+        return chunk
+
+    def expect(self, literal: str) -> None:
+        self.skip_space()
+        if not self.text.startswith(literal, self.pos):
+            raise DTDParseError(
+                "expected %r at offset %d" % (literal, self.pos)
+            )
+        self.pos += len(literal)
+
+    def read_name(self) -> str:
+        self.skip_space()
+        start = self.pos
+        if self.eof() or self.text[self.pos] not in _NAME_START:
+            raise DTDParseError("expected a name at offset %d" % self.pos)
+        self.pos += 1
+        while not self.eof() and self.text[self.pos] in _NAME_CHARS:
+            self.pos += 1
+        return self.text[start : self.pos]
+
+    def read_nmtoken(self) -> str:
+        """Like a name, but digits may lead (enumeration tokens)."""
+        self.skip_space()
+        start = self.pos
+        while not self.eof() and self.text[self.pos] in _NAME_CHARS:
+            self.pos += 1
+        if self.pos == start:
+            raise DTDParseError("expected a token at offset %d" % self.pos)
+        return self.text[start : self.pos]
+
+
+def parse_content_model(text: str) -> ContentModel:
+    """Parse a single content-model expression, e.g. ``(a, b*, (c|d))``."""
+    cursor = _Cursor(text)
+    model = _parse_content(cursor)
+    cursor.skip_space()
+    if not cursor.eof():
+        raise DTDParseError(
+            "trailing input in content model at offset %d" % cursor.pos
+        )
+    return model
+
+
+def _parse_content(cursor: _Cursor) -> ContentModel:
+    cursor.skip_space()
+    if cursor.peek(5) == "EMPTY":
+        cursor.take(5)
+        return EPSILON
+    if cursor.peek(3) == "ANY":
+        raise DTDParseError("ANY content is not supported")
+    return _parse_particle(cursor)
+
+
+def _parse_particle(cursor: _Cursor) -> ContentModel:
+    cursor.skip_space()
+    if cursor.peek() == "(":
+        cursor.take()
+        item = _parse_group_body(cursor)
+        cursor.expect(")")
+    else:
+        item = Name(cursor.read_name())
+    return _apply_occurrence(cursor, item)
+
+
+def _parse_group_body(cursor: _Cursor) -> ContentModel:
+    cursor.skip_space()
+    if cursor.peek(7) == "#PCDATA":
+        cursor.take(7)
+        cursor.skip_space()
+        # Mixed content (#PCDATA | a | ...) is not in the paper's model.
+        if cursor.peek() == "|":
+            raise DTDParseError("mixed content models are not supported")
+        return STR
+    first = _parse_particle(cursor)
+    cursor.skip_space()
+    separator = cursor.peek()
+    if separator not in (",", "|"):
+        return first
+    items = [first]
+    while True:
+        cursor.skip_space()
+        if cursor.peek() != separator:
+            if cursor.peek() in (",", "|"):
+                raise DTDParseError(
+                    "mixed ',' and '|' in one group at offset %d" % cursor.pos
+                )
+            break
+        cursor.take()
+        items.append(_parse_particle(cursor))
+    if separator == ",":
+        return Seq(items)
+    return Choice(items)
+
+
+def _apply_occurrence(cursor: _Cursor, item: ContentModel) -> ContentModel:
+    mark = cursor.peek()
+    if mark == "*":
+        cursor.take()
+        return Star(item)
+    if mark == "+":
+        cursor.take()
+        return Plus(item)
+    if mark == "?":
+        cursor.take()
+        return Opt(item)
+    return item
+
+
+def _parse_attlist(cursor: _Cursor):
+    """Parse the body of an ``<!ATTLIST element (attr type default)*>``
+    declaration (the ``<!ATTLIST`` keyword is already consumed)."""
+    element = cursor.read_name()
+    declarations = []
+    while True:
+        cursor.skip_space()
+        if cursor.peek() == ">":
+            cursor.take()
+            return element, declarations
+        if cursor.eof():
+            raise DTDParseError("unterminated ATTLIST for %r" % element)
+        name = cursor.read_name()
+        cursor.skip_space()
+        choices = None
+        if cursor.peek() == "(":
+            cursor.take()
+            choices = [cursor.read_nmtoken()]
+            while True:
+                cursor.skip_space()
+                if cursor.peek() == "|":
+                    cursor.take()
+                    choices.append(cursor.read_nmtoken())
+                else:
+                    break
+            cursor.expect(")")
+            attr_type = "ENUM"
+        else:
+            attr_type = cursor.read_name()
+        cursor.skip_space()
+        default_kind = IMPLIED
+        default = None
+        if cursor.peek() == "#":
+            cursor.take()
+            keyword = "#" + cursor.read_name()
+            if keyword in (REQUIRED, IMPLIED):
+                default_kind = keyword
+            elif keyword == FIXED:
+                default_kind = FIXED
+                default = _read_quoted(cursor)
+            else:
+                raise DTDParseError("unknown attribute default %r" % keyword)
+        elif cursor.peek() in ("'", '"'):
+            default_kind = "default"
+            default = _read_quoted(cursor)
+        declarations.append(
+            AttributeDecl(
+                name,
+                attr_type=attr_type,
+                choices=choices,
+                default_kind=default_kind,
+                default=default,
+            )
+        )
+
+
+def _read_quoted(cursor: _Cursor) -> str:
+    cursor.skip_space()
+    quote = cursor.peek()
+    if quote not in ("'", '"'):
+        raise DTDParseError(
+            "expected a quoted value at offset %d" % cursor.pos
+        )
+    cursor.take()
+    end = cursor.text.find(quote, cursor.pos)
+    if end < 0:
+        raise DTDParseError("unterminated quoted value")
+    value = cursor.text[cursor.pos : end]
+    cursor.pos = end + 1
+    return value
+
+
+def parse_dtd(text: str, root: Optional[str] = None) -> DTD:
+    """Parse a sequence of ``<!ELEMENT>`` and ``<!ATTLIST>``
+    declarations into a :class:`~repro.dtd.dtd.DTD`.
+
+    ``root`` defaults to the first declared element type.
+    """
+    cursor = _Cursor(text)
+    productions: Dict[str, ContentModel] = {}
+    attlists: Dict[str, Dict[str, AttributeDecl]] = {}
+    first: Optional[str] = None
+    while True:
+        cursor.skip_space()
+        if cursor.eof():
+            break
+        if cursor.peek(4) == "<!--":
+            cursor.take(4)
+            end = cursor.text.find("-->", cursor.pos)
+            if end < 0:
+                raise DTDParseError("unterminated comment")
+            cursor.pos = end + 3
+            continue
+        if cursor.peek(9) == "<!ATTLIST":
+            cursor.take(9)
+            element, declarations = _parse_attlist(cursor)
+            merged = attlists.setdefault(element, {})
+            for declaration in declarations:
+                if declaration.name in merged:
+                    raise DTDParseError(
+                        "duplicate attribute %r on %r"
+                        % (declaration.name, element)
+                    )
+                merged[declaration.name] = declaration
+            continue
+        cursor.expect("<!ELEMENT")
+        name = cursor.read_name()
+        if name in productions:
+            raise DTDParseError("duplicate declaration of %r" % name)
+        content = _parse_content(cursor)
+        cursor.expect(">")
+        productions[name] = content
+        if first is None:
+            first = name
+    if not productions:
+        raise DTDParseError("no element declarations found")
+    return DTD(root if root is not None else first, productions, attlists)

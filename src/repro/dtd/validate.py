@@ -1,0 +1,148 @@
+"""Document-vs-DTD conformance checking.
+
+An XML tree conforms to a DTD (Section 2) when the root carries the
+root type, every element's child sequence is a word of the language of
+its production, and text nodes appear only under ``str`` productions.
+Child sequences are matched against content models with Brzozowski
+derivatives, which handles arbitrary regular content (including the
+general ``?``/``+`` operators) without building automata.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import DTDValidationError
+from repro.dtd.content import ContentModel, TEXT_SYMBOL
+from repro.dtd.dtd import DTD
+
+
+class ValidationIssue:
+    """One conformance violation, with the element path for debugging."""
+
+    __slots__ = ("path", "message", "element")
+
+    def __init__(self, path: str, message: str, element=None):
+        self.path = path
+        self.message = message
+        self.element = element
+
+    def __repr__(self) -> str:
+        return "ValidationIssue(%s: %s)" % (self.path, self.message)
+
+    def __str__(self) -> str:
+        return "%s: %s" % (self.path, self.message)
+
+
+def _child_symbols(element) -> List[str]:
+    symbols = []
+    for child in element.children:
+        if child.is_text:
+            symbols.append(TEXT_SYMBOL)
+        else:
+            symbols.append(child.label)
+    return symbols
+
+
+def _matches(content: ContentModel, symbols: List[str]) -> Optional[str]:
+    """Return None if ``symbols`` is a word of ``content``'s language,
+    otherwise a human-readable explanation of the first failure."""
+    current = content
+    for position, symbol in enumerate(symbols):
+        following = current.derivative(symbol)
+        if not following.first_symbols() and not following.nullable():
+            expected = sorted(current.first_symbols())
+            return (
+                "unexpected child %r at position %d (expected one of: %s%s)"
+                % (
+                    symbol,
+                    position,
+                    ", ".join(expected) if expected else "nothing",
+                    " or end" if current.nullable() else "",
+                )
+            )
+        current = following
+    if not current.nullable():
+        expected = sorted(current.first_symbols())
+        return "content ended early (expected one of: %s)" % ", ".join(expected)
+    return None
+
+
+def _attribute_issues(element, dtd: DTD) -> List[str]:
+    """Attribute-validity messages for one element.
+
+    Elements without any ATTLIST are *lax*: they accept arbitrary
+    attributes (the library itself adds undeclared bookkeeping
+    attributes such as the naive baseline's ``accessibility``).
+    Elements with declarations are strict.
+    """
+    declarations = dtd.attribute_decls(element.label)
+    if not declarations:
+        return []
+    messages = []
+    for name, value in element.attributes.items():
+        declaration = declarations.get(name)
+        if declaration is None:
+            messages.append("undeclared attribute %r" % name)
+        elif not declaration.allows(value):
+            messages.append(
+                "attribute %s=%r violates its declaration (%s)"
+                % (name, value, declaration.to_dtd_syntax())
+            )
+    for name, declaration in declarations.items():
+        if declaration.required and name not in element.attributes:
+            messages.append("missing required attribute %r" % name)
+    return messages
+
+
+def validate(root, dtd: DTD, max_issues: int = 100) -> List[ValidationIssue]:
+    """Validate a document against a DTD; return up to ``max_issues``
+    violations (an empty list means the document conforms)."""
+    issues: List[ValidationIssue] = []
+    if root.label != dtd.root:
+        issues.append(
+            ValidationIssue(
+                "/" + root.label,
+                "root is %r but the DTD root type is %r" % (root.label, dtd.root),
+                root,
+            )
+        )
+    stack = [(root, "/" + root.label)]
+    while stack and len(issues) < max_issues:
+        element, path = stack.pop()
+        if not dtd.has_type(element.label):
+            issues.append(
+                ValidationIssue(
+                    path, "undeclared element type %r" % element.label, element
+                )
+            )
+            continue
+        failure = _matches(dtd.production(element.label), _child_symbols(element))
+        if failure is not None:
+            issues.append(ValidationIssue(path, failure, element))
+        for message in _attribute_issues(element, dtd):
+            issues.append(ValidationIssue(path, message, element))
+        position = {}
+        for child in element.children:
+            if not child.is_element:
+                continue
+            position[child.label] = position.get(child.label, 0) + 1
+            stack.append(
+                (child, "%s/%s[%d]" % (path, child.label, position[child.label]))
+            )
+    return issues
+
+
+def conforms(root, dtd: DTD) -> bool:
+    """True iff the document conforms to the DTD."""
+    return not validate(root, dtd, max_issues=1)
+
+
+def assert_conforms(root, dtd: DTD) -> None:
+    """Raise :class:`DTDValidationError` listing violations, if any."""
+    issues = validate(root, dtd, max_issues=10)
+    if issues:
+        raise DTDValidationError(
+            "document does not conform to DTD:\n"
+            + "\n".join("  - %s" % issue for issue in issues)
+        )

@@ -1,0 +1,98 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class.  Sub-hierarchies mirror the
+subsystems: XML parsing, DTD handling, XPath handling, and the
+security-view machinery.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by this library."""
+
+
+class XMLError(ReproError):
+    """Base class of XML document-model errors."""
+
+
+class XMLParseError(XMLError):
+    """Raised when an XML document cannot be parsed.
+
+    Carries the 1-based ``line`` and ``column`` of the offending input
+    position when known.
+    """
+
+    def __init__(self, message, line=None, column=None):
+        if line is not None:
+            message = "%s (at line %d, column %d)" % (message, line, column)
+        super().__init__(message)
+        self.line = line
+        self.column = column
+
+
+class DTDError(ReproError):
+    """Base class of DTD errors."""
+
+
+class DTDParseError(DTDError):
+    """Raised when DTD text cannot be parsed."""
+
+
+class DTDValidationError(DTDError):
+    """Raised when a document fails DTD validation (strict mode)."""
+
+
+class ContentModelError(DTDError):
+    """Raised on malformed or non-normalizable content models."""
+
+
+class XPathError(ReproError):
+    """Base class of XPath errors."""
+
+
+class XPathSyntaxError(XPathError):
+    """Raised when an XPath expression cannot be parsed."""
+
+    def __init__(self, message, position=None):
+        if position is not None:
+            message = "%s (at offset %d)" % (message, position)
+        super().__init__(message)
+        self.position = position
+
+
+class XPathEvaluationError(XPathError):
+    """Raised when an XPath expression cannot be evaluated."""
+
+
+class SecurityError(ReproError):
+    """Base class of access-control errors."""
+
+
+class SpecificationError(SecurityError):
+    """Raised for malformed access specifications (unknown element
+    types, annotations on edges absent from the DTD, missing parameter
+    bindings, ...)."""
+
+
+class ViewDerivationError(SecurityError):
+    """Raised when no sound and complete security view exists for a
+    specification (Theorem 3.2's *only if* direction), or when the
+    derivation encounters an unsupported construct."""
+
+
+class MaterializationAborted(SecurityError):
+    """Raised when the view-materialization semantics of Section 3.3
+    abort (e.g. a concatenation child did not produce exactly one
+    accessible node)."""
+
+
+class RewriteError(SecurityError):
+    """Raised when a view query cannot be rewritten over the document."""
+
+
+class QueryRejectedError(SecurityError):
+    """Raised by the engine when a user query references structure that
+    is not part of their security view (defensive check; the rewriting
+    itself would simply produce the empty query)."""

@@ -1,0 +1,48 @@
+"""Workloads: the paper's running hospital example (Sections 1-5) and
+the reconstructed Adex classified-advertising workload of the
+experimental study (Section 6)."""
+
+from repro.workloads.hospital import (
+    hospital_dtd,
+    nurse_spec,
+    nurse_engine,
+    hospital_document,
+)
+from repro.workloads.adex import (
+    adex_dtd,
+    adex_spec,
+    adex_engine,
+    adex_document,
+)
+from repro.workloads.catalog import (
+    catalog_dtd,
+    flat_spec,
+    catalog_document,
+    catalog_engine,
+)
+from repro.workloads.queries import (
+    ADEX_QUERIES,
+    HOSPITAL_QUERIES,
+    adex_query,
+)
+from repro.workloads.documents import dataset, DATASET_SCALES
+
+__all__ = [
+    "hospital_dtd",
+    "nurse_spec",
+    "nurse_engine",
+    "hospital_document",
+    "adex_dtd",
+    "adex_spec",
+    "adex_engine",
+    "adex_document",
+    "catalog_dtd",
+    "flat_spec",
+    "catalog_document",
+    "catalog_engine",
+    "ADEX_QUERIES",
+    "HOSPITAL_QUERIES",
+    "adex_query",
+    "dataset",
+    "DATASET_SCALES",
+]

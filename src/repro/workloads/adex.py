@@ -1,0 +1,133 @@
+"""Reconstruction of the Adex workload of Section 6.
+
+The paper's experiments use the Adex DTD [23], a standard of the
+Newspaper Association of America for electronic exchange of classified
+advertisements.  The original DTD is not redistributable/available
+offline, so this module reconstructs a DTD with every element the
+paper names and every structural property its experiments rely on
+(see DESIGN.md, Substitutions):
+
+* ``buyer-info`` has *required* ``company-id`` and ``contact-info``
+  children — the co-existence constraint behind Q3's optimization;
+* ``real-estate`` is a *disjunction* of ``house`` and ``apartment`` —
+  the exclusive constraint behind Q4's optimization;
+* ``r-e.warranty`` exists under ``house`` but not ``apartment`` — the
+  non-existence pruning behind Q2;
+* ``ad-instance`` also carries ``employment`` and ``automotive``
+  categories, so the Section 6 policy ("children of the root
+  annotated N; real-estate and buyer-info annotated Y") genuinely
+  hides data.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.dtd.dtd import DTD
+from repro.dtd.generator import DocumentGenerator
+from repro.dtd.parser import parse_dtd
+from repro.core.engine import SecureQueryEngine
+from repro.core.spec import AccessSpec
+
+#: The reconstructed Adex document DTD, in the paper's normal form.
+ADEX_DTD_TEXT = """
+<!ELEMENT adex (head, body)>
+<!ELEMENT head (buyer-info*)>
+<!ELEMENT buyer-info (company-id, contact-info)>
+<!ELEMENT company-id (#PCDATA)>
+<!ELEMENT contact-info (person-name, street, city, phone)>
+<!ELEMENT person-name (#PCDATA)>
+<!ELEMENT street (#PCDATA)>
+<!ELEMENT city (#PCDATA)>
+<!ELEMENT phone (#PCDATA)>
+<!ELEMENT body (ad-instance*)>
+<!ELEMENT ad-instance (real-estate | employment | automotive)>
+<!ELEMENT employment (job-title, salary)>
+<!ELEMENT job-title (#PCDATA)>
+<!ELEMENT salary (#PCDATA)>
+<!ELEMENT automotive (make, model, auto-price)>
+<!ELEMENT make (#PCDATA)>
+<!ELEMENT model (#PCDATA)>
+<!ELEMENT auto-price (#PCDATA)>
+<!ELEMENT real-estate (house | apartment)>
+<!ELEMENT house (r-e.asking-price, r-e.unit-type, r-e.warranty, r-e.location)>
+<!ELEMENT apartment (r-e.asking-price, r-e.unit-type, r-e.rent, r-e.location)>
+<!ELEMENT r-e.asking-price (#PCDATA)>
+<!ELEMENT r-e.unit-type (#PCDATA)>
+<!ELEMENT r-e.warranty (#PCDATA)>
+<!ELEMENT r-e.rent (#PCDATA)>
+<!ELEMENT r-e.location (#PCDATA)>
+"""
+
+
+def adex_dtd() -> DTD:
+    """The reconstructed Adex document DTD."""
+    return parse_dtd(ADEX_DTD_TEXT)
+
+
+def adex_spec(dtd: Optional[DTD] = None) -> AccessSpec:
+    """The Section 6 security policy: "a user ... is permitted to
+    access only data related to real estate advertisements and data
+    related to buyers", created "by simply annotating the children of
+    the root element adex as N and both the real-estate and buyer-info
+    descendants as Y"."""
+    dtd = adex_dtd() if dtd is None else dtd
+    spec = AccessSpec(dtd, name="real-estate-buyer")
+    spec.annotate("adex", "head", "N")
+    spec.annotate("adex", "body", "N")
+    spec.annotate("head", "buyer-info", "Y")
+    spec.annotate("ad-instance", "real-estate", "Y")
+    return spec
+
+
+def adex_document(
+    seed: int = 0,
+    buyers: int = 50,
+    ads: int = 200,
+):
+    """Generate a conforming Adex document with roughly the requested
+    numbers of buyers and ad instances.
+
+    The paper varies IBM XML Generator's *maximum branching factor* to
+    produce its four documents; the two parameters here control the
+    same two star productions (``head -> buyer-info*`` and
+    ``body -> ad-instance*``)."""
+    dtd = adex_dtd()
+    generator = DocumentGenerator(
+        dtd,
+        seed=seed,
+        max_branch=2,
+        value_pools={
+            "company-id": [str(1000 + i) for i in range(200)],
+            "r-e.unit-type": ["condo", "duplex", "studio", "loft"],
+            "r-e.warranty": ["1y", "2y", "5y", "none"],
+        },
+    )
+    root = generator.generate()
+    # Resize the two scale-bearing stars deterministically.
+    head = root.first_child("head")
+    body = root.first_child("body")
+    _resize(generator, head, "buyer-info", buyers)
+    _resize(generator, body, "ad-instance", ads)
+    return root
+
+
+def _resize(generator: DocumentGenerator, parent, child_label: str, count: int):
+    """Regenerate ``parent``'s starred children to exactly ``count``."""
+    parent.children = [
+        child
+        for child in parent.children
+        if not (child.is_element and child.label == child_label)
+    ]
+    for _ in range(count):
+        parent.append(
+            generator._generate_element(child_label, generator.max_depth - 2)
+        )
+
+
+def adex_engine() -> SecureQueryEngine:
+    """An engine with the Section 6 policy registered."""
+    dtd = adex_dtd()
+    engine = SecureQueryEngine(dtd)
+    engine.register_policy("real-estate-buyer", adex_spec(dtd))
+    return engine

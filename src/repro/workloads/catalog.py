@@ -1,0 +1,54 @@
+"""A recursive workload: a parts catalog with nested assemblies.
+
+Exercises Section 4.2 (recursive view DTDs and height-bounded
+unfolding) outside the toy DTD of Fig. 7: hiding the ``children``
+wrapper elements leaves a *recursive* security view where ``//part``
+corresponds to the regular document path ``(assembly/children)*/part``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.dtd.dtd import DTD
+from repro.dtd.generator import DocumentGenerator
+from repro.dtd.parser import parse_dtd
+from repro.core.engine import SecureQueryEngine
+from repro.core.spec import AccessSpec
+
+CATALOG_DTD_TEXT = """
+<!ELEMENT catalog (assembly*)>
+<!ELEMENT assembly (part, children)>
+<!ELEMENT children (assembly*)>
+<!ELEMENT part (#PCDATA)>
+"""
+
+
+def catalog_dtd() -> DTD:
+    return parse_dtd(CATALOG_DTD_TEXT)
+
+
+def flat_spec(dtd: Optional[DTD] = None) -> AccessSpec:
+    """Hide the ``children`` wrapper elements; assemblies and parts
+    stay visible, so users see assemblies nested directly under each
+    other."""
+    dtd = catalog_dtd() if dtd is None else dtd
+    spec = AccessSpec(dtd, name="flat")
+    spec.annotate("assembly", "children", "N")
+    spec.annotate("children", "assembly", "Y")
+    return spec
+
+
+def catalog_document(seed: int = 0, max_depth: int = 9, max_branch: int = 2):
+    """A random catalog; depth controls how deep assemblies nest."""
+    generator = DocumentGenerator(
+        catalog_dtd(), seed=seed, max_branch=max_branch, max_depth=max_depth
+    )
+    return generator.generate()
+
+
+def catalog_engine() -> SecureQueryEngine:
+    dtd = catalog_dtd()
+    engine = SecureQueryEngine(dtd)
+    engine.register_policy("flat", flat_spec(dtd))
+    return engine

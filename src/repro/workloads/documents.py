@@ -1,0 +1,55 @@
+"""Datasets D1-D4 for the Table 1 reproduction.
+
+The paper generates four Adex documents of 3.2, 16.7, 51.55 and 77.0
+MB by varying IBM XML Generator's maximum branching factor.  The
+reproduction generates four documents with the same geometric size
+progression (ratios roughly 1 : 5 : 16 : 24), scaled down so the pure
+Python evaluator finishes in laptop time.  Scale with the
+``REPRO_BENCH_SCALE`` environment variable (a float multiplier,
+default 1.0) when more fidelity is wanted.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Tuple
+
+from repro.workloads.adex import adex_document
+
+#: (buyers, ads) per dataset at scale 1.0.  Node counts come out near
+#: 7k / 36k / 110k / 165k — the paper's 1 : 5 : 16 : 24 progression.
+DATASET_SCALES: Dict[str, Tuple[int, int]] = {
+    "D1": (60, 240),
+    "D2": (300, 1200),
+    "D3": (930, 3700),
+    "D4": (1400, 5550),
+}
+
+_CACHE: Dict[Tuple[str, float], object] = {}
+
+
+def bench_scale() -> float:
+    """The dataset scale multiplier (``REPRO_BENCH_SCALE``)."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def dataset(name: str, scale: float = None):
+    """Generate (and cache per process) dataset ``name`` of D1-D4."""
+    scale = bench_scale() if scale is None else scale
+    key = (name, scale)
+    cached = _CACHE.get(key)
+    if cached is not None:
+        return cached
+    buyers, ads = DATASET_SCALES[name]
+    document = adex_document(
+        seed=ord(name[-1]),
+        buyers=max(1, int(buyers * scale)),
+        ads=max(1, int(ads * scale)),
+    )
+    _CACHE[key] = document
+    return document
+
+
+def dataset_sizes(scale: float = None) -> Dict[str, int]:
+    """Node counts of the four datasets (generates them)."""
+    return {name: dataset(name, scale).size() for name in DATASET_SCALES}

@@ -1,0 +1,102 @@
+"""The running hospital example (Fig. 1 / Examples 1.1, 3.1-3.4).
+
+A hospital document lists departments; each department has clinical
+trials, patient information, and medical staff.  The nurse policy
+(Fig. 4) grants access to patient and staff data of one ward while
+hiding everything about clinical-trial participation and treatment
+forms (except bills and medication).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.dtd.dtd import DTD
+from repro.dtd.generator import DocumentGenerator
+from repro.dtd.parser import parse_dtd
+from repro.core.engine import SecureQueryEngine
+from repro.core.spec import AccessSpec
+
+#: The document DTD of Fig. 1, in the paper's normal form.
+HOSPITAL_DTD_TEXT = """
+<!ELEMENT hospital (dept*)>
+<!ELEMENT dept (clinicalTrial, patientInfo, staffInfo)>
+<!ELEMENT clinicalTrial (patientInfo)>
+<!ELEMENT patientInfo (patient*)>
+<!ELEMENT patient (name, wardNo, treatment)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT wardNo (#PCDATA)>
+<!ELEMENT treatment (trial | regular)>
+<!ELEMENT trial (bill)>
+<!ELEMENT regular (bill, medication)>
+<!ELEMENT bill (#PCDATA)>
+<!ELEMENT medication (#PCDATA)>
+<!ELEMENT staffInfo (staff*)>
+<!ELEMENT staff (doctor | nurse)>
+<!ELEMENT doctor (#PCDATA)>
+<!ELEMENT nurse (#PCDATA)>
+"""
+
+#: Default pool of ward numbers used by the generator, so the
+#: ``$wardNo`` qualifier has meaningful selectivity.
+WARD_NUMBERS = ("1", "2", "3", "4")
+
+
+def hospital_dtd() -> DTD:
+    """The hospital document DTD of Fig. 1."""
+    return parse_dtd(HOSPITAL_DTD_TEXT)
+
+
+def nurse_spec(dtd: Optional[DTD] = None) -> AccessSpec:
+    """The nurse access specification of Example 3.1 / Fig. 4.
+
+    The specification is parameterized by ``$wardNo``; bind it before
+    deriving a view (``spec.bind(wardNo="2")``) or pass the parameter
+    to :meth:`SecureQueryEngine.register_policy`.
+    """
+    dtd = hospital_dtd() if dtd is None else dtd
+    spec = AccessSpec(dtd, name="nurse")
+    spec.annotate("hospital", "dept", "[*/patient/wardNo = $wardNo]")
+    spec.annotate("dept", "clinicalTrial", "N")
+    spec.annotate("clinicalTrial", "patientInfo", "Y")
+    spec.annotate("treatment", "trial", "N")
+    spec.annotate("treatment", "regular", "N")
+    spec.annotate("trial", "bill", "Y")
+    spec.annotate("regular", "bill", "Y")
+    spec.annotate("regular", "medication", "Y")
+    return spec
+
+
+def doctor_spec(dtd: Optional[DTD] = None) -> AccessSpec:
+    """A second policy for contrast: doctors see everything except
+    staff records (so the multi-policy machinery has two user classes
+    to serve)."""
+    dtd = hospital_dtd() if dtd is None else dtd
+    spec = AccessSpec(dtd, name="doctor")
+    spec.annotate("dept", "staffInfo", "N")
+    return spec
+
+
+def hospital_document(
+    seed: int = 0,
+    max_branch: int = 4,
+    wards: Sequence[str] = WARD_NUMBERS,
+    value_pools: Optional[Dict[str, Sequence[str]]] = None,
+):
+    """Generate a conforming hospital document."""
+    dtd = hospital_dtd()
+    pools: Dict[str, Sequence[str]] = {"wardNo": list(wards)}
+    if value_pools:
+        pools.update(value_pools)
+    generator = DocumentGenerator(
+        dtd, seed=seed, max_branch=max_branch, value_pools=pools
+    )
+    return generator.generate()
+
+
+def nurse_engine(ward: str = "2") -> SecureQueryEngine:
+    """An engine with the nurse policy registered for one ward."""
+    dtd = hospital_dtd()
+    engine = SecureQueryEngine(dtd)
+    engine.register_policy("nurse", nurse_spec(dtd), wardNo=ward)
+    return engine

@@ -1,0 +1,112 @@
+"""Document indexing for fast descendant-axis evaluation.
+
+A classic XML-database structure: one preorder (Euler-tour) interval
+per element plus per-label position lists.  ``descendants_with_label``
+then answers "all ``l``-descendants of ``v``" with two binary searches
+instead of a subtree scan — the access pattern that dominates ``//``
+evaluation (and thus the naive baseline of Section 6).
+
+The index is immutable with respect to the document: rebuild it after
+structural updates (document mutation is out of the paper's scope; the
+engine's ``invalidate`` hook covers the cached case).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Optional, Tuple
+
+
+class DocumentIndex:
+    """Preorder intervals + per-label position lists for one tree."""
+
+    def __init__(self, root):
+        self.root = root
+        #: id(element) -> (preorder position, end of subtree interval)
+        self.intervals: Dict[int, Tuple[int, int]] = {}
+        #: label -> ascending preorder positions of elements
+        self.positions_by_label: Dict[str, List[int]] = {}
+        #: preorder position -> element
+        self.element_at: Dict[int, object] = {}
+        self._build(root)
+
+    def _build(self, root) -> None:
+        counter = 0
+        # iterative preorder with post-visit hooks to close intervals
+        stack = [(root, False)]
+        open_stack: List[int] = []
+        while stack:
+            node, closing = stack.pop()
+            if closing:
+                start = open_stack.pop()
+                self.intervals[id(node)] = (start, counter)
+                continue
+            start = counter
+            counter += 1
+            open_stack.append(start)
+            self.element_at[start] = node
+            self.positions_by_label.setdefault(node.label, []).append(start)
+            stack.append((node, True))
+            for child in reversed(node.children):
+                if child.is_element:
+                    stack.append((child, False))
+
+    # -- queries -----------------------------------------------------------
+
+    def size(self) -> int:
+        return len(self.intervals)
+
+    def position(self, element) -> Optional[int]:
+        interval = self.intervals.get(id(element))
+        return None if interval is None else interval[0]
+
+    def covers(self, element) -> bool:
+        """Is the element part of the indexed tree?"""
+        return id(element) in self.intervals
+
+    def is_descendant(self, ancestor, element) -> bool:
+        """Proper-or-self descendant test in O(1)."""
+        outer = self.intervals.get(id(ancestor))
+        inner = self.intervals.get(id(element))
+        if outer is None or inner is None:
+            return False
+        return outer[0] <= inner[0] and inner[1] <= outer[1]
+
+    def descendants_with_label(self, element, label: str) -> List:
+        """All *proper* descendants of ``element`` carrying ``label``,
+        in document order.  O(log n + answer)."""
+        interval = self.intervals.get(id(element))
+        if interval is None:
+            return []
+        start, end = interval
+        positions = self.positions_by_label.get(label, ())
+        low = bisect.bisect_right(positions, start)  # exclude self
+        high = bisect.bisect_left(positions, end)
+        return [self.element_at[position] for position in positions[low:high]]
+
+    def all_with_label(self, label: str) -> List:
+        """Every element with ``label``, in document order."""
+        return [
+            self.element_at[position]
+            for position in self.positions_by_label.get(label, ())
+        ]
+
+    def document_order_sort(self, elements: List) -> List:
+        """Sort indexed elements into document order (non-indexed
+        entries, e.g. text nodes, keep their relative order at the
+        end)."""
+        indexed = []
+        others = []
+        for element in elements:
+            interval = self.intervals.get(id(element))
+            if interval is None:
+                others.append(element)
+            else:
+                indexed.append((interval[0], element))
+        indexed.sort(key=lambda pair: pair[0])
+        return [element for _, element in indexed] + others
+
+
+def build_index(root) -> DocumentIndex:
+    """Convenience constructor."""
+    return DocumentIndex(root)

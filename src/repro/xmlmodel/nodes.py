@@ -1,0 +1,250 @@
+"""Ordered XML tree model.
+
+The model matches the paper's Section 2: a document is an ordered tree
+whose internal nodes are *elements* labeled with an element type and
+whose leaves may be *text nodes* carrying PCDATA.  Elements additionally
+carry an attribute dictionary (the paper ignores attributes except for
+the naive baseline of Section 6, which stores per-element accessibility
+in an ``accessibility`` attribute).
+
+Nodes know their parent, so upward navigation (needed by the
+accessibility semantics of Section 3.2, which quantifies over ancestors)
+is O(depth).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+
+class XMLText:
+    """A text (PCDATA) leaf node."""
+
+    __slots__ = ("value", "parent")
+
+    def __init__(self, value: str, parent: "Optional[XMLElement]" = None):
+        self.value = value
+        self.parent = parent
+
+    @property
+    def is_element(self) -> bool:
+        return False
+
+    @property
+    def is_text(self) -> bool:
+        return True
+
+    def string_value(self) -> str:
+        return self.value
+
+    def __repr__(self) -> str:
+        shown = self.value if len(self.value) <= 24 else self.value[:21] + "..."
+        return "XMLText(%r)" % shown
+
+
+class XMLElement:
+    """An element node with ordered children and attributes."""
+
+    __slots__ = ("label", "children", "attributes", "parent")
+
+    def __init__(
+        self,
+        label: str,
+        children: Optional[List["XMLNode"]] = None,
+        attributes: Optional[Dict[str, str]] = None,
+        parent: "Optional[XMLElement]" = None,
+    ):
+        self.label = label
+        self.children: List[XMLNode] = []
+        self.attributes: Dict[str, str] = dict(attributes) if attributes else {}
+        self.parent = parent
+        if children:
+            for child in children:
+                self.append(child)
+
+    # -- construction -------------------------------------------------
+
+    def append(self, node: "XMLNode") -> "XMLNode":
+        """Append ``node`` as the last child and set its parent."""
+        node.parent = self
+        self.children.append(node)
+        return node
+
+    def extend(self, nodes) -> None:
+        for node in nodes:
+            self.append(node)
+
+    def add_element(self, label: str, **attributes) -> "XMLElement":
+        """Create, append, and return a new child element."""
+        return self.append(XMLElement(label, attributes=attributes or None))
+
+    def add_text(self, value: str) -> XMLText:
+        """Create, append, and return a new text child."""
+        return self.append(XMLText(value))
+
+    # -- classification -----------------------------------------------
+
+    @property
+    def is_element(self) -> bool:
+        return True
+
+    @property
+    def is_text(self) -> bool:
+        return False
+
+    # -- navigation ---------------------------------------------------
+
+    def element_children(self) -> "List[XMLElement]":
+        return [child for child in self.children if child.is_element]
+
+    def text_children(self) -> List[XMLText]:
+        return [child for child in self.children if child.is_text]
+
+    def child_elements(self, label: str) -> "List[XMLElement]":
+        return [
+            child
+            for child in self.children
+            if child.is_element and child.label == label
+        ]
+
+    def first_child(self, label: str) -> "Optional[XMLElement]":
+        for child in self.children:
+            if child.is_element and child.label == label:
+                return child
+        return None
+
+    def ancestors(self) -> "Iterator[XMLElement]":
+        """Yield proper ancestors, nearest first."""
+        node = self.parent
+        while node is not None:
+            yield node
+            node = node.parent
+
+    def root(self) -> "XMLElement":
+        node = self
+        while node.parent is not None:
+            node = node.parent
+        return node
+
+    def iter(self) -> "Iterator[XMLNode]":
+        """Yield self and all descendants in document order."""
+        stack: List[XMLNode] = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            if node.is_element:
+                stack.extend(reversed(node.children))
+
+    def iter_elements(self) -> "Iterator[XMLElement]":
+        """Yield self and all descendant elements in document order."""
+        for node in self.iter():
+            if node.is_element:
+                yield node
+
+    def descendants_or_self(self) -> "Iterator[XMLElement]":
+        return self.iter_elements()
+
+    def find_all(self, label: str) -> "List[XMLElement]":
+        """All descendant-or-self elements with the given label, in
+        document order."""
+        return [node for node in self.iter_elements() if node.label == label]
+
+    # -- measurement ---------------------------------------------------
+
+    def size(self) -> int:
+        """Number of nodes (elements and text) in the subtree."""
+        return sum(1 for _ in self.iter())
+
+    def element_count(self) -> int:
+        return sum(1 for _ in self.iter_elements())
+
+    def height(self) -> int:
+        """Height of the subtree counted in element levels; a leaf
+        element has height 1."""
+        best = 1
+        stack = [(self, 1)]
+        while stack:
+            node, depth = stack.pop()
+            if depth > best:
+                best = depth
+            for child in node.children:
+                if child.is_element:
+                    stack.append((child, depth + 1))
+        return best
+
+    def depth(self) -> int:
+        """1-based depth of this element (the root has depth 1)."""
+        return 1 + sum(1 for _ in self.ancestors())
+
+    # -- values ---------------------------------------------------------
+
+    def string_value(self) -> str:
+        """Concatenation of all descendant text, in document order
+        (the XPath string-value of an element)."""
+        parts = []
+        for node in self.iter():
+            if node.is_text:
+                parts.append(node.value)
+        return "".join(parts)
+
+    def get(self, attribute: str, default: Optional[str] = None) -> Optional[str]:
+        return self.attributes.get(attribute, default)
+
+    def set(self, attribute: str, value: str) -> None:
+        self.attributes[attribute] = value
+
+    # -- comparison -----------------------------------------------------
+
+    def structurally_equal(self, other: "XMLNode") -> bool:
+        """Deep structural equality: labels, attributes, text, order.
+
+        Used heavily by tests to compare materialized views against
+        rewritten-query results.
+        """
+        return _structurally_equal(self, other)
+
+    def __repr__(self) -> str:
+        return "XMLElement(%r, %d children)" % (self.label, len(self.children))
+
+
+#: Union type alias for readability in signatures.
+XMLNode = object  # XMLElement | XMLText; kept loose for 3.9 compatibility
+
+
+def _structurally_equal(a, b) -> bool:
+    if a.is_text or b.is_text:
+        return a.is_text and b.is_text and a.value == b.value
+    if a.label != b.label or a.attributes != b.attributes:
+        return False
+    if len(a.children) != len(b.children):
+        return False
+    return all(
+        _structurally_equal(x, y) for x, y in zip(a.children, b.children)
+    )
+
+
+def new_document(root_label: str) -> XMLElement:
+    """Create a fresh document consisting of a single root element."""
+    return XMLElement(root_label)
+
+
+def subtree_copy(node, parent: Optional[XMLElement] = None):
+    """Deep-copy a node (element or text) and its subtree.
+
+    The copy's parent is set to ``parent`` (or ``None``), making it a
+    free-standing tree.  Used by the view-materialization semantics when
+    accessible subtrees are copied from the document into the view.
+    """
+    if node.is_text:
+        return XMLText(node.value, parent)
+    copy = XMLElement(node.label, attributes=node.attributes or None, parent=parent)
+    for child in node.children:
+        copy.children.append(subtree_copy(child, copy))
+    return copy
+
+
+def document_order_index(root: XMLElement) -> Dict[int, int]:
+    """Map ``id(node) -> position`` for every node under ``root`` in
+    document order.  Useful for sorting node sets produced by XPath
+    evaluation back into document order."""
+    return {id(node): i for i, node in enumerate(root.iter())}

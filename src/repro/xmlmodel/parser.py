@@ -1,0 +1,250 @@
+"""From-scratch parser for the XML subset this library uses.
+
+Supported: elements, attributes (single- or double-quoted), text
+content with the five standard entity references plus decimal/hex
+character references, comments, processing instructions (skipped), an
+optional XML declaration, an optional DOCTYPE declaration (skipped; DTD
+text is parsed separately by :mod:`repro.dtd.parser`), and CDATA
+sections.  Namespaces are not interpreted (colons are allowed in
+names).  Mixed content is preserved verbatim except that, as in the
+paper's data model, purely-whitespace text between elements is dropped
+unless ``keep_whitespace`` is set.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import XMLParseError
+from repro.xmlmodel.nodes import XMLElement, XMLText
+
+_ENTITIES = {"lt": "<", "gt": ">", "amp": "&", "apos": "'", "quot": '"'}
+
+_NAME_START = set(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_:"
+)
+_NAME_CHARS = _NAME_START | set("0123456789.-")
+
+
+class _Scanner:
+    """Cursor over the input with line/column tracking for errors."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+        self.length = len(text)
+
+    def location(self) -> Tuple[int, int]:
+        line = self.text.count("\n", 0, self.pos) + 1
+        last_nl = self.text.rfind("\n", 0, self.pos)
+        column = self.pos - last_nl
+        return line, column
+
+    def error(self, message: str) -> XMLParseError:
+        line, column = self.location()
+        return XMLParseError(message, line, column)
+
+    def eof(self) -> bool:
+        return self.pos >= self.length
+
+    def peek(self, n: int = 1) -> str:
+        return self.text[self.pos : self.pos + n]
+
+    def advance(self, n: int = 1) -> None:
+        self.pos += n
+
+    def skip_whitespace(self) -> None:
+        while self.pos < self.length and self.text[self.pos] in " \t\r\n":
+            self.pos += 1
+
+    def expect(self, literal: str) -> None:
+        if not self.text.startswith(literal, self.pos):
+            raise self.error("expected %r" % literal)
+        self.pos += len(literal)
+
+    def read_name(self) -> str:
+        start = self.pos
+        if self.pos >= self.length or self.text[self.pos] not in _NAME_START:
+            raise self.error("expected a name")
+        self.pos += 1
+        while self.pos < self.length and self.text[self.pos] in _NAME_CHARS:
+            self.pos += 1
+        return self.text[start : self.pos]
+
+    def read_until(self, literal: str) -> str:
+        end = self.text.find(literal, self.pos)
+        if end < 0:
+            raise self.error("unterminated construct; expected %r" % literal)
+        chunk = self.text[self.pos : end]
+        self.pos = end + len(literal)
+        return chunk
+
+
+def _decode_entities(raw: str, scanner: _Scanner) -> str:
+    if "&" not in raw:
+        return raw
+    out: List[str] = []
+    i = 0
+    while i < len(raw):
+        ch = raw[i]
+        if ch != "&":
+            out.append(ch)
+            i += 1
+            continue
+        end = raw.find(";", i)
+        if end < 0:
+            raise scanner.error("unterminated entity reference")
+        name = raw[i + 1 : end]
+        if name.startswith("#x") or name.startswith("#X"):
+            out.append(chr(int(name[2:], 16)))
+        elif name.startswith("#"):
+            out.append(chr(int(name[1:])))
+        elif name in _ENTITIES:
+            out.append(_ENTITIES[name])
+        else:
+            raise scanner.error("unknown entity reference &%s;" % name)
+        i = end + 1
+    return "".join(out)
+
+
+def _skip_misc(scanner: _Scanner) -> None:
+    """Skip whitespace, comments, PIs, XML decl, and DOCTYPE."""
+    while True:
+        scanner.skip_whitespace()
+        if scanner.peek(4) == "<!--":
+            scanner.advance(4)
+            scanner.read_until("-->")
+        elif scanner.peek(2) == "<?":
+            scanner.advance(2)
+            scanner.read_until("?>")
+        elif scanner.peek(9).upper() == "<!DOCTYPE":
+            _skip_doctype(scanner)
+        else:
+            return
+
+
+def _skip_doctype(scanner: _Scanner) -> None:
+    scanner.advance(9)
+    depth = 0
+    while not scanner.eof():
+        ch = scanner.peek()
+        if ch == "[":
+            depth += 1
+        elif ch == "]":
+            depth -= 1
+        elif ch == ">" and depth <= 0:
+            scanner.advance()
+            return
+        scanner.advance()
+    raise scanner.error("unterminated DOCTYPE")
+
+
+def _parse_attributes(scanner: _Scanner) -> dict:
+    attributes = {}
+    while True:
+        scanner.skip_whitespace()
+        ch = scanner.peek()
+        if ch in (">", "/") or ch == "":
+            return attributes
+        name = scanner.read_name()
+        scanner.skip_whitespace()
+        scanner.expect("=")
+        scanner.skip_whitespace()
+        quote = scanner.peek()
+        if quote not in ("'", '"'):
+            raise scanner.error("attribute value must be quoted")
+        scanner.advance()
+        raw = scanner.read_until(quote)
+        if name in attributes:
+            raise scanner.error("duplicate attribute %r" % name)
+        attributes[name] = _decode_entities(raw, scanner)
+
+
+def _parse_element(scanner: _Scanner, keep_whitespace: bool) -> XMLElement:
+    scanner.expect("<")
+    label = scanner.read_name()
+    attributes = _parse_attributes(scanner)
+    element = XMLElement(label, attributes=attributes or None)
+    scanner.skip_whitespace()
+    if scanner.peek(2) == "/>":
+        scanner.advance(2)
+        return element
+    scanner.expect(">")
+    _parse_content(scanner, element, keep_whitespace)
+    closing = scanner.read_name()
+    if closing != label:
+        raise scanner.error(
+            "mismatched closing tag </%s> for <%s>" % (closing, label)
+        )
+    scanner.skip_whitespace()
+    scanner.expect(">")
+    return element
+
+
+def _parse_content(
+    scanner: _Scanner, element: XMLElement, keep_whitespace: bool
+) -> None:
+    """Parse children of ``element`` up to (and consuming) ``</``."""
+    buffer: List[str] = []
+
+    def flush_text() -> None:
+        if not buffer:
+            return
+        text = _decode_entities("".join(buffer), scanner)
+        buffer.clear()
+        if text.strip() or keep_whitespace:
+            element.add_text(text)
+
+    while True:
+        if scanner.eof():
+            raise scanner.error("unexpected end of input inside <%s>" % element.label)
+        ch = scanner.peek()
+        if ch == "<":
+            if scanner.peek(2) == "</":
+                flush_text()
+                scanner.advance(2)
+                return
+            if scanner.peek(4) == "<!--":
+                scanner.advance(4)
+                scanner.read_until("-->")
+                continue
+            if scanner.peek(9) == "<![CDATA[":
+                scanner.advance(9)
+                buffer.append(scanner.read_until("]]>").replace("&", "&amp;"))
+                continue
+            if scanner.peek(2) == "<?":
+                scanner.advance(2)
+                scanner.read_until("?>")
+                continue
+            flush_text()
+            element.append(_parse_element(scanner, keep_whitespace))
+        else:
+            buffer.append(ch)
+            scanner.advance()
+
+
+def parse_document(text: str, keep_whitespace: bool = False) -> XMLElement:
+    """Parse an XML document and return its root element.
+
+    Raises :class:`repro.errors.XMLParseError` with line/column
+    information on malformed input.
+    """
+    scanner = _Scanner(text)
+    _skip_misc(scanner)
+    if scanner.eof() or scanner.peek() != "<":
+        raise scanner.error("document has no root element")
+    root = _parse_element(scanner, keep_whitespace)
+    _skip_misc(scanner)
+    if not scanner.eof():
+        raise scanner.error("content after the root element")
+    return root
+
+
+def parse_fragment(text: str, keep_whitespace: bool = False) -> List[XMLElement]:
+    """Parse a sequence of sibling elements (no single-root requirement)."""
+    wrapper = parse_document(
+        "<fragment-wrapper>%s</fragment-wrapper>" % text, keep_whitespace
+    )
+    for child in wrapper.children:
+        child.parent = None
+    return list(wrapper.children)

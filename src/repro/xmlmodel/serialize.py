@@ -1,0 +1,85 @@
+"""Serialization of XML trees back to text."""
+
+from __future__ import annotations
+
+from typing import List
+
+_ESCAPES_TEXT = [("&", "&amp;"), ("<", "&lt;"), (">", "&gt;")]
+_ESCAPES_ATTR = _ESCAPES_TEXT + [('"', "&quot;")]
+
+
+def escape_text(value: str) -> str:
+    for raw, escaped in _ESCAPES_TEXT:
+        value = value.replace(raw, escaped)
+    return value
+
+
+def escape_attribute(value: str) -> str:
+    for raw, escaped in _ESCAPES_ATTR:
+        value = value.replace(raw, escaped)
+    return value
+
+
+def _open_tag(element) -> str:
+    if not element.attributes:
+        return "<%s>" % element.label
+    attrs = " ".join(
+        '%s="%s"' % (name, escape_attribute(value))
+        for name, value in sorted(element.attributes.items())
+    )
+    return "<%s %s>" % (element.label, attrs)
+
+
+def serialize(node) -> str:
+    """Serialize a node (element or text) compactly, with no added
+    whitespace, so that ``parse_document(serialize(t))`` round-trips."""
+    parts: List[str] = []
+    _serialize_into(node, parts)
+    return "".join(parts)
+
+
+def _serialize_into(node, parts: List[str]) -> None:
+    if node.is_text:
+        parts.append(escape_text(node.value))
+        return
+    if not node.children:
+        if node.attributes:
+            parts.append(_open_tag(node)[:-1] + "/>")
+        else:
+            parts.append("<%s/>" % node.label)
+        return
+    parts.append(_open_tag(node))
+    for child in node.children:
+        _serialize_into(child, parts)
+    parts.append("</%s>" % node.label)
+
+
+def pretty_print(node, indent: str = "  ") -> str:
+    """Human-readable serialization with one element per line.
+
+    Elements whose only children are text nodes are kept on one line.
+    """
+    parts: List[str] = []
+    _pretty_into(node, parts, 0, indent)
+    return "\n".join(parts)
+
+
+def _pretty_into(node, parts: List[str], level: int, indent: str) -> None:
+    pad = indent * level
+    if node.is_text:
+        parts.append(pad + escape_text(node.value))
+        return
+    if not node.children:
+        if node.attributes:
+            parts.append(pad + _open_tag(node)[:-1] + "/>")
+        else:
+            parts.append(pad + "<%s/>" % node.label)
+        return
+    if all(child.is_text for child in node.children):
+        text = "".join(escape_text(child.value) for child in node.children)
+        parts.append("%s%s%s</%s>" % (pad, _open_tag(node), text, node.label))
+        return
+    parts.append(pad + _open_tag(node))
+    for child in node.children:
+        _pretty_into(child, parts, level + 1, indent)
+    parts.append("%s</%s>" % (pad, node.label))

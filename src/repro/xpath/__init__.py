@@ -1,0 +1,82 @@
+"""XPath substrate: the paper's fragment ``C`` of XPath.
+
+    p ::= epsilon | l | * | p/p | //p | p U p | p[q]
+    q ::= p | p = c | q and q | q or q | not q
+
+plus a handful of pragmatic extensions used by the library itself:
+``text()`` steps (needed to materialize ``str`` productions),
+attribute tests ``@a`` / ``@a = c`` in qualifiers (needed by the naive
+baseline of Section 6), ``$param`` constants (the paper's ``$wardNo``),
+the empty query ``0``, and absolute paths (leading ``/`` or ``//``).
+"""
+
+from repro.xpath.ast import (
+    Absolute,
+    Descendant,
+    Empty,
+    EpsilonPath,
+    Label,
+    Param,
+    Path,
+    QAnd,
+    QAttr,
+    QAttrEquals,
+    QBool,
+    QEquals,
+    QNot,
+    QOr,
+    QPath,
+    Qualified,
+    Qualifier,
+    Slash,
+    TextStep,
+    Union,
+    Wildcard,
+    descendant,
+    qand,
+    qnot,
+    qor,
+    qualified,
+    slash,
+    union,
+)
+from repro.xpath.parser import parse_xpath, parse_qualifier
+from repro.xpath.evaluator import XPathEvaluator, evaluate, evaluate_qualifier
+from repro.xpath.subqueries import ascending_subqueries
+
+__all__ = [
+    "Path",
+    "Empty",
+    "EpsilonPath",
+    "Label",
+    "Wildcard",
+    "TextStep",
+    "Slash",
+    "Descendant",
+    "Union",
+    "Qualified",
+    "Absolute",
+    "Qualifier",
+    "QPath",
+    "QEquals",
+    "QAttr",
+    "QAttrEquals",
+    "QAnd",
+    "QOr",
+    "QNot",
+    "QBool",
+    "Param",
+    "slash",
+    "descendant",
+    "union",
+    "qualified",
+    "qand",
+    "qor",
+    "qnot",
+    "parse_xpath",
+    "parse_qualifier",
+    "XPathEvaluator",
+    "evaluate",
+    "evaluate_qualifier",
+    "ascending_subqueries",
+]

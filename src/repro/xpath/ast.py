@@ -1,0 +1,705 @@
+"""Abstract syntax trees for the XPath fragment ``C``.
+
+All nodes are immutable and use *structural* equality/hashing, which
+lets the dynamic-programming algorithms (Figures 6 and 10 of the
+paper) memoize on ``(sub-query, DTD node)`` pairs and lets the smart
+constructors deduplicate union branches.
+
+Smart constructors (:func:`slash`, :func:`union`, :func:`descendant`,
+:func:`qualified`, :func:`qand`, :func:`qor`, :func:`qnot`) implement
+the paper's algebra of the empty query — ``0 U p = p`` and
+``p/0/p' = 0`` — plus boolean constant folding, so rewritten queries
+come out already simplified of trivial redundancy.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+
+class Param:
+    """A named constant parameter, e.g. ``$wardNo`` (Example 3.1).
+
+    Parameters are placeholders for constants; they must be substituted
+    (via :meth:`Path.substitute` /
+    :meth:`repro.core.spec.AccessSpec.bind`) before evaluation.
+    """
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __eq__(self, other):
+        return isinstance(other, Param) and self.name == other.name
+
+    def __hash__(self):
+        return hash(("Param", self.name))
+
+    def __repr__(self):
+        return "Param(%r)" % self.name
+
+    def __str__(self):
+        return "$" + self.name
+
+
+class _Node:
+    """Shared machinery for paths and qualifiers."""
+
+    __slots__ = ("_hash",)
+
+    def _key(self) -> tuple:
+        raise NotImplementedError
+
+    def children(self) -> tuple:
+        """Immediate sub-queries (paths and qualifiers)."""
+        return ()
+
+    def __eq__(self, other):
+        if self is other:
+            return True
+        return type(self) is type(other) and self._key() == other._key()
+
+    def __hash__(self):
+        cached = getattr(self, "_hash", None)
+        if cached is None:
+            cached = hash((type(self).__name__, self._key()))
+            object.__setattr__(self, "_hash", cached)
+        return cached
+
+    def size(self) -> int:
+        """|p|: the number of AST nodes."""
+        return 1 + sum(child.size() for child in self.children())
+
+    def iter_nodes(self) -> Iterator["_Node"]:
+        """Postorder traversal of the parse tree."""
+        for child in self.children():
+            for node in child.iter_nodes():
+                yield node
+        yield self
+
+    def __repr__(self):
+        return "%s<%s>" % (type(self).__name__, self)
+
+
+class Path(_Node):
+    """Base class of path expressions."""
+
+    __slots__ = ()
+
+    @property
+    def is_empty(self) -> bool:
+        return isinstance(self, Empty)
+
+    def substitute(self, bindings: dict) -> "Path":
+        """Replace :class:`Param` constants using ``bindings``
+        (name -> string).  Raises ``KeyError`` on unbound parameters
+        encountered; parameters simply absent from the query are
+        ignored."""
+        return _substitute_path(self, bindings)
+
+    def parameters(self) -> set:
+        """Names of all parameters occurring in the expression."""
+        found = set()
+        for node in self.iter_nodes():
+            if isinstance(node, QEquals) and isinstance(node.value, Param):
+                found.add(node.value.name)
+            if isinstance(node, QAttrEquals) and isinstance(node.value, Param):
+                found.add(node.value.name)
+        return found
+
+
+class Qualifier(_Node):
+    """Base class of qualifier expressions."""
+
+    __slots__ = ()
+
+
+# ---------------------------------------------------------------------------
+# Path constructors
+# ---------------------------------------------------------------------------
+
+
+class Empty(Path):
+    """The special empty query ``0`` (written ``∅`` in the paper)."""
+
+    __slots__ = ()
+
+    def _key(self):
+        return ()
+
+    def __str__(self):
+        return "0"
+
+
+class EpsilonPath(Path):
+    """The empty path ``epsilon`` (XPath ``.``): selects the context node."""
+
+    __slots__ = ()
+
+    def _key(self):
+        return ()
+
+    def __str__(self):
+        return "."
+
+
+class Label(Path):
+    """A label step ``l``: selects children with element type ``l``."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def _key(self):
+        return (self.name,)
+
+    def __str__(self):
+        return self.name
+
+
+class Wildcard(Path):
+    """The wildcard step ``*``: selects all element children."""
+
+    __slots__ = ()
+
+    def _key(self):
+        return ()
+
+    def __str__(self):
+        return "*"
+
+
+class Parent(Path):
+    """``..`` — the parent step (library extension; the paper lists
+    upward axes as future work).  Supported by the evaluator, the
+    optimizer (conservatively), and the naive baseline; queries over
+    security views cannot use it (Algorithm rewrite has no sound
+    translation for upward navigation through sigma annotations and
+    raises a :class:`~repro.errors.RewriteError`)."""
+
+    __slots__ = ()
+
+    def _key(self):
+        return ()
+
+    def __str__(self):
+        return ".."
+
+
+class TextStep(Path):
+    """``text()``: selects text-node children (library extension used to
+    materialize ``str`` productions)."""
+
+    __slots__ = ()
+
+    def _key(self):
+        return ()
+
+    def __str__(self):
+        return "text()"
+
+
+class Slash(Path):
+    """Concatenation ``p1/p2`` (child composition)."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: Path, right: Path):
+        self.left = left
+        self.right = right
+
+    def _key(self):
+        return (self.left, self.right)
+
+    def children(self):
+        return (self.left, self.right)
+
+    def __str__(self):
+        left = _wrap_for_slash(self.left)
+        if isinstance(self.right, Descendant):
+            return "%s//%s" % (left, _wrap_for_slash(self.right.inner))
+        return "%s/%s" % (left, _wrap_for_slash(self.right))
+
+
+class Descendant(Path):
+    """``//p``: evaluates ``p`` at every descendant-or-self element."""
+
+    __slots__ = ("inner",)
+
+    def __init__(self, inner: Path):
+        self.inner = inner
+
+    def _key(self):
+        return (self.inner,)
+
+    def children(self):
+        return (self.inner,)
+
+    def __str__(self):
+        # standalone serialization uses the explicit-context form so a
+        # reparse stays relative (a bare leading '//' would anchor at
+        # the document node); inside a Slash the parent prints 'a//b'
+        return ".//%s" % _wrap_for_slash(self.inner)
+
+
+class Union(Path):
+    """N-ary union ``p1 U p2 U ...`` (at least two branches; use
+    :func:`union` to build one, which normalizes away trivial cases)."""
+
+    __slots__ = ("branches",)
+
+    def __init__(self, branches):
+        self.branches = tuple(branches)
+        if len(self.branches) < 2:
+            raise ValueError("Union requires >= 2 branches; use union()")
+
+    def _key(self):
+        return self.branches
+
+    def children(self):
+        return self.branches
+
+    def __str__(self):
+        return "(%s)" % " | ".join(str(branch) for branch in self.branches)
+
+
+class Qualified(Path):
+    """``p[q]``: the nodes selected by ``p`` at which ``q`` holds."""
+
+    __slots__ = ("path", "qualifier")
+
+    def __init__(self, path: Path, qualifier: Qualifier):
+        self.path = path
+        self.qualifier = qualifier
+
+    def _key(self):
+        return (self.path, self.qualifier)
+
+    def children(self):
+        return (self.path, self.qualifier)
+
+    def __str__(self):
+        return "%s[%s]" % (_wrap_for_slash(self.path), self.qualifier)
+
+
+class Absolute(Path):
+    """A path anchored at the (virtual) document node above the root
+    element, produced by a leading ``/`` or ``//``."""
+
+    __slots__ = ("inner",)
+
+    def __init__(self, inner: Path):
+        self.inner = inner
+
+    def _key(self):
+        return (self.inner,)
+
+    def children(self):
+        return (self.inner,)
+
+    def __str__(self):
+        if isinstance(_leftmost_step(self.inner), Descendant):
+            # the leading '//' already implies the document anchor
+            return _absolute_inner_str(self.inner)
+        return "/%s" % self.inner
+
+
+# ---------------------------------------------------------------------------
+# Qualifier constructors
+# ---------------------------------------------------------------------------
+
+
+class QBool(Qualifier):
+    """A constant qualifier (result of optimization)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: bool):
+        self.value = value
+
+    def _key(self):
+        return (self.value,)
+
+    def __str__(self):
+        return "true()" if self.value else "false()"
+
+
+class QPath(Qualifier):
+    """Existence test ``[p]``: true iff ``p`` selects some node."""
+
+    __slots__ = ("path",)
+
+    def __init__(self, path: Path):
+        self.path = path
+
+    def _key(self):
+        return (self.path,)
+
+    def children(self):
+        return (self.path,)
+
+    def __str__(self):
+        return str(self.path)
+
+
+class QEquals(Qualifier):
+    """Equality test ``[p = c]``: true iff ``p`` selects a node whose
+    string value equals the constant ``c`` (or parameter)."""
+
+    __slots__ = ("path", "value")
+
+    def __init__(self, path: Path, value):
+        self.path = path
+        self.value = value
+
+    def _key(self):
+        return (self.path, self.value)
+
+    def children(self):
+        return (self.path,)
+
+    def __str__(self):
+        if isinstance(self.value, Param):
+            return "%s = %s" % (self.path, self.value)
+        return '%s = "%s"' % (self.path, self.value)
+
+
+class QAttr(Qualifier):
+    """Attribute existence ``[@a]`` or ``[p/@a]`` (library extension:
+    the naive baseline needs ``[@accessibility = "1"]``, and attribute
+    tests compose with relative paths)."""
+
+    __slots__ = ("name", "path")
+
+    def __init__(self, name: str, path: Path = None):
+        self.name = name
+        self.path = EPSILON if path is None else path
+
+    def _key(self):
+        return (self.name, self.path)
+
+    def children(self):
+        return (self.path,)
+
+    def __str__(self):
+        if isinstance(self.path, EpsilonPath):
+            return "@" + self.name
+        return "%s/@%s" % (self.path, self.name)
+
+
+class QAttrEquals(Qualifier):
+    """Attribute equality ``[@a = c]`` / ``[p/@a = c]``."""
+
+    __slots__ = ("name", "value", "path")
+
+    def __init__(self, name: str, value, path: Path = None):
+        self.name = name
+        self.value = value
+        self.path = EPSILON if path is None else path
+
+    def _key(self):
+        return (self.name, self.value, self.path)
+
+    def children(self):
+        return (self.path,)
+
+    def __str__(self):
+        prefix = (
+            "@" + self.name
+            if isinstance(self.path, EpsilonPath)
+            else "%s/@%s" % (self.path, self.name)
+        )
+        if isinstance(self.value, Param):
+            return "%s = %s" % (prefix, self.value)
+        return '%s = "%s"' % (prefix, self.value)
+
+
+class QAnd(Qualifier):
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: Qualifier, right: Qualifier):
+        self.left = left
+        self.right = right
+
+    def _key(self):
+        return (self.left, self.right)
+
+    def children(self):
+        return (self.left, self.right)
+
+    def __str__(self):
+        return "%s and %s" % (
+            _wrap_for_bool(self.left),
+            _wrap_for_bool(self.right),
+        )
+
+
+class QOr(Qualifier):
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: Qualifier, right: Qualifier):
+        self.left = left
+        self.right = right
+
+    def _key(self):
+        return (self.left, self.right)
+
+    def children(self):
+        return (self.left, self.right)
+
+    def __str__(self):
+        return "%s or %s" % (
+            _wrap_for_bool(self.left),
+            _wrap_for_bool(self.right),
+        )
+
+
+class QNot(Qualifier):
+    __slots__ = ("inner",)
+
+    def __init__(self, inner: Qualifier):
+        self.inner = inner
+
+    def _key(self):
+        return (self.inner,)
+
+    def children(self):
+        return (self.inner,)
+
+    def __str__(self):
+        return "not(%s)" % self.inner
+
+
+# ---------------------------------------------------------------------------
+# Shared singletons
+# ---------------------------------------------------------------------------
+
+EMPTY = Empty()
+EPSILON = EpsilonPath()
+WILDCARD = Wildcard()
+TEXT = TextStep()
+PARENT = Parent()
+TRUE = QBool(True)
+FALSE = QBool(False)
+
+
+# ---------------------------------------------------------------------------
+# Smart constructors (the paper's empty-query algebra)
+# ---------------------------------------------------------------------------
+
+
+def slash(left: Path, right: Path) -> Path:
+    """``left/right`` with ``p/0 = 0/p = 0``, epsilon elimination, and
+    left-associative normalization (the parser's associativity)."""
+    if left.is_empty or right.is_empty:
+        return EMPTY
+    if isinstance(left, EpsilonPath):
+        return right
+    if isinstance(right, EpsilonPath):
+        return left
+    if isinstance(right, Slash):
+        return slash(slash(left, right.left), right.right)
+    return Slash(left, right)
+
+
+def path_seq(steps) -> Path:
+    """Left-fold a sequence of steps with :func:`slash`."""
+    result: Path = EPSILON
+    for step in steps:
+        result = slash(result, step)
+    return result
+
+
+def descendant(inner: Path) -> Path:
+    """``//inner`` with ``//0 = 0``, ``//(//p) = //p`` (idempotence),
+    and ``//(p1/p2) = (//p1)/p2`` so Descendant only ever wraps a
+    single step (canonical, unambiguous serialization)."""
+    if inner.is_empty:
+        return EMPTY
+    if isinstance(inner, Descendant):
+        return inner
+    if isinstance(inner, Slash):
+        return Slash(descendant(inner.left), inner.right)
+    return Descendant(inner)
+
+
+def union(branches) -> Path:
+    """N-ary union: flattens nested unions, drops empty branches, and
+    deduplicates structurally while preserving order (``0 U p = p``)."""
+    flat: List[Path] = []
+    seen = set()
+    for branch in branches:
+        parts = branch.branches if isinstance(branch, Union) else (branch,)
+        for part in parts:
+            if part.is_empty or part in seen:
+                continue
+            seen.add(part)
+            flat.append(part)
+    if not flat:
+        return EMPTY
+    if len(flat) == 1:
+        return flat[0]
+    return Union(flat)
+
+
+def qualified(path: Path, qualifier: Qualifier) -> Path:
+    """``path[qualifier]`` with constant folding.
+
+    Qualifiers attach to the *last step*: ``(p1/p2)[q] = p1/(p2[q])``
+    and ``(//p)[q] = //(p[q])`` (a qualifier filters result nodes, so
+    pushing it inward is always sound).  This canonicalization keeps
+    serialized queries in the paper's step-qualifier notation.
+    """
+    if path.is_empty:
+        return EMPTY
+    if isinstance(qualifier, QBool):
+        return path if qualifier.value else EMPTY
+    if isinstance(path, Slash):
+        return Slash(path.left, qualified(path.right, qualifier))
+    if isinstance(path, Descendant):
+        return descendant(qualified(path.inner, qualifier))
+    if isinstance(path, Absolute):
+        return Absolute(qualified(path.inner, qualifier))
+    return Qualified(path, qualifier)
+
+
+def qand(left: Qualifier, right: Qualifier) -> Qualifier:
+    if isinstance(left, QBool):
+        return right if left.value else FALSE
+    if isinstance(right, QBool):
+        return left if right.value else FALSE
+    if left == right:
+        return left
+    return QAnd(left, right)
+
+
+def qor(left: Qualifier, right: Qualifier) -> Qualifier:
+    if isinstance(left, QBool):
+        return TRUE if left.value else right
+    if isinstance(right, QBool):
+        return TRUE if right.value else left
+    if left == right:
+        return left
+    return QOr(left, right)
+
+
+def qnot(inner: Qualifier) -> Qualifier:
+    if isinstance(inner, QBool):
+        return QBool(not inner.value)
+    if isinstance(inner, QNot):
+        return inner.inner
+    return QNot(inner)
+
+
+def qpath(path: Path) -> Qualifier:
+    """``[p]`` with ``[0] = false`` and ``[.] = true``."""
+    if path.is_empty:
+        return FALSE
+    if isinstance(path, EpsilonPath):
+        return TRUE
+    return QPath(path)
+
+
+# ---------------------------------------------------------------------------
+# Internals
+# ---------------------------------------------------------------------------
+
+
+def _leftmost_step(path: Path) -> Path:
+    """The first step of a path (descends left through Slash chains)."""
+    current = path
+    while isinstance(current, Slash):
+        current = current.left
+    return current
+
+
+def _absolute_inner_str(path: Path) -> str:
+    """Serialize the inner path of an absolute query whose leftmost
+    step is a Descendant: the anchoring '//' subsumes the step's own
+    './/' spelling."""
+    if isinstance(path, Descendant):
+        return "//%s" % _wrap_for_slash(path.inner)
+    if isinstance(path, Slash):
+        left = _absolute_inner_str(path.left)
+        if isinstance(path.right, Descendant):
+            return "%s//%s" % (left, _wrap_for_slash(path.right.inner))
+        return "%s/%s" % (left, _wrap_for_slash(path.right))
+    return str(path)
+
+
+def _wrap_for_slash(path: Path) -> str:
+    if isinstance(path, Union):
+        return str(path)  # Union already parenthesizes itself
+    return str(path)
+
+
+def _wrap_for_bool(qualifier: Qualifier) -> str:
+    if isinstance(qualifier, (QAnd, QOr)):
+        return "(%s)" % qualifier
+    return str(qualifier)
+
+
+def _substitute_path(path: Path, bindings: dict) -> Path:
+    if isinstance(path, (Empty, EpsilonPath, Label, Wildcard, TextStep, Parent)):
+        return path
+    if isinstance(path, Slash):
+        return slash(
+            _substitute_path(path.left, bindings),
+            _substitute_path(path.right, bindings),
+        )
+    if isinstance(path, Descendant):
+        return descendant(_substitute_path(path.inner, bindings))
+    if isinstance(path, Union):
+        return union(
+            _substitute_path(branch, bindings) for branch in path.branches
+        )
+    if isinstance(path, Qualified):
+        return qualified(
+            _substitute_path(path.path, bindings),
+            substitute_qualifier(path.qualifier, bindings),
+        )
+    if isinstance(path, Absolute):
+        return Absolute(_substitute_path(path.inner, bindings))
+    raise TypeError("unknown path node %r" % path)
+
+
+def substitute_qualifier(qualifier: Qualifier, bindings: dict) -> Qualifier:
+    """Parameter substitution inside qualifiers."""
+    if isinstance(qualifier, QBool):
+        return qualifier
+    if isinstance(qualifier, QPath):
+        return qpath(_substitute_path(qualifier.path, bindings))
+    if isinstance(qualifier, QEquals):
+        value = qualifier.value
+        if isinstance(value, Param):
+            value = bindings[value.name]
+        return QEquals(_substitute_path(qualifier.path, bindings), value)
+    if isinstance(qualifier, QAttr):
+        return QAttr(qualifier.name, _substitute_path(qualifier.path, bindings))
+    if isinstance(qualifier, QAttrEquals):
+        value = qualifier.value
+        if isinstance(value, Param):
+            value = bindings[value.name]
+        return QAttrEquals(
+            qualifier.name, value, _substitute_path(qualifier.path, bindings)
+        )
+    if isinstance(qualifier, QAnd):
+        return qand(
+            substitute_qualifier(qualifier.left, bindings),
+            substitute_qualifier(qualifier.right, bindings),
+        )
+    if isinstance(qualifier, QOr):
+        return qor(
+            substitute_qualifier(qualifier.left, bindings),
+            substitute_qualifier(qualifier.right, bindings),
+        )
+    if isinstance(qualifier, QNot):
+        return qnot(substitute_qualifier(qualifier.inner, bindings))
+    raise TypeError("unknown qualifier node %r" % qualifier)
+
+
+def label_path(*names: str) -> Path:
+    """Convenience: ``label_path("a", "b")`` builds ``a/b``."""
+    return path_seq(Label(name) for name in names)

@@ -1,0 +1,403 @@
+"""Tokenizer and recursive-descent parser for the XPath fragment ``C``.
+
+Grammar (union has the lowest precedence; qualifiers bind postfix):
+
+    query     := path ( '|' path )*
+    path      := ( '/' | '//' )? steps          -- leading slash: absolute
+    steps     := step ( ('/' | '//') step )*
+    step      := primary qualifier*
+    primary   := NAME | '*' | '.' | '0' | 'text()' | '(' query ')'
+    qualifier := '[' boolean ']'
+    boolean   := bterm ( 'or' bterm )*
+    bterm     := bfactor ( 'and' bfactor )*
+    bfactor   := 'not' '(' boolean ')' | '(' boolean ')' | comparison
+    comparison:= ( query | '@' NAME ) ( '=' constant )?
+    constant  := STRING | NUMBER | '$' NAME
+
+The unicode operators used in the paper (``∪``, ``∧``, ``∨``, ``¬``,
+``ε``, ``∅``) are accepted as aliases.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import XPathSyntaxError
+from repro.xpath.ast import (
+    Absolute,
+    Descendant,
+    EMPTY,
+    EPSILON,
+    Label,
+    PARENT,
+    Param,
+    Path,
+    QAttr,
+    QAttrEquals,
+    QEquals,
+    Qualifier,
+    TEXT,
+    WILDCARD,
+    qand,
+    qnot,
+    qor,
+    qpath,
+    qualified,
+    slash,
+    union,
+)
+
+_NAME_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_NAME_CHARS = _NAME_START | set("0123456789.-")
+
+# token kinds
+_T_NAME = "name"
+_T_STRING = "string"
+_T_NUMBER = "number"
+_T_PARAM = "param"
+_T_PUNCT = "punct"
+_T_EOF = "eof"
+
+_ALIASES = {
+    "∪": "|",  # ∪
+    "∧": "and",  # ∧
+    "∨": "or",  # ∨
+    "¬": "not",  # ¬
+    "ε": ".",  # ε
+    "∅": "0",  # ∅
+}
+
+
+def _tokenize(text: str) -> List[Tuple[str, str, int]]:
+    tokens: List[Tuple[str, str, int]] = []
+    i = 0
+    length = len(text)
+    while i < length:
+        ch = text[i]
+        if ch in " \t\r\n":
+            i += 1
+            continue
+        if ch in _ALIASES:
+            alias = _ALIASES[ch]
+            if alias in ("and", "or", "not"):
+                tokens.append((_T_NAME, alias, i))
+            else:
+                tokens.append((_T_PUNCT, alias, i))
+            i += 1
+            continue
+        if text.startswith("//", i):
+            tokens.append((_T_PUNCT, "//", i))
+            i += 2
+            continue
+        if ch in "/*[]()|=@":
+            tokens.append((_T_PUNCT, ch, i))
+            i += 1
+            continue
+        if ch == ".":
+            if text.startswith("..", i):
+                tokens.append((_T_PUNCT, "..", i))
+                i += 2
+                continue
+            tokens.append((_T_PUNCT, ".", i))
+            i += 1
+            continue
+        if ch == "$":
+            start = i + 1
+            j = start
+            while j < length and text[j] in _NAME_CHARS:
+                j += 1
+            if j == start:
+                raise XPathSyntaxError("expected a parameter name", i)
+            tokens.append((_T_PARAM, text[start:j], i))
+            i = j
+            continue
+        if ch in ("'", '"'):
+            end = text.find(ch, i + 1)
+            if end < 0:
+                raise XPathSyntaxError("unterminated string literal", i)
+            tokens.append((_T_STRING, text[i + 1 : end], i))
+            i = end + 1
+            continue
+        if ch.isdigit():
+            j = i
+            while j < length and (text[j].isdigit() or text[j] == "."):
+                j += 1
+            tokens.append((_T_NUMBER, text[i:j], i))
+            i = j
+            continue
+        if ch in _NAME_START:
+            j = i
+            while j < length and text[j] in _NAME_CHARS:
+                j += 1
+            tokens.append((_T_NAME, text[i:j], i))
+            i = j
+            continue
+        raise XPathSyntaxError("unexpected character %r" % ch, i)
+    tokens.append((_T_EOF, "", length))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.pos = 0
+        # Inside qualifiers, a leading '//' is *relative* to the
+        # context node (the paper's fragment has no absolute paths;
+        # Q3's [//company-id] means "a company-id descendant").  At the
+        # top level a leading '/' or '//' anchors at the document node.
+        self.qualifier_depth = 0
+
+    # -- token helpers -----------------------------------------------------
+
+    def current(self) -> Tuple[str, str, int]:
+        return self.tokens[self.pos]
+
+    def at(self, kind: str, value: Optional[str] = None) -> bool:
+        token_kind, token_value, _ = self.current()
+        if token_kind != kind:
+            return False
+        return value is None or token_value == value
+
+    def at_punct(self, value: str) -> bool:
+        return self.at(_T_PUNCT, value)
+
+    def at_keyword(self, word: str) -> bool:
+        return self.at(_T_NAME, word)
+
+    def take(self) -> Tuple[str, str, int]:
+        token = self.tokens[self.pos]
+        self.pos += 1
+        return token
+
+    def expect_punct(self, value: str) -> None:
+        if not self.at_punct(value):
+            _, found, offset = self.current()
+            raise XPathSyntaxError(
+                "expected %r, found %r" % (value, found or "<eof>"), offset
+            )
+        self.take()
+
+    def error(self, message: str) -> XPathSyntaxError:
+        _, _, offset = self.current()
+        return XPathSyntaxError(message, offset)
+
+    # -- grammar -------------------------------------------------------------
+
+    def parse_query(self) -> Path:
+        branches = [self.parse_path()]
+        while self.at_punct("|"):
+            self.take()
+            branches.append(self.parse_path())
+        return union(branches) if len(branches) > 1 else branches[0]
+
+    def parse_path(self) -> Path:
+        # Leading slash makes the path absolute (outside qualifiers).
+        if self.at_punct("//"):
+            self.take()
+            step = self.parse_step()
+            rest = self.parse_more_steps(Descendant(step))
+            if self.qualifier_depth:
+                return rest
+            return Absolute(rest)
+        if self.at_punct("/"):
+            self.take()
+            step = self.parse_step()
+            rest = self.parse_more_steps(step)
+            return Absolute(rest)
+        step = self.parse_step()
+        return self.parse_more_steps(step)
+
+    def parse_more_steps(self, accumulated: Path) -> Path:
+        while True:
+            if self.at_punct("//"):
+                self.take()
+                accumulated = slash(accumulated, Descendant(self.parse_step()))
+            elif self.at_punct("/"):
+                # stop before '/@attr' so qualifier comparisons can
+                # attach the attribute test to the path prefix
+                if self.tokens[self.pos + 1][:2] == (_T_PUNCT, "@"):
+                    return accumulated
+                self.take()
+                accumulated = slash(accumulated, self.parse_step())
+            else:
+                return accumulated
+
+    def parse_step(self) -> Path:
+        primary = self.parse_primary()
+        while self.at_punct("["):
+            self.take()
+            self.qualifier_depth += 1
+            try:
+                condition = self.parse_boolean()
+            finally:
+                self.qualifier_depth -= 1
+            self.expect_punct("]")
+            primary = qualified(primary, condition)
+        return primary
+
+    def parse_primary(self) -> Path:
+        kind, value, _ = self.current()
+        if kind == _T_PUNCT and value == "*":
+            self.take()
+            return WILDCARD
+        if kind == _T_PUNCT and value == ".":
+            self.take()
+            return EPSILON
+        if kind == _T_PUNCT and value == "..":
+            self.take()
+            return PARENT
+        if kind == _T_PUNCT and value == "(":
+            self.take()
+            inner = self.parse_query()
+            self.expect_punct(")")
+            return inner
+        if kind == _T_NUMBER and value == "0":
+            self.take()
+            return EMPTY
+        if kind == _T_NAME:
+            if value == "text" and self.tokens[self.pos + 1][:2] == (
+                _T_PUNCT,
+                "(",
+            ):
+                self.take()
+                self.take()
+                self.expect_punct(")")
+                return TEXT
+            self.take()
+            return Label(value)
+        raise self.error("expected a step, found %r" % (value or "<eof>"))
+
+    # Boolean qualifiers -------------------------------------------------------
+
+    def parse_boolean(self) -> Qualifier:
+        result = self.parse_bterm()
+        while self.at_keyword("or"):
+            self.take()
+            result = qor(result, self.parse_bterm())
+        return result
+
+    def parse_bterm(self) -> Qualifier:
+        result = self.parse_bfactor()
+        while self.at_keyword("and"):
+            self.take()
+            result = qand(result, self.parse_bfactor())
+        return result
+
+    def parse_bfactor(self) -> Qualifier:
+        if self.at_keyword("not"):
+            self.take()
+            self.expect_punct("(")
+            inner = self.parse_boolean()
+            self.expect_punct(")")
+            return qnot(inner)
+        if self.at_punct("("):
+            # Could be a parenthesized boolean or a parenthesized path.
+            # Try boolean first by scanning for and/or/not at this depth;
+            # simplest correct approach: attempt path parse, fall back.
+            return self._parse_paren_bfactor()
+        return self.parse_comparison()
+
+    def _parse_paren_bfactor(self) -> Qualifier:
+        saved = self.pos
+        try:
+            comparison = self.parse_comparison()
+        except XPathSyntaxError:
+            comparison = None
+            self.pos = saved
+        if comparison is not None and (
+            self.at_punct("]")
+            or self.at_punct(")")
+            or self.at_keyword("and")
+            or self.at_keyword("or")
+            or self.at(_T_EOF)
+        ):
+            return comparison
+        self.pos = saved
+        self.expect_punct("(")
+        inner = self.parse_boolean()
+        self.expect_punct(")")
+        return inner
+
+    def parse_comparison(self) -> Qualifier:
+        if self.at_punct("@"):
+            return self._parse_attribute_test(None)
+        if self.at_keyword("true") and self.tokens[self.pos + 1][:2] == (
+            _T_PUNCT,
+            "(",
+        ):
+            self.take()
+            self.take()
+            self.expect_punct(")")
+            from repro.xpath.ast import TRUE
+
+            return TRUE
+        if self.at_keyword("false") and self.tokens[self.pos + 1][:2] == (
+            _T_PUNCT,
+            "(",
+        ):
+            self.take()
+            self.take()
+            self.expect_punct(")")
+            from repro.xpath.ast import FALSE
+
+            return FALSE
+        path = self.parse_query()
+        if self.at_punct("/") and self.tokens[self.pos + 1][:2] == (
+            _T_PUNCT,
+            "@",
+        ):
+            self.take()  # '/'
+            return self._parse_attribute_test(path)
+        if self.at_punct("="):
+            self.take()
+            return QEquals(path, self.parse_constant())
+        return qpath(path)
+
+    def _parse_attribute_test(self, prefix) -> Qualifier:
+        self.expect_punct("@")
+        kind, name, _ = self.current()
+        if kind != _T_NAME:
+            raise self.error("expected an attribute name after '@'")
+        self.take()
+        if self.at_punct("="):
+            self.take()
+            return QAttrEquals(name, self.parse_constant(), prefix)
+        return QAttr(name, prefix)
+
+    def parse_constant(self):
+        kind, value, _ = self.current()
+        if kind == _T_STRING:
+            self.take()
+            return value
+        if kind == _T_NUMBER:
+            self.take()
+            return value
+        if kind == _T_PARAM:
+            self.take()
+            return Param(value)
+        raise self.error("expected a constant after '='")
+
+
+def parse_xpath(text: str) -> Path:
+    """Parse an XPath expression of the fragment ``C``."""
+    parser = _Parser(text)
+    result = parser.parse_query()
+    if not parser.at(_T_EOF):
+        _, found, offset = parser.current()
+        raise XPathSyntaxError("trailing input %r" % found, offset)
+    return result
+
+
+def parse_qualifier(text: str) -> Qualifier:
+    """Parse a bare qualifier expression, with or without brackets."""
+    stripped = text.strip()
+    if stripped.startswith("[") and stripped.endswith("]"):
+        stripped = stripped[1:-1]
+    parser = _Parser(stripped)
+    parser.qualifier_depth = 1
+    result = parser.parse_boolean()
+    if not parser.at(_T_EOF):
+        _, found, offset = parser.current()
+        raise XPathSyntaxError("trailing input %r" % found, offset)
+    return result

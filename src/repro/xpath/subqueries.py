@@ -1,0 +1,43 @@
+"""Enumeration of sub-queries in "ascending" order.
+
+Algorithm ``rewrite`` (Fig. 6) iterates over "the list of all
+sub-queries of p in ascending order, such that all sub-queries of p'
+(i.e., its descendants in p's parse tree) precede p'".  That is a
+deduplicated postorder of the parse tree; structurally identical
+sub-queries occurring at several positions share one entry (and hence
+one dynamic-programming cell).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.xpath.ast import Path, Qualifier, _Node
+
+
+def ascending_subqueries(query: Path) -> List[_Node]:
+    """All distinct sub-queries (paths and qualifiers) of ``query``,
+    children before parents, ending with ``query`` itself."""
+    ordered: List[_Node] = []
+    seen = set()
+    for node in query.iter_nodes():
+        if node not in seen:
+            seen.add(node)
+            ordered.append(node)
+    return ordered
+
+
+def path_subqueries(query: Path) -> List[Path]:
+    """Only the path-typed sub-queries, ascending."""
+    return [
+        node for node in ascending_subqueries(query) if isinstance(node, Path)
+    ]
+
+
+def qualifier_subqueries(query: Path) -> List[Qualifier]:
+    """Only the qualifier-typed sub-queries, ascending."""
+    return [
+        node
+        for node in ascending_subqueries(query)
+        if isinstance(node, Qualifier)
+    ]

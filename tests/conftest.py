@@ -1,0 +1,94 @@
+"""Shared fixtures: the paper's hospital running example and the
+reconstructed Adex workload of Section 6."""
+
+import pytest
+
+from repro.core.derive import derive
+from repro.core.spec import AccessSpec
+from repro.dtd.generator import DocumentGenerator
+from repro.workloads.adex import adex_document, adex_dtd, adex_spec
+from repro.workloads.hospital import (
+    hospital_document,
+    hospital_dtd,
+    nurse_spec,
+)
+
+
+@pytest.fixture(scope="session")
+def hospital():
+    """The hospital document DTD of Fig. 1."""
+    return hospital_dtd()
+
+
+@pytest.fixture(scope="session")
+def nurse(hospital):
+    """The nurse spec of Fig. 4 with $wardNo bound to "2"."""
+    return nurse_spec(hospital).bind(wardNo="2")
+
+
+@pytest.fixture(scope="session")
+def nurse_view(nurse):
+    """The derived security view of Example 3.2."""
+    return derive(nurse)
+
+
+@pytest.fixture()
+def hospital_doc():
+    """A mid-sized conforming hospital document (seed chosen to carry
+    both ward-2 and other-ward patients, trials and regulars)."""
+    return hospital_document(seed=7, max_branch=4)
+
+
+@pytest.fixture(scope="session")
+def adex():
+    return adex_dtd()
+
+
+@pytest.fixture(scope="session")
+def adex_policy(adex):
+    return adex_spec(adex)
+
+
+@pytest.fixture(scope="session")
+def adex_view(adex_policy):
+    return derive(adex_policy)
+
+
+@pytest.fixture()
+def adex_doc():
+    return adex_document(seed=1, buyers=12, ads=48)
+
+
+@pytest.fixture(scope="session")
+def recursive_dtd():
+    """The recursive DTD family of Fig. 7(b)/(c): r -> a, a -> (b|c),
+    c -> a, with a and c hidden."""
+    from repro.dtd.parser import parse_dtd
+
+    return parse_dtd(
+        """
+        <!ELEMENT r (a)>
+        <!ELEMENT a (b | c)>
+        <!ELEMENT c (a)>
+        <!ELEMENT b (#PCDATA)>
+        """
+    )
+
+
+@pytest.fixture(scope="session")
+def recursive_spec(recursive_dtd):
+    spec = AccessSpec(recursive_dtd, name="rec")
+    spec.annotate("r", "a", "N")
+    spec.annotate("a", "b", "Y")
+    return spec
+
+
+@pytest.fixture(scope="session")
+def recursive_view(recursive_spec):
+    return derive(recursive_spec)
+
+
+def make_recursive_doc(recursive_dtd, seed=3, max_depth=11):
+    return DocumentGenerator(
+        recursive_dtd, seed=seed, max_depth=max_depth
+    ).generate()

@@ -1,0 +1,128 @@
+"""Property-based tests for content models: the derivative matcher
+agrees with an independent backtracking reference implementation."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dtd.content import (
+    Choice,
+    ContentModel,
+    Epsilon,
+    Name,
+    Opt,
+    Plus,
+    Seq,
+    Star,
+    Str,
+    TEXT_SYMBOL,
+    _EmptySet,
+)
+
+from tests.property.strategies import content_model_strategy
+
+ALPHABET = ("a", "b", "c")
+
+
+def reference_match(content: ContentModel, word, start=0):
+    """Independent reference matcher: the set of positions reachable
+    after consuming a prefix of ``word[start:]`` with ``content``."""
+    if isinstance(content, Epsilon):
+        return {start}
+    if isinstance(content, _EmptySet):
+        return set()
+    if isinstance(content, Str):
+        result = {start}
+        position = start
+        while position < len(word) and word[position] == TEXT_SYMBOL:
+            position += 1
+            result.add(position)
+        return result
+    if isinstance(content, Name):
+        if start < len(word) and word[start] == content.name:
+            return {start + 1}
+        return set()
+    if isinstance(content, Seq):
+        positions = {start}
+        for item in content.items:
+            positions = {
+                after
+                for middle in positions
+                for after in reference_match(item, word, middle)
+            }
+        return positions
+    if isinstance(content, Choice):
+        result = set()
+        for item in content.items:
+            result |= reference_match(item, word, start)
+        return result
+    if isinstance(content, Star):
+        result = {start}
+        frontier = {start}
+        while frontier:
+            fresh = set()
+            for middle in frontier:
+                for after in reference_match(content.item, word, middle):
+                    if after not in result:
+                        fresh.add(after)
+            result |= fresh
+            frontier = fresh
+        return result
+    if isinstance(content, Plus):
+        # e+ == e, e*
+        return reference_match(Seq([content.item, Star(content.item)]), word, start)
+    if isinstance(content, Opt):
+        return {start} | reference_match(content.item, word, start)
+    raise TypeError(content)
+
+
+def derivative_match(content: ContentModel, word) -> bool:
+    current = content
+    for symbol in word:
+        current = current.derivative(symbol)
+    return current.nullable()
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    content_model_strategy(names=ALPHABET),
+    st.lists(st.sampled_from(ALPHABET), max_size=6),
+)
+def test_derivatives_agree_with_reference(content, word):
+    expected = len(word) in reference_match(content, tuple(word))
+    assert derivative_match(content, word) == expected
+
+
+@settings(max_examples=150, deadline=None)
+@given(content_model_strategy(names=ALPHABET))
+def test_nullable_means_empty_word(content):
+    assert content.nullable() == (0 in reference_match(content, ()))
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    content_model_strategy(names=ALPHABET),
+    st.sampled_from(ALPHABET),
+)
+def test_first_symbols_complete(content, symbol):
+    """A symbol outside first_symbols can never begin a word."""
+    if symbol not in content.first_symbols():
+        derived = content.derivative(symbol)
+        assert not derived.nullable() and not derived.first_symbols()
+
+
+@settings(max_examples=100, deadline=None)
+@given(content_model_strategy(names=ALPHABET))
+def test_normalization_preserves_leaf_types(content):
+    from repro.dtd.dtd import DTD
+    from repro.dtd.content import STR
+    from repro.dtd.normalize import normalize_dtd
+
+    productions = {"root": content}
+    for name in ALPHABET:
+        productions[name] = STR
+    dtd = DTD("root", productions)
+    normalized, _ = normalize_dtd(dtd)
+    assert normalized.is_normal_form()
+    assert normalized.root == "root"
+    # every original type survives
+    assert set(dtd.productions) <= set(normalized.productions)

@@ -1,0 +1,89 @@
+"""Property-based round-trip tests for the XML and DTD serializers."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dtd.parser import parse_dtd
+from repro.xmlmodel.nodes import XMLElement
+from repro.xmlmodel.parser import parse_document
+from repro.xmlmodel.serialize import pretty_print, serialize
+
+from tests.property.strategies import dag_dtd_strategy
+
+_LABELS = ("a", "b", "c-d", "e.f", "_g")
+#: Text including every character the escapers must handle.
+_TEXT = st.text(
+    alphabet=st.sampled_from(list("ab<>&\"' \t\n7é")), max_size=12
+)
+_ATTR_NAMES = ("x", "y", "long-name")
+
+
+@st.composite
+def xml_tree_strategy(draw, max_depth=4):
+    label = draw(st.sampled_from(_LABELS))
+    element = XMLElement(label)
+    for name in _ATTR_NAMES:
+        if draw(st.booleans()):
+            element.set(name, draw(_TEXT))
+    if max_depth > 0:
+        for _ in range(draw(st.integers(0, 3))):
+            if draw(st.booleans()):
+                child_text = draw(_TEXT)
+                # adjacent text nodes merge on reparse, and
+                # whitespace-only text is dropped by default: normalize
+                if child_text.strip() and not (
+                    element.children and element.children[-1].is_text
+                ):
+                    element.add_text(child_text)
+            else:
+                element.append(
+                    draw(xml_tree_strategy(max_depth=max_depth - 1))
+                )
+    return element
+
+
+@settings(max_examples=150, deadline=None)
+@given(xml_tree_strategy())
+def test_serialize_parse_roundtrip(tree):
+    assert parse_document(serialize(tree)).structurally_equal(tree)
+
+
+@settings(max_examples=100, deadline=None)
+@given(xml_tree_strategy())
+def test_serialize_is_deterministic(tree):
+    assert serialize(tree) == serialize(tree)
+
+
+@settings(max_examples=80, deadline=None)
+@given(xml_tree_strategy())
+def test_pretty_print_preserves_element_structure(tree):
+    # pretty printing may re-indent text, so compare element skeletons
+    reparsed = parse_document(pretty_print(tree))
+
+    def skeleton(node):
+        return (
+            node.label,
+            tuple(sorted(node.attributes.items())),
+            tuple(
+                skeleton(child)
+                for child in node.children
+                if child.is_element
+            ),
+        )
+
+    assert skeleton(reparsed) == skeleton(tree)
+
+
+@settings(max_examples=80, deadline=None)
+@given(dag_dtd_strategy())
+def test_dtd_text_roundtrip(dtd):
+    assert parse_dtd(dtd.to_dtd_text()) == dtd
+
+
+@settings(max_examples=60, deadline=None)
+@given(dag_dtd_strategy(), st.integers(0, 100))
+def test_generated_document_serialization_roundtrip(dtd, seed):
+    from repro.dtd.generator import DocumentGenerator
+
+    document = DocumentGenerator(dtd, seed=seed).generate()
+    assert parse_document(serialize(document)).structurally_equal(document)

@@ -1,0 +1,48 @@
+"""Property-based tests for the XPath substrate."""
+
+from hypothesis import given, settings
+
+from repro.xpath.parser import parse_xpath
+from repro.xpath.subqueries import ascending_subqueries
+
+from tests.property.strategies import path_strategy
+
+
+@settings(max_examples=150, deadline=None)
+@given(path_strategy())
+def test_serialization_roundtrip(query):
+    """str -> parse is the identity on ASTs (up to smart-constructor
+    normalization, which the generators already apply)."""
+    assert parse_xpath(str(query)) == query
+
+
+@settings(max_examples=100, deadline=None)
+@given(path_strategy())
+def test_double_roundtrip_stable(query):
+    once = parse_xpath(str(query))
+    assert parse_xpath(str(once)) == once
+
+
+@settings(max_examples=100, deadline=None)
+@given(path_strategy())
+def test_structural_equality_consistent_with_hash(query):
+    clone = parse_xpath(str(query))
+    assert hash(clone) == hash(query)
+
+
+@settings(max_examples=100, deadline=None)
+@given(path_strategy())
+def test_subqueries_respect_topology(query):
+    ordered = ascending_subqueries(query)
+    assert ordered[-1] == query
+    positions = {node: i for i, node in enumerate(ordered)}
+    for node in ordered:
+        for child in node.children():
+            assert positions[child] < positions[node]
+
+
+@settings(max_examples=100, deadline=None)
+@given(path_strategy())
+def test_size_positive_and_additive(query):
+    assert query.size() >= 1
+    assert query.size() >= len(ascending_subqueries(query))

@@ -1,0 +1,115 @@
+"""Unit tests for the benchmark drivers."""
+
+import pytest
+
+from repro.benchtools.scaling import (
+    alternating_spec,
+    chain_dtd,
+    chain_sizes,
+    deep_query,
+    descendant_query,
+    diamond_dtd,
+    full_access_spec,
+    qualifier_query,
+    star_tree_dtd,
+    union_query,
+    wide_dtd,
+)
+from repro.benchtools.table1 import Cell, format_table, run_table1
+from repro.core.derive import derive
+from repro.core.rewrite import Rewriter
+from repro.dtd.validate import conforms
+
+
+class TestScalingFamilies:
+    @pytest.mark.parametrize("size", [1, 4, 9])
+    def test_chain_dtd(self, size):
+        dtd = chain_dtd(size)
+        assert dtd.is_normal_form()
+        assert dtd.is_consistent()
+        assert len(dtd.element_types) == size + 1
+
+    @pytest.mark.parametrize("width", [1, 5])
+    def test_wide_dtd(self, width):
+        dtd = wide_dtd(width)
+        assert dtd.is_normal_form()
+        assert len(dtd.children_of("r")) == width
+
+    @pytest.mark.parametrize("layers", [1, 3, 6])
+    def test_diamond_dtd(self, layers):
+        dtd = diamond_dtd(layers)
+        assert dtd.is_normal_form()
+        assert dtd.is_consistent()
+        assert not dtd.is_recursive()
+        # 2^layers root-to-leaf label paths
+        rewriter = Rewriter(derive(full_access_spec(dtd)))
+        from repro.xpath.ast import Descendant, Label
+
+        rewritten = rewriter.rewrite(Descendant(Label("d%d" % layers)))
+        assert not rewritten.is_empty
+
+    def test_star_tree(self):
+        dtd = star_tree_dtd(3, fanout=2)
+        assert dtd.is_normal_form()
+        assert len(dtd.element_types) == 2 ** 4 - 1
+
+    def test_alternating_spec_derives(self):
+        size = 9
+        view = derive(alternating_spec(chain_dtd(size), size))
+        exposed = view.exposed_dtd().to_dtd_text()
+        assert "a1 " not in exposed  # odd nodes hidden
+
+    def test_query_families(self):
+        assert deep_query(4).size() >= 4
+        assert descendant_query(3).size() >= 3
+        assert len(union_query(5).branches) == 5
+        assert qualifier_query(3).size() > 3
+        assert chain_sizes(3, start=4) == [4, 8, 16]
+
+
+class TestTable1Driver:
+    def test_run_and_format(self):
+        rows = run_table1(
+            datasets=["D1"], queries=["Q1", "Q4"], scale=0.05, repeat=1
+        )
+        assert set(rows) == {"Q1", "Q4"}
+        row = rows["Q1"]["D1"]
+        assert row["naive"].seconds > 0
+        assert row["rewrite"].seconds >= 0
+        assert row["optimize"].skipped  # Q1 has no further optimization
+        assert rows["Q4"]["D1"]["optimize"].results == 0
+        text = format_table(rows, scale=0.05)
+        assert "Q1" in text and "Naive" in text and "-" in text
+
+    def test_naive_visits_dominate(self):
+        rows = run_table1(datasets=["D1"], queries=["Q2"], scale=0.1)
+        row = rows["Q2"]["D1"]
+        assert row["naive"].visits > row["rewrite"].visits
+
+    def test_cell_render(self):
+        assert Cell(0.5, 10, 3).render() == "0.5000"
+        assert Cell(0.0, 0, 0, skipped=True).render() == "-"
+
+    def test_main_entrypoint(self, capsys):
+        from repro.benchtools.table1 import main
+
+        assert main(["--scale", "0.05", "--datasets", "D1"]) == 0
+        output = capsys.readouterr().out
+        assert "Table 1" in output
+        assert "Q4" in output
+
+
+class TestGeneratedFamiliesConform:
+    def test_chain_instances(self):
+        from repro.dtd.generator import DocumentGenerator
+
+        dtd = chain_dtd(6)
+        tree = DocumentGenerator(dtd, seed=0).generate()
+        assert conforms(tree, dtd)
+
+    def test_diamond_instances(self):
+        from repro.dtd.generator import DocumentGenerator
+
+        dtd = diamond_dtd(4)
+        tree = DocumentGenerator(dtd, seed=1).generate()
+        assert conforms(tree, dtd)

@@ -1,0 +1,145 @@
+"""Unit tests for document-node accessibility (Prop. 3.1 semantics)."""
+
+import pytest
+
+from repro.core.accessibility import (
+    ACCESSIBILITY_ATTRIBUTE,
+    accessible_nodes,
+    annotate_accessibility,
+    compute_accessibility,
+    is_accessible,
+    strip_accessibility,
+)
+from repro.core.spec import AccessSpec
+from repro.workloads.hospital import hospital_dtd
+from repro.xmlmodel.parser import parse_document
+
+DOC = """
+<hospital>
+  <dept>
+    <clinicalTrial>
+      <patientInfo>
+        <patient><name>tom</name><wardNo>2</wardNo>
+          <treatment><trial><bill>100</bill></trial></treatment>
+        </patient>
+      </patientInfo>
+    </clinicalTrial>
+    <patientInfo>
+      <patient><name>ann</name><wardNo>2</wardNo>
+        <treatment><regular><bill>70</bill><medication>iron</medication></regular></treatment>
+      </patient>
+    </patientInfo>
+    <staffInfo><staff><nurse>nina</nurse></staff></staffInfo>
+  </dept>
+  <dept>
+    <clinicalTrial><patientInfo/></clinicalTrial>
+    <patientInfo>
+      <patient><name>bob</name><wardNo>9</wardNo>
+        <treatment><trial><bill>10</bill></trial></treatment>
+      </patient>
+    </patientInfo>
+    <staffInfo/>
+  </dept>
+</hospital>
+"""
+
+
+@pytest.fixture()
+def document():
+    return parse_document(DOC)
+
+
+@pytest.fixture()
+def dtd():
+    return hospital_dtd()
+
+
+def nurse(dtd, ward="2"):
+    from repro.workloads.hospital import nurse_spec
+
+    return nurse_spec(dtd).bind(wardNo=ward)
+
+
+def labels_of_accessible(document, spec):
+    return sorted(
+        node.label for node in accessible_nodes(document, spec)
+    )
+
+
+class TestSemantics:
+    def test_root_always_accessible(self, document, dtd):
+        spec = AccessSpec(dtd)
+        assert is_accessible(document, document, spec)
+
+    def test_inheritance_default_all_accessible(self, document, dtd):
+        spec = AccessSpec(dtd)
+        accessibility = compute_accessibility(document, spec)
+        assert all(accessibility.values())
+
+    def test_n_annotation_blocks_subtree_by_inheritance(self, document, dtd):
+        spec = AccessSpec(dtd).annotate("dept", "clinicalTrial", "N")
+        accessible = labels_of_accessible(document, spec)
+        assert "clinicalTrial" not in accessible
+        # patients under clinicalTrial inherit inaccessibility
+        trial_patient = document.find_all("clinicalTrial")[0].find_all("patient")
+        flags = compute_accessibility(document, spec)
+        assert all(not flags[id(node)] for node in trial_patient)
+
+    def test_override_y_below_n(self, document, dtd):
+        spec = AccessSpec(dtd)
+        spec.annotate("dept", "clinicalTrial", "N")
+        spec.annotate("clinicalTrial", "patientInfo", "Y")
+        flags = compute_accessibility(document, spec)
+        hidden = document.find_all("clinicalTrial")[0]
+        revealed = hidden.find_all("patientInfo")[0]
+        assert not flags[id(hidden)]
+        assert flags[id(revealed)]
+
+    def test_conditional_annotation(self, document, dtd):
+        spec = nurse(dtd, ward="2")
+        flags = compute_accessibility(document, spec)
+        ward2_dept, ward9_dept = document.find_all("dept")
+        assert flags[id(ward2_dept)]
+        assert not flags[id(ward9_dept)]
+
+    def test_failed_condition_blocks_descendant_y(self, document, dtd):
+        # bill under the ward-9 dept is annotated Y, but the failing
+        # dept qualifier must still block it (ancestor condition rule)
+        spec = nurse(dtd, ward="2")
+        flags = compute_accessibility(document, spec)
+        ward9_dept = document.find_all("dept")[1]
+        for bill in ward9_dept.find_all("bill"):
+            assert not flags[id(bill)]
+
+    def test_full_nurse_policy(self, document, dtd):
+        spec = nurse(dtd, ward="2")
+        accessible = labels_of_accessible(document, spec)
+        assert "clinicalTrial" not in accessible
+        assert "trial" not in accessible
+        assert "regular" not in accessible
+        assert accessible.count("bill") == 2  # tom's and ann's
+        assert accessible.count("patient") == 2
+        assert "medication" in accessible
+
+
+class TestAnnotationAttribute:
+    def test_annotate_document_counts(self, document, dtd):
+        spec = nurse(dtd, ward="2")
+        count = annotate_accessibility(document, spec)
+        flags = compute_accessibility(document, spec)
+        assert count == sum(1 for value in flags.values() if value)
+
+    def test_annotate_document_attributes(self, document, dtd):
+        spec = nurse(dtd, ward="2")
+        annotate_accessibility(document, spec)
+        hidden = document.find_all("clinicalTrial")[0]
+        assert hidden.get(ACCESSIBILITY_ATTRIBUTE) == "0"
+        assert document.get(ACCESSIBILITY_ATTRIBUTE) == "1"
+
+    def test_strip(self, document, dtd):
+        annotate_accessibility(document, nurse(dtd))
+        strip_accessibility(document)
+        assert all(
+            ACCESSIBILITY_ATTRIBUTE not in node.attributes
+            for node in document.iter_elements()
+        )

@@ -1,0 +1,112 @@
+"""Corner-case coverage for public API surfaces exercised nowhere
+else: explicit height bounds, absolute reach, the public qualifier
+optimizer, and engine edge paths."""
+
+import pytest
+
+from repro.core.engine import SecureQueryEngine
+from repro.core.optimize import Optimizer
+from repro.core.rewrite import Rewriter
+from repro.core.unfold import unfold_view
+from repro.workloads.hospital import hospital_dtd, nurse_spec
+from repro.xpath.parser import parse_qualifier, parse_xpath
+
+
+class TestRewriteQueryWithHeightBound:
+    def test_int_height_instead_of_document(
+        self, recursive_dtd, recursive_spec
+    ):
+        engine = SecureQueryEngine(recursive_dtd)
+        engine.register_policy("rec", recursive_spec)
+        rewritten = engine.rewrite_query("rec", "//b", document=6)
+        assert not rewritten.is_empty
+        # taller bound covers deeper occurrences: strictly more branches
+        taller = engine.rewrite_query("rec", "//b", document=10)
+        assert len(str(taller)) > len(str(rewritten))
+
+    def test_unfold_idempotent_for_dag(self, nurse_view):
+        assert unfold_view(nurse_view, 12) is nurse_view
+
+
+class TestReach:
+    def test_reach_absolute_query(self, nurse_view):
+        rewriter = Rewriter(nurse_view)
+        assert rewriter.reach(parse_xpath("/hospital/dept")) == ["dept"]
+        reached = rewriter.reach(parse_xpath("//bill"))
+        assert "bill" in reached
+
+    def test_reach_with_context_override(self, nurse_view):
+        rewriter = Rewriter(nurse_view)
+        assert rewriter.reach(parse_xpath("patient"), "patientInfo") == [
+            "patient"
+        ]
+
+
+class TestPublicQualifierOptimizer:
+    def test_optimize_qualifier_direct(self):
+        optimizer = Optimizer(hospital_dtd())
+        folded = optimizer.optimize_qualifier(
+            parse_qualifier("[name and wardNo]"), "patient"
+        )
+        assert str(folded) == "true()"
+        kept = optimizer.optimize_qualifier(
+            parse_qualifier("[treatment/trial]"), "patient"
+        )
+        assert str(kept) == "treatment/trial"
+
+    def test_optimize_with_context_override(self):
+        optimizer = Optimizer(hospital_dtd())
+        result = optimizer.optimize(parse_xpath("patient/name"), context="patientInfo")
+        assert str(result) == "patient/name"
+        nothing = optimizer.optimize(parse_xpath("dept"), context="patientInfo")
+        assert nothing.is_empty
+
+
+class TestEngineCorners:
+    def test_rewrite_query_without_document_for_dag_views(self):
+        dtd = hospital_dtd()
+        engine = SecureQueryEngine(dtd)
+        engine.register_policy("nurse", nurse_spec(dtd), wardNo="2")
+        rewritten = engine.rewrite_query("nurse", "//patient")
+        assert "dept" in str(rewritten)
+
+    def test_register_policy_returns_view(self):
+        dtd = hospital_dtd()
+        engine = SecureQueryEngine(dtd)
+        view = engine.register_policy("nurse", nurse_spec(dtd), wardNo="1")
+        assert view.root.label == "hospital"
+
+    def test_preserve_choice_branches_flag_threaded(self):
+        from repro.dtd.parser import parse_dtd
+        from repro.core.spec import AccessSpec
+
+        dtd = parse_dtd(
+            "<!ELEMENT r (keep | gone)>"
+            "<!ELEMENT keep (#PCDATA)><!ELEMENT gone (#PCDATA)>"
+        )
+        spec = AccessSpec(dtd).annotate("r", "gone", "N")
+        engine = SecureQueryEngine(dtd)
+        literal = engine.register_policy(
+            "literal", spec, preserve_choice_branches=False
+        )
+        assert literal.warnings
+        softened = engine.register_policy("soft", spec)
+        assert not softened.warnings
+
+    def test_query_with_empty_result_types(self):
+        dtd = hospital_dtd()
+        engine = SecureQueryEngine(dtd)
+        engine.register_policy("nurse", nurse_spec(dtd), wardNo="2")
+        from repro.workloads.hospital import hospital_document
+
+        document = hospital_document(seed=2, max_branch=2)
+        assert engine.query("nurse", "0", document) == []
+        assert engine.query("nurse", ".", document)[0].label == "hospital"
+
+
+class TestViewDescribeAndRepr:
+    def test_reprs_do_not_crash(self, nurse_view, nurse):
+        assert "SecurityView" in repr(nurse_view)
+        assert "AccessSpec" in repr(nurse)
+        for node in nurse_view.nodes.values():
+            assert "ViewNode" in repr(node)

@@ -1,0 +1,173 @@
+"""Unit tests for DTD-constraint qualifier evaluation (Example 5.1:
+co-existence, exclusive, non-existence constraints)."""
+
+import pytest
+
+from repro.core.constraints import (
+    evaluate_qualifier_bool,
+    exclusive_conflict,
+    path_exists_bool,
+    required_first_labels,
+)
+from repro.dtd.parser import parse_dtd
+from repro.xpath.parser import parse_qualifier, parse_xpath
+
+# Fig. 8's three shapes in one DTD
+DTD_TEXT = """
+<!ELEMENT r (coexist, exclusive, nonexist, stars)>
+<!ELEMENT coexist (b, c)>
+<!ELEMENT exclusive (b | c)>
+<!ELEMENT nonexist (d)>
+<!ELEMENT stars (b*)>
+<!ELEMENT b (#PCDATA)>
+<!ELEMENT c (#PCDATA)>
+<!ELEMENT d (#PCDATA)>
+"""
+
+
+@pytest.fixture(scope="module")
+def dtd():
+    return parse_dtd(DTD_TEXT)
+
+
+def qualifier_bool(dtd, text, node):
+    return evaluate_qualifier_bool(dtd, parse_qualifier(text), node)
+
+
+class TestExample51:
+    def test_coexistence_makes_conjunction_true(self, dtd):
+        # //a[b and c] == //a when a -> (b, c)   (Fig. 8a)
+        assert qualifier_bool(dtd, "[b and c]", "coexist") is True
+
+    def test_exclusive_makes_conjunction_false(self, dtd):
+        # //a[b and c] == 0 when a -> (b | c)    (Fig. 8b)
+        assert qualifier_bool(dtd, "[b and c]", "exclusive") is False
+
+    def test_nonexistence_prunes(self, dtd):
+        # b cannot have a c child                 (Fig. 8c)
+        assert qualifier_bool(dtd, "[c]", "nonexist") is False
+
+
+class TestPathExistence:
+    def test_required_child_true(self, dtd):
+        assert path_exists_bool(dtd, parse_xpath("b"), "coexist") is True
+
+    def test_choice_child_unknown(self, dtd):
+        assert path_exists_bool(dtd, parse_xpath("b"), "exclusive") is None
+
+    def test_star_child_unknown(self, dtd):
+        assert path_exists_bool(dtd, parse_xpath("b"), "stars") is None
+
+    def test_absent_child_false(self, dtd):
+        assert path_exists_bool(dtd, parse_xpath("z"), "coexist") is False
+
+    def test_wildcard_cases(self, dtd):
+        # the paper's case (7)
+        assert path_exists_bool(dtd, parse_xpath("*"), "coexist") is True
+        assert path_exists_bool(dtd, parse_xpath("*"), "exclusive") is True
+        assert path_exists_bool(dtd, parse_xpath("*"), "stars") is None
+        assert path_exists_bool(dtd, parse_xpath("*"), "b") is False
+
+    def test_epsilon_true(self, dtd):
+        assert path_exists_bool(dtd, parse_xpath("."), "b") is True
+
+    def test_empty_false(self, dtd):
+        assert path_exists_bool(dtd, parse_xpath("0"), "r") is False
+
+    def test_chain_through_required(self, dtd):
+        assert path_exists_bool(dtd, parse_xpath("coexist/b"), "r") is True
+        assert path_exists_bool(dtd, parse_xpath("coexist/z"), "r") is False
+        assert path_exists_bool(dtd, parse_xpath("stars/b"), "r") is None
+
+    def test_union(self, dtd):
+        assert path_exists_bool(dtd, parse_xpath("coexist | z"), "r") is True
+        assert path_exists_bool(dtd, parse_xpath("z | zz"), "r") is False
+        assert (
+            path_exists_bool(dtd, parse_xpath("z | stars/b"), "r") is None
+        )
+
+    def test_descendant(self, dtd):
+        from repro.xpath.ast import Descendant, Label
+
+        assert path_exists_bool(dtd, Descendant(Label("b")), "r") is None
+        assert path_exists_bool(dtd, Descendant(Label("z")), "r") is False
+        assert (
+            path_exists_bool(dtd, Descendant(Label("coexist")), "r") is True
+        )
+
+    def test_qualified(self, dtd):
+        query = parse_xpath("coexist[b]")
+        assert path_exists_bool(dtd, query, "r") is True
+        assert path_exists_bool(dtd, parse_xpath("coexist[z]"), "r") is False
+
+    def test_text_step(self, dtd):
+        from repro.xpath.ast import TextStep
+
+        assert path_exists_bool(dtd, TextStep(), "b") is None
+        assert path_exists_bool(dtd, TextStep(), "coexist") is False
+
+
+class TestQualifierConnectives:
+    def test_equality_never_true(self, dtd):
+        assert qualifier_bool(dtd, '[b = "x"]', "coexist") is None
+        assert qualifier_bool(dtd, '[z = "x"]', "coexist") is False
+
+    def test_or(self, dtd):
+        assert qualifier_bool(dtd, "[b or z]", "coexist") is True
+        assert qualifier_bool(dtd, "[z or zz]", "coexist") is False
+        assert qualifier_bool(dtd, "[b or c]", "exclusive") is None
+
+    def test_not(self, dtd):
+        assert qualifier_bool(dtd, "[not(z)]", "coexist") is True
+        assert qualifier_bool(dtd, "[not(b)]", "coexist") is False
+        assert qualifier_bool(dtd, "[not(b)]", "exclusive") is None
+
+    def test_attribute_unknown(self, dtd):
+        assert qualifier_bool(dtd, "[@x]", "coexist") is None
+
+    def test_and_partial_knowledge(self, dtd):
+        # one conjunct decided true, the other data-dependent
+        assert qualifier_bool(dtd, "[b and c]", "stars") is False
+        assert qualifier_bool(dtd, "[b and b]", "stars") is None
+
+
+class TestExclusiveConflict:
+    def test_required_first_labels(self):
+        assert required_first_labels(parse_qualifier("[b/x]")) == {"b"}
+        assert required_first_labels(parse_qualifier("[(b | c)/x]")) == {
+            "b",
+            "c",
+        }
+        assert required_first_labels(parse_qualifier("[b and c]")) in (
+            {"b"},
+            {"c"},
+        )
+        assert required_first_labels(parse_qualifier("[b or c]")) == {"b", "c"}
+        assert required_first_labels(parse_qualifier("[//b]")) is None
+        assert required_first_labels(parse_qualifier("[*]")) is None
+
+    def test_conflict_at_choice(self, dtd):
+        assert exclusive_conflict(
+            dtd,
+            parse_qualifier("[b]"),
+            parse_qualifier("[c]"),
+            "exclusive",
+        )
+
+    def test_no_conflict_at_seq(self, dtd):
+        assert not exclusive_conflict(
+            dtd, parse_qualifier("[b]"), parse_qualifier("[c]"), "coexist"
+        )
+
+    def test_no_conflict_with_shared_label(self, dtd):
+        assert not exclusive_conflict(
+            dtd,
+            parse_qualifier("[b or c]"),
+            parse_qualifier("[b]"),
+            "exclusive",
+        )
+
+    def test_adex_q4_conflict(self, adex):
+        left = parse_qualifier("[house/r-e.asking-price]")
+        right = parse_qualifier("[apartment/r-e.unit-type]")
+        assert exclusive_conflict(adex, left, right, "real-estate")

@@ -1,0 +1,351 @@
+"""Unit tests for Algorithm derive (Fig. 5)."""
+
+import pytest
+
+from repro.errors import ViewDerivationError
+from repro.dtd.content import Choice, Epsilon, Name, Seq, Star, Str
+from repro.dtd.parser import parse_dtd
+from repro.core.derive import derive
+from repro.core.spec import AccessSpec, STR_CHILD
+from repro.xpath.parser import parse_xpath
+
+
+def sigma_text_of(view, parent, child):
+    return str(view.sigma_of(parent, child))
+
+
+class TestPaperExample:
+    """The nurse view of Example 3.2 / Fig. 2, structure and sigma."""
+
+    def test_view_dtd_shape(self, nurse_view):
+        node = nurse_view.node("dept")
+        assert node.content == Seq(
+            [Star(Name("patientInfo")), Name("staffInfo")]
+        )
+        treatment = nurse_view.node("treatment")
+        assert isinstance(treatment.content, Choice)
+        assert set(treatment.child_keys()) == {"dummy1", "dummy2"}
+
+    def test_dummies_hide_labels(self, nurse_view):
+        assert nurse_view.node("dummy1").content == Name("bill")
+        assert nurse_view.node("dummy2").content == Seq(
+            [Name("bill"), Name("medication")]
+        )
+        assert nurse_view.node("dummy1").is_dummy
+        assert nurse_view.node("dummy2").is_dummy
+
+    def test_sigma_annotations(self, nurse_view):
+        assert sigma_text_of(nurse_view, "treatment", "dummy1") == "trial"
+        assert sigma_text_of(nurse_view, "treatment", "dummy2") == "regular"
+        assert sigma_text_of(nurse_view, "dummy1", "bill") == "bill"
+        assert (
+            sigma_text_of(nurse_view, "dept", "patientInfo")
+            == "(clinicalTrial/patientInfo | patientInfo)"
+        )
+        assert (
+            sigma_text_of(nurse_view, "hospital", "dept")
+            == 'dept[*/patient/wardNo = "2"]'
+        )
+
+    def test_confidential_labels_absent(self, nurse_view):
+        exposed = nurse_view.exposed_dtd().to_dtd_text()
+        for secret in ("clinicalTrial", "trial", "regular"):
+            assert secret not in exposed
+
+    def test_view_is_dag(self, nurse_view):
+        assert not nurse_view.is_recursive()
+
+    def test_no_warnings_for_nurse_policy(self, nurse_view):
+        # the conditional sits under a star production -> safe
+        assert nurse_view.warnings == []
+
+
+class TestPruning:
+    def test_fully_inaccessible_subtree_pruned(self):
+        dtd = parse_dtd(
+            """
+            <!ELEMENT r (keep, drop)>
+            <!ELEMENT keep (#PCDATA)>
+            <!ELEMENT drop (secret)>
+            <!ELEMENT secret (#PCDATA)>
+            """
+        )
+        spec = AccessSpec(dtd).annotate("r", "drop", "N")
+        view = derive(spec)
+        assert view.node("r").content == Name("keep")
+        assert "drop" not in view.reachable()
+        assert "secret" not in view.reachable()
+
+    def test_whole_view_can_collapse_to_root(self):
+        dtd = parse_dtd("<!ELEMENT r (a)><!ELEMENT a (#PCDATA)>")
+        spec = AccessSpec(dtd).annotate("r", "a", "N")
+        view = derive(spec)
+        assert isinstance(view.node("r").content, Epsilon)
+
+
+class TestShortcutting:
+    def test_seq_into_seq_splice(self):
+        dtd = parse_dtd(
+            """
+            <!ELEMENT r (m, z)>
+            <!ELEMENT m (a, b)>
+            <!ELEMENT a (#PCDATA)>
+            <!ELEMENT b (#PCDATA)>
+            <!ELEMENT z (#PCDATA)>
+            """
+        )
+        spec = AccessSpec(dtd)
+        spec.annotate("r", "m", "N")
+        spec.annotate("m", "a", "Y")
+        spec.annotate("m", "b", "Y")
+        view = derive(spec)
+        assert view.node("r").content == Seq(
+            [Name("a"), Name("b"), Name("z")]
+        )
+        assert sigma_text_of(view, "r", "a") == "m/a"
+        assert sigma_text_of(view, "r", "b") == "m/b"
+        assert sigma_text_of(view, "r", "z") == "z"
+
+    def test_multi_level_shortcut(self):
+        dtd = parse_dtd(
+            """
+            <!ELEMENT r (m)>
+            <!ELEMENT m (n)>
+            <!ELEMENT n (a)>
+            <!ELEMENT a (#PCDATA)>
+            """
+        )
+        spec = AccessSpec(dtd)
+        spec.annotate("r", "m", "N")
+        spec.annotate("n", "a", "Y")
+        view = derive(spec)
+        assert view.node("r").content == Name("a")
+        assert sigma_text_of(view, "r", "a") == "m/n/a"
+
+    def test_choice_into_choice_splice(self):
+        dtd = parse_dtd(
+            """
+            <!ELEMENT r (m | z)>
+            <!ELEMENT m (a | b)>
+            <!ELEMENT a (#PCDATA)>
+            <!ELEMENT b (#PCDATA)>
+            <!ELEMENT z (#PCDATA)>
+            """
+        )
+        spec = AccessSpec(dtd)
+        spec.annotate("r", "m", "N")
+        spec.annotate("m", "a", "Y")
+        spec.annotate("m", "b", "Y")
+        view = derive(spec)
+        assert view.node("r").content == Choice(
+            [Name("a"), Name("b"), Name("z")]
+        )
+        assert sigma_text_of(view, "r", "a") == "m/a"
+
+    def test_compaction_of_duplicate_labels(self, nurse_view):
+        # Example 3.4: patientInfo^1, patientInfo^2 -> patientInfo*
+        production = nurse_view.node("dept").content
+        assert isinstance(production.items[0], Star)
+
+    def test_star_reg_under_star_splices(self):
+        dtd = parse_dtd(
+            """
+            <!ELEMENT r (m*)>
+            <!ELEMENT m (a*)>
+            <!ELEMENT a (#PCDATA)>
+            """
+        )
+        spec = AccessSpec(dtd)
+        spec.annotate("r", "m", "N")
+        spec.annotate("m", "a", "Y")
+        view = derive(spec)
+        assert view.node("r").content == Star(Name("a"))
+        assert sigma_text_of(view, "r", "a") == "m/a"
+
+    def test_single_name_reg_under_star_splices(self):
+        dtd = parse_dtd(
+            """
+            <!ELEMENT r (m*)>
+            <!ELEMENT m (a)>
+            <!ELEMENT a (#PCDATA)>
+            """
+        )
+        spec = AccessSpec(dtd)
+        spec.annotate("r", "m", "N")
+        spec.annotate("m", "a", "Y")
+        view = derive(spec)
+        assert view.node("r").content == Star(Name("a"))
+
+
+class TestDummies:
+    def test_seq_reg_under_choice_gets_dummy(self, nurse_view):
+        # trial -> (bill): a 1-ary concatenation does NOT splice into
+        # the treatment disjunction (Example 3.4)
+        assert nurse_view.node("dummy1").is_dummy
+
+    def test_choice_reg_under_seq_gets_dummy(self):
+        dtd = parse_dtd(
+            """
+            <!ELEMENT r (m, z)>
+            <!ELEMENT m (a | b)>
+            <!ELEMENT a (#PCDATA)>
+            <!ELEMENT b (#PCDATA)>
+            <!ELEMENT z (#PCDATA)>
+            """
+        )
+        spec = AccessSpec(dtd)
+        spec.annotate("r", "m", "N")
+        spec.annotate("m", "a", "Y")
+        spec.annotate("m", "b", "Y")
+        view = derive(spec)
+        (dummy_key,) = [
+            key
+            for key in view.children_of("r")
+            if view.node(key).is_dummy
+        ]
+        assert view.node(dummy_key).content == Choice([Name("a"), Name("b")])
+        assert sigma_text_of(view, "r", dummy_key) == "m"
+
+    def test_dummy_names_avoid_collision_with_dtd(self):
+        dtd = parse_dtd(
+            """
+            <!ELEMENT r (m, dummy1)>
+            <!ELEMENT m (a | b)>
+            <!ELEMENT a (#PCDATA)>
+            <!ELEMENT b (#PCDATA)>
+            <!ELEMENT dummy1 (#PCDATA)>
+            """
+        )
+        spec = AccessSpec(dtd)
+        spec.annotate("r", "m", "N")
+        spec.annotate("m", "a", "Y")
+        spec.annotate("m", "b", "Y")
+        view = derive(spec)
+        dummies = [k for k in view.reachable() if view.node(k).is_dummy]
+        assert dummies and all(not dtd.has_type(k) for k in dummies)
+
+
+class TestChoiceBranchRemoval:
+    def dtd_and_spec(self):
+        dtd = parse_dtd(
+            """
+            <!ELEMENT r (keep | gone)>
+            <!ELEMENT keep (#PCDATA)>
+            <!ELEMENT gone (secret)>
+            <!ELEMENT secret (#PCDATA)>
+            """
+        )
+        spec = AccessSpec(dtd).annotate("r", "gone", "N")
+        return dtd, spec
+
+    def test_default_preserves_branch_with_empty_dummy(self):
+        _, spec = self.dtd_and_spec()
+        view = derive(spec, preserve_choice_branches=True)
+        production = view.node("r").content
+        assert isinstance(production, Choice)
+        dummy_keys = [
+            item.name
+            for item in production.items
+            if view.node(item.name).is_dummy
+        ]
+        assert len(dummy_keys) == 1
+        assert isinstance(view.node(dummy_keys[0]).content, Epsilon)
+        assert view.warnings == []
+
+    def test_paper_literal_removal_warns(self):
+        _, spec = self.dtd_and_spec()
+        view = derive(spec, preserve_choice_branches=False)
+        assert view.node("r").content == Name("keep")
+        assert any("choice branch" in warning for warning in view.warnings)
+
+
+class TestStrAndConditionals:
+    def test_hidden_text_becomes_empty_production(self):
+        dtd = parse_dtd("<!ELEMENT r (a)><!ELEMENT a (#PCDATA)>")
+        spec = AccessSpec(dtd).annotate("a", STR_CHILD, "N")
+        view = derive(spec)
+        assert isinstance(view.node("a").content, Epsilon)
+        assert "a" not in view.sigma_text
+
+    def test_visible_text_has_sigma(self):
+        dtd = parse_dtd("<!ELEMENT r (a)><!ELEMENT a (#PCDATA)>")
+        view = derive(AccessSpec(dtd))
+        assert str(view.sigma_text["a"]) == "text()"
+
+    def test_conditional_under_seq_warns(self):
+        dtd = parse_dtd(
+            "<!ELEMENT r (a, b)><!ELEMENT a (#PCDATA)><!ELEMENT b (#PCDATA)>"
+        )
+        spec = AccessSpec(dtd).annotate("r", "a", '[text() = "x"]')
+        view = derive(spec)
+        assert any("materialization may abort" in w for w in view.warnings)
+
+    def test_conditional_under_star_is_safe(self, nurse_view):
+        assert nurse_view.warnings == []
+
+    def test_conditional_qualifier_preserved_in_sigma(self):
+        dtd = parse_dtd("<!ELEMENT r (a*)><!ELEMENT a (#PCDATA)>")
+        spec = AccessSpec(dtd).annotate("r", "a", '[text() = "ok"]')
+        view = derive(spec)
+        assert str(view.sigma_of("r", "a")) == 'a[text() = "ok"]'
+
+
+class TestRecursiveInaccessible:
+    def test_cycle_through_inaccessible_types(self, recursive_view):
+        # r -> a (hidden), a -> (b | c), c -> a (hidden): the view must
+        # retain the recursive structure through dummies
+        assert recursive_view.is_recursive()
+        exposed = {
+            recursive_view.node(key).label
+            for key in recursive_view.reachable()
+        }
+        assert "a" not in exposed and "c" not in exposed
+        assert "b" in exposed
+
+    def test_recursive_dummy_production_filled(self, recursive_view):
+        dummies = [
+            key
+            for key in recursive_view.reachable()
+            if recursive_view.node(key).is_dummy
+        ]
+        assert dummies
+        for key in dummies:
+            # every dummy must have a registered production
+            recursive_view.node(key)
+
+
+class TestPreconditions:
+    def test_non_normal_dtd_rejected(self):
+        from repro.dtd.content import Opt
+        from repro.dtd.dtd import DTD
+        from repro.dtd.content import Name as CName, STR
+
+        dtd = DTD("r", {"r": Opt(CName("a")), "a": STR})
+        with pytest.raises(ViewDerivationError):
+            derive(AccessSpec(dtd))
+
+    def test_identity_spec_reproduces_dtd(self):
+        dtd = parse_dtd(
+            """
+            <!ELEMENT r (a, b*)>
+            <!ELEMENT a (c | d)>
+            <!ELEMENT b (#PCDATA)>
+            <!ELEMENT c (#PCDATA)>
+            <!ELEMENT d EMPTY>
+            """
+        )
+        # normal-form: b* inside seq is not normal; rewrite the DTD
+        dtd = parse_dtd(
+            """
+            <!ELEMENT r (a, bs)>
+            <!ELEMENT bs (b*)>
+            <!ELEMENT a (c | d)>
+            <!ELEMENT b (#PCDATA)>
+            <!ELEMENT c (#PCDATA)>
+            <!ELEMENT d EMPTY>
+            """
+        )
+        view = derive(AccessSpec(dtd))
+        assert view.exposed_dtd() == dtd
+        for parent, child in view.sigma:
+            assert str(view.sigma_of(parent, child)) == child

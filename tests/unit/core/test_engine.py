@@ -1,0 +1,210 @@
+"""Unit tests for the SecureQueryEngine facade (Fig. 3)."""
+
+import pytest
+
+from repro.errors import QueryRejectedError, SecurityError
+from repro.core.engine import SecureQueryEngine
+from repro.workloads.hospital import (
+    doctor_spec,
+    hospital_document,
+    hospital_dtd,
+    nurse_spec,
+)
+
+
+@pytest.fixture()
+def engine():
+    dtd = hospital_dtd()
+    built = SecureQueryEngine(dtd)
+    built.register_policy("nurse", nurse_spec(dtd), wardNo="2")
+    built.register_policy("doctor", doctor_spec(dtd))
+    return built
+
+
+@pytest.fixture()
+def document():
+    return hospital_document(seed=7, max_branch=4)
+
+
+class TestPolicyAdministration:
+    def test_policies_listed(self, engine):
+        assert engine.policies() == ["doctor", "nurse"]
+
+    def test_duplicate_policy_rejected(self, engine):
+        with pytest.raises(SecurityError):
+            engine.register_policy("nurse", nurse_spec(hospital_dtd()))
+
+    def test_unbound_parameters_rejected(self):
+        dtd = hospital_dtd()
+        engine = SecureQueryEngine(dtd)
+        with pytest.raises(SecurityError):
+            engine.register_policy("nurse", nurse_spec(dtd))
+
+    def test_foreign_dtd_rejected(self):
+        from repro.core.spec import AccessSpec
+        from repro.dtd.parser import parse_dtd
+
+        other = parse_dtd("<!ELEMENT x (#PCDATA)>")
+        engine = SecureQueryEngine(hospital_dtd())
+        with pytest.raises(SecurityError):
+            engine.register_policy("p", AccessSpec(other))
+
+    def test_drop_policy(self, engine):
+        engine.drop_policy("doctor")
+        assert engine.policies() == ["nurse"]
+
+    def test_unknown_policy_rejected(self, engine, document):
+        with pytest.raises(SecurityError):
+            engine.query("ghost", "//patient", document)
+
+
+class TestViewExposure:
+    def test_nurse_view_hides_confidential_labels(self, engine):
+        text = engine.view_dtd_text("nurse")
+        for secret in ("clinicalTrial", "trial", "regular"):
+            assert secret not in text
+
+    def test_doctor_view_hides_staff(self, engine):
+        text = engine.view_dtd_text("doctor")
+        assert "staffInfo" not in text
+        assert "clinicalTrial" in text
+
+
+class TestQuerying:
+    def test_projected_results_are_view_shaped(self, engine, document):
+        results = engine.query("nurse", "//treatment", document)
+        assert results
+        for element in results:
+            assert element.label == "treatment"
+            child_labels = {child.label for child in element.element_children()}
+            assert child_labels <= {"dummy1", "dummy2"}
+
+    def test_raw_results_opt_out(self, engine, document):
+        raw = engine.query(
+            "nurse", "//treatment", document, project=False
+        )
+        assert raw
+        assert all(node.parent is not None for node in raw)
+
+    def test_results_restricted_by_policy(self, engine, document):
+        nurse_names = {
+            element.string_value()
+            for element in engine.query("nurse", "//patient/name", document)
+        }
+        doctor_names = {
+            element.string_value()
+            for element in engine.query("doctor", "//patient/name", document)
+        }
+        assert nurse_names <= doctor_names
+
+    def test_hidden_labels_return_nothing(self, engine, document):
+        assert engine.query("nurse", "//clinicalTrial", document) == []
+        assert engine.query("doctor", "//staffInfo", document) == []
+
+    def test_query_accepts_parsed_ast(self, engine, document):
+        from repro.xpath.parser import parse_xpath
+
+        parsed = parse_xpath("//patient/name")
+        assert engine.query("nurse", parsed, document) == engine.query(
+            "nurse", "//patient/name", document
+        ) or len(engine.query("nurse", parsed, document)) == len(
+            engine.query("nurse", "//patient/name", document)
+        )
+
+    def test_text_results_returned_as_strings(self, engine, document):
+        results = engine.query("nurse", "//patient/name/text()", document)
+        assert results and all(isinstance(value, str) for value in results)
+
+    def test_optimize_toggle_preserves_results(self, engine, document):
+        fast = engine.query("nurse", "//patient/name", document, optimize=True)
+        slow = engine.query("nurse", "//patient/name", document, optimize=False)
+        assert len(fast) == len(slow)
+
+
+class TestMaterializedStrategy:
+    def test_strategies_agree(self, engine, document):
+        from repro.xmlmodel.serialize import serialize
+
+        for text in ("//patient/name", "//treatment", "//patient/name/text()"):
+            via_rewrite = engine.query("nurse", text, document)
+            via_view = engine.query(
+                "nurse", text, document, strategy="materialized"
+            )
+            assert sorted(
+                value if isinstance(value, str) else serialize(value)
+                for value in via_rewrite
+            ) == sorted(
+                value if isinstance(value, str) else serialize(value)
+                for value in via_view
+            ), text
+
+    def test_materialized_view_cached(self, engine, document):
+        first = engine.query(
+            "nurse", "//patient", document, strategy="materialized"
+        )
+        second = engine.query(
+            "nurse", "//patient", document, strategy="materialized"
+        )
+        # same cached view tree => identical node objects
+        assert [id(node) for node in first] == [id(node) for node in second]
+
+    def test_invalidate_drops_cache(self, engine, document):
+        first = engine.query(
+            "nurse", "//patient", document, strategy="materialized"
+        )
+        engine.invalidate("nurse")
+        second = engine.query(
+            "nurse", "//patient", document, strategy="materialized"
+        )
+        if first:  # fresh materialization produces fresh objects
+            assert first[0] is not second[0]
+
+    def test_unknown_strategy_rejected(self, engine, document):
+        with pytest.raises(SecurityError):
+            engine.query("nurse", "//patient", document, strategy="magic")
+
+
+class TestExplain:
+    def test_report_fields(self, engine, document):
+        report = engine.explain("nurse", "//patient//bill", document)
+        assert "dept" in str(report.rewritten)
+        assert report.result_count >= 0
+        assert report.visits > 0
+        assert report.policy == "nurse"
+        assert "QueryReport" in repr(report)
+
+
+class TestStrictMode:
+    def test_labels_outside_view_rejected(self, document):
+        dtd = hospital_dtd()
+        engine = SecureQueryEngine(dtd, strict=True)
+        engine.register_policy("nurse", nurse_spec(dtd), wardNo="2")
+        with pytest.raises(QueryRejectedError):
+            engine.query("nurse", "//clinicalTrial", document)
+        # labels inside the view still work
+        engine.query("nurse", "//patient", document)
+
+
+class TestRecursivePolicies:
+    def test_recursive_view_requires_document(self, recursive_dtd, recursive_spec):
+        engine = SecureQueryEngine(recursive_dtd)
+        engine.register_policy("rec", recursive_spec)
+        with pytest.raises(SecurityError):
+            engine.rewrite_query("rec", "//b")
+
+    def test_recursive_query_roundtrip(self, recursive_dtd, recursive_spec):
+        from repro.dtd.generator import DocumentGenerator
+
+        engine = SecureQueryEngine(recursive_dtd)
+        engine.register_policy("rec", recursive_spec)
+        document = DocumentGenerator(
+            recursive_dtd, seed=4, max_depth=10
+        ).generate()
+        results = engine.query("rec", "//b", document)
+        assert all(element.label == "b" for element in results)
+        # height-keyed rewriter caching: a second document of the same
+        # height reuses the unfolded rewriter
+        again = DocumentGenerator(
+            recursive_dtd, seed=4, max_depth=10
+        ).generate()
+        assert len(engine.query("rec", "//b", again)) == len(results)

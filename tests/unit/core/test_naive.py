@@ -1,0 +1,88 @@
+"""Unit tests for the naive baseline of Section 6."""
+
+import pytest
+
+from repro.core.accessibility import annotate_accessibility
+from repro.core.naive import ACCESSIBLE_QUALIFIER, naive_rewrite
+from repro.workloads.adex import adex_document, adex_spec
+from repro.workloads.queries import ADEX_QUERIES
+from repro.xpath.evaluator import evaluate
+from repro.xpath.parser import parse_xpath
+
+
+class TestRewriteRules:
+    def test_q1_matches_paper(self):
+        # "the naive approach evaluates it as
+        #  //buyer-info//contact-info[@accessibility='1']"
+        result = naive_rewrite(ADEX_QUERIES["Q1"])
+        assert str(result) == '//buyer-info//contact-info[@accessibility = "1"]'
+
+    def test_q2_matches_paper(self):
+        result = naive_rewrite(ADEX_QUERIES["Q2"])
+        assert str(result) == (
+            '(//house//r-e.warranty[@accessibility = "1"] | '
+            '//apartment//r-e.warranty[@accessibility = "1"])'
+        )
+
+    def test_q3_shape(self):
+        # "//buyer-info[//company-id and //contact-info][@accessibility='1']"
+        result = str(naive_rewrite(ADEX_QUERIES["Q3"]))
+        assert result.startswith("//buyer-info[")
+        assert result.endswith('[@accessibility = "1"]')
+        assert "//company-id" in result and "//contact-info" in result
+
+    def test_child_axes_relaxed_everywhere(self):
+        result = str(naive_rewrite(parse_xpath("a/b/c")))
+        # the query is relative, so the spelling keeps the context dot
+        assert result == './/a//b//c[@accessibility = "1"]'
+
+    def test_wildcard_relaxed(self):
+        result = str(naive_rewrite(parse_xpath("*/b")))
+        assert result == './/*//b[@accessibility = "1"]'
+
+    def test_union_gets_qualifier_per_branch(self):
+        result = naive_rewrite(parse_xpath("a | b"))
+        assert str(result).count("@accessibility") == 2
+
+    def test_existing_qualifier_kept(self):
+        result = str(naive_rewrite(parse_xpath('a[b = "1"]')))
+        assert '[.//b = "1"]' in result
+        assert result.endswith('[@accessibility = "1"]')
+
+    def test_empty_query_stays_empty(self):
+        assert naive_rewrite(parse_xpath("0")).is_empty
+
+    def test_qualifier_object(self):
+        assert str(ACCESSIBLE_QUALIFIER) == '@accessibility = "1"'
+
+
+class TestSecurityProperties:
+    @pytest.fixture()
+    def annotated(self, adex, adex_policy):
+        document = adex_document(seed=4, buyers=10, ads=40)
+        annotate_accessibility(document, adex_policy)
+        return document
+
+    def test_only_accessible_elements_returned(self, annotated):
+        for query in ADEX_QUERIES.values():
+            for node in evaluate(naive_rewrite(query), annotated):
+                assert node.get("accessibility") == "1"
+
+    def test_hidden_categories_unreachable(self, annotated):
+        result = evaluate(naive_rewrite(parse_xpath("//employment")), annotated)
+        assert result == []
+
+    def test_naive_agrees_with_view_on_q1(
+        self, annotated, adex_view, adex_policy
+    ):
+        from repro.core.rewrite import Rewriter
+
+        rewriter = Rewriter(adex_view)
+        query = ADEX_QUERIES["Q1"]
+        naive_result = {
+            id(node) for node in evaluate(naive_rewrite(query), annotated)
+        }
+        view_result = {
+            id(node) for node in evaluate(rewriter.rewrite(query), annotated)
+        }
+        assert naive_result == view_result

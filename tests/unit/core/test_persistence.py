@@ -1,0 +1,130 @@
+"""Unit tests for security-view persistence."""
+
+import json
+
+import pytest
+
+from repro.core.derive import derive
+from repro.core.persistence import (
+    FORMAT,
+    load_view,
+    save_view,
+    view_from_dict,
+    view_to_dict,
+)
+from repro.core.rewrite import Rewriter
+from repro.errors import ViewDerivationError
+from repro.xpath.parser import parse_xpath
+
+
+def assert_views_equivalent(original, restored, queries):
+    """Same exposed DTD and identical rewriting behaviour."""
+    assert restored.exposed_dtd() == original.exposed_dtd()
+    assert restored.root_key == original.root_key
+    assert set(restored.nodes) == set(original.nodes)
+    original_rewriter = Rewriter(original) if not original.is_recursive() else None
+    restored_rewriter = Rewriter(restored) if not restored.is_recursive() else None
+    if original_rewriter is None:
+        return
+    for text in queries:
+        query = parse_xpath(text)
+        assert str(restored_rewriter.rewrite(query)) == str(
+            original_rewriter.rewrite(query)
+        ), text
+
+
+class TestRoundTrip:
+    def test_nurse_view(self, nurse_view):
+        restored = view_from_dict(view_to_dict(nurse_view))
+        assert_views_equivalent(
+            nurse_view,
+            restored,
+            ["//patient//bill", "//dummy2/medication", "dept[patientInfo]"],
+        )
+
+    def test_adex_view(self, adex_view):
+        restored = view_from_dict(view_to_dict(adex_view))
+        assert_views_equivalent(
+            adex_view,
+            restored,
+            [
+                "//buyer-info/contact-info",
+                "//buyer-info[//company-id and //contact-info]",
+            ],
+        )
+
+    def test_recursive_view(self, recursive_view):
+        restored = view_from_dict(view_to_dict(recursive_view))
+        assert restored.is_recursive()
+        assert set(restored.nodes) == set(recursive_view.nodes)
+
+    def test_hidden_attributes_survive(self):
+        from repro.core.spec import AccessSpec
+        from repro.dtd.parser import parse_dtd
+
+        dtd = parse_dtd(
+            "<!ELEMENT r (a)><!ELEMENT a (#PCDATA)>"
+            "<!ATTLIST a public CDATA #IMPLIED secret CDATA #IMPLIED>"
+        )
+        spec = AccessSpec(dtd).annotate_attribute("a", "secret", "N")
+        view = derive(spec)
+        restored = view_from_dict(view_to_dict(view))
+        assert restored.hidden_attributes_of("a") == {"secret"}
+        assert "secret" not in restored.exposed_dtd().attribute_decls("a")
+
+    def test_dict_is_json_serializable(self, nurse_view):
+        text = json.dumps(view_to_dict(nurse_view))
+        restored = view_from_dict(json.loads(text))
+        assert restored.root_key == nurse_view.root_key
+
+
+class TestFiles:
+    def test_save_and_load(self, tmp_path, nurse_view):
+        target = tmp_path / "nurse-view.json"
+        save_view(nurse_view, str(target))
+        restored = load_view(str(target))
+        assert_views_equivalent(nurse_view, restored, ["//patient/name"])
+
+    def test_saved_file_is_stable(self, tmp_path, nurse_view):
+        first = tmp_path / "a.json"
+        second = tmp_path / "b.json"
+        save_view(nurse_view, str(first))
+        save_view(nurse_view, str(second))
+        assert first.read_text() == second.read_text()
+
+
+class TestErrors:
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ViewDerivationError):
+            view_from_dict({"format": "something-else"})
+
+    def test_missing_root_rejected(self, nurse_view):
+        payload = view_to_dict(nurse_view)
+        payload["root"] = "ghost"
+        with pytest.raises(ViewDerivationError):
+            view_from_dict(payload)
+
+
+class TestEndToEnd:
+    def test_restored_view_answers_queries(self, nurse, nurse_view):
+        from repro.core.materialize import materialize
+        from repro.workloads.hospital import hospital_document
+        from repro.xpath.evaluator import XPathEvaluator
+
+        document = hospital_document(seed=7, max_branch=4)
+        restored = view_from_dict(view_to_dict(nurse_view))
+        evaluator = XPathEvaluator()
+        rewriter = Rewriter(restored)
+        query = parse_xpath("//patient//bill")
+        rewritten = rewriter.rewrite(query)
+        expected = sorted(
+            node.string_value()
+            for node in evaluator.evaluate(
+                query, materialize(document, nurse_view, nurse)
+            )
+        )
+        actual = sorted(
+            node.string_value()
+            for node in evaluator.evaluate(rewritten, document)
+        )
+        assert expected == actual

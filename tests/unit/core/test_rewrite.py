@@ -1,0 +1,213 @@
+"""Unit tests for Algorithm rewrite (Fig. 6)."""
+
+import pytest
+
+from repro.errors import RewriteError
+from repro.core.derive import derive
+from repro.core.materialize import materialize
+from repro.core.rewrite import Rewriter, rewrite
+from repro.core.spec import AccessSpec
+from repro.dtd.parser import parse_dtd
+from repro.workloads.hospital import hospital_document
+from repro.xpath.evaluator import XPathEvaluator
+from repro.xpath.parser import parse_xpath
+
+
+def oracle_check(document, view, spec, query_texts):
+    """p over the materialized view == rewrite(p) over the document."""
+    view_tree = materialize(document, view, spec)
+    rewriter = Rewriter(view)
+    evaluator = XPathEvaluator()
+    for text in query_texts:
+        query = parse_xpath(text)
+        on_view = sorted(
+            node.string_value() for node in evaluator.evaluate(query, view_tree)
+        )
+        on_document = sorted(
+            node.string_value()
+            for node in evaluator.evaluate(rewriter.rewrite(query), document)
+        )
+        assert on_view == on_document, text
+
+
+class TestExample41:
+    def test_patient_bill_rewriting(self, nurse_view):
+        """Example 4.1: //patient//bill over the nurse view."""
+        rewriter = Rewriter(nurse_view)
+        result = rewriter.rewrite(parse_xpath("//patient//bill"))
+        text = str(result)
+        # the paper's p1/p2/p3 shape: the dept qualifier, the
+        # clinicalTrial-or-direct patientInfo union, and the
+        # treatment-to-bill union through trial/regular
+        assert 'dept[*/patient/wardNo = "2"]' in text
+        assert "(clinicalTrial/patientInfo | patientInfo)" in text
+        assert "trial/bill" in text
+        assert "regular/bill" in text
+
+    def test_descendant_or_self_includes_context(self, nurse_view):
+        # //bill from treatment must include the epsilon path
+        rewriter = Rewriter(nurse_view)
+        result = rewriter.rewrite(parse_xpath("//treatment//bill"))
+        assert "trial/bill" in str(result)
+
+
+class TestBasicCases:
+    def test_epsilon(self, nurse_view):
+        assert str(rewrite(nurse_view, parse_xpath("."))) == "."
+
+    def test_label_becomes_sigma(self, nurse_view):
+        result = rewrite(nurse_view, parse_xpath("dept"))
+        assert str(result) == 'dept[*/patient/wardNo = "2"]'
+
+    def test_unknown_label_is_empty(self, nurse_view):
+        assert rewrite(nurse_view, parse_xpath("submarine")).is_empty
+
+    def test_hidden_label_is_empty(self, nurse_view):
+        # clinicalTrial is not part of the view: the query selects
+        # nothing rather than leaking
+        assert rewrite(nurse_view, parse_xpath("//clinicalTrial")).is_empty
+        assert rewrite(nurse_view, parse_xpath("//trial")).is_empty
+
+    def test_wildcard_unions_children(self, nurse_view):
+        result = str(rewrite(nurse_view, parse_xpath("*")))
+        assert result == 'dept[*/patient/wardNo = "2"]'
+
+    def test_empty_query(self, nurse_view):
+        assert rewrite(nurse_view, parse_xpath("0")).is_empty
+
+    def test_dummy_label_step(self, nurse_view):
+        result = rewrite(
+            nurse_view, parse_xpath("//treatment/dummy2/medication")
+        )
+        assert str(result).endswith("treatment/regular/medication")
+
+    def test_text_step(self):
+        dtd = parse_dtd("<!ELEMENT r (a)><!ELEMENT a (#PCDATA)>")
+        view = derive(AccessSpec(dtd))
+        result = rewrite(view, parse_xpath("a/text()"))
+        assert str(result) == "a/text()"
+
+    def test_absolute_query(self, nurse_view):
+        result = rewrite(nurse_view, parse_xpath("/hospital/dept"))
+        assert str(result) == '/hospital/dept[*/patient/wardNo = "2"]'
+
+    def test_union_merges(self, nurse_view):
+        result = rewrite(
+            nurse_view, parse_xpath("dept/staffInfo | dept/patientInfo")
+        )
+        text = str(result)
+        assert "staffInfo" in text and "patientInfo" in text
+
+
+class TestQualifierRewriting:
+    def test_existence_qualifier(self, nurse_view):
+        result = rewrite(nurse_view, parse_xpath("dept[patientInfo]"))
+        assert "[(clinicalTrial/patientInfo | patientInfo)]" in str(result)
+
+    def test_equality_qualifier(self, nurse_view):
+        result = rewrite(
+            nurse_view, parse_xpath('//patient[wardNo = "2"]/name')
+        )
+        assert '[wardNo = "2"]' in str(result)
+
+    def test_boolean_connectives(self, nurse_view):
+        result = rewrite(
+            nurse_view,
+            parse_xpath("//patient[name and not(treatment/dummy1)]"),
+        )
+        text = str(result)
+        assert "not(treatment/trial)" in text
+
+    def test_qualifier_on_hidden_label_folds_false(self, nurse_view):
+        result = rewrite(nurse_view, parse_xpath("//patient[clinicalTrial]"))
+        assert result.is_empty
+
+    def test_attribute_qualifier_passthrough(self, nurse_view):
+        result = rewrite(nurse_view, parse_xpath('//patient[@x = "1"]'))
+        assert '@x = "1"' in str(result)
+
+
+class TestPerTargetSoundness:
+    """The printed Fig. 6 case (4) composes continuations with foreign
+    prefixes; the per-target variant must not leak across context
+    types when accessibility is context-dependent."""
+
+    def make_view(self):
+        # x is accessible under m but NOT under n; both m and n are
+        # visible, and both have x children in the document
+        dtd = parse_dtd(
+            """
+            <!ELEMENT r (m, n)>
+            <!ELEMENT m (x)>
+            <!ELEMENT n (x)>
+            <!ELEMENT x (#PCDATA)>
+            """
+        )
+        spec = AccessSpec(dtd).annotate("n", "x", "N")
+        return dtd, spec, derive(spec)
+
+    def test_no_cross_context_leak(self):
+        from repro.xmlmodel.parser import parse_document
+
+        dtd, spec, view = self.make_view()
+        document = parse_document(
+            "<r><m><x>public</x></m><n><x>secret</x></n></r>"
+        )
+        rewriter = Rewriter(view)
+        evaluator = XPathEvaluator()
+        query = parse_xpath("*/x")
+        values = {
+            node.string_value()
+            for node in evaluator.evaluate(rewriter.rewrite(query), document)
+        }
+        assert values == {"public"}
+
+    def test_oracle_on_context_dependent_view(self):
+        from repro.xmlmodel.parser import parse_document
+
+        dtd, spec, view = self.make_view()
+        document = parse_document(
+            "<r><m><x>public</x></m><n><x>secret</x></n></r>"
+        )
+        oracle_check(
+            document, view, spec, ["*/x", "//x", "m/x | n/x", "*[x]"]
+        )
+
+
+class TestOracle:
+    QUERIES = [
+        "//patient/name",
+        "//patient//bill",
+        "dept/patientInfo/patient/name",
+        "//dummy2/medication",
+        "//staffInfo/staff/*",
+        "//patient[treatment/dummy2]/name",
+        "//*[medication]",
+        "dept[staffInfo/staff]/patientInfo//name",
+        "//treatment/*",
+        "/hospital//nurse",
+        "//patient[wardNo = \"2\" and treatment]/name",
+    ]
+
+    @pytest.mark.parametrize("seed", [7, 13, 29])
+    def test_rewrite_equals_view_semantics(self, nurse, nurse_view, seed):
+        document = hospital_document(seed=seed, max_branch=4)
+        oracle_check(document, nurse_view, nurse, self.QUERIES)
+
+
+class TestRecursiveViewRejection:
+    def test_recursive_view_requires_unfolding(self, recursive_view):
+        with pytest.raises(RewriteError):
+            Rewriter(recursive_view)
+
+
+class TestReach:
+    def test_reach_reports_view_nodes(self, nurse_view):
+        rewriter = Rewriter(nurse_view)
+        assert rewriter.reach(parse_xpath("dept")) == ["dept"]
+        reached = rewriter.reach(parse_xpath("//patient/*"))
+        assert set(reached) == {"name", "treatment", "wardNo"}
+
+    def test_reach_empty_for_hidden(self, nurse_view):
+        rewriter = Rewriter(nurse_view)
+        assert rewriter.reach(parse_xpath("//trial")) == []

@@ -1,0 +1,152 @@
+"""Unit tests for the simulation-based containment test (Prop. 5.1),
+reproducing Examples 5.2 and 5.3."""
+
+import pytest
+
+from repro.core.image import build_image
+from repro.core.simulation import node_simulated, simulates
+from repro.dtd.parser import parse_dtd
+from repro.xpath.evaluator import evaluate
+from repro.xpath.parser import parse_xpath
+
+# The Fig. 9(a) DTD.  Example 5.2 evaluates the qualifier [b] to true
+# at `a`, so `a`'s production must be a concatenation; the (e U f) and
+# wildcard steps of p1/p2 likewise indicate concatenations at d.
+FIG9_DTD = """
+<!ELEMENT a (b, c)>
+<!ELEMENT b (d)>
+<!ELEMENT c (d)>
+<!ELEMENT d (e, f)>
+<!ELEMENT e (g)>
+<!ELEMENT f (g)>
+<!ELEMENT g (h*)>
+<!ELEMENT h (#PCDATA)>
+"""
+
+# Example 5.2's queries, evaluated at an `a` element (the paper writes
+# the context step explicitly as a[b]; here `.` is the context):
+P1 = ".[b]/*/d/*/g"
+P2 = ".[b]/(b | c)/d/(e | f)/g"
+P3 = ".[b]/b/d/e/g | ./b/d/f/g"
+
+
+@pytest.fixture(scope="module")
+def fig9():
+    return parse_dtd(FIG9_DTD)
+
+
+def contained(dtd, smaller_text, larger_text, node):
+    smaller = build_image(dtd, parse_xpath(smaller_text), node)
+    larger = build_image(dtd, parse_xpath(larger_text), node)
+    assert smaller is not None and larger is not None
+    return simulates(smaller, larger)
+
+
+class TestExample52:
+    def test_true_qualifier_removed_from_image(self, fig9):
+        # [b] at a is decided true by the co-existence constraint, so
+        # the image carries no qualifier node (Example 5.2)
+        graph = build_image(fig9, parse_xpath(".[b]/b/d"), "a")
+        assert all(not node.quals for node in graph.all_nodes())
+
+    def test_false_qualifier_invalidates(self, fig9):
+        # [e] can never hold at b
+        graph = build_image(fig9, parse_xpath(".[e]/b"), "a")
+        assert graph is None
+
+
+class TestExample53:
+    """Example 5.3's positive and negative cases."""
+
+    def test_p2_contained_in_p1(self, fig9):
+        assert contained(fig9, P2, P1, "a")
+
+    def test_p3_contained_in_p1(self, fig9):
+        assert contained(fig9, P3, P1, "a")
+
+    def test_p3_contained_in_p2(self, fig9):
+        assert contained(fig9, P3, P2, "a")
+
+    def test_p2_not_simulated_by_p3_despite_containment(self, fig9):
+        # the approximation: containment actually holds (over this DTD
+        # every d has both e and f), but the simulation test fails
+        assert not contained(fig9, P2, P3, "a")
+
+
+class TestBasicCases:
+    def test_reflexive(self, fig9):
+        assert contained(fig9, "b/d", "b/d", "a")
+
+    def test_label_in_wildcard(self, fig9):
+        assert contained(fig9, "b", "*", "a")
+        assert not contained(fig9, "*", "b", "a")
+
+    def test_qualifier_direction_flip(self, fig9):
+        # [h] at g is data-dependent (star production): g[h] contained
+        # in g, but not vice versa
+        assert contained(fig9, "g[h]", "g", "e")
+        assert not contained(fig9, "g", "g[h]", "e")
+
+    def test_matching_qualifiers(self, fig9):
+        assert contained(fig9, "g[h]", "g[h]", "e")
+
+    def test_different_equality_constants_not_contained(self, fig9):
+        assert not contained(fig9, 'g[h = "1"]', 'g[h = "2"]', "e")
+        assert contained(fig9, 'g[h = "1"]', 'g[h = "1"]', "e")
+
+    def test_equality_vs_existence_conservative(self, fig9):
+        # [h = "1"] implies [h], but the labels '[]=1' vs '[]' differ,
+        # so the approximate test conservatively refuses
+        assert not contained(fig9, "g[h]", 'g[h = "1"]', "e")
+
+    def test_imprecise_graphs_refuse(self, fig9):
+        smaller = build_image(fig9, parse_xpath("e/g[not(h)]"), "d")
+        larger = build_image(fig9, parse_xpath("e/g"), "d")
+        # negation is outside C^-: the graph is marked imprecise
+        assert smaller.imprecise
+        assert not simulates(smaller, larger)
+
+
+class TestSoundness:
+    """If simulation claims containment, actual evaluation must agree
+    (Prop. 5.1 is a sound approximation)."""
+
+    PAIRS = [
+        (P2, P1),
+        (P3, P1),
+        (P3, P2),
+        ("b", "*"),
+        ("g[h]", "g"),
+        ("b/d/e", "b/d/*"),
+        ("*/d", "(b | c)/d"),
+    ]
+
+    @pytest.mark.parametrize("smaller_text,larger_text", PAIRS)
+    def test_claimed_containments_hold_on_instances(
+        self, fig9, smaller_text, larger_text
+    ):
+        from repro.dtd.generator import DocumentGenerator
+
+        start = "a" if smaller_text[0] != "g" else "e"
+        if not contained(fig9, smaller_text, larger_text, start):
+            pytest.skip("simulation does not claim containment")
+        for seed in range(6):
+            document = DocumentGenerator(fig9, seed=seed).generate()
+            contexts = evaluate(parse_xpath("//" + start), document) or [
+                document
+            ]
+            for context in contexts:
+                smaller_result = {
+                    id(node)
+                    for node in evaluate(parse_xpath(smaller_text), context)
+                }
+                larger_result = {
+                    id(node)
+                    for node in evaluate(parse_xpath(larger_text), context)
+                }
+                assert smaller_result <= larger_result
+
+
+def test_node_simulated_handles_shared_structure(fig9):
+    graph = build_image(fig9, parse_xpath("b/d"), "a")
+    assert node_simulated(graph.root, graph.root)

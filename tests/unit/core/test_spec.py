@@ -1,0 +1,125 @@
+"""Unit tests for access specifications (Section 3.2)."""
+
+import pytest
+
+from repro.errors import SpecificationError
+from repro.core.spec import (
+    ANN_N,
+    ANN_Y,
+    AccessSpec,
+    CondAnnotation,
+    STR_CHILD,
+    spec_from_edges,
+)
+from repro.workloads.hospital import hospital_dtd
+from repro.xpath.parser import parse_qualifier
+
+
+@pytest.fixture()
+def dtd():
+    return hospital_dtd()
+
+
+class TestAnnotation:
+    def test_string_shorthand(self, dtd):
+        spec = AccessSpec(dtd)
+        spec.annotate("dept", "clinicalTrial", "N")
+        spec.annotate("clinicalTrial", "patientInfo", "Y")
+        spec.annotate("hospital", "dept", "[*/patient]")
+        assert spec.ann("dept", "clinicalTrial") is ANN_N
+        assert spec.ann("clinicalTrial", "patientInfo") is ANN_Y
+        assert isinstance(spec.ann("hospital", "dept"), CondAnnotation)
+
+    def test_qualifier_object(self, dtd):
+        qualifier = parse_qualifier("[name]")
+        spec = AccessSpec(dtd).annotate("patientInfo", "patient", qualifier)
+        assert spec.ann("patientInfo", "patient").qualifier == qualifier
+
+    def test_unknown_parent_rejected(self, dtd):
+        with pytest.raises(SpecificationError):
+            AccessSpec(dtd).annotate("ghost", "dept", "N")
+
+    def test_non_edge_rejected(self, dtd):
+        with pytest.raises(SpecificationError):
+            AccessSpec(dtd).annotate("hospital", "patient", "N")
+
+    def test_str_annotation_requires_text_production(self, dtd):
+        spec = AccessSpec(dtd)
+        spec.annotate("name", STR_CHILD, "N")  # name -> #PCDATA
+        with pytest.raises(SpecificationError):
+            spec.annotate("dept", STR_CHILD, "N")
+
+    def test_unparseable_annotation_rejected(self, dtd):
+        with pytest.raises(SpecificationError):
+            AccessSpec(dtd).annotate("hospital", "dept", 42)
+
+    def test_implicit_edges_are_none(self, dtd):
+        spec = AccessSpec(dtd)
+        assert spec.ann("dept", "patientInfo") is None
+        assert not spec.is_explicit("dept", "patientInfo")
+
+    def test_remove(self, dtd):
+        spec = AccessSpec(dtd).annotate("dept", "clinicalTrial", "N")
+        spec.remove("dept", "clinicalTrial")
+        assert spec.ann("dept", "clinicalTrial") is None
+
+    def test_constructor_dict(self, dtd):
+        spec = AccessSpec(dtd, {("dept", "clinicalTrial"): "N"})
+        assert spec.ann("dept", "clinicalTrial") is ANN_N
+
+    def test_spec_from_edges(self, dtd):
+        spec = spec_from_edges(
+            dtd, [("dept", "clinicalTrial", "N"), ("treatment", "trial", "N")]
+        )
+        assert len(spec.annotations()) == 2
+
+
+class TestParameters:
+    def test_parameters_discovered(self, dtd):
+        spec = AccessSpec(dtd).annotate(
+            "hospital", "dept", "[*/patient/wardNo = $wardNo]"
+        )
+        assert spec.parameters() == {"wardNo"}
+
+    def test_bind_produces_concrete_spec(self, dtd):
+        spec = AccessSpec(dtd).annotate(
+            "hospital", "dept", "[*/patient/wardNo = $wardNo]"
+        )
+        bound = spec.bind(wardNo="3")
+        assert bound.parameters() == set()
+        annotation = bound.ann("hospital", "dept")
+        assert '"3"' in repr(annotation)
+
+    def test_bind_leaves_original_untouched(self, dtd):
+        spec = AccessSpec(dtd).annotate(
+            "hospital", "dept", "[*/patient/wardNo = $wardNo]"
+        )
+        spec.bind(wardNo="3")
+        assert spec.parameters() == {"wardNo"}
+
+    def test_bind_missing_parameter_rejected(self, dtd):
+        spec = AccessSpec(dtd).annotate(
+            "hospital", "dept", "[*/patient/wardNo = $wardNo]"
+        )
+        with pytest.raises(SpecificationError):
+            spec.bind(other="1")
+
+
+class TestTypeAccessibility:
+    def test_edge_classification(self, dtd):
+        from repro.workloads.hospital import nurse_spec
+
+        classes = nurse_spec(dtd).type_accessibility()
+        assert classes[("dept", "clinicalTrial")] == "N"
+        assert classes[("hospital", "dept")] == "cond"
+        assert classes[("dept", "patientInfo")] == "Y"  # inherited
+        assert classes[("treatment", "trial")] == "N"
+        assert classes[("trial", "bill")] == "Y"  # override below N
+
+    def test_inheritance_through_inaccessible(self, dtd):
+        spec = AccessSpec(dtd).annotate("dept", "clinicalTrial", "N")
+        classes = spec.type_accessibility()
+        # patientInfo under clinicalTrial inherits N on that edge...
+        assert classes[("clinicalTrial", "patientInfo")] == "N"
+        # ...but stays Y under dept
+        assert classes[("dept", "patientInfo")] == "Y"

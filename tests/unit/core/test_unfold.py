@@ -1,0 +1,142 @@
+"""Unit tests for recursive-view unfolding (Section 4.2)."""
+
+import pytest
+
+from repro.errors import ViewDerivationError
+from repro.core.derive import derive
+from repro.core.materialize import materialize
+from repro.core.rewrite import Rewriter
+from repro.core.spec import AccessSpec
+from repro.core.unfold import unfold_view, view_min_heights
+from repro.dtd.generator import DocumentGenerator
+from repro.dtd.parser import parse_dtd
+from repro.xpath.evaluator import XPathEvaluator
+from repro.xpath.parser import parse_xpath
+
+
+class TestMinHeights:
+    def test_nurse_view_heights(self, nurse_view):
+        heights = view_min_heights(nurse_view)
+        assert heights["bill"] == 1
+        assert heights["dummy1"] == 2
+        assert heights["hospital"] == 1  # dept* may be empty
+
+    def test_recursive_view_heights_finite(self, recursive_view):
+        heights = view_min_heights(recursive_view)
+        assert all(h != float("inf") for h in heights.values())
+
+
+class TestUnfolding:
+    def test_non_recursive_view_returned_unchanged(self, nurse_view):
+        assert unfold_view(nurse_view, 10) is nurse_view
+
+    def test_unfolded_view_is_dag(self, recursive_view):
+        unfolded = unfold_view(recursive_view, 8)
+        assert not unfolded.is_recursive()
+
+    def test_levels_share_labels(self, recursive_view):
+        unfolded = unfold_view(recursive_view, 8)
+        labels = {}
+        for key in unfolded.reachable():
+            labels.setdefault(unfolded.node(key).label, []).append(key)
+        assert any(len(keys) > 1 for keys in labels.values())
+
+    def test_height_budget_respected(self, recursive_view):
+        unfolded = unfold_view(recursive_view, 5)
+        heights = view_min_heights(unfolded)
+        # the deepest key level never exceeds the height bound
+        deepest = max(
+            int(key.rsplit("@", 1)[1]) for key in unfolded.reachable()
+        )
+        assert deepest <= 5
+        assert heights[unfolded.root_key] != float("inf")
+
+    def test_below_minimum_height_rejected(self, recursive_view):
+        with pytest.raises(ViewDerivationError):
+            unfold_view(recursive_view, 1)
+
+    def test_inconsistent_view_rejected(self):
+        from repro.core.view import SecurityView, ViewNode
+        from repro.dtd.content import Name
+        from repro.dtd.dtd import DTD
+        from repro.dtd.content import STR
+        from repro.xpath.ast import Label
+
+        doc_dtd = DTD("r", {"r": STR})
+        view = SecurityView(doc_dtd, root_key="r")
+        view.add_node(ViewNode("r", "r", Name("r")))
+        view.set_sigma("r", "r", Label("r"))
+        with pytest.raises(ViewDerivationError):
+            unfold_view(view, 10)
+
+
+class TestRewritingOverUnfoldedViews:
+    QUERIES = ["//b", "//dummy2//b", "*", "//dummy1[b]/b"]
+
+    @pytest.mark.parametrize("seed", [0, 3, 8, 15])
+    def test_oracle_equivalence(
+        self, recursive_dtd, recursive_spec, recursive_view, seed
+    ):
+        document = DocumentGenerator(
+            recursive_dtd, seed=seed, max_depth=12
+        ).generate()
+        view_tree = materialize(document, recursive_view, recursive_spec)
+        rewriter = Rewriter(unfold_view(recursive_view, document.height()))
+        evaluator = XPathEvaluator()
+        for text in self.QUERIES:
+            query = parse_xpath(text)
+            on_view = sorted(
+                node.string_value()
+                for node in evaluator.evaluate(query, view_tree)
+            )
+            on_document = sorted(
+                node.string_value()
+                for node in evaluator.evaluate(
+                    rewriter.rewrite(query), document
+                )
+            )
+            assert on_view == on_document, (text, seed)
+
+    def test_regular_path_shape(self, recursive_view):
+        # //b over the unfolded view must enumerate (a/c)*/a-style
+        # prefixes up to the height bound (Section 4.2's (a/c)*/b)
+        rewriter = Rewriter(unfold_view(recursive_view, 7))
+        text = str(rewriter.rewrite(parse_xpath("//b")))
+        assert "a/b" in text  # depth-1 occurrence
+        assert "a/c/a/b" in text  # depth-2 occurrence
+
+
+class TestDeepStarRecursion:
+    def test_star_recursion_unfolds(self):
+        dtd = parse_dtd(
+            """
+            <!ELEMENT catalog (assembly*)>
+            <!ELEMENT assembly (part, children)>
+            <!ELEMENT children (assembly*)>
+            <!ELEMENT part (#PCDATA)>
+            """
+        )
+        spec = AccessSpec(dtd, name="flat")
+        spec.annotate("assembly", "children", "N")
+        spec.annotate("children", "assembly", "Y")
+        view = derive(spec)
+        assert view.is_recursive()
+        document = DocumentGenerator(
+            dtd, seed=5, max_branch=2, max_depth=9
+        ).generate()
+        view_tree = materialize(document, view, spec)
+        rewriter = Rewriter(unfold_view(view, document.height()))
+        evaluator = XPathEvaluator()
+        for text in ("//part", "assembly/assembly/part"):
+            query = parse_xpath(text)
+            on_view = sorted(
+                node.string_value()
+                for node in evaluator.evaluate(query, view_tree)
+            )
+            on_document = sorted(
+                node.string_value()
+                for node in evaluator.evaluate(
+                    rewriter.rewrite(query), document
+                )
+            )
+            assert on_view == on_document, text

@@ -1,0 +1,75 @@
+"""Unit tests for the policy verification tool."""
+
+import pytest
+
+from repro.core.spec import AccessSpec
+from repro.core.verify import verify_policy
+from repro.dtd.parser import parse_dtd
+from repro.workloads.hospital import hospital_dtd, nurse_spec
+
+
+class TestSoundPolicies:
+    def test_nurse_policy_verifies(self):
+        spec = nurse_spec(hospital_dtd()).bind(wardNo="2")
+        report = verify_policy(spec, trials=10)
+        assert report.ok
+        assert "OK" in report.summary()
+        assert report.trials == 10
+
+    def test_identity_policy_verifies(self):
+        dtd = parse_dtd(
+            "<!ELEMENT r (a*)><!ELEMENT a (b | c)>"
+            "<!ELEMENT b (#PCDATA)><!ELEMENT c EMPTY>"
+        )
+        report = verify_policy(AccessSpec(dtd), trials=8)
+        assert report.ok
+
+    def test_pruning_policy_verifies(self):
+        dtd = parse_dtd(
+            "<!ELEMENT r (keep, drop)>"
+            "<!ELEMENT keep (#PCDATA)><!ELEMENT drop (#PCDATA)>"
+        )
+        spec = AccessSpec(dtd).annotate("r", "drop", "N")
+        report = verify_policy(spec, trials=8)
+        assert report.ok
+
+
+class TestUnsoundPolicies:
+    def test_conditional_under_seq_detected(self):
+        # [text() = "ok"] on a required child: aborts whenever the
+        # generated text differs (Theorem 3.2's excluded case)
+        dtd = parse_dtd(
+            "<!ELEMENT r (a, b)><!ELEMENT a (#PCDATA)><!ELEMENT b (#PCDATA)>"
+        )
+        spec = AccessSpec(dtd).annotate("r", "a", '[text() = "ok"]')
+        report = verify_policy(spec, trials=10)
+        assert not report.ok
+        assert report.aborts
+        assert "UNSOUND" in report.summary()
+        assert report.warnings  # the deriver statically flagged it too
+
+    def test_paper_literal_choice_removal_detected(self):
+        from repro.core.derive import derive
+
+        dtd = parse_dtd(
+            "<!ELEMENT r (keep | gone)>"
+            "<!ELEMENT keep (#PCDATA)>"
+            "<!ELEMENT gone (secret)>"
+            "<!ELEMENT secret (#PCDATA)>"
+        )
+        spec = AccessSpec(dtd).annotate("r", "gone", "N")
+        literal_view = derive(spec, preserve_choice_branches=False)
+        report = verify_policy(spec, trials=12, view=literal_view)
+        # documents taking the 'gone' branch abort under the paper's
+        # literal branch removal...
+        assert report.aborts
+        # ...while the default empty-dummy treatment stays sound
+        assert verify_policy(spec, trials=12).ok
+
+
+class TestReportObject:
+    def test_repr_and_summary(self):
+        spec = nurse_spec(hospital_dtd()).bind(wardNo="2")
+        report = verify_policy(spec, trials=3)
+        assert "VerificationReport" in repr(report)
+        assert "3/3" in report.summary()

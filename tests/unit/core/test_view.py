@@ -1,0 +1,88 @@
+"""Unit tests for the SecurityView structure."""
+
+import pytest
+
+from repro.errors import ViewDerivationError
+from repro.dtd.content import EPSILON, Name, STR, Seq, Star, names
+from repro.dtd.dtd import DTD
+from repro.core.view import SecurityView, ViewNode
+from repro.xpath.ast import EPSILON as EPS_PATH, Label
+
+
+def tiny_doc_dtd():
+    return DTD("r", {"r": Name("a"), "a": STR})
+
+
+def build_view():
+    view = SecurityView(tiny_doc_dtd(), root_key="r")
+    view.add_node(ViewNode("r", "r", Seq(names("x", "y"))))
+    view.add_node(ViewNode("x", "x", EPSILON, is_dummy=True))
+    view.add_node(ViewNode("y", "y", Star(Name("z"))))
+    view.add_node(ViewNode("z", "z", STR))
+    view.set_sigma("r", "x", Label("a"))
+    view.set_sigma("r", "y", Label("a"))
+    view.set_sigma("y", "z", Label("a"))
+    return view
+
+
+class TestStructure:
+    def test_children_and_labels(self):
+        view = build_view()
+        assert view.children_of("r") == ("x", "y")
+        assert view.children_with_label("r", "y") == ["y"]
+        assert view.labels() == {"r", "x", "y", "z"}
+
+    def test_duplicate_key_rejected(self):
+        view = build_view()
+        with pytest.raises(ViewDerivationError):
+            view.add_node(ViewNode("x", "x", EPSILON))
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(ViewDerivationError):
+            build_view().node("ghost")
+
+    def test_missing_sigma_rejected(self):
+        view = build_view()
+        with pytest.raises(ViewDerivationError):
+            view.sigma_of("x", "z")
+
+    def test_reachable(self):
+        view = build_view()
+        assert view.reachable() == {"r", "x", "y", "z"}
+        assert view.reachable("y") == {"y", "z"}
+
+    def test_size_positive(self):
+        assert build_view().size() > 4
+
+
+class TestRecursionChecks:
+    def test_dag_view(self):
+        view = build_view()
+        assert not view.is_recursive()
+        order = view.topological_order()
+        assert order.index("r") < order.index("y") < order.index("z")
+
+    def test_recursive_view_detected(self, recursive_view):
+        assert recursive_view.is_recursive()
+        with pytest.raises(ViewDerivationError):
+            recursive_view.topological_order()
+
+
+class TestExport:
+    def test_exposed_dtd_round(self):
+        view = build_view()
+        exposed = view.exposed_dtd()
+        assert exposed.root == "r"
+        assert exposed.production("y") == Star(Name("z"))
+
+    def test_exposed_dtd_rejects_label_conflicts(self):
+        view = build_view()
+        view.add_node(ViewNode("y2", "y", STR))  # same label, new content
+        view.nodes["r"] = ViewNode("r", "r", Seq(names("x", "y", "y2")))
+        with pytest.raises(ViewDerivationError):
+            view.exposed_dtd()
+
+    def test_describe_mentions_sigma(self):
+        text = build_view().describe()
+        assert "sigma(r, x) = a" in text
+        assert "view DTD" in text

@@ -1,0 +1,190 @@
+"""Unit tests for ATTLIST declarations: parsing, validation,
+generation, and the constraint folds they enable."""
+
+import pytest
+
+from repro.dtd.attributes import FIXED, IMPLIED, REQUIRED, AttributeDecl
+from repro.dtd.generator import DocumentGenerator
+from repro.dtd.parser import parse_dtd
+from repro.dtd.validate import conforms, validate
+from repro.errors import DTDError, DTDParseError
+from repro.xmlmodel.parser import parse_document
+
+DTD_TEXT = """
+<!ELEMENT order (item*)>
+<!ATTLIST order id CDATA #REQUIRED currency (usd | eur) "usd">
+<!ELEMENT item (#PCDATA)>
+<!ATTLIST item sku CDATA #REQUIRED
+               priority (low | high) #IMPLIED
+               schema CDATA #FIXED "v2">
+"""
+
+
+@pytest.fixture(scope="module")
+def dtd():
+    return parse_dtd(DTD_TEXT)
+
+
+class TestParsing:
+    def test_declarations_read(self, dtd):
+        order = dtd.attribute_decls("order")
+        assert set(order) == {"id", "currency"}
+        assert order["id"].required
+        assert order["currency"].choices == ("usd", "eur")
+        assert order["currency"].default == "usd"
+
+    def test_fixed(self, dtd):
+        schema = dtd.attribute_decl("item", "schema")
+        assert schema.fixed and schema.default == "v2"
+
+    def test_multiple_attlists_merge(self):
+        dtd = parse_dtd(
+            "<!ELEMENT a (#PCDATA)>"
+            "<!ATTLIST a x CDATA #IMPLIED>"
+            "<!ATTLIST a y CDATA #IMPLIED>"
+        )
+        assert set(dtd.attribute_decls("a")) == {"x", "y"}
+
+    def test_duplicate_attribute_rejected(self):
+        with pytest.raises(DTDParseError):
+            parse_dtd(
+                "<!ELEMENT a (#PCDATA)>"
+                "<!ATTLIST a x CDATA #IMPLIED x CDATA #IMPLIED>"
+            )
+
+    def test_attlist_for_unknown_element_rejected(self):
+        with pytest.raises(DTDError):
+            parse_dtd(
+                "<!ELEMENT a (#PCDATA)><!ATTLIST ghost x CDATA #IMPLIED>"
+            )
+
+    def test_roundtrip_through_text(self, dtd):
+        assert parse_dtd(dtd.to_dtd_text()) == dtd
+
+    def test_numeric_enum_tokens(self):
+        dtd = parse_dtd(
+            "<!ELEMENT a (#PCDATA)><!ATTLIST a w (1y | 2y) #IMPLIED>"
+        )
+        assert dtd.attribute_decl("a", "w").choices == ("1y", "2y")
+
+
+class TestValidation:
+    def test_valid_document(self, dtd):
+        document = parse_document(
+            '<order id="1"><item sku="a" priority="low">x</item></order>'
+        )
+        assert conforms(document, dtd)
+
+    def test_missing_required(self, dtd):
+        document = parse_document('<order><item sku="a">x</item></order>')
+        issues = validate(document, dtd)
+        assert any("missing required attribute 'id'" in str(i) for i in issues)
+
+    def test_undeclared_attribute(self, dtd):
+        document = parse_document('<order id="1" rogue="x"/>')
+        issues = validate(document, dtd)
+        assert any("undeclared attribute 'rogue'" in str(i) for i in issues)
+
+    def test_illegal_enum_value(self, dtd):
+        document = parse_document('<order id="1" currency="gbp"/>')
+        assert not conforms(document, dtd)
+
+    def test_fixed_violation(self, dtd):
+        document = parse_document(
+            '<order id="1"><item sku="a" schema="v1">x</item></order>'
+        )
+        assert not conforms(document, dtd)
+
+    def test_lax_elements_accept_anything(self):
+        dtd = parse_dtd("<!ELEMENT a (#PCDATA)>")
+        document = parse_document('<a anything="goes">x</a>')
+        assert conforms(document, dtd)
+
+
+class TestGeneration:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_generated_attributes_conform(self, dtd, seed):
+        document = DocumentGenerator(dtd, seed=seed, max_branch=4).generate()
+        assert conforms(document, dtd)
+        assert document.get("id") is not None  # required always present
+
+    def test_enumerated_values_respected(self, dtd):
+        document = DocumentGenerator(dtd, seed=1, max_branch=6).generate()
+        for item in document.find_all("item"):
+            priority = item.get("priority")
+            assert priority in (None, "low", "high")
+            assert item.get("schema") == "v2"
+
+    def test_value_pools_for_attributes(self, dtd):
+        generator = DocumentGenerator(
+            dtd,
+            seed=2,
+            max_branch=5,
+            value_pools={"item@sku": ["S1", "S2"]},
+        )
+        document = generator.generate()
+        skus = {item.get("sku") for item in document.find_all("item")}
+        assert skus <= {"S1", "S2"}
+
+
+class TestDeclObject:
+    def test_allows(self):
+        enum = AttributeDecl("x", choices=("a", "b"))
+        assert enum.allows("a") and not enum.allows("c")
+        fixed = AttributeDecl("x", default_kind=FIXED, default="v")
+        assert fixed.allows("v") and not fixed.allows("w")
+
+    def test_syntax(self):
+        assert (
+            AttributeDecl("x", default_kind=REQUIRED).to_dtd_syntax()
+            == "x CDATA #REQUIRED"
+        )
+        assert (
+            AttributeDecl("x", default_kind=IMPLIED).to_dtd_syntax()
+            == "x CDATA #IMPLIED"
+        )
+        assert 'x CDATA #FIXED "v"' == AttributeDecl(
+            "x", default_kind=FIXED, default="v"
+        ).to_dtd_syntax()
+
+    def test_equality(self):
+        assert AttributeDecl("x") == AttributeDecl("x")
+        assert AttributeDecl("x") != AttributeDecl("y")
+
+
+class TestConstraintFolds:
+    def test_required_attribute_qualifier_true(self, dtd):
+        from repro.core.optimize import Optimizer
+        from repro.xpath.parser import parse_xpath
+
+        optimizer = Optimizer(dtd)
+        assert str(optimizer.optimize(parse_xpath("item[@sku]"))) == "item"
+
+    def test_undeclared_attribute_qualifier_false(self, dtd):
+        from repro.core.optimize import Optimizer
+        from repro.xpath.parser import parse_xpath
+
+        optimizer = Optimizer(dtd)
+        assert str(optimizer.optimize(parse_xpath("item[@rogue]"))) == "0"
+
+    def test_implied_attribute_kept(self, dtd):
+        from repro.core.optimize import Optimizer
+        from repro.xpath.parser import parse_xpath
+
+        optimizer = Optimizer(dtd)
+        result = str(optimizer.optimize(parse_xpath("item[@priority]")))
+        assert result == "item[@priority]"
+
+    def test_illegal_enum_equality_false(self, dtd):
+        from repro.core.optimize import Optimizer
+        from repro.xpath.parser import parse_xpath
+
+        optimizer = Optimizer(dtd)
+        result = optimizer.optimize(parse_xpath('item[@priority = "urgent"]'))
+        assert result.is_empty
+
+    def test_lax_element_attribute_unknown(self):
+        from repro.core.constraints import attribute_exists_bool
+
+        dtd = parse_dtd("<!ELEMENT a (#PCDATA)>")
+        assert attribute_exists_bool(dtd, "a", "x") is None

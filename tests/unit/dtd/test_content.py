@@ -1,0 +1,181 @@
+"""Unit tests for DTD content models (regular expressions over child
+sequences) and their Brzozowski-derivative machinery."""
+
+import pytest
+
+from repro.dtd.content import (
+    Choice,
+    EPSILON,
+    EMPTY_SET,
+    Epsilon,
+    Name,
+    Opt,
+    Plus,
+    STR,
+    Seq,
+    Star,
+    Str,
+    TEXT_SYMBOL,
+    alternation,
+    concat,
+    names,
+    seq,
+)
+
+
+def matches(content, word):
+    current = content
+    for symbol in word:
+        current = current.derivative(symbol)
+    return current.nullable()
+
+
+class TestNormalForm:
+    def test_shapes(self):
+        assert STR.is_normal_form()
+        assert EPSILON.is_normal_form()
+        assert Seq(names("a", "b")).is_normal_form()
+        assert Choice(names("a", "b")).is_normal_form()
+        assert Star(Name("a")).is_normal_form()
+
+    def test_non_normal_shapes(self):
+        assert not Seq([Name("a"), Star(Name("b"))]).is_normal_form()
+        assert not Star(Seq(names("a", "b"))).is_normal_form()
+        assert not Opt(Name("a")).is_normal_form()
+        assert not Plus(Name("a")).is_normal_form()
+
+
+class TestLanguageMembership:
+    def test_epsilon_accepts_only_empty(self):
+        assert matches(EPSILON, [])
+        assert not matches(EPSILON, ["a"])
+
+    def test_str_accepts_text_runs(self):
+        assert matches(STR, [])
+        assert matches(STR, [TEXT_SYMBOL])
+        assert matches(STR, [TEXT_SYMBOL, TEXT_SYMBOL])
+        assert not matches(STR, ["a"])
+
+    def test_name(self):
+        assert matches(Name("a"), ["a"])
+        assert not matches(Name("a"), [])
+        assert not matches(Name("a"), ["a", "a"])
+
+    def test_seq(self):
+        content = Seq(names("a", "b", "c"))
+        assert matches(content, ["a", "b", "c"])
+        assert not matches(content, ["a", "c", "b"])
+        assert not matches(content, ["a", "b"])
+
+    def test_choice(self):
+        content = Choice(names("a", "b"))
+        assert matches(content, ["a"])
+        assert matches(content, ["b"])
+        assert not matches(content, ["a", "b"])
+        assert not matches(content, [])
+
+    def test_star(self):
+        content = Star(Name("a"))
+        assert matches(content, [])
+        assert matches(content, ["a"] * 5)
+        assert not matches(content, ["a", "b"])
+
+    def test_opt(self):
+        content = Opt(Name("a"))
+        assert matches(content, [])
+        assert matches(content, ["a"])
+        assert not matches(content, ["a", "a"])
+
+    def test_plus(self):
+        content = Plus(Name("a"))
+        assert not matches(content, [])
+        assert matches(content, ["a"])
+        assert matches(content, ["a", "a", "a"])
+
+    def test_nested_group(self):
+        # (a, (b | c)*, d)
+        content = Seq(
+            [Name("a"), Star(Choice(names("b", "c"))), Name("d")]
+        )
+        assert matches(content, ["a", "d"])
+        assert matches(content, ["a", "b", "c", "b", "d"])
+        assert not matches(content, ["a", "b", "c"])
+
+    def test_nullable_seq_head(self):
+        # (a*, b): b may come first
+        content = Seq([Star(Name("a")), Name("b")])
+        assert matches(content, ["b"])
+        assert matches(content, ["a", "a", "b"])
+        assert not matches(content, ["a"])
+
+
+class TestFirstSymbols:
+    def test_seq_stops_at_required(self):
+        content = Seq([Star(Name("a")), Name("b"), Name("c")])
+        assert content.first_symbols() == {"a", "b"}
+
+    def test_choice_unions(self):
+        assert Choice(names("a", "b")).first_symbols() == {"a", "b"}
+
+    def test_epsilon_empty(self):
+        assert EPSILON.first_symbols() == frozenset()
+
+
+class TestSmartConstructors:
+    def test_seq_flattens(self):
+        nested = seq([Name("a"), seq([Name("b"), Name("c")])])
+        assert nested == Seq(names("a", "b", "c"))
+
+    def test_seq_drops_epsilon(self):
+        assert seq([EPSILON, Name("a"), EPSILON]) == Name("a")
+
+    def test_seq_of_nothing_is_epsilon(self):
+        assert seq([]) == EPSILON
+
+    def test_concat_with_empty_set_is_empty_set(self):
+        assert concat(Name("a"), EMPTY_SET) is EMPTY_SET
+
+    def test_alternation_dedups(self):
+        result = alternation([Name("a"), Name("a"), Name("b")])
+        assert result == Choice(names("a", "b"))
+
+    def test_alternation_of_nothing(self):
+        assert alternation([]) is EMPTY_SET
+
+    def test_alternation_single(self):
+        assert alternation([Name("a")]) == Name("a")
+
+
+class TestStructural:
+    def test_equality_and_hash(self):
+        assert Seq(names("a", "b")) == Seq(names("a", "b"))
+        assert hash(Star(Name("x"))) == hash(Star(Name("x")))
+        assert Seq(names("a", "b")) != Choice(names("a", "b"))
+
+    def test_child_names_with_duplicates(self):
+        content = Seq(names("a", "b", "a"))
+        assert content.child_names() == ("a", "b", "a")
+
+    def test_size(self):
+        assert Name("a").size() == 1
+        assert Seq(names("a", "b")).size() == 3
+        assert Star(Choice(names("a", "b"))).size() == 4
+
+    def test_mentions_text(self):
+        assert STR.mentions_text()
+        assert Seq([Name("a")]).mentions_text() is False
+
+    def test_dtd_syntax(self):
+        assert Seq(names("a", "b")).to_dtd_syntax() == "(a, b)"
+        assert Choice(names("a", "b")).to_dtd_syntax() == "(a | b)"
+        assert Star(Name("a")).to_dtd_syntax() == "a*"
+        assert Opt(Name("a")).to_dtd_syntax() == "a?"
+        assert Plus(Name("a")).to_dtd_syntax() == "a+"
+        assert STR.to_dtd_syntax() == "(#PCDATA)"
+        assert EPSILON.to_dtd_syntax() == "EMPTY"
+
+    def test_seq_requires_items(self):
+        with pytest.raises(ValueError):
+            Seq([])
+        with pytest.raises(ValueError):
+            Choice([])

@@ -1,0 +1,174 @@
+"""Unit tests for the DTD class and its graph structure."""
+
+import math
+
+import pytest
+
+from repro.errors import DTDError
+from repro.dtd.content import Choice, EPSILON, Name, STR, Seq, Star, names
+from repro.dtd.dtd import DTD
+from repro.dtd.parser import parse_dtd
+
+
+def simple_dtd():
+    return DTD(
+        "r",
+        {
+            "r": Seq(names("a", "b")),
+            "a": Star(Name("c")),
+            "b": Choice(names("c", "d")),
+            "c": STR,
+            "d": EPSILON,
+        },
+    )
+
+
+class TestConstruction:
+    def test_unknown_root_rejected(self):
+        with pytest.raises(DTDError):
+            DTD("missing", {"a": STR})
+
+    def test_undeclared_reference_rejected(self):
+        with pytest.raises(DTDError) as info:
+            DTD("r", {"r": Name("ghost")})
+        assert "ghost" in str(info.value)
+
+    def test_element_types(self):
+        assert set(simple_dtd().element_types) == {"r", "a", "b", "c", "d"}
+
+    def test_production_lookup(self):
+        dtd = simple_dtd()
+        assert dtd.production("a") == Star(Name("c"))
+        with pytest.raises(DTDError):
+            dtd.production("nope")
+
+
+class TestGraph:
+    def test_children_of_ordered_dedup(self):
+        dtd = DTD("r", {"r": Seq(names("a", "b", "a")), "a": STR, "b": STR})
+        assert dtd.children_of("r") == ("a", "b")
+
+    def test_is_child(self):
+        dtd = simple_dtd()
+        assert dtd.is_child("r", "a")
+        assert not dtd.is_child("a", "b")
+
+    def test_parents_of(self):
+        dtd = simple_dtd()
+        assert sorted(dtd.parents_of("c")) == ["a", "b"]
+
+    def test_edges_carry_kind(self):
+        kinds = {
+            (parent, child): kind for parent, child, kind in simple_dtd().edges()
+        }
+        assert kinds[("r", "a")] == "seq"
+        assert kinds[("a", "c")] == "star"
+        assert kinds[("b", "c")] == "choice"
+
+    def test_reachable(self):
+        dtd = simple_dtd()
+        assert dtd.reachable() == {"r", "a", "b", "c", "d"}
+        assert dtd.reachable("a") == {"a", "c"}
+
+    def test_unreachable_types_allowed(self):
+        dtd = DTD("r", {"r": STR, "island": STR})
+        assert dtd.reachable() == {"r"}
+
+
+class TestProductionKinds:
+    def test_kinds(self):
+        dtd = simple_dtd()
+        assert dtd.production_kind("r") == "seq"
+        assert dtd.production_kind("a") == "star"
+        assert dtd.production_kind("b") == "choice"
+        assert dtd.production_kind("c") == "str"
+        assert dtd.production_kind("d") == "epsilon"
+
+    def test_single_name_is_seq(self):
+        dtd = DTD("r", {"r": Name("a"), "a": STR})
+        assert dtd.production_kind("r") == "seq"
+
+    def test_mixed_kind(self):
+        dtd = DTD("r", {"r": Seq([Name("a"), Star(Name("a"))]), "a": STR})
+        assert dtd.production_kind("r") == "mixed"
+        assert not dtd.is_normal_form()
+
+    def test_normal_form(self):
+        assert simple_dtd().is_normal_form()
+
+
+class TestRecursion:
+    def test_acyclic(self):
+        dtd = simple_dtd()
+        assert not dtd.is_recursive()
+        assert dtd.recursive_types() == set()
+
+    def test_self_loop(self):
+        dtd = DTD("r", {"r": Choice(names("r", "x")), "x": STR})
+        assert dtd.recursive_types() == {"r"}
+
+    def test_indirect_cycle(self):
+        dtd = parse_dtd(
+            """
+            <!ELEMENT r (a)>
+            <!ELEMENT a (b | leaf)>
+            <!ELEMENT b (a)>
+            <!ELEMENT leaf (#PCDATA)>
+            """
+        )
+        assert dtd.recursive_types() == {"a", "b"}
+
+    def test_topological_order(self):
+        dtd = simple_dtd()
+        order = dtd.topological_order()
+        assert order.index("r") < order.index("a") < order.index("c")
+        assert order.index("b") < order.index("d")
+
+    def test_topological_order_rejects_cycles(self):
+        dtd = DTD("r", {"r": Name("r")})
+        with pytest.raises(DTDError):
+            dtd.topological_order()
+
+
+class TestConsistency:
+    def test_min_heights(self):
+        heights = simple_dtd().min_heights()
+        assert heights["c"] == 1
+        assert heights["a"] == 1  # star may be empty
+        assert heights["b"] == 2
+        assert heights["r"] == 3
+
+    def test_recursive_with_escape_is_consistent(self):
+        dtd = parse_dtd(
+            """
+            <!ELEMENT a (b | c)>
+            <!ELEMENT c (a)>
+            <!ELEMENT b (#PCDATA)>
+            """
+        )
+        assert dtd.is_consistent()
+        assert dtd.min_heights()["a"] == 2
+
+    def test_inconsistent_dtd(self):
+        dtd = DTD("r", {"r": Name("r")})
+        assert not dtd.is_consistent()
+        assert dtd.inconsistent_types() == {"r"}
+        assert dtd.min_heights()["r"] == math.inf
+
+
+class TestMisc:
+    def test_size(self):
+        dtd = DTD("r", {"r": Name("a"), "a": STR})
+        assert dtd.size() == 2 + 1 + 1  # 2 types + Name(1) + Str(1)
+
+    def test_to_dtd_text_roundtrip(self):
+        dtd = simple_dtd()
+        again = parse_dtd(dtd.to_dtd_text())
+        assert again == dtd
+
+    def test_root_listed_first_in_text(self):
+        assert simple_dtd().to_dtd_text().startswith("<!ELEMENT r ")
+
+    def test_equality(self):
+        assert simple_dtd() == simple_dtd()
+        assert simple_dtd() != DTD("r", {"r": STR})

@@ -1,0 +1,103 @@
+"""Unit tests for the random document generator (the IBM XML Generator
+substitute)."""
+
+import pytest
+
+from repro.errors import DTDError
+from repro.dtd.dtd import DTD
+from repro.dtd.content import Name
+from repro.dtd.generator import DocumentGenerator, generate_document
+from repro.dtd.parser import parse_dtd
+from repro.dtd.validate import conforms
+
+DTD_TEXT = """
+<!ELEMENT site (shop*)>
+<!ELEMENT shop (name, stock)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT stock (item*)>
+<!ELEMENT item (sku, (new | used))>
+<!ELEMENT sku (#PCDATA)>
+<!ELEMENT new EMPTY>
+<!ELEMENT used (grade)>
+<!ELEMENT grade (#PCDATA)>
+"""
+
+
+@pytest.fixture(scope="module")
+def dtd():
+    return parse_dtd(DTD_TEXT)
+
+
+class TestConformance:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_generated_documents_conform(self, dtd, seed):
+        tree = generate_document(dtd, seed=seed, max_branch=4)
+        assert conforms(tree, dtd)
+
+    def test_recursive_dtd_conforms_and_terminates(self):
+        dtd = parse_dtd(
+            """
+            <!ELEMENT a (b | c)>
+            <!ELEMENT c (a, a)>
+            <!ELEMENT b (#PCDATA)>
+            """
+        )
+        for seed in range(8):
+            tree = generate_document(dtd, seed=seed, max_depth=9)
+            assert conforms(tree, dtd)
+            assert tree.height() <= 9
+
+
+class TestDeterminism:
+    def test_same_seed_same_document(self, dtd):
+        first = generate_document(dtd, seed=5)
+        second = generate_document(dtd, seed=5)
+        assert first.structurally_equal(second)
+
+    def test_different_seeds_differ(self, dtd):
+        trees = [generate_document(dtd, seed=s, max_branch=4) for s in range(6)]
+        sizes = {tree.size() for tree in trees}
+        assert len(sizes) > 1
+
+
+class TestKnobs:
+    def test_max_branch_grows_documents(self, dtd):
+        small = sum(
+            generate_document(dtd, seed=s, max_branch=1).size()
+            for s in range(6)
+        )
+        large = sum(
+            generate_document(dtd, seed=s, max_branch=8).size()
+            for s in range(6)
+        )
+        assert large > small
+
+    def test_max_depth_enforced(self, dtd):
+        for seed in range(6):
+            tree = generate_document(dtd, seed=seed, max_depth=4)
+            assert tree.height() <= 4
+
+    def test_max_depth_below_min_height_rejected(self, dtd):
+        with pytest.raises(DTDError):
+            DocumentGenerator(dtd, max_depth=0)
+
+    def test_value_pools(self, dtd):
+        generator = DocumentGenerator(
+            dtd, seed=0, max_branch=4, value_pools={"sku": ["A", "B"]}
+        )
+        tree = generator.generate()
+        skus = {node.string_value() for node in tree.find_all("sku")}
+        assert skus <= {"A", "B"}
+
+    def test_generate_many(self, dtd):
+        generator = DocumentGenerator(dtd, seed=1)
+        trees = generator.generate_many(3)
+        assert len(trees) == 3
+
+
+class TestErrors:
+    def test_inconsistent_dtd_rejected(self):
+        dtd = DTD("r", {"r": Name("r")})
+        with pytest.raises(DTDError) as info:
+            DocumentGenerator(dtd)
+        assert "inconsistent" in str(info.value)

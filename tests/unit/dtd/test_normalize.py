@@ -1,0 +1,105 @@
+"""Unit tests for DTD normalization into the paper's normal form."""
+
+from repro.dtd.content import Choice, EPSILON, Name, Opt, Plus, STR, Seq, Star, names
+from repro.dtd.dtd import DTD
+from repro.dtd.normalize import SYNTHETIC_PREFIX, normalize_dtd
+from repro.dtd.parser import parse_dtd
+
+
+class TestAlreadyNormal:
+    def test_identity(self):
+        dtd = parse_dtd("<!ELEMENT r (a, b)><!ELEMENT a (#PCDATA)><!ELEMENT b EMPTY>")
+        normalized, synthetic = normalize_dtd(dtd)
+        assert normalized is dtd
+        assert synthetic == {}
+
+
+class TestRewrites:
+    def test_star_in_seq(self):
+        dtd = DTD("r", {"r": Seq([Name("a"), Star(Name("b"))]), "a": STR, "b": STR})
+        normalized, synthetic = normalize_dtd(dtd)
+        assert normalized.is_normal_form()
+        (wrapper,) = synthetic
+        assert normalized.production(wrapper) == Star(Name("b"))
+        assert normalized.production("r") == Seq([Name("a"), Name(wrapper)])
+
+    def test_opt_becomes_choice_with_empty(self):
+        dtd = DTD("r", {"r": Opt(Name("a")), "a": STR})
+        normalized, synthetic = normalize_dtd(dtd)
+        assert normalized.is_normal_form()
+        production = normalized.production("r")
+        assert isinstance(production, Choice)
+        empty_types = [
+            name
+            for name, content in synthetic.items()
+            if content == EPSILON
+        ]
+        assert len(empty_types) == 1
+
+    def test_plus_becomes_seq_with_star(self):
+        dtd = DTD("r", {"r": Plus(Name("a")), "a": STR})
+        normalized, synthetic = normalize_dtd(dtd)
+        assert normalized.is_normal_form()
+        production = normalized.production("r")
+        assert isinstance(production, Seq)
+        assert production.items[0] == Name("a")
+        star_type = production.items[1].name
+        assert normalized.production(star_type) == Star(Name("a"))
+
+    def test_nested_group(self):
+        dtd = parse_dtd(
+            "<!ELEMENT r (a, (b | c), d)>"
+            "<!ELEMENT a EMPTY><!ELEMENT b EMPTY>"
+            "<!ELEMENT c EMPTY><!ELEMENT d EMPTY>"
+        )
+        normalized, synthetic = normalize_dtd(dtd)
+        assert normalized.is_normal_form()
+        (wrapper,) = synthetic
+        assert normalized.production(wrapper) == Choice(names("b", "c"))
+
+    def test_deeply_nested(self):
+        dtd = parse_dtd(
+            "<!ELEMENT r ((a, b?)*, c+)>"
+            "<!ELEMENT a EMPTY><!ELEMENT b EMPTY><!ELEMENT c EMPTY>"
+        )
+        normalized, _ = normalize_dtd(dtd)
+        assert normalized.is_normal_form()
+        assert normalized.root == "r"
+
+    def test_duplicate_subexpressions_share_types(self):
+        dtd = parse_dtd(
+            "<!ELEMENT r ((a | b), (a | b))>"
+            "<!ELEMENT a EMPTY><!ELEMENT b EMPTY>"
+        )
+        normalized, synthetic = normalize_dtd(dtd)
+        assert len(synthetic) == 1
+
+    def test_synthetic_names_avoid_collisions(self):
+        dtd = DTD(
+            "r",
+            {
+                "r": Seq([Star(Name("a")), Name(SYNTHETIC_PREFIX + "grp1")]),
+                "a": STR,
+                SYNTHETIC_PREFIX + "grp1": STR,
+            },
+        )
+        normalized, synthetic = normalize_dtd(dtd)
+        assert normalized.is_normal_form()
+        assert all(name not in dtd.productions for name in synthetic)
+
+
+class TestSemanticsPreserved:
+    def test_language_equivalence_samples(self):
+        from repro.dtd.generator import DocumentGenerator
+        from repro.dtd.validate import conforms
+
+        dtd = parse_dtd(
+            "<!ELEMENT r (a?, (b | c)+, d*)>"
+            "<!ELEMENT a EMPTY><!ELEMENT b EMPTY>"
+            "<!ELEMENT c EMPTY><!ELEMENT d EMPTY>"
+        )
+        normalized, _ = normalize_dtd(dtd)
+        # instances of the normalized DTD are generable and conform
+        for seed in range(5):
+            tree = DocumentGenerator(normalized, seed=seed).generate()
+            assert conforms(tree, normalized)

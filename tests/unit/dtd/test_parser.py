@@ -1,0 +1,109 @@
+"""Unit tests for the DTD declaration parser."""
+
+import pytest
+
+from repro.errors import DTDParseError
+from repro.dtd.content import (
+    Choice,
+    EPSILON,
+    Name,
+    Opt,
+    Plus,
+    STR,
+    Seq,
+    Star,
+    names,
+)
+from repro.dtd.parser import parse_content_model, parse_dtd
+
+
+class TestContentModels:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("EMPTY", EPSILON),
+            ("(#PCDATA)", STR),
+            ("(a)", Name("a")),
+            ("(a, b)", Seq(names("a", "b"))),
+            ("(a | b | c)", Choice(names("a", "b", "c"))),
+            ("(a)*", Star(Name("a"))),
+            ("(a, b*)", Seq([Name("a"), Star(Name("b"))])),
+            ("(a?, b+)", Seq([Opt(Name("a")), Plus(Name("b"))])),
+            ("((a | b), c)", Seq([Choice(names("a", "b")), Name("c")])),
+            ("(a, (b, c)*)", Seq([Name("a"), Star(Seq(names("b", "c")))])),
+        ],
+    )
+    def test_parse(self, text, expected):
+        assert parse_content_model(text) == expected
+
+    def test_whitespace_tolerant(self):
+        assert parse_content_model(" ( a ,\n b ) ") == Seq(names("a", "b"))
+
+    def test_mixed_separators_rejected(self):
+        with pytest.raises(DTDParseError):
+            parse_content_model("(a, b | c)")
+
+    def test_any_rejected(self):
+        with pytest.raises(DTDParseError):
+            parse_content_model("ANY")
+
+    def test_mixed_content_rejected(self):
+        with pytest.raises(DTDParseError):
+            parse_content_model("(#PCDATA | a)")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(DTDParseError):
+            parse_content_model("(a) x")
+
+
+class TestDeclarations:
+    def test_first_element_is_root(self):
+        dtd = parse_dtd("<!ELEMENT r (a)><!ELEMENT a (#PCDATA)>")
+        assert dtd.root == "r"
+
+    def test_explicit_root(self):
+        dtd = parse_dtd(
+            "<!ELEMENT a (#PCDATA)><!ELEMENT r (a)>", root="r"
+        )
+        assert dtd.root == "r"
+
+    def test_comments_and_attlists_skipped(self):
+        dtd = parse_dtd(
+            """
+            <!-- a catalog -->
+            <!ELEMENT r (a*)>
+            <!ATTLIST r version CDATA #IMPLIED>
+            <!ELEMENT a (#PCDATA)>
+            """
+        )
+        assert set(dtd.element_types) == {"r", "a"}
+
+    def test_duplicate_declaration_rejected(self):
+        with pytest.raises(DTDParseError):
+            parse_dtd("<!ELEMENT a (#PCDATA)><!ELEMENT a EMPTY>")
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(DTDParseError):
+            parse_dtd("   ")
+
+    def test_names_with_dots_and_dashes(self):
+        dtd = parse_dtd(
+            "<!ELEMENT re (r-e.warranty)><!ELEMENT r-e.warranty (#PCDATA)>"
+        )
+        assert dtd.is_child("re", "r-e.warranty")
+
+    def test_hospital_dtd_parses(self):
+        from repro.workloads.hospital import HOSPITAL_DTD_TEXT
+
+        dtd = parse_dtd(HOSPITAL_DTD_TEXT)
+        assert dtd.root == "hospital"
+        assert dtd.is_normal_form()
+        assert dtd.production_kind("treatment") == "choice"
+
+    def test_adex_dtd_parses(self):
+        from repro.workloads.adex import ADEX_DTD_TEXT
+
+        dtd = parse_dtd(ADEX_DTD_TEXT)
+        assert dtd.root == "adex"
+        assert dtd.is_normal_form()
+        assert not dtd.is_recursive()

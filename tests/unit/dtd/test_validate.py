@@ -1,0 +1,117 @@
+"""Unit tests for document-vs-DTD validation."""
+
+import pytest
+
+from repro.errors import DTDValidationError
+from repro.dtd.parser import parse_dtd
+from repro.dtd.validate import assert_conforms, conforms, validate
+from repro.xmlmodel.parser import parse_document
+
+DTD_TEXT = """
+<!ELEMENT library (shelf*)>
+<!ELEMENT shelf (book+)>
+<!ELEMENT book (title, year?, (hardcover | paperback))>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT year (#PCDATA)>
+<!ELEMENT hardcover EMPTY>
+<!ELEMENT paperback EMPTY>
+"""
+
+
+@pytest.fixture(scope="module")
+def dtd():
+    return parse_dtd(DTD_TEXT)
+
+
+def doc(text):
+    return parse_document(text)
+
+
+class TestConformance:
+    def test_valid_document(self, dtd):
+        tree = doc(
+            "<library><shelf>"
+            "<book><title>t</title><year>1999</year><hardcover/></book>"
+            "<book><title>u</title><paperback/></book>"
+            "</shelf></library>"
+        )
+        assert conforms(tree, dtd)
+        assert validate(tree, dtd) == []
+
+    def test_empty_star_ok(self, dtd):
+        assert conforms(doc("<library/>"), dtd)
+
+    def test_plus_requires_one(self, dtd):
+        issues = validate(doc("<library><shelf/></library>"), dtd)
+        assert len(issues) == 1
+        assert "ended early" in issues[0].message
+
+    def test_wrong_root(self, dtd):
+        issues = validate(doc("<shelf/>"), dtd)
+        assert any("root" in issue.message for issue in issues)
+
+    def test_wrong_order(self, dtd):
+        tree = doc(
+            "<library><shelf><book>"
+            "<year>1999</year><title>t</title><hardcover/>"
+            "</book></shelf></library>"
+        )
+        issues = validate(tree, dtd)
+        assert issues and "unexpected child 'year'" in issues[0].message
+
+    def test_exclusive_choice(self, dtd):
+        tree = doc(
+            "<library><shelf><book>"
+            "<title>t</title><hardcover/><paperback/>"
+            "</book></shelf></library>"
+        )
+        assert not conforms(tree, dtd)
+
+    def test_undeclared_element(self, dtd):
+        tree = doc("<library><mystery/></library>")
+        issues = validate(tree, dtd)
+        assert any("undeclared" in issue.message for issue in issues)
+
+    def test_unexpected_text(self, dtd):
+        tree = parse_document(
+            "<library><shelf>words<book><title>t</title>"
+            "<hardcover/></book></shelf></library>"
+        )
+        issues = validate(tree, dtd)
+        assert issues and "#PCDATA" in issues[0].message
+
+    def test_issue_paths_are_indexed(self, dtd):
+        tree = doc(
+            "<library><shelf><book><title>t</title><hardcover/></book>"
+            "<book><title>u</title></book></shelf></library>"
+        )
+        issues = validate(tree, dtd)
+        assert issues[0].path == "/library/shelf[1]/book[2]"
+
+    def test_max_issues_cap(self, dtd):
+        tree = doc("<library>" + "<oops/>" * 20 + "</library>")
+        assert len(validate(tree, dtd, max_issues=5)) == 5
+
+    def test_assert_conforms_raises_with_details(self, dtd):
+        with pytest.raises(DTDValidationError) as info:
+            assert_conforms(doc("<library><bad/></library>"), dtd)
+        assert "bad" in str(info.value)
+
+    def test_assert_conforms_passes_silently(self, dtd):
+        assert_conforms(doc("<library/>"), dtd)
+
+
+class TestTextContent:
+    def test_pcdata_accepts_empty_element(self, dtd):
+        tree = doc(
+            "<library><shelf><book><title></title><hardcover/>"
+            "</book></shelf></library>"
+        )
+        assert conforms(tree, dtd)
+
+    def test_element_child_under_pcdata_rejected(self, dtd):
+        tree = doc(
+            "<library><shelf><book><title><b/></title><hardcover/>"
+            "</book></shelf></library>"
+        )
+        assert not conforms(tree, dtd)

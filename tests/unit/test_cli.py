@@ -1,0 +1,221 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.workloads.hospital import HOSPITAL_DTD_TEXT
+
+NURSE_SPEC_TEXT = """
+# Example 3.1
+hospital dept [*/patient/wardNo = $wardNo]
+dept clinicalTrial N
+clinicalTrial patientInfo Y
+treatment trial N
+treatment regular N
+trial bill Y
+regular bill Y
+regular medication Y
+"""
+
+VALID_DOC = """
+<hospital><dept>
+  <clinicalTrial><patientInfo/></clinicalTrial>
+  <patientInfo>
+    <patient><name>ann</name><wardNo>2</wardNo>
+      <treatment><regular><bill>7</bill><medication>x</medication></regular></treatment>
+    </patient>
+  </patientInfo>
+  <staffInfo/>
+</dept></hospital>
+"""
+
+
+@pytest.fixture()
+def workspace(tmp_path):
+    dtd = tmp_path / "hospital.dtd"
+    dtd.write_text(HOSPITAL_DTD_TEXT)
+    spec = tmp_path / "nurse.spec"
+    spec.write_text(NURSE_SPEC_TEXT)
+    document = tmp_path / "doc.xml"
+    document.write_text(VALID_DOC)
+    return tmp_path
+
+
+class TestValidate:
+    def test_valid(self, workspace, capsys):
+        code = main(
+            ["validate", str(workspace / "doc.xml"), str(workspace / "hospital.dtd")]
+        )
+        assert code == 0
+        assert "conforms" in capsys.readouterr().out
+
+    def test_invalid(self, workspace, capsys):
+        bad = workspace / "bad.xml"
+        bad.write_text("<hospital><oops/></hospital>")
+        code = main(
+            ["validate", str(bad), str(workspace / "hospital.dtd")]
+        )
+        assert code == 1
+        assert "invalid" in capsys.readouterr().out
+
+
+class TestGenerate:
+    def test_generate_to_stdout(self, workspace, capsys):
+        code = main(["generate", str(workspace / "hospital.dtd"), "--seed", "3"])
+        assert code == 0
+        assert capsys.readouterr().out.startswith("<hospital")
+
+    def test_generate_to_file_conforms(self, workspace, capsys):
+        out = workspace / "gen.xml"
+        code = main(
+            [
+                "generate",
+                str(workspace / "hospital.dtd"),
+                "--seed",
+                "5",
+                "--max-branch",
+                "4",
+                "-o",
+                str(out),
+                "--pretty",
+            ]
+        )
+        assert code == 0
+        validate_code = main(
+            ["validate", str(out), str(workspace / "hospital.dtd")]
+        )
+        assert validate_code == 0
+
+
+class TestPolicyCommands:
+    def args(self, workspace, *rest):
+        return [
+            str(workspace / "hospital.dtd"),
+            str(workspace / "nurse.spec"),
+            *rest,
+            "--bind",
+            "wardNo=2",
+        ]
+
+    def test_view_dtd(self, workspace, capsys):
+        code = main(["view-dtd", *self.args(workspace)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "dummy1" in out and "clinicalTrial" not in out
+
+    def test_rewrite(self, workspace, capsys):
+        code = main(["rewrite", *self.args(workspace, "//patient//bill")])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "rewritten:" in out and "optimized:" in out
+        assert "clinicalTrial/patientInfo" in out
+
+    def test_rewrite_no_optimize(self, workspace, capsys):
+        code = main(
+            [
+                "rewrite",
+                *self.args(workspace, "//patient//bill"),
+                "--no-optimize",
+            ]
+        )
+        assert code == 0
+        assert "optimized:" not in capsys.readouterr().out
+
+    def test_query(self, workspace, capsys):
+        code = main(
+            [
+                "query",
+                str(workspace / "hospital.dtd"),
+                str(workspace / "nurse.spec"),
+                str(workspace / "doc.xml"),
+                "//patient/name",
+                "--bind",
+                "wardNo=2",
+            ]
+        )
+        assert code == 0
+        assert "<name>ann</name>" in capsys.readouterr().out
+
+    def test_query_explain(self, workspace, capsys):
+        code = main(
+            [
+                "query",
+                str(workspace / "hospital.dtd"),
+                str(workspace / "nurse.spec"),
+                str(workspace / "doc.xml"),
+                "//dummy2/medication",
+                "--bind",
+                "wardNo=2",
+                "--explain",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "results  : 1" in out
+        assert "<medication>x</medication>" in out
+
+
+class TestErrors:
+    def test_missing_file(self, workspace, capsys):
+        code = main(
+            ["validate", str(workspace / "nope.xml"), str(workspace / "hospital.dtd")]
+        )
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_bad_binding(self, workspace, capsys):
+        code = main(["view-dtd", *self.bad_bind_args(workspace)])
+        assert code == 2
+
+    def bad_bind_args(self, workspace):
+        return [
+            str(workspace / "hospital.dtd"),
+            str(workspace / "nurse.spec"),
+            "--bind",
+            "oops",
+        ]
+
+    def test_bad_spec_line(self, workspace, capsys):
+        broken = workspace / "broken.spec"
+        broken.write_text("just two\n")
+        code = main(
+            [
+                "view-dtd",
+                str(workspace / "hospital.dtd"),
+                str(broken),
+            ]
+        )
+        assert code == 2
+        assert "spec line 1" in capsys.readouterr().err
+
+
+class TestSpecTextParser:
+    def test_comments_and_blanks(self):
+        from repro.core.spec import parse_spec_text
+        from repro.workloads.hospital import hospital_dtd
+
+        spec = parse_spec_text(
+            hospital_dtd(),
+            "\n# comment\n\ndept clinicalTrial N\n",
+        )
+        assert len(spec.annotations()) == 1
+
+    def test_qualifier_with_spaces(self):
+        from repro.core.spec import CondAnnotation, parse_spec_text
+        from repro.workloads.hospital import hospital_dtd
+
+        spec = parse_spec_text(
+            hospital_dtd(),
+            "hospital dept [*/patient/wardNo = $wardNo]\n",
+        )
+        annotation = spec.ann("hospital", "dept")
+        assert isinstance(annotation, CondAnnotation)
+
+
+class TestTable1Command:
+    def test_table1_tiny_scale(self, capsys):
+        code = main(["table1", "--scale", "0.05", "--repeat", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "Q1" in out and "Q4" in out

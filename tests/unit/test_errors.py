@@ -1,0 +1,63 @@
+"""Tests for the exception hierarchy: everything derives from
+ReproError, and location-carrying errors format their positions."""
+
+import pytest
+
+from repro import errors
+
+
+ALL_ERRORS = [
+    errors.XMLError,
+    errors.XMLParseError,
+    errors.DTDError,
+    errors.DTDParseError,
+    errors.DTDValidationError,
+    errors.ContentModelError,
+    errors.XPathError,
+    errors.XPathSyntaxError,
+    errors.XPathEvaluationError,
+    errors.SecurityError,
+    errors.SpecificationError,
+    errors.ViewDerivationError,
+    errors.MaterializationAborted,
+    errors.RewriteError,
+    errors.QueryRejectedError,
+]
+
+
+@pytest.mark.parametrize("error_class", ALL_ERRORS)
+def test_everything_is_a_repro_error(error_class):
+    assert issubclass(error_class, errors.ReproError)
+
+
+def test_xml_parse_error_location():
+    error = errors.XMLParseError("bad tag", line=3, column=7)
+    assert "line 3" in str(error) and "column 7" in str(error)
+    assert error.line == 3 and error.column == 7
+
+
+def test_xml_parse_error_without_location():
+    error = errors.XMLParseError("bad tag")
+    assert str(error) == "bad tag"
+    assert error.line is None
+
+
+def test_xpath_syntax_error_offset():
+    error = errors.XPathSyntaxError("unexpected", position=12)
+    assert "offset 12" in str(error)
+    assert error.position == 12
+
+
+def test_subsystem_grouping():
+    assert issubclass(errors.XMLParseError, errors.XMLError)
+    assert issubclass(errors.DTDParseError, errors.DTDError)
+    assert issubclass(errors.XPathSyntaxError, errors.XPathError)
+    assert issubclass(errors.MaterializationAborted, errors.SecurityError)
+    assert issubclass(errors.QueryRejectedError, errors.SecurityError)
+
+
+def test_catching_the_base_class():
+    from repro.xpath.parser import parse_xpath
+
+    with pytest.raises(errors.ReproError):
+        parse_xpath("a[")

@@ -1,0 +1,166 @@
+"""Unit tests for the workload definitions."""
+
+import pytest
+
+from repro.dtd.validate import conforms
+from repro.workloads.adex import adex_document, adex_dtd, adex_engine, adex_spec
+from repro.workloads.documents import DATASET_SCALES, dataset, dataset_sizes
+from repro.workloads.hospital import (
+    doctor_spec,
+    hospital_document,
+    hospital_dtd,
+    nurse_engine,
+    nurse_spec,
+)
+from repro.workloads.queries import (
+    ADEX_EXPECTED_OPTIMIZED,
+    ADEX_EXPECTED_REWRITES,
+    ADEX_QUERIES,
+    ADEX_QUERY_TEXTS,
+    HOSPITAL_QUERIES,
+    adex_query,
+)
+
+
+class TestHospitalWorkload:
+    def test_dtd_matches_figure1(self):
+        dtd = hospital_dtd()
+        assert dtd.root == "hospital"
+        assert dtd.production_kind("treatment") == "choice"
+        assert dtd.production_kind("staff") == "choice"
+        assert dtd.children_of("dept") == (
+            "clinicalTrial",
+            "patientInfo",
+            "staffInfo",
+        )
+
+    def test_nurse_spec_edges(self):
+        spec = nurse_spec()
+        assert spec.parameters() == {"wardNo"}
+        assert len(spec.annotations()) == 8
+
+    def test_doctor_spec(self):
+        spec = doctor_spec()
+        assert spec.parameters() == set()
+
+    def test_documents_conform(self):
+        dtd = hospital_dtd()
+        for seed in (0, 5, 9):
+            assert conforms(hospital_document(seed=seed), dtd)
+
+    def test_ward_pool_constrains_values(self):
+        document = hospital_document(seed=1, max_branch=5, wards=("7",))
+        wards = {node.string_value() for node in document.find_all("wardNo")}
+        assert wards <= {"7"}
+
+    def test_nurse_engine_ready(self):
+        engine = nurse_engine(ward="3")
+        assert engine.policies() == ["nurse"]
+        assert "clinicalTrial" not in engine.view_dtd_text("nurse")
+
+
+class TestAdexWorkload:
+    def test_structural_properties_the_experiments_need(self):
+        dtd = adex_dtd()
+        # Q3: co-existence at buyer-info
+        assert dtd.production_kind("buyer-info") == "seq"
+        assert dtd.children_of("buyer-info") == ("company-id", "contact-info")
+        # Q4: exclusive at real-estate
+        assert dtd.production_kind("real-estate") == "choice"
+        assert set(dtd.children_of("real-estate")) == {"house", "apartment"}
+        # Q2: warranty under house only
+        assert dtd.is_child("house", "r-e.warranty")
+        assert not dtd.is_child("apartment", "r-e.warranty")
+        # hidden categories exist
+        assert {"employment", "automotive"} <= set(
+            dtd.children_of("ad-instance")
+        )
+
+    def test_spec_matches_section6_description(self):
+        spec = adex_spec()
+        classes = spec.type_accessibility()
+        assert classes[("adex", "head")] == "N"
+        assert classes[("adex", "body")] == "N"
+        assert classes[("head", "buyer-info")] == "Y"
+        assert classes[("ad-instance", "real-estate")] == "Y"
+        assert classes[("ad-instance", "employment")] == "N"
+
+    def test_documents_conform_and_scale(self):
+        dtd = adex_dtd()
+        small = adex_document(seed=0, buyers=5, ads=10)
+        large = adex_document(seed=0, buyers=20, ads=80)
+        assert conforms(small, dtd)
+        assert conforms(large, dtd)
+        assert large.size() > 3 * small.size()
+
+    def test_document_counts_exact(self):
+        document = adex_document(seed=3, buyers=7, ads=13)
+        assert len(document.find_all("buyer-info")) == 7
+        assert len(document.find_all("ad-instance")) == 13
+
+    def test_engine_ready(self):
+        engine = adex_engine()
+        exposed = engine.view_dtd_text("real-estate-buyer")
+        assert "employment" not in exposed
+        assert "buyer-info" in exposed
+
+
+class TestQueries:
+    def test_all_queries_parse(self):
+        assert set(ADEX_QUERIES) == {"Q1", "Q2", "Q3", "Q4"}
+        for name, text in ADEX_QUERY_TEXTS.items():
+            assert str(adex_query(name)) != ""
+            del text
+        assert len(HOSPITAL_QUERIES) >= 5
+
+    def test_expected_tables_cover_all_queries(self):
+        assert set(ADEX_EXPECTED_REWRITES) == set(ADEX_QUERIES)
+        assert set(ADEX_EXPECTED_OPTIMIZED) == set(ADEX_QUERIES)
+
+
+class TestDatasets:
+    def test_sizes_grow_geometrically(self):
+        sizes = dataset_sizes(scale=0.1)
+        ordered = [sizes[name] for name in ("D1", "D2", "D3", "D4")]
+        assert ordered == sorted(ordered)
+        assert ordered[-1] > 10 * ordered[0]
+
+    def test_dataset_cached_per_process(self):
+        first = dataset("D1", scale=0.1)
+        second = dataset("D1", scale=0.1)
+        assert first is second
+
+    def test_all_scales_declared(self):
+        assert set(DATASET_SCALES) == {"D1", "D2", "D3", "D4"}
+
+    def test_datasets_conform(self):
+        dtd = adex_dtd()
+        assert conforms(dataset("D1", scale=0.1), dtd)
+
+
+class TestCatalogWorkload:
+    def test_dtd_is_recursive(self):
+        from repro.workloads.catalog import catalog_dtd
+
+        dtd = catalog_dtd()
+        assert dtd.is_recursive()
+        assert dtd.is_consistent()
+
+    def test_flat_view_is_recursive(self):
+        from repro.core.derive import derive
+        from repro.workloads.catalog import catalog_dtd, flat_spec
+
+        view = derive(flat_spec(catalog_dtd()))
+        assert view.is_recursive()
+        assert "children" not in view.exposed_dtd().to_dtd_text()
+
+    def test_engine_answers_recursive_queries(self):
+        from repro.workloads.catalog import catalog_document, catalog_engine
+
+        engine = catalog_engine()
+        document = catalog_document(seed=5)
+        parts = engine.query("flat", "//part", document)
+        assert len(parts) == len(document.find_all("part"))
+        # nested assemblies flatten: assembly/assembly is a view path
+        nested = engine.query("flat", "assembly/assembly/part", document)
+        assert all(element.label == "part" for element in nested)

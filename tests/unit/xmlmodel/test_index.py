@@ -1,0 +1,171 @@
+"""Unit tests for the document label index."""
+
+import pytest
+
+from repro.xmlmodel.index import DocumentIndex, build_index
+from repro.xmlmodel.parser import parse_document
+
+DOC = """
+<lib>
+  <shelf>
+    <book><title>a</title><note><title>inner</title></note></book>
+    <book><title>b</title></book>
+  </shelf>
+  <shelf>
+    <book><title>c</title></book>
+  </shelf>
+  <title>library title</title>
+</lib>
+"""
+
+
+@pytest.fixture(scope="module")
+def tree():
+    return parse_document(DOC)
+
+
+@pytest.fixture(scope="module")
+def index(tree):
+    return build_index(tree)
+
+
+class TestStructure:
+    def test_size_counts_elements(self, tree, index):
+        assert index.size() == tree.element_count()
+
+    def test_positions_are_preorder(self, tree, index):
+        elements = list(tree.iter_elements())
+        positions = [index.position(element) for element in elements]
+        assert positions == sorted(positions)
+        assert positions[0] == 0
+
+    def test_intervals_nest(self, tree, index):
+        shelf = tree.element_children()[0]
+        for element in shelf.iter_elements():
+            assert index.is_descendant(shelf, element)
+        assert not index.is_descendant(shelf, tree)
+
+    def test_covers(self, tree, index):
+        from repro.xmlmodel.nodes import XMLElement
+
+        assert index.covers(tree)
+        assert not index.covers(XMLElement("stranger"))
+
+
+class TestLabelQueries:
+    def test_all_with_label(self, tree, index):
+        assert len(index.all_with_label("title")) == 5
+        assert index.all_with_label("ghost") == []
+
+    def test_descendants_with_label_matches_scan(self, tree, index):
+        for element in tree.iter_elements():
+            expected = [
+                node
+                for node in element.iter_elements()
+                if node is not element and node.label == "title"
+            ]
+            actual = index.descendants_with_label(element, "title")
+            assert [id(node) for node in actual] == [
+                id(node) for node in expected
+            ], element.label
+
+    def test_excludes_self(self, tree, index):
+        title = tree.find_all("title")[0]
+        assert index.descendants_with_label(title, "title") == []
+
+    def test_unknown_element_is_empty(self, index):
+        from repro.xmlmodel.nodes import XMLElement
+
+        assert index.descendants_with_label(XMLElement("x"), "title") == []
+
+    def test_document_order_sort(self, tree, index):
+        titles = index.all_with_label("title")
+        shuffled = list(reversed(titles))
+        assert index.document_order_sort(shuffled) == titles
+
+
+class TestEvaluatorIntegration:
+    QUERIES = [
+        "//title",
+        "//book/title",
+        "shelf//title",
+        "//book[title]",
+        "//note//title | //shelf",
+        '//book[title = "b"]',
+        "//title/..",
+    ]
+
+    @pytest.mark.parametrize("text", QUERIES)
+    def test_indexed_evaluation_equivalent(self, tree, index, text):
+        from repro.xpath.evaluator import XPathEvaluator
+        from repro.xpath.parser import parse_xpath
+
+        query = parse_xpath(text)
+        plain = XPathEvaluator()
+        fast = XPathEvaluator(index=index)
+        expected = [id(n) for n in plain.evaluate(query, tree, ordered=True)]
+        actual = [id(n) for n in fast.evaluate(query, tree, ordered=True)]
+        assert expected == actual, text
+
+    def test_index_reduces_visits(self, index):
+        from repro.workloads.adex import adex_document
+        from repro.xpath.evaluator import XPathEvaluator
+        from repro.xpath.parser import parse_xpath
+
+        document = adex_document(seed=2, buyers=30, ads=120)
+        big_index = build_index(document)
+        query = parse_xpath("//r-e.warranty")
+        plain = XPathEvaluator()
+        plain.evaluate(query, document)
+        fast = XPathEvaluator(index=big_index)
+        fast.evaluate(query, document)
+        assert fast.visits < plain.visits / 10
+
+    def test_foreign_context_falls_back(self, tree, index):
+        from repro.xmlmodel.parser import parse_document as parse
+        from repro.xpath.evaluator import XPathEvaluator
+        from repro.xpath.parser import parse_xpath
+
+        other = parse("<lib><shelf><book><title>z</title></book></shelf></lib>")
+        fast = XPathEvaluator(index=index)  # index of the OTHER tree
+        result = fast.evaluate(parse_xpath("//title"), other)
+        assert [node.string_value() for node in result] == ["z"]
+
+
+class TestEngineIntegration:
+    def test_use_index_equivalent_results(self):
+        from repro.workloads.hospital import (
+            hospital_document,
+            hospital_dtd,
+            nurse_spec,
+        )
+        from repro.core.engine import SecureQueryEngine
+        from repro.xmlmodel.serialize import serialize
+
+        dtd = hospital_dtd()
+        engine = SecureQueryEngine(dtd)
+        engine.register_policy("nurse", nurse_spec(dtd), wardNo="2")
+        document = hospital_document(seed=7, max_branch=4)
+        for text in ("//patient/name", "//dummy2/medication"):
+            plain = engine.query("nurse", text, document)
+            indexed = engine.query("nurse", text, document, use_index=True)
+            assert [serialize(a) for a in plain] == [
+                serialize(b) for b in indexed
+            ]
+
+    def test_invalidate_clears_index_cache(self):
+        from repro.workloads.hospital import (
+            hospital_document,
+            hospital_dtd,
+            nurse_spec,
+        )
+        from repro.core.engine import SecureQueryEngine
+
+        dtd = hospital_dtd()
+        engine = SecureQueryEngine(dtd)
+        engine.register_policy("nurse", nurse_spec(dtd), wardNo="2")
+        document = hospital_document(seed=7)
+        engine.query("nurse", "//patient", document, use_index=True)
+        assert engine._indexes
+        engine.invalidate()
+        assert not engine._indexes

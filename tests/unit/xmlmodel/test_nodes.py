@@ -1,0 +1,186 @@
+"""Unit tests for the XML tree model."""
+
+import pytest
+
+from repro.xmlmodel.nodes import (
+    XMLElement,
+    XMLText,
+    document_order_index,
+    new_document,
+    subtree_copy,
+)
+
+
+def build_sample():
+    root = new_document("library")
+    shelf = root.add_element("shelf", location="north")
+    book = shelf.add_element("book")
+    book.add_element("title").add_text("Dune")
+    book.add_element("year").add_text("1965")
+    shelf.add_element("book").add_element("title").add_text("Hyperion")
+    root.add_element("shelf")
+    return root
+
+
+class TestConstruction:
+    def test_append_sets_parent(self):
+        root = XMLElement("a")
+        child = root.append(XMLElement("b"))
+        assert child.parent is root
+        assert root.children == [child]
+
+    def test_add_element_with_attributes(self):
+        root = XMLElement("a")
+        child = root.add_element("b", kind="x")
+        assert child.attributes == {"kind": "x"}
+
+    def test_add_text(self):
+        root = XMLElement("a")
+        text = root.add_text("hello")
+        assert text.is_text and not text.is_element
+        assert text.parent is root
+
+    def test_extend(self):
+        root = XMLElement("a")
+        root.extend([XMLElement("b"), XMLText("t")])
+        assert len(root.children) == 2
+        assert all(child.parent is root for child in root.children)
+
+    def test_constructor_children(self):
+        child = XMLElement("b")
+        root = XMLElement("a", children=[child])
+        assert child.parent is root
+
+
+class TestNavigation:
+    def test_element_and_text_children(self):
+        root = XMLElement("a")
+        root.add_element("b")
+        root.add_text("t")
+        root.add_element("c")
+        assert [el.label for el in root.element_children()] == ["b", "c"]
+        assert [tx.value for tx in root.text_children()] == ["t"]
+
+    def test_child_elements_by_label(self):
+        root = build_sample()
+        assert len(root.child_elements("shelf")) == 2
+        assert root.child_elements("book") == []
+
+    def test_first_child(self):
+        root = build_sample()
+        assert root.first_child("shelf").get("location") == "north"
+        assert root.first_child("nothing") is None
+
+    def test_ancestors_nearest_first(self):
+        root = build_sample()
+        title = root.find_all("title")[0]
+        labels = [node.label for node in title.ancestors()]
+        assert labels == ["book", "shelf", "library"]
+
+    def test_root(self):
+        root = build_sample()
+        deepest = root.find_all("title")[0]
+        assert deepest.root() is root
+
+    def test_iter_document_order(self):
+        root = build_sample()
+        labels = [
+            node.label for node in root.iter_elements()
+        ]
+        assert labels == [
+            "library",
+            "shelf",
+            "book",
+            "title",
+            "year",
+            "book",
+            "title",
+            "shelf",
+        ]
+
+    def test_find_all(self):
+        root = build_sample()
+        assert len(root.find_all("title")) == 2
+        assert root.find_all("library") == [root]
+
+
+class TestMeasurement:
+    def test_size_counts_text_nodes(self):
+        root = build_sample()
+        assert root.size() == 8 + 3  # 8 elements + 3 text nodes
+
+    def test_element_count(self):
+        assert build_sample().element_count() == 8
+
+    def test_height(self):
+        root = build_sample()
+        assert root.height() == 4  # library/shelf/book/title
+        assert XMLElement("leaf").height() == 1
+
+    def test_depth(self):
+        root = build_sample()
+        assert root.depth() == 1
+        assert root.find_all("title")[0].depth() == 4
+
+
+class TestValues:
+    def test_string_value_concatenates_descendant_text(self):
+        root = build_sample()
+        book = root.find_all("book")[0]
+        assert book.string_value() == "Dune1965"
+
+    def test_attribute_get_set(self):
+        element = XMLElement("a")
+        assert element.get("x") is None
+        assert element.get("x", "d") == "d"
+        element.set("x", "1")
+        assert element.get("x") == "1"
+
+
+class TestEqualityAndCopy:
+    def test_structural_equality(self):
+        assert build_sample().structurally_equal(build_sample())
+
+    def test_structural_inequality_on_text(self):
+        a = build_sample()
+        b = build_sample()
+        b.find_all("title")[0].children[0].value = "Other"
+        assert not a.structurally_equal(b)
+
+    def test_structural_inequality_on_attributes(self):
+        a = build_sample()
+        b = build_sample()
+        b.first_child("shelf").set("location", "south")
+        assert not a.structurally_equal(b)
+
+    def test_structural_inequality_on_arity(self):
+        a = build_sample()
+        b = build_sample()
+        b.add_element("extra")
+        assert not a.structurally_equal(b)
+
+    def test_subtree_copy_is_deep_and_detached(self):
+        root = build_sample()
+        copy = subtree_copy(root)
+        assert copy.structurally_equal(root)
+        assert copy is not root
+        copy.find_all("title")[0].children[0].value = "Changed"
+        assert root.find_all("title")[0].children[0].value == "Dune"
+
+    def test_subtree_copy_of_text(self):
+        text = XMLText("v")
+        copy = subtree_copy(text)
+        assert copy.is_text and copy.value == "v" and copy.parent is None
+
+
+def test_document_order_index():
+    root = build_sample()
+    order = document_order_index(root)
+    nodes = list(root.iter())
+    for earlier, later in zip(nodes, nodes[1:]):
+        assert order[id(earlier)] < order[id(later)]
+
+
+def test_repr_is_informative():
+    assert "library" in repr(build_sample())
+    assert "XMLText" in repr(XMLText("some quite long text value here"))

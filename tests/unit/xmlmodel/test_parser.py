@@ -1,0 +1,137 @@
+"""Unit tests for the XML parser."""
+
+import pytest
+
+from repro.errors import XMLParseError
+from repro.xmlmodel.parser import parse_document, parse_fragment
+from repro.xmlmodel.serialize import serialize
+
+
+class TestBasicParsing:
+    def test_single_empty_element(self):
+        root = parse_document("<a/>")
+        assert root.label == "a"
+        assert root.children == []
+
+    def test_open_close(self):
+        root = parse_document("<a></a>")
+        assert root.label == "a" and root.children == []
+
+    def test_nested_elements(self):
+        root = parse_document("<a><b><c/></b></a>")
+        assert root.children[0].children[0].label == "c"
+
+    def test_text_content(self):
+        root = parse_document("<a>hello</a>")
+        assert root.children[0].value == "hello"
+
+    def test_mixed_content_preserved(self):
+        root = parse_document("<a>x<b/>y</a>")
+        kinds = [child.is_text for child in root.children]
+        assert kinds == [True, False, True]
+
+    def test_whitespace_between_elements_dropped(self):
+        root = parse_document("<a>\n  <b/>\n  <c/>\n</a>")
+        assert [child.label for child in root.children] == ["b", "c"]
+
+    def test_keep_whitespace_flag(self):
+        root = parse_document("<a> <b/> </a>", keep_whitespace=True)
+        assert root.children[0].is_text
+
+    def test_names_with_dots_and_dashes(self):
+        root = parse_document("<r-e.warranty>1y</r-e.warranty>")
+        assert root.label == "r-e.warranty"
+
+
+class TestAttributes:
+    def test_double_and_single_quotes(self):
+        root = parse_document("<a x=\"1\" y='2'/>")
+        assert root.attributes == {"x": "1", "y": "2"}
+
+    def test_attribute_entities(self):
+        root = parse_document('<a x="a&amp;b&lt;c"/>')
+        assert root.get("x") == "a&b<c"
+
+    def test_duplicate_attribute_rejected(self):
+        with pytest.raises(XMLParseError):
+            parse_document('<a x="1" x="2"/>')
+
+    def test_unquoted_attribute_rejected(self):
+        with pytest.raises(XMLParseError):
+            parse_document("<a x=1/>")
+
+
+class TestEntitiesAndSpecials:
+    def test_standard_entities(self):
+        root = parse_document("<a>&lt;&gt;&amp;&apos;&quot;</a>")
+        assert root.children[0].value == "<>&'\""
+
+    def test_numeric_character_references(self):
+        root = parse_document("<a>&#65;&#x42;</a>")
+        assert root.children[0].value == "AB"
+
+    def test_unknown_entity_rejected(self):
+        with pytest.raises(XMLParseError):
+            parse_document("<a>&nope;</a>")
+
+    def test_comments_skipped(self):
+        root = parse_document("<!-- head --><a><!-- inner --><b/></a>")
+        assert [child.label for child in root.element_children()] == ["b"]
+
+    def test_processing_instructions_skipped(self):
+        root = parse_document('<?xml version="1.0"?><a><?pi data?></a>')
+        assert root.label == "a" and root.children == []
+
+    def test_doctype_skipped(self):
+        text = '<!DOCTYPE a [<!ELEMENT a (b)*>]><a><b/></a>'
+        assert parse_document(text).label == "a"
+
+    def test_cdata(self):
+        root = parse_document("<a><![CDATA[x < y & z]]></a>")
+        assert root.children[0].value == "x < y & z"
+
+
+class TestErrors:
+    def test_empty_input(self):
+        with pytest.raises(XMLParseError):
+            parse_document("")
+
+    def test_mismatched_tags(self):
+        with pytest.raises(XMLParseError) as info:
+            parse_document("<a><b></a></b>")
+        assert "mismatched" in str(info.value)
+
+    def test_unclosed_element(self):
+        with pytest.raises(XMLParseError):
+            parse_document("<a><b>")
+
+    def test_trailing_content(self):
+        with pytest.raises(XMLParseError):
+            parse_document("<a/><b/>")
+
+    def test_error_carries_location(self):
+        with pytest.raises(XMLParseError) as info:
+            parse_document("<a>\n<b x=></b></a>")
+        assert info.value.line == 2
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "<a/>",
+            '<a x="1"><b>t</b><c/><b>u&amp;v</b></a>',
+            "<a><b>x</b>middle<c/></a>",
+            '<deep><er><still x="&quot;"/></er></deep>',
+        ],
+    )
+    def test_serialize_parse_roundtrip(self, text):
+        tree = parse_document(text)
+        again = parse_document(serialize(tree))
+        assert tree.structurally_equal(again)
+
+
+def test_parse_fragment_multiple_roots():
+    elements = parse_fragment("<a/><b><c/></b>")
+    assert [element.label for element in elements] == ["a", "b"]
+    assert all(element.parent is None for element in elements)

@@ -1,0 +1,62 @@
+"""Unit tests for XML serialization."""
+
+from repro.xmlmodel.nodes import XMLElement
+from repro.xmlmodel.parser import parse_document
+from repro.xmlmodel.serialize import (
+    escape_attribute,
+    escape_text,
+    pretty_print,
+    serialize,
+)
+
+
+class TestEscaping:
+    def test_escape_text(self):
+        assert escape_text("a<b>&c") == "a&lt;b&gt;&amp;c"
+
+    def test_escape_attribute_quotes(self):
+        assert escape_attribute('say "hi"') == "say &quot;hi&quot;"
+
+    def test_no_op_on_plain_text(self):
+        assert escape_text("plain") == "plain"
+
+
+class TestSerialize:
+    def test_empty_element_self_closes(self):
+        assert serialize(XMLElement("a")) == "<a/>"
+
+    def test_empty_element_with_attributes(self):
+        element = XMLElement("a", attributes={"x": "1"})
+        assert serialize(element) == '<a x="1"/>'
+
+    def test_attributes_sorted_for_determinism(self):
+        element = XMLElement("a", attributes={"z": "1", "a": "2"})
+        assert serialize(element) == '<a a="2" z="1"/>'
+
+    def test_nested(self):
+        root = XMLElement("a")
+        root.add_element("b").add_text("x<y")
+        assert serialize(root) == "<a><b>x&lt;y</b></a>"
+
+    def test_text_node(self):
+        root = XMLElement("a")
+        text = root.add_text("t&t")
+        assert serialize(text) == "t&amp;t"
+
+
+class TestPrettyPrint:
+    def test_leaf_with_text_on_one_line(self):
+        root = parse_document("<a><b>t</b></a>")
+        assert pretty_print(root) == "<a>\n  <b>t</b>\n</a>"
+
+    def test_empty_leaf(self):
+        assert pretty_print(XMLElement("a")) == "<a/>"
+
+    def test_indentation_depth(self):
+        root = parse_document("<a><b><c/></b></a>")
+        lines = pretty_print(root).split("\n")
+        assert lines[2] == "    <c/>"
+
+    def test_pretty_output_reparses_equal(self):
+        root = parse_document('<a x="1"><b>text</b><c><d/></c></a>')
+        assert parse_document(pretty_print(root)).structurally_equal(root)

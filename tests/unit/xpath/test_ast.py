@@ -1,0 +1,187 @@
+"""Unit tests for the XPath AST, its smart constructors (the paper's
+empty-query algebra) and serialization."""
+
+from repro.xpath.ast import (
+    Absolute,
+    Descendant,
+    EMPTY,
+    EPSILON,
+    Empty,
+    Label,
+    Param,
+    QAnd,
+    QBool,
+    QEquals,
+    QNot,
+    QOr,
+    QPath,
+    Qualified,
+    Slash,
+    TEXT,
+    TRUE,
+    FALSE,
+    Union,
+    WILDCARD,
+    descendant,
+    label_path,
+    path_seq,
+    qand,
+    qnot,
+    qor,
+    qpath,
+    qualified,
+    slash,
+    union,
+)
+
+
+class TestEmptyQueryAlgebra:
+    def test_slash_annihilates_on_empty(self):
+        assert slash(EMPTY, Label("a")) is EMPTY
+        assert slash(Label("a"), EMPTY) is EMPTY
+
+    def test_slash_epsilon_identity(self):
+        a = Label("a")
+        assert slash(EPSILON, a) is a
+        assert slash(a, EPSILON) is a
+
+    def test_union_drops_empty(self):
+        a = Label("a")
+        assert union([EMPTY, a, EMPTY]) is a
+
+    def test_union_of_nothing_is_empty(self):
+        assert union([]).is_empty
+
+    def test_union_dedups_structurally(self):
+        merged = union([label_path("a", "b"), label_path("a", "b"), Label("c")])
+        assert isinstance(merged, Union)
+        assert len(merged.branches) == 2
+
+    def test_union_flattens(self):
+        nested = union([union([Label("a"), Label("b")]), Label("c")])
+        assert len(nested.branches) == 3
+
+    def test_descendant_of_empty(self):
+        assert descendant(EMPTY).is_empty
+
+    def test_qualified_constant_folding(self):
+        a = Label("a")
+        assert qualified(a, TRUE) is a
+        assert qualified(a, FALSE).is_empty
+        assert qualified(EMPTY, QPath(a)).is_empty
+
+
+class TestBooleanAlgebra:
+    def test_qand_folding(self):
+        q = QPath(Label("a"))
+        assert qand(TRUE, q) is q
+        assert qand(q, TRUE) is q
+        assert isinstance(qand(FALSE, q), QBool)
+        assert qand(q, q) is q
+
+    def test_qor_folding(self):
+        q = QPath(Label("a"))
+        assert qor(FALSE, q) is q
+        assert qor(q, FALSE) is q
+        assert qor(TRUE, q).value is True
+        assert qor(q, q) is q
+
+    def test_qnot_folding(self):
+        q = QPath(Label("a"))
+        assert qnot(TRUE).value is False
+        assert qnot(qnot(q)) is q
+
+    def test_qpath_folding(self):
+        assert qpath(EMPTY).value is False
+        assert qpath(EPSILON).value is True
+
+
+class TestStructuralEquality:
+    def test_equal_paths(self):
+        assert label_path("a", "b") == label_path("a", "b")
+        assert hash(label_path("a", "b")) == hash(label_path("a", "b"))
+
+    def test_different_paths(self):
+        assert label_path("a", "b") != label_path("b", "a")
+        assert Label("a") != WILDCARD
+
+    def test_params(self):
+        assert Param("x") == Param("x")
+        assert Param("x") != Param("y")
+
+    def test_qualifier_equality(self):
+        left = QAnd(QPath(Label("a")), QPath(Label("b")))
+        right = QAnd(QPath(Label("a")), QPath(Label("b")))
+        assert left == right and hash(left) == hash(right)
+
+
+class TestSerialization:
+    def test_steps(self):
+        assert str(label_path("a", "b", "c")) == "a/b/c"
+        assert str(WILDCARD) == "*"
+        assert str(TEXT) == "text()"
+        assert str(EPSILON) == "."
+        assert str(EMPTY) == "0"
+
+    def test_descendant_forms(self):
+        assert str(Descendant(Label("a"))) == ".//a"
+        assert str(slash(Label("a"), Descendant(Label("b")))) == "a//b"
+
+    def test_union_parenthesized(self):
+        assert str(union([Label("a"), Label("b")])) == "(a | b)"
+
+    def test_qualified(self):
+        q = qualified(Label("a"), QPath(Label("b")))
+        assert str(q) == "a[b]"
+
+    def test_equality_with_constant_and_param(self):
+        assert str(QEquals(Label("a"), "5")) == 'a = "5"'
+        assert str(QEquals(Label("a"), Param("p"))) == "a = $p"
+
+    def test_boolean_connectives(self):
+        expression = QOr(
+            QAnd(QPath(Label("a")), QPath(Label("b"))), QNot(QPath(Label("c")))
+        )
+        assert str(expression) == "(a and b) or not(c)"
+
+    def test_absolute(self):
+        assert str(Absolute(label_path("a", "b"))) == "/a/b"
+        assert str(Absolute(Descendant(Label("a")))) == "//a"
+        assert (
+            str(Absolute(slash(Descendant(Label("a")), Label("b")))) == "//a/b"
+        )
+
+
+class TestStructuralHelpers:
+    def test_size(self):
+        assert Label("a").size() == 1
+        assert label_path("a", "b").size() == 3  # slash + two labels
+        assert qualified(Label("a"), QPath(Label("b"))).size() == 4
+
+    def test_iter_nodes_postorder(self):
+        query = slash(Label("a"), Label("b"))
+        nodes = list(query.iter_nodes())
+        assert nodes[-1] is query
+        assert isinstance(nodes[0], Label)
+
+    def test_path_seq(self):
+        assert path_seq([]) is EPSILON
+        assert path_seq([Label("a")]) == Label("a")
+
+
+class TestSubstitution:
+    def test_substitute_in_equality(self):
+        query = qualified(Label("a"), QEquals(Label("b"), Param("w")))
+        bound = query.substitute({"w": "5"})
+        assert str(bound) == 'a[b = "5"]'
+
+    def test_substitute_untouched_without_params(self):
+        query = label_path("a", "b")
+        assert query.substitute({}) == query
+
+    def test_parameters_listed(self):
+        query = qualified(
+            Label("a"),
+            QAnd(QEquals(Label("b"), Param("x")), QEquals(Label("c"), Param("y"))),
+        )
+        assert query.parameters() == {"x", "y"}

@@ -1,0 +1,200 @@
+"""Unit tests for the XPath evaluator (set semantics of Section 2)."""
+
+import pytest
+
+from repro.errors import XPathEvaluationError
+from repro.xmlmodel.parser import parse_document
+from repro.xpath.evaluator import XPathEvaluator, evaluate, evaluate_qualifier
+from repro.xpath.parser import parse_qualifier, parse_xpath
+
+DOCUMENT = """
+<store>
+  <dept kind="food">
+    <item><name>apple</name><price>3</price></item>
+    <item><name>bread</name><price>2</price></item>
+  </dept>
+  <dept kind="tools">
+    <item><name>hammer</name><price>9</price>
+      <part><name>handle</name></part>
+    </item>
+  </dept>
+  <manager><name>mo</name></manager>
+</store>
+"""
+
+
+@pytest.fixture(scope="module")
+def store():
+    return parse_document(DOCUMENT)
+
+
+def labels(nodes):
+    return [node.label for node in nodes]
+
+
+def values(nodes):
+    return sorted(node.string_value() for node in nodes)
+
+
+class TestSteps:
+    def test_label_step(self, store):
+        assert labels(evaluate(parse_xpath("dept"), store)) == ["dept", "dept"]
+
+    def test_missing_label(self, store):
+        assert evaluate(parse_xpath("nothing"), store) == []
+
+    def test_wildcard(self, store):
+        assert labels(evaluate(parse_xpath("*"), store)) == [
+            "dept",
+            "dept",
+            "manager",
+        ]
+
+    def test_epsilon(self, store):
+        assert evaluate(parse_xpath("."), store) == [store]
+
+    def test_empty_query(self, store):
+        assert evaluate(parse_xpath("0"), store) == []
+
+    def test_text_step(self, store):
+        apple_name = store.find_all("name")[0]
+        texts = evaluate(parse_xpath("text()"), apple_name)
+        assert [t.value for t in texts] == ["apple"]
+
+    def test_chain(self, store):
+        assert values(evaluate(parse_xpath("dept/item/name"), store)) == [
+            "apple",
+            "bread",
+            "hammer",
+        ]
+
+
+class TestDescendant:
+    def test_descendant_or_self_includes_context(self, store):
+        result = evaluate(parse_xpath("//."), store)
+        assert store in result
+
+    def test_descendant_label(self, store):
+        # includes the nested part/name
+        assert len(evaluate(parse_xpath("//name"), store)) == 5
+
+    def test_descendant_mid_path(self, store):
+        assert values(evaluate(parse_xpath("dept//name"), store)) == [
+            "apple",
+            "bread",
+            "hammer",
+            "handle",
+        ]
+
+    def test_descendant_no_duplicates(self, store):
+        result = evaluate(parse_xpath("//item//name"), store)
+        assert len(result) == len({id(node) for node in result})
+
+    def test_descendant_text(self, store):
+        texts = evaluate(parse_xpath("manager//text()"), store)
+        assert [t.value for t in texts] == ["mo"]
+
+
+class TestAbsolute:
+    def test_absolute_from_nested_context(self, store):
+        handle = store.find_all("part")[0]
+        result = evaluate(parse_xpath("/store/manager/name"), handle)
+        assert values(result) == ["mo"]
+
+    def test_leading_descendant_includes_root(self, store):
+        result = evaluate(parse_xpath("//store"), store)
+        assert result == [store]
+
+    def test_absolute_wrong_root_label(self, store):
+        assert evaluate(parse_xpath("/shop/dept"), store) == []
+
+
+class TestUnionAndSet:
+    def test_union(self, store):
+        result = evaluate(parse_xpath("dept | manager"), store)
+        assert labels(result) == ["dept", "dept", "manager"]
+
+    def test_union_dedup(self, store):
+        result = evaluate(parse_xpath("dept | *"), store)
+        assert len(result) == 3
+
+    def test_ordered_results(self, store):
+        result = evaluate(
+            parse_xpath("manager | dept"), store, ordered=True
+        )
+        assert labels(result) == ["dept", "dept", "manager"]
+
+
+class TestQualifiers:
+    def test_existence(self, store):
+        result = evaluate(parse_xpath("*[name]"), store)
+        assert labels(result) == ["manager"]
+
+    def test_nested_path_qualifier(self, store):
+        result = evaluate(parse_xpath("dept[item/part]"), store)
+        assert [node.get("kind") for node in result] == ["tools"]
+
+    def test_equality_on_element_string_value(self, store):
+        result = evaluate(parse_xpath('dept/item[price = "9"]/name'), store)
+        assert values(result) == ["hammer"]
+
+    def test_equality_via_text_step(self, store):
+        result = evaluate(parse_xpath('//item[name/text() = "apple"]'), store)
+        assert len(result) == 1
+
+    def test_boolean_connectives(self, store):
+        both = evaluate(parse_xpath("//item[name and part]"), store)
+        assert len(both) == 1
+        either = evaluate(parse_xpath("//*[part or price]"), store)
+        assert len(either) == 3
+        negated = evaluate(parse_xpath("//item[not(part)]"), store)
+        assert len(negated) == 2
+
+    def test_attribute_tests(self, store):
+        assert len(evaluate(parse_xpath("*[@kind]"), store)) == 2
+        food = evaluate(parse_xpath('*[@kind = "food"]'), store)
+        assert len(food) == 1
+
+    def test_relative_descendant_qualifier(self, store):
+        result = evaluate(parse_xpath("dept[//part]"), store)
+        assert [node.get("kind") for node in result] == ["tools"]
+
+    def test_qualifier_helper(self, store):
+        dept = store.element_children()[0]
+        assert evaluate_qualifier(parse_qualifier("[item]"), dept)
+        assert not evaluate_qualifier(parse_qualifier("[part]"), dept)
+
+
+class TestParameters:
+    def test_unbound_parameter_raises(self, store):
+        with pytest.raises(XPathEvaluationError):
+            evaluate(parse_xpath("dept[item = $p]"), store)
+
+    def test_bound_parameter_evaluates(self, store):
+        query = parse_xpath('//item[price = $p]/name').substitute({"p": "2"})
+        assert values(evaluate(query, store)) == ["bread"]
+
+
+class TestVisitCounting:
+    def test_visits_accumulate_and_reset(self, store):
+        evaluator = XPathEvaluator()
+        evaluator.evaluate(parse_xpath("//name"), store)
+        first = evaluator.visits
+        assert first > 0
+        evaluator.evaluate(parse_xpath("//name"), store)
+        assert evaluator.visits > first
+        evaluator.reset_counters()
+        assert evaluator.visits == 0
+
+    def test_precise_path_visits_fewer_nodes(self, store):
+        evaluator = XPathEvaluator()
+        evaluator.evaluate(parse_xpath("manager/name"), store)
+        precise = evaluator.visits
+        evaluator.reset_counters()
+        evaluator.evaluate(parse_xpath("//name"), store)
+        assert evaluator.visits > precise
+
+    def test_multiple_contexts(self, store):
+        depts = evaluate(parse_xpath("dept"), store)
+        names = evaluate(parse_xpath("item/name"), depts)
+        assert len(names) == 3

@@ -1,0 +1,139 @@
+"""Tests for the parent-axis extension (``..``)."""
+
+import pytest
+
+from repro.errors import RewriteError
+from repro.xmlmodel.parser import parse_document
+from repro.xpath.ast import PARENT, Parent
+from repro.xpath.evaluator import evaluate
+from repro.xpath.parser import parse_xpath
+
+DOC = """
+<shop>
+  <aisle n="1"><item><price>3</price></item><item><price>9</price></item></aisle>
+  <aisle n="2"><item><price>4</price></item></aisle>
+</shop>
+"""
+
+
+@pytest.fixture(scope="module")
+def shop():
+    return parse_document(DOC)
+
+
+class TestParsing:
+    def test_parse_parent(self):
+        assert parse_xpath("..") == PARENT
+
+    def test_parse_in_path(self):
+        query = parse_xpath("item/../item")
+        assert isinstance(query.left.right, Parent)
+
+    def test_roundtrip(self):
+        for text in ("..", "a/..", "a/../b", "a[../b]"):
+            query = parse_xpath(text)
+            assert parse_xpath(str(query)) == query
+
+    def test_dot_dot_distinct_from_two_dots(self):
+        # './.' is two epsilon steps; '..' is one parent step
+        assert parse_xpath("./.") != parse_xpath("..")
+
+
+class TestEvaluation:
+    def test_parent_step(self, shop):
+        prices = evaluate(parse_xpath("aisle/item/price"), shop)
+        parents = evaluate(parse_xpath(".."), prices)
+        assert {node.label for node in parents} == {"item"}
+
+    def test_parent_dedup(self, shop):
+        items = evaluate(parse_xpath("aisle/item"), shop)
+        aisles = evaluate(parse_xpath(".."), items)
+        assert len(aisles) == 2  # three items, two distinct aisles
+
+    def test_root_has_no_parent(self, shop):
+        assert evaluate(parse_xpath(".."), shop) == []
+
+    def test_round_trip_down_up(self, shop):
+        result = evaluate(parse_xpath("aisle/item/.."), shop)
+        assert {node.get("n") for node in result} == {"1", "2"}
+
+    def test_parent_in_qualifier(self, shop):
+        # items in aisle 1 only
+        result = evaluate(parse_xpath('//item[../@n = "1"]/price'), shop)
+        assert sorted(node.string_value() for node in result) == ["3", "9"]
+
+    def test_virtual_document_node_excluded(self, shop):
+        result = evaluate(parse_xpath("/shop/.."), shop)
+        assert result == []
+
+
+class TestRewriteRefusal:
+    def test_rewrite_raises_with_explanation(self, nurse_view):
+        from repro.core.rewrite import Rewriter
+
+        rewriter = Rewriter(nurse_view)
+        with pytest.raises(RewriteError) as info:
+            rewriter.rewrite(parse_xpath("//patient/../.."))
+        assert "upward axes" in str(info.value)
+
+    def test_engine_surfaces_the_refusal(self, nurse_view):
+        from repro.core.engine import SecureQueryEngine
+        from repro.workloads.hospital import (
+            hospital_document,
+            hospital_dtd,
+            nurse_spec,
+        )
+
+        dtd = hospital_dtd()
+        engine = SecureQueryEngine(dtd)
+        engine.register_policy("nurse", nurse_spec(dtd), wardNo="2")
+        with pytest.raises(RewriteError):
+            engine.query(
+                "nurse", "//name/..", hospital_document(seed=1)
+            )
+
+
+class TestOptimizeConservative:
+    def test_parent_query_preserved_and_equivalent(self, shop):
+        from repro.core.optimize import Optimizer
+        from repro.dtd.parser import parse_dtd
+
+        dtd = parse_dtd(
+            """
+            <!ELEMENT shop (aisle*)>
+            <!ELEMENT aisle (item*)>
+            <!ELEMENT item (price)>
+            <!ELEMENT price (#PCDATA)>
+            """
+        )
+        optimizer = Optimizer(dtd)
+        for text in ("//price/..", "aisle/item/../item", "//item[..]"):
+            query = parse_xpath(text)
+            optimized = optimizer.optimize(query)
+            expected = {id(n) for n in evaluate(query, shop)}
+            actual = {id(n) for n in evaluate(optimized, shop)}
+            assert expected == actual, text
+
+    def test_parent_at_root_folds_empty(self):
+        from repro.core.optimize import Optimizer
+        from repro.dtd.parser import parse_dtd
+
+        dtd = parse_dtd("<!ELEMENT r (a)><!ELEMENT a (#PCDATA)>")
+        optimizer = Optimizer(dtd)
+        assert optimizer.optimize(parse_xpath("..")).is_empty
+
+    def test_parent_qualifier_bool(self):
+        from repro.core.constraints import path_exists_bool
+        from repro.dtd.parser import parse_dtd
+
+        dtd = parse_dtd("<!ELEMENT r (a)><!ELEMENT a (#PCDATA)>")
+        assert path_exists_bool(dtd, PARENT, "a") is True
+        assert path_exists_bool(dtd, PARENT, "r") is False
+
+
+class TestNaivePassthrough:
+    def test_parent_kept_in_naive_rewrite(self):
+        from repro.core.naive import naive_rewrite
+
+        result = str(naive_rewrite(parse_xpath("a/../b")))
+        assert ".." in result

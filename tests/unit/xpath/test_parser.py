@@ -1,0 +1,203 @@
+"""Unit tests for the XPath parser."""
+
+import pytest
+
+from repro.errors import XPathSyntaxError
+from repro.xpath.ast import (
+    Absolute,
+    Descendant,
+    EPSILON,
+    Empty,
+    Label,
+    Param,
+    QAnd,
+    QAttr,
+    QAttrEquals,
+    QEquals,
+    QNot,
+    QOr,
+    QPath,
+    Qualified,
+    Slash,
+    TextStep,
+    Union,
+    Wildcard,
+)
+from repro.xpath.parser import parse_qualifier, parse_xpath
+
+
+class TestSteps:
+    def test_label(self):
+        assert parse_xpath("dept") == Label("dept")
+
+    def test_wildcard(self):
+        assert isinstance(parse_xpath("*"), Wildcard)
+
+    def test_epsilon(self):
+        assert parse_xpath(".") is not None
+        assert parse_xpath(".") == EPSILON
+
+    def test_empty_query(self):
+        assert isinstance(parse_xpath("0"), Empty)
+
+    def test_text(self):
+        assert isinstance(parse_xpath("text()"), TextStep)
+
+    def test_label_named_text_without_parens(self):
+        assert parse_xpath("text") == Label("text")
+
+    def test_dotted_dashed_names(self):
+        assert parse_xpath("r-e.warranty") == Label("r-e.warranty")
+
+
+class TestComposition:
+    def test_child_chain(self):
+        query = parse_xpath("a/b/c")
+        assert isinstance(query, Slash)
+        assert str(query) == "a/b/c"
+
+    def test_descendant_in_path(self):
+        query = parse_xpath("a//b")
+        assert isinstance(query.right, Descendant)
+
+    def test_leading_slash_absolute(self):
+        query = parse_xpath("/a/b")
+        assert isinstance(query, Absolute)
+
+    def test_leading_descendant_absolute(self):
+        query = parse_xpath("//a")
+        assert isinstance(query, Absolute)
+        assert isinstance(query.inner, Descendant)
+
+    def test_union(self):
+        query = parse_xpath("a | b | c")
+        assert isinstance(query, Union)
+        assert len(query.branches) == 3
+
+    def test_union_in_parens_mid_path(self):
+        query = parse_xpath("a/(b | c)/d")
+        assert str(query) == "a/(b | c)/d"
+
+    def test_unicode_aliases(self):
+        assert parse_xpath("a ∪ b") == parse_xpath("a | b")
+        assert parse_xpath("a[b ∧ c]") == parse_xpath("a[b and c]")
+        assert parse_xpath("a[¬(b)]") == parse_xpath("a[not(b)]")
+
+
+class TestQualifiers:
+    def test_existence(self):
+        query = parse_xpath("a[b]")
+        assert isinstance(query, Qualified)
+        assert isinstance(query.qualifier, QPath)
+
+    def test_relative_descendant_inside_qualifier(self):
+        # the paper's fragment: [//x] tests for a *descendant* x
+        query = parse_xpath("a[//b]")
+        assert isinstance(query.qualifier.path, Descendant)
+        assert not isinstance(query.qualifier.path, Absolute)
+
+    def test_equality_with_string(self):
+        query = parse_xpath('a[b = "5"]')
+        assert isinstance(query.qualifier, QEquals)
+        assert query.qualifier.value == "5"
+
+    def test_equality_with_number_token(self):
+        query = parse_xpath("a[b = 5]")
+        assert query.qualifier.value == "5"
+
+    def test_equality_with_parameter(self):
+        query = parse_xpath("a[b = $ward]")
+        assert query.qualifier.value == Param("ward")
+
+    def test_boolean_precedence_and_over_or(self):
+        qualifier = parse_xpath("x[a or b and c]").qualifier
+        assert isinstance(qualifier, QOr)
+        assert isinstance(qualifier.right, QAnd)
+
+    def test_parenthesized_boolean(self):
+        qualifier = parse_xpath("x[(a or b) and c]").qualifier
+        assert isinstance(qualifier, QAnd)
+        assert isinstance(qualifier.left, QOr)
+
+    def test_not(self):
+        qualifier = parse_xpath("x[not(a)]").qualifier
+        assert isinstance(qualifier, QNot)
+
+    def test_attribute_tests(self):
+        assert isinstance(parse_xpath("x[@id]").qualifier, QAttr)
+        equals = parse_xpath('x[@id = "1"]').qualifier
+        assert isinstance(equals, QAttrEquals)
+        assert equals.value == "1"
+
+    def test_stacked_qualifiers(self):
+        query = parse_xpath("a[b][c]")
+        assert isinstance(query, Qualified)
+        assert isinstance(query.path, Qualified)
+
+    def test_qualifier_with_path_union(self):
+        qualifier = parse_xpath("x[(a | b)/c]").qualifier
+        assert isinstance(qualifier, QPath)
+
+    def test_nested_qualifier(self):
+        query = parse_xpath("a[b[c]]")
+        assert isinstance(query.qualifier.path, Qualified)
+
+    def test_parse_qualifier_helper(self):
+        qualifier = parse_qualifier("[company-id and contact-info]")
+        assert isinstance(qualifier, QAnd)
+        bare = parse_qualifier("company-id")
+        assert isinstance(bare, QPath)
+
+    def test_true_false_literals(self):
+        from repro.xpath.ast import QBool
+
+        assert parse_qualifier("true()") == QBool(True)
+        assert parse_qualifier("false()") == QBool(False)
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "a/",
+            "a[b",
+            "a]",
+            "a[b = ]",
+            "a b",
+            "/",
+            "a[@]",
+            'a["unterminated]',
+            "a[$p]",
+        ],
+    )
+    def test_rejects(self, text):
+        with pytest.raises(XPathSyntaxError):
+            parse_xpath(text)
+
+    def test_error_carries_offset(self):
+        with pytest.raises(XPathSyntaxError) as info:
+            parse_xpath("a[b = ]")
+        assert info.value.position is not None
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "a/b/c",
+            "//a//b",
+            "/a/b//c",
+            "(a | b/c)",
+            "a[b and not(c or d)]",
+            'a[b = "x"][c]',
+            "*[text() = $p]",
+            "a/(b | c)/d",
+            "dept[*/patient/wardNo = $wardNo]",
+            "//buyer-info[company-id and contact-info]",
+        ],
+    )
+    def test_parse_str_parse_fixpoint(self, text):
+        once = parse_xpath(text)
+        twice = parse_xpath(str(once))
+        assert once == twice

@@ -1,0 +1,53 @@
+"""Unit tests for ascending sub-query enumeration (used by the
+dynamic programs of Figures 6 and 10)."""
+
+from repro.xpath.ast import Label, Path, Qualifier
+from repro.xpath.parser import parse_xpath
+from repro.xpath.subqueries import (
+    ascending_subqueries,
+    path_subqueries,
+    qualifier_subqueries,
+)
+
+
+def test_children_precede_parents():
+    query = parse_xpath("a/b[c and d]/e")
+    ordered = ascending_subqueries(query)
+    positions = {node: index for index, node in enumerate(ordered)}
+    for node in ordered:
+        for child in node.children():
+            assert positions[child] < positions[node]
+
+
+def test_last_entry_is_query_itself():
+    query = parse_xpath("//a[b]/c | d")
+    assert ascending_subqueries(query)[-1] is query
+
+
+def test_structural_dedup():
+    query = parse_xpath("a/b | a/b")
+    # smart-constructor dedup collapses identical union branches, so
+    # build a structurally duplicated query another way
+    query = parse_xpath("a[b]/a[b]")
+    ordered = ascending_subqueries(query)
+    labels = [node for node in ordered if node == Label("a")]
+    assert len(labels) == 1
+
+
+def test_single_step():
+    assert ascending_subqueries(Label("x")) == [Label("x")]
+
+
+def test_split_by_kind():
+    query = parse_xpath("a[b and c]/d")
+    paths = path_subqueries(query)
+    qualifiers = qualifier_subqueries(query)
+    assert all(isinstance(node, Path) for node in paths)
+    assert all(isinstance(node, Qualifier) for node in qualifiers)
+    assert len(qualifiers) == 3  # [b], [c], [b and c]
+
+
+def test_counts_against_size():
+    query = parse_xpath("a/b/c/d")
+    # dedup never yields more entries than AST nodes
+    assert len(ascending_subqueries(query)) <= query.size()
