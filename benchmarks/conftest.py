@@ -3,7 +3,15 @@
 Dataset sizes honor ``REPRO_BENCH_SCALE`` (default 1.0; see
 ``repro.workloads.documents``).  Set e.g. ``REPRO_BENCH_SCALE=3`` for
 larger, paper-ratio documents.
+
+``--quick`` turns the suite into a smoke run: tiny documents (scale
+0.02), timing collection disabled, every benchmarked callable executed
+exactly once.  The tier-1 test ``tests/integration/test_bench_smoke.py``
+runs ``pytest benchmarks --quick`` so bench scripts cannot rot
+silently.
 """
+
+import os
 
 import pytest
 
@@ -11,6 +19,26 @@ from repro.core.derive import derive
 from repro.core.optimize import Optimizer
 from repro.core.rewrite import Rewriter
 from repro.workloads.adex import adex_dtd, adex_spec
+
+#: Dataset scale used by ``--quick`` smoke runs.
+QUICK_SCALE = "0.02"
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--quick",
+        action="store_true",
+        default=False,
+        help="smoke mode: tiny documents, one repetition, no timing",
+    )
+
+
+def pytest_configure(config):
+    if config.getoption("--quick", default=False):
+        os.environ["REPRO_BENCH_SCALE"] = QUICK_SCALE
+        # pytest-benchmark: run each benchmarked callable once instead
+        # of calibrating rounds
+        config.option.benchmark_disable = True
 
 
 @pytest.fixture(scope="session")

@@ -74,11 +74,14 @@ def main() -> None:
     print()
 
     for query in ("//task/summary", "//project[tasks/task]/title", "//estimate"):
-        report = engine.explain("contractor", query, document)
+        # one call answers the query AND reports the rewriting
+        # pipeline (stages, plan-cache status, per-stage timings)
+        results = engine.query("contractor", query, document)
+        report = results.report
         print("query      :", report.original)
         print("rewritten  :", report.rewritten)
         print("optimized  :", report.optimized)
-        results = engine.query("contractor", query, document)
+        print("plan cache :", "hit" if report.cache_hit else "miss")
         for result in results:
             rendered = (
                 pretty_print(result) if not isinstance(result, str) else result

@@ -11,6 +11,7 @@ Quickstart::
 
     from repro import (
         parse_dtd, AccessSpec, SecureQueryEngine, DocumentGenerator,
+        ExecutionOptions,
     )
 
     dtd = parse_dtd(open("hospital.dtd").read())
@@ -22,7 +23,10 @@ Quickstart::
     engine.register_policy("nurse", spec)
     print(engine.view_dtd_text("nurse"))        # what the nurse sees
     document = DocumentGenerator(dtd, seed=1).generate()
-    results = engine.query("nurse", "//patient/name", document)
+    result = engine.query("nurse", "//patient/name", document)
+    print(result.report.summary())              # stages, cache, timings
+    fast = ExecutionOptions(use_index=True)     # plan cache is on by default
+    result = engine.query("nurse", "//patient/name", document, options=fast)
 
 The subpackages are usable on their own:
 
@@ -68,8 +72,12 @@ from repro.dtd import (
     parse_dtd,
     validate,
 )
+from repro.xmlmodel import DocumentIndex, build_index
 from repro.xpath import (
+    CompiledPlan,
+    PlanRuntime,
     XPathEvaluator,
+    compile_path,
     evaluate,
     parse_qualifier,
     parse_xpath,
@@ -78,17 +86,22 @@ from repro.core import (
     ANN_N,
     ANN_Y,
     AccessSpec,
+    ExecutionOptions,
     load_view,
     save_view,
     verify_policy,
     Optimizer,
+    PlanCache,
+    PlanCacheStats,
     QueryReport,
+    QueryResult,
     Rewriter,
     SecureQueryEngine,
     SecurityView,
     accessible_nodes,
     annotate_document,
     derive,
+    derive_view,
     materialize,
     naive_rewrite,
     optimize,
@@ -96,7 +109,7 @@ from repro.core import (
     unfold_view,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     # errors
@@ -127,17 +140,24 @@ __all__ = [
     "validate",
     "conforms",
     "DocumentGenerator",
+    # xml
+    "DocumentIndex",
+    "build_index",
     # xpath
     "parse_xpath",
     "parse_qualifier",
     "evaluate",
     "XPathEvaluator",
+    "CompiledPlan",
+    "PlanRuntime",
+    "compile_path",
     # core
     "AccessSpec",
     "ANN_Y",
     "ANN_N",
     "SecurityView",
     "derive",
+    "derive_view",
     "materialize",
     "Rewriter",
     "rewrite",
@@ -148,7 +168,11 @@ __all__ = [
     "annotate_document",
     "accessible_nodes",
     "SecureQueryEngine",
+    "ExecutionOptions",
     "QueryReport",
+    "QueryResult",
+    "PlanCache",
+    "PlanCacheStats",
     "verify_policy",
     "save_view",
     "load_view",

@@ -5,7 +5,8 @@
     repro view-dtd  DTD.dtd  SPEC.txt  [--bind name=value ...]
     repro rewrite   DTD.dtd  SPEC.txt  QUERY [--bind ...] [--no-optimize]
     repro query     DTD.dtd  SPEC.txt  DOC.xml QUERY [--bind ...]
-                    [--no-optimize] [--explain]
+                    [--no-optimize] [--explain] [--use-index] [--no-cache]
+                    [--strategy virtual|materialized]
     repro table1    [--scale S] [--repeat N]
 
 Specification files use the line format of
@@ -22,6 +23,7 @@ import argparse
 import sys
 
 from repro.core.engine import SecureQueryEngine
+from repro.core.options import ExecutionOptions
 from repro.core.spec import parse_spec_text
 from repro.dtd.generator import DocumentGenerator
 from repro.dtd.parser import parse_dtd
@@ -109,28 +111,17 @@ def cmd_rewrite(arguments) -> int:
 def cmd_query(arguments) -> int:
     engine = _engine(arguments)
     document = parse_document(_read(arguments.document))
-    if arguments.explain:
-        report = engine.explain(
-            "policy",
-            arguments.query,
-            document,
-            optimize=not arguments.no_optimize,
-        )
-        print("query    : %s" % report.original)
-        print("rewritten: %s" % report.rewritten)
-        print("optimized: %s" % report.optimized)
-        print("results  : %d  (node visits: %d)" % (
-            report.result_count,
-            report.visits,
-        ))
-    results = engine.query(
-        "policy",
-        arguments.query,
-        document,
+    options = ExecutionOptions(
+        strategy=arguments.strategy,
         optimize=not arguments.no_optimize,
+        use_index=arguments.use_index,
+        use_cache=not arguments.no_cache,
     )
-    for result in results:
-        print(result if isinstance(result, str) else serialize(result))
+    result = engine.query("policy", arguments.query, document, options=options)
+    if arguments.explain:
+        print(result.report.summary())
+    for value in result:
+        print(value if isinstance(value, str) else serialize(value))
     return 0
 
 
@@ -215,6 +206,22 @@ def build_parser() -> argparse.ArgumentParser:
     query_cmd.add_argument("query")
     query_cmd.add_argument("--no-optimize", action="store_true")
     query_cmd.add_argument("--explain", action="store_true")
+    query_cmd.add_argument(
+        "--strategy",
+        choices=["virtual", "materialized"],
+        default="virtual",
+        help="virtual (rewrite; default) or materialized view",
+    )
+    query_cmd.add_argument(
+        "--use-index",
+        action="store_true",
+        help="build a document index for //label fast paths",
+    )
+    query_cmd.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the engine's compiled-plan cache",
+    )
     query_cmd.set_defaults(handler=cmd_query)
 
     verify_cmd = commands.add_parser(

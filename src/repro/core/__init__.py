@@ -11,13 +11,15 @@ from repro.core.accessibility import (
     is_accessible,
 )
 from repro.core.view import SecurityView, ViewNode
-from repro.core.derive import derive
+from repro.core.derive import derive, derive_view
 from repro.core.materialize import materialize, materialize_subtree
 from repro.core.rewrite import Rewriter, rewrite
 from repro.core.unfold import unfold_view, view_min_heights
 from repro.core.optimize import Optimizer, optimize
 from repro.core.naive import naive_rewrite, annotate_document
-from repro.core.engine import SecureQueryEngine, QueryReport
+from repro.core.options import ExecutionOptions
+from repro.core.plancache import CompiledQuery, PlanCache, PlanCacheStats
+from repro.core.engine import QueryReport, QueryResult, SecureQueryEngine
 from repro.core.verify import VerificationReport, verify_policy
 from repro.core.persistence import (
     load_view,
@@ -40,6 +42,7 @@ __all__ = [
     "SecurityView",
     "ViewNode",
     "derive",
+    "derive_view",
     "materialize",
     "materialize_subtree",
     "Rewriter",
@@ -50,8 +53,13 @@ __all__ = [
     "optimize",
     "naive_rewrite",
     "annotate_document",
+    "ExecutionOptions",
+    "CompiledQuery",
+    "PlanCache",
+    "PlanCacheStats",
     "SecureQueryEngine",
     "QueryReport",
+    "QueryResult",
     "VerificationReport",
     "verify_policy",
     "save_view",

@@ -561,3 +561,8 @@ def derive(
     inaccessible choice alternatives; see the module docstring.
     """
     return _Deriver(spec, preserve_choice_branches).run()
+
+
+#: Facade alias: the public name makes the artifact explicit
+#: (``derive_view(spec)`` returns a :class:`SecurityView`).
+derive_view = derive

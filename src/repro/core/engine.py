@@ -17,10 +17,21 @@ architecture diagram does:
 
 The security view is never materialized; projection only copies the
 actual result subtrees.
+
+Serving-path amortization: because steps 3's outputs depend only on
+``(policy, query text, optimize flag)`` — not on the document — the
+engine keeps a bounded LRU :class:`~repro.core.plancache.PlanCache`
+of compiled queries (parsed/rewritten/optimized ASTs plus executable
+:mod:`~repro.xpath.plan` operator trees), so repeated queries skip
+straight to evaluation.  Execution knobs are grouped in
+:class:`~repro.core.options.ExecutionOptions`; the pre-1.1 boolean
+keywords still work for one release and emit ``DeprecationWarning``.
 """
 
 from __future__ import annotations
 
+import warnings
+from time import perf_counter
 from typing import Dict, List, Optional, Union as TypingUnion
 
 from repro.errors import QueryRejectedError, SecurityError
@@ -28,6 +39,13 @@ from repro.dtd.dtd import DTD
 from repro.core.derive import derive
 from repro.core.materialize import materialize_subtree
 from repro.core.optimize import Optimizer
+from repro.core.options import (
+    DEFAULT_OPTIONS,
+    STRATEGY_MATERIALIZED,
+    STRATEGY_VIRTUAL,
+    ExecutionOptions,
+)
+from repro.core.plancache import CompiledQuery, PlanCache, PlanCacheStats
 from repro.core.rewrite import Rewriter
 from repro.core.spec import AccessSpec
 from repro.core.unfold import unfold_view
@@ -35,11 +53,23 @@ from repro.core.view import SecurityView
 from repro.xpath.ast import Absolute, Label, Path
 from repro.xpath.evaluator import XPathEvaluator
 from repro.xpath.parser import parse_xpath
+from repro.xpath.plan import PlanRuntime, compile_path
+
+#: The legacy boolean keywords of :meth:`SecureQueryEngine.query`,
+#: accepted (with a DeprecationWarning) for one release.
+_LEGACY_QUERY_KEYWORDS = (
+    "optimize",
+    "project",
+    "strategy",
+    "use_index",
+    "use_cache",
+)
 
 
 class QueryReport:
-    """What happened to one query: the rewritten and optimized forms
-    plus evaluation statistics (for benchmarking and ``explain``)."""
+    """What happened to one query: the rewriting pipeline's stages,
+    evaluation statistics, cache status, and per-stage timings (for
+    benchmarking and ``explain``)."""
 
     __slots__ = (
         "policy",
@@ -48,20 +78,66 @@ class QueryReport:
         "optimized",
         "result_count",
         "visits",
+        "strategy",
+        "cache_hit",
+        "timings",
     )
 
-    def __init__(self, policy, original, rewritten, optimized, result_count, visits):
+    def __init__(
+        self,
+        policy,
+        original,
+        rewritten,
+        optimized,
+        result_count,
+        visits,
+        strategy: str = STRATEGY_VIRTUAL,
+        cache_hit: bool = False,
+        timings: Optional[Dict[str, float]] = None,
+    ):
         self.policy = policy
         self.original = original
         self.rewritten = rewritten
         self.optimized = optimized
         self.result_count = result_count
         self.visits = visits
+        self.strategy = strategy
+        self.cache_hit = cache_hit
+        self.timings = dict(timings) if timings else {}
+
+    def total_time(self) -> float:
+        """Total seconds across all recorded stages."""
+        return sum(self.timings.values())
+
+    def _timings_text(self) -> str:
+        if not self.timings:
+            return "-"
+        return " | ".join(
+            "%s %.3fms" % (stage, seconds * 1e3)
+            for stage, seconds in self.timings.items()
+        )
+
+    def summary(self) -> str:
+        """Self-contained multi-line rendering (the ``--explain``
+        output of the CLI)."""
+        lines = [
+            "policy   : %s" % self.policy,
+            "query    : %s" % self.original,
+            "rewritten: %s" % self.rewritten,
+            "optimized: %s" % self.optimized,
+            "strategy : %s (plan cache %s)"
+            % (self.strategy, "hit" if self.cache_hit else "miss"),
+            "results  : %d  (node visits: %d)"
+            % (self.result_count, self.visits),
+            "timings  : %s" % self._timings_text(),
+        ]
+        return "\n".join(lines)
 
     def __repr__(self):
         return (
             "QueryReport(policy=%r, original=%s, rewritten=%s, "
-            "optimized=%s, results=%d, visits=%d)"
+            "optimized=%s, results=%d, visits=%d, strategy=%r, "
+            "cache_hit=%r, timings={%s})"
             % (
                 self.policy,
                 self.original,
@@ -69,8 +145,32 @@ class QueryReport:
                 self.optimized,
                 self.result_count,
                 self.visits,
+                self.strategy,
+                self.cache_hit,
+                self._timings_text(),
             )
         )
+
+
+class QueryResult(List):
+    """The answer to one query: a list of result nodes (or strings for
+    ``text()`` results) plus the :class:`QueryReport` describing how
+    they were produced.
+
+    ``QueryResult`` subclasses :class:`list`, so every pre-1.1 call
+    site (iteration, indexing, ``== []`` comparisons) keeps working;
+    new code reads ``result.report`` for cache status and timings."""
+
+    __slots__ = ("report",)
+
+    def __init__(self, results, report: QueryReport):
+        super().__init__(results)
+        self.report = report
+
+    @property
+    def results(self) -> List:
+        """The result nodes as a plain list."""
+        return list(self)
 
 
 class _Policy:
@@ -89,11 +189,14 @@ class _Policy:
 class SecureQueryEngine:
     """Multi-policy secure query answering over one document DTD."""
 
-    def __init__(self, dtd: DTD, strict: bool = False):
+    def __init__(
+        self, dtd: DTD, strict: bool = False, plan_cache_size: int = 256
+    ):
         self.dtd = dtd
         self.strict = strict
         self._policies: Dict[str, _Policy] = {}
         self._optimizer = Optimizer(dtd)
+        self._plan_cache = PlanCache(plan_cache_size)
         # id(document) -> (document, DocumentIndex); shared by policies
         self._indexes: Dict[int, tuple] = {}
 
@@ -125,10 +228,14 @@ class SecureQueryEngine:
             concrete, preserve_choice_branches=preserve_choice_branches
         )
         self._policies[name] = _Policy(name, concrete, view)
+        # a re-registered name (after drop_policy) must not serve plans
+        # compiled against the old specification
+        self._plan_cache.invalidate(name)
         return view
 
     def drop_policy(self, name: str) -> None:
         self._policies.pop(name, None)
+        self._plan_cache.invalidate(name)
 
     def policies(self) -> List[str]:
         return sorted(self._policies)
@@ -150,11 +257,18 @@ class SecureQueryEngine:
         policy: str,
         query: TypingUnion[str, Path],
         document=None,
+        use_cache: bool = True,
     ) -> Path:
         """Rewrite a view query into a document query (no evaluation).
         A document (or height bound) is only needed for recursive
-        views (Section 4.2)."""
+        views (Section 4.2).  With ``use_cache`` (default) the result
+        is served from — and primes — the engine's plan cache."""
         entry = self._policy(policy)
+        if use_cache:
+            compiled, _ = self._compiled(
+                entry, query, document, optimize=False
+            )
+            return compiled.rewritten
         parsed = self._parse(entry, query)
         return self._rewriter(entry, document).rewrite(parsed)
 
@@ -163,94 +277,109 @@ class SecureQueryEngine:
         policy: str,
         query: TypingUnion[str, Path],
         document,
-        optimize: bool = True,
-        project: bool = True,
-        strategy: str = "rewrite",
-        use_index: bool = False,
-    ) -> List:
+        options: Optional[ExecutionOptions] = None,
+        **legacy_keywords,
+    ) -> QueryResult:
         """Answer a view query on ``document``.
 
-        With ``project=True`` (default) the results are view-projected
-        copies — exactly the elements a materialized view would hold.
-        With ``project=False`` the raw document nodes are returned
-        (useful for benchmarking; callers must not expose raw dummy
-        origins to users, since their labels and hidden children are
-        confidential).
+        Execution knobs (strategy, optimizer, projection, index, plan
+        cache) are grouped in ``options``, an
+        :class:`~repro.core.options.ExecutionOptions`:
 
-        ``strategy`` selects the enforcement mechanism:
+        * ``strategy="virtual"`` (default, the paper's approach) — the
+          view stays virtual; the query is rewritten over the document;
+        * ``strategy="materialized"`` — the view tree is materialized
+          (cached per document until :meth:`invalidate`) and the query
+          runs directly on it.
 
-        * ``"rewrite"`` (default, the paper's approach) — the view
-          stays virtual; the query is rewritten over the document;
-        * ``"materialized"`` — the view tree is materialized (cached
-          per document until :meth:`invalidate`) and the query runs
-          directly on it.  Useful for hot, read-only documents; the
-          benchmark suite quantifies the trade-off.
+        Returns a :class:`QueryResult` — a list of results (view
+        projected copies by default; see ``options.project``) whose
+        ``report`` attribute carries the rewriting stages, cache
+        status, and per-stage timings.
 
-        ``use_index=True`` builds (and caches until :meth:`invalidate`)
-        a :class:`~repro.xmlmodel.index.DocumentIndex` so rewritten
-        queries with residual ``//`` steps evaluate via binary search.
+        The pre-1.1 boolean keywords (``optimize``, ``project``,
+        ``strategy``, ``use_index``) are still accepted, emit a
+        ``DeprecationWarning``, and are folded into ``options``.
         """
-        if strategy == "materialized":
-            return self._query_materialized(policy, query, document)
-        if strategy != "rewrite":
-            raise SecurityError(
-                "unknown strategy %r (use 'rewrite' or 'materialized')"
-                % strategy
+        options = self._resolve_options(options, legacy_keywords)
+        if options.strategy == STRATEGY_MATERIALIZED:
+            results, report = self._query_materialized(
+                policy, query, document
             )
-        report_nodes, _ = self._execute(
-            policy, query, document, optimize, project, use_index
-        )
-        return report_nodes
-
-    def invalidate(self, policy: Optional[str] = None) -> None:
-        """Drop cached materialized views and document indexes (call
-        after document updates).  Without ``policy``, caches of all
-        policies clear."""
-        names = [policy] if policy is not None else list(self._policies)
-        for name in names:
-            self._policy(name).materialized.clear()
-        self._indexes.clear()
-
-    def _index_for(self, document):
-        from repro.xmlmodel.index import DocumentIndex
-
-        cached = self._indexes.get(id(document))
-        if cached is not None and cached[0] is document:
-            return cached[1]
-        index = DocumentIndex(document)
-        self._indexes[id(document)] = (document, index)
-        return index
-
-    def _query_materialized(self, policy, query, document) -> List:
-        from repro.core.materialize import materialize
-
-        entry = self._policy(policy)
-        parsed = self._parse(entry, query)
-        cached = entry.materialized.get(id(document))
-        if cached is None or cached[0] is not document:
-            view_tree = materialize(document, entry.view, entry.spec)
-            entry.materialized[id(document)] = (document, view_tree)
         else:
-            view_tree = cached[1]
-        evaluator = XPathEvaluator()
-        results = []
-        for node in evaluator.evaluate(parsed, view_tree, ordered=True):
-            results.append(node.value if node.is_text else node)
-        return results
+            results, report = self._execute(policy, query, document, options)
+        return QueryResult(results, report)
 
     def explain(
         self,
         policy: str,
         query: TypingUnion[str, Path],
         document,
-        optimize: bool = True,
+        options: Optional[ExecutionOptions] = None,
+        **legacy_keywords,
     ) -> QueryReport:
-        """Like :meth:`query` but returns the rewriting pipeline's
-        stages and evaluation statistics."""
-        _, report = self._execute(policy, query, document, optimize, True)
+        """Like :meth:`query` but returns only the
+        :class:`QueryReport`: the rewriting pipeline's stages, cache
+        status, per-stage timings, and evaluation statistics."""
+        options = self._resolve_options(options, legacy_keywords)
+        if options.strategy == STRATEGY_MATERIALIZED:
+            _, report = self._query_materialized(policy, query, document)
+            return report
+        _, report = self._execute(policy, query, document, options)
         return report
 
+    def invalidate(self, policy: Optional[str] = None) -> None:
+        """Drop cached materialized views, document indexes, and
+        compiled query plans (call after document or policy updates).
+        Without ``policy``, caches of all policies clear."""
+        names = [policy] if policy is not None else list(self._policies)
+        for name in names:
+            self._policy(name).materialized.clear()
+        self._indexes.clear()
+        self._plan_cache.invalidate(policy)
+
+    # -- observability -----------------------------------------------------------
+
+    @property
+    def plan_cache(self) -> PlanCache:
+        """The engine's compiled-query cache (inspection/tuning)."""
+        return self._plan_cache
+
+    def plan_cache_stats(self) -> PlanCacheStats:
+        """Hit/miss/eviction/invalidation counters of the plan cache."""
+        return self._plan_cache.stats()
+
     # -- internals -----------------------------------------------------------------------
+
+    def _resolve_options(
+        self, options: Optional[ExecutionOptions], legacy_keywords: dict
+    ) -> ExecutionOptions:
+        if isinstance(options, bool):
+            # pre-1.1 callers passed `optimize` positionally after the
+            # document; fold it into the legacy keyword set
+            legacy_keywords = dict(legacy_keywords, optimize=options)
+            options = None
+        if legacy_keywords:
+            unknown = set(legacy_keywords) - set(_LEGACY_QUERY_KEYWORDS)
+            if unknown:
+                raise TypeError(
+                    "unknown query() keyword(s): %s"
+                    % ", ".join(sorted(unknown))
+                )
+            if options is not None:
+                raise TypeError(
+                    "pass either options=ExecutionOptions(...) or the "
+                    "deprecated boolean keywords, not both"
+                )
+            warnings.warn(
+                "the query()/explain() keywords %s are deprecated; pass "
+                "options=ExecutionOptions(...) instead"
+                % ", ".join(sorted(legacy_keywords)),
+                DeprecationWarning,
+                stacklevel=3,
+            )
+            return ExecutionOptions(**legacy_keywords)
+        return options if options is not None else DEFAULT_OPTIONS
 
     def _policy(self, name: str) -> _Policy:
         try:
@@ -280,36 +409,212 @@ class SecureQueryEngine:
                 rewriter = Rewriter(entry.view)
                 entry.rewriters[None] = rewriter
             return rewriter
-        if document is None:
-            raise SecurityError(
-                "policy %r has a recursive view DTD; rewriting needs the "
-                "document (its height bounds the unfolding, Section 4.2)"
-                % entry.name
-            )
-        height = document if isinstance(document, int) else document.height()
+        height = self._unfold_height(entry, document)
         rewriter = entry.rewriters.get(height)
         if rewriter is None:
             rewriter = Rewriter(unfold_view(entry.view, height))
             entry.rewriters[height] = rewriter
         return rewriter
 
-    def _execute(self, policy, query, document, optimize, project, use_index=False):
-        entry = self._policy(policy)
+    def _unfold_height(self, entry: _Policy, document) -> int:
+        if document is None:
+            raise SecurityError(
+                "policy %r has a recursive view DTD; rewriting needs the "
+                "document (its height bounds the unfolding, Section 4.2)"
+                % entry.name
+            )
+        return document if isinstance(document, int) else document.height()
+
+    def _index_for(self, document):
+        from repro.xmlmodel.index import DocumentIndex
+
+        cached = self._indexes.get(id(document))
+        if cached is not None and cached[0] is document:
+            return cached[1]
+        index = DocumentIndex(document)
+        self._indexes[id(document)] = (document, index)
+        return index
+
+    # -- plan compilation --------------------------------------------------------
+
+    def _compiled(self, entry: _Policy, query, document, optimize: bool):
+        """The cached compilation of ``query`` under ``entry``'s
+        policy: ``(CompiledQuery, cache_hit)``."""
+        query_text = query if isinstance(query, str) else str(query)
+        height = (
+            self._unfold_height(entry, document)
+            if entry.view.is_recursive()
+            else None
+        )
+        key = (entry.name, query_text, optimize, height)
+        cached = self._plan_cache.get(key)
+        if cached is not None:
+            return cached, True
+        timings: Dict[str, float] = {}
+        started = perf_counter()
         parsed = self._parse(entry, query)
+        timings["parse"] = perf_counter() - started
         rewriter = self._rewriter(entry, document)
+        started = perf_counter()
         rewritten = rewriter.rewrite(parsed)
-        optimized = (
-            self._optimizer.optimize(rewritten) if optimize else rewritten
+        timings["rewrite"] = perf_counter() - started
+        if optimize:
+            started = perf_counter()
+            optimized = self._optimizer.optimize(rewritten)
+            timings["optimize"] = perf_counter() - started
+        else:
+            optimized = rewritten
+        compiled = CompiledQuery(
+            entry.name,
+            query_text,
+            optimize,
+            height,
+            parsed,
+            rewritten,
+            optimized,
+            rewriter.view,
+            timings,
         )
+        self._plan_cache.put(key, compiled)
+        return compiled, False
+
+    def _whole_query_plan(self, compiled: CompiledQuery):
+        if compiled.plan is None:
+            started = perf_counter()
+            compiled.plan = compile_path(compiled.optimized)
+            compiled.timings["compile"] = (
+                compiled.timings.get("compile", 0.0)
+                + (perf_counter() - started)
+            )
+        return compiled.plan
+
+    def _projected_plans(self, entry: _Policy, compiled: CompiledQuery):
+        """Per-view-target plans for projected evaluation, mirroring
+        the uncached :meth:`_evaluate_projected` exactly: text targets
+        run the raw rewritten path; element targets run the optimized
+        one."""
+        if compiled.projected is not None:
+            return compiled.projected
+        started = perf_counter()
+        rewriter = entry.rewriters.get(compiled.height)
+        if rewriter is None:  # entry resurrected from cache after drop
+            rewriter = self._rewriter(entry, compiled.height)
+        parsed = compiled.parsed
+        if isinstance(parsed, Absolute):
+            per_target = rewriter._rw(parsed.inner, "#document")
+            wrap_absolute = True
+        else:
+            per_target = rewriter._rw(parsed, rewriter.view.root_key)
+            wrap_absolute = False
+        plans = []
+        for target, path in sorted(per_target.items()):
+            document_path = Absolute(path) if wrap_absolute else path
+            if target.startswith("#text"):
+                plans.append((target, True, compile_path(document_path)))
+            else:
+                optimized_path = self._optimizer.optimize(document_path)
+                plans.append((target, False, compile_path(optimized_path)))
+        compiled.projected = tuple(plans)
+        compiled.timings["compile"] = (
+            compiled.timings.get("compile", 0.0) + (perf_counter() - started)
+        )
+        return compiled.projected
+
+    # -- execution ---------------------------------------------------------------
+
+    def _execute(self, policy, query, document, options: ExecutionOptions):
+        if not options.use_cache:
+            return self._execute_uncached(policy, query, document, options)
+        entry = self._policy(policy)
+        compiled, cache_hit = self._compiled(
+            entry, query, document, options.optimize
+        )
+        runtime = PlanRuntime(
+            self._index_for(document) if options.use_index else None
+        )
+        started = perf_counter()
+        if options.project:
+            results = self._execute_projected(
+                entry, compiled, document, runtime
+            )
+        else:
+            plan = self._whole_query_plan(compiled)
+            results = plan.execute(document, runtime=runtime, ordered=True)
+        evaluate_time = perf_counter() - started
+        timings = dict(compiled.timings)
+        timings["evaluate"] = evaluate_time
+        report = QueryReport(
+            policy,
+            compiled.parsed,
+            compiled.rewritten,
+            compiled.optimized,
+            len(results),
+            runtime.visits,
+            strategy=STRATEGY_VIRTUAL,
+            cache_hit=cache_hit,
+            timings=timings,
+        )
+        return results, report
+
+    def _execute_projected(
+        self, entry: _Policy, compiled: CompiledQuery, document, runtime
+    ):
+        """Evaluate per target view node so each raw result can be
+        projected through the view (dummies relabeled, hidden
+        descendants removed)."""
+        projected = []
+        seen = set()
+        for target, is_text, plan in self._projected_plans(entry, compiled):
+            if is_text:
+                for node in plan.execute(document, runtime=runtime):
+                    if id(node) not in seen:
+                        seen.add(id(node))
+                        projected.append(node.value)
+                continue
+            raw = plan.execute(document, runtime=runtime, ordered=True)
+            for node in raw:
+                if id(node) in seen:
+                    continue
+                seen.add(id(node))
+                projected.append(
+                    materialize_subtree(
+                        document, compiled.view, entry.spec, target, node
+                    )
+                )
+        return projected
+
+    def _execute_uncached(
+        self, policy, query, document, options: ExecutionOptions
+    ):
+        """The pre-plan-cache interpreter pipeline (kept verbatim as
+        the ``use_cache=False`` baseline the benchmarks compare
+        against)."""
+        entry = self._policy(policy)
+        timings: Dict[str, float] = {}
+        started = perf_counter()
+        parsed = self._parse(entry, query)
+        timings["parse"] = perf_counter() - started
+        rewriter = self._rewriter(entry, document)
+        started = perf_counter()
+        rewritten = rewriter.rewrite(parsed)
+        timings["rewrite"] = perf_counter() - started
+        if options.optimize:
+            started = perf_counter()
+            optimized = self._optimizer.optimize(rewritten)
+            timings["optimize"] = perf_counter() - started
+        else:
+            optimized = rewritten
         evaluator = XPathEvaluator(
-            index=self._index_for(document) if use_index else None
+            index=self._index_for(document) if options.use_index else None
         )
-        if project:
+        started = perf_counter()
+        if options.project:
             results = self._evaluate_projected(
-                entry, rewriter, parsed, optimized, document, evaluator
+                entry, rewriter, parsed, document, evaluator
             )
         else:
             results = evaluator.evaluate(optimized, document, ordered=True)
+        timings["evaluate"] = perf_counter() - started
         report = QueryReport(
             policy,
             parsed,
@@ -317,15 +622,17 @@ class SecureQueryEngine:
             optimized,
             len(results),
             evaluator.visits,
+            strategy=STRATEGY_VIRTUAL,
+            cache_hit=False,
+            timings=timings,
         )
         return results, report
 
     def _evaluate_projected(
-        self, entry, rewriter, parsed, optimized, document, evaluator
+        self, entry, rewriter, parsed, document, evaluator
     ):
-        """Evaluate per target view node so each raw result can be
-        projected through the view (dummies relabeled, hidden
-        descendants removed)."""
+        """Uncached projected evaluation (see :meth:`_execute_projected`
+        for the plan-based equivalent)."""
         if isinstance(parsed, Absolute):
             per_target = rewriter._rw(parsed.inner, "#document")
             wrap_absolute = True
@@ -356,5 +663,40 @@ class SecureQueryEngine:
                         document, rewriter.view, entry.spec, target, node
                     )
                 )
-        del optimized
         return projected
+
+    def _query_materialized(self, policy, query, document):
+        from repro.core.materialize import materialize
+
+        entry = self._policy(policy)
+        timings: Dict[str, float] = {}
+        started = perf_counter()
+        parsed = self._parse(entry, query)
+        timings["parse"] = perf_counter() - started
+        cached = entry.materialized.get(id(document))
+        view_cache_hit = cached is not None and cached[0] is document
+        if not view_cache_hit:
+            started = perf_counter()
+            view_tree = materialize(document, entry.view, entry.spec)
+            timings["materialize"] = perf_counter() - started
+            entry.materialized[id(document)] = (document, view_tree)
+        else:
+            view_tree = cached[1]
+        evaluator = XPathEvaluator()
+        started = perf_counter()
+        results = []
+        for node in evaluator.evaluate(parsed, view_tree, ordered=True):
+            results.append(node.value if node.is_text else node)
+        timings["evaluate"] = perf_counter() - started
+        report = QueryReport(
+            policy,
+            parsed,
+            parsed,
+            parsed,
+            len(results),
+            evaluator.visits,
+            strategy=STRATEGY_MATERIALIZED,
+            cache_hit=view_cache_hit,
+            timings=timings,
+        )
+        return results, report

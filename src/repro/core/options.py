@@ -1,0 +1,74 @@
+"""Execution options for :meth:`repro.core.engine.SecureQueryEngine.query`.
+
+Historically ``query()`` grew a flag per feature (``optimize``,
+``project``, ``strategy``, ``use_index``); :class:`ExecutionOptions`
+collapses them into one immutable value object so call sites read as
+intent (``ExecutionOptions(strategy="materialized")``) and new knobs
+do not widen the method signature.  The engine still accepts the old
+keywords for one release, with a :class:`DeprecationWarning`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+#: The paper's approach: the view stays virtual, queries are rewritten.
+STRATEGY_VIRTUAL = "virtual"
+#: Materialize the view tree per document and query it directly.
+STRATEGY_MATERIALIZED = "materialized"
+
+_STRATEGIES = (STRATEGY_VIRTUAL, STRATEGY_MATERIALIZED)
+
+#: Legacy spelling of :data:`STRATEGY_VIRTUAL` (the seed API's name).
+_LEGACY_STRATEGY_ALIASES = {"rewrite": STRATEGY_VIRTUAL}
+
+
+@dataclass(frozen=True)
+class ExecutionOptions:
+    """How one query should be executed.
+
+    ``strategy``
+        ``"virtual"`` (default; the paper's rewriting approach — the
+        legacy spelling ``"rewrite"`` is accepted) or
+        ``"materialized"`` (query a cached materialized view tree).
+    ``optimize``
+        Run the DTD-aware optimizer on the rewritten query.
+    ``project``
+        Return view-projected copies (dummies relabeled, hidden
+        descendants removed).  With ``False``, raw document nodes are
+        returned — callers must not expose them to users.
+    ``use_index``
+        Build (and cache) a
+        :class:`~repro.xmlmodel.index.DocumentIndex` so residual
+        ``//label`` steps evaluate via binary search.
+    ``use_cache``
+        Serve parse/rewrite/optimize/compile results from the engine's
+        plan cache.  With ``False`` the engine runs the uncached
+        interpreter pipeline (the pre-plan-cache behaviour, kept for
+        benchmarking baselines).
+    """
+
+    strategy: str = STRATEGY_VIRTUAL
+    optimize: bool = True
+    project: bool = True
+    use_index: bool = False
+    use_cache: bool = True
+
+    def __post_init__(self):
+        normalized = _LEGACY_STRATEGY_ALIASES.get(self.strategy, self.strategy)
+        if normalized not in _STRATEGIES:
+            from repro.errors import SecurityError
+
+            raise SecurityError(
+                "unknown strategy %r (use 'virtual' or 'materialized')"
+                % (self.strategy,)
+            )
+        object.__setattr__(self, "strategy", normalized)
+
+    def with_(self, **changes) -> "ExecutionOptions":
+        """A copy with some fields replaced."""
+        return replace(self, **changes)
+
+
+#: The engine's defaults, shared so callers can derive from them.
+DEFAULT_OPTIONS = ExecutionOptions()

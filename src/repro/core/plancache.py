@@ -1,0 +1,234 @@
+"""Engine-level query-plan cache.
+
+The paper's views are *virtual*: every request over a security view
+pays parse → rewrite → optimize before a single document node is
+touched.  Those three stages depend only on ``(policy, query text,
+optimize flag)`` — not on the document — so a serving engine should
+pay them once per distinct query, not once per request (Mahfoud &
+Imine make the same argument for recursive-view rewriting).
+
+:class:`PlanCache` is a bounded LRU over :class:`CompiledQuery`
+entries.  Each entry carries the full compilation pipeline for one
+query — parsed, rewritten, and optimized ASTs plus the lazily built
+executable plans (:mod:`repro.xpath.plan`) — together with per-stage
+compile timings.  The cache keeps hit/miss/eviction/invalidation
+counters for observability; the engine wires invalidation into
+``register_policy``, ``drop_policy``, and ``invalidate``.
+
+For recursive views the rewritten query additionally depends on the
+unfolding depth (the document height, Section 4.2), so the engine
+appends that depth to the key; it is ``None`` for the common
+non-recursive case.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
+
+
+class CompiledQuery:
+    """One cached compilation: the pipeline stages for a single
+    ``(policy, query, optimize)`` combination.
+
+    ``plan`` (whole-query execution) and ``projected`` (per-view-target
+    plans for projected results) are built lazily by the engine on the
+    first execution that needs them, so a cache entry never compiles
+    plans a workload does not use.  ``timings`` maps stage names
+    (``parse``, ``rewrite``, ``optimize``, ``compile``) to seconds
+    spent building this entry."""
+
+    __slots__ = (
+        "policy",
+        "query_text",
+        "optimize",
+        "height",
+        "parsed",
+        "rewritten",
+        "optimized",
+        "view",
+        "plan",
+        "projected",
+        "timings",
+        "hits",
+    )
+
+    def __init__(
+        self,
+        policy: str,
+        query_text: str,
+        optimize: bool,
+        height: Optional[int],
+        parsed,
+        rewritten,
+        optimized,
+        view,
+        timings: Dict[str, float],
+    ):
+        self.policy = policy
+        self.query_text = query_text
+        self.optimize = optimize
+        self.height = height
+        self.parsed = parsed
+        self.rewritten = rewritten
+        self.optimized = optimized
+        self.view = view
+        self.plan = None
+        self.projected = None
+        self.timings = timings
+        self.hits = 0
+
+    @property
+    def key(self) -> Tuple:
+        return (self.policy, self.query_text, self.optimize, self.height)
+
+    def __repr__(self):
+        return "CompiledQuery(policy=%r, query=%r, optimize=%r, hits=%d)" % (
+            self.policy,
+            self.query_text,
+            self.optimize,
+            self.hits,
+        )
+
+
+class PlanCacheStats:
+    """A point-in-time snapshot of cache counters."""
+
+    __slots__ = (
+        "hits",
+        "misses",
+        "evictions",
+        "invalidations",
+        "size",
+        "capacity",
+    )
+
+    def __init__(self, hits, misses, evictions, invalidations, size, capacity):
+        self.hits = hits
+        self.misses = misses
+        self.evictions = evictions
+        self.invalidations = invalidations
+        self.size = size
+        self.capacity = capacity
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.lookups
+        return self.hits / lookups if lookups else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "size": self.size,
+            "capacity": self.capacity,
+            "hit_rate": self.hit_rate,
+        }
+
+    def __repr__(self):
+        return (
+            "PlanCacheStats(hits=%d, misses=%d, evictions=%d, "
+            "invalidations=%d, size=%d, capacity=%d, hit_rate=%.3f)"
+            % (
+                self.hits,
+                self.misses,
+                self.evictions,
+                self.invalidations,
+                self.size,
+                self.capacity,
+                self.hit_rate,
+            )
+        )
+
+
+class PlanCache:
+    """Bounded LRU cache of :class:`CompiledQuery` entries.
+
+    Keys are ``(policy, query_text, optimize_flag, height)`` tuples.
+    A ``capacity`` of 0 disables caching (every lookup misses, stores
+    are dropped) without the engine needing a special case."""
+
+    def __init__(self, capacity: int = 256):
+        if capacity < 0:
+            raise ValueError("plan cache capacity must be >= 0")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Tuple, CompiledQuery]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    # -- lookup / store --------------------------------------------------
+
+    def get(self, key: Tuple) -> Optional[CompiledQuery]:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        entry.hits += 1
+        return entry
+
+    def put(self, key: Tuple, entry: CompiledQuery) -> None:
+        if self.capacity == 0:
+            return
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    # -- invalidation ----------------------------------------------------
+
+    def invalidate(self, policy: Optional[str] = None) -> int:
+        """Drop all entries of ``policy`` (all policies when ``None``).
+        Returns the number of entries removed."""
+        if policy is None:
+            removed = len(self._entries)
+            self._entries.clear()
+        else:
+            stale = [
+                key for key in self._entries if key[0] == policy
+            ]
+            for key in stale:
+                del self._entries[key]
+            removed = len(stale)
+        self.invalidations += removed
+        return removed
+
+    def clear(self) -> None:
+        """Drop every entry and reset all counters."""
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    # -- introspection ---------------------------------------------------
+
+    def stats(self) -> PlanCacheStats:
+        return PlanCacheStats(
+            self.hits,
+            self.misses,
+            self.evictions,
+            self.invalidations,
+            len(self._entries),
+            self.capacity,
+        )
+
+    def keys(self):
+        """Cache keys in LRU order (least recently used first)."""
+        return list(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key) -> bool:
+        return key in self._entries

@@ -42,6 +42,7 @@ from repro.xpath.ast import (
 )
 from repro.xpath.parser import parse_xpath, parse_qualifier
 from repro.xpath.evaluator import XPathEvaluator, evaluate, evaluate_qualifier
+from repro.xpath.plan import CompiledPlan, PlanRuntime, compile_path
 from repro.xpath.subqueries import ascending_subqueries
 
 __all__ = [
@@ -78,5 +79,8 @@ __all__ = [
     "XPathEvaluator",
     "evaluate",
     "evaluate_qualifier",
+    "CompiledPlan",
+    "PlanRuntime",
+    "compile_path",
     "ascending_subqueries",
 ]

@@ -1,0 +1,596 @@
+"""Compiled query plans: executable operator trees for fragment ``C``.
+
+The interpreter in :mod:`repro.xpath.evaluator` re-dispatches on AST
+node types at every step of every evaluation.  On the serving path the
+same rewritten/optimized query runs over and over (the engine's plan
+cache amortizes rewriting per policy, not per request), so this module
+compiles a :class:`~repro.xpath.ast.Path` once into a tree of step
+*operators* whose dispatch is resolved ahead of time.
+
+Design constraints:
+
+* **Semantics parity.**  Each operator mirrors the corresponding
+  interpreter branch exactly — including duplicate elimination by node
+  identity, discovery order, and the ``visits`` work counter the
+  benchmark harness relies on.  ``CompiledPlan.execute`` and
+  ``XPathEvaluator.evaluate`` return identical node lists *and*
+  identical visit counts for the same input.
+* **Index awareness.**  A plan is compiled once and executed against
+  many documents.  Whether a :class:`~repro.xmlmodel.index.DocumentIndex`
+  is available is a property of the *execution*, not the plan: the
+  descendant operator precomputes its ``//label`` fast-path shape at
+  compile time and consults the runtime's index when one is attached,
+  falling back to a subtree walk otherwise (or when a context node
+  lies outside the indexed tree).
+* **Shared accounting.**  A single :class:`PlanRuntime` may be passed
+  through several ``execute`` calls (the engine's projected evaluation
+  runs one plan per view target); ``visits`` accumulates across them.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import XPathEvaluationError
+from repro.xpath.ast import (
+    Absolute,
+    Descendant,
+    Empty,
+    EpsilonPath,
+    Label,
+    Param,
+    Parent,
+    Path,
+    QAnd,
+    QAttr,
+    QAttrEquals,
+    QBool,
+    QEquals,
+    QNot,
+    QOr,
+    QPath,
+    Qualified,
+    Qualifier,
+    Slash,
+    TextStep,
+    Union,
+    Wildcard,
+)
+from repro.xpath.evaluator import (
+    _VirtualDocumentNode,
+    _document_order,
+    _peel_label,
+)
+
+
+class PlanRuntime:
+    """Per-execution state: the optional document index and the
+    accumulated node-visit counter."""
+
+    __slots__ = ("index", "visits")
+
+    def __init__(self, index=None):
+        self.index = index
+        self.visits = 0
+
+    def reset_counters(self) -> None:
+        self.visits = 0
+
+
+# ---------------------------------------------------------------------------
+# Path operators
+# ---------------------------------------------------------------------------
+
+
+class _Op:
+    __slots__ = ()
+
+    def run(self, rt: PlanRuntime, contexts: List) -> List:
+        raise NotImplementedError
+
+
+class EmptyOp(_Op):
+    __slots__ = ()
+
+    def run(self, rt, contexts):
+        return []
+
+
+class SelfOp(_Op):
+    """``.`` — the epsilon path."""
+
+    __slots__ = ()
+
+    def run(self, rt, contexts):
+        return contexts
+
+
+class LabelOp(_Op):
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def run(self, rt, contexts):
+        name = self.name
+        results: List = []
+        seen = set()
+        for node in contexts:
+            if node.is_text:
+                continue
+            for child in node.children:
+                rt.visits += 1
+                if (
+                    child.is_element
+                    and child.label == name
+                    and id(child) not in seen
+                ):
+                    seen.add(id(child))
+                    results.append(child)
+        return results
+
+
+class WildcardOp(_Op):
+    __slots__ = ()
+
+    def run(self, rt, contexts):
+        results: List = []
+        seen = set()
+        for node in contexts:
+            if node.is_text:
+                continue
+            for child in node.children:
+                rt.visits += 1
+                if child.is_element and id(child) not in seen:
+                    seen.add(id(child))
+                    results.append(child)
+        return results
+
+
+class TextOp(_Op):
+    __slots__ = ()
+
+    def run(self, rt, contexts):
+        results: List = []
+        seen = set()
+        for node in contexts:
+            if node.is_text:
+                continue
+            for child in node.children:
+                rt.visits += 1
+                if child.is_text and id(child) not in seen:
+                    seen.add(id(child))
+                    results.append(child)
+        return results
+
+
+class ParentOp(_Op):
+    __slots__ = ()
+
+    def run(self, rt, contexts):
+        results: List = []
+        seen = set()
+        for node in contexts:
+            parent = node.parent
+            rt.visits += 1
+            if (
+                parent is not None
+                and not isinstance(parent, _VirtualDocumentNode)
+                and id(parent) not in seen
+            ):
+                seen.add(id(parent))
+                results.append(parent)
+        return results
+
+
+class SlashOp(_Op):
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: _Op, right: _Op):
+        self.left = left
+        self.right = right
+
+    def run(self, rt, contexts):
+        return self.right.run(rt, self.left.run(rt, contexts))
+
+
+class DescendantOp(_Op):
+    """``//p``: walks descendant-or-self, or — when the inner path has
+    the ``label[q1][q2]...`` shape and an index is attached — answers
+    via two binary searches per context."""
+
+    __slots__ = ("inner", "fast_label", "fast_qualifiers")
+
+    def __init__(self, inner: _Op, fast_label: Optional[str], fast_qualifiers):
+        self.inner = inner
+        self.fast_label = fast_label
+        self.fast_qualifiers = tuple(fast_qualifiers)
+
+    def run(self, rt, contexts):
+        if rt.index is not None and self.fast_label is not None:
+            fast = self._fast(rt, contexts)
+            if fast is not None:
+                return fast
+        return self.inner.run(rt, self._descendants_or_self(rt, contexts))
+
+    def _fast(self, rt, contexts):
+        index = rt.index
+        label = self.fast_label
+        ordered = []
+        seen = set()
+        for node in contexts:
+            if node.is_text:
+                continue
+            if isinstance(node, _VirtualDocumentNode):
+                root = node.children[0]
+                if not index.covers(root):
+                    return None
+                hits = index.descendants_with_label(root, label)
+                if root.label == label:
+                    hits = [root] + hits
+            elif not index.covers(node):
+                return None  # context outside the indexed tree
+            else:
+                hits = index.descendants_with_label(node, label)
+            for element in hits:
+                position = index.position(element)
+                if position not in seen:
+                    seen.add(position)
+                    ordered.append((position, element))
+        rt.visits += len(ordered)
+        ordered.sort(key=lambda pair: pair[0])
+        results = [element for _, element in ordered]
+        for qualifier in self.fast_qualifiers:
+            results = [
+                element
+                for element in results
+                if qualifier.test(rt, element)
+            ]
+        return results
+
+    @staticmethod
+    def _descendants_or_self(rt, contexts):
+        results: List = []
+        seen = set()
+        for origin in contexts:
+            if origin.is_text:
+                continue
+            if id(origin) in seen:
+                continue
+            stack = [origin]
+            while stack:
+                node = stack.pop()
+                if id(node) in seen:
+                    continue
+                seen.add(id(node))
+                results.append(node)
+                rt.visits += 1
+                for child in reversed(node.children):
+                    if child.is_element:
+                        stack.append(child)
+        return results
+
+
+class UnionOp(_Op):
+    __slots__ = ("branches",)
+
+    def __init__(self, branches):
+        self.branches = tuple(branches)
+
+    def run(self, rt, contexts):
+        merged: List = []
+        seen = set()
+        for branch in self.branches:
+            for node in branch.run(rt, contexts):
+                if id(node) not in seen:
+                    seen.add(id(node))
+                    merged.append(node)
+        return merged
+
+
+class FilterOp(_Op):
+    """``p[q]``."""
+
+    __slots__ = ("path", "qualifier")
+
+    def __init__(self, path: _Op, qualifier: "_QOp"):
+        self.path = path
+        self.qualifier = qualifier
+
+    def run(self, rt, contexts):
+        qualifier = self.qualifier
+        return [
+            node
+            for node in self.path.run(rt, contexts)
+            if not node.is_text and qualifier.test(rt, node)
+        ]
+
+
+class AbsoluteOp(_Op):
+    __slots__ = ("inner",)
+
+    def __init__(self, inner: _Op):
+        self.inner = inner
+
+    def run(self, rt, contexts):
+        roots = []
+        seen = set()
+        for node in contexts:
+            root = node
+            while root.parent is not None:
+                root = root.parent
+            if id(root) not in seen:
+                seen.add(id(root))
+                roots.append(root)
+        shims = [_VirtualDocumentNode(root) for root in roots]
+        return self.inner.run(rt, shims)
+
+
+# ---------------------------------------------------------------------------
+# Qualifier operators
+# ---------------------------------------------------------------------------
+
+
+class _QOp:
+    __slots__ = ()
+
+    def test(self, rt: PlanRuntime, node) -> bool:
+        raise NotImplementedError
+
+
+class BoolQOp(_QOp):
+    __slots__ = ("value",)
+
+    def __init__(self, value: bool):
+        self.value = value
+
+    def test(self, rt, node):
+        return self.value
+
+
+class ExistsQOp(_QOp):
+    __slots__ = ("path",)
+
+    def __init__(self, path: _Op):
+        self.path = path
+
+    def test(self, rt, node):
+        return bool(self.path.run(rt, [node]))
+
+
+class EqualsQOp(_QOp):
+    __slots__ = ("path", "value")
+
+    def __init__(self, path: _Op, value):
+        self.path = path
+        self.value = value
+
+    def test(self, rt, node):
+        value = self.value
+        if isinstance(value, Param):
+            raise XPathEvaluationError(
+                "unbound parameter $%s during evaluation" % value.name
+            )
+        for selected in self.path.run(rt, [node]):
+            rt.visits += 1
+            if selected.string_value() == value:
+                return True
+        return False
+
+
+class AttrQOp(_QOp):
+    __slots__ = ("path", "name")
+
+    def __init__(self, path: _Op, name: str):
+        self.path = path
+        self.name = name
+
+    def test(self, rt, node):
+        name = self.name
+        for selected in self.path.run(rt, [node]):
+            rt.visits += 1
+            if selected.is_element and name in selected.attributes:
+                return True
+        return False
+
+
+class AttrEqualsQOp(_QOp):
+    __slots__ = ("path", "name", "value")
+
+    def __init__(self, path: _Op, name: str, value):
+        self.path = path
+        self.name = name
+        self.value = value
+
+    def test(self, rt, node):
+        value = self.value
+        if isinstance(value, Param):
+            raise XPathEvaluationError(
+                "unbound parameter $%s during evaluation" % value.name
+            )
+        name = self.name
+        for selected in self.path.run(rt, [node]):
+            rt.visits += 1
+            if (
+                selected.is_element
+                and selected.attributes.get(name) == value
+            ):
+                return True
+        return False
+
+
+class AndQOp(_QOp):
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: _QOp, right: _QOp):
+        self.left = left
+        self.right = right
+
+    def test(self, rt, node):
+        return self.left.test(rt, node) and self.right.test(rt, node)
+
+
+class OrQOp(_QOp):
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: _QOp, right: _QOp):
+        self.left = left
+        self.right = right
+
+    def test(self, rt, node):
+        return self.left.test(rt, node) or self.right.test(rt, node)
+
+
+class NotQOp(_QOp):
+    __slots__ = ("inner",)
+
+    def __init__(self, inner: _QOp):
+        self.inner = inner
+
+    def test(self, rt, node):
+        return not self.inner.test(rt, node)
+
+
+# ---------------------------------------------------------------------------
+# Compilation
+# ---------------------------------------------------------------------------
+
+_EMPTY_OP = EmptyOp()
+_SELF_OP = SelfOp()
+_WILDCARD_OP = WildcardOp()
+_TEXT_OP = TextOp()
+_PARENT_OP = ParentOp()
+_TRUE_OP = BoolQOp(True)
+_FALSE_OP = BoolQOp(False)
+
+
+def _compile_path(path: Path) -> _Op:
+    if isinstance(path, Empty):
+        return _EMPTY_OP
+    if isinstance(path, EpsilonPath):
+        return _SELF_OP
+    if isinstance(path, Label):
+        return LabelOp(path.name)
+    if isinstance(path, Wildcard):
+        return _WILDCARD_OP
+    if isinstance(path, TextStep):
+        return _TEXT_OP
+    if isinstance(path, Parent):
+        return _PARENT_OP
+    if isinstance(path, Slash):
+        return SlashOp(_compile_path(path.left), _compile_path(path.right))
+    if isinstance(path, Descendant):
+        label, qualifiers = _peel_label(path.inner)
+        return DescendantOp(
+            _compile_path(path.inner),
+            label,
+            [_compile_qualifier(qualifier) for qualifier in qualifiers],
+        )
+    if isinstance(path, Union):
+        return UnionOp(_compile_path(branch) for branch in path.branches)
+    if isinstance(path, Qualified):
+        return FilterOp(
+            _compile_path(path.path), _compile_qualifier(path.qualifier)
+        )
+    if isinstance(path, Absolute):
+        return AbsoluteOp(_compile_path(path.inner))
+    raise XPathEvaluationError("unknown path node %r" % path)
+
+
+def _compile_qualifier(qualifier: Qualifier) -> _QOp:
+    if isinstance(qualifier, QBool):
+        return _TRUE_OP if qualifier.value else _FALSE_OP
+    if isinstance(qualifier, QPath):
+        return ExistsQOp(_compile_path(qualifier.path))
+    if isinstance(qualifier, QEquals):
+        return EqualsQOp(_compile_path(qualifier.path), qualifier.value)
+    if isinstance(qualifier, QAttr):
+        return AttrQOp(_compile_path(qualifier.path), qualifier.name)
+    if isinstance(qualifier, QAttrEquals):
+        return AttrEqualsQOp(
+            _compile_path(qualifier.path), qualifier.name, qualifier.value
+        )
+    if isinstance(qualifier, QAnd):
+        return AndQOp(
+            _compile_qualifier(qualifier.left),
+            _compile_qualifier(qualifier.right),
+        )
+    if isinstance(qualifier, QOr):
+        return OrQOp(
+            _compile_qualifier(qualifier.left),
+            _compile_qualifier(qualifier.right),
+        )
+    if isinstance(qualifier, QNot):
+        return NotQOp(_compile_qualifier(qualifier.inner))
+    raise XPathEvaluationError("unknown qualifier node %r" % qualifier)
+
+
+class CompiledPlan:
+    """An executable plan for one :class:`~repro.xpath.ast.Path`.
+
+    A plan is immutable and document-independent: compile once per
+    (rewritten, optimized) query, execute against any document, with
+    or without an attached index."""
+
+    __slots__ = ("path", "_op", "operator_count")
+
+    def __init__(self, path: Path):
+        self.path = path
+        self._op = _compile_path(path)
+        self.operator_count = _count_ops(self._op)
+
+    def __repr__(self):
+        return "CompiledPlan(%s, operators=%d)" % (
+            self.path,
+            self.operator_count,
+        )
+
+    def execute(
+        self,
+        context,
+        index=None,
+        ordered: bool = False,
+        runtime: Optional[PlanRuntime] = None,
+    ) -> List:
+        """Evaluate the plan at a context node (or list of nodes).
+
+        Pass a :class:`PlanRuntime` to share visit accounting (and an
+        index) across several plan executions; otherwise a fresh
+        runtime wrapping ``index`` is used."""
+        rt = runtime if runtime is not None else PlanRuntime(index)
+        contexts = context if isinstance(context, list) else [context]
+        results = self._op.run(rt, contexts)
+        results = [
+            node
+            for node in results
+            if not isinstance(node, _VirtualDocumentNode)
+        ]
+        if ordered and results:
+            results = self._order(results, rt.index)
+        return results
+
+    @staticmethod
+    def _order(results: List, index) -> List:
+        if index is not None and all(index.covers(node) for node in results):
+            return index.document_order_sort(results)
+        return _document_order(results)
+
+
+def _count_ops(op) -> int:
+    count = 1
+    for slot in getattr(type(op), "__slots__", ()):
+        value = getattr(op, slot)
+        if isinstance(value, (_Op, _QOp)):
+            count += _count_ops(value)
+        elif isinstance(value, tuple):
+            count += sum(
+                _count_ops(item)
+                for item in value
+                if isinstance(item, (_Op, _QOp))
+            )
+    return count
+
+
+def compile_path(path: Path) -> CompiledPlan:
+    """Compile ``path`` into an executable :class:`CompiledPlan`."""
+    return CompiledPlan(path)

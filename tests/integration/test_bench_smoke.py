@@ -1,0 +1,46 @@
+"""Smoke-run the benchmark suite so bench scripts cannot rot silently.
+
+``benchmarks/conftest.py`` defines ``--quick``: tiny documents (scale
+0.02), pytest-benchmark timing disabled, every benchmarked callable
+executed exactly once.  The whole suite runs in a couple of seconds,
+which is cheap enough for tier-1.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_benchmarks_quick_smoke():
+    source_root = str(REPO_ROOT / "src")
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        source_root + os.pathsep + existing if existing else source_root
+    )
+    # each bench module must at least be collected; a syntax error or a
+    # renamed fixture fails the subprocess run
+    completed = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "pytest",
+            "benchmarks",
+            "--quick",
+            "-q",
+            "-p",
+            "no:cacheprovider",
+        ],
+        cwd=str(REPO_ROOT),
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert completed.returncode == 0, (
+        "benchmark smoke run failed:\n%s\n%s"
+        % (completed.stdout, completed.stderr)
+    )

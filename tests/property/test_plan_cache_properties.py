@@ -1,0 +1,94 @@
+"""Property: the plan-cache serving path is answer-preserving.
+
+For random DAG DTDs, random Y/N policies, random conforming documents,
+and random fragment-``C`` queries, executing through the compiled-plan
+cache (cold and warm, with and without the document index) returns
+exactly the node set of the uncached interpreter pipeline.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import SecureQueryEngine
+from repro.core.options import ExecutionOptions
+from repro.dtd.generator import DocumentGenerator
+from repro.xmlmodel.serialize import serialize
+
+from tests.property.strategies import (
+    annotation_strategy,
+    dag_dtd_strategy,
+    path_strategy,
+)
+
+UNCACHED = ExecutionOptions(use_cache=False)
+CACHED = ExecutionOptions(use_cache=True)
+CACHED_INDEXED = ExecutionOptions(use_cache=True, use_index=True)
+UNCACHED_RAW = ExecutionOptions(use_cache=False, project=False)
+CACHED_RAW = ExecutionOptions(use_cache=True, project=False)
+CACHED_RAW_INDEXED = ExecutionOptions(
+    use_cache=True, project=False, use_index=True
+)
+
+
+def _rendered(values):
+    return sorted(
+        value if isinstance(value, str) else serialize(value)
+        for value in values
+    )
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.data())
+def test_cached_execution_is_answer_preserving(data):
+    dtd = data.draw(dag_dtd_strategy())
+    spec = data.draw(annotation_strategy(dtd))
+    seed = data.draw(st.integers(0, 500))
+    document = DocumentGenerator(dtd, seed=seed, max_branch=3).generate()
+    query = data.draw(
+        path_strategy(labels=tuple(dtd.element_types), max_leaves=5)
+    )
+    engine = SecureQueryEngine(dtd)
+    engine.register_policy("p", spec)
+
+    expected = _rendered(engine.query("p", query, document, UNCACHED))
+    cold = engine.query("p", query, document, CACHED)
+    assert not cold.report.cache_hit
+    assert _rendered(cold) == expected
+    warm = engine.query("p", query, document, CACHED_INDEXED)
+    assert warm.report.cache_hit
+    assert _rendered(warm) == expected
+
+    # raw (unprojected) answers must agree node-for-node by identity
+    raw_expected = [
+        id(node)
+        for node in engine.query("p", query, document, UNCACHED_RAW)
+    ]
+    raw_cached = [
+        id(node) for node in engine.query("p", query, document, CACHED_RAW)
+    ]
+    raw_indexed = [
+        id(node)
+        for node in engine.query("p", query, document, CACHED_RAW_INDEXED)
+    ]
+    assert raw_cached == raw_expected
+    assert raw_indexed == raw_expected
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.data())
+def test_cached_visits_match_uncached_interpreter(data):
+    """The compiled plan does exactly the interpreter's work: on the
+    unprojected path the machine-independent ``visits`` counter agrees
+    between the cached (plan) and uncached (interpreter) pipelines."""
+    dtd = data.draw(dag_dtd_strategy())
+    spec = data.draw(annotation_strategy(dtd))
+    seed = data.draw(st.integers(0, 200))
+    document = DocumentGenerator(dtd, seed=seed, max_branch=3).generate()
+    query = data.draw(
+        path_strategy(labels=tuple(dtd.element_types), max_leaves=4)
+    )
+    engine = SecureQueryEngine(dtd)
+    engine.register_policy("p", spec)
+    uncached = engine.query("p", query, document, UNCACHED_RAW)
+    cached = engine.query("p", query, document, CACHED_RAW)
+    assert cached.report.visits == uncached.report.visits

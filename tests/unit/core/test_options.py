@@ -1,0 +1,164 @@
+"""The redesigned query surface: ``ExecutionOptions``, the structured
+``QueryResult``, and the one-release deprecation shims for the pre-1.1
+boolean keywords."""
+
+import warnings
+
+import pytest
+
+from repro.core.engine import QueryResult, SecureQueryEngine
+from repro.core.options import DEFAULT_OPTIONS, ExecutionOptions
+from repro.errors import SecurityError
+from repro.workloads.hospital import (
+    hospital_document,
+    hospital_dtd,
+    nurse_spec,
+)
+
+
+@pytest.fixture()
+def engine():
+    dtd = hospital_dtd()
+    built = SecureQueryEngine(dtd)
+    built.register_policy("nurse", nurse_spec(dtd), wardNo="2")
+    return built
+
+
+@pytest.fixture()
+def document():
+    return hospital_document(seed=7, max_branch=4)
+
+
+class TestExecutionOptions:
+    def test_defaults(self):
+        options = ExecutionOptions()
+        assert options.strategy == "virtual"
+        assert options.optimize and options.project and options.use_cache
+        assert not options.use_index
+        assert options == DEFAULT_OPTIONS
+
+    def test_legacy_strategy_alias_normalized(self):
+        assert ExecutionOptions(strategy="rewrite").strategy == "virtual"
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(SecurityError):
+            ExecutionOptions(strategy="magic")
+
+    def test_with_copies(self):
+        options = ExecutionOptions().with_(use_index=True)
+        assert options.use_index
+        assert not DEFAULT_OPTIONS.use_index
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            ExecutionOptions().use_index = True
+
+
+class TestQueryResult:
+    def test_is_list_compatible(self, engine, document):
+        result = engine.query("nurse", "//patient", document)
+        assert isinstance(result, QueryResult)
+        assert isinstance(result, list)
+        assert result.results == list(result)
+        assert engine.query("nurse", "//clinicalTrial", document) == []
+
+    def test_report_attached(self, engine, document):
+        result = engine.query("nurse", "//patient", document)
+        assert result.report.policy == "nurse"
+        assert result.report.result_count == len(result)
+        assert result.report.strategy == "virtual"
+
+    def test_materialized_report(self, engine, document):
+        result = engine.query(
+            "nurse",
+            "//patient",
+            document,
+            options=ExecutionOptions(strategy="materialized"),
+        )
+        assert result.report.strategy == "materialized"
+        again = engine.query(
+            "nurse",
+            "//patient",
+            document,
+            options=ExecutionOptions(strategy="materialized"),
+        )
+        assert again.report.cache_hit  # materialized view tree reused
+
+    def test_report_repr_and_summary_include_optimized(self, engine, document):
+        report = engine.query("nurse", "//patient", document).report
+        assert str(report.optimized) in repr(report)
+        summary = report.summary()
+        assert "optimized: %s" % report.optimized in summary
+        assert "timings" in summary
+        assert "plan cache" in summary
+
+
+class TestDeprecationShims:
+    def test_legacy_keywords_warn_and_work(self, engine, document):
+        with pytest.warns(DeprecationWarning):
+            legacy = engine.query(
+                "nurse", "//patient", document, optimize=True, use_index=True
+            )
+        new = engine.query(
+            "nurse",
+            "//patient",
+            document,
+            options=ExecutionOptions(optimize=True, use_index=True),
+        )
+        assert [str(n) for n in legacy] == [str(n) for n in new]
+
+    def test_legacy_project_keyword(self, engine, document):
+        with pytest.warns(DeprecationWarning):
+            raw = engine.query("nurse", "//patient", document, project=False)
+        assert raw and all(node.parent is not None for node in raw)
+
+    def test_legacy_strategy_keyword(self, engine, document):
+        with pytest.warns(DeprecationWarning):
+            result = engine.query(
+                "nurse", "//patient", document, strategy="materialized"
+            )
+        assert result.report.strategy == "materialized"
+
+    def test_new_path_does_not_warn(self, engine, document):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            engine.query(
+                "nurse", "//patient", document, options=ExecutionOptions()
+            )
+            engine.query("nurse", "//patient", document)
+
+    def test_mixing_options_and_legacy_rejected(self, engine, document):
+        with pytest.raises(TypeError):
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", DeprecationWarning)
+                engine.query(
+                    "nurse",
+                    "//patient",
+                    document,
+                    options=ExecutionOptions(),
+                    optimize=False,
+                )
+
+    def test_unknown_keyword_rejected(self, engine, document):
+        with pytest.raises(TypeError):
+            engine.query("nurse", "//patient", document, turbo=True)
+
+    def test_positional_optimize_bool(self, engine, document):
+        # pre-1.1 call shape: optimize passed positionally after the
+        # document
+        with pytest.warns(DeprecationWarning):
+            result = engine.query("nurse", "//patient", document, False)
+        assert result.report.optimized == result.report.rewritten
+
+    def test_explain_accepts_legacy_and_new(self, engine, document):
+        with pytest.warns(DeprecationWarning):
+            legacy = engine.explain(
+                "nurse", "//patient", document, optimize=False
+            )
+        new = engine.explain(
+            "nurse",
+            "//patient",
+            document,
+            options=ExecutionOptions(optimize=False),
+        )
+        assert str(legacy.rewritten) == str(new.rewritten)

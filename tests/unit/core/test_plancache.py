@@ -1,0 +1,173 @@
+"""Unit tests for the engine-level plan cache: LRU bounds, counters,
+and invalidation wiring (``register_policy`` / ``drop_policy`` /
+``invalidate``)."""
+
+import pytest
+
+from repro.core.engine import SecureQueryEngine
+from repro.core.options import ExecutionOptions
+from repro.core.plancache import PlanCache
+from repro.workloads.hospital import (
+    hospital_document,
+    hospital_dtd,
+    nurse_spec,
+)
+
+
+@pytest.fixture()
+def engine():
+    dtd = hospital_dtd()
+    built = SecureQueryEngine(dtd)
+    built.register_policy("nurse", nurse_spec(dtd), wardNo="2")
+    return built
+
+
+@pytest.fixture()
+def document():
+    return hospital_document(seed=7, max_branch=4)
+
+
+class TestPlanCacheUnit:
+    def _entry(self, tag):
+        # a minimal stand-in for a CompiledQuery (the cache only
+        # touches the per-entry hit counter)
+        from types import SimpleNamespace
+
+        return SimpleNamespace(tag=tag, hits=0)
+
+    def test_lru_eviction_order(self):
+        cache = PlanCache(capacity=2)
+        cache.put(("p", "a", True, None), self._entry("a"))
+        cache.put(("p", "b", True, None), self._entry("b"))
+        assert cache.get(("p", "a", True, None)) is not None  # a now MRU
+        cache.put(("p", "c", True, None), self._entry("c"))  # evicts b
+        assert ("p", "b", True, None) not in cache
+        assert ("p", "a", True, None) in cache
+        assert ("p", "c", True, None) in cache
+        assert cache.evictions == 1
+
+    def test_hit_miss_counters(self):
+        cache = PlanCache(capacity=4)
+        key = ("p", "q", True, None)
+        assert cache.get(key) is None
+        cache.put(key, self._entry("q"))
+        assert cache.get(key) is not None
+        stats = cache.stats()
+        assert stats.hits == 1
+        assert stats.misses == 1
+        assert stats.lookups == 2
+        assert stats.hit_rate == 0.5
+        assert stats.as_dict()["hits"] == 1
+
+    def test_capacity_zero_disables(self):
+        cache = PlanCache(capacity=0)
+        key = ("p", "q", True, None)
+        cache.put(key, self._entry("q"))
+        assert cache.get(key) is None
+        assert len(cache) == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            PlanCache(capacity=-1)
+
+    def test_policy_scoped_invalidation(self):
+        cache = PlanCache(capacity=8)
+        cache.put(("p1", "a", True, None), self._entry("a"))
+        cache.put(("p2", "b", True, None), self._entry("b"))
+        removed = cache.invalidate("p1")
+        assert removed == 1
+        assert ("p2", "b", True, None) in cache
+        assert cache.invalidations == 1
+
+    def test_clear_resets_counters(self):
+        cache = PlanCache(capacity=2)
+        cache.put(("p", "a", True, None), self._entry("a"))
+        cache.get(("p", "a", True, None))
+        cache.clear()
+        stats = cache.stats()
+        assert len(cache) == 0
+        assert stats.hits == 0 and stats.misses == 0
+
+
+class TestEngineIntegration:
+    def test_repeated_query_hits(self, engine, document):
+        engine.query("nurse", "//patient", document)
+        engine.query("nurse", "//patient", document)
+        stats = engine.plan_cache_stats()
+        assert stats.hits >= 1
+        assert stats.misses >= 1
+
+    def test_cache_key_includes_optimize_flag(self, engine, document):
+        options_on = ExecutionOptions(optimize=True)
+        options_off = ExecutionOptions(optimize=False)
+        engine.query("nurse", "//patient", document, options=options_on)
+        engine.query("nurse", "//patient", document, options=options_off)
+        assert len(engine.plan_cache) == 2
+
+    def test_string_and_ast_queries_share_entries(self, engine, document):
+        from repro.xpath.parser import parse_xpath
+
+        engine.query("nurse", "//patient/name", document)
+        before = len(engine.plan_cache)
+        engine.query("nurse", parse_xpath("//patient/name"), document)
+        assert len(engine.plan_cache) == before
+
+    def test_drop_policy_invalidates(self, engine, document):
+        engine.query("nurse", "//patient", document)
+        assert len(engine.plan_cache) == 1
+        engine.drop_policy("nurse")
+        assert len(engine.plan_cache) == 0
+
+    def test_invalidate_drops_plans(self, engine, document):
+        engine.query("nurse", "//patient", document)
+        engine.invalidate("nurse")
+        assert len(engine.plan_cache) == 0
+        engine.query("nurse", "//patient", document)
+        assert not engine.query(
+            "nurse", "//patient", document
+        ).report.cache_hit or len(engine.plan_cache) == 1
+
+    def test_invalidate_all_drops_plans(self, engine, document):
+        engine.query("nurse", "//patient", document)
+        engine.invalidate()
+        assert len(engine.plan_cache) == 0
+
+    def test_reregistered_policy_does_not_reuse_plans(self, document):
+        dtd = hospital_dtd()
+        engine = SecureQueryEngine(dtd)
+        engine.register_policy("nurse", nurse_spec(dtd), wardNo="2")
+        engine.query("nurse", "//patient", document)
+        engine.drop_policy("nurse")
+        engine.register_policy("nurse", nurse_spec(dtd), wardNo="4")
+        result = engine.query("nurse", "//patient", document)
+        assert not result.report.cache_hit
+
+    def test_bounded_by_plan_cache_size(self, document):
+        dtd = hospital_dtd()
+        engine = SecureQueryEngine(dtd, plan_cache_size=3)
+        engine.register_policy("nurse", nurse_spec(dtd), wardNo="2")
+        for label in ("patient", "name", "wardNo", "treatment", "bill"):
+            engine.query("nurse", "//" + label, document)
+        assert len(engine.plan_cache) == 3
+        assert engine.plan_cache_stats().evictions == 2
+
+    def test_rewrite_query_primes_cache(self, engine, document):
+        rewritten = engine.rewrite_query("nurse", "//patient")
+        assert len(engine.plan_cache) == 1
+        result = engine.query(
+            "nurse",
+            "//patient",
+            document,
+            options=ExecutionOptions(optimize=False),
+        )
+        assert result.report.cache_hit
+        assert str(result.report.rewritten) == str(rewritten)
+
+    def test_report_timings_present(self, engine, document):
+        first = engine.query("nurse", "//patient", document)
+        assert not first.report.cache_hit
+        assert {"parse", "rewrite", "optimize"} <= set(first.report.timings)
+        second = engine.query("nurse", "//patient", document)
+        assert second.report.cache_hit
+        assert "evaluate" in second.report.timings
+        assert second.report.total_time() > 0
