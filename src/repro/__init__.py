@@ -72,7 +72,7 @@ from repro.dtd import (
     parse_dtd,
     validate,
 )
-from repro.xmlmodel import DocumentIndex, build_index
+from repro.xmlmodel import DocumentIndex, NodeTable, build_index, build_node_table
 from repro.xpath import (
     CompiledPlan,
     PlanRuntime,
@@ -143,6 +143,8 @@ __all__ = [
     # xml
     "DocumentIndex",
     "build_index",
+    "NodeTable",
+    "build_node_table",
     # xpath
     "parse_xpath",
     "parse_qualifier",

@@ -6,7 +6,7 @@
     repro rewrite   DTD.dtd  SPEC.txt  QUERY [--bind ...] [--no-optimize]
     repro query     DTD.dtd  SPEC.txt  DOC.xml QUERY [--bind ...]
                     [--no-optimize] [--explain] [--use-index] [--no-cache]
-                    [--strategy virtual|materialized]
+                    [--strategy virtual|columnar|materialized]
     repro table1    [--scale S] [--repeat N]
 
 Specification files use the line format of
@@ -208,9 +208,10 @@ def build_parser() -> argparse.ArgumentParser:
     query_cmd.add_argument("--explain", action="store_true")
     query_cmd.add_argument(
         "--strategy",
-        choices=["virtual", "materialized"],
+        choices=["virtual", "columnar", "materialized"],
         default="virtual",
-        help="virtual (rewrite; default) or materialized view",
+        help="virtual (rewrite; default), columnar (rewrite + "
+        "set-at-a-time NodeTable execution), or materialized view",
     )
     query_cmd.add_argument(
         "--use-index",

@@ -41,6 +41,7 @@ from repro.core.materialize import materialize_subtree
 from repro.core.optimize import Optimizer
 from repro.core.options import (
     DEFAULT_OPTIONS,
+    STRATEGY_COLUMNAR,
     STRATEGY_MATERIALIZED,
     STRATEGY_VIRTUAL,
     ExecutionOptions,
@@ -199,6 +200,9 @@ class SecureQueryEngine:
         self._plan_cache = PlanCache(plan_cache_size)
         # id(document) -> (document, DocumentIndex); shared by policies
         self._indexes: Dict[int, tuple] = {}
+        # id(document) -> (document, NodeTable); the columnar twin of
+        # _indexes — registered side by side so both invalidate together
+        self._stores: Dict[int, tuple] = {}
 
     # -- administration (security-officer side) ---------------------------
 
@@ -288,6 +292,11 @@ class SecureQueryEngine:
 
         * ``strategy="virtual"`` (default, the paper's approach) — the
           view stays virtual; the query is rewritten over the document;
+        * ``strategy="columnar"`` — same rewriting pipeline, but plans
+          execute set-at-a-time over a cached columnar
+          :class:`~repro.xmlmodel.store.NodeTable` (built per document,
+          dropped by :meth:`invalidate`); fastest on descendant-heavy
+          queries, identical answers to ``"virtual"``;
         * ``strategy="materialized"`` — the view tree is materialized
           (cached per document until :meth:`invalidate`) and the query
           runs directly on it.
@@ -336,6 +345,7 @@ class SecureQueryEngine:
         for name in names:
             self._policy(name).materialized.clear()
         self._indexes.clear()
+        self._stores.clear()
         self._plan_cache.invalidate(policy)
 
     # -- observability -----------------------------------------------------------
@@ -435,21 +445,45 @@ class SecureQueryEngine:
         self._indexes[id(document)] = (document, index)
         return index
 
+    def _store_for(self, document):
+        from repro.xmlmodel.store import NodeTable
+
+        cached = self._stores.get(id(document))
+        if cached is not None and cached[0] is document:
+            return cached[1]
+        store = NodeTable(document)
+        self._stores[id(document)] = (document, store)
+        return store
+
     # -- plan compilation --------------------------------------------------------
 
-    def _compiled(self, entry: _Policy, query, document, optimize: bool):
+    def _compiled(
+        self,
+        entry: _Policy,
+        query,
+        document,
+        optimize: bool,
+        strategy: str = STRATEGY_VIRTUAL,
+        use_index: bool = False,
+        use_cache: bool = True,
+    ):
         """The cached compilation of ``query`` under ``entry``'s
-        policy: ``(CompiledQuery, cache_hit)``."""
+        policy: ``(CompiledQuery, cache_hit)``.  The key carries the
+        execution shape (``strategy``, ``use_index``) so a warm cache
+        never serves a plan entry primed for a different backend.
+        With ``use_cache=False`` the cache is neither consulted nor
+        primed (compilation still runs, once per call)."""
         query_text = query if isinstance(query, str) else str(query)
         height = (
             self._unfold_height(entry, document)
             if entry.view.is_recursive()
             else None
         )
-        key = (entry.name, query_text, optimize, height)
-        cached = self._plan_cache.get(key)
-        if cached is not None:
-            return cached, True
+        key = (entry.name, query_text, optimize, height, strategy, use_index)
+        if use_cache:
+            cached = self._plan_cache.get(key)
+            if cached is not None:
+                return cached, True
         timings: Dict[str, float] = {}
         started = perf_counter()
         parsed = self._parse(entry, query)
@@ -474,8 +508,11 @@ class SecureQueryEngine:
             optimized,
             rewriter.view,
             timings,
+            strategy=strategy,
+            use_index=use_index,
         )
-        self._plan_cache.put(key, compiled)
+        if use_cache:
+            self._plan_cache.put(key, compiled)
         return compiled, False
 
     def _whole_query_plan(self, compiled: CompiledQuery):
@@ -523,14 +560,29 @@ class SecureQueryEngine:
     # -- execution ---------------------------------------------------------------
 
     def _execute(self, policy, query, document, options: ExecutionOptions):
-        if not options.use_cache:
+        if not options.use_cache and options.strategy == STRATEGY_VIRTUAL:
+            # the pre-plan-cache interpreter pipeline, kept verbatim as
+            # the benchmarking baseline; columnar runs have no
+            # interpreter equivalent, so they stay on the plan path
+            # below (with the cache bypassed).
             return self._execute_uncached(policy, query, document, options)
         entry = self._policy(policy)
         compiled, cache_hit = self._compiled(
-            entry, query, document, options.optimize
+            entry,
+            query,
+            document,
+            options.optimize,
+            strategy=options.strategy,
+            use_index=options.use_index,
+            use_cache=options.use_cache,
         )
         runtime = PlanRuntime(
-            self._index_for(document) if options.use_index else None
+            self._index_for(document) if options.use_index else None,
+            store=(
+                self._store_for(document)
+                if options.strategy == STRATEGY_COLUMNAR
+                else None
+            ),
         )
         started = perf_counter()
         if options.project:
@@ -550,7 +602,7 @@ class SecureQueryEngine:
             compiled.optimized,
             len(results),
             runtime.visits,
-            strategy=STRATEGY_VIRTUAL,
+            strategy=options.strategy,
             cache_hit=cache_hit,
             timings=timings,
         )

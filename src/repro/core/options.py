@@ -16,8 +16,12 @@ from dataclasses import dataclass, replace
 STRATEGY_VIRTUAL = "virtual"
 #: Materialize the view tree per document and query it directly.
 STRATEGY_MATERIALIZED = "materialized"
+#: Virtual views with set-at-a-time execution over the columnar
+#: :class:`~repro.xmlmodel.store.NodeTable` (same answers as
+#: ``"virtual"``, interval-join axis kernels instead of tree walks).
+STRATEGY_COLUMNAR = "columnar"
 
-_STRATEGIES = (STRATEGY_VIRTUAL, STRATEGY_MATERIALIZED)
+_STRATEGIES = (STRATEGY_VIRTUAL, STRATEGY_MATERIALIZED, STRATEGY_COLUMNAR)
 
 #: Legacy spelling of :data:`STRATEGY_VIRTUAL` (the seed API's name).
 _LEGACY_STRATEGY_ALIASES = {"rewrite": STRATEGY_VIRTUAL}
@@ -29,7 +33,11 @@ class ExecutionOptions:
 
     ``strategy``
         ``"virtual"`` (default; the paper's rewriting approach — the
-        legacy spelling ``"rewrite"`` is accepted) or
+        legacy spelling ``"rewrite"`` is accepted),
+        ``"columnar"`` (the same rewriting pipeline, but plans execute
+        set-at-a-time over a cached columnar
+        :class:`~repro.xmlmodel.store.NodeTable` — fastest on
+        descendant-heavy queries; see ``docs/performance.md``), or
         ``"materialized"`` (query a cached materialized view tree).
     ``optimize``
         Run the DTD-aware optimizer on the rewritten query.
@@ -60,8 +68,8 @@ class ExecutionOptions:
             from repro.errors import SecurityError
 
             raise SecurityError(
-                "unknown strategy %r (use 'virtual' or 'materialized')"
-                % (self.strategy,)
+                "unknown strategy %r (use 'virtual', 'columnar', or "
+                "'materialized')" % (self.strategy,)
             )
         object.__setattr__(self, "strategy", normalized)
 

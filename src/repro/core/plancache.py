@@ -18,7 +18,11 @@ counters for observability; the engine wires invalidation into
 For recursive views the rewritten query additionally depends on the
 unfolding depth (the document height, Section 4.2), so the engine
 appends that depth to the key; it is ``None`` for the common
-non-recursive case.
+non-recursive case.  The key further carries the *execution shape* —
+the chosen strategy (``virtual`` vs ``columnar``) and whether a
+document index is attached — so flipping ``--strategy`` or
+``--use-index`` on a warm cache can never serve a plan entry primed
+for the other backend.
 """
 
 from __future__ import annotations
@@ -29,20 +33,24 @@ from typing import Dict, Optional, Tuple
 
 class CompiledQuery:
     """One cached compilation: the pipeline stages for a single
-    ``(policy, query, optimize)`` combination.
+    ``(policy, query, optimize, strategy, use_index)`` combination.
 
     ``plan`` (whole-query execution) and ``projected`` (per-view-target
     plans for projected results) are built lazily by the engine on the
     first execution that needs them, so a cache entry never compiles
     plans a workload does not use.  ``timings`` maps stage names
     (``parse``, ``rewrite``, ``optimize``, ``compile``) to seconds
-    spent building this entry."""
+    spent building this entry.  ``strategy`` and ``use_index`` record
+    the execution shape the entry was compiled for; both are part of
+    the cache key."""
 
     __slots__ = (
         "policy",
         "query_text",
         "optimize",
         "height",
+        "strategy",
+        "use_index",
         "parsed",
         "rewritten",
         "optimized",
@@ -64,11 +72,15 @@ class CompiledQuery:
         optimized,
         view,
         timings: Dict[str, float],
+        strategy: str = "virtual",
+        use_index: bool = False,
     ):
         self.policy = policy
         self.query_text = query_text
         self.optimize = optimize
         self.height = height
+        self.strategy = strategy
+        self.use_index = use_index
         self.parsed = parsed
         self.rewritten = rewritten
         self.optimized = optimized
@@ -80,7 +92,14 @@ class CompiledQuery:
 
     @property
     def key(self) -> Tuple:
-        return (self.policy, self.query_text, self.optimize, self.height)
+        return (
+            self.policy,
+            self.query_text,
+            self.optimize,
+            self.height,
+            self.strategy,
+            self.use_index,
+        )
 
     def __repr__(self):
         return "CompiledQuery(policy=%r, query=%r, optimize=%r, hits=%d)" % (
@@ -150,8 +169,10 @@ class PlanCacheStats:
 class PlanCache:
     """Bounded LRU cache of :class:`CompiledQuery` entries.
 
-    Keys are ``(policy, query_text, optimize_flag, height)`` tuples.
-    A ``capacity`` of 0 disables caching (every lookup misses, stores
+    Keys are ``(policy, query_text, optimize_flag, height, strategy,
+    use_index)`` tuples (the cache itself is key-agnostic — only the
+    leading policy component matters, for invalidation).  A
+    ``capacity`` of 0 disables caching (every lookup misses, stores
     are dropped) without the engine needing a special case."""
 
     def __init__(self, capacity: int = 256):

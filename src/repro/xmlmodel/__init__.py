@@ -11,6 +11,7 @@ from repro.xmlmodel.nodes import XMLElement, XMLText, new_document, subtree_copy
 from repro.xmlmodel.parser import parse_document, parse_fragment
 from repro.xmlmodel.serialize import serialize, pretty_print
 from repro.xmlmodel.index import DocumentIndex, build_index
+from repro.xmlmodel.store import NodeTable, build_node_table
 
 __all__ = [
     "XMLElement",
@@ -23,4 +24,6 @@ __all__ = [
     "pretty_print",
     "DocumentIndex",
     "build_index",
+    "NodeTable",
+    "build_node_table",
 ]

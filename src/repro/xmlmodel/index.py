@@ -92,19 +92,42 @@ class DocumentIndex:
         ]
 
     def document_order_sort(self, elements: List) -> List:
-        """Sort indexed elements into document order (non-indexed
-        entries, e.g. text nodes, keep their relative order at the
-        end)."""
-        indexed = []
-        others = []
-        for element in elements:
+        """Sort indexed elements into document order, degrading
+        deterministically for entries the index does not cover.
+
+        A non-indexed entry (text nodes are the common case — the
+        index only covers elements) is *anchored* at its nearest
+        indexed ancestor and placed directly after that ancestor's
+        indexed occurrences; entries with no indexed ancestor at all
+        sort to the end.  Ties (several entries sharing an anchor, or
+        several orphans) keep their input order, so the result is a
+        pure function of (index, input sequence) — never an arbitrary
+        interleave."""
+        decorated = []
+        for sequence, element in enumerate(elements):
             interval = self.intervals.get(id(element))
-            if interval is None:
-                others.append(element)
+            if interval is not None:
+                decorated.append((interval[0], 0, sequence, element))
+                continue
+            anchor = self._nearest_indexed_ancestor(element)
+            if anchor is None:
+                decorated.append((len(self.element_at), 2, sequence, element))
             else:
-                indexed.append((interval[0], element))
-        indexed.sort(key=lambda pair: pair[0])
-        return [element for _, element in indexed] + others
+                decorated.append((anchor, 1, sequence, element))
+        decorated.sort(key=lambda entry: entry[:3])
+        return [element for _, _, _, element in decorated]
+
+    def _nearest_indexed_ancestor(self, element) -> Optional[int]:
+        """Preorder position of the closest indexed proper ancestor
+        (``None`` when the node's ancestor chain never meets the
+        indexed tree)."""
+        node = getattr(element, "parent", None)
+        while node is not None:
+            interval = self.intervals.get(id(node))
+            if interval is not None:
+                return interval[0]
+            node = getattr(node, "parent", None)
+        return None
 
 
 def build_index(root) -> DocumentIndex:

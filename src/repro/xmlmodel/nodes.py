@@ -14,6 +14,7 @@ is O(depth).
 
 from __future__ import annotations
 
+from sys import intern
 from typing import Dict, Iterator, List, Optional
 
 
@@ -54,7 +55,10 @@ class XMLElement:
         attributes: Optional[Dict[str, str]] = None,
         parent: "Optional[XMLElement]" = None,
     ):
-        self.label = label
+        # labels are interned once at construction: every element of a
+        # type shares one string object, so the label comparisons in
+        # the evaluator/plan hot loops hit CPython's identity fast path
+        self.label = intern(label)
         self.children: List[XMLNode] = []
         self.attributes: Dict[str, str] = dict(attributes) if attributes else {}
         self.parent = parent

@@ -14,6 +14,7 @@ come out already simplified of trivial redundancy.
 
 from __future__ import annotations
 
+from sys import intern as _intern
 from typing import Iterator, List, Tuple
 
 
@@ -150,7 +151,9 @@ class Label(Path):
     __slots__ = ("name",)
 
     def __init__(self, name: str):
-        self.name = name
+        # interned to match XMLElement labels (also interned), so the
+        # evaluator's per-child label compare is an identity check
+        self.name = _intern(name)
 
     def _key(self):
         return (self.name,)

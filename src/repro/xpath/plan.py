@@ -7,28 +7,52 @@ cache amortizes rewriting per policy, not per request), so this module
 compiles a :class:`~repro.xpath.ast.Path` once into a tree of step
 *operators* whose dispatch is resolved ahead of time.
 
+Every operator carries **two** execution methods:
+
+* ``run(rt, contexts)`` — the object-tree backend: node-at-a-time over
+  linked ``XMLElement`` objects, bit-for-bit compatible with the
+  interpreter (results, discovery order, *and* the ``visits`` counter);
+* ``run_rows(rt, rows)`` — the columnar backend: set-at-a-time over
+  sorted row-id frontiers of a
+  :class:`~repro.xmlmodel.store.NodeTable`.  Child and descendant
+  steps are merge/interval joins against label posting lists,
+  ``//label`` chains collapse into successive posting slices over
+  merged disjoint intervals, unions are sorted merges, and a frontier
+  is always sorted and duplicate-free — so results arrive in document
+  order with no per-node identity bookkeeping.
+
 Design constraints:
 
-* **Semantics parity.**  Each operator mirrors the corresponding
-  interpreter branch exactly — including duplicate elimination by node
-  identity, discovery order, and the ``visits`` work counter the
-  benchmark harness relies on.  ``CompiledPlan.execute`` and
-  ``XPathEvaluator.evaluate`` return identical node lists *and*
-  identical visit counts for the same input.
+* **Semantics parity.**  Each ``run`` operator mirrors the
+  corresponding interpreter branch exactly — including duplicate
+  elimination by node identity, discovery order, and the ``visits``
+  work counter the benchmark harness relies on.  ``CompiledPlan.execute``
+  and ``XPathEvaluator.evaluate`` return identical node lists *and*
+  identical visit counts for the same input.  The columnar backend
+  returns the *same node objects in the same (document) order*; its
+  ``visits`` counter measures columnar work (rows scanned/emitted), so
+  it is comparable across columnar runs but not with the interpreter.
 * **Index awareness.**  A plan is compiled once and executed against
   many documents.  Whether a :class:`~repro.xmlmodel.index.DocumentIndex`
-  is available is a property of the *execution*, not the plan: the
-  descendant operator precomputes its ``//label`` fast-path shape at
-  compile time and consults the runtime's index when one is attached,
-  falling back to a subtree walk otherwise (or when a context node
-  lies outside the indexed tree).
+  or a :class:`~repro.xmlmodel.store.NodeTable` is available is a
+  property of the *execution*, not the plan: the descendant operator
+  precomputes its ``//label`` fast-path shape at compile time and
+  consults the runtime's index/store when one is attached, falling
+  back to a subtree walk otherwise (or when a context node lies
+  outside the indexed tree).
 * **Shared accounting.**  A single :class:`PlanRuntime` may be passed
   through several ``execute`` calls (the engine's projected evaluation
   runs one plan per view target); ``visits`` accumulates across them.
+
+Row-space conventions of the columnar backend: frontiers are ascending
+duplicate-free lists of row ids; the virtual document node above the
+root (context of absolute paths) is the pseudo-row ``-1``, whose
+subtree interval is the whole table and whose only child is row 0.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from typing import List, Optional
 
 from repro.errors import XPathEvaluationError
@@ -64,17 +88,33 @@ from repro.xpath.evaluator import (
 
 
 class PlanRuntime:
-    """Per-execution state: the optional document index and the
-    accumulated node-visit counter."""
+    """Per-execution state: the optional document index, the optional
+    columnar :class:`~repro.xmlmodel.store.NodeTable`, and the
+    accumulated visit counter.
 
-    __slots__ = ("index", "visits")
+    Attaching a ``store`` selects the columnar backend for every
+    execution whose context nodes the store covers; the object-tree
+    backend remains the fallback for foreign contexts."""
 
-    def __init__(self, index=None):
+    __slots__ = ("index", "store", "visits")
+
+    def __init__(self, index=None, store=None):
         self.index = index
+        self.store = store
         self.visits = 0
 
     def reset_counters(self) -> None:
         self.visits = 0
+
+
+#: Pseudo-row of the virtual document node in columnar frontiers.
+VIRTUAL_ROW = -1
+
+#: Posting-vs-frontier crossover for the child-axis merge join: scan
+#: the posting list (output already sorted) while it is at most this
+#: many times larger than the frontier, else walk child links per
+#: frontier row and sort the (small) result.
+_CHILD_JOIN_FANOUT = 4
 
 
 # ---------------------------------------------------------------------------
@@ -88,11 +128,26 @@ class _Op:
     def run(self, rt: PlanRuntime, contexts: List) -> List:
         raise NotImplementedError
 
+    def run_rows(self, rt: PlanRuntime, rows: List[int]) -> List[int]:
+        """Columnar execution: map a sorted duplicate-free frontier of
+        :class:`~repro.xmlmodel.store.NodeTable` rows to the sorted
+        duplicate-free result frontier."""
+        raise NotImplementedError
+
+
+def _strip_virtual(rows: List[int]) -> List[int]:
+    """Drop the leading pseudo-row ``-1`` (frontiers are sorted, so it
+    can only sit at position 0)."""
+    return rows[1:] if rows and rows[0] == VIRTUAL_ROW else rows
+
 
 class EmptyOp(_Op):
     __slots__ = ()
 
     def run(self, rt, contexts):
+        return []
+
+    def run_rows(self, rt, rows):
         return []
 
 
@@ -103,6 +158,9 @@ class SelfOp(_Op):
 
     def run(self, rt, contexts):
         return contexts
+
+    def run_rows(self, rt, rows):
+        return rows
 
 
 class LabelOp(_Op):
@@ -129,6 +187,49 @@ class LabelOp(_Op):
                     results.append(child)
         return results
 
+    def run_rows(self, rt, rows):
+        """Child step as a merge join between the frontier and the
+        label's posting list: while the posting is small relative to
+        the frontier, one pass over the posting with a parent-membership
+        probe yields the (already sorted) answer; for large postings
+        the kernel walks child links per frontier row instead."""
+        store = rt.store
+        label_id = store.label_index.get(self.name)
+        if label_id is None or not rows:
+            return []
+        out: List[int] = []
+        if rows[0] == VIRTUAL_ROW:
+            rt.visits += 1
+            if store.label_ids[0] == label_id:
+                out.append(0)
+            rows = rows[1:]
+            if not rows:
+                return out
+        posting = store.postings[label_id]
+        if len(posting) <= _CHILD_JOIN_FANOUT * len(rows) + 16:
+            members = set(rows)
+            parent = store.parent
+            append = out.append
+            for row in posting:
+                if parent[row] in members:
+                    append(row)
+            rt.visits += len(posting)
+        else:
+            first_child = store.first_child
+            next_sibling = store.next_sibling
+            label_ids = store.label_ids
+            hits: List[int] = []
+            for row in rows:
+                child = first_child[row]
+                while child != -1:
+                    rt.visits += 1
+                    if label_ids[child] == label_id:
+                        hits.append(child)
+                    child = next_sibling[child]
+            hits.sort()
+            out.extend(hits)
+        return out
+
 
 class WildcardOp(_Op):
     __slots__ = ()
@@ -146,6 +247,29 @@ class WildcardOp(_Op):
                     results.append(child)
         return results
 
+    def run_rows(self, rt, rows):
+        store = rt.store
+        out: List[int] = []
+        if rows and rows[0] == VIRTUAL_ROW:
+            rt.visits += 1
+            out.append(0)
+            rows = rows[1:]
+        first_child = store.first_child
+        next_sibling = store.next_sibling
+        label_ids = store.label_ids
+        text_label_id = store.text_label_id
+        hits: List[int] = []
+        for row in rows:
+            child = first_child[row]
+            while child != -1:
+                rt.visits += 1
+                if label_ids[child] != text_label_id:
+                    hits.append(child)
+                child = next_sibling[child]
+        hits.sort()
+        out.extend(hits)
+        return out
+
 
 class TextOp(_Op):
     __slots__ = ()
@@ -162,6 +286,24 @@ class TextOp(_Op):
                     seen.add(id(child))
                     results.append(child)
         return results
+
+    def run_rows(self, rt, rows):
+        store = rt.store
+        rows = _strip_virtual(rows)  # the virtual node has no text child
+        first_child = store.first_child
+        next_sibling = store.next_sibling
+        label_ids = store.label_ids
+        text_label_id = store.text_label_id
+        hits: List[int] = []
+        for row in rows:
+            child = first_child[row]
+            while child != -1:
+                rt.visits += 1
+                if label_ids[child] == text_label_id:
+                    hits.append(child)
+                child = next_sibling[child]
+        hits.sort()
+        return hits
 
 
 class ParentOp(_Op):
@@ -182,6 +324,24 @@ class ParentOp(_Op):
                 results.append(parent)
         return results
 
+    def run_rows(self, rt, rows):
+        store = rt.store
+        parent = store.parent
+        seen = set()
+        out: List[int] = []
+        for row in rows:
+            rt.visits += 1
+            if row == VIRTUAL_ROW:
+                continue
+            up = parent[row]
+            # the root's parent is the virtual document node: excluded,
+            # matching the object backend
+            if up != VIRTUAL_ROW and up not in seen:
+                seen.add(up)
+                out.append(up)
+        out.sort()
+        return out
+
 
 class SlashOp(_Op):
     __slots__ = ("left", "right")
@@ -192,6 +352,9 @@ class SlashOp(_Op):
 
     def run(self, rt, contexts):
         return self.right.run(rt, self.left.run(rt, contexts))
+
+    def run_rows(self, rt, rows):
+        return self.right.run_rows(rt, self.left.run_rows(rt, rows))
 
 
 class DescendantOp(_Op):
@@ -270,6 +433,71 @@ class DescendantOp(_Op):
                         stack.append(child)
         return results
 
+    def run_rows(self, rt, rows):
+        """``//``-step as an interval join: the (nested-or-disjoint)
+        subtree intervals of the frontier merge into disjoint spans in
+        one pass over the sorted frontier, then the ``label`` fast
+        shape slices the label's posting list with two binary searches
+        per span — a chain ``//a//b`` therefore touches only posting
+        entries, never the tree."""
+        if not rows:
+            return []
+        store = rt.store
+        if self.fast_label is not None:
+            label_id = store.label_index.get(self.fast_label)
+            if label_id is None:
+                return []
+            posting = store.postings[label_id]
+            base: List[int] = []
+            covered_end = VIRTUAL_ROW  # exclusive end of merged spans
+            end = store.end
+            label_ids = store.label_ids
+            text_label_id = store.text_label_id
+            for row in rows:
+                if row == VIRTUAL_ROW:
+                    span_start, span_end = VIRTUAL_ROW, store.size
+                else:
+                    if label_ids[row] == text_label_id:
+                        continue  # text contexts have no descendants
+                    if row < covered_end:
+                        continue  # nested inside an earlier span
+                    span_start, span_end = row, end[row]
+                low = bisect_right(posting, span_start)  # proper: exclude self
+                high = bisect_left(posting, span_end)
+                base.extend(posting[low:high])
+                covered_end = span_end
+            rt.visits += len(base)
+            results = base
+            for qualifier in self.fast_qualifiers:
+                results = [
+                    row for row in results if qualifier.test_row(rt, row)
+                ]
+            return results
+        # generic inner path: materialize the descendant-or-self
+        # element frontier from the merged spans, then run the inner
+        # operator set-at-a-time on it
+        frontier: List[int] = []
+        covered_end = VIRTUAL_ROW
+        end = store.end
+        label_ids = store.label_ids
+        text_label_id = store.text_label_id
+        for row in rows:
+            if row == VIRTUAL_ROW:
+                frontier.append(VIRTUAL_ROW)
+                span_start, span_end = 0, store.size
+            else:
+                if label_ids[row] == text_label_id:
+                    continue
+                if row < covered_end:
+                    continue
+                span_start, span_end = row, end[row]
+            for candidate in range(span_start, span_end):
+                if label_ids[candidate] != text_label_id:
+                    frontier.append(candidate)
+            covered_end = span_end
+        rt.visits += len(frontier)
+        return self.inner.run_rows(rt, frontier)
+
 
 class UnionOp(_Op):
     __slots__ = ("branches",)
@@ -287,6 +515,16 @@ class UnionOp(_Op):
                     merged.append(node)
         return merged
 
+    def run_rows(self, rt, rows):
+        """Union as a sorted merge of the branch frontiers."""
+        outputs = [branch.run_rows(rt, rows) for branch in self.branches]
+        outputs = [out for out in outputs if out]
+        if not outputs:
+            return []
+        if len(outputs) == 1:
+            return outputs[0]
+        return _merge_sorted(outputs)
+
 
 class FilterOp(_Op):
     """``p[q]``."""
@@ -303,6 +541,21 @@ class FilterOp(_Op):
             node
             for node in self.path.run(rt, contexts)
             if not node.is_text and qualifier.test(rt, node)
+        ]
+
+    def run_rows(self, rt, rows):
+        """Batched qualification: the qualifier runs once per candidate
+        of the *frontier* (with and/or short-circuiting inside
+        ``test_row``), never per recursive visit."""
+        store = rt.store
+        label_ids = store.label_ids
+        text_label_id = store.text_label_id
+        qualifier = self.qualifier
+        return [
+            row
+            for row in self.path.run_rows(rt, rows)
+            if (row == VIRTUAL_ROW or label_ids[row] != text_label_id)
+            and qualifier.test_row(rt, row)
         ]
 
 
@@ -325,6 +578,21 @@ class AbsoluteOp(_Op):
         shims = [_VirtualDocumentNode(root) for root in roots]
         return self.inner.run(rt, shims)
 
+    def run_rows(self, rt, rows):
+        # all covered rows share one tree, so the root set collapses to
+        # the single virtual document pseudo-row
+        if not rows:
+            return []
+        return self.inner.run_rows(rt, [VIRTUAL_ROW])
+
+
+def _merge_sorted(outputs: List[List[int]]) -> List[int]:
+    """Merge ascending duplicate-free row lists into one."""
+    merged = set()
+    for out in outputs:
+        merged.update(out)
+    return sorted(merged)
+
 
 # ---------------------------------------------------------------------------
 # Qualifier operators
@@ -337,6 +605,11 @@ class _QOp:
     def test(self, rt: PlanRuntime, node) -> bool:
         raise NotImplementedError
 
+    def test_row(self, rt: PlanRuntime, row: int) -> bool:
+        """Columnar qualification of one candidate row; nested paths
+        run through the columnar kernels."""
+        raise NotImplementedError
+
 
 class BoolQOp(_QOp):
     __slots__ = ("value",)
@@ -345,6 +618,9 @@ class BoolQOp(_QOp):
         self.value = value
 
     def test(self, rt, node):
+        return self.value
+
+    def test_row(self, rt, row):
         return self.value
 
 
@@ -356,6 +632,9 @@ class ExistsQOp(_QOp):
 
     def test(self, rt, node):
         return bool(self.path.run(rt, [node]))
+
+    def test_row(self, rt, row):
+        return bool(self.path.run_rows(rt, [row]))
 
 
 class EqualsQOp(_QOp):
@@ -377,6 +656,21 @@ class EqualsQOp(_QOp):
                 return True
         return False
 
+    def test_row(self, rt, row):
+        value = self.value
+        if isinstance(value, Param):
+            raise XPathEvaluationError(
+                "unbound parameter $%s during evaluation" % value.name
+            )
+        store = rt.store
+        for selected in self.path.run_rows(rt, [row]):
+            rt.visits += 1
+            if selected == VIRTUAL_ROW:
+                selected = 0  # the virtual node's string-value is the root's
+            if store.string_value(selected) == value:
+                return True
+        return False
+
 
 class AttrQOp(_QOp):
     __slots__ = ("path", "name")
@@ -390,6 +684,22 @@ class AttrQOp(_QOp):
         for selected in self.path.run(rt, [node]):
             rt.visits += 1
             if selected.is_element and name in selected.attributes:
+                return True
+        return False
+
+    def test_row(self, rt, row):
+        name = self.name
+        store = rt.store
+        nodes = store.nodes
+        label_ids = store.label_ids
+        text_label_id = store.text_label_id
+        for selected in self.path.run_rows(rt, [row]):
+            rt.visits += 1
+            if (
+                selected != VIRTUAL_ROW  # the virtual node has no attributes
+                and label_ids[selected] != text_label_id
+                and name in nodes[selected].attributes
+            ):
                 return True
         return False
 
@@ -418,6 +728,27 @@ class AttrEqualsQOp(_QOp):
                 return True
         return False
 
+    def test_row(self, rt, row):
+        value = self.value
+        if isinstance(value, Param):
+            raise XPathEvaluationError(
+                "unbound parameter $%s during evaluation" % value.name
+            )
+        name = self.name
+        store = rt.store
+        nodes = store.nodes
+        label_ids = store.label_ids
+        text_label_id = store.text_label_id
+        for selected in self.path.run_rows(rt, [row]):
+            rt.visits += 1
+            if (
+                selected != VIRTUAL_ROW
+                and label_ids[selected] != text_label_id
+                and nodes[selected].attributes.get(name) == value
+            ):
+                return True
+        return False
+
 
 class AndQOp(_QOp):
     __slots__ = ("left", "right")
@@ -428,6 +759,9 @@ class AndQOp(_QOp):
 
     def test(self, rt, node):
         return self.left.test(rt, node) and self.right.test(rt, node)
+
+    def test_row(self, rt, row):
+        return self.left.test_row(rt, row) and self.right.test_row(rt, row)
 
 
 class OrQOp(_QOp):
@@ -440,6 +774,9 @@ class OrQOp(_QOp):
     def test(self, rt, node):
         return self.left.test(rt, node) or self.right.test(rt, node)
 
+    def test_row(self, rt, row):
+        return self.left.test_row(rt, row) or self.right.test_row(rt, row)
+
 
 class NotQOp(_QOp):
     __slots__ = ("inner",)
@@ -449,6 +786,9 @@ class NotQOp(_QOp):
 
     def test(self, rt, node):
         return not self.inner.test(rt, node)
+
+    def test_row(self, rt, row):
+        return not self.inner.test_row(rt, row)
 
 
 # ---------------------------------------------------------------------------
@@ -551,14 +891,30 @@ class CompiledPlan:
         index=None,
         ordered: bool = False,
         runtime: Optional[PlanRuntime] = None,
+        store=None,
     ) -> List:
         """Evaluate the plan at a context node (or list of nodes).
 
         Pass a :class:`PlanRuntime` to share visit accounting (and an
-        index) across several plan executions; otherwise a fresh
-        runtime wrapping ``index`` is used."""
-        rt = runtime if runtime is not None else PlanRuntime(index)
+        index or columnar store) across several plan executions;
+        otherwise a fresh runtime wrapping ``index``/``store`` is used.
+
+        With a :class:`~repro.xmlmodel.store.NodeTable` attached the
+        plan runs on the columnar backend — set-at-a-time kernels over
+        sorted row frontiers — and falls back to the object backend
+        for contexts the store does not cover (e.g. nodes of a
+        different tree)."""
+        rt = runtime if runtime is not None else PlanRuntime(index, store)
         contexts = context if isinstance(context, list) else [context]
+        if rt.store is not None:
+            rows = self._rows_for(rt.store, contexts)
+            if rows is not None:
+                nodes = rt.store.nodes
+                return [
+                    nodes[row]
+                    for row in self._op.run_rows(rt, rows)
+                    if row != VIRTUAL_ROW
+                ]
         results = self._op.run(rt, contexts)
         results = [
             node
@@ -568,6 +924,25 @@ class CompiledPlan:
         if ordered and results:
             results = self._order(results, rt.index)
         return results
+
+    @staticmethod
+    def _rows_for(store, contexts) -> Optional[List[int]]:
+        """Map context nodes to a sorted duplicate-free row frontier;
+        ``None`` when any context lies outside the store's tree (the
+        caller then falls back to the object backend)."""
+        rows = set()
+        for node in contexts:
+            if isinstance(node, _VirtualDocumentNode):
+                root = node.children[0]
+                if store.row(root) != 0:
+                    return None
+                rows.add(VIRTUAL_ROW)
+            else:
+                row = store.row(node)
+                if row is None:
+                    return None
+                rows.add(row)
+        return sorted(rows)
 
     @staticmethod
     def _order(results: List, index) -> List:

@@ -1,0 +1,154 @@
+"""Property: the columnar backend is answer-preserving.
+
+For random DAG DTDs, random Y/N policies, random conforming documents,
+and random fragment-``C`` queries (with qualifiers), executing
+set-at-a-time over the :class:`~repro.xmlmodel.store.NodeTable` returns
+exactly the interpreter's node list — node-for-node, in document order
+— both at the raw plan layer and through the engine.  The workload
+queries (Adex Q1-Q4, the hospital suite) are pinned explicitly."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import SecureQueryEngine
+from repro.core.options import ExecutionOptions
+from repro.dtd.generator import DocumentGenerator
+from repro.workloads.adex import adex_engine
+from repro.workloads.documents import dataset
+from repro.workloads.hospital import nurse_engine
+from repro.workloads.queries import ADEX_QUERY_TEXTS, HOSPITAL_QUERY_TEXTS
+from repro.xmlmodel.serialize import serialize
+from repro.xmlmodel.store import build_node_table
+from repro.xpath.evaluator import XPathEvaluator
+from repro.xpath.plan import PlanRuntime, compile_path
+
+from tests.property.strategies import (
+    annotation_strategy,
+    dag_dtd_strategy,
+    path_strategy,
+)
+
+VIRTUAL = ExecutionOptions()
+COLUMNAR = ExecutionOptions(strategy="columnar")
+VIRTUAL_RAW = ExecutionOptions(project=False)
+COLUMNAR_RAW = ExecutionOptions(project=False, strategy="columnar")
+
+
+def _rendered(values):
+    return [
+        value if isinstance(value, str) else serialize(value)
+        for value in values
+    ]
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.data())
+def test_columnar_plan_matches_interpreter(data):
+    """Plan layer: for random documents and random paths (qualifiers
+    included), the columnar kernels return the interpreter's exact
+    node list in document order."""
+    dtd = data.draw(dag_dtd_strategy())
+    seed = data.draw(st.integers(0, 500))
+    document = DocumentGenerator(dtd, seed=seed, max_branch=3).generate()
+    query = data.draw(
+        path_strategy(labels=tuple(dtd.element_types), max_leaves=5)
+    )
+    expected = XPathEvaluator().evaluate(query, document, ordered=True)
+    store = build_node_table(document)
+    actual = compile_path(query).execute(
+        document, runtime=PlanRuntime(store=store), ordered=True
+    )
+    assert [id(node) for node in actual] == [id(node) for node in expected]
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.data())
+def test_columnar_plan_matches_interpreter_at_inner_contexts(data):
+    """Same parity with the frontier seeded at every element of a
+    random label, not just the root."""
+    dtd = data.draw(dag_dtd_strategy())
+    seed = data.draw(st.integers(0, 500))
+    document = DocumentGenerator(dtd, seed=seed, max_branch=3).generate()
+    labels = tuple(dtd.element_types)
+    query = data.draw(path_strategy(labels=labels, max_leaves=4))
+    context_label = data.draw(st.sampled_from(labels))
+    contexts = document.find_all(context_label)
+    expected = XPathEvaluator().evaluate(
+        query, list(contexts), ordered=True
+    )
+    store = build_node_table(document)
+    actual = compile_path(query).execute(
+        list(contexts), runtime=PlanRuntime(store=store), ordered=True
+    )
+    assert [id(node) for node in actual] == [id(node) for node in expected]
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.data())
+def test_columnar_engine_is_answer_preserving(data):
+    """Engine layer: random policy + random query, columnar answers ==
+    virtual answers (projected renderings and raw node identities)."""
+    dtd = data.draw(dag_dtd_strategy())
+    spec = data.draw(annotation_strategy(dtd))
+    seed = data.draw(st.integers(0, 500))
+    document = DocumentGenerator(dtd, seed=seed, max_branch=3).generate()
+    query = data.draw(
+        path_strategy(labels=tuple(dtd.element_types), max_leaves=5)
+    )
+    engine = SecureQueryEngine(dtd)
+    engine.register_policy("p", spec)
+
+    virtual = engine.query("p", query, document, VIRTUAL)
+    columnar = engine.query("p", query, document, COLUMNAR)
+    assert _rendered(columnar) == _rendered(virtual)
+    assert columnar.report.strategy == "columnar"
+    assert columnar.report.result_count == virtual.report.result_count
+
+    raw_virtual = engine.query("p", query, document, VIRTUAL_RAW)
+    raw_columnar = engine.query("p", query, document, COLUMNAR_RAW)
+    assert [id(node) for node in raw_columnar] == [
+        id(node) for node in raw_virtual
+    ]
+
+
+@pytest.fixture(scope="module")
+def adex():
+    return adex_engine(), dataset("D1", scale=0.05)
+
+
+@pytest.fixture(scope="module")
+def hospital():
+    from repro.workloads.hospital import hospital_document
+
+    return nurse_engine(), hospital_document(seed=13, max_branch=4)
+
+
+@pytest.mark.parametrize("name", sorted(ADEX_QUERY_TEXTS))
+def test_adex_queries_agree(adex, name):
+    engine, document = adex
+    policy = engine.policies()[0]
+    query = ADEX_QUERY_TEXTS[name]
+    virtual = engine.query(policy, query, document, VIRTUAL)
+    columnar = engine.query(policy, query, document, COLUMNAR)
+    assert _rendered(columnar) == _rendered(virtual), name
+    raw_virtual = engine.query(policy, query, document, VIRTUAL_RAW)
+    raw_columnar = engine.query(policy, query, document, COLUMNAR_RAW)
+    assert [id(node) for node in raw_columnar] == [
+        id(node) for node in raw_virtual
+    ], name
+
+
+@pytest.mark.parametrize("name", sorted(HOSPITAL_QUERY_TEXTS))
+def test_hospital_queries_agree(hospital, name):
+    engine, document = hospital
+    policy = engine.policies()[0]
+    query = HOSPITAL_QUERY_TEXTS[name]
+    virtual = engine.query(policy, query, document, VIRTUAL)
+    columnar = engine.query(policy, query, document, COLUMNAR)
+    assert _rendered(columnar) == _rendered(virtual), name
+    raw_virtual = engine.query(policy, query, document, VIRTUAL_RAW)
+    raw_columnar = engine.query(policy, query, document, COLUMNAR_RAW)
+    assert [id(node) for node in raw_columnar] == [
+        id(node) for node in raw_virtual
+    ], name

@@ -54,9 +54,16 @@ def test_cached_execution_is_answer_preserving(data):
     cold = engine.query("p", query, document, CACHED)
     assert not cold.report.cache_hit
     assert _rendered(cold) == expected
-    warm = engine.query("p", query, document, CACHED_INDEXED)
+    warm = engine.query("p", query, document, CACHED)
     assert warm.report.cache_hit
     assert _rendered(warm) == expected
+    # flipping the index on is a different execution shape — the
+    # hardened cache key compiles it fresh (no cross-shape serving),
+    # and the answers are unchanged either way
+    indexed = engine.query("p", query, document, CACHED_INDEXED)
+    assert not indexed.report.cache_hit
+    assert _rendered(indexed) == expected
+    assert engine.query("p", query, document, CACHED_INDEXED).report.cache_hit
 
     # raw (unprojected) answers must agree node-for-node by identity
     raw_expected = [

@@ -208,3 +208,92 @@ class TestRecursivePolicies:
             recursive_dtd, seed=4, max_depth=10
         ).generate()
         assert len(engine.query("rec", "//b", again)) == len(results)
+
+
+class TestColumnarStrategy:
+    """``strategy="columnar"`` answers exactly like the default
+    virtual strategy — same projected copies, same raw node identities
+    — while running set-at-a-time over the cached NodeTable."""
+
+    QUERIES = (
+        "//patient/name",
+        "//treatment",
+        "//patient/name/text()",
+        "//patient[name]",
+        "(//patient/name | //treatment)",
+    )
+
+    def test_projected_answers_agree(self, engine, document):
+        from repro.core.options import ExecutionOptions
+        from repro.xmlmodel.serialize import serialize
+
+        columnar = ExecutionOptions(strategy="columnar")
+        for text in self.QUERIES:
+            via_virtual = engine.query("nurse", text, document)
+            via_columnar = engine.query(
+                "nurse", text, document, options=columnar
+            )
+            assert [
+                value if isinstance(value, str) else serialize(value)
+                for value in via_columnar
+            ] == [
+                value if isinstance(value, str) else serialize(value)
+                for value in via_virtual
+            ], text
+            assert via_columnar.report.strategy == "columnar"
+
+    def test_raw_answers_are_identical_nodes(self, engine, document):
+        from repro.core.options import ExecutionOptions
+
+        raw_virtual = ExecutionOptions(project=False)
+        raw_columnar = ExecutionOptions(project=False, strategy="columnar")
+        for text in self.QUERIES:
+            a = engine.query("nurse", text, document, options=raw_virtual)
+            b = engine.query("nurse", text, document, options=raw_columnar)
+            assert [id(node) for node in b] == [id(node) for node in a], text
+
+    def test_node_table_cached_per_document(self, engine, document):
+        from repro.core.options import ExecutionOptions
+
+        columnar = ExecutionOptions(strategy="columnar")
+        engine.query("nurse", "//patient", document, options=columnar)
+        assert len(engine._stores) == 1
+        (cached_document, table) = engine._stores[id(document)]
+        assert cached_document is document
+        engine.query("nurse", "//treatment", document, options=columnar)
+        assert engine._stores[id(document)][1] is table
+
+    def test_invalidate_drops_node_tables(self, engine, document):
+        from repro.core.options import ExecutionOptions
+
+        columnar = ExecutionOptions(strategy="columnar")
+        engine.query("nurse", "//patient", document, options=columnar)
+        assert engine._stores
+        engine.invalidate()
+        assert not engine._stores
+
+    def test_policy_scoped_invalidate_drops_node_tables(
+        self, engine, document
+    ):
+        from repro.core.options import ExecutionOptions
+
+        engine.query(
+            "nurse",
+            "//patient",
+            document,
+            options=ExecutionOptions(strategy="columnar"),
+        )
+        engine.invalidate("nurse")
+        assert not engine._stores
+
+    def test_explain_reports_columnar(self, engine, document):
+        from repro.core.options import ExecutionOptions
+
+        report = engine.explain(
+            "nurse",
+            "//patient",
+            document,
+            options=ExecutionOptions(strategy="columnar"),
+        )
+        assert report.strategy == "columnar"
+        assert "columnar" in report.summary()

@@ -171,3 +171,77 @@ class TestEngineIntegration:
         assert second.report.cache_hit
         assert "evaluate" in second.report.timings
         assert second.report.total_time() > 0
+
+
+class TestExecutionShapeKeys:
+    """The hardened cache key carries the execution shape (strategy,
+    index availability): flipping either on a warm cache must compile
+    fresh instead of serving a plan primed for the other backend."""
+
+    def test_strategy_flip_on_warm_cache_misses(self, engine, document):
+        from repro.xmlmodel.serialize import serialize
+
+        virtual = engine.query("nurse", "//patient/name", document)
+        assert not virtual.report.cache_hit
+        columnar = engine.query(
+            "nurse",
+            "//patient/name",
+            document,
+            options=ExecutionOptions(strategy="columnar"),
+        )
+        assert not columnar.report.cache_hit
+        assert columnar.report.strategy == "columnar"
+        assert [serialize(node) for node in columnar] == [
+            serialize(node) for node in virtual
+        ]
+        # each shape now hits its own entry
+        assert engine.query(
+            "nurse", "//patient/name", document
+        ).report.cache_hit
+        warm = engine.query(
+            "nurse",
+            "//patient/name",
+            document,
+            options=ExecutionOptions(strategy="columnar"),
+        )
+        assert warm.report.cache_hit
+        assert warm.report.strategy == "columnar"
+
+    def test_index_flip_on_warm_cache_misses(self, engine, document):
+        engine.query("nurse", "//patient", document)
+        indexed = engine.query(
+            "nurse",
+            "//patient",
+            document,
+            options=ExecutionOptions(use_index=True),
+        )
+        assert not indexed.report.cache_hit
+        assert engine.query(
+            "nurse",
+            "//patient",
+            document,
+            options=ExecutionOptions(use_index=True),
+        ).report.cache_hit
+
+    def test_keys_record_execution_shape(self, engine, document):
+        engine.query("nurse", "//patient", document)
+        engine.query(
+            "nurse",
+            "//patient",
+            document,
+            options=ExecutionOptions(strategy="columnar", use_index=True),
+        )
+        keys = engine.plan_cache.keys()
+        assert ("nurse", "//patient", True, None, "virtual", False) in keys
+        assert ("nurse", "//patient", True, None, "columnar", True) in keys
+
+    def test_columnar_without_cache_does_not_prime(self, engine, document):
+        result = engine.query(
+            "nurse",
+            "//patient",
+            document,
+            options=ExecutionOptions(strategy="columnar", use_cache=False),
+        )
+        assert not result.report.cache_hit
+        assert result.report.strategy == "columnar"
+        assert len(engine.plan_cache) == 0

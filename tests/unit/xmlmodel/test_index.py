@@ -83,6 +83,54 @@ class TestLabelQueries:
         shuffled = list(reversed(titles))
         assert index.document_order_sort(shuffled) == titles
 
+    def test_document_order_sort_degrades_deterministically(
+        self, tree, index
+    ):
+        """Uncovered entries (text nodes, foreign elements) must land
+        in a deterministic spot: anchored right after their nearest
+        indexed ancestor, orphans at the end, ties in input order."""
+        from repro.xmlmodel.nodes import XMLElement
+
+        books = index.all_with_label("book")
+        first_title_text = tree.find_all("title")[0].children[0]
+        last_title_text = tree.find_all("title")[-1].children[0]
+        orphan_a = XMLElement("orphan-a")
+        orphan_b = XMLElement("orphan-b")
+        mixed = [
+            orphan_b,
+            last_title_text,
+            books[2],
+            first_title_text,
+            books[0],
+            orphan_a,
+        ]
+        result = index.document_order_sort(list(mixed))
+        # covered elements first, in document order; each text node
+        # anchored after its parent title's position; orphans last, in
+        # input order (b before a — exactly as given)
+        assert result == [
+            books[0],
+            first_title_text,
+            books[2],
+            last_title_text,
+            orphan_b,
+            orphan_a,
+        ]
+        # a pure function of (index, input): re-sorting gives the same
+        # answer, and so does sorting an already-sorted list
+        assert index.document_order_sort(list(mixed)) == result
+        assert index.document_order_sort(list(result)) == result
+
+    def test_document_order_sort_anchor_interleaves_with_covered(
+        self, tree, index
+    ):
+        """A text node sorts directly after its anchor element even
+        when that element is also in the input."""
+        title = tree.find_all("title")[0]
+        text = title.children[0]
+        result = index.document_order_sort([text, title])
+        assert result == [title, text]
+
 
 class TestEvaluatorIntegration:
     QUERIES = [

@@ -184,3 +184,16 @@ def test_document_order_index():
 def test_repr_is_informative():
     assert "library" in repr(build_sample())
     assert "XMLText" in repr(XMLText("some quite long text value here"))
+
+
+def test_labels_interned_at_construction():
+    """Every element of a type shares one label string object — parsed
+    or hand-built — so hot-loop label compares use the identity fast
+    path."""
+    from repro.xmlmodel.parser import parse_document
+
+    built = XMLElement("pat" + "ient")  # defeat compile-time interning
+    parsed = parse_document("<patient><patient/></patient>")
+    children = parsed.element_children()
+    assert parsed.label is built.label
+    assert children[0].label is parsed.label

@@ -1,0 +1,163 @@
+"""The columnar :class:`~repro.xmlmodel.store.NodeTable`: preorder
+numbering, subtree intervals, postings, child links, string values, and
+the row <-> node mapping must all agree with the object tree."""
+
+import pytest
+
+from repro.workloads.hospital import hospital_document
+from repro.xmlmodel.nodes import XMLElement, new_document
+from repro.xmlmodel.store import TEXT_LABEL, NodeTable, build_node_table
+
+
+@pytest.fixture(scope="module")
+def document():
+    return hospital_document(seed=7, max_branch=4)
+
+
+@pytest.fixture(scope="module")
+def table(document):
+    return build_node_table(document)
+
+
+def _preorder(root):
+    return list(root.iter())
+
+
+def test_rows_are_document_order(document, table):
+    nodes = _preorder(document)
+    assert table.size == len(nodes)
+    assert len(table) == len(nodes)
+    for row, node in enumerate(nodes):
+        assert table.nodes[row] is node
+        assert table.row(node) == row
+        assert table.node_at(row) is node
+        assert table.covers(node)
+
+
+def test_root_row_and_interval(document, table):
+    assert table.row(document) == 0
+    assert table.interval(0) == (0, table.size)
+
+
+def test_intervals_enclose_exactly_the_subtree(document, table):
+    for row, node in enumerate(_preorder(document)):
+        start, end = table.interval(row)
+        assert start == row
+        if node.is_element:
+            subtree = sum(1 for _ in node.iter())
+        else:
+            subtree = 1
+        assert end - start == subtree
+        # every descendant row falls inside, nothing else does
+        if node.is_element:
+            for descendant in node.iter():
+                assert start <= table.row(descendant) < end
+
+
+def test_parent_and_depth_columns(document, table):
+    assert table.parent[0] == -1
+    assert table.depth[0] == 0
+    for row in range(1, table.size):
+        node = table.nodes[row]
+        assert table.nodes[table.parent[row]] is node.parent
+        assert table.depth[row] == table.depth[table.parent[row]] + 1
+
+
+def test_child_links_reconstruct_children(document, table):
+    for row, node in enumerate(_preorder(document)):
+        if not node.is_element:
+            assert table.first_child[row] == -1
+            continue
+        linked = []
+        child = table.first_child[row]
+        while child != -1:
+            linked.append(table.nodes[child])
+            child = table.next_sibling[child]
+        assert linked == node.children
+
+
+def test_labels_are_interned_and_partitioned(document, table):
+    assert table.labels[table.text_label_id] == TEXT_LABEL
+    for row, node in enumerate(_preorder(document)):
+        if node.is_element:
+            assert table.labels[table.label_ids[row]] == node.label
+            assert table.is_element_row(row)
+        else:
+            assert table.label_ids[row] == table.text_label_id
+            assert not table.is_element_row(row)
+    # postings partition the rows: each row appears in exactly its
+    # label's posting, and each posting is strictly ascending
+    total = 0
+    for label_id, posting in enumerate(table.postings):
+        total += len(posting)
+        assert list(posting) == sorted(posting)
+        assert len(set(posting)) == len(posting)
+        for row in posting:
+            assert table.label_ids[row] == label_id
+    assert total == table.size
+
+
+def test_posting_lookup(document, table):
+    patients = [
+        row for row, node in enumerate(_preorder(document))
+        if node.is_element and node.label == "patient"
+    ]
+    assert list(table.posting("patient")) == patients
+    assert table.posting("no-such-label") == ()
+    assert table.label_id("no-such-label") is None
+
+
+def test_string_value_matches_nodes(document, table):
+    for row, node in enumerate(_preorder(document)):
+        assert table.string_value(row) == node.string_value()
+
+
+def test_descendant_rows_with_label(document, table):
+    for row, node in enumerate(_preorder(document)):
+        if not node.is_element:
+            continue
+        expected = [
+            table.row(d)
+            for d in node.iter_elements()
+            if d is not node and d.label == "name"
+        ]
+        assert table.descendant_rows_with_label(row, "name") == expected
+    assert table.descendant_rows_with_label(0, "no-such-label") == []
+
+
+def test_element_count(document, table):
+    assert table.element_count() == document.element_count()
+
+
+def test_foreign_nodes_are_not_covered(table):
+    stranger = new_document("stranger")
+    assert not table.covers(stranger)
+    assert table.row(stranger) is None
+
+
+def test_single_element_document():
+    table = NodeTable(new_document("only"))
+    assert table.size == 1
+    assert table.interval(0) == (0, 1)
+    assert table.first_child[0] == -1
+    assert table.string_value(0) == ""
+
+
+def test_text_rows_between_elements():
+    root = new_document("r")
+    root.add_text("a")
+    child = root.add_element("c")
+    child.add_text("b")
+    root.add_text("c")
+    table = NodeTable(root)
+    assert table.size == 5
+    assert table.string_value(0) == "abc"
+    assert table.string_value(table.row(child)) == "b"
+    assert list(table.postings[table.text_label_id]) == [
+        table.row(node) for node in root.iter() if node.is_text
+    ]
+
+
+def test_repr_mentions_shape(table):
+    text = repr(table)
+    assert "NodeTable" in text and "rows" in text
