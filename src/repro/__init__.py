@@ -38,7 +38,10 @@ The subpackages are usable on their own:
 * :mod:`repro.core` — the paper's algorithms (``derive``, ``rewrite``,
   ``optimize``, materialization, the naive baseline, the engine);
 * :mod:`repro.workloads` — the hospital running example, the
-  reconstructed Adex workload of Section 6, and dataset generation.
+  reconstructed Adex workload of Section 6, and dataset generation;
+* :mod:`repro.obs` — zero-dependency observability: span tracing,
+  process-wide metrics, per-operator EXPLAIN ANALYZE profiles (see
+  ``docs/observability.md``).
 """
 
 from repro.errors import (
@@ -82,6 +85,17 @@ from repro.xpath import (
     parse_qualifier,
     parse_xpath,
 )
+from repro.obs import (
+    ExplainProfile,
+    MetricsRegistry,
+    ProfileCollector,
+    Span,
+    Tracer,
+    disable_metrics,
+    enable_metrics,
+    metrics_enabled,
+    metrics_registry,
+)
 from repro.core import (
     ANN_N,
     ANN_Y,
@@ -109,7 +123,7 @@ from repro.core import (
     unfold_view,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     # errors
@@ -178,4 +192,14 @@ __all__ = [
     "verify_policy",
     "save_view",
     "load_view",
+    # observability
+    "Tracer",
+    "Span",
+    "MetricsRegistry",
+    "metrics_registry",
+    "enable_metrics",
+    "disable_metrics",
+    "metrics_enabled",
+    "ProfileCollector",
+    "ExplainProfile",
 ]

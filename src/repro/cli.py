@@ -7,6 +7,7 @@
     repro query     DTD.dtd  SPEC.txt  DOC.xml QUERY [--bind ...]
                     [--no-optimize] [--explain] [--use-index] [--no-cache]
                     [--strategy virtual|columnar|materialized]
+                    [--trace] [--metrics] [--json]
     repro table1    [--scale S] [--repeat N]
 
 Specification files use the line format of
@@ -109,6 +110,12 @@ def cmd_rewrite(arguments) -> int:
 
 
 def cmd_query(arguments) -> int:
+    from repro.obs.metrics import (
+        disable_metrics,
+        enable_metrics,
+        metrics_registry,
+    )
+
     engine = _engine(arguments)
     document = parse_document(_read(arguments.document))
     options = ExecutionOptions(
@@ -116,13 +123,61 @@ def cmd_query(arguments) -> int:
         optimize=not arguments.no_optimize,
         use_index=arguments.use_index,
         use_cache=not arguments.no_cache,
+        trace=arguments.trace,
     )
-    result = engine.query("policy", arguments.query, document, options=options)
+    if arguments.metrics:
+        metrics_registry().reset()
+        enable_metrics()
+    try:
+        result = engine.query(
+            "policy", arguments.query, document, options=options
+        )
+    finally:
+        if arguments.metrics:
+            disable_metrics()
+    report = result.report
+    if arguments.json:
+        import json
+
+        payload = {
+            "results": [
+                value if isinstance(value, str) else serialize(value)
+                for value in result
+            ],
+            "report": report.to_dict(),
+        }
+        if arguments.metrics:
+            payload["metrics"] = engine.metrics()
+        print(json.dumps(payload, indent=2))
+        return 0
     if arguments.explain:
-        print(result.report.summary())
+        print(report.summary())
+    if arguments.trace and report.profile is not None:
+        print(report.profile.render())
     for value in result:
         print(value if isinstance(value, str) else serialize(value))
+    if arguments.metrics:
+        print(_render_metrics(engine.metrics()))
     return 0
+
+
+def _render_metrics(snapshot: dict) -> str:
+    """Flat ``name = value`` text rendering of a metrics snapshot."""
+    lines = ["metrics:"]
+    for name, value in snapshot.get("counters", {}).items():
+        lines.append("  %s = %d" % (name, value))
+    for name, histogram in snapshot.get("histograms", {}).items():
+        lines.append(
+            "  %s = count=%d mean=%.6f min=%.6f max=%.6f"
+            % (
+                name,
+                histogram["count"],
+                histogram["mean"],
+                histogram["min"],
+                histogram["max"],
+            )
+        )
+    return "\n".join(lines)
 
 
 def cmd_verify(arguments) -> int:
@@ -222,6 +277,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache",
         action="store_true",
         help="bypass the engine's compiled-plan cache",
+    )
+    query_cmd.add_argument(
+        "--trace",
+        action="store_true",
+        help="collect per-operator stats and print the EXPLAIN "
+        "ANALYZE profile tree (composes with --explain)",
+    )
+    query_cmd.add_argument(
+        "--metrics",
+        action="store_true",
+        help="enable the metrics registry for this query and print "
+        "the snapshot",
+    )
+    query_cmd.add_argument(
+        "--json",
+        action="store_true",
+        help="emit one JSON object (results, report, profile, and "
+        "metrics when requested) instead of text",
     )
     query_cmd.set_defaults(handler=cmd_query)
 

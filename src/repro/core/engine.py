@@ -31,10 +31,12 @@ keywords still work for one release and emit ``DeprecationWarning``.
 from __future__ import annotations
 
 import warnings
-from time import perf_counter
 from typing import Dict, List, Optional, Union as TypingUnion
 
 from repro.errors import QueryRejectedError, SecurityError
+from repro.obs.metrics import metrics_enabled, metrics_registry
+from repro.obs.profile import ExplainProfile, ProfileCollector, ProfileNode
+from repro.obs.trace import Tracer
 from repro.dtd.dtd import DTD
 from repro.core.derive import derive
 from repro.core.materialize import materialize_subtree
@@ -69,8 +71,11 @@ _LEGACY_QUERY_KEYWORDS = (
 
 class QueryReport:
     """What happened to one query: the rewriting pipeline's stages,
-    evaluation statistics, cache status, and per-stage timings (for
-    benchmarking and ``explain``)."""
+    evaluation statistics, cache status, per-stage timings (derived
+    from the engine's trace spans), the end-to-end wall time of the
+    enclosing query span, and — when the query ran with
+    ``ExecutionOptions(trace=True)`` — the per-operator
+    :class:`~repro.obs.profile.ExplainProfile`."""
 
     __slots__ = (
         "policy",
@@ -82,6 +87,8 @@ class QueryReport:
         "strategy",
         "cache_hit",
         "timings",
+        "total_seconds",
+        "profile",
     )
 
     def __init__(
@@ -95,6 +102,8 @@ class QueryReport:
         strategy: str = STRATEGY_VIRTUAL,
         cache_hit: bool = False,
         timings: Optional[Dict[str, float]] = None,
+        total_seconds: Optional[float] = None,
+        profile: Optional[ExplainProfile] = None,
     ):
         self.policy = policy
         self.original = original
@@ -105,9 +114,18 @@ class QueryReport:
         self.strategy = strategy
         self.cache_hit = cache_hit
         self.timings = dict(timings) if timings else {}
+        self.total_seconds = total_seconds
+        self.profile = profile
 
     def total_time(self) -> float:
-        """Total seconds across all recorded stages."""
+        """End-to-end wall seconds of the query (the enclosing query
+        span).  Stage entries may overlap — e.g. a warm cache hit
+        carries the entry's build-time parse/rewrite/optimize stages
+        alongside this request's evaluate — so the sum of
+        ``timings`` is only a fallback for reports built without a
+        span (``total_seconds is None``)."""
+        if self.total_seconds is not None:
+            return self.total_seconds
         return sum(self.timings.values())
 
     def _timings_text(self) -> str:
@@ -132,7 +150,32 @@ class QueryReport:
             % (self.result_count, self.visits),
             "timings  : %s" % self._timings_text(),
         ]
+        if self.total_seconds is not None:
+            lines.append("total    : %.3fms" % (self.total_seconds * 1e3))
         return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """JSON-safe export (the CLI's ``--json`` payload; the profile
+        tree is included when the query was traced)."""
+        out: dict = {
+            "policy": self.policy,
+            "query": str(self.original),
+            "rewritten": str(self.rewritten),
+            "optimized": str(self.optimized),
+            "result_count": self.result_count,
+            "visits": self.visits,
+            "strategy": self.strategy,
+            "cache_hit": self.cache_hit,
+            "timings": dict(self.timings),
+            "total_seconds": (
+                self.total_seconds
+                if self.total_seconds is not None
+                else self.total_time()
+            ),
+        }
+        if self.profile is not None:
+            out["profile"] = self.profile.to_dict()
+        return out
 
     def __repr__(self):
         return (
@@ -359,6 +402,33 @@ class SecureQueryEngine:
         """Hit/miss/eviction/invalidation counters of the plan cache."""
         return self._plan_cache.stats()
 
+    def metrics(self) -> dict:
+        """A snapshot of the process-wide metrics registry (plan-cache
+        traffic, NodeTable/index builds, stage latencies, result
+        cardinalities).  Recording is off by default — call
+        :func:`repro.obs.enable_metrics` first; see
+        ``docs/observability.md``."""
+        return metrics_registry().snapshot()
+
+    def _record_query_metrics(self, report: QueryReport) -> None:
+        """Fold one report into the process-wide registry (guarded:
+        free unless metrics are enabled).  Compile-pipeline stages are
+        recorded only on cache misses — a warm report carries the
+        entry's build-time stage entries, which did not run for this
+        request."""
+        if not metrics_enabled():
+            return
+        registry = metrics_registry()
+        registry.increment("query.count")
+        registry.increment("query.count.%s" % report.strategy)
+        registry.observe("query.total_seconds", report.total_time())
+        registry.observe("query.result_count", report.result_count)
+        registry.observe("query.visits", report.visits)
+        for stage, seconds in report.timings.items():
+            if report.cache_hit and stage != "evaluate":
+                continue
+            registry.observe("stage.%s_seconds" % stage, seconds)
+
     # -- internals -----------------------------------------------------------------------
 
     def _resolve_options(
@@ -466,13 +536,16 @@ class SecureQueryEngine:
         strategy: str = STRATEGY_VIRTUAL,
         use_index: bool = False,
         use_cache: bool = True,
+        tracer: Optional[Tracer] = None,
     ):
         """The cached compilation of ``query`` under ``entry``'s
         policy: ``(CompiledQuery, cache_hit)``.  The key carries the
         execution shape (``strategy``, ``use_index``) so a warm cache
         never serves a plan entry primed for a different backend.
         With ``use_cache=False`` the cache is neither consulted nor
-        primed (compilation still runs, once per call)."""
+        primed (compilation still runs, once per call).  Stage spans
+        open on ``tracer`` (a private one if the caller has none); the
+        measured durations feed the entry's ``timings``."""
         query_text = query if isinstance(query, str) else str(query)
         height = (
             self._unfold_height(entry, document)
@@ -484,18 +557,20 @@ class SecureQueryEngine:
             cached = self._plan_cache.get(key)
             if cached is not None:
                 return cached, True
+        if tracer is None:
+            tracer = Tracer()
         timings: Dict[str, float] = {}
-        started = perf_counter()
-        parsed = self._parse(entry, query)
-        timings["parse"] = perf_counter() - started
+        with tracer.span("parse") as span:
+            parsed = self._parse(entry, query)
+        timings["parse"] = span.duration
         rewriter = self._rewriter(entry, document)
-        started = perf_counter()
-        rewritten = rewriter.rewrite(parsed)
-        timings["rewrite"] = perf_counter() - started
+        with tracer.span("rewrite") as span:
+            rewritten = rewriter.rewrite(parsed)
+        timings["rewrite"] = span.duration
         if optimize:
-            started = perf_counter()
-            optimized = self._optimizer.optimize(rewritten)
-            timings["optimize"] = perf_counter() - started
+            with tracer.span("optimize") as span:
+                optimized = self._optimizer.optimize(rewritten)
+            timings["optimize"] = span.duration
         else:
             optimized = rewritten
         compiled = CompiledQuery(
@@ -515,45 +590,57 @@ class SecureQueryEngine:
             self._plan_cache.put(key, compiled)
         return compiled, False
 
-    def _whole_query_plan(self, compiled: CompiledQuery):
+    def _whole_query_plan(
+        self, compiled: CompiledQuery, tracer: Optional[Tracer] = None
+    ):
         if compiled.plan is None:
-            started = perf_counter()
-            compiled.plan = compile_path(compiled.optimized)
+            if tracer is None:
+                tracer = Tracer()
+            with tracer.span("compile") as span:
+                compiled.plan = compile_path(compiled.optimized)
             compiled.timings["compile"] = (
-                compiled.timings.get("compile", 0.0)
-                + (perf_counter() - started)
+                compiled.timings.get("compile", 0.0) + span.duration
             )
         return compiled.plan
 
-    def _projected_plans(self, entry: _Policy, compiled: CompiledQuery):
+    def _projected_plans(
+        self,
+        entry: _Policy,
+        compiled: CompiledQuery,
+        tracer: Optional[Tracer] = None,
+    ):
         """Per-view-target plans for projected evaluation, mirroring
         the uncached :meth:`_evaluate_projected` exactly: text targets
         run the raw rewritten path; element targets run the optimized
         one."""
         if compiled.projected is not None:
             return compiled.projected
-        started = perf_counter()
-        rewriter = entry.rewriters.get(compiled.height)
-        if rewriter is None:  # entry resurrected from cache after drop
-            rewriter = self._rewriter(entry, compiled.height)
-        parsed = compiled.parsed
-        if isinstance(parsed, Absolute):
-            per_target = rewriter._rw(parsed.inner, "#document")
-            wrap_absolute = True
-        else:
-            per_target = rewriter._rw(parsed, rewriter.view.root_key)
-            wrap_absolute = False
-        plans = []
-        for target, path in sorted(per_target.items()):
-            document_path = Absolute(path) if wrap_absolute else path
-            if target.startswith("#text"):
-                plans.append((target, True, compile_path(document_path)))
+        if tracer is None:
+            tracer = Tracer()
+        with tracer.span("compile") as span:
+            rewriter = entry.rewriters.get(compiled.height)
+            if rewriter is None:  # entry resurrected from cache after drop
+                rewriter = self._rewriter(entry, compiled.height)
+            parsed = compiled.parsed
+            if isinstance(parsed, Absolute):
+                per_target = rewriter._rw(parsed.inner, "#document")
+                wrap_absolute = True
             else:
-                optimized_path = self._optimizer.optimize(document_path)
-                plans.append((target, False, compile_path(optimized_path)))
-        compiled.projected = tuple(plans)
+                per_target = rewriter._rw(parsed, rewriter.view.root_key)
+                wrap_absolute = False
+            plans = []
+            for target, path in sorted(per_target.items()):
+                document_path = Absolute(path) if wrap_absolute else path
+                if target.startswith("#text"):
+                    plans.append((target, True, compile_path(document_path)))
+                else:
+                    optimized_path = self._optimizer.optimize(document_path)
+                    plans.append(
+                        (target, False, compile_path(optimized_path))
+                    )
+            compiled.projected = tuple(plans)
         compiled.timings["compile"] = (
-            compiled.timings.get("compile", 0.0) + (perf_counter() - started)
+            compiled.timings.get("compile", 0.0) + span.duration
         )
         return compiled.projected
 
@@ -567,34 +654,43 @@ class SecureQueryEngine:
             # below (with the cache bypassed).
             return self._execute_uncached(policy, query, document, options)
         entry = self._policy(policy)
-        compiled, cache_hit = self._compiled(
-            entry,
-            query,
-            document,
-            options.optimize,
-            strategy=options.strategy,
-            use_index=options.use_index,
-            use_cache=options.use_cache,
-        )
-        runtime = PlanRuntime(
-            self._index_for(document) if options.use_index else None,
-            store=(
-                self._store_for(document)
-                if options.strategy == STRATEGY_COLUMNAR
-                else None
-            ),
-        )
-        started = perf_counter()
-        if options.project:
-            results = self._execute_projected(
-                entry, compiled, document, runtime
+        tracer = Tracer()
+        collector = ProfileCollector() if options.trace else None
+        with tracer.span(
+            "query", policy=policy, strategy=options.strategy
+        ) as query_span:
+            compiled, cache_hit = self._compiled(
+                entry,
+                query,
+                document,
+                options.optimize,
+                strategy=options.strategy,
+                use_index=options.use_index,
+                use_cache=options.use_cache,
+                tracer=tracer,
             )
-        else:
-            plan = self._whole_query_plan(compiled)
-            results = plan.execute(document, runtime=runtime, ordered=True)
-        evaluate_time = perf_counter() - started
+            runtime = PlanRuntime(
+                self._index_for(document) if options.use_index else None,
+                store=(
+                    self._store_for(document)
+                    if options.strategy == STRATEGY_COLUMNAR
+                    else None
+                ),
+                profile=collector,
+            )
+            with tracer.span("evaluate") as evaluate_span:
+                if options.project:
+                    results = self._execute_projected(
+                        entry, compiled, document, runtime, tracer
+                    )
+                else:
+                    plan = self._whole_query_plan(compiled, tracer)
+                    results = plan.execute(
+                        document, runtime=runtime, ordered=True
+                    )
+            evaluate_span.set(results=len(results), visits=runtime.visits)
         timings = dict(compiled.timings)
-        timings["evaluate"] = evaluate_time
+        timings["evaluate"] = evaluate_span.duration
         report = QueryReport(
             policy,
             compiled.parsed,
@@ -605,18 +701,55 @@ class SecureQueryEngine:
             strategy=options.strategy,
             cache_hit=cache_hit,
             timings=timings,
+            total_seconds=query_span.duration,
+            profile=self._build_profile(compiled, collector, options),
         )
+        self._record_query_metrics(report)
         return results, report
 
+    def _build_profile(
+        self,
+        compiled: CompiledQuery,
+        collector: Optional[ProfileCollector],
+        options: ExecutionOptions,
+    ) -> Optional[ExplainProfile]:
+        """Assemble the EXPLAIN ANALYZE tree for a traced execution:
+        one root per view-target plan (projected runs) or the single
+        whole-query plan, annotated with the collector's stats."""
+        if collector is None:
+            return None
+        roots: List[ProfileNode] = []
+        if options.project and compiled.projected is not None:
+            for target, _, plan in compiled.projected:
+                roots.append(
+                    ProfileNode(
+                        "target", target, None, [plan.profile(collector)]
+                    )
+                )
+        elif compiled.plan is not None:
+            roots.append(compiled.plan.profile(collector))
+        return ExplainProfile(
+            str(compiled.optimized),
+            strategy=options.strategy,
+            roots=roots,
+            events=collector.events,
+        )
+
     def _execute_projected(
-        self, entry: _Policy, compiled: CompiledQuery, document, runtime
+        self,
+        entry: _Policy,
+        compiled: CompiledQuery,
+        document,
+        runtime,
+        tracer: Optional[Tracer] = None,
     ):
         """Evaluate per target view node so each raw result can be
         projected through the view (dummies relabeled, hidden
         descendants removed)."""
         projected = []
         seen = set()
-        for target, is_text, plan in self._projected_plans(entry, compiled):
+        plans = self._projected_plans(entry, compiled, tracer)
+        for target, is_text, plan in plans:
             if is_text:
                 for node in plan.execute(document, runtime=runtime):
                     if id(node) not in seen:
@@ -642,31 +775,37 @@ class SecureQueryEngine:
         the ``use_cache=False`` baseline the benchmarks compare
         against)."""
         entry = self._policy(policy)
+        tracer = Tracer()
         timings: Dict[str, float] = {}
-        started = perf_counter()
-        parsed = self._parse(entry, query)
-        timings["parse"] = perf_counter() - started
-        rewriter = self._rewriter(entry, document)
-        started = perf_counter()
-        rewritten = rewriter.rewrite(parsed)
-        timings["rewrite"] = perf_counter() - started
-        if options.optimize:
-            started = perf_counter()
-            optimized = self._optimizer.optimize(rewritten)
-            timings["optimize"] = perf_counter() - started
-        else:
-            optimized = rewritten
-        evaluator = XPathEvaluator(
-            index=self._index_for(document) if options.use_index else None
-        )
-        started = perf_counter()
-        if options.project:
-            results = self._evaluate_projected(
-                entry, rewriter, parsed, document, evaluator
+        with tracer.span(
+            "query", policy=policy, strategy=STRATEGY_VIRTUAL
+        ) as query_span:
+            with tracer.span("parse") as span:
+                parsed = self._parse(entry, query)
+            timings["parse"] = span.duration
+            rewriter = self._rewriter(entry, document)
+            with tracer.span("rewrite") as span:
+                rewritten = rewriter.rewrite(parsed)
+            timings["rewrite"] = span.duration
+            if options.optimize:
+                with tracer.span("optimize") as span:
+                    optimized = self._optimizer.optimize(rewritten)
+                timings["optimize"] = span.duration
+            else:
+                optimized = rewritten
+            evaluator = XPathEvaluator(
+                index=self._index_for(document) if options.use_index else None
             )
-        else:
-            results = evaluator.evaluate(optimized, document, ordered=True)
-        timings["evaluate"] = perf_counter() - started
+            with tracer.span("evaluate") as span:
+                if options.project:
+                    results = self._evaluate_projected(
+                        entry, rewriter, parsed, document, evaluator
+                    )
+                else:
+                    results = evaluator.evaluate(
+                        optimized, document, ordered=True
+                    )
+            timings["evaluate"] = span.duration
         report = QueryReport(
             policy,
             parsed,
@@ -677,7 +816,9 @@ class SecureQueryEngine:
             strategy=STRATEGY_VIRTUAL,
             cache_hit=False,
             timings=timings,
+            total_seconds=query_span.duration,
         )
+        self._record_query_metrics(report)
         return results, report
 
     def _evaluate_projected(
@@ -721,25 +862,31 @@ class SecureQueryEngine:
         from repro.core.materialize import materialize
 
         entry = self._policy(policy)
+        tracer = Tracer()
         timings: Dict[str, float] = {}
-        started = perf_counter()
-        parsed = self._parse(entry, query)
-        timings["parse"] = perf_counter() - started
-        cached = entry.materialized.get(id(document))
-        view_cache_hit = cached is not None and cached[0] is document
-        if not view_cache_hit:
-            started = perf_counter()
-            view_tree = materialize(document, entry.view, entry.spec)
-            timings["materialize"] = perf_counter() - started
-            entry.materialized[id(document)] = (document, view_tree)
-        else:
-            view_tree = cached[1]
-        evaluator = XPathEvaluator()
-        started = perf_counter()
-        results = []
-        for node in evaluator.evaluate(parsed, view_tree, ordered=True):
-            results.append(node.value if node.is_text else node)
-        timings["evaluate"] = perf_counter() - started
+        with tracer.span(
+            "query", policy=policy, strategy=STRATEGY_MATERIALIZED
+        ) as query_span:
+            with tracer.span("parse") as span:
+                parsed = self._parse(entry, query)
+            timings["parse"] = span.duration
+            cached = entry.materialized.get(id(document))
+            view_cache_hit = cached is not None and cached[0] is document
+            if not view_cache_hit:
+                with tracer.span("materialize") as span:
+                    view_tree = materialize(document, entry.view, entry.spec)
+                timings["materialize"] = span.duration
+                entry.materialized[id(document)] = (document, view_tree)
+            else:
+                view_tree = cached[1]
+            evaluator = XPathEvaluator()
+            with tracer.span("evaluate") as span:
+                results = []
+                for node in evaluator.evaluate(
+                    parsed, view_tree, ordered=True
+                ):
+                    results.append(node.value if node.is_text else node)
+            timings["evaluate"] = span.duration
         report = QueryReport(
             policy,
             parsed,
@@ -750,5 +897,7 @@ class SecureQueryEngine:
             strategy=STRATEGY_MATERIALIZED,
             cache_hit=view_cache_hit,
             timings=timings,
+            total_seconds=query_span.duration,
         )
+        self._record_query_metrics(report)
         return results, report

@@ -54,6 +54,13 @@ class ExecutionOptions:
         plan cache.  With ``False`` the engine runs the uncached
         interpreter pipeline (the pre-plan-cache behaviour, kept for
         benchmarking baselines).
+    ``trace``
+        Collect per-operator execution stats (rows in/out, chosen
+        kernels, qualifier short-circuits) into an EXPLAIN ANALYZE
+        profile exposed as ``QueryResult.report.profile`` (see
+        ``docs/observability.md``).  Off by default; tracing adds
+        bookkeeping proportional to operator invocations, so leave it
+        off on the serving hot path.
     """
 
     strategy: str = STRATEGY_VIRTUAL
@@ -61,6 +68,7 @@ class ExecutionOptions:
     project: bool = True
     use_index: bool = False
     use_cache: bool = True
+    trace: bool = False
 
     def __post_init__(self):
         normalized = _LEGACY_STRATEGY_ALIASES.get(self.strategy, self.strategy)

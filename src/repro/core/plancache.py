@@ -30,6 +30,8 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Dict, Optional, Tuple
 
+from repro.obs.metrics import record as _metric_record
+
 
 class CompiledQuery:
     """One cached compilation: the pipeline stages for a single
@@ -191,10 +193,12 @@ class PlanCache:
         entry = self._entries.get(key)
         if entry is None:
             self.misses += 1
+            _metric_record("plan_cache.misses")
             return None
         self._entries.move_to_end(key)
         self.hits += 1
         entry.hits += 1
+        _metric_record("plan_cache.hits")
         return entry
 
     def put(self, key: Tuple, entry: CompiledQuery) -> None:
@@ -205,6 +209,7 @@ class PlanCache:
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
             self.evictions += 1
+            _metric_record("plan_cache.evictions")
 
     # -- invalidation ----------------------------------------------------
 
@@ -222,6 +227,8 @@ class PlanCache:
                 del self._entries[key]
             removed = len(stale)
         self.invalidations += removed
+        if removed:
+            _metric_record("plan_cache.invalidations", removed)
         return removed
 
     def clear(self) -> None:

@@ -1,0 +1,59 @@
+"""repro.obs — observability for the secure-query engine.
+
+Three zero-dependency layers, all off or near-free by default:
+
+* :mod:`repro.obs.trace` — nested :class:`Span` context managers with
+  wall times and attributes; the engine derives ``QueryReport.timings``
+  (and the end-to-end ``total_seconds``) from these;
+* :mod:`repro.obs.metrics` — a process-wide :class:`MetricsRegistry`
+  of counters and histograms (plan-cache traffic, NodeTable builds,
+  stage latencies, result cardinalities), gated by a module-level
+  enabled flag (:func:`enable_metrics` / :func:`disable_metrics`);
+* :mod:`repro.obs.profile` — per-operator execution stats collected
+  when a query runs with ``ExecutionOptions(trace=True)``, exposed as
+  an EXPLAIN ANALYZE-style :class:`ExplainProfile` tree on
+  ``QueryResult.report.profile``.
+
+See ``docs/observability.md`` for usage and overhead guidance.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    disable_metrics,
+    enable_metrics,
+    metrics_enabled,
+    metrics_registry,
+    observe,
+    record,
+)
+from repro.obs.profile import (
+    ExplainProfile,
+    OperatorStats,
+    ProfileCollector,
+    ProfileNode,
+)
+from repro.obs.trace import NULL_SPAN, Span, Tracer
+
+__all__ = [
+    # tracing
+    "Span",
+    "Tracer",
+    "NULL_SPAN",
+    # metrics
+    "Counter",
+    "Histogram",
+    "MetricsRegistry",
+    "metrics_registry",
+    "enable_metrics",
+    "disable_metrics",
+    "metrics_enabled",
+    "record",
+    "observe",
+    # profiling
+    "OperatorStats",
+    "ProfileCollector",
+    "ProfileNode",
+    "ExplainProfile",
+]

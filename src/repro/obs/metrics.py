@@ -1,0 +1,207 @@
+"""Process-wide metrics: named counters and histograms.
+
+One :class:`MetricsRegistry` (the module-level default returned by
+:func:`metrics_registry`) aggregates engine activity across queries:
+plan-cache hits/misses/evictions/invalidations, NodeTable and
+DocumentIndex builds, per-stage latencies, result cardinalities.
+``snapshot()`` returns a plain-dict point-in-time copy (JSON-safe, for
+benchmark harnesses and dashboards); ``reset()`` zeroes everything.
+
+Recording is **off by default** and guarded by a module-level flag so
+instrumentation left on hot paths costs one function call with a
+boolean check when disabled:
+
+    from repro.obs import enable_metrics, metrics_registry
+    enable_metrics()
+    ... run traffic ...
+    metrics_registry().snapshot()
+
+Instrumented call sites use the guarded helpers :func:`record` /
+:func:`observe`; direct :class:`Counter`/:class:`Histogram` handles
+(via ``registry.counter(name)``) are unconditional and are meant for
+tests and tools that own their registry.
+"""
+
+from __future__ import annotations
+
+from threading import Lock
+from typing import Dict, Optional
+
+__all__ = [
+    "Counter",
+    "Histogram",
+    "MetricsRegistry",
+    "metrics_registry",
+    "enable_metrics",
+    "disable_metrics",
+    "metrics_enabled",
+    "record",
+    "observe",
+]
+
+#: Module-level master switch for the guarded helpers below.
+_ENABLED = False
+
+
+def enable_metrics() -> None:
+    """Turn on recording into the process-wide registry."""
+    global _ENABLED
+    _ENABLED = True
+
+
+def disable_metrics() -> None:
+    """Turn recording off (the default); the registry keeps its data."""
+    global _ENABLED
+    _ENABLED = False
+
+
+def metrics_enabled() -> bool:
+    return _ENABLED
+
+
+class Counter:
+    """A monotonically increasing named integer."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def __repr__(self):
+        return "Counter(%r, %d)" % (self.name, self.value)
+
+
+class Histogram:
+    """Streaming summary of observed values: count, sum, min, max
+    (enough for latency/cardinality reporting without keeping samples)."""
+
+    __slots__ = ("name", "count", "total", "minimum", "maximum")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.minimum: Optional[float] = None
+        self.maximum: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "min": self.minimum if self.minimum is not None else 0.0,
+            "max": self.maximum if self.maximum is not None else 0.0,
+        }
+
+    def __repr__(self):
+        return "Histogram(%r, count=%d, mean=%.6g)" % (
+            self.name,
+            self.count,
+            self.mean,
+        )
+
+
+class MetricsRegistry:
+    """Named counters and histograms, created on first use.
+
+    Structure mutation (creating a new metric) is lock-protected;
+    increments/observations on existing metrics rely on the GIL like
+    the rest of this codebase."""
+
+    def __init__(self):
+        self._counters: Dict[str, Counter] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._lock = Lock()
+
+    # -- handles -------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        counter = self._counters.get(name)
+        if counter is None:
+            with self._lock:
+                counter = self._counters.setdefault(name, Counter(name))
+        return counter
+
+    def histogram(self, name: str) -> Histogram:
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            with self._lock:
+                histogram = self._histograms.setdefault(name, Histogram(name))
+        return histogram
+
+    # -- recording (unconditional; see module helpers for guarded) -----
+
+    def increment(self, name: str, amount: int = 1) -> None:
+        self.counter(name).inc(amount)
+
+    def observe(self, name: str, value: float) -> None:
+        self.histogram(name).observe(value)
+
+    # -- snapshot / reset ----------------------------------------------
+
+    def snapshot(self) -> dict:
+        """A JSON-safe point-in-time copy of every metric."""
+        return {
+            "counters": {
+                name: counter.value
+                for name, counter in sorted(self._counters.items())
+            },
+            "histograms": {
+                name: histogram.as_dict()
+                for name, histogram in sorted(self._histograms.items())
+            },
+        }
+
+    def reset(self) -> None:
+        """Zero every metric (handles stay valid)."""
+        with self._lock:
+            for counter in self._counters.values():
+                counter.value = 0
+            for histogram in self._histograms.values():
+                histogram.count = 0
+                histogram.total = 0.0
+                histogram.minimum = None
+                histogram.maximum = None
+
+    def __repr__(self):
+        return "MetricsRegistry(counters=%d, histograms=%d)" % (
+            len(self._counters),
+            len(self._histograms),
+        )
+
+
+#: The process-wide default registry.
+_REGISTRY = MetricsRegistry()
+
+
+def metrics_registry() -> MetricsRegistry:
+    """The process-wide registry the engine records into."""
+    return _REGISTRY
+
+
+def record(name: str, amount: int = 1) -> None:
+    """Guarded counter increment: a no-op unless metrics are enabled."""
+    if _ENABLED:
+        _REGISTRY.increment(name, amount)
+
+
+def observe(name: str, value: float) -> None:
+    """Guarded histogram observation: a no-op unless metrics are enabled."""
+    if _ENABLED:
+        _REGISTRY.observe(name, value)

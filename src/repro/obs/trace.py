@@ -1,0 +1,183 @@
+"""Zero-dependency span tracing for the serving path.
+
+A :class:`Span` is one timed region of work — a pipeline stage, a plan
+compilation, a whole query — with a name, optional attributes, a wall
+time measured by ``perf_counter``, and nested child spans.  A
+:class:`Tracer` hands out spans as context managers and maintains the
+nesting stack, so instrumented code reads as::
+
+    tracer = Tracer()
+    with tracer.span("query", policy="nurse") as query_span:
+        with tracer.span("parse"):
+            ...
+        with tracer.span("evaluate") as ev:
+            results = ...
+            ev.set(results=len(results))
+    query_span.duration      # end-to-end wall seconds
+
+The engine derives ``QueryReport.timings`` from the stage spans (the
+pre-1.2 ``perf_counter()`` bookkeeping kept the same numbers, so the
+report format is unchanged) and ``QueryReport.total_seconds`` from the
+enclosing query span — the true end-to-end wall time, not the sum of
+possibly-overlapping stage entries.
+
+A disabled tracer (``Tracer(enabled=False)``) returns a shared no-op
+span: no allocation, no clock reads, no bookkeeping — instrumentation
+left in place costs one attribute check.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Dict, List, Optional
+
+__all__ = ["Span", "Tracer", "NULL_SPAN"]
+
+
+class Span:
+    """One timed, named, attributed region of work (a context manager).
+
+    ``duration`` is the wall-clock seconds between ``__enter__`` and
+    ``__exit__`` (for a still-open span, the time elapsed so far)."""
+
+    __slots__ = ("name", "attributes", "started", "ended", "children", "_tracer")
+
+    def __init__(self, name: str, tracer: Optional["Tracer"] = None, **attributes):
+        self.name = name
+        self.attributes: Dict[str, object] = attributes
+        self.started: Optional[float] = None
+        self.ended: Optional[float] = None
+        self.children: List["Span"] = []
+        self._tracer = tracer
+
+    # -- context manager -----------------------------------------------
+
+    def __enter__(self) -> "Span":
+        tracer = self._tracer
+        if tracer is not None:
+            stack = tracer._stack
+            (stack[-1].children if stack else tracer.roots).append(self)
+            stack.append(self)
+        self.started = perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.ended = perf_counter()
+        tracer = self._tracer
+        if tracer is not None and tracer._stack and tracer._stack[-1] is self:
+            tracer._stack.pop()
+        return False
+
+    # -- introspection -------------------------------------------------
+
+    @property
+    def duration(self) -> float:
+        if self.started is None:
+            return 0.0
+        return (self.ended if self.ended is not None else perf_counter()) - self.started
+
+    def set(self, **attributes) -> "Span":
+        """Attach (or overwrite) attributes on the span."""
+        self.attributes.update(attributes)
+        return self
+
+    def to_dict(self) -> dict:
+        out: dict = {"name": self.name, "duration_seconds": self.duration}
+        if self.attributes:
+            out["attributes"] = dict(self.attributes)
+        if self.children:
+            out["children"] = [child.to_dict() for child in self.children]
+        return out
+
+    def render(self, indent: int = 0) -> str:
+        """Indented multi-line text rendering of the span subtree."""
+        attrs = (
+            "  " + " ".join("%s=%s" % kv for kv in sorted(self.attributes.items()))
+            if self.attributes
+            else ""
+        )
+        lines = [
+            "%s%s  %.3fms%s" % ("  " * indent, self.name, self.duration * 1e3, attrs)
+        ]
+        for child in self.children:
+            lines.append(child.render(indent + 1))
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return "Span(%r, %.6fs, children=%d)" % (
+            self.name,
+            self.duration,
+            len(self.children),
+        )
+
+
+class _NullSpan:
+    """Shared no-op span returned by disabled tracers: entering,
+    exiting, and attribute setting all cost nothing measurable."""
+
+    __slots__ = ()
+    name = "<disabled>"
+    attributes: Dict[str, object] = {}
+    children: List[Span] = []
+    started = None
+    ended = None
+    duration = 0.0
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+    def set(self, **attributes):
+        return self
+
+    def to_dict(self) -> dict:
+        return {}
+
+    def render(self, indent: int = 0) -> str:
+        return ""
+
+    def __repr__(self):
+        return "NULL_SPAN"
+
+
+#: The shared no-op span handed out by disabled tracers.
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Hands out nested :class:`Span` context managers.
+
+    ``roots`` collects the top-level spans opened on this tracer (one
+    per traced request, usually).  A disabled tracer returns
+    :data:`NULL_SPAN` from :meth:`span` and records nothing."""
+
+    __slots__ = ("enabled", "roots", "_stack")
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.roots: List[Span] = []
+        self._stack: List[Span] = []
+
+    def span(self, name: str, **attributes):
+        """A new child span of the currently open span (or a new root)."""
+        if not self.enabled:
+            return NULL_SPAN
+        return Span(name, tracer=self, **attributes)
+
+    @property
+    def current(self) -> Optional[Span]:
+        """The innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    @property
+    def root(self) -> Optional[Span]:
+        """The first root span (the usual single-request case)."""
+        return self.roots[0] if self.roots else None
+
+    def to_dict(self) -> dict:
+        return {"spans": [span.to_dict() for span in self.roots]}
+
+    def __repr__(self):
+        return "Tracer(enabled=%r, roots=%d)" % (self.enabled, len(self.roots))

@@ -14,7 +14,10 @@ engine's ``invalidate`` hook covers the cached case).
 from __future__ import annotations
 
 import bisect
+from time import perf_counter
 from typing import Dict, List, Optional, Tuple
+
+from repro.obs.metrics import metrics_enabled, observe, record
 
 
 class DocumentIndex:
@@ -28,7 +31,12 @@ class DocumentIndex:
         self.positions_by_label: Dict[str, List[int]] = {}
         #: preorder position -> element
         self.element_at: Dict[int, object] = {}
+        started = perf_counter() if metrics_enabled() else None
         self._build(root)
+        if started is not None:
+            record("document_index.builds")
+            observe("document_index.build_seconds", perf_counter() - started)
+            observe("document_index.elements", len(self.intervals))
 
     def _build(self, root) -> None:
         counter = 0

@@ -37,7 +37,10 @@ from __future__ import annotations
 
 from array import array
 from bisect import bisect_left, bisect_right
+from time import perf_counter
 from typing import Dict, List, Optional, Tuple
+
+from repro.obs.metrics import metrics_enabled, observe, record
 
 #: Reserved label for text rows; "#" cannot start an XML name, so the
 #: label can never collide with an element type.
@@ -78,8 +81,13 @@ class NodeTable:
         self.postings: List[array] = [array("q")]
         self.nodes: List[object] = []
         self._row_of: Dict[int, int] = {}
+        started = perf_counter() if metrics_enabled() else None
         self._build(root)
         self.size = len(self.nodes)
+        if started is not None:
+            record("node_table.builds")
+            observe("node_table.build_seconds", perf_counter() - started)
+            observe("node_table.rows", self.size)
 
     # -- construction --------------------------------------------------
 

@@ -56,6 +56,8 @@ from bisect import bisect_left, bisect_right
 from typing import List, Optional
 
 from repro.errors import XPathEvaluationError
+from repro.obs.metrics import record as _metric_record
+from repro.obs.profile import ProfileCollector, ProfileNode
 from repro.xpath.ast import (
     Absolute,
     Descendant,
@@ -89,19 +91,25 @@ from repro.xpath.evaluator import (
 
 class PlanRuntime:
     """Per-execution state: the optional document index, the optional
-    columnar :class:`~repro.xmlmodel.store.NodeTable`, and the
-    accumulated visit counter.
+    columnar :class:`~repro.xmlmodel.store.NodeTable`, the optional
+    per-operator profile collector, and the accumulated visit counter.
 
     Attaching a ``store`` selects the columnar backend for every
     execution whose context nodes the store covers; the object-tree
-    backend remains the fallback for foreign contexts."""
+    backend remains the fallback for foreign contexts.  Attaching a
+    ``profile`` (an :class:`~repro.obs.profile.ProfileCollector`)
+    makes every operator report frontier sizes, chosen kernels, and
+    qualifier short-circuits at batch granularity; with ``profile``
+    left ``None`` the only instrumentation cost is one attribute check
+    per operator invocation."""
 
-    __slots__ = ("index", "store", "visits")
+    __slots__ = ("index", "store", "visits", "profile")
 
-    def __init__(self, index=None, store=None):
+    def __init__(self, index=None, store=None, profile=None):
         self.index = index
         self.store = store
         self.visits = 0
+        self.profile = profile
 
     def reset_counters(self) -> None:
         self.visits = 0
@@ -185,6 +193,10 @@ class LabelOp(_Op):
                 ):
                     seen.add(id(child))
                     results.append(child)
+        if rt.profile is not None:
+            rt.profile.record(
+                self, len(contexts), len(results), kernel="object-walk"
+            )
         return results
 
     def run_rows(self, rt, rows):
@@ -194,8 +206,11 @@ class LabelOp(_Op):
         probe yields the (already sorted) answer; for large postings
         the kernel walks child links per frontier row instead."""
         store = rt.store
+        rows_in = len(rows)
         label_id = store.label_index.get(self.name)
         if label_id is None or not rows:
+            if rt.profile is not None:
+                rt.profile.record(self, rows_in, 0, kernel="posting-miss")
             return []
         out: List[int] = []
         if rows[0] == VIRTUAL_ROW:
@@ -204,9 +219,14 @@ class LabelOp(_Op):
                 out.append(0)
             rows = rows[1:]
             if not rows:
+                if rt.profile is not None:
+                    rt.profile.record(
+                        self, rows_in, len(out), kernel="root-probe"
+                    )
                 return out
         posting = store.postings[label_id]
         if len(posting) <= _CHILD_JOIN_FANOUT * len(rows) + 16:
+            kernel = "posting-merge-join"
             members = set(rows)
             parent = store.parent
             append = out.append
@@ -215,6 +235,7 @@ class LabelOp(_Op):
                     append(row)
             rt.visits += len(posting)
         else:
+            kernel = "child-link-walk"
             first_child = store.first_child
             next_sibling = store.next_sibling
             label_ids = store.label_ids
@@ -228,6 +249,8 @@ class LabelOp(_Op):
                     child = next_sibling[child]
             hits.sort()
             out.extend(hits)
+        if rt.profile is not None:
+            rt.profile.record(self, rows_in, len(out), kernel=kernel)
         return out
 
 
@@ -245,10 +268,15 @@ class WildcardOp(_Op):
                 if child.is_element and id(child) not in seen:
                     seen.add(id(child))
                     results.append(child)
+        if rt.profile is not None:
+            rt.profile.record(
+                self, len(contexts), len(results), kernel="object-walk"
+            )
         return results
 
     def run_rows(self, rt, rows):
         store = rt.store
+        rows_in = len(rows)
         out: List[int] = []
         if rows and rows[0] == VIRTUAL_ROW:
             rt.visits += 1
@@ -268,6 +296,8 @@ class WildcardOp(_Op):
                 child = next_sibling[child]
         hits.sort()
         out.extend(hits)
+        if rt.profile is not None:
+            rt.profile.record(self, rows_in, len(out), kernel="child-link-walk")
         return out
 
 
@@ -285,10 +315,15 @@ class TextOp(_Op):
                 if child.is_text and id(child) not in seen:
                     seen.add(id(child))
                     results.append(child)
+        if rt.profile is not None:
+            rt.profile.record(
+                self, len(contexts), len(results), kernel="object-walk"
+            )
         return results
 
     def run_rows(self, rt, rows):
         store = rt.store
+        rows_in = len(rows)
         rows = _strip_virtual(rows)  # the virtual node has no text child
         first_child = store.first_child
         next_sibling = store.next_sibling
@@ -303,6 +338,8 @@ class TextOp(_Op):
                     hits.append(child)
                 child = next_sibling[child]
         hits.sort()
+        if rt.profile is not None:
+            rt.profile.record(self, rows_in, len(hits), kernel="child-link-walk")
         return hits
 
 
@@ -322,6 +359,10 @@ class ParentOp(_Op):
             ):
                 seen.add(id(parent))
                 results.append(parent)
+        if rt.profile is not None:
+            rt.profile.record(
+                self, len(contexts), len(results), kernel="object-walk"
+            )
         return results
 
     def run_rows(self, rt, rows):
@@ -340,6 +381,8 @@ class ParentOp(_Op):
                 seen.add(up)
                 out.append(up)
         out.sort()
+        if rt.profile is not None:
+            rt.profile.record(self, len(rows), len(out), kernel="parent-links")
         return out
 
 
@@ -373,8 +416,17 @@ class DescendantOp(_Op):
         if rt.index is not None and self.fast_label is not None:
             fast = self._fast(rt, contexts)
             if fast is not None:
+                if rt.profile is not None:
+                    rt.profile.record(
+                        self, len(contexts), len(fast), kernel="index-posting"
+                    )
                 return fast
-        return self.inner.run(rt, self._descendants_or_self(rt, contexts))
+        results = self.inner.run(rt, self._descendants_or_self(rt, contexts))
+        if rt.profile is not None:
+            rt.profile.record(
+                self, len(contexts), len(results), kernel="subtree-walk"
+            )
+        return results
 
     def _fast(self, rt, contexts):
         index = rt.index
@@ -441,11 +493,17 @@ class DescendantOp(_Op):
         per span — a chain ``//a//b`` therefore touches only posting
         entries, never the tree."""
         if not rows:
+            if rt.profile is not None:
+                rt.profile.record(self, 0, 0)
             return []
         store = rt.store
         if self.fast_label is not None:
             label_id = store.label_index.get(self.fast_label)
             if label_id is None:
+                if rt.profile is not None:
+                    rt.profile.record(
+                        self, len(rows), 0, kernel="posting-miss"
+                    )
                 return []
             posting = store.postings[label_id]
             base: List[int] = []
@@ -472,6 +530,13 @@ class DescendantOp(_Op):
                 results = [
                     row for row in results if qualifier.test_row(rt, row)
                 ]
+            if rt.profile is not None:
+                rt.profile.record(
+                    self,
+                    len(rows),
+                    len(results),
+                    kernel="interval-posting-join",
+                )
             return results
         # generic inner path: materialize the descendant-or-self
         # element frontier from the merged spans, then run the inner
@@ -496,7 +561,12 @@ class DescendantOp(_Op):
                     frontier.append(candidate)
             covered_end = span_end
         rt.visits += len(frontier)
-        return self.inner.run_rows(rt, frontier)
+        results = self.inner.run_rows(rt, frontier)
+        if rt.profile is not None:
+            rt.profile.record(
+                self, len(rows), len(results), kernel="interval-scan"
+            )
+        return results
 
 
 class UnionOp(_Op):
@@ -513,6 +583,10 @@ class UnionOp(_Op):
                 if id(node) not in seen:
                     seen.add(id(node))
                     merged.append(node)
+        if rt.profile is not None:
+            rt.profile.record(
+                self, len(contexts), len(merged), kernel="object-walk"
+            )
         return merged
 
     def run_rows(self, rt, rows):
@@ -520,10 +594,16 @@ class UnionOp(_Op):
         outputs = [branch.run_rows(rt, rows) for branch in self.branches]
         outputs = [out for out in outputs if out]
         if not outputs:
-            return []
-        if len(outputs) == 1:
-            return outputs[0]
-        return _merge_sorted(outputs)
+            merged: List[int] = []
+        elif len(outputs) == 1:
+            merged = outputs[0]
+        else:
+            merged = _merge_sorted(outputs)
+        if rt.profile is not None:
+            rt.profile.record(
+                self, len(rows), len(merged), kernel="sorted-merge"
+            )
+        return merged
 
 
 class FilterOp(_Op):
@@ -537,11 +617,15 @@ class FilterOp(_Op):
 
     def run(self, rt, contexts):
         qualifier = self.qualifier
-        return [
+        candidates = self.path.run(rt, contexts)
+        results = [
             node
-            for node in self.path.run(rt, contexts)
+            for node in candidates
             if not node.is_text and qualifier.test(rt, node)
         ]
+        if rt.profile is not None:
+            rt.profile.record(self, len(candidates), len(results))
+        return results
 
     def run_rows(self, rt, rows):
         """Batched qualification: the qualifier runs once per candidate
@@ -551,12 +635,16 @@ class FilterOp(_Op):
         label_ids = store.label_ids
         text_label_id = store.text_label_id
         qualifier = self.qualifier
-        return [
+        candidates = self.path.run_rows(rt, rows)
+        results = [
             row
-            for row in self.path.run_rows(rt, rows)
+            for row in candidates
             if (row == VIRTUAL_ROW or label_ids[row] != text_label_id)
             and qualifier.test_row(rt, row)
         ]
+        if rt.profile is not None:
+            rt.profile.record(self, len(candidates), len(results))
+        return results
 
 
 class AbsoluteOp(_Op):
@@ -576,14 +664,22 @@ class AbsoluteOp(_Op):
                 seen.add(id(root))
                 roots.append(root)
         shims = [_VirtualDocumentNode(root) for root in roots]
-        return self.inner.run(rt, shims)
+        results = self.inner.run(rt, shims)
+        if rt.profile is not None:
+            rt.profile.record(self, len(contexts), len(results))
+        return results
 
     def run_rows(self, rt, rows):
         # all covered rows share one tree, so the root set collapses to
         # the single virtual document pseudo-row
         if not rows:
+            if rt.profile is not None:
+                rt.profile.record(self, 0, 0)
             return []
-        return self.inner.run_rows(rt, [VIRTUAL_ROW])
+        results = self.inner.run_rows(rt, [VIRTUAL_ROW])
+        if rt.profile is not None:
+            rt.profile.record(self, len(rows), len(results))
+        return results
 
 
 def _merge_sorted(outputs: List[List[int]]) -> List[int]:
@@ -631,10 +727,16 @@ class ExistsQOp(_QOp):
         self.path = path
 
     def test(self, rt, node):
-        return bool(self.path.run(rt, [node]))
+        passed = bool(self.path.run(rt, [node]))
+        if rt.profile is not None:
+            rt.profile.record(self, 1, 1 if passed else 0)
+        return passed
 
     def test_row(self, rt, row):
-        return bool(self.path.run_rows(rt, [row]))
+        passed = bool(self.path.run_rows(rt, [row]))
+        if rt.profile is not None:
+            rt.profile.record(self, 1, 1 if passed else 0)
+        return passed
 
 
 class EqualsQOp(_QOp):
@@ -650,11 +752,15 @@ class EqualsQOp(_QOp):
             raise XPathEvaluationError(
                 "unbound parameter $%s during evaluation" % value.name
             )
+        passed = False
         for selected in self.path.run(rt, [node]):
             rt.visits += 1
             if selected.string_value() == value:
-                return True
-        return False
+                passed = True
+                break
+        if rt.profile is not None:
+            rt.profile.record(self, 1, 1 if passed else 0)
+        return passed
 
     def test_row(self, rt, row):
         value = self.value
@@ -663,13 +769,17 @@ class EqualsQOp(_QOp):
                 "unbound parameter $%s during evaluation" % value.name
             )
         store = rt.store
+        passed = False
         for selected in self.path.run_rows(rt, [row]):
             rt.visits += 1
             if selected == VIRTUAL_ROW:
                 selected = 0  # the virtual node's string-value is the root's
             if store.string_value(selected) == value:
-                return True
-        return False
+                passed = True
+                break
+        if rt.profile is not None:
+            rt.profile.record(self, 1, 1 if passed else 0)
+        return passed
 
 
 class AttrQOp(_QOp):
@@ -681,11 +791,15 @@ class AttrQOp(_QOp):
 
     def test(self, rt, node):
         name = self.name
+        passed = False
         for selected in self.path.run(rt, [node]):
             rt.visits += 1
             if selected.is_element and name in selected.attributes:
-                return True
-        return False
+                passed = True
+                break
+        if rt.profile is not None:
+            rt.profile.record(self, 1, 1 if passed else 0)
+        return passed
 
     def test_row(self, rt, row):
         name = self.name
@@ -693,6 +807,7 @@ class AttrQOp(_QOp):
         nodes = store.nodes
         label_ids = store.label_ids
         text_label_id = store.text_label_id
+        passed = False
         for selected in self.path.run_rows(rt, [row]):
             rt.visits += 1
             if (
@@ -700,8 +815,11 @@ class AttrQOp(_QOp):
                 and label_ids[selected] != text_label_id
                 and name in nodes[selected].attributes
             ):
-                return True
-        return False
+                passed = True
+                break
+        if rt.profile is not None:
+            rt.profile.record(self, 1, 1 if passed else 0)
+        return passed
 
 
 class AttrEqualsQOp(_QOp):
@@ -719,14 +837,18 @@ class AttrEqualsQOp(_QOp):
                 "unbound parameter $%s during evaluation" % value.name
             )
         name = self.name
+        passed = False
         for selected in self.path.run(rt, [node]):
             rt.visits += 1
             if (
                 selected.is_element
                 and selected.attributes.get(name) == value
             ):
-                return True
-        return False
+                passed = True
+                break
+        if rt.profile is not None:
+            rt.profile.record(self, 1, 1 if passed else 0)
+        return passed
 
     def test_row(self, rt, row):
         value = self.value
@@ -739,6 +861,7 @@ class AttrEqualsQOp(_QOp):
         nodes = store.nodes
         label_ids = store.label_ids
         text_label_id = store.text_label_id
+        passed = False
         for selected in self.path.run_rows(rt, [row]):
             rt.visits += 1
             if (
@@ -746,8 +869,11 @@ class AttrEqualsQOp(_QOp):
                 and label_ids[selected] != text_label_id
                 and nodes[selected].attributes.get(name) == value
             ):
-                return True
-        return False
+                passed = True
+                break
+        if rt.profile is not None:
+            rt.profile.record(self, 1, 1 if passed else 0)
+        return passed
 
 
 class AndQOp(_QOp):
@@ -758,10 +884,18 @@ class AndQOp(_QOp):
         self.right = right
 
     def test(self, rt, node):
-        return self.left.test(rt, node) and self.right.test(rt, node)
+        if not self.left.test(rt, node):
+            if rt.profile is not None:
+                rt.profile.short_circuit(self)
+            return False
+        return self.right.test(rt, node)
 
     def test_row(self, rt, row):
-        return self.left.test_row(rt, row) and self.right.test_row(rt, row)
+        if not self.left.test_row(rt, row):
+            if rt.profile is not None:
+                rt.profile.short_circuit(self)
+            return False
+        return self.right.test_row(rt, row)
 
 
 class OrQOp(_QOp):
@@ -772,10 +906,18 @@ class OrQOp(_QOp):
         self.right = right
 
     def test(self, rt, node):
-        return self.left.test(rt, node) or self.right.test(rt, node)
+        if self.left.test(rt, node):
+            if rt.profile is not None:
+                rt.profile.short_circuit(self)
+            return True
+        return self.right.test(rt, node)
 
     def test_row(self, rt, row):
-        return self.left.test_row(rt, row) or self.right.test_row(rt, row)
+        if self.left.test_row(rt, row):
+            if rt.profile is not None:
+                rt.profile.short_circuit(self)
+            return True
+        return self.right.test_row(rt, row)
 
 
 class NotQOp(_QOp):
@@ -795,28 +937,26 @@ class NotQOp(_QOp):
 # Compilation
 # ---------------------------------------------------------------------------
 
-_EMPTY_OP = EmptyOp()
-_SELF_OP = SelfOp()
-_WILDCARD_OP = WildcardOp()
-_TEXT_OP = TextOp()
-_PARENT_OP = ParentOp()
-_TRUE_OP = BoolQOp(True)
-_FALSE_OP = BoolQOp(False)
+# NOTE: stateless operators (SelfOp, WildcardOp, ...) used to be shared
+# module singletons; compilation now allocates fresh instances so that
+# profile collectors — which key operator stats by identity — attribute
+# work to one plan position each.  Plans are cached, so the extra
+# allocations happen once per distinct query.
 
 
 def _compile_path(path: Path) -> _Op:
     if isinstance(path, Empty):
-        return _EMPTY_OP
+        return EmptyOp()
     if isinstance(path, EpsilonPath):
-        return _SELF_OP
+        return SelfOp()
     if isinstance(path, Label):
         return LabelOp(path.name)
     if isinstance(path, Wildcard):
-        return _WILDCARD_OP
+        return WildcardOp()
     if isinstance(path, TextStep):
-        return _TEXT_OP
+        return TextOp()
     if isinstance(path, Parent):
-        return _PARENT_OP
+        return ParentOp()
     if isinstance(path, Slash):
         return SlashOp(_compile_path(path.left), _compile_path(path.right))
     if isinstance(path, Descendant):
@@ -839,7 +979,7 @@ def _compile_path(path: Path) -> _Op:
 
 def _compile_qualifier(qualifier: Qualifier) -> _QOp:
     if isinstance(qualifier, QBool):
-        return _TRUE_OP if qualifier.value else _FALSE_OP
+        return BoolQOp(qualifier.value)
     if isinstance(qualifier, QPath):
         return ExistsQOp(_compile_path(qualifier.path))
     if isinstance(qualifier, QEquals):
@@ -885,6 +1025,12 @@ class CompiledPlan:
             self.operator_count,
         )
 
+    def profile(self, collector: ProfileCollector) -> ProfileNode:
+        """The EXPLAIN ANALYZE tree of this plan: its operator tree
+        annotated with the stats ``collector`` gathered during
+        execution(s) run with ``PlanRuntime(profile=collector)``."""
+        return build_profile_node(self._op, collector)
+
     def execute(
         self,
         context,
@@ -915,6 +1061,12 @@ class CompiledPlan:
                     for row in self._op.run_rows(rt, rows)
                     if row != VIRTUAL_ROW
                 ]
+            # a context outside the store's tree: the whole execution
+            # falls back to the object backend (observable — it is the
+            # usual reason a "columnar" run is unexpectedly slow)
+            if rt.profile is not None:
+                rt.profile.event("object-backend-fallback")
+            _metric_record("columnar.object_backend_fallbacks")
         results = self._op.run(rt, contexts)
         results = [
             node
@@ -949,6 +1101,93 @@ class CompiledPlan:
         if index is not None and all(index.covers(node) for node in results):
             return index.document_order_sort(results)
         return _document_order(results)
+
+
+# ---------------------------------------------------------------------------
+# Profiling support (EXPLAIN ANALYZE)
+# ---------------------------------------------------------------------------
+
+
+def _describe_op(op):
+    """``(name, detail)`` labels of one operator for profile trees."""
+    if isinstance(op, LabelOp):
+        return ("child", op.name)
+    if isinstance(op, WildcardOp):
+        return ("child", "*")
+    if isinstance(op, TextOp):
+        return ("text()", "")
+    if isinstance(op, ParentOp):
+        return ("parent", "..")
+    if isinstance(op, SelfOp):
+        return ("self", ".")
+    if isinstance(op, EmptyOp):
+        return ("empty", "")
+    if isinstance(op, SlashOp):
+        return ("slash", "")
+    if isinstance(op, DescendantOp):
+        if op.fast_label is not None:
+            return ("descendant", "//" + op.fast_label)
+        return ("descendant", "//(generic)")
+    if isinstance(op, UnionOp):
+        return ("union", "%d branches" % len(op.branches))
+    if isinstance(op, FilterOp):
+        return ("filter", "")
+    if isinstance(op, AbsoluteOp):
+        return ("absolute", "/")
+    if isinstance(op, BoolQOp):
+        return ("q:bool", "true" if op.value else "false")
+    if isinstance(op, ExistsQOp):
+        return ("q:exists", "")
+    if isinstance(op, EqualsQOp):
+        return ("q:equals", "= %r" % (op.value,))
+    if isinstance(op, AttrQOp):
+        return ("q:attr", "@" + op.name)
+    if isinstance(op, AttrEqualsQOp):
+        return ("q:attr-equals", "@%s = %r" % (op.name, op.value))
+    if isinstance(op, AndQOp):
+        return ("q:and", "")
+    if isinstance(op, OrQOp):
+        return ("q:or", "")
+    if isinstance(op, NotQOp):
+        return ("q:not", "")
+    return (type(op).__name__, "")
+
+
+def _op_children(op):
+    """Sub-operators in display order (mirrors execution structure)."""
+    if isinstance(op, SlashOp):
+        return (op.left, op.right)
+    if isinstance(op, DescendantOp):
+        # the peeled fast shape runs ``fast_qualifiers`` directly; the
+        # generic ``inner`` path runs when no fast path applies — both
+        # are shown, unexecuted branches render without sample counts
+        if op.fast_qualifiers:
+            return (op.inner,) + op.fast_qualifiers
+        return (op.inner,)
+    if isinstance(op, UnionOp):
+        return op.branches
+    if isinstance(op, FilterOp):
+        return (op.path, op.qualifier)
+    if isinstance(op, AbsoluteOp):
+        return (op.inner,)
+    if isinstance(op, (ExistsQOp, EqualsQOp, AttrQOp, AttrEqualsQOp)):
+        return (op.path,)
+    if isinstance(op, (AndQOp, OrQOp)):
+        return (op.left, op.right)
+    if isinstance(op, NotQOp):
+        return (op.inner,)
+    return ()
+
+
+def build_profile_node(op, collector: ProfileCollector) -> ProfileNode:
+    """Pair one operator subtree with its collected execution stats."""
+    name, detail = _describe_op(op)
+    return ProfileNode(
+        name,
+        detail,
+        collector.lookup(op),
+        [build_profile_node(child, collector) for child in _op_children(op)],
+    )
 
 
 def _count_ops(op) -> int:

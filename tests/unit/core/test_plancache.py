@@ -173,6 +173,73 @@ class TestEngineIntegration:
         assert second.report.total_time() > 0
 
 
+class TestRegistryCounters:
+    """Cache traffic mirrors into the process-wide metrics registry
+    when metrics are enabled (and never otherwise)."""
+
+    @pytest.fixture(autouse=True)
+    def enabled_registry(self):
+        from repro.obs.metrics import (
+            disable_metrics,
+            enable_metrics,
+            metrics_registry,
+        )
+
+        metrics_registry().reset()
+        enable_metrics()
+        yield metrics_registry()
+        disable_metrics()
+        metrics_registry().reset()
+
+    def _counters(self, registry):
+        return registry.snapshot()["counters"]
+
+    def test_hits_and_misses_recorded(self, enabled_registry, engine, document):
+        engine.query("nurse", "//patient", document)
+        engine.query("nurse", "//patient", document)
+        counters = self._counters(enabled_registry)
+        assert counters["plan_cache.misses"] == 1
+        assert counters["plan_cache.hits"] == 1
+
+    def test_evictions_recorded(self, enabled_registry, document):
+        dtd = hospital_dtd()
+        engine = SecureQueryEngine(dtd, plan_cache_size=2)
+        engine.register_policy("nurse", nurse_spec(dtd), wardNo="2")
+        for label in ("patient", "name", "wardNo", "bill"):
+            engine.query("nurse", "//" + label, document)
+        counters = self._counters(enabled_registry)
+        assert counters["plan_cache.evictions"] == 2
+        assert engine.plan_cache_stats().evictions == 2
+
+    def test_invalidations_recorded(self, enabled_registry, engine, document):
+        engine.query("nurse", "//patient", document)
+        engine.query("nurse", "//patient/name", document)
+        engine.invalidate("nurse")
+        counters = self._counters(enabled_registry)
+        assert counters["plan_cache.invalidations"] == 2
+
+    def test_registry_matches_cache_stats(
+        self, enabled_registry, engine, document
+    ):
+        for _ in range(3):
+            engine.query("nurse", "//patient", document)
+        counters = self._counters(enabled_registry)
+        stats = engine.plan_cache_stats()
+        assert counters["plan_cache.hits"] == stats.hits
+        assert counters["plan_cache.misses"] == stats.misses
+
+    def test_disabled_metrics_keep_local_counters_only(
+        self, enabled_registry, engine, document
+    ):
+        from repro.obs.metrics import disable_metrics
+
+        disable_metrics()
+        engine.query("nurse", "//patient", document)
+        counters = self._counters(enabled_registry)
+        assert counters.get("plan_cache.misses", 0) == 0
+        assert engine.plan_cache_stats().misses == 1
+
+
 class TestExecutionShapeKeys:
     """The hardened cache key carries the execution shape (strategy,
     index availability): flipping either on a warm cache must compile

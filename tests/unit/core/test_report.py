@@ -1,0 +1,273 @@
+"""QueryReport coverage: stage timings across execution paths, the
+end-to-end total, trace profiles, and engine-level metrics."""
+
+import pytest
+
+from repro.core.engine import QueryReport, SecureQueryEngine
+from repro.core.options import ExecutionOptions
+from repro.obs.metrics import (
+    disable_metrics,
+    enable_metrics,
+    metrics_registry,
+)
+from repro.workloads.hospital import (
+    hospital_document,
+    hospital_dtd,
+    nurse_spec,
+)
+
+
+@pytest.fixture()
+def engine():
+    dtd = hospital_dtd()
+    built = SecureQueryEngine(dtd)
+    built.register_policy("nurse", nurse_spec(dtd), wardNo="2")
+    return built
+
+
+@pytest.fixture()
+def document():
+    return hospital_document(seed=7, max_branch=4)
+
+
+class TestStageTimings:
+    def test_cold_cache_carries_compile_stages(self, engine, document):
+        report = engine.query("nurse", "//patient", document).report
+        assert not report.cache_hit
+        assert {"parse", "rewrite", "optimize", "evaluate"} <= set(
+            report.timings
+        )
+
+    def test_warm_cache_still_reports_evaluate(self, engine, document):
+        engine.query("nurse", "//patient", document)
+        report = engine.query("nurse", "//patient", document).report
+        assert report.cache_hit
+        assert "evaluate" in report.timings
+
+    def test_interpreter_path_has_no_compile_stage(self, engine, document):
+        report = engine.query(
+            "nurse",
+            "//patient",
+            document,
+            options=ExecutionOptions(use_cache=False),
+        ).report
+        assert "compile" not in report.timings
+        assert {"parse", "rewrite", "optimize", "evaluate"} <= set(
+            report.timings
+        )
+
+    def test_columnar_path_reports_same_stages(self, engine, document):
+        report = engine.query(
+            "nurse",
+            "//patient",
+            document,
+            options=ExecutionOptions(strategy="columnar"),
+        ).report
+        assert report.strategy == "columnar"
+        assert {"parse", "rewrite", "optimize", "evaluate"} <= set(
+            report.timings
+        )
+
+    def test_materialized_path_reports_materialize_stage(
+        self, engine, document
+    ):
+        report = engine.query(
+            "nurse",
+            "//patient",
+            document,
+            options=ExecutionOptions(strategy="materialized"),
+        ).report
+        assert "materialize" in report.timings
+
+    @pytest.mark.parametrize(
+        "options",
+        [
+            ExecutionOptions(),
+            ExecutionOptions(strategy="columnar"),
+            ExecutionOptions(strategy="materialized"),
+            ExecutionOptions(use_cache=False),
+        ],
+        ids=["virtual", "columnar", "materialized", "interpreter"],
+    )
+    def test_timings_non_negative(self, engine, document, options):
+        report = engine.query(
+            "nurse", "//patient", document, options=options
+        ).report
+        assert all(seconds >= 0.0 for seconds in report.timings.values())
+        assert report.total_seconds >= 0.0
+
+
+class TestTotalSeconds:
+    def test_total_is_wall_time_not_stage_sum(self):
+        # a warm-cache report carries the entry's build-time stages
+        # next to this request's evaluate; the total must come from
+        # the enclosing span, never from summing overlapping stages
+        report = QueryReport(
+            "p",
+            "//a",
+            "//a",
+            "//a",
+            1,
+            1,
+            timings={"parse": 0.5, "rewrite": 0.5, "evaluate": 0.001},
+            total_seconds=0.002,
+        )
+        assert report.total_time() == 0.002
+
+    def test_sum_fallback_without_span(self):
+        report = QueryReport(
+            "p", "//a", "//a", "//a", 1, 1, timings={"parse": 0.25}
+        )
+        assert report.total_time() == 0.25
+
+    def test_engine_total_covers_every_stage(self, engine, document):
+        engine.query("nurse", "//patient", document)
+        report = engine.query("nurse", "//patient", document).report
+        assert report.cache_hit
+        # the warm request only ran evaluate; the stale build-time
+        # stages must not inflate the end-to-end number
+        assert report.total_seconds >= report.timings["evaluate"]
+        assert report.total_seconds < sum(report.timings.values()) + 1.0
+
+
+class TestRenderings:
+    def test_summary_is_stable(self, engine, document):
+        report = engine.query("nurse", "//patient", document).report
+        text = report.summary()
+        for field in (
+            "policy   :",
+            "query    :",
+            "rewritten:",
+            "optimized:",
+            "strategy :",
+            "results  :",
+            "timings  :",
+            "total    :",
+        ):
+            assert field in text
+
+    def test_repr_mentions_key_fields(self, engine, document):
+        report = engine.query("nurse", "//patient", document).report
+        text = repr(report)
+        assert text.startswith("QueryReport(")
+        assert "policy='nurse'" in text
+        assert "strategy='virtual'" in text
+
+    def test_to_dict_is_json_safe(self, engine, document):
+        import json
+
+        report = engine.query(
+            "nurse",
+            "//patient",
+            document,
+            options=ExecutionOptions(trace=True),
+        ).report
+        out = report.to_dict()
+        json.dumps(out)  # must not raise
+        assert out["policy"] == "nurse"
+        assert out["total_seconds"] == report.total_seconds
+        assert out["profile"]["plans"]
+
+
+class TestTraceProfile:
+    def test_untraced_query_has_no_profile(self, engine, document):
+        report = engine.query("nurse", "//patient", document).report
+        assert report.profile is None
+
+    def test_traced_query_builds_profile_tree(self, engine, document):
+        result = engine.query(
+            "nurse",
+            "//patient",
+            document,
+            options=ExecutionOptions(trace=True),
+        )
+        profile = result.report.profile
+        assert profile is not None
+        assert profile.strategy == "virtual"
+        assert profile.roots
+        text = profile.render()
+        assert text.startswith("EXPLAIN ANALYZE")
+        assert "calls=" in text and "rows=" in text
+
+    def test_columnar_profile_names_columnar_kernels(
+        self, engine, document
+    ):
+        result = engine.query(
+            "nurse",
+            "//patient",
+            document,
+            options=ExecutionOptions(strategy="columnar", trace=True),
+        )
+        text = result.report.profile.render()
+        assert "posting-merge-join" in text or "child-link-walk" in text
+
+    def test_trace_does_not_change_answers(self, engine, document):
+        plain = engine.query("nurse", "//patient//bill", document)
+        traced = engine.query(
+            "nurse",
+            "//patient//bill",
+            document,
+            options=ExecutionOptions(trace=True),
+        )
+        assert [str(n) for n in plain] == [str(n) for n in traced]
+
+    def test_whole_query_profile_without_projection(self, engine, document):
+        result = engine.query(
+            "nurse",
+            "//patient",
+            document,
+            options=ExecutionOptions(trace=True, project=False),
+        )
+        profile = result.report.profile
+        assert profile is not None
+        assert len(profile.roots) == 1
+        assert profile.roots[0].name != "target"
+
+
+class TestEngineMetrics:
+    def test_queries_fold_into_registry(self, engine, document):
+        registry = metrics_registry()
+        registry.reset()
+        enable_metrics()
+        try:
+            engine.query("nurse", "//patient", document)
+            engine.query("nurse", "//patient", document)
+            snap = engine.metrics()
+        finally:
+            disable_metrics()
+            registry.reset()
+        assert snap["counters"]["query.count"] == 2
+        assert snap["counters"]["query.count.virtual"] == 2
+        assert snap["counters"]["plan_cache.misses"] == 1
+        assert snap["counters"]["plan_cache.hits"] == 1
+        assert snap["histograms"]["query.total_seconds"]["count"] == 2
+        # the warm request must not re-observe build-time stages
+        assert snap["histograms"]["stage.parse_seconds"]["count"] == 1
+        assert snap["histograms"]["stage.evaluate_seconds"]["count"] == 2
+
+    def test_disabled_metrics_record_nothing(self, engine, document):
+        registry = metrics_registry()
+        registry.reset()
+        engine.query("nurse", "//patient", document)
+        snap = engine.metrics()
+        # handles created by earlier enabled runs survive reset() with
+        # value 0; a disabled run must not move any of them
+        assert snap["counters"].get("query.count", 0) == 0
+
+    def test_columnar_records_node_table_build(self, engine, document):
+        registry = metrics_registry()
+        registry.reset()
+        enable_metrics()
+        try:
+            engine.query(
+                "nurse",
+                "//patient",
+                document,
+                options=ExecutionOptions(strategy="columnar"),
+            )
+            snap = engine.metrics()
+        finally:
+            disable_metrics()
+            registry.reset()
+        assert snap["counters"]["node_table.builds"] == 1
+        assert snap["histograms"]["node_table.rows"]["count"] == 1

@@ -1,0 +1,106 @@
+"""Unit tests for the metrics registry (repro.obs.metrics)."""
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    disable_metrics,
+    enable_metrics,
+    metrics_enabled,
+    metrics_registry,
+    observe,
+    record,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_global_state():
+    disable_metrics()
+    metrics_registry().reset()
+    yield
+    disable_metrics()
+    metrics_registry().reset()
+
+
+class TestCounter:
+    def test_increments(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+
+class TestHistogram:
+    def test_streaming_summary(self):
+        histogram = Histogram("h")
+        for value in (3.0, 1.0, 2.0):
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.total == 6.0
+        assert histogram.mean == 2.0
+        assert histogram.minimum == 1.0
+        assert histogram.maximum == 3.0
+
+    def test_empty_dict_form(self):
+        assert Histogram("h").as_dict() == {
+            "count": 0,
+            "sum": 0.0,
+            "mean": 0.0,
+            "min": 0.0,
+            "max": 0.0,
+        }
+
+
+class TestMetricsRegistry:
+    def test_handles_are_get_or_create(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.histogram("b") is registry.histogram("b")
+
+    def test_snapshot_is_json_safe_and_sorted(self):
+        import json
+
+        registry = MetricsRegistry()
+        registry.increment("z")
+        registry.increment("a", 2)
+        registry.observe("lat", 0.5)
+        snap = registry.snapshot()
+        assert list(snap["counters"]) == ["a", "z"]
+        assert snap["counters"] == {"a": 2, "z": 1}
+        assert snap["histograms"]["lat"]["count"] == 1
+        json.dumps(snap)  # must not raise
+
+    def test_reset_keeps_handles_valid(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+        counter.inc(7)
+        histogram = registry.histogram("h")
+        histogram.observe(1.0)
+        registry.reset()
+        assert counter.value == 0
+        assert histogram.count == 0
+        counter.inc()
+        assert registry.snapshot()["counters"]["c"] == 1
+
+
+class TestGuardedHelpers:
+    def test_disabled_by_default(self):
+        assert not metrics_enabled()
+        record("ignored")
+        observe("ignored.too", 1.0)
+        snap = metrics_registry().snapshot()
+        assert "ignored" not in snap["counters"]
+        assert "ignored.too" not in snap["histograms"]
+
+    def test_enable_disable_roundtrip(self):
+        enable_metrics()
+        assert metrics_enabled()
+        record("seen", 3)
+        observe("seen.lat", 0.25)
+        disable_metrics()
+        record("seen")  # dropped again
+        snap = metrics_registry().snapshot()
+        assert snap["counters"]["seen"] == 3
+        assert snap["histograms"]["seen.lat"]["count"] == 1

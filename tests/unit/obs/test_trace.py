@@ -1,0 +1,88 @@
+"""Unit tests for the span tracer (repro.obs.trace)."""
+
+from repro.obs.trace import NULL_SPAN, Span, Tracer
+
+
+class TestSpan:
+    def test_duration_measured(self):
+        with Span("work") as span:
+            pass
+        assert span.ended is not None
+        assert span.duration >= 0.0
+
+    def test_open_span_duration_is_elapsed_so_far(self):
+        span = Span("open")
+        assert span.duration == 0.0  # never entered
+        span.__enter__()
+        assert span.duration >= 0.0
+        assert span.ended is None
+
+    def test_attributes(self):
+        with Span("q", policy="nurse") as span:
+            span.set(results=3)
+        assert span.attributes == {"policy": "nurse", "results": 3}
+
+    def test_to_dict_and_render(self):
+        with Span("q", policy="nurse") as span:
+            pass
+        out = span.to_dict()
+        assert out["name"] == "q"
+        assert out["duration_seconds"] >= 0.0
+        assert out["attributes"] == {"policy": "nurse"}
+        text = span.render()
+        assert text.startswith("q  ")
+        assert "policy=nurse" in text
+
+
+class TestTracer:
+    def test_nesting(self):
+        tracer = Tracer()
+        with tracer.span("query") as query:
+            with tracer.span("parse"):
+                pass
+            with tracer.span("evaluate") as ev:
+                with tracer.span("compile"):
+                    pass
+                assert tracer.current is ev
+        assert tracer.root is query
+        assert [c.name for c in query.children] == ["parse", "evaluate"]
+        assert [c.name for c in query.children[1].children] == ["compile"]
+        assert tracer.current is None
+
+    def test_sibling_roots(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        assert [s.name for s in tracer.roots] == ["a", "b"]
+
+    def test_to_dict(self):
+        tracer = Tracer()
+        with tracer.span("query"):
+            with tracer.span("parse"):
+                pass
+        out = tracer.to_dict()
+        assert len(out["spans"]) == 1
+        assert out["spans"][0]["children"][0]["name"] == "parse"
+
+    def test_disabled_tracer_hands_out_null_span(self):
+        tracer = Tracer(enabled=False)
+        span = tracer.span("query", policy="x")
+        assert span is NULL_SPAN
+        with span as inner:
+            inner.set(anything="goes")
+        assert span.duration == 0.0
+        assert tracer.roots == []
+        assert span.to_dict() == {}
+        assert span.render() == ""
+
+    def test_span_records_even_on_exception(self):
+        tracer = Tracer()
+        try:
+            with tracer.span("boom") as span:
+                raise ValueError("x")
+        except ValueError:
+            pass
+        assert span.ended is not None
+        assert tracer.current is None

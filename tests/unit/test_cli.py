@@ -154,6 +154,70 @@ class TestPolicyCommands:
         assert "results  : 1" in out
         assert "<medication>x</medication>" in out
 
+    def query_args(self, workspace, *rest):
+        return [
+            "query",
+            str(workspace / "hospital.dtd"),
+            str(workspace / "nurse.spec"),
+            str(workspace / "doc.xml"),
+            "//patient/name",
+            "--bind",
+            "wardNo=2",
+            *rest,
+        ]
+
+    def test_query_trace_prints_profile(self, workspace, capsys):
+        code = main(self.query_args(workspace, "--trace"))
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "EXPLAIN ANALYZE" in out
+        assert "calls=" in out
+        assert "<name>ann</name>" in out
+
+    def test_query_explain_and_trace_compose(self, workspace, capsys):
+        code = main(self.query_args(workspace, "--explain", "--trace"))
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "results  : 1" in out  # --explain summary
+        assert "EXPLAIN ANALYZE" in out  # --trace profile
+
+    def test_query_metrics_prints_snapshot(self, workspace, capsys):
+        code = main(self.query_args(workspace, "--metrics"))
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "metrics:" in out
+        assert "query.count = 1" in out
+
+    def test_query_metrics_flag_leaves_metrics_disabled(self, workspace):
+        from repro.obs.metrics import metrics_enabled
+
+        assert not metrics_enabled()
+        main(self.query_args(workspace, "--metrics"))
+        assert not metrics_enabled()
+
+    def test_query_json_payload(self, workspace, capsys):
+        import json
+
+        code = main(
+            self.query_args(workspace, "--trace", "--metrics", "--json")
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out)  # the whole output is one JSON object
+        assert payload["results"] == ["<name>ann</name>"]
+        assert payload["report"]["result_count"] == 1
+        assert payload["report"]["profile"]["plans"]
+        assert payload["metrics"]["counters"]["query.count"] == 1
+
+    def test_query_json_without_trace_has_no_profile(self, workspace, capsys):
+        import json
+
+        code = main(self.query_args(workspace, "--json"))
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "profile" not in payload["report"]
+        assert "metrics" not in payload
+
 
 class TestErrors:
     def test_missing_file(self, workspace, capsys):
