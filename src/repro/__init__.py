@@ -40,8 +40,10 @@ The subpackages are usable on their own:
 * :mod:`repro.workloads` — the hospital running example, the
   reconstructed Adex workload of Section 6, and dataset generation;
 * :mod:`repro.obs` — zero-dependency observability: span tracing,
-  process-wide metrics, per-operator EXPLAIN ANALYZE profiles (see
-  ``docs/observability.md``).
+  process-wide metrics, per-operator EXPLAIN ANALYZE profiles, audit
+  events with bounded sinks, the :class:`AuditLog` query API,
+  Prometheus export, and the sampled :class:`SecurityCanary` (see
+  ``docs/observability.md`` and ``docs/audit.md``).
 """
 
 from repro.errors import (
@@ -86,15 +88,31 @@ from repro.xpath import (
     parse_xpath,
 )
 from repro.obs import (
+    AuditLog,
+    CallbackSink,
+    CanaryEvent,
+    DenialEvent,
+    ErrorEvent,
+    Event,
+    EventPipeline,
+    EventSink,
     ExplainProfile,
+    JsonlFileSink,
     MetricsRegistry,
+    PolicyEvent,
     ProfileCollector,
+    QueryEvent,
+    RingBufferSink,
+    SecurityCanary,
     Span,
     Tracer,
     disable_metrics,
     enable_metrics,
+    event_from_dict,
     metrics_enabled,
     metrics_registry,
+    prometheus_text,
+    read_jsonl,
 )
 from repro.core import (
     ANN_N,
@@ -123,7 +141,7 @@ from repro.core import (
     unfold_view,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     # errors
@@ -202,4 +220,21 @@ __all__ = [
     "metrics_enabled",
     "ProfileCollector",
     "ExplainProfile",
+    # audit events / canary (see docs/audit.md)
+    "Event",
+    "QueryEvent",
+    "DenialEvent",
+    "PolicyEvent",
+    "ErrorEvent",
+    "CanaryEvent",
+    "event_from_dict",
+    "read_jsonl",
+    "EventSink",
+    "EventPipeline",
+    "RingBufferSink",
+    "JsonlFileSink",
+    "CallbackSink",
+    "AuditLog",
+    "SecurityCanary",
+    "prometheus_text",
 ]

@@ -8,6 +8,11 @@
                     [--no-optimize] [--explain] [--use-index] [--no-cache]
                     [--strategy virtual|columnar|materialized]
                     [--trace] [--metrics] [--json]
+                    [--audit-log PATH] [--slow-ms MS]
+                    [--canary RATE] [--canary-seed N]
+    repro audit     tail  LOG.jsonl [-n N] [--kind K] [--policy P] [--json]
+    repro audit     stats LOG.jsonl [--policy P] [--json]
+    repro metrics   SNAPSHOT.json [--format text|prometheus]
     repro table1    [--scale S] [--repeat N]
 
 Specification files use the line format of
@@ -16,6 +21,10 @@ Specification files use the line format of
     # nurse policy
     hospital dept [*/patient/wardNo = $wardNo]
     dept clinicalTrial N
+
+Failures exit with a status derived from the error's stable code
+(see :data:`EXIT_CODES`; generic library errors exit 2), so scripts
+can distinguish e.g. a strict-mode denial from an XPath typo.
 """
 
 from __future__ import annotations
@@ -29,9 +38,22 @@ from repro.core.spec import parse_spec_text
 from repro.dtd.generator import DocumentGenerator
 from repro.dtd.parser import parse_dtd
 from repro.dtd.validate import validate
-from repro.errors import ReproError
+from repro.errors import ReproError, error_code
 from repro.xmlmodel.parser import parse_document
 from repro.xmlmodel.serialize import pretty_print, serialize
+
+#: Stable error code -> process exit status.  Codes not listed here
+#: exit 2 (the historical catch-all for library errors).
+EXIT_CODES = {
+    "E_LABEL_DENIED": 3,
+    "E_PARSE_XPATH": 4,
+    "E_PARSE_DTD": 5,
+    "E_PARSE_XML": 6,
+    "E_DTD_INVALID": 7,
+    "E_SPEC": 8,
+    "E_DERIVE": 9,
+    "E_REWRITE": 10,
+}
 
 
 def _read(path: str) -> str:
@@ -52,7 +74,9 @@ def _bindings(pairs) -> dict:
 def _engine(arguments) -> SecureQueryEngine:
     dtd = parse_dtd(_read(arguments.dtd))
     spec = parse_spec_text(dtd, _read(arguments.spec))
-    engine = SecureQueryEngine(dtd)
+    engine = SecureQueryEngine(
+        dtd, strict=getattr(arguments, "strict", False)
+    )
     engine.register_policy("policy", spec, **_bindings(arguments.bind))
     return engine
 
@@ -124,7 +148,17 @@ def cmd_query(arguments) -> int:
         use_index=arguments.use_index,
         use_cache=not arguments.no_cache,
         trace=arguments.trace,
+        slow_query_threshold=(
+            arguments.slow_ms / 1e3 if arguments.slow_ms is not None else None
+        ),
     )
+    audit_sink = None
+    if arguments.audit_log:
+        from repro.obs.events import JsonlFileSink
+
+        audit_sink = engine.add_sink(JsonlFileSink(arguments.audit_log))
+    if arguments.canary is not None:
+        engine.enable_canary(arguments.canary, seed=arguments.canary_seed)
     if arguments.metrics:
         metrics_registry().reset()
         enable_metrics()
@@ -135,6 +169,8 @@ def cmd_query(arguments) -> int:
     finally:
         if arguments.metrics:
             disable_metrics()
+        if audit_sink is not None:
+            audit_sink.close()
     report = result.report
     if arguments.json:
         import json
@@ -178,6 +214,132 @@ def _render_metrics(snapshot: dict) -> str:
             )
         )
     return "\n".join(lines)
+
+
+def _render_event(event) -> str:
+    """One-line human rendering of an audit event."""
+    import time as _time
+
+    stamp = _time.strftime(
+        "%Y-%m-%dT%H:%M:%S", _time.localtime(event.timestamp)
+    )
+    if event.kind == "query":
+        detail = "%s -> %s  results=%d  %.3fms  %s%s%s" % (
+            event.query,
+            event.rewritten,
+            event.result_count,
+            event.latency_seconds * 1e3,
+            event.strategy,
+            " cache-hit" if event.cache_hit else "",
+            " SLOW" if event.slow else "",
+        )
+    elif event.kind == "denial":
+        detail = "%s  label=%s  [%s]" % (event.query, event.label, event.code)
+    elif event.kind == "policy":
+        detail = event.action
+    elif event.kind == "error":
+        detail = "%s  [%s] %s" % (event.query, event.code, event.message)
+    elif event.kind == "canary":
+        detail = "%s  violations=%d (missing=%d extra=%d)  %s" % (
+            event.query,
+            event.violations,
+            event.missing,
+            event.extra,
+            "ok" if event.ok else "VIOLATION",
+        )
+    else:  # pragma: no cover - future kinds
+        detail = ""
+    policy = getattr(event, "policy", "") or "-"
+    return "%s  %-7s %-12s %s" % (stamp, event.kind, policy, detail)
+
+
+def cmd_audit_tail(arguments) -> int:
+    from repro.obs.audit import AuditLog
+
+    log = AuditLog.from_jsonl(arguments.log)
+    events = log.tail(
+        arguments.count, kind=arguments.kind, policy=arguments.policy
+    )
+    if arguments.json:
+        for event in events:
+            print(event.to_json())
+        return 0
+    for event in events:
+        print(_render_event(event))
+    return 0
+
+
+def cmd_audit_stats(arguments) -> int:
+    from repro.obs.audit import AuditLog
+
+    log = AuditLog.from_jsonl(arguments.log)
+    stats = log.stats(policy=arguments.policy)
+    if arguments.json:
+        import json
+
+        print(json.dumps(stats, indent=2, sort_keys=True))
+        return 0
+    if not stats:
+        print("no events")
+        return 0
+    for policy in sorted(stats):
+        bucket = stats[policy]
+        latency = bucket["latency"]
+        print("policy %s:" % policy)
+        print(
+            "  queries=%d cache_hits=%d slow=%d denials=%d errors=%d"
+            % (
+                bucket["queries"],
+                bucket["cache_hits"],
+                bucket["slow"],
+                bucket["denials"],
+                bucket["errors"],
+            )
+        )
+        print(
+            "  canary: checks=%d violations=%d"
+            % (bucket["canary_checks"], bucket["canary_violations"])
+        )
+        print(
+            "  latency: count=%d mean=%.3fms p50=%.3fms p95=%.3fms max=%.3fms"
+            % (
+                latency["count"],
+                latency["mean"] * 1e3,
+                latency["p50"] * 1e3,
+                latency["p95"] * 1e3,
+                latency["max"] * 1e3,
+            )
+        )
+    return 0
+
+
+def cmd_metrics(arguments) -> int:
+    """Render a metrics snapshot (``engine.metrics()`` JSON, or the
+    ``--json`` payload of ``repro query --metrics``) as text or in
+    Prometheus exposition format."""
+    import json
+
+    if arguments.snapshot == "-":
+        payload = json.load(sys.stdin)
+    else:
+        payload = json.loads(_read(arguments.snapshot))
+    # accept either a bare snapshot or a payload embedding one
+    if "metrics" in payload and isinstance(payload["metrics"], dict):
+        snapshot = payload["metrics"]
+    else:
+        snapshot = payload
+    if "counters" not in snapshot and "histograms" not in snapshot:
+        raise ReproError(
+            "%s does not look like a metrics snapshot (expected "
+            "'counters'/'histograms' keys)" % arguments.snapshot
+        )
+    if arguments.format == "prometheus":
+        from repro.obs.export import prometheus_text
+
+        sys.stdout.write(prometheus_text(snapshot))
+    else:
+        print(_render_metrics(snapshot))
+    return 0
 
 
 def cmd_verify(arguments) -> int:
@@ -238,6 +400,12 @@ def build_parser() -> argparse.ArgumentParser:
             metavar="NAME=VALUE",
             help="bind a $parameter of the specification",
         )
+        sub.add_argument(
+            "--strict",
+            action="store_true",
+            help="reject queries referencing labels outside the view "
+            "DTD (exit code %d)" % EXIT_CODES["E_LABEL_DENIED"],
+        )
 
     view_cmd = commands.add_parser(
         "view-dtd", help="derive a policy's security view DTD"
@@ -296,7 +464,80 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit one JSON object (results, report, profile, and "
         "metrics when requested) instead of text",
     )
+    query_cmd.add_argument(
+        "--audit-log",
+        metavar="PATH",
+        help="append audit events (query/canary/...) as JSONL to PATH "
+        "(aggregate with `repro audit stats PATH`)",
+    )
+    query_cmd.add_argument(
+        "--slow-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="flag queries slower than MS milliseconds in the audit "
+        "log, attaching their EXPLAIN ANALYZE profile",
+    )
+    query_cmd.add_argument(
+        "--canary",
+        type=float,
+        default=None,
+        metavar="RATE",
+        help="re-check answers against the materialized-view oracle "
+        "at this sample rate (0..1) and emit canary events",
+    )
+    query_cmd.add_argument(
+        "--canary-seed",
+        type=int,
+        default=None,
+        help="seed the canary's sampling RNG (reproducible schedules)",
+    )
     query_cmd.set_defaults(handler=cmd_query)
+
+    audit_cmd = commands.add_parser(
+        "audit", help="inspect a JSONL audit log"
+    )
+    audit_commands = audit_cmd.add_subparsers(
+        dest="audit_command", required=True
+    )
+    tail_cmd = audit_commands.add_parser(
+        "tail", help="show the most recent audit events"
+    )
+    tail_cmd.add_argument("log", help="JSONL audit log path")
+    tail_cmd.add_argument("-n", "--count", type=int, default=10)
+    tail_cmd.add_argument(
+        "--kind",
+        choices=["query", "denial", "policy", "error", "canary"],
+        default=None,
+    )
+    tail_cmd.add_argument("--policy", default=None)
+    tail_cmd.add_argument(
+        "--json", action="store_true", help="print raw JSONL instead"
+    )
+    tail_cmd.set_defaults(handler=cmd_audit_tail)
+    stats_cmd = audit_commands.add_parser(
+        "stats", help="per-policy accounting of an audit log"
+    )
+    stats_cmd.add_argument("log", help="JSONL audit log path")
+    stats_cmd.add_argument("--policy", default=None)
+    stats_cmd.add_argument("--json", action="store_true")
+    stats_cmd.set_defaults(handler=cmd_audit_stats)
+
+    metrics_cmd = commands.add_parser(
+        "metrics",
+        help="render a metrics snapshot (text or Prometheus exposition)",
+    )
+    metrics_cmd.add_argument(
+        "snapshot",
+        help="path to an engine.metrics() JSON snapshot (or the "
+        "--json payload of `repro query --metrics`); '-' for stdin",
+    )
+    metrics_cmd.add_argument(
+        "--format",
+        choices=["text", "prometheus"],
+        default="text",
+    )
+    metrics_cmd.set_defaults(handler=cmd_metrics)
 
     verify_cmd = commands.add_parser(
         "verify", help="fuzz-check a policy's soundness/completeness"
@@ -324,8 +565,9 @@ def main(argv=None) -> int:
     except BrokenPipeError:
         return 0  # e.g. output truncated by `| head`
     except ReproError as error:
-        print("error: %s" % error, file=sys.stderr)
-        return 2
+        code = error_code(error)
+        print("error: %s [%s]" % (error, code), file=sys.stderr)
+        return EXIT_CODES.get(code, 2)
     except OSError as error:
         print("error: %s" % error, file=sys.stderr)
         return 2

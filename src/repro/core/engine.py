@@ -33,13 +33,23 @@ from __future__ import annotations
 import warnings
 from typing import Dict, List, Optional, Union as TypingUnion
 
-from repro.errors import QueryRejectedError, SecurityError
-from repro.obs.metrics import metrics_enabled, metrics_registry
+from repro.errors import QueryRejectedError, ReproError, SecurityError
+from repro.obs.canary import SecurityCanary
+from repro.obs.events import (
+    DenialEvent,
+    ErrorEvent,
+    EventPipeline,
+    EventSink,
+    PolicyEvent,
+    QueryEvent,
+)
+from repro.obs.export import prometheus_text
+from repro.obs.metrics import metrics_enabled, metrics_registry, record
 from repro.obs.profile import ExplainProfile, ProfileCollector, ProfileNode
 from repro.obs.trace import Tracer
 from repro.dtd.dtd import DTD
 from repro.core.derive import derive
-from repro.core.materialize import materialize_subtree
+from repro.core.materialize import materialize, materialize_subtree
 from repro.core.optimize import Optimizer
 from repro.core.options import (
     DEFAULT_OPTIONS,
@@ -234,7 +244,11 @@ class SecureQueryEngine:
     """Multi-policy secure query answering over one document DTD."""
 
     def __init__(
-        self, dtd: DTD, strict: bool = False, plan_cache_size: int = 256
+        self,
+        dtd: DTD,
+        strict: bool = False,
+        plan_cache_size: int = 256,
+        events: Optional[EventPipeline] = None,
     ):
         self.dtd = dtd
         self.strict = strict
@@ -246,6 +260,10 @@ class SecureQueryEngine:
         # id(document) -> (document, NodeTable); the columnar twin of
         # _indexes — registered side by side so both invalidate together
         self._stores: Dict[int, tuple] = {}
+        # audit-event fan-out; inert (one attribute check per emit
+        # site) until a sink is attached
+        self._events = events if events is not None else EventPipeline()
+        self._canary: Optional[SecurityCanary] = None
 
     # -- administration (security-officer side) ---------------------------
 
@@ -278,11 +296,14 @@ class SecureQueryEngine:
         # a re-registered name (after drop_policy) must not serve plans
         # compiled against the old specification
         self._plan_cache.invalidate(name)
+        self._emit(PolicyEvent, "register", name)
         return view
 
     def drop_policy(self, name: str) -> None:
-        self._policies.pop(name, None)
+        existed = self._policies.pop(name, None) is not None
         self._plan_cache.invalidate(name)
+        if existed:
+            self._emit(PolicyEvent, "drop", name)
 
     def policies(self) -> List[str]:
         return sorted(self._policies)
@@ -354,12 +375,28 @@ class SecureQueryEngine:
         ``DeprecationWarning``, and are folded into ``options``.
         """
         options = self._resolve_options(options, legacy_keywords)
-        if options.strategy == STRATEGY_MATERIALIZED:
-            results, report = self._query_materialized(
-                policy, query, document
-            )
-        else:
-            results, report = self._execute(policy, query, document, options)
+        try:
+            if options.strategy == STRATEGY_MATERIALIZED:
+                results, report = self._query_materialized(
+                    policy, query, document
+                )
+            else:
+                results, report = self._execute(
+                    policy, query, document, options
+                )
+        except ReproError as error:
+            # denials already produced a DenialEvent in _check_labels;
+            # everything else gets an ErrorEvent with its stable code
+            if not isinstance(error, QueryRejectedError):
+                self._emit(
+                    ErrorEvent,
+                    policy,
+                    query if isinstance(query, str) else str(query),
+                    error.code,
+                    str(error),
+                )
+            raise
+        self._post_query(policy, document, results, report, options)
         return QueryResult(results, report)
 
     def explain(
@@ -390,6 +427,7 @@ class SecureQueryEngine:
         self._indexes.clear()
         self._stores.clear()
         self._plan_cache.invalidate(policy)
+        self._emit(PolicyEvent, "invalidate", policy if policy else "*")
 
     # -- observability -----------------------------------------------------------
 
@@ -409,6 +447,127 @@ class SecureQueryEngine:
         :func:`repro.obs.enable_metrics` first; see
         ``docs/observability.md``."""
         return metrics_registry().snapshot()
+
+    def export_prometheus(self) -> str:
+        """The process-wide metrics registry in Prometheus text
+        exposition format (serve it from a ``/metrics`` HTTP handler;
+        see ``docs/audit.md`` for a scrape example)."""
+        return prometheus_text(metrics_registry())
+
+    # -- audit events / canary ---------------------------------------------------
+
+    @property
+    def events(self) -> EventPipeline:
+        """The engine's audit-event pipeline.  Inert until a sink is
+        attached; see :mod:`repro.obs.events` and ``docs/audit.md``."""
+        return self._events
+
+    def add_sink(self, sink: EventSink) -> EventSink:
+        """Attach an audit-event sink (returns it, for one-liners)."""
+        return self._events.add_sink(sink)
+
+    def remove_sink(self, sink: EventSink) -> None:
+        self._events.remove_sink(sink)
+
+    @property
+    def canary(self) -> Optional[SecurityCanary]:
+        """The active security canary, if any."""
+        return self._canary
+
+    def enable_canary(
+        self, sample_rate: float = 1.0, seed: Optional[int] = None
+    ) -> SecurityCanary:
+        """Re-check a ``sample_rate`` fraction of answered queries
+        against the materialized-view oracle, emitting a
+        :class:`~repro.obs.events.CanaryEvent` per check (see
+        :mod:`repro.obs.canary`).  The oracle costs O(document) per
+        sampled query — keep the rate small in production."""
+        self._canary = SecurityCanary(sample_rate, seed=seed)
+        return self._canary
+
+    def disable_canary(self) -> None:
+        self._canary = None
+
+    def _emit(self, factory, *arguments) -> None:
+        """Build and emit an audit event — but only when a sink is
+        listening, so the inactive cost is one attribute check."""
+        if self._events.active:
+            self._events.emit(factory(*arguments))
+
+    def _post_query(
+        self, policy, document, results, report, options: ExecutionOptions
+    ) -> None:
+        """Serving-path epilogue: sampled canary check, then the audit
+        QueryEvent.  Both are guarded so they can never fail a query
+        that has already been answered correctly."""
+        canary = self._canary
+        if (
+            canary is not None
+            and options.project
+            and document is not None
+            and canary.should_sample()
+        ):
+            self._run_canary(policy, document, results, report)
+        if not self._events.active:
+            return
+        latency = report.total_time()
+        slow = (
+            options.slow_query_threshold is not None
+            and latency >= options.slow_query_threshold
+        )
+        profile_text = None
+        if slow:
+            profile_text = (
+                report.profile.render()
+                if report.profile is not None
+                else report.summary()
+            )
+        self._events.emit(
+            QueryEvent(
+                policy=policy,
+                query=str(report.original),
+                rewritten=str(report.optimized),
+                strategy=report.strategy,
+                cache_hit=report.cache_hit,
+                result_count=report.result_count,
+                visits=report.visits,
+                latency_seconds=latency,
+                slow=slow,
+                profile=profile_text,
+            )
+        )
+
+    def _run_canary(self, policy, document, results, report) -> None:
+        """One sampled oracle comparison (see
+        :class:`~repro.obs.canary.SecurityCanary`).  Guarded: a canary
+        failure is recorded, never raised — the user already has their
+        answer."""
+        try:
+            entry = self._policy(policy)
+            event = self._canary.check(
+                policy,
+                report.original,
+                results,
+                view_tree=self._materialized_view(entry, document),
+            )
+            record("canary.checks")
+            if event.violations:
+                record("canary.violations", event.violations)
+            if self._events.active:
+                self._events.emit(event)
+        except Exception:
+            record("canary.failures")
+
+    def _materialized_view(self, entry: _Policy, document):
+        """The (cached) materialized view of ``document`` under
+        ``entry`` — the oracle the canary and the materialized
+        strategy share."""
+        cached = entry.materialized.get(id(document))
+        if cached is not None and cached[0] is document:
+            return cached[1]
+        view_tree = materialize(document, entry.view, entry.spec)
+        entry.materialized[id(document)] = (document, view_tree)
+        return view_tree
 
     def _record_query_metrics(self, report: QueryReport) -> None:
         """Fold one report into the process-wide registry (guarded:
@@ -477,10 +636,20 @@ class SecureQueryEngine:
         labels = entry.view.labels()
         for node in query.iter_nodes():
             if isinstance(node, Label) and node.name not in labels:
-                raise QueryRejectedError(
+                error = QueryRejectedError(
                     "label %r is not part of the %r view DTD"
                     % (node.name, entry.name)
                 )
+                self._emit(
+                    DenialEvent,
+                    entry.name,
+                    str(query),
+                    node.name,
+                    error.code,
+                    str(error),
+                )
+                record("query.denials")
+                raise error
 
     def _rewriter(self, entry: _Policy, document) -> Rewriter:
         if not entry.view.is_recursive():
@@ -655,7 +824,10 @@ class SecureQueryEngine:
             return self._execute_uncached(policy, query, document, options)
         entry = self._policy(policy)
         tracer = Tracer()
-        collector = ProfileCollector() if options.trace else None
+        # a slow-query threshold implies collection: the whole point is
+        # that an outlier's event arrives with its profile attached
+        collect = options.trace or options.slow_query_threshold is not None
+        collector = ProfileCollector() if collect else None
         with tracer.span(
             "query", policy=policy, strategy=options.strategy
         ) as query_span:
@@ -859,8 +1031,6 @@ class SecureQueryEngine:
         return projected
 
     def _query_materialized(self, policy, query, document):
-        from repro.core.materialize import materialize
-
         entry = self._policy(policy)
         tracer = Tracer()
         timings: Dict[str, float] = {}

@@ -11,6 +11,7 @@ keywords for one release, with a :class:`DeprecationWarning`.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Optional
 
 #: The paper's approach: the view stays virtual, queries are rewritten.
 STRATEGY_VIRTUAL = "virtual"
@@ -61,6 +62,16 @@ class ExecutionOptions:
         ``docs/observability.md``).  Off by default; tracing adds
         bookkeeping proportional to operator invocations, so leave it
         off on the serving hot path.
+    ``slow_query_threshold``
+        End-to-end latency (seconds) above which a query counts as
+        *slow*: its audit :class:`~repro.obs.events.QueryEvent` is
+        flagged ``slow`` and carries the rendered EXPLAIN ANALYZE
+        profile, so outliers arrive pre-diagnosed (see
+        ``docs/audit.md``).  Setting a threshold attaches a profile
+        collector to every plan-path execution (the same bookkeeping
+        cost as ``trace=True``), so the report's ``profile`` is
+        populated too.  ``None`` (default) disables the slow-query
+        log.
     """
 
     strategy: str = STRATEGY_VIRTUAL
@@ -69,6 +80,7 @@ class ExecutionOptions:
     use_index: bool = False
     use_cache: bool = True
     trace: bool = False
+    slow_query_threshold: Optional[float] = None
 
     def __post_init__(self):
         normalized = _LEGACY_STRATEGY_ALIASES.get(self.strategy, self.strategy)
@@ -80,6 +92,16 @@ class ExecutionOptions:
                 "'materialized')" % (self.strategy,)
             )
         object.__setattr__(self, "strategy", normalized)
+        threshold = self.slow_query_threshold
+        if threshold is not None and (
+            not isinstance(threshold, (int, float)) or threshold < 0
+        ):
+            from repro.errors import SecurityError
+
+            raise SecurityError(
+                "slow_query_threshold must be a non-negative number of "
+                "seconds (or None), got %r" % (threshold,)
+            )
 
     def with_(self, **changes) -> "ExecutionOptions":
         """A copy with some fields replaced."""

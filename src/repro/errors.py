@@ -4,6 +4,12 @@ Every error raised by the library derives from :class:`ReproError`, so
 callers can catch a single base class.  Sub-hierarchies mirror the
 subsystems: XML parsing, DTD handling, XPath handling, and the
 security-view machinery.
+
+Every class carries a stable machine-readable ``code`` (e.g.
+``E_LABEL_DENIED``, ``E_PARSE_XPATH``).  Codes are part of the public
+contract: they appear in audit :class:`~repro.obs.events.ErrorEvent`
+records, select the CLI's exit status, and never change meaning
+across releases — match on ``error.code``, not on message text.
 """
 
 from __future__ import annotations
@@ -12,9 +18,14 @@ from __future__ import annotations
 class ReproError(Exception):
     """Base class of all errors raised by this library."""
 
+    #: Stable machine-readable error code (see module docstring).
+    code = "E_REPRO"
+
 
 class XMLError(ReproError):
     """Base class of XML document-model errors."""
+
+    code = "E_XML"
 
 
 class XMLParseError(XMLError):
@@ -23,6 +34,8 @@ class XMLParseError(XMLError):
     Carries the 1-based ``line`` and ``column`` of the offending input
     position when known.
     """
+
+    code = "E_PARSE_XML"
 
     def __init__(self, message, line=None, column=None):
         if line is not None:
@@ -35,25 +48,37 @@ class XMLParseError(XMLError):
 class DTDError(ReproError):
     """Base class of DTD errors."""
 
+    code = "E_DTD"
+
 
 class DTDParseError(DTDError):
     """Raised when DTD text cannot be parsed."""
+
+    code = "E_PARSE_DTD"
 
 
 class DTDValidationError(DTDError):
     """Raised when a document fails DTD validation (strict mode)."""
 
+    code = "E_DTD_INVALID"
+
 
 class ContentModelError(DTDError):
     """Raised on malformed or non-normalizable content models."""
+
+    code = "E_CONTENT_MODEL"
 
 
 class XPathError(ReproError):
     """Base class of XPath errors."""
 
+    code = "E_XPATH"
+
 
 class XPathSyntaxError(XPathError):
     """Raised when an XPath expression cannot be parsed."""
+
+    code = "E_PARSE_XPATH"
 
     def __init__(self, message, position=None):
         if position is not None:
@@ -65,9 +90,13 @@ class XPathSyntaxError(XPathError):
 class XPathEvaluationError(XPathError):
     """Raised when an XPath expression cannot be evaluated."""
 
+    code = "E_XPATH_EVAL"
+
 
 class SecurityError(ReproError):
     """Base class of access-control errors."""
+
+    code = "E_SECURITY"
 
 
 class SpecificationError(SecurityError):
@@ -75,11 +104,15 @@ class SpecificationError(SecurityError):
     types, annotations on edges absent from the DTD, missing parameter
     bindings, ...)."""
 
+    code = "E_SPEC"
+
 
 class ViewDerivationError(SecurityError):
     """Raised when no sound and complete security view exists for a
     specification (Theorem 3.2's *only if* direction), or when the
     derivation encounters an unsupported construct."""
+
+    code = "E_DERIVE"
 
 
 class MaterializationAborted(SecurityError):
@@ -87,12 +120,24 @@ class MaterializationAborted(SecurityError):
     abort (e.g. a concatenation child did not produce exactly one
     accessible node)."""
 
+    code = "E_MATERIALIZE"
+
 
 class RewriteError(SecurityError):
     """Raised when a view query cannot be rewritten over the document."""
+
+    code = "E_REWRITE"
 
 
 class QueryRejectedError(SecurityError):
     """Raised by the engine when a user query references structure that
     is not part of their security view (defensive check; the rewriting
     itself would simply produce the empty query)."""
+
+    code = "E_LABEL_DENIED"
+
+
+def error_code(error: BaseException) -> str:
+    """The stable code of any exception (``E_UNKNOWN`` for exceptions
+    from outside this hierarchy)."""
+    return getattr(error, "code", "E_UNKNOWN")

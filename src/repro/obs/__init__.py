@@ -1,6 +1,6 @@
 """repro.obs — observability for the secure-query engine.
 
-Three zero-dependency layers, all off or near-free by default:
+Zero-dependency layers, all off or near-free by default:
 
 * :mod:`repro.obs.trace` — nested :class:`Span` context managers with
   wall times and attributes; the engine derives ``QueryReport.timings``
@@ -12,9 +12,22 @@ Three zero-dependency layers, all off or near-free by default:
 * :mod:`repro.obs.profile` — per-operator execution stats collected
   when a query runs with ``ExecutionOptions(trace=True)``, exposed as
   an EXPLAIN ANALYZE-style :class:`ExplainProfile` tree on
-  ``QueryResult.report.profile``.
+  ``QueryResult.report.profile``;
+* :mod:`repro.obs.events` — typed audit events (query, denial,
+  policy, error, canary) emitted from the serving path into bounded
+  non-blocking sinks (:class:`RingBufferSink`, :class:`JsonlFileSink`,
+  :class:`CallbackSink`) via an :class:`EventPipeline` that can never
+  fail a query;
+* :mod:`repro.obs.audit` — :class:`AuditLog`, the query API over an
+  event trail (filters, tail, per-policy denial/latency accounting);
+* :mod:`repro.obs.export` — :func:`prometheus_text`, the Prometheus
+  text-exposition rendering of the metrics registry;
+* :mod:`repro.obs.canary` — :class:`SecurityCanary`, the sampled
+  production re-check of served answers against the
+  materialized-view oracle.
 
-See ``docs/observability.md`` for usage and overhead guidance.
+See ``docs/observability.md`` and ``docs/audit.md`` for usage and
+overhead guidance.
 """
 
 from repro.obs.metrics import (
@@ -35,6 +48,25 @@ from repro.obs.profile import (
     ProfileNode,
 )
 from repro.obs.trace import NULL_SPAN, Span, Tracer
+from repro.obs.events import (
+    CallbackSink,
+    CanaryEvent,
+    DenialEvent,
+    ErrorEvent,
+    Event,
+    EventPipeline,
+    EventSink,
+    JsonlFileSink,
+    PolicyEvent,
+    QueryEvent,
+    RingBufferSink,
+    event_from_dict,
+    parse_jsonl,
+    read_jsonl,
+)
+from repro.obs.audit import AuditLog, percentile
+from repro.obs.export import prometheus_text, sanitize_metric_name
+from repro.obs.canary import SecurityCanary
 
 __all__ = [
     # tracing
@@ -56,4 +88,27 @@ __all__ = [
     "ProfileCollector",
     "ProfileNode",
     "ExplainProfile",
+    # events
+    "Event",
+    "QueryEvent",
+    "DenialEvent",
+    "PolicyEvent",
+    "ErrorEvent",
+    "CanaryEvent",
+    "event_from_dict",
+    "parse_jsonl",
+    "read_jsonl",
+    "EventSink",
+    "RingBufferSink",
+    "JsonlFileSink",
+    "CallbackSink",
+    "EventPipeline",
+    # audit
+    "AuditLog",
+    "percentile",
+    # export
+    "prometheus_text",
+    "sanitize_metric_name",
+    # canary
+    "SecurityCanary",
 ]

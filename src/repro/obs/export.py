@@ -1,0 +1,73 @@
+"""Prometheus text-exposition export of the metrics registry.
+
+:func:`prometheus_text` renders a
+:class:`~repro.obs.metrics.MetricsRegistry` (or a ``snapshot()``
+dict of one) in the Prometheus text exposition format (version
+0.0.4), so an HTTP handler — or ``repro metrics --format
+prometheus`` — can serve a scrape endpoint without any client
+library:
+
+* every counter becomes ``<prefix>_<name>_total`` with
+  ``# TYPE ... counter``;
+* every histogram becomes a ``# TYPE ... summary`` pair
+  (``_count`` / ``_sum``) plus ``_min`` / ``_max`` gauges (the
+  registry keeps streaming min/max, not buckets).
+
+Metric names are sanitized to the Prometheus grammar
+(``[a-zA-Z_:][a-zA-Z0-9_:]*``); the dots of registry names map to
+underscores (``plan_cache.hits`` -> ``repro_plan_cache_hits_total``).
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["prometheus_text", "sanitize_metric_name"]
+
+_INVALID_CHARACTERS = re.compile(r"[^a-zA-Z0-9_:]")
+_INVALID_START = re.compile(r"^[^a-zA-Z_:]")
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Map an arbitrary registry metric name onto the Prometheus
+    metric-name grammar."""
+    sanitized = _INVALID_CHARACTERS.sub("_", name)
+    if _INVALID_START.match(sanitized):
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _format_value(value) -> str:
+    """Prometheus sample formatting: integers stay integral, floats
+    use repr (full precision)."""
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def prometheus_text(snapshot, prefix: str = "repro") -> str:
+    """The Prometheus text-exposition rendering of a metrics snapshot.
+
+    ``snapshot`` is either a :class:`~repro.obs.metrics.MetricsRegistry`
+    or the plain dict its ``snapshot()`` returns.  Output is sorted and
+    deterministic, and ends with a newline as the format requires.
+    """
+    if hasattr(snapshot, "snapshot"):
+        snapshot = snapshot.snapshot()
+    lines = []
+    for name, value in sorted(snapshot.get("counters", {}).items()):
+        metric = "%s_%s_total" % (prefix, sanitize_metric_name(name))
+        lines.append("# TYPE %s counter" % metric)
+        lines.append("%s %s" % (metric, _format_value(value)))
+    for name, histogram in sorted(snapshot.get("histograms", {}).items()):
+        metric = "%s_%s" % (prefix, sanitize_metric_name(name))
+        lines.append("# TYPE %s summary" % metric)
+        lines.append("%s_count %s" % (metric, _format_value(histogram["count"])))
+        lines.append("%s_sum %s" % (metric, _format_value(histogram["sum"])))
+        lines.append("# TYPE %s_min gauge" % metric)
+        lines.append("%s_min %s" % (metric, _format_value(histogram["min"])))
+        lines.append("# TYPE %s_max gauge" % metric)
+        lines.append("%s_max %s" % (metric, _format_value(histogram["max"])))
+    return "\n".join(lines) + "\n" if lines else ""

@@ -256,7 +256,12 @@ class Union(Path):
     def __init__(self, branches):
         self.branches = tuple(branches)
         if len(self.branches) < 2:
-            raise ValueError("Union requires >= 2 branches; use union()")
+            from repro.errors import XPathError
+
+            # a library error, not ValueError: Union construction sits
+            # on the query path (parse and rewrite both build unions),
+            # so failures must stay catchable as ReproError
+            raise XPathError("Union requires >= 2 branches; use union()")
 
     def _key(self):
         return self.branches

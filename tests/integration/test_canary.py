@@ -1,0 +1,140 @@
+"""The security canary end-to-end: at sample rate 1.0 a correct
+engine produces zero violations across both workloads, and an
+engine with a deliberately poisoned plan cache (a mis-rewritten
+query that leaks inaccessible names) makes the canary fire."""
+
+import pytest
+
+from repro.core.engine import SecureQueryEngine
+from repro.core.options import ExecutionOptions
+from repro.obs.events import RingBufferSink
+from repro.workloads.adex import adex_document, adex_dtd, adex_spec
+from repro.workloads.hospital import (
+    doctor_spec,
+    hospital_document,
+    hospital_dtd,
+    nurse_spec,
+)
+from repro.workloads.queries import ADEX_QUERY_TEXTS
+from repro.xpath.parser import parse_xpath
+from repro.xpath.plan import compile_path
+
+NURSE_QUERIES = [
+    "//patient/name",
+    "//patient//bill",
+    "//dummy2/medication",
+    "//patient[treatment/dummy1]/name",
+    "//staffInfo//doctor | //staffInfo//nurse",
+    "//name/text()",
+]
+
+DOCTOR_QUERIES = [
+    "//clinicalTrial//name",
+    "//patient/name",
+    "//treatment/trial/bill",
+]
+
+
+def hospital_engine():
+    dtd = hospital_dtd()
+    engine = SecureQueryEngine(dtd)
+    engine.register_policy("nurse", nurse_spec(dtd), wardNo="2")
+    engine.register_policy("doctor", doctor_spec(dtd))
+    return engine
+
+
+class TestZeroViolations:
+    @pytest.mark.parametrize("strategy", ["virtual", "columnar"])
+    def test_hospital_workload_is_clean(self, strategy):
+        engine = hospital_engine()
+        ring = engine.add_sink(RingBufferSink(capacity=256))
+        canary = engine.enable_canary(sample_rate=1.0)
+        options = ExecutionOptions(strategy=strategy)
+        for seed in (0, 7, 13):
+            document = hospital_document(seed=seed, max_branch=4)
+            for query in NURSE_QUERIES:
+                engine.query("nurse", query, document, options=options)
+            for query in DOCTOR_QUERIES:
+                engine.query("doctor", query, document, options=options)
+        checks = ring.events(kind="canary")
+        expected = 3 * (len(NURSE_QUERIES) + len(DOCTOR_QUERIES))
+        assert len(checks) == expected
+        assert all(event.ok for event in checks)
+        assert canary.checks == expected and canary.violations == 0
+
+    def test_adex_workload_is_clean(self):
+        dtd = adex_dtd()
+        engine = SecureQueryEngine(dtd)
+        engine.register_policy("adex", adex_spec(dtd))
+        ring = engine.add_sink(RingBufferSink(capacity=256))
+        canary = engine.enable_canary(sample_rate=1.0)
+        document = adex_document(seed=1, buyers=10, ads=30)
+        for query in ADEX_QUERY_TEXTS.values():
+            engine.query("adex", query, document)
+        checks = ring.events(kind="canary")
+        assert len(checks) == len(ADEX_QUERY_TEXTS)
+        assert all(event.violations == 0 for event in checks)
+        assert canary.violations == 0
+
+
+class TestInjectedLeak:
+    """Poison the warmed plan cache with a mis-rewritten query — the
+    unqualified ``//name``, which reaches names in departments the
+    nurse's ward predicate excludes — and verify the canary catches
+    the resulting leak.  This is the failure mode the canary exists
+    for: the engine still answers 'successfully', only the oracle
+    comparison can tell the answer is wrong."""
+
+    QUERY = "//patient/name"
+
+    def poisoned_engine(self, document):
+        engine = hospital_engine()
+        ring = engine.add_sink(RingBufferSink(capacity=64))
+        engine.enable_canary(sample_rate=1.0)
+        # warm the cache so the compiled entry (and its per-target
+        # projected plans) exist ...
+        engine.query("nurse", self.QUERY, document)
+        key = ("nurse", self.QUERY, True, None, "virtual", False)
+        compiled = engine._plan_cache.get(key)
+        assert compiled is not None and compiled.projected
+        # ... then swap every projected plan for the leaky one,
+        # keeping the (target, is_text) envelope intact
+        leaky = compile_path(parse_xpath("//name"))
+        compiled.projected = tuple(
+            (target, is_text, leaky)
+            for target, is_text, _ in compiled.projected
+        )
+        ring.clear()
+        return engine, ring
+
+    def test_canary_fires_on_leak(self):
+        # seed 0: the nurse's view exposes 6 names, the raw document
+        # holds 12 — the poisoned plan serves all of them
+        document = hospital_document(seed=0, max_branch=4)
+        engine, ring = self.poisoned_engine(document)
+        results = engine.query("nurse", self.QUERY, document)
+        (event,) = ring.events(kind="canary")
+        assert not event.ok
+        assert event.extra > 0
+        assert event.violations == event.missing + event.extra
+        assert event.actual_count == len(results) > event.expected_count
+        assert engine.canary.violations > 0
+
+    def test_clean_engine_same_document_is_quiet(self):
+        # control: identical document and query, no poisoning
+        document = hospital_document(seed=0, max_branch=4)
+        engine = hospital_engine()
+        ring = engine.add_sink(RingBufferSink(capacity=64))
+        engine.enable_canary(sample_rate=1.0)
+        engine.query("nurse", self.QUERY, document)
+        (event,) = ring.events(kind="canary")
+        assert event.ok and event.violations == 0
+
+    def test_leak_shows_in_audit_stats(self):
+        from repro.obs.audit import AuditLog
+
+        document = hospital_document(seed=0, max_branch=4)
+        engine, ring = self.poisoned_engine(document)
+        engine.query("nurse", self.QUERY, document)
+        stats = AuditLog.from_sink(ring).stats()
+        assert stats["nurse"]["canary_violations"] > 0

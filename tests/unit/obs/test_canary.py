@@ -1,0 +1,121 @@
+"""SecurityCanary sampling determinism and oracle comparison."""
+
+import pytest
+
+from repro.obs.canary import SecurityCanary, compare_answers, oracle_answers
+from repro.xmlmodel import parse_document, serialize
+
+VIEW_XML = (
+    "<ward><patient><name>Ann</name></patient>"
+    "<patient><name>Bob</name></patient></ward>"
+)
+
+
+@pytest.fixture
+def view_tree():
+    return parse_document(VIEW_XML)
+
+
+class TestSampling:
+    def test_rate_validation(self):
+        for bad in (-0.1, 1.5):
+            with pytest.raises(ValueError):
+                SecurityCanary(sample_rate=bad)
+
+    def test_rate_one_always_samples(self):
+        canary = SecurityCanary(sample_rate=1.0)
+        assert all(canary.should_sample() for _ in range(50))
+
+    def test_rate_zero_never_samples(self):
+        canary = SecurityCanary(sample_rate=0.0)
+        assert not any(canary.should_sample() for _ in range(50))
+
+    def test_seeded_schedule_is_deterministic(self):
+        first = SecurityCanary(sample_rate=0.3, seed=42)
+        second = SecurityCanary(sample_rate=0.3, seed=42)
+        schedule = [first.should_sample() for _ in range(200)]
+        assert schedule == [second.should_sample() for _ in range(200)]
+        # and the rate is roughly honoured
+        assert 30 <= sum(schedule) <= 90
+
+    def test_different_seeds_differ(self):
+        first = SecurityCanary(sample_rate=0.5, seed=1)
+        second = SecurityCanary(sample_rate=0.5, seed=2)
+        assert [first.should_sample() for _ in range(100)] != [
+            second.should_sample() for _ in range(100)
+        ]
+
+    def test_extreme_rates_never_touch_rng(self):
+        canary = SecurityCanary(sample_rate=1.0, seed=7)
+        state = canary._rng.getstate()
+        for _ in range(10):
+            canary.should_sample()
+        assert canary._rng.getstate() == state
+
+
+class TestOracle:
+    def test_oracle_answers_elements_serialize(self, view_tree):
+        expected = oracle_answers("//name", view_tree)
+        assert expected == {
+            "<name>Ann</name>": 1,
+            "<name>Bob</name>": 1,
+        }
+
+    def test_oracle_answers_text_nodes_yield_value(self, view_tree):
+        expected = oracle_answers("//name/text()", view_tree)
+        assert expected == {"Ann": 1, "Bob": 1}
+
+    def test_compare_matching_multisets(self, view_tree):
+        expected = oracle_answers("//name", view_tree)
+        served = [node for node in view_tree.children[0].children]
+        served += [node for node in view_tree.children[1].children]
+        assert compare_answers(expected, served) == (0, 0)
+
+    def test_compare_detects_missing_and_extra(self, view_tree):
+        expected = oracle_answers("//name", view_tree)
+        served = ["<name>Ann</name>", "<name>Eve</name>"]
+        missing, extra = compare_answers(expected, served)
+        assert (missing, extra) == (1, 1)
+
+    def test_compare_is_multiset_not_set(self, view_tree):
+        expected = oracle_answers("//name", view_tree)
+        served = ["<name>Ann</name>", "<name>Ann</name>"]
+        missing, extra = compare_answers(expected, served)
+        assert (missing, extra) == (1, 1)  # Bob missing, duplicate Ann extra
+
+
+class TestCheck:
+    def test_clean_answer_passes(self, view_tree):
+        canary = SecurityCanary()
+        served = ["<name>Ann</name>", "<name>Bob</name>"]
+        event = canary.check("nurse", "//name", served, view_tree=view_tree)
+        assert event.ok and event.violations == 0
+        assert event.expected_count == 2 and event.actual_count == 2
+        assert canary.checks == 1 and canary.violations == 0
+
+    def test_leak_is_flagged(self, view_tree):
+        canary = SecurityCanary()
+        served = [
+            "<name>Ann</name>",
+            "<name>Bob</name>",
+            "<ssn>123</ssn>",  # leaked node the view does not expose
+        ]
+        event = canary.check("nurse", "//name", served, view_tree=view_tree)
+        assert not event.ok
+        assert event.extra == 1 and event.violations == 1
+        assert canary.violations == 1
+
+    def test_counters_accumulate(self, view_tree):
+        canary = SecurityCanary()
+        served = ["<name>Ann</name>", "<name>Bob</name>"]
+        for _ in range(3):
+            canary.check("nurse", "//name", served, view_tree=view_tree)
+        canary.check("nurse", "//name", [], view_tree=view_tree)
+        assert canary.checks == 4 and canary.violations == 2
+
+    def test_event_records_configuration(self, view_tree):
+        canary = SecurityCanary(sample_rate=0.25, seed=0)
+        event = canary.check("nurse", "//name", [], view_tree=view_tree)
+        assert event.sample_rate == 0.25
+        assert event.policy == "nurse"
+        assert event.query == "//name"

@@ -1,0 +1,64 @@
+"""Prometheus text-exposition export of metrics snapshots."""
+
+from repro.obs.export import prometheus_text, sanitize_metric_name
+from repro.obs.metrics import MetricsRegistry
+
+
+class TestSanitize:
+    def test_dots_become_underscores(self):
+        assert sanitize_metric_name("plan_cache.hits") == "plan_cache_hits"
+
+    def test_valid_names_pass_through(self):
+        assert sanitize_metric_name("query_total:rate") == "query_total:rate"
+
+    def test_bad_leading_character(self):
+        assert sanitize_metric_name("9lives") == "_9lives"
+
+    def test_arbitrary_junk(self):
+        assert sanitize_metric_name("a b-c/d") == "a_b_c_d"
+
+
+class TestPrometheusText:
+    def test_counters(self):
+        text = prometheus_text({"counters": {"query.count": 3}})
+        assert "# TYPE repro_query_count_total counter\n" in text
+        assert "repro_query_count_total 3\n" in text
+
+    def test_histograms_render_as_summary_with_min_max(self):
+        registry = MetricsRegistry()
+        for value in (1.0, 2.0, 3.0):
+            registry.observe("query.latency", value)
+        text = prometheus_text(registry.snapshot())
+        assert "# TYPE repro_query_latency summary" in text
+        assert "repro_query_latency_count 3" in text
+        assert "repro_query_latency_sum 6.0" in text
+        assert "repro_query_latency_min 1.0" in text
+        assert "repro_query_latency_max 3.0" in text
+
+    def test_accepts_registry_directly(self):
+        registry = MetricsRegistry()
+        registry.increment("a.b")
+        assert "repro_a_b_total 1" in prometheus_text(registry)
+
+    def test_custom_prefix(self):
+        text = prometheus_text({"counters": {"x": 1}}, prefix="svc")
+        assert text.startswith("# TYPE svc_x_total counter")
+
+    def test_empty_snapshot(self):
+        assert prometheus_text({}) == ""
+        assert prometheus_text({"counters": {}, "histograms": {}}) == ""
+
+    def test_output_is_sorted_and_newline_terminated(self):
+        text = prometheus_text({"counters": {"b": 1, "a": 2}})
+        assert text.index("repro_a_total") < text.index("repro_b_total")
+        assert text.endswith("\n")
+
+    def test_every_sample_line_is_parseable(self):
+        registry = MetricsRegistry()
+        registry.increment("query.count", 5)
+        registry.observe("query.latency", 0.25)
+        for line in prometheus_text(registry).strip().splitlines():
+            if line.startswith("#"):
+                continue
+            name, value = line.split(" ")
+            assert name and float(value) >= 0

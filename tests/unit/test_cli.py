@@ -240,6 +240,8 @@ class TestErrors:
         ]
 
     def test_bad_spec_line(self, workspace, capsys):
+        from repro.cli import EXIT_CODES
+
         broken = workspace / "broken.spec"
         broken.write_text("just two\n")
         code = main(
@@ -249,8 +251,208 @@ class TestErrors:
                 str(broken),
             ]
         )
-        assert code == 2
-        assert "spec line 1" in capsys.readouterr().err
+        assert code == EXIT_CODES["E_SPEC"]
+        err = capsys.readouterr().err
+        assert "spec line 1" in err and "[E_SPEC]" in err
+
+    def test_bad_xpath_exit_code(self, workspace, capsys):
+        from repro.cli import EXIT_CODES
+
+        code = main(
+            [
+                "rewrite",
+                str(workspace / "hospital.dtd"),
+                str(workspace / "nurse.spec"),
+                "//patient[",
+                "--bind",
+                "wardNo=2",
+            ]
+        )
+        assert code == EXIT_CODES["E_PARSE_XPATH"]
+        assert "[E_PARSE_XPATH]" in capsys.readouterr().err
+
+    def test_strict_denial_exit_code(self, workspace, capsys):
+        from repro.cli import EXIT_CODES
+
+        code = main(
+            [
+                "query",
+                str(workspace / "hospital.dtd"),
+                str(workspace / "nurse.spec"),
+                str(workspace / "doc.xml"),
+                "//clinicalTrial",
+                "--bind",
+                "wardNo=2",
+                "--strict",
+            ]
+        )
+        assert code == EXIT_CODES["E_LABEL_DENIED"]
+        assert "[E_LABEL_DENIED]" in capsys.readouterr().err
+
+    def test_bad_dtd_exit_code(self, workspace, capsys):
+        from repro.cli import EXIT_CODES
+
+        broken = workspace / "broken.dtd"
+        broken.write_text("<!ELEMENT oops")
+        code = main(
+            ["generate", str(broken)]
+        )
+        assert code == EXIT_CODES["E_PARSE_DTD"]
+
+
+class TestAuditCommands:
+    def write_log(self, workspace, capsys):
+        """Run two audited queries (one a denial) and return the log."""
+        log = workspace / "audit.jsonl"
+        base = [
+            str(workspace / "hospital.dtd"),
+            str(workspace / "nurse.spec"),
+            str(workspace / "doc.xml"),
+        ]
+        assert (
+            main(
+                [
+                    "query",
+                    *base,
+                    "//patient/name",
+                    "--bind",
+                    "wardNo=2",
+                    "--audit-log",
+                    str(log),
+                    "--canary",
+                    "1.0",
+                    "--canary-seed",
+                    "0",
+                ]
+            )
+            == 0
+        )
+        main(
+            [
+                "query",
+                *base,
+                "//clinicalTrial",
+                "--bind",
+                "wardNo=2",
+                "--strict",
+                "--audit-log",
+                str(log),
+            ]
+        )
+        capsys.readouterr()  # discard query output
+        return log
+
+    def test_query_writes_jsonl_audit_log(self, workspace, capsys):
+        from repro.obs.audit import AuditLog
+
+        log = self.write_log(workspace, capsys)
+        # policy registration happens before the sink attaches, so the
+        # trail holds exactly the serving-path events of the two runs
+        audit = AuditLog.from_jsonl(log)
+        kinds = sorted(event.kind for event in audit)
+        assert kinds == ["canary", "denial", "query"]
+
+    def test_audit_tail(self, workspace, capsys):
+        log = self.write_log(workspace, capsys)
+        assert main(["audit", "tail", str(log)]) == 0
+        out = capsys.readouterr().out
+        assert "query" in out and "canary" in out and "denial" in out
+        assert "//patient/name" in out
+
+    def test_audit_tail_filters_and_json(self, workspace, capsys):
+        import json
+
+        log = self.write_log(workspace, capsys)
+        assert main(["audit", "tail", str(log), "--kind", "query", "--json"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["kind"] == "query"
+
+    def test_audit_stats(self, workspace, capsys):
+        log = self.write_log(workspace, capsys)
+        assert main(["audit", "stats", str(log)]) == 0
+        out = capsys.readouterr().out
+        assert "policy policy:" in out
+        assert "queries=1" in out and "denials=1" in out
+        assert "checks=1 violations=0" in out
+        assert "p95=" in out
+
+    def test_audit_stats_json(self, workspace, capsys):
+        import json
+
+        log = self.write_log(workspace, capsys)
+        assert main(["audit", "stats", str(log), "--json"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        bucket = stats["policy"]
+        assert bucket["queries"] == 1
+        assert bucket["denials"] == 1
+        assert bucket["canary_violations"] == 0
+        assert bucket["latency"]["count"] == 1
+
+    def test_query_slow_ms_flags_slow_queries(self, workspace, capsys):
+        from repro.obs.audit import AuditLog
+
+        log = workspace / "slow.jsonl"
+        code = main(
+            [
+                "query",
+                str(workspace / "hospital.dtd"),
+                str(workspace / "nurse.spec"),
+                str(workspace / "doc.xml"),
+                "//patient/name",
+                "--bind",
+                "wardNo=2",
+                "--audit-log",
+                str(log),
+                "--slow-ms",
+                "0",
+            ]
+        )
+        assert code == 0
+        (event,) = AuditLog.from_jsonl(log).events(kind="query")
+        assert event.slow and event.profile
+
+
+class TestMetricsCommand:
+    def snapshot_path(self, workspace, capsys):
+        import json
+
+        path = workspace / "metrics.json"
+        code = main(
+            [
+                "query",
+                str(workspace / "hospital.dtd"),
+                str(workspace / "nurse.spec"),
+                str(workspace / "doc.xml"),
+                "//patient/name",
+                "--bind",
+                "wardNo=2",
+                "--metrics",
+                "--json",
+            ]
+        )
+        assert code == 0
+        path.write_text(capsys.readouterr().out)
+        return path
+
+    def test_metrics_text(self, workspace, capsys):
+        path = self.snapshot_path(workspace, capsys)
+        assert main(["metrics", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "metrics:" in out and "query.count = 1" in out
+
+    def test_metrics_prometheus(self, workspace, capsys):
+        path = self.snapshot_path(workspace, capsys)
+        assert main(["metrics", str(path), "--format", "prometheus"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_query_count_total counter" in out
+        assert "repro_query_count_total 1" in out
+
+    def test_metrics_rejects_non_snapshot(self, workspace, capsys):
+        bad = workspace / "notmetrics.json"
+        bad.write_text('{"unrelated": 1}')
+        assert main(["metrics", str(bad)]) == 2
+        assert "snapshot" in capsys.readouterr().err
 
 
 class TestSpecTextParser:

@@ -61,3 +61,61 @@ def test_catching_the_base_class():
 
     with pytest.raises(errors.ReproError):
         parse_xpath("a[")
+
+
+EXPECTED_CODES = {
+    errors.ReproError: "E_REPRO",
+    errors.XMLError: "E_XML",
+    errors.XMLParseError: "E_PARSE_XML",
+    errors.DTDError: "E_DTD",
+    errors.DTDParseError: "E_PARSE_DTD",
+    errors.DTDValidationError: "E_DTD_INVALID",
+    errors.ContentModelError: "E_CONTENT_MODEL",
+    errors.XPathError: "E_XPATH",
+    errors.XPathSyntaxError: "E_PARSE_XPATH",
+    errors.XPathEvaluationError: "E_XPATH_EVAL",
+    errors.SecurityError: "E_SECURITY",
+    errors.SpecificationError: "E_SPEC",
+    errors.ViewDerivationError: "E_DERIVE",
+    errors.MaterializationAborted: "E_MATERIALIZE",
+    errors.RewriteError: "E_REWRITE",
+    errors.QueryRejectedError: "E_LABEL_DENIED",
+}
+
+
+class TestStableCodes:
+    """The ``code`` attribute is a public contract: audit events, the
+    CLI exit-code map, and downstream alerting all key on it."""
+
+    @pytest.mark.parametrize(
+        "error_class,code",
+        sorted(EXPECTED_CODES.items(), key=lambda item: item[1]),
+        ids=lambda value: value if isinstance(value, str) else value.__name__,
+    )
+    def test_every_error_has_its_code(self, error_class, code):
+        assert error_class.code == code
+
+    def test_codes_are_unique(self):
+        codes = [error_class.code for error_class in EXPECTED_CODES]
+        assert len(codes) == len(set(codes))
+
+    def test_instances_carry_the_class_code(self):
+        assert errors.XPathSyntaxError("oops").code == "E_PARSE_XPATH"
+
+    def test_error_code_helper(self):
+        assert errors.error_code(errors.RewriteError("x")) == "E_REWRITE"
+        assert errors.error_code(ValueError("x")) == "E_UNKNOWN"
+
+    def test_raised_parser_errors_carry_codes(self):
+        from repro.xpath.parser import parse_xpath
+
+        with pytest.raises(errors.ReproError) as info:
+            parse_xpath("a[")
+        assert info.value.code == "E_PARSE_XPATH"
+
+    def test_union_on_query_path_raises_coded_error(self):
+        from repro.xpath.ast import Union
+
+        with pytest.raises(errors.XPathError) as info:
+            Union([])
+        assert info.value.code == "E_XPATH"
