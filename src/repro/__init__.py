@@ -43,20 +43,31 @@ The subpackages are usable on their own:
   process-wide metrics, per-operator EXPLAIN ANALYZE profiles, audit
   events with bounded sinks, the :class:`AuditLog` query API,
   Prometheus export, and the sampled :class:`SecurityCanary` (see
-  ``docs/observability.md`` and ``docs/audit.md``).
+  ``docs/observability.md`` and ``docs/audit.md``);
+* :mod:`repro.robustness` — the resource governor
+  (:class:`QueryLimits` deadlines/budgets with cooperative
+  cancellation), graceful degradation (:class:`DegradationPolicy`),
+  and the deterministic fault-injection harness (:class:`FaultPlan`)
+  — see ``docs/robustness.md``.
 """
 
 from repro.errors import (
+    BudgetExceeded,
+    DeadlineExceeded,
     DTDError,
+    DTDLimitError,
     DTDParseError,
     DTDValidationError,
+    FaultInjected,
     MaterializationAborted,
     QueryRejectedError,
     ReproError,
+    ResourceError,
     RewriteError,
     SecurityError,
     SpecificationError,
     ViewDerivationError,
+    XMLLimitError,
     XMLParseError,
     XPathEvaluationError,
     XPathSyntaxError,
@@ -91,6 +102,7 @@ from repro.obs import (
     AuditLog,
     CallbackSink,
     CanaryEvent,
+    DegradationEvent,
     DenialEvent,
     ErrorEvent,
     Event,
@@ -140,8 +152,17 @@ from repro.core import (
     rewrite,
     unfold_view,
 )
+from repro.robustness import (
+    NO_LIMITS,
+    Budget,
+    DegradationPolicy,
+    FaultPlan,
+    FaultSpec,
+    FaultySink,
+    QueryLimits,
+)
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     # errors
@@ -158,6 +179,12 @@ __all__ = [
     "MaterializationAborted",
     "RewriteError",
     "QueryRejectedError",
+    "XMLLimitError",
+    "DTDLimitError",
+    "ResourceError",
+    "DeadlineExceeded",
+    "BudgetExceeded",
+    "FaultInjected",
     # xml
     "XMLElement",
     "XMLText",
@@ -234,7 +261,16 @@ __all__ = [
     "RingBufferSink",
     "JsonlFileSink",
     "CallbackSink",
+    "DegradationEvent",
     "AuditLog",
     "SecurityCanary",
     "prometheus_text",
+    # robustness (see docs/robustness.md)
+    "QueryLimits",
+    "Budget",
+    "NO_LIMITS",
+    "DegradationPolicy",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultySink",
 ]

@@ -10,6 +10,7 @@
                     [--trace] [--metrics] [--json]
                     [--audit-log PATH] [--slow-ms MS]
                     [--canary RATE] [--canary-seed N]
+                    [--timeout-ms MS] [--max-results N] [--max-visits N]
     repro audit     tail  LOG.jsonl [-n N] [--kind K] [--policy P] [--json]
     repro audit     stats LOG.jsonl [--policy P] [--json]
     repro metrics   SNAPSHOT.json [--format text|prometheus]
@@ -53,6 +54,8 @@ EXIT_CODES = {
     "E_SPEC": 8,
     "E_DERIVE": 9,
     "E_REWRITE": 10,
+    "E_DEADLINE": 11,
+    "E_BUDGET": 12,
 }
 
 
@@ -142,6 +145,23 @@ def cmd_query(arguments) -> int:
 
     engine = _engine(arguments)
     document = parse_document(_read(arguments.document))
+    limits = None
+    if (
+        arguments.timeout_ms is not None
+        or arguments.max_results is not None
+        or arguments.max_visits is not None
+    ):
+        from repro.robustness.governor import QueryLimits
+
+        limits = QueryLimits(
+            deadline_seconds=(
+                arguments.timeout_ms / 1e3
+                if arguments.timeout_ms is not None
+                else None
+            ),
+            max_results=arguments.max_results,
+            max_visits=arguments.max_visits,
+        )
     options = ExecutionOptions(
         strategy=arguments.strategy,
         optimize=not arguments.no_optimize,
@@ -151,6 +171,7 @@ def cmd_query(arguments) -> int:
         slow_query_threshold=(
             arguments.slow_ms / 1e3 if arguments.slow_ms is not None else None
         ),
+        limits=limits,
     )
     audit_sink = None
     if arguments.audit_log:
@@ -247,6 +268,13 @@ def _render_event(event) -> str:
             event.extra,
             "ok" if event.ok else "VIOLATION",
         )
+    elif event.kind == "degradation":
+        detail = "%s -> %s  [%s] %s" % (
+            event.seam,
+            event.fallback,
+            event.code,
+            event.message,
+        )
     else:  # pragma: no cover - future kinds
         detail = ""
     policy = getattr(event, "policy", "") or "-"
@@ -287,13 +315,15 @@ def cmd_audit_stats(arguments) -> int:
         latency = bucket["latency"]
         print("policy %s:" % policy)
         print(
-            "  queries=%d cache_hits=%d slow=%d denials=%d errors=%d"
+            "  queries=%d cache_hits=%d slow=%d denials=%d errors=%d "
+            "degradations=%d"
             % (
                 bucket["queries"],
                 bucket["cache_hits"],
                 bucket["slow"],
                 bucket["denials"],
                 bucket["errors"],
+                bucket.get("degradations", 0),
             )
         )
         print(
@@ -492,6 +522,30 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="seed the canary's sampling RNG (reproducible schedules)",
     )
+    query_cmd.add_argument(
+        "--timeout-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="wall-clock deadline for the query; exceeding it exits "
+        "%d [E_DEADLINE]" % EXIT_CODES["E_DEADLINE"],
+    )
+    query_cmd.add_argument(
+        "--max-results",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fail with exit %d [E_BUDGET] when the answer would "
+        "exceed N results" % EXIT_CODES["E_BUDGET"],
+    )
+    query_cmd.add_argument(
+        "--max-visits",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fail with exit %d [E_BUDGET] after N node visits"
+        % EXIT_CODES["E_BUDGET"],
+    )
     query_cmd.set_defaults(handler=cmd_query)
 
     audit_cmd = commands.add_parser(
@@ -507,7 +561,7 @@ def build_parser() -> argparse.ArgumentParser:
     tail_cmd.add_argument("-n", "--count", type=int, default=10)
     tail_cmd.add_argument(
         "--kind",
-        choices=["query", "denial", "policy", "error", "canary"],
+        choices=["query", "denial", "policy", "error", "canary", "degradation"],
         default=None,
     )
     tail_cmd.add_argument("--policy", default=None)

@@ -33,9 +33,15 @@ from __future__ import annotations
 import warnings
 from typing import Dict, List, Optional, Union as TypingUnion
 
-from repro.errors import QueryRejectedError, ReproError, SecurityError
+from repro.errors import (
+    QueryRejectedError,
+    ReproError,
+    SecurityError,
+    error_code,
+)
 from repro.obs.canary import SecurityCanary
 from repro.obs.events import (
+    DegradationEvent,
     DenialEvent,
     ErrorEvent,
     EventPipeline,
@@ -61,6 +67,8 @@ from repro.core.options import (
 from repro.core.plancache import CompiledQuery, PlanCache, PlanCacheStats
 from repro.core.rewrite import Rewriter
 from repro.core.spec import AccessSpec
+from repro.robustness.degrade import DegradationPolicy
+from repro.robustness.faults import trip as fault_trip
 from repro.core.unfold import unfold_view
 from repro.core.view import SecurityView
 from repro.xpath.ast import Absolute, Label, Path
@@ -249,9 +257,15 @@ class SecureQueryEngine:
         strict: bool = False,
         plan_cache_size: int = 256,
         events: Optional[EventPipeline] = None,
+        degradation: Optional[DegradationPolicy] = None,
     ):
         self.dtd = dtd
         self.strict = strict
+        # which accelerator seams may fail soft (see docs/robustness.md);
+        # the default serves degraded rather than failing the query
+        self._degradation = (
+            degradation if degradation is not None else DegradationPolicy()
+        )
         self._policies: Dict[str, _Policy] = {}
         self._optimizer = Optimizer(dtd)
         self._plan_cache = PlanCache(plan_cache_size)
@@ -378,7 +392,7 @@ class SecureQueryEngine:
         try:
             if options.strategy == STRATEGY_MATERIALIZED:
                 results, report = self._query_materialized(
-                    policy, query, document
+                    policy, query, document, options
                 )
             else:
                 results, report = self._execute(
@@ -412,7 +426,9 @@ class SecureQueryEngine:
         status, per-stage timings, and evaluation statistics."""
         options = self._resolve_options(options, legacy_keywords)
         if options.strategy == STRATEGY_MATERIALIZED:
-            _, report = self._query_materialized(policy, query, document)
+            _, report = self._query_materialized(
+                policy, query, document, options
+            )
             return report
         _, report = self._execute(policy, query, document, options)
         return report
@@ -674,25 +690,77 @@ class SecureQueryEngine:
             )
         return document if isinstance(document, int) else document.height()
 
-    def _index_for(self, document):
+    def _index_for(self, document, policy: str = ""):
+        """The (cached) :class:`DocumentIndex` of ``document`` — or
+        ``None`` when the build fails and the degradation policy allows
+        the ``index.build`` seam to fall back to subtree scans."""
         from repro.xmlmodel.index import DocumentIndex
 
         cached = self._indexes.get(id(document))
         if cached is not None and cached[0] is document:
             return cached[1]
-        index = DocumentIndex(document)
+        try:
+            fault_trip("index.build")
+            index = DocumentIndex(document)
+        except Exception as error:
+            if self._degrade("index.build", policy, error):
+                return None
+            raise
         self._indexes[id(document)] = (document, index)
         return index
 
-    def _store_for(self, document):
+    def _store_for(self, document, policy: str = ""):
+        """The (cached) columnar :class:`NodeTable` of ``document`` —
+        or ``None`` when the build fails and the degradation policy
+        allows the ``store.build`` seam to fall back to the object
+        backend (``PlanRuntime(store=None)`` runs tree walks)."""
         from repro.xmlmodel.store import NodeTable
 
         cached = self._stores.get(id(document))
         if cached is not None and cached[0] is document:
             return cached[1]
-        store = NodeTable(document)
+        try:
+            fault_trip("store.build")
+            store = NodeTable(document)
+        except Exception as error:
+            if self._degrade("store.build", policy, error):
+                return None
+            raise
         self._stores[id(document)] = (document, store)
         return store
+
+    # -- graceful degradation / resource governance --------------------------
+
+    def _degrade(self, seam: str, policy: str, error: Exception) -> bool:
+        """Whether a failure at ``seam`` may be absorbed: when the
+        engine's :class:`~repro.robustness.DegradationPolicy` allows
+        it, account for it (metrics + a
+        :class:`~repro.obs.events.DegradationEvent`) and return True so
+        the caller answers on the fallback path; otherwise return False
+        and the caller re-raises."""
+        if not self._degradation.allows(seam):
+            return False
+        record("governor.degradations")
+        record("degradation.%s" % seam)
+        self._emit(
+            DegradationEvent,
+            policy,
+            seam,
+            self._degradation.fallback(seam),
+            error_code(error),
+            str(error),
+        )
+        return True
+
+    @staticmethod
+    def _budget_for(options: ExecutionOptions):
+        """A fresh per-query budget from ``options.limits`` (``None``
+        when the query runs ungoverned — the common case, costing one
+        attribute check per enforcement site)."""
+        limits = options.limits
+        if limits is None or limits.unlimited:
+            return None
+        return limits.budget()
 
     # -- plan compilation --------------------------------------------------------
 
@@ -723,7 +791,13 @@ class SecureQueryEngine:
         )
         key = (entry.name, query_text, optimize, height, strategy, use_index)
         if use_cache:
-            cached = self._plan_cache.get(key)
+            try:
+                fault_trip("plan_cache.get")
+                cached = self._plan_cache.get(key)
+            except Exception as error:
+                if not self._degrade("plan_cache.get", entry.name, error):
+                    raise
+                cached = None  # degraded: treat as a miss, compile fresh
             if cached is not None:
                 return cached, True
         if tracer is None:
@@ -756,7 +830,13 @@ class SecureQueryEngine:
             use_index=use_index,
         )
         if use_cache:
-            self._plan_cache.put(key, compiled)
+            try:
+                fault_trip("plan_cache.put")
+                self._plan_cache.put(key, compiled)
+            except Exception as error:
+                if not self._degrade("plan_cache.put", entry.name, error):
+                    raise
+                # degraded: this compilation just goes uncached
         return compiled, False
 
     def _whole_query_plan(
@@ -824,6 +904,7 @@ class SecureQueryEngine:
             return self._execute_uncached(policy, query, document, options)
         entry = self._policy(policy)
         tracer = Tracer()
+        budget = self._budget_for(options)
         # a slow-query threshold implies collection: the whole point is
         # that an outlier's event arrives with its profile attached
         collect = options.trace or options.slow_query_threshold is not None
@@ -841,25 +922,36 @@ class SecureQueryEngine:
                 use_cache=options.use_cache,
                 tracer=tracer,
             )
+            if budget is not None:
+                # the deadline covers compilation too
+                budget.checkpoint()
             runtime = PlanRuntime(
-                self._index_for(document) if options.use_index else None,
+                (
+                    self._index_for(document, policy)
+                    if options.use_index
+                    else None
+                ),
                 store=(
-                    self._store_for(document)
+                    self._store_for(document, policy)
                     if options.strategy == STRATEGY_COLUMNAR
                     else None
                 ),
                 profile=collector,
+                budget=budget,
             )
             with tracer.span("evaluate") as evaluate_span:
                 if options.project:
                     results = self._execute_projected(
-                        entry, compiled, document, runtime, tracer
+                        entry, compiled, document, runtime, tracer,
+                        budget=budget,
                     )
                 else:
                     plan = self._whole_query_plan(compiled, tracer)
                     results = plan.execute(
                         document, runtime=runtime, ordered=True
                     )
+                    if budget is not None:
+                        budget.charge_results(len(results))
             evaluate_span.set(results=len(results), visits=runtime.visits)
         timings = dict(compiled.timings)
         timings["evaluate"] = evaluate_span.duration
@@ -914,10 +1006,13 @@ class SecureQueryEngine:
         document,
         runtime,
         tracer: Optional[Tracer] = None,
+        budget=None,
     ):
         """Evaluate per target view node so each raw result can be
         projected through the view (dummies relabeled, hidden
-        descendants removed)."""
+        descendants removed).  Result charging is incremental so a
+        ``max_results`` breach stops before projecting further
+        subtrees."""
         projected = []
         seen = set()
         plans = self._projected_plans(entry, compiled, tracer)
@@ -927,6 +1022,8 @@ class SecureQueryEngine:
                     if id(node) not in seen:
                         seen.add(id(node))
                         projected.append(node.value)
+                if budget is not None:
+                    budget.charge_results(len(projected))
                 continue
             raw = plan.execute(document, runtime=runtime, ordered=True)
             for node in raw:
@@ -935,9 +1032,16 @@ class SecureQueryEngine:
                 seen.add(id(node))
                 projected.append(
                     materialize_subtree(
-                        document, compiled.view, entry.spec, target, node
+                        document,
+                        compiled.view,
+                        entry.spec,
+                        target,
+                        node,
+                        budget=budget,
                     )
                 )
+                if budget is not None:
+                    budget.charge_results(len(projected))
         return projected
 
     def _execute_uncached(
@@ -948,6 +1052,7 @@ class SecureQueryEngine:
         against)."""
         entry = self._policy(policy)
         tracer = Tracer()
+        budget = self._budget_for(options)
         timings: Dict[str, float] = {}
         with tracer.span(
             "query", policy=policy, strategy=STRATEGY_VIRTUAL
@@ -965,18 +1070,28 @@ class SecureQueryEngine:
                 timings["optimize"] = span.duration
             else:
                 optimized = rewritten
+            if budget is not None:
+                budget.checkpoint()
             evaluator = XPathEvaluator(
-                index=self._index_for(document) if options.use_index else None
+                index=(
+                    self._index_for(document, policy)
+                    if options.use_index
+                    else None
+                ),
+                budget=budget,
             )
             with tracer.span("evaluate") as span:
                 if options.project:
                     results = self._evaluate_projected(
-                        entry, rewriter, parsed, document, evaluator
+                        entry, rewriter, parsed, document, evaluator,
+                        budget=budget,
                     )
                 else:
                     results = evaluator.evaluate(
                         optimized, document, ordered=True
                     )
+                    if budget is not None:
+                        budget.charge_results(len(results))
             timings["evaluate"] = span.duration
         report = QueryReport(
             policy,
@@ -994,7 +1109,7 @@ class SecureQueryEngine:
         return results, report
 
     def _evaluate_projected(
-        self, entry, rewriter, parsed, document, evaluator
+        self, entry, rewriter, parsed, document, evaluator, budget=None
     ):
         """Uncached projected evaluation (see :meth:`_execute_projected`
         for the plan-based equivalent)."""
@@ -1015,6 +1130,8 @@ class SecureQueryEngine:
                     if id(node) not in seen:
                         seen.add(id(node))
                         projected.append(node.value)
+                if budget is not None:
+                    budget.charge_results(len(projected))
                 continue
             document_path = Absolute(path) if wrap_absolute else path
             optimized_path = self._optimizer.optimize(document_path)
@@ -1025,14 +1142,24 @@ class SecureQueryEngine:
                 seen.add(id(node))
                 projected.append(
                     materialize_subtree(
-                        document, rewriter.view, entry.spec, target, node
+                        document,
+                        rewriter.view,
+                        entry.spec,
+                        target,
+                        node,
+                        budget=budget,
                     )
                 )
+                if budget is not None:
+                    budget.charge_results(len(projected))
         return projected
 
-    def _query_materialized(self, policy, query, document):
+    def _query_materialized(
+        self, policy, query, document, options: ExecutionOptions
+    ):
         entry = self._policy(policy)
         tracer = Tracer()
+        budget = self._budget_for(options)
         timings: Dict[str, float] = {}
         with tracer.span(
             "query", policy=policy, strategy=STRATEGY_MATERIALIZED
@@ -1044,18 +1171,22 @@ class SecureQueryEngine:
             view_cache_hit = cached is not None and cached[0] is document
             if not view_cache_hit:
                 with tracer.span("materialize") as span:
-                    view_tree = materialize(document, entry.view, entry.spec)
+                    view_tree = materialize(
+                        document, entry.view, entry.spec, budget=budget
+                    )
                 timings["materialize"] = span.duration
                 entry.materialized[id(document)] = (document, view_tree)
             else:
                 view_tree = cached[1]
-            evaluator = XPathEvaluator()
+            evaluator = XPathEvaluator(budget=budget)
             with tracer.span("evaluate") as span:
                 results = []
                 for node in evaluator.evaluate(
                     parsed, view_tree, ordered=True
                 ):
                     results.append(node.value if node.is_text else node)
+                if budget is not None:
+                    budget.charge_results(len(results))
             timings["evaluate"] = span.duration
         report = QueryReport(
             policy,

@@ -33,16 +33,20 @@ from repro.dtd.content import (
 from repro.core.accessibility import compute_accessibility
 from repro.core.spec import AccessSpec
 from repro.core.view import SecurityView
+from repro.robustness.faults import trip as fault_trip
 from repro.xmlmodel.nodes import XMLElement, XMLText
 from repro.xpath.evaluator import XPathEvaluator
 
 
 class _Materializer:
-    def __init__(self, document_root, view: SecurityView, spec: AccessSpec):
+    def __init__(
+        self, document_root, view: SecurityView, spec: AccessSpec, budget=None
+    ):
         self.document_root = document_root
         self.view = view
         self.spec = spec
-        self.evaluator = XPathEvaluator()
+        self.budget = budget
+        self.evaluator = XPathEvaluator(budget=budget)
         self.accessible = compute_accessibility(document_root, spec)
         self.doc_order: Dict[int, int] = {
             id(node): index
@@ -70,6 +74,8 @@ class _Materializer:
     # -- expansion --------------------------------------------------------
 
     def _expand(self, view_element: XMLElement, key: str, origin) -> None:
+        if self.budget is not None:
+            self.budget.tick()
         content = self.view.node(key).content
         if isinstance(content, Epsilon):
             return
@@ -180,17 +186,23 @@ class _Materializer:
         self._expand(child_element, child_key, origin)
 
 
-def materialize(document_root, view: SecurityView, spec: AccessSpec):
+def materialize(document_root, view: SecurityView, spec: AccessSpec, budget=None):
     """Materialize ``Tv`` from a document, a view, and the (concrete,
     parameter-free) specification the view was derived from.
 
     Raises :class:`MaterializationAborted` when the Section 3.3 rules
     are violated (the situations Theorem 3.2 excludes)."""
-    return _Materializer(document_root, view, spec).run()
+    fault_trip("materialize")
+    return _Materializer(document_root, view, spec, budget=budget).run()
 
 
 def materialize_subtree(
-    document_root, view: SecurityView, spec: AccessSpec, key: str, origin
+    document_root,
+    view: SecurityView,
+    spec: AccessSpec,
+    key: str,
+    origin,
+    budget=None,
 ) -> XMLElement:
     """Materialize only the view subtree anchored at view node ``key``
     with document origin ``origin``.
@@ -199,7 +211,8 @@ def materialize_subtree(
     materializing the whole view: a result element's copy carries the
     view label (dummies stay renamed) and only view-visible
     descendants."""
-    materializer = _Materializer(document_root, view, spec)
+    fault_trip("materialize")
+    materializer = _Materializer(document_root, view, spec, budget=budget)
     node = view.node(key)
     element = XMLElement(node.label)
     if not node.is_dummy:

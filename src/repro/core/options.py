@@ -72,6 +72,15 @@ class ExecutionOptions:
         cost as ``trace=True``), so the report's ``profile`` is
         populated too.  ``None`` (default) disables the slow-query
         log.
+    ``limits``
+        A :class:`~repro.robustness.governor.QueryLimits` value: a
+        wall-clock deadline and/or work budgets (result rows, node
+        visits, frontier rows) enforced cooperatively through every
+        execution layer, raising typed ``E_DEADLINE`` / ``E_BUDGET``
+        errors (see ``docs/robustness.md``).  ``None`` (default) runs
+        ungoverned at zero overhead.  Limits are execution-time state
+        — they are deliberately *not* part of the plan-cache key, so
+        governed and ungoverned runs share compiled plans.
     """
 
     strategy: str = STRATEGY_VIRTUAL
@@ -81,6 +90,7 @@ class ExecutionOptions:
     use_cache: bool = True
     trace: bool = False
     slow_query_threshold: Optional[float] = None
+    limits: Optional["QueryLimits"] = None
 
     def __post_init__(self):
         normalized = _LEGACY_STRATEGY_ALIASES.get(self.strategy, self.strategy)
@@ -102,6 +112,16 @@ class ExecutionOptions:
                 "slow_query_threshold must be a non-negative number of "
                 "seconds (or None), got %r" % (threshold,)
             )
+        if self.limits is not None:
+            from repro.robustness.governor import QueryLimits
+
+            if not isinstance(self.limits, QueryLimits):
+                from repro.errors import SecurityError
+
+                raise SecurityError(
+                    "limits must be a QueryLimits (or None), got %r"
+                    % (self.limits,)
+                )
 
     def with_(self, **changes) -> "ExecutionOptions":
         """A copy with some fields replaced."""

@@ -8,13 +8,18 @@ into :class:`~repro.dtd.attributes.AttributeDecl` entries (CDATA /
 NMTOKEN / ID / enumerated types; ``#REQUIRED`` / ``#IMPLIED`` /
 ``#FIXED`` / literal defaults); comments are skipped.  The root type
 is the first declared element unless overridden.
+
+For untrusted input, :func:`parse_dtd` accepts optional hard limits
+(``max_bytes``, ``max_depth`` on content-model group nesting,
+``max_attributes`` per element); exceeding one raises
+:class:`repro.errors.DTDLimitError` (``E_PARSE_DTD_LIMIT``).
 """
 
 from __future__ import annotations
 
 from typing import Dict, Optional
 
-from repro.errors import DTDParseError
+from repro.errors import DTDLimitError, DTDParseError
 from repro.dtd.attributes import (
     AttributeDecl,
     FIXED,
@@ -39,9 +44,12 @@ _NAME_CHARS = _NAME_START | set("0123456789.-")
 
 
 class _Cursor:
-    def __init__(self, text: str):
+    def __init__(self, text: str, max_depth: Optional[int] = None):
         self.text = text
         self.pos = 0
+        # content-model group nesting guard (None = unbounded)
+        self.max_depth = max_depth
+        self.depth = 0
 
     def eof(self) -> bool:
         return self.pos >= len(self.text)
@@ -113,8 +121,15 @@ def _parse_particle(cursor: _Cursor) -> ContentModel:
     cursor.skip_space()
     if cursor.peek() == "(":
         cursor.take()
+        cursor.depth += 1
+        if cursor.max_depth is not None and cursor.depth > cursor.max_depth:
+            raise DTDLimitError(
+                "content-model group nesting exceeds the depth limit (%d)"
+                % cursor.max_depth
+            )
         item = _parse_group_body(cursor)
         cursor.expect(")")
+        cursor.depth -= 1
     else:
         item = Name(cursor.read_name())
     return _apply_occurrence(cursor, item)
@@ -236,13 +251,42 @@ def _read_quoted(cursor: _Cursor) -> str:
     return value
 
 
-def parse_dtd(text: str, root: Optional[str] = None) -> DTD:
+def parse_dtd(
+    text: str,
+    root: Optional[str] = None,
+    max_bytes: Optional[int] = None,
+    max_depth: Optional[int] = None,
+    max_attributes: Optional[int] = None,
+) -> DTD:
     """Parse a sequence of ``<!ELEMENT>`` and ``<!ATTLIST>``
     declarations into a :class:`~repro.dtd.dtd.DTD`.
 
     ``root`` defaults to the first declared element type.
+
+    The optional limits harden parsing of untrusted input: DTD text
+    larger than ``max_bytes`` characters, content-model groups nested
+    deeper than ``max_depth``, or more than ``max_attributes``
+    attributes declared for one element raise
+    :class:`repro.errors.DTDLimitError` (``E_PARSE_DTD_LIMIT``).
     """
-    cursor = _Cursor(text)
+    for name, value in (
+        ("max_bytes", max_bytes),
+        ("max_depth", max_depth),
+        ("max_attributes", max_attributes),
+    ):
+        if value is not None and (
+            isinstance(value, bool) or not isinstance(value, int) or value < 1
+        ):
+            raise ValueError(
+                "%s must be a positive integer (or None), got %r"
+                % (name, value)
+            )
+    if max_bytes is not None and len(text) > max_bytes:
+        raise DTDLimitError(
+            "DTD text is %d characters; the limit is %d"
+            % (len(text), max_bytes)
+        )
+    cursor = _Cursor(text, max_depth=max_depth)
     productions: Dict[str, ContentModel] = {}
     attlists: Dict[str, Dict[str, AttributeDecl]] = {}
     first: Optional[str] = None
@@ -268,6 +312,14 @@ def parse_dtd(text: str, root: Optional[str] = None) -> DTD:
                         % (declaration.name, element)
                     )
                 merged[declaration.name] = declaration
+            if (
+                max_attributes is not None
+                and len(merged) > max_attributes
+            ):
+                raise DTDLimitError(
+                    "element %r declares more than %d attributes"
+                    % (element, max_attributes)
+                )
             continue
         cursor.expect("<!ELEMENT")
         name = cursor.read_name()

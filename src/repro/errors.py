@@ -45,6 +45,14 @@ class XMLParseError(XMLError):
         self.column = column
 
 
+class XMLLimitError(XMLParseError):
+    """Raised when input hardening rejects a document before (or
+    during) parsing: size, nesting depth, or attribute-count limits
+    (see :func:`repro.xmlmodel.parser.parse_document`)."""
+
+    code = "E_PARSE_XML_LIMIT"
+
+
 class DTDError(ReproError):
     """Base class of DTD errors."""
 
@@ -55,6 +63,14 @@ class DTDParseError(DTDError):
     """Raised when DTD text cannot be parsed."""
 
     code = "E_PARSE_DTD"
+
+
+class DTDLimitError(DTDParseError):
+    """Raised when input hardening rejects DTD text: size,
+    group-nesting depth, or per-element attribute-count limits (see
+    :func:`repro.dtd.parser.parse_dtd`)."""
+
+    code = "E_PARSE_DTD_LIMIT"
 
 
 class DTDValidationError(DTDError):
@@ -135,6 +151,50 @@ class QueryRejectedError(SecurityError):
     itself would simply produce the empty query)."""
 
     code = "E_LABEL_DENIED"
+
+
+class ResourceError(ReproError):
+    """Base class of resource-governor errors: a query exceeded one of
+    its :class:`~repro.robustness.governor.QueryLimits` and was
+    cooperatively cancelled (see ``docs/robustness.md``)."""
+
+    code = "E_RESOURCE"
+
+
+class DeadlineExceeded(ResourceError):
+    """Raised (cooperatively, at batch granularity) when a query runs
+    past its wall-clock deadline."""
+
+    code = "E_DEADLINE"
+
+    def __init__(self, message, deadline_seconds=None, elapsed_seconds=None):
+        super().__init__(message)
+        self.deadline_seconds = deadline_seconds
+        self.elapsed_seconds = elapsed_seconds
+
+
+class BudgetExceeded(ResourceError):
+    """Raised when a query exceeds a work budget: result rows, node
+    visits, or frontier/intermediate rows.  ``dimension`` names the
+    exhausted budget (``"results"``, ``"visits"``, ``"frontier"``, or
+    ``"cancelled"``)."""
+
+    code = "E_BUDGET"
+
+    def __init__(self, message, dimension="", spent=None, limit=None):
+        super().__init__(message)
+        self.dimension = dimension
+        self.spent = spent
+        self.limit = limit
+
+
+class FaultInjected(ReproError):
+    """Raised by the fault-injection harness
+    (:mod:`repro.robustness.faults`) at an instrumented seam.  Never
+    raised in production — it exists so chaos tests can distinguish an
+    injected fault from a genuine bug."""
+
+    code = "E_FAULT"
 
 
 def error_code(error: BaseException) -> str:

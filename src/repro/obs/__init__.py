@@ -51,6 +51,7 @@ from repro.obs.trace import NULL_SPAN, Span, Tracer
 from repro.obs.events import (
     CallbackSink,
     CanaryEvent,
+    DegradationEvent,
     DenialEvent,
     ErrorEvent,
     Event,
@@ -95,6 +96,7 @@ __all__ = [
     "PolicyEvent",
     "ErrorEvent",
     "CanaryEvent",
+    "DegradationEvent",
     "event_from_dict",
     "parse_jsonl",
     "read_jsonl",

@@ -111,8 +111,8 @@ class AuditLog:
 
     def stats(self, policy: Optional[str] = None) -> Dict[str, dict]:
         """Per-policy accounting: ``{policy: {queries, cache_hits,
-        slow, denials, errors, canary_checks, canary_violations,
-        latency: {count, mean, p50, p95, max}}}``.
+        slow, denials, errors, degradations, canary_checks,
+        canary_violations, latency: {count, mean, p50, p95, max}}}``.
 
         Events without a policy attribution (e.g. parse errors before
         policy resolution) aggregate under ``"-"``.
@@ -131,6 +131,7 @@ class AuditLog:
                     "slow": 0,
                     "denials": 0,
                     "errors": 0,
+                    "degradations": 0,
                     "canary_checks": 0,
                     "canary_violations": 0,
                 }
@@ -146,6 +147,8 @@ class AuditLog:
                 bucket["denials"] += 1
             elif event.kind == "error":
                 bucket["errors"] += 1
+            elif event.kind == "degradation":
+                bucket["degradations"] += 1
             elif event.kind == "canary":
                 bucket["canary_checks"] += 1
                 bucket["canary_violations"] += event.violations

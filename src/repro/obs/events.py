@@ -16,7 +16,10 @@ emits one typed event per security-relevant occurrence:
   the raised :class:`~repro.errors.ReproError`;
 * :class:`CanaryEvent` — a sampled security re-check compared the
   served answer against the materialized-view oracle (see
-  :mod:`repro.obs.canary`); ``violations`` must be zero.
+  :mod:`repro.obs.canary`); ``violations`` must be zero;
+* :class:`DegradationEvent` — an optimization seam (columnar store,
+  index, plan cache) failed and the engine fell back to its reference
+  path instead of failing the query (see ``docs/robustness.md``).
 
 Events flow through an :class:`EventPipeline` into sinks.  Sinks are
 **bounded and non-blocking by design**: the ring buffer evicts the
@@ -46,6 +49,7 @@ __all__ = [
     "PolicyEvent",
     "ErrorEvent",
     "CanaryEvent",
+    "DegradationEvent",
     "event_from_dict",
     "parse_jsonl",
     "read_jsonl",
@@ -255,10 +259,45 @@ class CanaryEvent(Event):
         self.ok = bool(ok)
 
 
+class DegradationEvent(Event):
+    """An optimization seam failed soft: the engine answered on the
+    named fallback path instead of failing the query.  ``seam`` is one
+    of the :data:`repro.robustness.SEAM_FALLBACKS` keys, ``fallback``
+    the path actually used, ``code`` the stable code of the swallowed
+    error."""
+
+    kind = "degradation"
+    _fields = ("policy", "seam", "fallback", "code", "message")
+    __slots__ = _fields
+
+    def __init__(
+        self,
+        policy: str = "",
+        seam: str = "",
+        fallback: str = "",
+        code: str = "E_REPRO",
+        message: str = "",
+        timestamp: Optional[float] = None,
+    ):
+        super().__init__(timestamp)
+        self.policy = policy
+        self.seam = seam
+        self.fallback = fallback
+        self.code = code
+        self.message = message
+
+
 #: kind tag -> event class, for :func:`event_from_dict`.
 EVENT_TYPES: Dict[str, type] = {
     cls.kind: cls
-    for cls in (QueryEvent, DenialEvent, PolicyEvent, ErrorEvent, CanaryEvent)
+    for cls in (
+        QueryEvent,
+        DenialEvent,
+        PolicyEvent,
+        ErrorEvent,
+        CanaryEvent,
+        DegradationEvent,
+    )
 }
 
 

@@ -1,0 +1,79 @@
+"""Graceful-degradation policy: which optimizations may fail *soft*.
+
+The engine's execution accelerators are all optional layers over a
+correct slow path:
+
+===================  =======================  ======================
+seam                 failure                  fallback
+===================  =======================  ======================
+``store.build``      columnar NodeTable       object-tree backend
+``index.build``      DocumentIndex            subtree scans
+``plan_cache.get``   cache lookup             uncached compile
+``plan_cache.put``   cache prime              uncached next time
+===================  =======================  ======================
+
+A :class:`DegradationPolicy` decides, per seam, whether a failure
+degrades (the engine emits a
+:class:`~repro.obs.events.DegradationEvent`, bumps the
+``governor.degradations`` counter, and answers the query on the
+fallback path) or propagates (strict mode — what you want in tests,
+where a store build crashing is a bug, not weather).
+
+Answers on a degraded path are **identical** to the optimized path by
+construction — every fallback is the reference implementation the
+accelerated kernels are tested against — so degradation trades only
+latency, never correctness or the security guarantee.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+__all__ = ["DegradationPolicy", "SEAM_FALLBACKS"]
+
+#: seam name -> human-readable fallback label (event payloads, docs).
+SEAM_FALLBACKS: Dict[str, str] = {
+    "store.build": "object-backend",
+    "index.build": "scan",
+    "plan_cache.get": "uncached-compile",
+    "plan_cache.put": "uncached-compile",
+}
+
+
+class DegradationPolicy:
+    """Which seams may degrade.  The default allows every known seam
+    (serve degraded rather than fail); ``DegradationPolicy(strict=True)``
+    allows none.  Individual seams can be overridden by keyword, e.g.
+    ``DegradationPolicy(strict=True, store_build=True)`` or
+    ``DegradationPolicy(plan_cache=False)``."""
+
+    __slots__ = ("_allowed",)
+
+    def __init__(
+        self,
+        strict: bool = False,
+        store_build: Optional[bool] = None,
+        index_build: Optional[bool] = None,
+        plan_cache: Optional[bool] = None,
+    ):
+        default = not strict
+        self._allowed = {
+            "store.build": default if store_build is None else store_build,
+            "index.build": default if index_build is None else index_build,
+            "plan_cache.get": default if plan_cache is None else plan_cache,
+            "plan_cache.put": default if plan_cache is None else plan_cache,
+        }
+
+    def allows(self, seam: str) -> bool:
+        """Whether a failure at ``seam`` may degrade (unknown seams
+        never degrade — fail loudly on anything unanticipated)."""
+        return self._allowed.get(seam, False)
+
+    def fallback(self, seam: str) -> str:
+        return SEAM_FALLBACKS.get(seam, "none")
+
+    def __repr__(self):
+        degrading = sorted(
+            seam for seam, allowed in self._allowed.items() if allowed
+        )
+        return "DegradationPolicy(allows=%s)" % (degrading,)

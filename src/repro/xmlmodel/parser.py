@@ -9,13 +9,19 @@ sections.  Namespaces are not interpreted (colons are allowed in
 names).  Mixed content is preserved verbatim except that, as in the
 paper's data model, purely-whitespace text between elements is dropped
 unless ``keep_whitespace`` is set.
+
+The parser is iterative (an explicit open-element stack), so document
+depth is bounded by memory, not the interpreter recursion limit.  For
+untrusted input, :func:`parse_document` accepts optional hard limits
+(``max_bytes``, ``max_depth``, ``max_attributes``); exceeding one
+raises :class:`repro.errors.XMLLimitError` (``E_PARSE_XML_LIMIT``).
 """
 
 from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
-from repro.errors import XMLParseError
+from repro.errors import XMLLimitError, XMLParseError
 from repro.xmlmodel.nodes import XMLElement, XMLText
 
 _ENTITIES = {"lt": "<", "gt": ">", "amp": "&", "apos": "'", "quot": '"'}
@@ -43,6 +49,10 @@ class _Scanner:
     def error(self, message: str) -> XMLParseError:
         line, column = self.location()
         return XMLParseError(message, line, column)
+
+    def limit_error(self, message: str) -> XMLLimitError:
+        line, column = self.location()
+        return XMLLimitError(message, line, column)
 
     def eof(self) -> bool:
         return self.pos >= self.length
@@ -139,13 +149,22 @@ def _skip_doctype(scanner: _Scanner) -> None:
     raise scanner.error("unterminated DOCTYPE")
 
 
-def _parse_attributes(scanner: _Scanner) -> dict:
+def _parse_attributes(
+    scanner: _Scanner, max_attributes: Optional[int] = None
+) -> dict:
     attributes = {}
     while True:
         scanner.skip_whitespace()
         ch = scanner.peek()
         if ch in (">", "/") or ch == "":
             return attributes
+        if (
+            max_attributes is not None
+            and len(attributes) >= max_attributes
+        ):
+            raise scanner.limit_error(
+                "element has more than %d attributes" % max_attributes
+            )
         name = scanner.read_name()
         scanner.skip_whitespace()
         scanner.expect("=")
@@ -160,32 +179,35 @@ def _parse_attributes(scanner: _Scanner) -> dict:
         attributes[name] = _decode_entities(raw, scanner)
 
 
-def _parse_element(scanner: _Scanner, keep_whitespace: bool) -> XMLElement:
+def _parse_open_tag(scanner: _Scanner, max_attributes: Optional[int]):
+    """Parse ``<label attrs...`` through its closing ``>`` or ``/>``;
+    returns ``(element, self_closed)``."""
     scanner.expect("<")
     label = scanner.read_name()
-    attributes = _parse_attributes(scanner)
+    attributes = _parse_attributes(scanner, max_attributes)
     element = XMLElement(label, attributes=attributes or None)
     scanner.skip_whitespace()
     if scanner.peek(2) == "/>":
         scanner.advance(2)
-        return element
+        return element, True
     scanner.expect(">")
-    _parse_content(scanner, element, keep_whitespace)
-    closing = scanner.read_name()
-    if closing != label:
-        raise scanner.error(
-            "mismatched closing tag </%s> for <%s>" % (closing, label)
-        )
-    scanner.skip_whitespace()
-    scanner.expect(">")
-    return element
+    return element, False
 
 
-def _parse_content(
-    scanner: _Scanner, element: XMLElement, keep_whitespace: bool
-) -> None:
-    """Parse children of ``element`` up to (and consuming) ``</``."""
-    buffer: List[str] = []
+def _parse_element(
+    scanner: _Scanner,
+    keep_whitespace: bool,
+    max_depth: Optional[int] = None,
+    max_attributes: Optional[int] = None,
+) -> XMLElement:
+    """Parse one element (and its whole subtree) iteratively: an
+    explicit stack of open elements, so input depth can never overflow
+    the interpreter recursion limit."""
+    root, closed = _parse_open_tag(scanner, max_attributes)
+    if closed:
+        return root
+    stack: List[XMLElement] = [root]
+    buffer: List[str] = []  # pending text of stack[-1]
 
     def flush_text() -> None:
         if not buffer:
@@ -193,47 +215,105 @@ def _parse_content(
         text = _decode_entities("".join(buffer), scanner)
         buffer.clear()
         if text.strip() or keep_whitespace:
-            element.add_text(text)
+            stack[-1].add_text(text)
 
-    while True:
+    while stack:
         if scanner.eof():
-            raise scanner.error("unexpected end of input inside <%s>" % element.label)
-        ch = scanner.peek()
-        if ch == "<":
-            if scanner.peek(2) == "</":
-                flush_text()
-                scanner.advance(2)
-                return
-            if scanner.peek(4) == "<!--":
-                scanner.advance(4)
-                scanner.read_until("-->")
-                continue
-            if scanner.peek(9) == "<![CDATA[":
-                scanner.advance(9)
-                buffer.append(scanner.read_until("]]>").replace("&", "&amp;"))
-                continue
-            if scanner.peek(2) == "<?":
-                scanner.advance(2)
-                scanner.read_until("?>")
-                continue
+            raise scanner.error(
+                "unexpected end of input inside <%s>" % stack[-1].label
+            )
+        if scanner.text[scanner.pos] != "<":
+            # a text run: everything up to the next markup start
+            end = scanner.text.find("<", scanner.pos)
+            if end < 0:
+                buffer.append(scanner.text[scanner.pos :])
+                scanner.pos = scanner.length
+            else:
+                buffer.append(scanner.text[scanner.pos : end])
+                scanner.pos = end
+            continue
+        if scanner.peek(2) == "</":
             flush_text()
-            element.append(_parse_element(scanner, keep_whitespace))
-        else:
-            buffer.append(ch)
-            scanner.advance()
+            scanner.advance(2)
+            element = stack.pop()
+            closing = scanner.read_name()
+            if closing != element.label:
+                raise scanner.error(
+                    "mismatched closing tag </%s> for <%s>"
+                    % (closing, element.label)
+                )
+            scanner.skip_whitespace()
+            scanner.expect(">")
+            continue
+        if scanner.peek(4) == "<!--":
+            scanner.advance(4)
+            scanner.read_until("-->")
+            continue
+        if scanner.peek(9) == "<![CDATA[":
+            scanner.advance(9)
+            buffer.append(scanner.read_until("]]>").replace("&", "&amp;"))
+            continue
+        if scanner.peek(2) == "<?":
+            scanner.advance(2)
+            scanner.read_until("?>")
+            continue
+        flush_text()
+        if max_depth is not None and len(stack) + 1 > max_depth:
+            raise scanner.limit_error(
+                "element nesting exceeds the depth limit (%d)" % max_depth
+            )
+        child, closed = _parse_open_tag(scanner, max_attributes)
+        stack[-1].append(child)
+        if not closed:
+            stack.append(child)
+    return root
 
 
-def parse_document(text: str, keep_whitespace: bool = False) -> XMLElement:
+def parse_document(
+    text: str,
+    keep_whitespace: bool = False,
+    max_bytes: Optional[int] = None,
+    max_depth: Optional[int] = None,
+    max_attributes: Optional[int] = None,
+) -> XMLElement:
     """Parse an XML document and return its root element.
 
     Raises :class:`repro.errors.XMLParseError` with line/column
     information on malformed input.
+
+    The optional limits harden parsing of untrusted input: documents
+    larger than ``max_bytes`` characters, nested deeper than
+    ``max_depth`` elements (the root counts as depth 1), or carrying
+    more than ``max_attributes`` attributes on one element raise
+    :class:`repro.errors.XMLLimitError` (``E_PARSE_XML_LIMIT``).
     """
+    for name, value in (
+        ("max_bytes", max_bytes),
+        ("max_depth", max_depth),
+        ("max_attributes", max_attributes),
+    ):
+        if value is not None and (
+            isinstance(value, bool) or not isinstance(value, int) or value < 1
+        ):
+            raise ValueError(
+                "%s must be a positive integer (or None), got %r"
+                % (name, value)
+            )
+    if max_bytes is not None and len(text) > max_bytes:
+        raise XMLLimitError(
+            "document is %d characters; the limit is %d"
+            % (len(text), max_bytes)
+        )
     scanner = _Scanner(text)
     _skip_misc(scanner)
     if scanner.eof() or scanner.peek() != "<":
         raise scanner.error("document has no root element")
-    root = _parse_element(scanner, keep_whitespace)
+    root = _parse_element(
+        scanner,
+        keep_whitespace,
+        max_depth=max_depth,
+        max_attributes=max_attributes,
+    )
     _skip_misc(scanner)
     if not scanner.eof():
         raise scanner.error("content after the root element")

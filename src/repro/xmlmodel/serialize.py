@@ -39,19 +39,27 @@ def serialize(node) -> str:
 
 
 def _serialize_into(node, parts: List[str]) -> None:
-    if node.is_text:
-        parts.append(escape_text(node.value))
-        return
-    if not node.children:
-        if node.attributes:
-            parts.append(_open_tag(node)[:-1] + "/>")
-        else:
-            parts.append("<%s/>" % node.label)
-        return
-    parts.append(_open_tag(node))
-    for child in node.children:
-        _serialize_into(child, parts)
-    parts.append("</%s>" % node.label)
+    # iterative: literal closing tags interleave with nodes on the
+    # stack, so arbitrarily deep trees serialize without recursion
+    stack: List = [node]
+    while stack:
+        item = stack.pop()
+        if isinstance(item, str):
+            parts.append(item)
+            continue
+        if item.is_text:
+            parts.append(escape_text(item.value))
+            continue
+        if not item.children:
+            if item.attributes:
+                parts.append(_open_tag(item)[:-1] + "/>")
+            else:
+                parts.append("<%s/>" % item.label)
+            continue
+        parts.append(_open_tag(item))
+        stack.append("</%s>" % item.label)
+        for child in reversed(item.children):
+            stack.append(child)
 
 
 def pretty_print(node, indent: str = "  ") -> str:
@@ -65,21 +73,33 @@ def pretty_print(node, indent: str = "  ") -> str:
 
 
 def _pretty_into(node, parts: List[str], level: int, indent: str) -> None:
-    pad = indent * level
-    if node.is_text:
-        parts.append(pad + escape_text(node.value))
-        return
-    if not node.children:
-        if node.attributes:
-            parts.append(pad + _open_tag(node)[:-1] + "/>")
-        else:
-            parts.append(pad + "<%s/>" % node.label)
-        return
-    if all(child.is_text for child in node.children):
-        text = "".join(escape_text(child.value) for child in node.children)
-        parts.append("%s%s%s</%s>" % (pad, _open_tag(node), text, node.label))
-        return
-    parts.append(pad + _open_tag(node))
-    for child in node.children:
-        _pretty_into(child, parts, level + 1, indent)
-    parts.append("%s</%s>" % (pad, node.label))
+    # iterative twin of _serialize_into, carrying the indent level
+    stack: List = [(node, level)]
+    while stack:
+        item = stack.pop()
+        if isinstance(item, str):
+            parts.append(item)
+            continue
+        current, depth = item
+        pad = indent * depth
+        if current.is_text:
+            parts.append(pad + escape_text(current.value))
+            continue
+        if not current.children:
+            if current.attributes:
+                parts.append(pad + _open_tag(current)[:-1] + "/>")
+            else:
+                parts.append(pad + "<%s/>" % current.label)
+            continue
+        if all(child.is_text for child in current.children):
+            text = "".join(
+                escape_text(child.value) for child in current.children
+            )
+            parts.append(
+                "%s%s%s</%s>" % (pad, _open_tag(current), text, current.label)
+            )
+            continue
+        parts.append(pad + _open_tag(current))
+        stack.append("%s</%s>" % (pad, current.label))
+        for child in reversed(current.children):
+            stack.append((child, depth + 1))

@@ -72,11 +72,17 @@ class XPathEvaluator:
     indexed fast path for ``//label`` patterns (two binary searches
     instead of a subtree scan).  Queries over nodes outside the indexed
     tree silently fall back to scanning.
+
+    Pass a :class:`repro.robustness.governor.Budget` to enforce a
+    deadline and work budgets cooperatively: every ``_eval`` dispatch
+    checkpoints, and the unbounded descendant walk ticks per node, so
+    runaway queries terminate with a typed error instead of hanging.
     """
 
-    def __init__(self, index=None):
+    def __init__(self, index=None, budget=None):
         self.visits = 0
         self.index = index
+        self.budget = budget
 
     def reset_counters(self) -> None:
         self.visits = 0
@@ -105,6 +111,9 @@ class XPathEvaluator:
     # -- path dispatch -----------------------------------------------------
 
     def _eval(self, path: Path, contexts: List) -> List:
+        budget = self.budget
+        if budget is not None:
+            budget.checkpoint(self.visits, len(contexts))
         if isinstance(path, Empty):
             return []
         if isinstance(path, EpsilonPath):
@@ -256,6 +265,7 @@ class XPathEvaluator:
     def _descendants_or_self(self, contexts: List) -> List:
         """All descendant-or-self *elements*, duplicate-free.  Text
         nodes are reached through an explicit ``text()`` step."""
+        budget = self.budget
         results: List = []
         seen = set()
         for origin in contexts:
@@ -271,6 +281,8 @@ class XPathEvaluator:
                 seen.add(id(node))
                 results.append(node)
                 self.visits += 1
+                if budget is not None:
+                    budget.tick()
                 for child in reversed(node.children):
                     if child.is_element:
                         stack.append(child)
@@ -355,9 +367,11 @@ def _peel_label(inner):
     return None, ()
 
 
-def evaluate(path: Path, context, ordered: bool = False, index=None) -> List:
+def evaluate(path: Path, context, ordered: bool = False, index=None, budget=None) -> List:
     """Module-level convenience wrapper."""
-    return XPathEvaluator(index=index).evaluate(path, context, ordered=ordered)
+    return XPathEvaluator(index=index, budget=budget).evaluate(
+        path, context, ordered=ordered
+    )
 
 
 def evaluate_qualifier(qualifier: Qualifier, node) -> bool:

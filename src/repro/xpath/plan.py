@@ -101,15 +101,23 @@ class PlanRuntime:
     makes every operator report frontier sizes, chosen kernels, and
     qualifier short-circuits at batch granularity; with ``profile``
     left ``None`` the only instrumentation cost is one attribute check
-    per operator invocation."""
+    per operator invocation.
 
-    __slots__ = ("index", "store", "visits", "profile")
+    Attaching a ``budget`` (a :class:`~repro.robustness.governor.Budget`)
+    makes every operator run a cooperative limit checkpoint at the
+    same batch granularity (plus a strided per-node wall-clock check
+    inside the unbounded descendant walks), raising typed
+    ``E_DEADLINE``/``E_BUDGET`` errors; left ``None``, the cost is the
+    same single attribute check as an absent profile."""
 
-    def __init__(self, index=None, store=None, profile=None):
+    __slots__ = ("index", "store", "visits", "profile", "budget")
+
+    def __init__(self, index=None, store=None, profile=None, budget=None):
         self.index = index
         self.store = store
         self.visits = 0
         self.profile = profile
+        self.budget = budget
 
     def reset_counters(self) -> None:
         self.visits = 0
@@ -193,6 +201,9 @@ class LabelOp(_Op):
                 ):
                     seen.add(id(child))
                     results.append(child)
+        budget = rt.budget
+        if budget is not None:
+            budget.checkpoint(rt.visits, len(results))
         if rt.profile is not None:
             rt.profile.record(
                 self, len(contexts), len(results), kernel="object-walk"
@@ -249,6 +260,9 @@ class LabelOp(_Op):
                     child = next_sibling[child]
             hits.sort()
             out.extend(hits)
+        budget = rt.budget
+        if budget is not None:
+            budget.checkpoint(rt.visits, len(out))
         if rt.profile is not None:
             rt.profile.record(self, rows_in, len(out), kernel=kernel)
         return out
@@ -268,6 +282,9 @@ class WildcardOp(_Op):
                 if child.is_element and id(child) not in seen:
                     seen.add(id(child))
                     results.append(child)
+        budget = rt.budget
+        if budget is not None:
+            budget.checkpoint(rt.visits, len(results))
         if rt.profile is not None:
             rt.profile.record(
                 self, len(contexts), len(results), kernel="object-walk"
@@ -296,6 +313,9 @@ class WildcardOp(_Op):
                 child = next_sibling[child]
         hits.sort()
         out.extend(hits)
+        budget = rt.budget
+        if budget is not None:
+            budget.checkpoint(rt.visits, len(out))
         if rt.profile is not None:
             rt.profile.record(self, rows_in, len(out), kernel="child-link-walk")
         return out
@@ -315,6 +335,9 @@ class TextOp(_Op):
                 if child.is_text and id(child) not in seen:
                     seen.add(id(child))
                     results.append(child)
+        budget = rt.budget
+        if budget is not None:
+            budget.checkpoint(rt.visits, len(results))
         if rt.profile is not None:
             rt.profile.record(
                 self, len(contexts), len(results), kernel="object-walk"
@@ -338,6 +361,9 @@ class TextOp(_Op):
                     hits.append(child)
                 child = next_sibling[child]
         hits.sort()
+        budget = rt.budget
+        if budget is not None:
+            budget.checkpoint(rt.visits, len(hits))
         if rt.profile is not None:
             rt.profile.record(self, rows_in, len(hits), kernel="child-link-walk")
         return hits
@@ -359,6 +385,9 @@ class ParentOp(_Op):
             ):
                 seen.add(id(parent))
                 results.append(parent)
+        budget = rt.budget
+        if budget is not None:
+            budget.checkpoint(rt.visits, len(results))
         if rt.profile is not None:
             rt.profile.record(
                 self, len(contexts), len(results), kernel="object-walk"
@@ -381,6 +410,9 @@ class ParentOp(_Op):
                 seen.add(up)
                 out.append(up)
         out.sort()
+        budget = rt.budget
+        if budget is not None:
+            budget.checkpoint(rt.visits, len(out))
         if rt.profile is not None:
             rt.profile.record(self, len(rows), len(out), kernel="parent-links")
         return out
@@ -413,15 +445,20 @@ class DescendantOp(_Op):
         self.fast_qualifiers = tuple(fast_qualifiers)
 
     def run(self, rt, contexts):
+        budget = rt.budget
         if rt.index is not None and self.fast_label is not None:
             fast = self._fast(rt, contexts)
             if fast is not None:
+                if budget is not None:
+                    budget.checkpoint(rt.visits, len(fast))
                 if rt.profile is not None:
                     rt.profile.record(
                         self, len(contexts), len(fast), kernel="index-posting"
                     )
                 return fast
         results = self.inner.run(rt, self._descendants_or_self(rt, contexts))
+        if budget is not None:
+            budget.checkpoint(rt.visits, len(results))
         if rt.profile is not None:
             rt.profile.record(
                 self, len(contexts), len(results), kernel="subtree-walk"
@@ -465,6 +502,7 @@ class DescendantOp(_Op):
 
     @staticmethod
     def _descendants_or_self(rt, contexts):
+        budget = rt.budget
         results: List = []
         seen = set()
         for origin in contexts:
@@ -480,6 +518,8 @@ class DescendantOp(_Op):
                 seen.add(id(node))
                 results.append(node)
                 rt.visits += 1
+                if budget is not None:
+                    budget.tick()
                 for child in reversed(node.children):
                     if child.is_element:
                         stack.append(child)
@@ -525,6 +565,9 @@ class DescendantOp(_Op):
                 base.extend(posting[low:high])
                 covered_end = span_end
             rt.visits += len(base)
+            budget = rt.budget
+            if budget is not None:
+                budget.checkpoint(rt.visits, len(base))
             results = base
             for qualifier in self.fast_qualifiers:
                 results = [
@@ -541,6 +584,7 @@ class DescendantOp(_Op):
         # generic inner path: materialize the descendant-or-self
         # element frontier from the merged spans, then run the inner
         # operator set-at-a-time on it
+        budget = rt.budget
         frontier: List[int] = []
         covered_end = VIRTUAL_ROW
         end = store.end
@@ -557,10 +601,14 @@ class DescendantOp(_Op):
                     continue
                 span_start, span_end = row, end[row]
             for candidate in range(span_start, span_end):
+                if budget is not None:
+                    budget.tick()
                 if label_ids[candidate] != text_label_id:
                     frontier.append(candidate)
             covered_end = span_end
         rt.visits += len(frontier)
+        if budget is not None:
+            budget.checkpoint(rt.visits, len(frontier))
         results = self.inner.run_rows(rt, frontier)
         if rt.profile is not None:
             rt.profile.record(
@@ -583,6 +631,9 @@ class UnionOp(_Op):
                 if id(node) not in seen:
                     seen.add(id(node))
                     merged.append(node)
+        budget = rt.budget
+        if budget is not None:
+            budget.checkpoint(rt.visits, len(merged))
         if rt.profile is not None:
             rt.profile.record(
                 self, len(contexts), len(merged), kernel="object-walk"
@@ -599,6 +650,9 @@ class UnionOp(_Op):
             merged = outputs[0]
         else:
             merged = _merge_sorted(outputs)
+        budget = rt.budget
+        if budget is not None:
+            budget.checkpoint(rt.visits, len(merged))
         if rt.profile is not None:
             rt.profile.record(
                 self, len(rows), len(merged), kernel="sorted-merge"
@@ -623,6 +677,9 @@ class FilterOp(_Op):
             for node in candidates
             if not node.is_text and qualifier.test(rt, node)
         ]
+        budget = rt.budget
+        if budget is not None:
+            budget.checkpoint(rt.visits, len(results))
         if rt.profile is not None:
             rt.profile.record(self, len(candidates), len(results))
         return results
@@ -642,6 +699,9 @@ class FilterOp(_Op):
             if (row == VIRTUAL_ROW or label_ids[row] != text_label_id)
             and qualifier.test_row(rt, row)
         ]
+        budget = rt.budget
+        if budget is not None:
+            budget.checkpoint(rt.visits, len(results))
         if rt.profile is not None:
             rt.profile.record(self, len(candidates), len(results))
         return results

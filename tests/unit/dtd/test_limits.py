@@ -1,0 +1,90 @@
+"""Input-hardening tests for :func:`repro.dtd.parser.parse_dtd`."""
+
+import pytest
+
+from repro.errors import DTDLimitError, DTDParseError, error_code
+from repro.dtd.parser import parse_dtd
+
+SIMPLE = "<!ELEMENT a (b*)>\n<!ELEMENT b EMPTY>\n"
+
+
+def nested_model(depth: int) -> str:
+    """``<!ELEMENT a (((...(b)...)))>`` with ``depth`` nested groups."""
+    return "<!ELEMENT a %sb%s>\n<!ELEMENT b EMPTY>\n" % (
+        "(" * depth, ")" * depth
+    )
+
+
+class TestMaxBytes:
+    def test_within_limit(self):
+        dtd = parse_dtd(SIMPLE, max_bytes=len(SIMPLE))
+        assert dtd.root == "a"
+
+    def test_over_limit(self):
+        with pytest.raises(DTDLimitError) as excinfo:
+            parse_dtd(SIMPLE, max_bytes=10)
+        error = excinfo.value
+        assert error_code(error) == "E_PARSE_DTD_LIMIT"
+        assert "limit is 10" in str(error)
+
+    def test_limit_error_is_a_parse_error(self):
+        with pytest.raises(DTDParseError):
+            parse_dtd(SIMPLE, max_bytes=10)
+
+
+class TestMaxDepth:
+    def test_at_the_limit(self):
+        dtd = parse_dtd(nested_model(4), max_depth=4)
+        assert dtd.root == "a"
+
+    def test_over_the_limit(self):
+        with pytest.raises(DTDLimitError) as excinfo:
+            parse_dtd(nested_model(5), max_depth=4)
+        assert "depth limit (4)" in str(excinfo.value)
+
+    def test_group_bomb_rejected(self):
+        # 50k nested groups would overflow the recursive-descent stack
+        # without the guard; the limit trips long before that.
+        with pytest.raises(DTDLimitError):
+            parse_dtd(nested_model(50_000), max_depth=64)
+
+    def test_sibling_groups_do_not_accumulate(self):
+        text = "<!ELEMENT a ((b), (b), (b))>\n<!ELEMENT b EMPTY>\n"
+        parse_dtd(text, max_depth=2)
+
+
+class TestMaxAttributes:
+    def test_at_the_limit(self):
+        text = SIMPLE + "<!ATTLIST a x CDATA #IMPLIED y CDATA #IMPLIED>\n"
+        dtd = parse_dtd(text, max_attributes=2)
+        assert set(dtd.attlists["a"]) == {"x", "y"}
+
+    def test_over_the_limit(self):
+        text = SIMPLE + (
+            "<!ATTLIST a x CDATA #IMPLIED y CDATA #IMPLIED z CDATA #IMPLIED>\n"
+        )
+        with pytest.raises(DTDLimitError) as excinfo:
+            parse_dtd(text, max_attributes=2)
+        assert "more than 2 attributes" in str(excinfo.value)
+
+    def test_merged_attlists_counted_together(self):
+        text = SIMPLE + (
+            "<!ATTLIST a x CDATA #IMPLIED>\n"
+            "<!ATTLIST a y CDATA #IMPLIED>\n"
+        )
+        with pytest.raises(DTDLimitError):
+            parse_dtd(text, max_attributes=1)
+
+
+class TestLimitValidation:
+    @pytest.mark.parametrize("field", ["max_bytes", "max_depth", "max_attributes"])
+    @pytest.mark.parametrize("value", [0, -3, 2.5, "8", True])
+    def test_bad_limit_values_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            parse_dtd(SIMPLE, **{field: value})
+
+    def test_none_means_unlimited(self):
+        # The content-model grammar is recursive-descent, so "no limit"
+        # only has to cover depths a sane DTD reaches; max_depth exists
+        # to reject adversarial group bombs before the interpreter does.
+        parse_dtd(nested_model(100))

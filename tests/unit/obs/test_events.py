@@ -81,6 +81,7 @@ class TestSchema:
             "policy",
             "error",
             "canary",
+            "degradation",
         }
 
     def test_unknown_kind_fails_loudly(self):

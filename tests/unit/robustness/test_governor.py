@@ -1,0 +1,228 @@
+"""Unit tests for :mod:`repro.robustness.governor`."""
+
+import pytest
+
+from repro.errors import (
+    BudgetExceeded,
+    DeadlineExceeded,
+    ResourceError,
+    SecurityError,
+    error_code,
+)
+from repro.robustness import NO_LIMITS, Budget, QueryLimits, TICK_STRIDE
+
+
+class FakeClock:
+    """A manually advanced clock for deterministic deadline tests."""
+
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestQueryLimits:
+    def test_defaults_are_unlimited(self):
+        limits = QueryLimits()
+        assert limits.unlimited
+        assert limits.deadline_seconds is None
+        assert limits.max_results is None
+        assert limits.max_visits is None
+        assert limits.max_frontier_rows is None
+
+    def test_no_limits_singleton(self):
+        assert NO_LIMITS.unlimited
+        assert NO_LIMITS == QueryLimits()
+
+    def test_any_field_clears_unlimited(self):
+        assert not QueryLimits(deadline_seconds=1.0).unlimited
+        assert not QueryLimits(max_results=1).unlimited
+        assert not QueryLimits(max_visits=1).unlimited
+        assert not QueryLimits(max_frontier_rows=1).unlimited
+
+    def test_frozen(self):
+        limits = QueryLimits(max_results=5)
+        with pytest.raises(Exception):
+            limits.max_results = 10
+
+    @pytest.mark.parametrize("value", [0, -1, "10", False, True])
+    def test_rejects_bad_integer_limits(self, value):
+        for field in ("max_results", "max_visits", "max_frontier_rows"):
+            with pytest.raises(SecurityError):
+                QueryLimits(**{field: value})
+
+    @pytest.mark.parametrize("value", [0, -0.5, "1.0", True])
+    def test_rejects_bad_deadline(self, value):
+        with pytest.raises(SecurityError):
+            QueryLimits(deadline_seconds=value)
+
+    def test_float_visits_rejected(self):
+        with pytest.raises(SecurityError):
+            QueryLimits(max_visits=1.5)
+
+    def test_float_deadline_accepted(self):
+        assert QueryLimits(deadline_seconds=0.05).deadline_seconds == 0.05
+
+    def test_budget_mints_live_token(self):
+        budget = QueryLimits(max_visits=3).budget()
+        assert isinstance(budget, Budget)
+        assert budget.limits.max_visits == 3
+
+    def test_hashable_for_cache_keys(self):
+        assert hash(QueryLimits(max_results=1)) == hash(
+            QueryLimits(max_results=1)
+        )
+
+
+class TestBudgetDeadline:
+    def test_no_deadline_means_no_deadline_at(self):
+        budget = Budget(QueryLimits(), clock=FakeClock())
+        assert budget.deadline_at is None
+        assert budget.remaining() is None
+
+    def test_checkpoint_passes_before_deadline(self):
+        clock = FakeClock()
+        budget = Budget(QueryLimits(deadline_seconds=1.0), clock=clock)
+        clock.advance(0.99)
+        budget.checkpoint()  # must not raise
+
+    def test_checkpoint_raises_after_deadline(self):
+        clock = FakeClock()
+        budget = Budget(QueryLimits(deadline_seconds=1.0), clock=clock)
+        clock.advance(1.5)
+        with pytest.raises(DeadlineExceeded) as excinfo:
+            budget.checkpoint()
+        error = excinfo.value
+        assert error.code == "E_DEADLINE"
+        assert error_code(error) == "E_DEADLINE"
+        assert error.deadline_seconds == 1.0
+        assert error.elapsed_seconds == pytest.approx(1.5)
+        assert "1000.0 ms deadline" in str(error)
+
+    def test_deadline_error_is_resource_error(self):
+        clock = FakeClock()
+        budget = Budget(QueryLimits(deadline_seconds=0.1), clock=clock)
+        clock.advance(1.0)
+        with pytest.raises(ResourceError):
+            budget.checkpoint()
+
+    def test_elapsed_and_remaining(self):
+        clock = FakeClock(now=10.0)
+        budget = Budget(QueryLimits(deadline_seconds=2.0), clock=clock)
+        clock.advance(0.5)
+        assert budget.elapsed() == pytest.approx(0.5)
+        assert budget.remaining() == pytest.approx(1.5)
+        clock.advance(2.0)
+        assert budget.remaining() == pytest.approx(-0.5)
+
+
+class TestBudgetCounters:
+    def test_visits_within_budget(self):
+        budget = Budget(QueryLimits(max_visits=10), clock=FakeClock())
+        budget.checkpoint(visits=10)  # at the bound is fine
+
+    def test_visits_over_budget(self):
+        budget = Budget(QueryLimits(max_visits=10), clock=FakeClock())
+        with pytest.raises(BudgetExceeded) as excinfo:
+            budget.checkpoint(visits=11)
+        error = excinfo.value
+        assert error.code == "E_BUDGET"
+        assert error.dimension == "visits"
+        assert error.spent == 11
+        assert error.limit == 10
+        assert "max_visits=10" in str(error)
+
+    def test_frontier_over_budget(self):
+        budget = Budget(QueryLimits(max_frontier_rows=4), clock=FakeClock())
+        with pytest.raises(BudgetExceeded) as excinfo:
+            budget.checkpoint(frontier=5)
+        assert excinfo.value.dimension == "frontier"
+        assert "max_frontier_rows=4" in str(excinfo.value)
+
+    def test_frontier_checked_before_visits(self):
+        budget = Budget(
+            QueryLimits(max_visits=1, max_frontier_rows=1), clock=FakeClock()
+        )
+        with pytest.raises(BudgetExceeded) as excinfo:
+            budget.checkpoint(visits=2, frontier=2)
+        assert excinfo.value.dimension == "frontier"
+
+    def test_charge_results(self):
+        budget = Budget(QueryLimits(max_results=3), clock=FakeClock())
+        budget.charge_results(3)  # at the bound is fine
+        with pytest.raises(BudgetExceeded) as excinfo:
+            budget.charge_results(4)
+        error = excinfo.value
+        assert error.dimension == "results"
+        assert error.spent == 4
+        assert error.limit == 3
+
+    def test_charge_results_noop_without_limit(self):
+        budget = Budget(QueryLimits(max_visits=1), clock=FakeClock())
+        budget.charge_results(10**9)  # no max_results -> never raises
+
+
+class TestBudgetTick:
+    def test_tick_strides_the_clock_check(self):
+        clock = FakeClock()
+        budget = Budget(QueryLimits(deadline_seconds=1.0), clock=clock)
+        clock.advance(2.0)  # already overdue
+        for _ in range(TICK_STRIDE - 1):
+            budget.tick()  # no checkpoint yet: stride not reached
+        with pytest.raises(DeadlineExceeded):
+            budget.tick()  # the TICK_STRIDE-th call checks
+
+    def test_tick_without_limits_never_raises(self):
+        budget = Budget(QueryLimits(), clock=FakeClock())
+        for _ in range(3 * TICK_STRIDE):
+            budget.tick()
+
+
+class TestCancellation:
+    def test_cancel_raises_at_next_checkpoint(self):
+        budget = Budget(QueryLimits(), clock=FakeClock())
+        budget.checkpoint()
+        budget.cancel()
+        with pytest.raises(BudgetExceeded) as excinfo:
+            budget.checkpoint()
+        error = excinfo.value
+        assert error.dimension == "cancelled"
+        assert str(error).endswith("query cancelled")
+
+    def test_cancel_reason_in_message(self):
+        budget = Budget(QueryLimits(), clock=FakeClock())
+        budget.cancel("caller gave up")
+        with pytest.raises(BudgetExceeded, match="caller gave up"):
+            budget.checkpoint()
+
+    def test_cancel_beats_other_dimensions(self):
+        budget = Budget(QueryLimits(max_visits=1), clock=FakeClock())
+        budget.cancel()
+        with pytest.raises(BudgetExceeded) as excinfo:
+            budget.checkpoint(visits=100)
+        assert excinfo.value.dimension == "cancelled"
+
+
+class TestSleep:
+    def test_sleep_returns_after_duration(self):
+        budget = Budget(QueryLimits())
+        budget.sleep(0.0)  # degenerate nap completes
+
+    def test_sleep_honours_deadline(self):
+        clock = FakeClock()
+        budget = Budget(QueryLimits(deadline_seconds=0.5), clock=clock)
+        clock.advance(1.0)
+        with pytest.raises(DeadlineExceeded):
+            budget.sleep(10.0)
+
+
+class TestRepr:
+    def test_budget_repr(self):
+        budget = Budget(QueryLimits(max_results=2), clock=FakeClock())
+        text = repr(budget)
+        assert "Budget(" in text
+        assert "cancelled=False" in text

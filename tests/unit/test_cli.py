@@ -485,3 +485,76 @@ class TestTable1Command:
         out = capsys.readouterr().out
         assert "Table 1" in out
         assert "Q1" in out and "Q4" in out
+
+
+class TestGovernorFlags:
+    """`--timeout-ms` / `--max-results` / `--max-visits` map limit
+    violations to their dedicated exit codes (E_DEADLINE=11,
+    E_BUDGET=12)."""
+
+    def query_args(self, workspace, *rest):
+        return [
+            "query",
+            str(workspace / "hospital.dtd"),
+            str(workspace / "nurse.spec"),
+            str(workspace / "doc.xml"),
+            "//patient/name",
+            "--bind",
+            "wardNo=2",
+            *rest,
+        ]
+
+    def test_timeout_exit_code(self, workspace, capsys):
+        code = main(self.query_args(workspace, "--timeout-ms", "0.000001"))
+        assert code == 11
+        err = capsys.readouterr().err
+        assert "E_DEADLINE" in err
+        assert "deadline" in err
+
+    def test_max_visits_exit_code(self, workspace, capsys):
+        code = main(self.query_args(workspace, "--max-visits", "1"))
+        assert code == 12
+        err = capsys.readouterr().err
+        assert "E_BUDGET" in err
+        assert "max_visits=1" in err
+
+    def test_max_results_exit_code(self, workspace, capsys):
+        # doc.xml holds exactly one ward-2 patient name: within budget
+        code = main(self.query_args(workspace, "--max-results", "1"))
+        assert code == 0
+        capsys.readouterr()
+        wide = [
+            "query",
+            str(workspace / "hospital.dtd"),
+            str(workspace / "nurse.spec"),
+            str(workspace / "doc.xml"),
+            "//patient/*",
+            "--bind",
+            "wardNo=2",
+            "--max-results",
+            "1",
+        ]
+        code = main(wide)
+        assert code == 12
+        assert "max_results=1" in capsys.readouterr().err
+
+    def test_generous_limits_answer_normally(self, workspace, capsys):
+        code = main(
+            self.query_args(
+                workspace,
+                "--timeout-ms",
+                "30000",
+                "--max-visits",
+                "1000000",
+                "--max-results",
+                "100000",
+            )
+        )
+        assert code == 0
+        assert "<name>ann</name>" in capsys.readouterr().out
+
+    def test_exit_code_registry(self):
+        from repro.cli import EXIT_CODES
+
+        assert EXIT_CODES["E_DEADLINE"] == 11
+        assert EXIT_CODES["E_BUDGET"] == 12

@@ -1,0 +1,119 @@
+"""Input hardening and deep-document regression tests.
+
+The parser and serializer are iterative (explicit stacks), so document
+depth is bounded by memory, not ``sys.getrecursionlimit()``.  These
+tests pin that down with a 100,000-deep round trip, and exercise the
+``max_bytes`` / ``max_depth`` / ``max_attributes`` hardening limits of
+:func:`repro.xmlmodel.parser.parse_document`.
+"""
+
+import sys
+
+import pytest
+
+from repro.errors import XMLLimitError, XMLParseError, error_code
+from repro.xmlmodel.nodes import XMLElement
+from repro.xmlmodel.parser import parse_document
+from repro.xmlmodel.serialize import pretty_print, serialize
+
+#: Far beyond the default interpreter recursion limit (usually 1000).
+DEEP = 100_000
+
+
+def deep_text(depth: int) -> str:
+    """``<d><d>...<leaf>x</leaf>...</d></d>`` nested ``depth`` deep."""
+    return "<d>" * (depth - 1) + "<leaf>x</leaf>" + "</d>" * (depth - 1)
+
+
+class TestDeepDocuments:
+    def test_100k_deep_round_trip(self):
+        # Regression: the old recursive parser/serializer died with
+        # RecursionError around depth ~1000.  Compare serialized text,
+        # not structurally_equal (which is still recursive).
+        assert DEEP > sys.getrecursionlimit()
+        text = deep_text(DEEP)
+        root = parse_document(text)
+        out = serialize(root)
+        assert out == text
+        assert serialize(parse_document(out)) == text
+
+    def test_100k_deep_pretty_print(self):
+        root = parse_document(deep_text(DEEP))
+        pretty = pretty_print(root, indent="")
+        assert pretty.count("\n") >= 2 * (DEEP - 2)
+        assert serialize(parse_document(pretty)) == deep_text(DEEP)
+
+    def test_deep_document_parent_links(self):
+        root = parse_document(deep_text(5))
+        node = root
+        while node.children and not node.children[0].is_text:
+            child = node.children[0]
+            assert child.parent is node
+            node = child
+        assert node.label == "leaf"
+
+    def test_wide_document_round_trip(self):
+        text = "<r>" + "<c/>" * 50_000 + "</r>"
+        assert serialize(parse_document(text)) == text
+
+
+class TestMaxDepth:
+    def test_at_the_limit(self):
+        root = parse_document("<a><b><c/></b></a>", max_depth=3)
+        assert root.children[0].children[0].label == "c"
+
+    def test_over_the_limit(self):
+        with pytest.raises(XMLLimitError) as excinfo:
+            parse_document("<a><b><c/></b></a>", max_depth=2)
+        error = excinfo.value
+        assert error_code(error) == "E_PARSE_XML_LIMIT"
+        assert "depth limit (2)" in str(error)
+
+    def test_limit_error_is_a_parse_error(self):
+        with pytest.raises(XMLParseError):
+            parse_document("<a><b/></a>", max_depth=1)
+
+    def test_deep_bomb_rejected_early(self):
+        with pytest.raises(XMLLimitError):
+            parse_document(deep_text(DEEP), max_depth=64)
+
+    def test_siblings_do_not_count_as_depth(self):
+        parse_document("<a><b/><b/><b/><b/></a>", max_depth=2)
+
+
+class TestMaxBytes:
+    def test_within_limit(self):
+        parse_document("<a/>", max_bytes=4)
+
+    def test_over_limit(self):
+        with pytest.raises(XMLLimitError) as excinfo:
+            parse_document("<a>xx</a>", max_bytes=4)
+        assert "limit is 4" in str(excinfo.value)
+
+
+class TestMaxAttributes:
+    def test_at_the_limit(self):
+        root = parse_document('<a x="1" y="2"/>', max_attributes=2)
+        assert root.attributes == {"x": "1", "y": "2"}
+
+    def test_over_the_limit(self):
+        with pytest.raises(XMLLimitError) as excinfo:
+            parse_document('<a x="1" y="2" z="3"/>', max_attributes=2)
+        assert "more than 2 attributes" in str(excinfo.value)
+        assert excinfo.value.line == 1
+
+    def test_checked_per_element(self):
+        parse_document('<a x="1"><b y="2"/></a>', max_attributes=1)
+
+
+class TestLimitValidation:
+    @pytest.mark.parametrize("field", ["max_bytes", "max_depth", "max_attributes"])
+    @pytest.mark.parametrize("value", [0, -1, 1.5, "10", True])
+    def test_bad_limit_values_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            parse_document("<a/>", **{field: value})
+
+    def test_none_means_unlimited(self):
+        parse_document(
+            deep_text(2000), max_bytes=None, max_depth=None, max_attributes=None
+        )
