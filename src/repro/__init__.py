@@ -48,229 +48,176 @@ The subpackages are usable on their own:
   (:class:`QueryLimits` deadlines/budgets with cooperative
   cancellation), graceful degradation (:class:`DegradationPolicy`),
   and the deterministic fault-injection harness (:class:`FaultPlan`)
-  — see ``docs/robustness.md``.
+  — see ``docs/robustness.md``;
+* :mod:`repro.serving` — the concurrent multi-tenant serving layer:
+  the frozen :class:`QueryRequest` / :class:`QueryResponse` protocol,
+  per-tenant admission control, and the batch-coalescing
+  :class:`QueryServer` — see ``docs/serving.md``.
+
+Facade imports are **lazy** (PEP 562): ``import repro`` loads only
+this module; each exported name pulls in its subpackage on first
+attribute access, so programs that touch only the parsing layer never
+pay for observability, robustness, or serving imports.
 """
 
-from repro.errors import (
-    BudgetExceeded,
-    DeadlineExceeded,
-    DTDError,
-    DTDLimitError,
-    DTDParseError,
-    DTDValidationError,
-    FaultInjected,
-    MaterializationAborted,
-    QueryRejectedError,
-    ReproError,
-    ResourceError,
-    RewriteError,
-    SecurityError,
-    SpecificationError,
-    ViewDerivationError,
-    XMLLimitError,
-    XMLParseError,
-    XPathEvaluationError,
-    XPathSyntaxError,
-)
-from repro.xmlmodel import (
-    XMLElement,
-    XMLText,
-    new_document,
-    parse_document,
-    pretty_print,
-    serialize,
-)
-from repro.dtd import (
-    DTD,
-    DocumentGenerator,
-    conforms,
-    normalize_dtd,
-    parse_dtd,
-    validate,
-)
-from repro.xmlmodel import DocumentIndex, NodeTable, build_index, build_node_table
-from repro.xpath import (
-    CompiledPlan,
-    PlanRuntime,
-    XPathEvaluator,
-    compile_path,
-    evaluate,
-    parse_qualifier,
-    parse_xpath,
-)
-from repro.obs import (
-    AuditLog,
-    CallbackSink,
-    CanaryEvent,
-    DegradationEvent,
-    DenialEvent,
-    ErrorEvent,
-    Event,
-    EventPipeline,
-    EventSink,
-    ExplainProfile,
-    JsonlFileSink,
-    MetricsRegistry,
-    PolicyEvent,
-    ProfileCollector,
-    QueryEvent,
-    RingBufferSink,
-    SecurityCanary,
-    Span,
-    Tracer,
-    disable_metrics,
-    enable_metrics,
-    event_from_dict,
-    metrics_enabled,
-    metrics_registry,
-    prometheus_text,
-    read_jsonl,
-)
-from repro.core import (
-    ANN_N,
-    ANN_Y,
-    AccessSpec,
-    ExecutionOptions,
-    load_view,
-    save_view,
-    verify_policy,
-    Optimizer,
-    PlanCache,
-    PlanCacheStats,
-    QueryReport,
-    QueryResult,
-    Rewriter,
-    SecureQueryEngine,
-    SecurityView,
-    accessible_nodes,
-    annotate_document,
-    derive,
-    derive_view,
-    materialize,
-    naive_rewrite,
-    optimize,
-    rewrite,
-    unfold_view,
-)
-from repro.robustness import (
-    NO_LIMITS,
-    Budget,
-    DegradationPolicy,
-    FaultPlan,
-    FaultSpec,
-    FaultySink,
-    QueryLimits,
-)
+from typing import TYPE_CHECKING
 
-__version__ = "1.4.0"
+__version__ = "2.0.0"
 
-__all__ = [
+#: Exported name → defining submodule.  The single source of truth for
+#: both ``__getattr__`` and ``__all__``.
+_EXPORTS = {
     # errors
-    "ReproError",
-    "XMLParseError",
-    "DTDError",
-    "DTDParseError",
-    "DTDValidationError",
-    "XPathSyntaxError",
-    "XPathEvaluationError",
-    "SecurityError",
-    "SpecificationError",
-    "ViewDerivationError",
-    "MaterializationAborted",
-    "RewriteError",
-    "QueryRejectedError",
-    "XMLLimitError",
-    "DTDLimitError",
-    "ResourceError",
-    "DeadlineExceeded",
-    "BudgetExceeded",
-    "FaultInjected",
+    "ReproError": "repro.errors",
+    "XMLParseError": "repro.errors",
+    "DTDError": "repro.errors",
+    "DTDParseError": "repro.errors",
+    "DTDValidationError": "repro.errors",
+    "XPathSyntaxError": "repro.errors",
+    "XPathEvaluationError": "repro.errors",
+    "SecurityError": "repro.errors",
+    "SpecificationError": "repro.errors",
+    "ViewDerivationError": "repro.errors",
+    "MaterializationAborted": "repro.errors",
+    "RewriteError": "repro.errors",
+    "QueryRejectedError": "repro.errors",
+    "XMLLimitError": "repro.errors",
+    "DTDLimitError": "repro.errors",
+    "ResourceError": "repro.errors",
+    "DeadlineExceeded": "repro.errors",
+    "BudgetExceeded": "repro.errors",
+    "AdmissionRejected": "repro.errors",
+    "FaultInjected": "repro.errors",
+    "error_code": "repro.errors",
     # xml
-    "XMLElement",
-    "XMLText",
-    "new_document",
-    "parse_document",
-    "serialize",
-    "pretty_print",
+    "XMLElement": "repro.xmlmodel",
+    "XMLText": "repro.xmlmodel",
+    "new_document": "repro.xmlmodel",
+    "parse_document": "repro.xmlmodel",
+    "serialize": "repro.xmlmodel",
+    "pretty_print": "repro.xmlmodel",
+    "DocumentIndex": "repro.xmlmodel",
+    "build_index": "repro.xmlmodel",
+    "NodeTable": "repro.xmlmodel",
+    "build_node_table": "repro.xmlmodel",
     # dtd
-    "DTD",
-    "parse_dtd",
-    "normalize_dtd",
-    "validate",
-    "conforms",
-    "DocumentGenerator",
-    # xml
-    "DocumentIndex",
-    "build_index",
-    "NodeTable",
-    "build_node_table",
+    "DTD": "repro.dtd",
+    "parse_dtd": "repro.dtd",
+    "normalize_dtd": "repro.dtd",
+    "validate": "repro.dtd",
+    "conforms": "repro.dtd",
+    "DocumentGenerator": "repro.dtd",
     # xpath
-    "parse_xpath",
-    "parse_qualifier",
-    "evaluate",
-    "XPathEvaluator",
-    "CompiledPlan",
-    "PlanRuntime",
-    "compile_path",
+    "parse_xpath": "repro.xpath",
+    "parse_qualifier": "repro.xpath",
+    "evaluate": "repro.xpath",
+    "XPathEvaluator": "repro.xpath",
+    "CompiledPlan": "repro.xpath",
+    "PlanRuntime": "repro.xpath",
+    "compile_path": "repro.xpath",
     # core
-    "AccessSpec",
-    "ANN_Y",
-    "ANN_N",
-    "SecurityView",
-    "derive",
-    "derive_view",
-    "materialize",
-    "Rewriter",
-    "rewrite",
-    "unfold_view",
-    "Optimizer",
-    "optimize",
-    "naive_rewrite",
-    "annotate_document",
-    "accessible_nodes",
-    "SecureQueryEngine",
-    "ExecutionOptions",
-    "QueryReport",
-    "QueryResult",
-    "PlanCache",
-    "PlanCacheStats",
-    "verify_policy",
-    "save_view",
-    "load_view",
+    "AccessSpec": "repro.core",
+    "ANN_Y": "repro.core",
+    "ANN_N": "repro.core",
+    "SecurityView": "repro.core",
+    "derive": "repro.core",
+    "derive_view": "repro.core",
+    "materialize": "repro.core",
+    "Rewriter": "repro.core",
+    "rewrite": "repro.core",
+    "unfold_view": "repro.core",
+    "Optimizer": "repro.core",
+    "optimize": "repro.core",
+    "naive_rewrite": "repro.core",
+    "annotate_document": "repro.core",
+    "accessible_nodes": "repro.core",
+    "SecureQueryEngine": "repro.core",
+    "ExecutionOptions": "repro.core",
+    "QueryReport": "repro.core",
+    "QueryResult": "repro.core",
+    "PlanCache": "repro.core",
+    "PlanCacheStats": "repro.core",
+    "verify_policy": "repro.core",
+    "save_view": "repro.core",
+    "load_view": "repro.core",
     # observability
-    "Tracer",
-    "Span",
-    "MetricsRegistry",
-    "metrics_registry",
-    "enable_metrics",
-    "disable_metrics",
-    "metrics_enabled",
-    "ProfileCollector",
-    "ExplainProfile",
+    "Tracer": "repro.obs",
+    "Span": "repro.obs",
+    "MetricsRegistry": "repro.obs",
+    "metrics_registry": "repro.obs",
+    "enable_metrics": "repro.obs",
+    "disable_metrics": "repro.obs",
+    "metrics_enabled": "repro.obs",
+    "ProfileCollector": "repro.obs",
+    "ExplainProfile": "repro.obs",
     # audit events / canary (see docs/audit.md)
-    "Event",
-    "QueryEvent",
-    "DenialEvent",
-    "PolicyEvent",
-    "ErrorEvent",
-    "CanaryEvent",
-    "event_from_dict",
-    "read_jsonl",
-    "EventSink",
-    "EventPipeline",
-    "RingBufferSink",
-    "JsonlFileSink",
-    "CallbackSink",
-    "DegradationEvent",
-    "AuditLog",
-    "SecurityCanary",
-    "prometheus_text",
+    "Event": "repro.obs",
+    "QueryEvent": "repro.obs",
+    "DenialEvent": "repro.obs",
+    "PolicyEvent": "repro.obs",
+    "ErrorEvent": "repro.obs",
+    "CanaryEvent": "repro.obs",
+    "event_from_dict": "repro.obs",
+    "read_jsonl": "repro.obs",
+    "EventSink": "repro.obs",
+    "EventPipeline": "repro.obs",
+    "RingBufferSink": "repro.obs",
+    "JsonlFileSink": "repro.obs",
+    "CallbackSink": "repro.obs",
+    "DegradationEvent": "repro.obs",
+    "AuditLog": "repro.obs",
+    "SecurityCanary": "repro.obs",
+    "prometheus_text": "repro.obs",
     # robustness (see docs/robustness.md)
-    "QueryLimits",
-    "Budget",
-    "NO_LIMITS",
-    "DegradationPolicy",
-    "FaultPlan",
-    "FaultSpec",
-    "FaultySink",
-]
+    "QueryLimits": "repro.robustness",
+    "Budget": "repro.robustness",
+    "NO_LIMITS": "repro.robustness",
+    "DegradationPolicy": "repro.robustness",
+    "FaultPlan": "repro.robustness",
+    "FaultSpec": "repro.robustness",
+    "FaultySink": "repro.robustness",
+    # serving (see docs/serving.md)
+    "PROTOCOL_VERSION": "repro.serving",
+    "QueryRequest": "repro.serving",
+    "QueryResponse": "repro.serving",
+    "AdmissionController": "repro.serving",
+    "TenantPolicy": "repro.serving",
+    "EngineCatalog": "repro.serving",
+    "QueryServer": "repro.serving",
+    "standard_catalog": "repro.serving",
+    "mixed_workload": "repro.serving",
+    "replay": "repro.serving",
+}
+
+__all__ = list(_EXPORTS)
+
+
+def __getattr__(name):
+    """PEP 562 lazy export: resolve ``name`` from its submodule on
+    first access and cache it in the module globals so subsequent
+    lookups are ordinary attribute hits."""
+    try:
+        module_name = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            "module %r has no attribute %r" % (__name__, name)
+        ) from None
+    from importlib import import_module
+
+    value = getattr(import_module(module_name), name)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))
+
+
+if TYPE_CHECKING:  # pragma: no cover - static analysis only
+    from repro.core import (  # noqa: F401
+        AccessSpec,
+        ExecutionOptions,
+        QueryResult,
+        SecureQueryEngine,
+    )
+    from repro.serving import QueryRequest, QueryResponse  # noqa: F401

@@ -15,6 +15,11 @@
     repro audit     stats LOG.jsonl [--policy P] [--json]
     repro metrics   SNAPSHOT.json [--format text|prometheus]
     repro table1    [--scale S] [--repeat N]
+    repro serve     [--host H] [--port P] [--workers N] [--max-batch N]
+                    [--max-concurrent N] [--max-queue-depth N]
+                    [--queue-timeout-ms MS] [--seed N]
+    repro replay    [--clients N] [--repetitions N] [--workers N]
+                    [--max-batch N] [--seed N] [--json]
 
 Specification files use the line format of
 :func:`repro.core.spec.parse_spec_text`:
@@ -56,6 +61,7 @@ EXIT_CODES = {
     "E_REWRITE": 10,
     "E_DEADLINE": 11,
     "E_BUDGET": 12,
+    "E_ADMISSION": 13,
 }
 
 
@@ -397,6 +403,97 @@ def cmd_table1(arguments) -> int:
     return table1_main(table_arguments)
 
 
+def _admission(arguments):
+    from repro.serving.admission import AdmissionController, TenantPolicy
+
+    return AdmissionController(
+        TenantPolicy(
+            max_concurrent=arguments.max_concurrent,
+            max_queue_depth=arguments.max_queue_depth,
+            queue_deadline_seconds=(
+                arguments.queue_timeout_ms / 1e3
+                if arguments.queue_timeout_ms is not None
+                else None
+            ),
+        )
+    )
+
+
+def cmd_serve(arguments) -> int:
+    """Run the HTTP serving front end over the standard catalog (the
+    hospital nurse/doctor tenants plus the Adex buyer)."""
+    from repro.obs.metrics import enable_metrics
+    from repro.serving.httpd import serve_http
+    from repro.serving.replay import standard_catalog
+    from repro.serving.server import QueryServer
+
+    enable_metrics()
+    catalog = standard_catalog(seed=arguments.seed)
+    server = QueryServer(
+        catalog,
+        admission=_admission(arguments),
+        workers=arguments.workers,
+        max_batch=arguments.max_batch,
+    ).start()
+    print(
+        "serving %s on http://%s:%d (POST /query, GET /metrics, "
+        "GET /healthz)"
+        % (", ".join(catalog.refs()), arguments.host, arguments.port),
+        file=sys.stderr,
+    )
+    try:
+        serve_http(server, host=arguments.host, port=arguments.port)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+    return 0
+
+
+def cmd_replay(arguments) -> int:
+    """Replay the mixed-tenant workload through an in-process server
+    and print latency/throughput stats."""
+    from repro.serving.replay import mixed_workload, replay, standard_catalog
+    from repro.serving.server import QueryServer
+
+    catalog = standard_catalog(seed=arguments.seed)
+    requests = mixed_workload(
+        repetitions=arguments.repetitions, seed=arguments.seed
+    )
+    with QueryServer(
+        catalog, workers=arguments.workers, max_batch=arguments.max_batch
+    ) as server:
+        stats = replay(server, requests, clients=arguments.clients)
+    if arguments.json:
+        import json
+
+        print(json.dumps(stats, indent=2, sort_keys=True))
+        return 0
+    print(
+        "replayed %d requests from %d clients in %.2fs (%.1f qps)"
+        % (
+            stats["requests"],
+            stats["clients"],
+            stats["elapsed_seconds"],
+            stats["qps"],
+        )
+    )
+    print(
+        "latency: p50=%.2fms p95=%.2fms p99=%.2fms"
+        % (stats["p50_ms"], stats["p95_ms"], stats["p99_ms"])
+    )
+    for tenant, bucket in stats["tenants"].items():
+        print(
+            "  tenant %-18s requests=%-4d p50=%.2fms p95=%.2fms"
+            % (tenant, bucket["requests"], bucket["p50_ms"], bucket["p95_ms"])
+        )
+    if stats["errors"]:
+        for code, count in sorted(stats["errors"].items()):
+            print("  errors[%s] = %d" % (code, count))
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -607,6 +704,66 @@ def build_parser() -> argparse.ArgumentParser:
     table_cmd.add_argument("--scale", type=float, default=None)
     table_cmd.add_argument("--repeat", type=int, default=1)
     table_cmd.set_defaults(handler=cmd_table1)
+
+    def add_serving_arguments(sub):
+        sub.add_argument(
+            "--workers", type=int, default=4, help="server worker threads"
+        )
+        sub.add_argument(
+            "--max-batch",
+            type=int,
+            default=8,
+            help="most requests one worker coalesces per pass",
+        )
+        sub.add_argument(
+            "--seed", type=int, default=0, help="document-generation seed"
+        )
+
+    serve_cmd = commands.add_parser(
+        "serve",
+        help="serve the standard catalog over HTTP (multi-tenant)",
+    )
+    serve_cmd.add_argument("--host", default="127.0.0.1")
+    serve_cmd.add_argument("--port", type=int, default=8000)
+    add_serving_arguments(serve_cmd)
+    serve_cmd.add_argument(
+        "--max-concurrent",
+        type=int,
+        default=4,
+        help="concurrency slots per tenant",
+    )
+    serve_cmd.add_argument(
+        "--max-queue-depth",
+        type=int,
+        default=16,
+        help="waiters per tenant before hard E_ADMISSION rejection "
+        "(exit %d over the CLI)" % EXIT_CODES["E_ADMISSION"],
+    )
+    serve_cmd.add_argument(
+        "--queue-timeout-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="queue deadline; waiting longer surfaces E_DEADLINE",
+    )
+    serve_cmd.set_defaults(handler=cmd_serve)
+
+    replay_cmd = commands.add_parser(
+        "replay",
+        help="replay the mixed-tenant workload and print latency stats",
+    )
+    replay_cmd.add_argument(
+        "--clients", type=int, default=16, help="concurrent client threads"
+    )
+    replay_cmd.add_argument(
+        "--repetitions",
+        type=int,
+        default=4,
+        help="workload repetitions per tenant",
+    )
+    replay_cmd.add_argument("--json", action="store_true")
+    add_serving_arguments(replay_cmd)
+    replay_cmd.set_defaults(handler=cmd_replay)
 
     return parser
 

@@ -24,14 +24,25 @@ engine keeps a bounded LRU :class:`~repro.core.plancache.PlanCache`
 of compiled queries (parsed/rewritten/optimized ASTs plus executable
 :mod:`~repro.xpath.plan` operator trees), so repeated queries skip
 straight to evaluation.  Execution knobs are grouped in
-:class:`~repro.core.options.ExecutionOptions`; the pre-1.1 boolean
-keywords still work for one release and emit ``DeprecationWarning``.
+:class:`~repro.core.options.ExecutionOptions` (the 1.x per-call
+boolean keywords were removed in 2.0; see ``docs/api.md``).
+
+Thread safety: one engine may serve queries from many threads
+concurrently (see ``docs/serving.md``).  Every expensive per-key
+artifact — compiled plans, NodeTables, DocumentIndexes, materialized
+view trees, unfolded rewriters — is *immutable after build* and built
+under a single per-key lock, so concurrent first requests for the
+same artifact serialize on its build while requests for other keys
+proceed; once built, readers share the structure without locking.
+Administrative mutation (``register_policy``, ``drop_policy``,
+``invalidate``) takes the engine's admin lock; queries in flight keep
+the (still-consistent) structures they already hold.
 """
 
 from __future__ import annotations
 
-import warnings
-from typing import Dict, List, Optional, Union as TypingUnion
+from threading import Lock, RLock
+from typing import Dict, List, Optional, Sequence, Union as TypingUnion
 
 from repro.errors import (
     QueryRejectedError,
@@ -76,15 +87,32 @@ from repro.xpath.evaluator import XPathEvaluator
 from repro.xpath.parser import parse_xpath
 from repro.xpath.plan import PlanRuntime, compile_path
 
-#: The legacy boolean keywords of :meth:`SecureQueryEngine.query`,
-#: accepted (with a DeprecationWarning) for one release.
-_LEGACY_QUERY_KEYWORDS = (
-    "optimize",
-    "project",
-    "strategy",
-    "use_index",
-    "use_cache",
-)
+
+class _KeyedLocks:
+    """One build lock per cache key.  Concurrent first requests for
+    the same expensive artifact (a NodeTable, a DocumentIndex, a
+    materialized view tree, an unfolded rewriter) serialize on their
+    key's lock and build once; requests for different keys build in
+    parallel.  Lock objects are tiny and keys are bounded by the
+    engine's own caches, so entries are only pruned on
+    :meth:`SecureQueryEngine.invalidate`."""
+
+    __slots__ = ("_locks", "_guard")
+
+    def __init__(self):
+        self._locks: Dict[tuple, Lock] = {}
+        self._guard = Lock()
+
+    def __call__(self, key: tuple) -> Lock:
+        lock = self._locks.get(key)
+        if lock is None:
+            with self._guard:
+                lock = self._locks.setdefault(key, Lock())
+        return lock
+
+    def clear(self) -> None:
+        with self._guard:
+            self._locks.clear()
 
 
 class QueryReport:
@@ -278,6 +306,11 @@ class SecureQueryEngine:
         # site) until a sink is attached
         self._events = events if events is not None else EventPipeline()
         self._canary: Optional[SecurityCanary] = None
+        # concurrency: administrative mutation holds _admin_lock;
+        # per-key artifact builds hold their _build_locks entry (see
+        # the module docstring and docs/serving.md)
+        self._admin_lock = RLock()
+        self._build_locks = _KeyedLocks()
 
     # -- administration (security-officer side) ---------------------------
 
@@ -306,16 +339,22 @@ class SecureQueryEngine:
         view = derive(
             concrete, preserve_choice_branches=preserve_choice_branches
         )
-        self._policies[name] = _Policy(name, concrete, view)
-        # a re-registered name (after drop_policy) must not serve plans
-        # compiled against the old specification
-        self._plan_cache.invalidate(name)
+        with self._admin_lock:
+            if name in self._policies:  # raced with another register
+                raise SecurityError(
+                    "policy %r is already registered" % name
+                )
+            self._policies[name] = _Policy(name, concrete, view)
+            # a re-registered name (after drop_policy) must not serve
+            # plans compiled against the old specification
+            self._plan_cache.invalidate(name)
         self._emit(PolicyEvent, "register", name)
         return view
 
     def drop_policy(self, name: str) -> None:
-        existed = self._policies.pop(name, None) is not None
-        self._plan_cache.invalidate(name)
+        with self._admin_lock:
+            existed = self._policies.pop(name, None) is not None
+            self._plan_cache.invalidate(name)
         if existed:
             self._emit(PolicyEvent, "drop", name)
 
@@ -360,7 +399,6 @@ class SecureQueryEngine:
         query: TypingUnion[str, Path],
         document,
         options: Optional[ExecutionOptions] = None,
-        **legacy_keywords,
     ) -> QueryResult:
         """Answer a view query on ``document``.
 
@@ -384,11 +422,89 @@ class SecureQueryEngine:
         ``report`` attribute carries the rewriting stages, cache
         status, and per-stage timings.
 
-        The pre-1.1 boolean keywords (``optimize``, ``project``,
-        ``strategy``, ``use_index``) are still accepted, emit a
-        ``DeprecationWarning``, and are folded into ``options``.
+        The 1.x per-call boolean keywords (``optimize=``, ``project=``,
+        ``strategy=``, ...) were removed in 2.0; pass
+        ``options=ExecutionOptions(...)`` (see ``docs/api.md``).
         """
-        options = self._resolve_options(options, legacy_keywords)
+        options = self._resolve_options(options)
+        return self._query_one(policy, query, document, options, None)
+
+    def query_batch(
+        self,
+        policy: str,
+        queries: Sequence[TypingUnion[str, Path]],
+        document,
+        options: Optional[ExecutionOptions] = None,
+    ) -> List[QueryResult]:
+        """Answer several view queries on *one* document, sharing work
+        across the batch.
+
+        Answers (and reports, and raised errors) are identical to
+        ``[engine.query(policy, q, document, options) for q in
+        queries]`` — the batch is an optimization, not a semantic
+        change.  Under ``strategy="columnar"`` the batch shares one
+        postings scan cache: plans that reach the same label with the
+        same row frontier (the common ``//a`` prefix case) reuse the
+        first plan's scan instead of re-slicing the posting lists (see
+        :class:`~repro.xpath.plan.PlanRuntime`).  The serving layer
+        uses this to coalesce same-document requests
+        (:class:`~repro.serving.server.QueryServer`)."""
+        options = self._resolve_options(options)
+        scan_cache = (
+            {} if options.strategy == STRATEGY_COLUMNAR else None
+        )
+        record("batch.calls")
+        record("batch.queries", len(queries))
+        return [
+            self._query_one(policy, query, document, options, scan_cache)
+            for query in queries
+        ]
+
+    def execute_request(
+        self, request, document, scan_cache: Optional[dict] = None
+    ):
+        """Answer one frozen :class:`~repro.serving.protocol.QueryRequest`
+        against the (caller-resolved) ``document``, returning a
+        :class:`~repro.serving.protocol.QueryResponse`.
+
+        Unlike :meth:`query`, library errors do not propagate: any
+        :class:`~repro.errors.ReproError` becomes an error response
+        carrying the stable code — the wire contract of the serving
+        layer.  ``scan_cache`` lets a caller thread one batch scan
+        cache through several calls (see :meth:`execute_batch`)."""
+        from repro.serving.protocol import QueryResponse
+
+        options = self._resolve_options(request.options)
+        try:
+            result = self._query_one(
+                request.policy, request.query, document, options, scan_cache
+            )
+        except ReproError as error:
+            return QueryResponse.from_error(request, error)
+        return QueryResponse.from_result(request, result)
+
+    def execute_batch(self, requests: Sequence, document) -> List:
+        """Answer several :class:`~repro.serving.protocol.QueryRequest`
+        values against one document — :meth:`execute_request` for each,
+        sharing a single batch scan cache (requests of *different*
+        policies still share scans: a postings slice depends only on
+        the store, the label, and the frontier)."""
+        shared: dict = {}
+        return [
+            self.execute_request(request, document, scan_cache=shared)
+            for request in requests
+        ]
+
+    def _query_one(
+        self,
+        policy: str,
+        query: TypingUnion[str, Path],
+        document,
+        options: ExecutionOptions,
+        scan_cache: Optional[dict],
+    ) -> QueryResult:
+        """The shared core of :meth:`query` / :meth:`query_batch` /
+        :meth:`execute_request`: execute, audit, post-process."""
         try:
             if options.strategy == STRATEGY_MATERIALIZED:
                 results, report = self._query_materialized(
@@ -396,7 +512,7 @@ class SecureQueryEngine:
                 )
             else:
                 results, report = self._execute(
-                    policy, query, document, options
+                    policy, query, document, options, scan_cache=scan_cache
                 )
         except ReproError as error:
             # denials already produced a DenialEvent in _check_labels;
@@ -419,12 +535,11 @@ class SecureQueryEngine:
         query: TypingUnion[str, Path],
         document,
         options: Optional[ExecutionOptions] = None,
-        **legacy_keywords,
     ) -> QueryReport:
         """Like :meth:`query` but returns only the
         :class:`QueryReport`: the rewriting pipeline's stages, cache
         status, per-stage timings, and evaluation statistics."""
-        options = self._resolve_options(options, legacy_keywords)
+        options = self._resolve_options(options)
         if options.strategy == STRATEGY_MATERIALIZED:
             _, report = self._query_materialized(
                 policy, query, document, options
@@ -436,13 +551,19 @@ class SecureQueryEngine:
     def invalidate(self, policy: Optional[str] = None) -> None:
         """Drop cached materialized views, document indexes, and
         compiled query plans (call after document or policy updates).
-        Without ``policy``, caches of all policies clear."""
-        names = [policy] if policy is not None else list(self._policies)
-        for name in names:
-            self._policy(name).materialized.clear()
-        self._indexes.clear()
-        self._stores.clear()
-        self._plan_cache.invalidate(policy)
+        Without ``policy``, caches of all policies clear.
+
+        Safe to call with queries in flight: in-flight executions keep
+        the (internally consistent) structures they already hold and
+        answer from them; only *new* lookups rebuild."""
+        with self._admin_lock:
+            names = [policy] if policy is not None else list(self._policies)
+            for name in names:
+                self._policy(name).materialized.clear()
+            self._indexes.clear()
+            self._stores.clear()
+            self._plan_cache.invalidate(policy)
+            self._build_locks.clear()
         self._emit(PolicyEvent, "invalidate", policy if policy else "*")
 
     # -- observability -----------------------------------------------------------
@@ -581,8 +702,12 @@ class SecureQueryEngine:
         cached = entry.materialized.get(id(document))
         if cached is not None and cached[0] is document:
             return cached[1]
-        view_tree = materialize(document, entry.view, entry.spec)
-        entry.materialized[id(document)] = (document, view_tree)
+        with self._build_locks(("mat", entry.name, id(document))):
+            cached = entry.materialized.get(id(document))
+            if cached is not None and cached[0] is document:
+                return cached[1]
+            view_tree = materialize(document, entry.view, entry.spec)
+            entry.materialized[id(document)] = (document, view_tree)
         return view_tree
 
     def _record_query_metrics(self, report: QueryReport) -> None:
@@ -606,35 +731,19 @@ class SecureQueryEngine:
 
     # -- internals -----------------------------------------------------------------------
 
+    @staticmethod
     def _resolve_options(
-        self, options: Optional[ExecutionOptions], legacy_keywords: dict
+        options: Optional[ExecutionOptions],
     ) -> ExecutionOptions:
-        if isinstance(options, bool):
-            # pre-1.1 callers passed `optimize` positionally after the
-            # document; fold it into the legacy keyword set
-            legacy_keywords = dict(legacy_keywords, optimize=options)
-            options = None
-        if legacy_keywords:
-            unknown = set(legacy_keywords) - set(_LEGACY_QUERY_KEYWORDS)
-            if unknown:
-                raise TypeError(
-                    "unknown query() keyword(s): %s"
-                    % ", ".join(sorted(unknown))
-                )
-            if options is not None:
-                raise TypeError(
-                    "pass either options=ExecutionOptions(...) or the "
-                    "deprecated boolean keywords, not both"
-                )
-            warnings.warn(
-                "the query()/explain() keywords %s are deprecated; pass "
-                "options=ExecutionOptions(...) instead"
-                % ", ".join(sorted(legacy_keywords)),
-                DeprecationWarning,
-                stacklevel=3,
+        if options is None:
+            return DEFAULT_OPTIONS
+        if not isinstance(options, ExecutionOptions):
+            raise TypeError(
+                "options must be an ExecutionOptions (the 1.x per-call "
+                "boolean keywords were removed in 2.0 — see the "
+                "migration note in docs/api.md), got %r" % (options,)
             )
-            return ExecutionOptions(**legacy_keywords)
-        return options if options is not None else DEFAULT_OPTIONS
+        return options
 
     def _policy(self, name: str) -> _Policy:
         try:
@@ -669,16 +778,23 @@ class SecureQueryEngine:
 
     def _rewriter(self, entry: _Policy, document) -> Rewriter:
         if not entry.view.is_recursive():
-            rewriter = entry.rewriters.get(None)
-            if rewriter is None:
-                rewriter = Rewriter(entry.view)
-                entry.rewriters[None] = rewriter
-            return rewriter
-        height = self._unfold_height(entry, document)
+            height = None
+        else:
+            height = self._unfold_height(entry, document)
         rewriter = entry.rewriters.get(height)
         if rewriter is None:
-            rewriter = Rewriter(unfold_view(entry.view, height))
-            entry.rewriters[height] = rewriter
+            # double-checked: concurrent first rewrites of one policy
+            # (expensive for recursive views — a full unfolding) build
+            # once and share the immutable Rewriter
+            with self._build_locks(("rewriter", entry.name, height)):
+                rewriter = entry.rewriters.get(height)
+                if rewriter is None:
+                    rewriter = Rewriter(
+                        entry.view
+                        if height is None
+                        else unfold_view(entry.view, height)
+                    )
+                    entry.rewriters[height] = rewriter
         return rewriter
 
     def _unfold_height(self, entry: _Policy, document) -> int:
@@ -699,14 +815,18 @@ class SecureQueryEngine:
         cached = self._indexes.get(id(document))
         if cached is not None and cached[0] is document:
             return cached[1]
-        try:
-            fault_trip("index.build")
-            index = DocumentIndex(document)
-        except Exception as error:
-            if self._degrade("index.build", policy, error):
-                return None
-            raise
-        self._indexes[id(document)] = (document, index)
+        with self._build_locks(("index", id(document))):
+            cached = self._indexes.get(id(document))
+            if cached is not None and cached[0] is document:
+                return cached[1]
+            try:
+                fault_trip("index.build")
+                index = DocumentIndex(document)
+            except Exception as error:
+                if self._degrade("index.build", policy, error):
+                    return None
+                raise
+            self._indexes[id(document)] = (document, index)
         return index
 
     def _store_for(self, document, policy: str = ""):
@@ -719,14 +839,18 @@ class SecureQueryEngine:
         cached = self._stores.get(id(document))
         if cached is not None and cached[0] is document:
             return cached[1]
-        try:
-            fault_trip("store.build")
-            store = NodeTable(document)
-        except Exception as error:
-            if self._degrade("store.build", policy, error):
-                return None
-            raise
-        self._stores[id(document)] = (document, store)
+        with self._build_locks(("store", id(document))):
+            cached = self._stores.get(id(document))
+            if cached is not None and cached[0] is document:
+                return cached[1]
+            try:
+                fault_trip("store.build")
+                store = NodeTable(document)
+            except Exception as error:
+                if self._degrade("store.build", policy, error):
+                    return None
+                raise
+            self._stores[id(document)] = (document, store)
         return store
 
     # -- graceful degradation / resource governance --------------------------
@@ -843,13 +967,19 @@ class SecureQueryEngine:
         self, compiled: CompiledQuery, tracer: Optional[Tracer] = None
     ):
         if compiled.plan is None:
-            if tracer is None:
-                tracer = Tracer()
-            with tracer.span("compile") as span:
-                compiled.plan = compile_path(compiled.optimized)
-            compiled.timings["compile"] = (
-                compiled.timings.get("compile", 0.0) + span.duration
-            )
+            # double-checked on the entry's build lock: concurrent
+            # first executions of a shared cache entry compile once,
+            # then every reader shares the immutable plan
+            with compiled.build_lock:
+                if compiled.plan is None:
+                    if tracer is None:
+                        tracer = Tracer()
+                    with tracer.span("compile") as span:
+                        plan = compile_path(compiled.optimized)
+                    compiled.timings["compile"] = (
+                        compiled.timings.get("compile", 0.0) + span.duration
+                    )
+                    compiled.plan = plan
         return compiled.plan
 
     def _projected_plans(
@@ -864,38 +994,52 @@ class SecureQueryEngine:
         one."""
         if compiled.projected is not None:
             return compiled.projected
-        if tracer is None:
-            tracer = Tracer()
-        with tracer.span("compile") as span:
-            rewriter = entry.rewriters.get(compiled.height)
-            if rewriter is None:  # entry resurrected from cache after drop
-                rewriter = self._rewriter(entry, compiled.height)
-            parsed = compiled.parsed
-            if isinstance(parsed, Absolute):
-                per_target = rewriter._rw(parsed.inner, "#document")
-                wrap_absolute = True
-            else:
-                per_target = rewriter._rw(parsed, rewriter.view.root_key)
-                wrap_absolute = False
-            plans = []
-            for target, path in sorted(per_target.items()):
-                document_path = Absolute(path) if wrap_absolute else path
-                if target.startswith("#text"):
-                    plans.append((target, True, compile_path(document_path)))
+        with compiled.build_lock:
+            if compiled.projected is not None:
+                return compiled.projected
+            if tracer is None:
+                tracer = Tracer()
+            with tracer.span("compile") as span:
+                rewriter = entry.rewriters.get(compiled.height)
+                if rewriter is None:  # entry resurrected after drop
+                    rewriter = self._rewriter(entry, compiled.height)
+                parsed = compiled.parsed
+                if isinstance(parsed, Absolute):
+                    per_target = rewriter._rw(parsed.inner, "#document")
+                    wrap_absolute = True
                 else:
-                    optimized_path = self._optimizer.optimize(document_path)
-                    plans.append(
-                        (target, False, compile_path(optimized_path))
-                    )
+                    per_target = rewriter._rw(parsed, rewriter.view.root_key)
+                    wrap_absolute = False
+                plans = []
+                for target, path in sorted(per_target.items()):
+                    document_path = Absolute(path) if wrap_absolute else path
+                    if target.startswith("#text"):
+                        plans.append(
+                            (target, True, compile_path(document_path))
+                        )
+                    else:
+                        optimized_path = self._optimizer.optimize(
+                            document_path
+                        )
+                        plans.append(
+                            (target, False, compile_path(optimized_path))
+                        )
+            compiled.timings["compile"] = (
+                compiled.timings.get("compile", 0.0) + span.duration
+            )
             compiled.projected = tuple(plans)
-        compiled.timings["compile"] = (
-            compiled.timings.get("compile", 0.0) + span.duration
-        )
         return compiled.projected
 
     # -- execution ---------------------------------------------------------------
 
-    def _execute(self, policy, query, document, options: ExecutionOptions):
+    def _execute(
+        self,
+        policy,
+        query,
+        document,
+        options: ExecutionOptions,
+        scan_cache: Optional[dict] = None,
+    ):
         if not options.use_cache and options.strategy == STRATEGY_VIRTUAL:
             # the pre-plan-cache interpreter pipeline, kept verbatim as
             # the benchmarking baseline; columnar runs have no
@@ -938,6 +1082,7 @@ class SecureQueryEngine:
                 ),
                 profile=collector,
                 budget=budget,
+                scan_cache=scan_cache,
             )
             with tracer.span("evaluate") as evaluate_span:
                 if options.project:
@@ -1170,12 +1315,24 @@ class SecureQueryEngine:
             cached = entry.materialized.get(id(document))
             view_cache_hit = cached is not None and cached[0] is document
             if not view_cache_hit:
-                with tracer.span("materialize") as span:
-                    view_tree = materialize(
-                        document, entry.view, entry.spec, budget=budget
-                    )
-                timings["materialize"] = span.duration
-                entry.materialized[id(document)] = (document, view_tree)
+                with self._build_locks(("mat", entry.name, id(document))):
+                    cached = entry.materialized.get(id(document))
+                    if cached is not None and cached[0] is document:
+                        view_cache_hit = True  # built while we waited
+                        view_tree = cached[1]
+                    else:
+                        with tracer.span("materialize") as span:
+                            view_tree = materialize(
+                                document,
+                                entry.view,
+                                entry.spec,
+                                budget=budget,
+                            )
+                        timings["materialize"] = span.duration
+                        entry.materialized[id(document)] = (
+                            document,
+                            view_tree,
+                        )
             else:
                 view_tree = cached[1]
             evaluator = XPathEvaluator(budget=budget)

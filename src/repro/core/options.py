@@ -4,8 +4,13 @@ Historically ``query()`` grew a flag per feature (``optimize``,
 ``project``, ``strategy``, ``use_index``); :class:`ExecutionOptions`
 collapses them into one immutable value object so call sites read as
 intent (``ExecutionOptions(strategy="materialized")``) and new knobs
-do not widen the method signature.  The engine still accepts the old
-keywords for one release, with a :class:`DeprecationWarning`.
+do not widen the method signature.  The 1.x per-call boolean keywords
+were removed in 2.0 — ``options=ExecutionOptions(...)`` is the only
+spelling (see the migration note in ``docs/api.md``).
+
+``to_dict``/``from_dict`` give the options a versioned wire shape so
+a serialized :class:`~repro.serving.protocol.QueryRequest` can carry
+its execution knobs across process boundaries.
 """
 
 from __future__ import annotations
@@ -126,6 +131,40 @@ class ExecutionOptions:
     def with_(self, **changes) -> "ExecutionOptions":
         """A copy with some fields replaced."""
         return replace(self, **changes)
+
+    # -- wire shape (see repro.serving.protocol) -----------------------
+
+    def to_dict(self) -> dict:
+        """JSON-safe export: plain scalars plus the nested ``limits``
+        dict (``None`` when ungoverned)."""
+        return {
+            "strategy": self.strategy,
+            "optimize": self.optimize,
+            "project": self.project,
+            "use_index": self.use_index,
+            "use_cache": self.use_cache,
+            "trace": self.trace,
+            "slow_query_threshold": self.slow_query_threshold,
+            "limits": self.limits.to_dict() if self.limits else None,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ExecutionOptions":
+        """Inverse of :meth:`to_dict`; missing keys take the engine
+        defaults, unknown keys are ignored (forward compatibility)."""
+        from repro.robustness.governor import QueryLimits
+
+        limits = payload.get("limits")
+        return cls(
+            strategy=payload.get("strategy", STRATEGY_VIRTUAL),
+            optimize=payload.get("optimize", True),
+            project=payload.get("project", True),
+            use_index=payload.get("use_index", False),
+            use_cache=payload.get("use_cache", True),
+            trace=payload.get("trace", False),
+            slow_query_threshold=payload.get("slow_query_threshold"),
+            limits=QueryLimits.from_dict(limits) if limits else None,
+        )
 
 
 #: The engine's defaults, shared so callers can derive from them.

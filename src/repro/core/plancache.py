@@ -23,11 +23,20 @@ the chosen strategy (``virtual`` vs ``columnar``) and whether a
 document index is attached — so flipping ``--strategy`` or
 ``--use-index`` on a warm cache can never serve a plan entry primed
 for the other backend.
+
+The cache is thread-safe: an LRU lookup *mutates* the recency order
+(``move_to_end``), so even read-mostly serving traffic hits the
+underlying ``OrderedDict`` with writes.  One lock guards every
+entry-map operation; entries themselves are immutable after build
+except for the lazily compiled plans, which the engine builds under
+its own per-entry lock (see
+:meth:`repro.core.engine.SecureQueryEngine._whole_query_plan`).
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
+from threading import Lock
 from typing import Dict, Optional, Tuple
 
 from repro.obs.metrics import record as _metric_record
@@ -44,7 +53,9 @@ class CompiledQuery:
     (``parse``, ``rewrite``, ``optimize``, ``compile``) to seconds
     spent building this entry.  ``strategy`` and ``use_index`` record
     the execution shape the entry was compiled for; both are part of
-    the cache key."""
+    the cache key.  ``build_lock`` serializes the lazy plan builds so
+    concurrent first executions of a shared entry compile once and
+    then share the immutable plan."""
 
     __slots__ = (
         "policy",
@@ -61,6 +72,7 @@ class CompiledQuery:
         "projected",
         "timings",
         "hits",
+        "build_lock",
     )
 
     def __init__(
@@ -91,6 +103,7 @@ class CompiledQuery:
         self.projected = None
         self.timings = timings
         self.hits = 0
+        self.build_lock = Lock()
 
     @property
     def key(self) -> Tuple:
@@ -182,6 +195,7 @@ class PlanCache:
             raise ValueError("plan cache capacity must be >= 0")
         self.capacity = capacity
         self._entries: "OrderedDict[Tuple, CompiledQuery]" = OrderedDict()
+        self._lock = Lock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -190,73 +204,84 @@ class PlanCache:
     # -- lookup / store --------------------------------------------------
 
     def get(self, key: Tuple) -> Optional[CompiledQuery]:
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            _metric_record("plan_cache.misses")
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        entry.hits += 1
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                _metric_record("plan_cache.misses")
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            entry.hits += 1
         _metric_record("plan_cache.hits")
         return entry
 
     def put(self, key: Tuple, entry: CompiledQuery) -> None:
         if self.capacity == 0:
             return
-        self._entries[key] = entry
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.evictions += 1
-            _metric_record("plan_cache.evictions")
+        evicted = 0
+        with self._lock:
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+                evicted += 1
+        if evicted:
+            _metric_record("plan_cache.evictions", evicted)
 
     # -- invalidation ----------------------------------------------------
 
     def invalidate(self, policy: Optional[str] = None) -> int:
         """Drop all entries of ``policy`` (all policies when ``None``).
         Returns the number of entries removed."""
-        if policy is None:
-            removed = len(self._entries)
-            self._entries.clear()
-        else:
-            stale = [
-                key for key in self._entries if key[0] == policy
-            ]
-            for key in stale:
-                del self._entries[key]
-            removed = len(stale)
-        self.invalidations += removed
+        with self._lock:
+            if policy is None:
+                removed = len(self._entries)
+                self._entries.clear()
+            else:
+                stale = [
+                    key for key in self._entries if key[0] == policy
+                ]
+                for key in stale:
+                    del self._entries[key]
+                removed = len(stale)
+            self.invalidations += removed
         if removed:
             _metric_record("plan_cache.invalidations", removed)
         return removed
 
     def clear(self) -> None:
         """Drop every entry and reset all counters."""
-        self._entries.clear()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
-        self.invalidations = 0
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
+            self.invalidations = 0
 
     # -- introspection ---------------------------------------------------
 
     def stats(self) -> PlanCacheStats:
-        return PlanCacheStats(
-            self.hits,
-            self.misses,
-            self.evictions,
-            self.invalidations,
-            len(self._entries),
-            self.capacity,
-        )
+        with self._lock:
+            return PlanCacheStats(
+                self.hits,
+                self.misses,
+                self.evictions,
+                self.invalidations,
+                len(self._entries),
+                self.capacity,
+            )
 
     def keys(self):
         """Cache keys in LRU order (least recently used first)."""
-        return list(self._entries)
+        with self._lock:
+            return list(self._entries)
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries

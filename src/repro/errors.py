@@ -188,6 +188,24 @@ class BudgetExceeded(ResourceError):
         self.limit = limit
 
 
+class AdmissionRejected(ResourceError):
+    """Raised by the serving layer's per-tenant admission controller
+    when a request cannot even be queued: the tenant's concurrency
+    slots are all busy *and* its waiting line is already at
+    ``max_queue_depth``.  Distinct from ``E_DEADLINE`` (which a queued
+    request gets when its queue deadline lapses before a slot frees
+    up): a rejection is immediate back-pressure, the signal to retry
+    elsewhere or later (see ``docs/serving.md``)."""
+
+    code = "E_ADMISSION"
+
+    def __init__(self, message, tenant="", queue_depth=None, limit=None):
+        super().__init__(message)
+        self.tenant = tenant
+        self.queue_depth = queue_depth
+        self.limit = limit
+
+
 class FaultInjected(ReproError):
     """Raised by the fault-injection harness
     (:mod:`repro.robustness.faults`) at an instrumented seam.  Never

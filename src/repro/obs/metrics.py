@@ -60,16 +60,22 @@ def metrics_enabled() -> bool:
 
 
 class Counter:
-    """A monotonically increasing named integer."""
+    """A monotonically increasing named integer.
 
-    __slots__ = ("name", "value")
+    ``+=`` on a Python int is read-modify-write, so concurrent
+    increments from server worker threads would drop updates without
+    the per-counter lock."""
+
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str):
         self.name = name
         self.value = 0
+        self._lock = Lock()
 
     def inc(self, amount: int = 1) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def __repr__(self):
         return "Counter(%r, %d)" % (self.name, self.value)
@@ -79,7 +85,7 @@ class Histogram:
     """Streaming summary of observed values: count, sum, min, max
     (enough for latency/cardinality reporting without keeping samples)."""
 
-    __slots__ = ("name", "count", "total", "minimum", "maximum")
+    __slots__ = ("name", "count", "total", "minimum", "maximum", "_lock")
 
     def __init__(self, name: str):
         self.name = name
@@ -87,14 +93,16 @@ class Histogram:
         self.total = 0.0
         self.minimum: Optional[float] = None
         self.maximum: Optional[float] = None
+        self._lock = Lock()
 
     def observe(self, value: float) -> None:
-        self.count += 1
-        self.total += value
-        if self.minimum is None or value < self.minimum:
-            self.minimum = value
-        if self.maximum is None or value > self.maximum:
-            self.maximum = value
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if self.minimum is None or value < self.minimum:
+                self.minimum = value
+            if self.maximum is None or value > self.maximum:
+                self.maximum = value
 
     @property
     def mean(self) -> float:
@@ -120,9 +128,9 @@ class Histogram:
 class MetricsRegistry:
     """Named counters and histograms, created on first use.
 
-    Structure mutation (creating a new metric) is lock-protected;
-    increments/observations on existing metrics rely on the GIL like
-    the rest of this codebase."""
+    Structure mutation (creating a new metric) is lock-protected, and
+    each metric carries its own lock for increments/observations, so
+    the registry is safe to share across server worker threads."""
 
     def __init__(self):
         self._counters: Dict[str, Counter] = {}

@@ -99,6 +99,29 @@ class QueryLimits:
         """Mint the live token for one query execution."""
         return Budget(self, clock=clock)
 
+    # -- wire shape (see repro.serving.protocol) -----------------------
+
+    def to_dict(self) -> dict:
+        """JSON-safe export (the ``limits`` field of a serialized
+        :class:`~repro.serving.protocol.QueryRequest`)."""
+        return {
+            "deadline_seconds": self.deadline_seconds,
+            "max_results": self.max_results,
+            "max_visits": self.max_visits,
+            "max_frontier_rows": self.max_frontier_rows,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "QueryLimits":
+        """Inverse of :meth:`to_dict`; missing keys default to
+        unlimited, unknown keys are ignored (forward compatibility)."""
+        return cls(
+            deadline_seconds=payload.get("deadline_seconds"),
+            max_results=payload.get("max_results"),
+            max_visits=payload.get("max_visits"),
+            max_frontier_rows=payload.get("max_frontier_rows"),
+        )
+
 
 #: A limits value with every bound disabled.
 NO_LIMITS = QueryLimits()

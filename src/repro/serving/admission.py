@@ -1,0 +1,210 @@
+"""Per-tenant admission control for the serving layer.
+
+The PR-5 governor bounds what one query may *spend once running*;
+admission control bounds what one tenant may have *running or waiting*
+at all.  Layered together they give the multi-tenant guarantee: a
+tenant flooding the server saturates only its own concurrency slots
+and queue, and every rejection is a typed, audited error — never a
+silent drop or an unbounded queue.
+
+Two bounds per tenant, both enforced at :meth:`AdmissionController.admit`:
+
+``max_concurrent``
+    Slots a tenant may occupy simultaneously (running queries).
+    Requests beyond it wait — but only up to the queue deadline.
+``max_queue_depth``
+    Waiters a tenant may park behind its busy slots.  Beyond it the
+    request is hard-rejected immediately with
+    :class:`~repro.errors.AdmissionRejected` (``E_ADMISSION``) —
+    queueing more work than the tenant can plausibly drain just turns
+    deadline misses into memory growth.
+
+A waiter that cannot get a slot before ``queue_deadline_seconds``
+elapses (measured from *enqueue*, so time spent in the server's
+internal queue counts) raises
+:class:`~repro.errors.DeadlineExceeded` — deliberately the same
+``E_DEADLINE`` code the governor uses, because to the client "timed
+out waiting to run" and "timed out running" are the same contract.
+
+Everything is stdlib threading; each tenant gets a
+:class:`threading.Semaphore` for slots plus a counter of waiters kept
+under the controller lock.  Metrics land in the ``serving.*``
+namespace of the ambient registry.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from threading import Lock, Semaphore
+from time import monotonic
+from typing import Dict, Optional
+
+from repro.errors import AdmissionRejected, DeadlineExceeded
+from repro.obs.metrics import observe as _observe, record as _record
+
+__all__ = ["AdmissionController", "TenantPolicy"]
+
+
+class TenantPolicy(object):
+    """Admission bounds for one tenant (or the default for all)."""
+
+    __slots__ = ("max_concurrent", "max_queue_depth", "queue_deadline_seconds")
+
+    def __init__(
+        self,
+        max_concurrent: int = 4,
+        max_queue_depth: int = 16,
+        queue_deadline_seconds: Optional[float] = None,
+    ):
+        if max_concurrent < 1:
+            raise ValueError(
+                "max_concurrent must be >= 1, got %r" % (max_concurrent,)
+            )
+        if max_queue_depth < 0:
+            raise ValueError(
+                "max_queue_depth must be >= 0, got %r" % (max_queue_depth,)
+            )
+        self.max_concurrent = max_concurrent
+        self.max_queue_depth = max_queue_depth
+        self.queue_deadline_seconds = queue_deadline_seconds
+
+    def __repr__(self):
+        return "TenantPolicy(max_concurrent=%d, max_queue_depth=%d, " \
+            "queue_deadline_seconds=%r)" % (
+                self.max_concurrent,
+                self.max_queue_depth,
+                self.queue_deadline_seconds,
+            )
+
+
+class _TenantState(object):
+    __slots__ = ("policy", "slots", "waiting", "running")
+
+    def __init__(self, policy: TenantPolicy):
+        self.policy = policy
+        self.slots = Semaphore(policy.max_concurrent)
+        self.waiting = 0
+        self.running = 0
+
+
+class AdmissionController(object):
+    """Admission gate shared by all server workers.
+
+    Thread-safe; tenant states are created on first sight under the
+    controller lock and live for the controller's lifetime (tenant
+    cardinality is policy-bounded in this system, so no eviction).
+    """
+
+    def __init__(self, default: Optional[TenantPolicy] = None, **per_tenant):
+        self._default = default or TenantPolicy()
+        self._overrides: Dict[str, TenantPolicy] = dict(per_tenant)
+        self._tenants: Dict[str, _TenantState] = {}
+        self._lock = Lock()
+
+    def set_policy(self, tenant: str, policy: TenantPolicy) -> None:
+        """Install per-tenant bounds (before the tenant's first
+        request; later calls only affect queue accounting, not the
+        already-built semaphore)."""
+        with self._lock:
+            self._overrides[tenant] = policy
+            self._tenants.pop(tenant, None)
+
+    def _state(self, tenant: str) -> _TenantState:
+        with self._lock:
+            state = self._tenants.get(tenant)
+            if state is None:
+                policy = self._overrides.get(tenant, self._default)
+                state = _TenantState(policy)
+                self._tenants[tenant] = state
+            return state
+
+    # -- introspection ---------------------------------------------------
+
+    def queue_depth(self, tenant: Optional[str] = None) -> int:
+        """Waiters parked behind busy slots — one tenant's, or all."""
+        with self._lock:
+            if tenant is not None:
+                state = self._tenants.get(tenant)
+                return state.waiting if state else 0
+            return sum(state.waiting for state in self._tenants.values())
+
+    def running(self, tenant: Optional[str] = None) -> int:
+        """Admitted requests currently holding a slot."""
+        with self._lock:
+            if tenant is not None:
+                state = self._tenants.get(tenant)
+                return state.running if state else 0
+            return sum(state.running for state in self._tenants.values())
+
+    # -- the gate --------------------------------------------------------
+
+    @contextmanager
+    def admit(self, tenant: str, enqueued_at: Optional[float] = None):
+        """Hold one of ``tenant``'s concurrency slots for the body.
+
+        Raises :class:`~repro.errors.AdmissionRejected` when the
+        tenant's queue is full, :class:`~repro.errors.DeadlineExceeded`
+        when the queue deadline (measured from ``enqueued_at``, default
+        now) lapses before a slot frees up.
+        """
+        state = self._state(tenant)
+        policy = state.policy
+        if enqueued_at is None:
+            enqueued_at = monotonic()
+
+        # Fast path: a free slot admits immediately — queue bounds only
+        # govern requests that would actually have to wait.
+        acquired = state.slots.acquire(blocking=False)
+        if acquired:
+            with self._lock:
+                state.running += 1
+        else:
+            with self._lock:
+                if state.waiting >= policy.max_queue_depth:
+                    depth = state.waiting
+                    _record("serving.admission.rejected")
+                    raise AdmissionRejected(
+                        "tenant %r queue is full (%d waiting, "
+                        "max_queue_depth=%d)"
+                        % (tenant, depth, policy.max_queue_depth),
+                        tenant=tenant,
+                        queue_depth=depth,
+                        limit=policy.max_queue_depth,
+                    )
+                state.waiting += 1
+            try:
+                deadline = policy.queue_deadline_seconds
+                if deadline is None:
+                    state.slots.acquire()
+                    acquired = True
+                else:
+                    remaining = deadline - (monotonic() - enqueued_at)
+                    acquired = remaining > 0 and state.slots.acquire(
+                        timeout=remaining
+                    )
+                    if not acquired:
+                        waited = monotonic() - enqueued_at
+                        _record("serving.admission.deadline")
+                        raise DeadlineExceeded(
+                            "tenant %r request waited %.1f ms for a slot, "
+                            "past its %.1f ms queue deadline"
+                            % (tenant, waited * 1e3, deadline * 1e3),
+                            deadline_seconds=deadline,
+                            elapsed_seconds=waited,
+                        )
+            finally:
+                with self._lock:
+                    state.waiting -= 1
+                    if acquired:
+                        state.running += 1
+
+        _record("serving.admission.admitted")
+        _observe(
+            "serving.queue_wait_seconds", monotonic() - enqueued_at
+        )
+        try:
+            yield
+        finally:
+            with self._lock:
+                state.running -= 1
+            state.slots.release()

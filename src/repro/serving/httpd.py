@@ -1,0 +1,126 @@
+"""A minimal HTTP front end over :class:`~repro.serving.server.QueryServer`.
+
+Stdlib-only (:mod:`http.server`), three endpoints:
+
+``POST /query``
+    Body: a :class:`~repro.serving.protocol.QueryRequest` as JSON.
+    Response: the :class:`~repro.serving.protocol.QueryResponse` as
+    JSON — HTTP 200 for answered queries, 403 for security denials,
+    429 for admission rejections, 504 for deadline misses, 400 for
+    malformed bodies.  The body always carries the typed
+    ``error_code``; the status is a convenience mapping of it.
+``GET /metrics``
+    Prometheus text exposition of the ambient metrics registry
+    (including the ``serving_*`` series).
+``GET /healthz``
+    Liveness: ``{"ok": true, "documents": [...]}``.
+
+This is deliberately a thin shell: all semantics (admission,
+batching, audit) live in :class:`QueryServer`, so library users and
+HTTP users get identical behaviour.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+
+from repro.serving.protocol import QueryRequest, QueryResponse
+from repro.serving.server import QueryServer
+
+__all__ = ["serve_http", "make_http_server"]
+
+#: HTTP status conveying each error family; anything unlisted is 400.
+_STATUS_BY_CODE = {
+    "": 200,
+    "E_ADMISSION": 429,
+    "E_DEADLINE": 504,
+    "E_BUDGET": 429,
+    "E_LABEL_DENIED": 403,
+    "E_SECURITY": 403,
+}
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-serve"
+    #: Set by :func:`make_http_server`.
+    query_server: QueryServer = None
+
+    # Silence per-request stderr logging; metrics cover observability.
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self):
+        if self.path == "/healthz":
+            self._send_json(
+                200,
+                {
+                    "ok": True,
+                    "documents": self.query_server.catalog.refs(),
+                },
+            )
+        elif self.path == "/metrics":
+            from repro.obs.export import prometheus_text
+            from repro.obs.metrics import metrics_registry
+
+            body = prometheus_text(metrics_registry()).encode("utf-8")
+            self.send_response(200)
+            self.send_header("Content-Type", "text/plain; version=0.0.4")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+        else:
+            self._send_json(404, {"ok": False, "error": "not found"})
+
+    def do_POST(self):
+        if self.path != "/query":
+            self._send_json(404, {"ok": False, "error": "not found"})
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+            request = QueryRequest.from_dict(
+                json.loads(self.rfile.read(length).decode("utf-8"))
+            )
+        except Exception as error:
+            self._send_json(
+                400, {"ok": False, "error": "malformed request: %s" % error}
+            )
+            return
+        response: QueryResponse = self.query_server.query(request)
+        status = _STATUS_BY_CODE.get(response.error_code, 400)
+        self._send_json(status, response.to_dict())
+
+
+def make_http_server(
+    query_server: QueryServer, host: str = "127.0.0.1", port: int = 8000
+) -> ThreadingHTTPServer:
+    """Bind (but do not run) the HTTP front end."""
+    handler = type("_BoundHandler", (_Handler,), {"query_server": query_server})
+    return ThreadingHTTPServer((host, port), handler)
+
+
+def serve_http(
+    query_server: QueryServer,
+    host: str = "127.0.0.1",
+    port: int = 8000,
+    ready: Optional[object] = None,
+) -> None:
+    """Run the HTTP front end until interrupted.  ``ready``, when a
+    :class:`threading.Event`, is set once the socket is bound (test
+    hook)."""
+    httpd = make_http_server(query_server, host, port)
+    if ready is not None:
+        ready.set()
+    try:
+        httpd.serve_forever()
+    finally:
+        httpd.server_close()

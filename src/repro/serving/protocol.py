@@ -1,0 +1,206 @@
+"""The frozen request/response protocol of the serving layer.
+
+:class:`QueryRequest` and :class:`QueryResponse` are the *wire shape*
+of one secure query: immutable dataclasses with ``to_dict`` /
+``from_dict`` round-trips, versioned by :data:`PROTOCOL_VERSION`
+independently of engine internals.  Both the batch API
+(:meth:`~repro.core.engine.SecureQueryEngine.execute_batch`) and the
+:class:`~repro.serving.server.QueryServer` speak exactly these values,
+so a client serialized against version N keeps working while the
+engine's report/options internals evolve.
+
+Design notes:
+
+* A request names its document by **reference** (a catalog key), not
+  by value — the server resolves the ref against its
+  :class:`~repro.serving.server.EngineCatalog`; library callers resolve
+  it themselves and pass the document object to ``execute_request``.
+* ``tenant`` defaults to the policy name (the paper's user classes are
+  the natural tenants), but a deployment fronting many users per
+  policy can set it independently — admission control keys on
+  :attr:`QueryRequest.tenant_id`.
+* A response **never** wraps an exception: failures are data
+  (``error_code`` carries the stable :mod:`repro.errors` code, with
+  exit-code and audit parity — see ``docs/serving.md``).
+* Response ``results`` are strings: serialized XML for element
+  results, raw text values for ``text()`` results — a JSON-safe shape
+  that crosses process boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
+
+from repro.core.options import ExecutionOptions
+from repro.errors import error_code as _error_code
+
+__all__ = ["PROTOCOL_VERSION", "QueryRequest", "QueryResponse"]
+
+#: Version tag embedded in every serialized request/response.  Bump
+#: only on incompatible shape changes; readers ignore unknown fields.
+PROTOCOL_VERSION = 1
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """One secure query, as data.
+
+    ``policy``
+        The registered policy (user class) the query runs under.
+    ``query``
+        The XPath text over that policy's security view.
+    ``document``
+        Document *reference* — a catalog key the server resolves; may
+        stay empty for direct library calls where the caller passes
+        the document object alongside the request.
+    ``tenant``
+        Admission-control identity; empty means "the policy name"
+        (read :attr:`tenant_id`, not this field).
+    ``options``
+        The :class:`~repro.core.options.ExecutionOptions` to run with
+        (``None`` → engine defaults).
+    ``request_id``
+        Opaque client-chosen correlation id, echoed on the response.
+    """
+
+    policy: str
+    query: str
+    document: str = ""
+    tenant: str = ""
+    options: Optional[ExecutionOptions] = None
+    request_id: str = ""
+
+    @property
+    def tenant_id(self) -> str:
+        """The admission-control identity: ``tenant``, defaulting to
+        the policy name."""
+        return self.tenant or self.policy
+
+    def with_(self, **changes) -> "QueryRequest":
+        """A copy with some fields replaced."""
+        return replace(self, **changes)
+
+    def to_dict(self) -> dict:
+        return {
+            "v": PROTOCOL_VERSION,
+            "policy": self.policy,
+            "query": self.query,
+            "document": self.document,
+            "tenant": self.tenant,
+            "options": self.options.to_dict() if self.options else None,
+            "request_id": self.request_id,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "QueryRequest":
+        """Inverse of :meth:`to_dict`; unknown keys are ignored and
+        missing optional keys take their defaults, so older clients
+        keep working against newer servers and vice versa."""
+        options = payload.get("options")
+        return cls(
+            policy=payload.get("policy", ""),
+            query=payload.get("query", ""),
+            document=payload.get("document", ""),
+            tenant=payload.get("tenant", ""),
+            options=(
+                ExecutionOptions.from_dict(options) if options else None
+            ),
+            request_id=payload.get("request_id", ""),
+        )
+
+
+@dataclass(frozen=True)
+class QueryResponse:
+    """The answer (or typed failure) to one :class:`QueryRequest`.
+
+    ``ok``
+        Whether the query was answered.  When ``False``,
+        ``error_code`` holds the stable :mod:`repro.errors` code
+        (``E_DEADLINE``, ``E_ADMISSION``, ``E_LABEL_DENIED``, ...) —
+        match on the code, never on the message.
+    ``results``
+        Tuple of strings: serialized XML for element results, raw
+        values for ``text()`` results.  Empty on failure.
+    ``report``
+        The :class:`~repro.core.engine.QueryReport` as a plain dict
+        (``None`` on failure) — kept as data so the response shape
+        does not depend on engine classes.
+    """
+
+    policy: str = ""
+    query: str = ""
+    ok: bool = True
+    results: Tuple[str, ...] = field(default_factory=tuple)
+    report: Optional[dict] = None
+    error_code: str = ""
+    error_message: str = ""
+    request_id: str = ""
+    tenant: str = ""
+
+    # -- constructors ----------------------------------------------------
+
+    @classmethod
+    def from_result(cls, request: QueryRequest, result) -> "QueryResponse":
+        """Wrap a :class:`~repro.core.engine.QueryResult` for the wire."""
+        from repro.xmlmodel.serialize import serialize
+
+        return cls(
+            policy=request.policy,
+            query=request.query,
+            ok=True,
+            results=tuple(
+                value if isinstance(value, str) else serialize(value)
+                for value in result
+            ),
+            report=result.report.to_dict(),
+            request_id=request.request_id,
+            tenant=request.tenant_id,
+        )
+
+    @classmethod
+    def from_error(
+        cls, request: QueryRequest, error: BaseException
+    ) -> "QueryResponse":
+        """Wrap a failure as data, preserving the stable error code."""
+        return cls(
+            policy=request.policy,
+            query=request.query,
+            ok=False,
+            results=(),
+            report=None,
+            error_code=_error_code(error),
+            error_message=str(error),
+            request_id=request.request_id,
+            tenant=request.tenant_id,
+        )
+
+    # -- wire shape ------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "v": PROTOCOL_VERSION,
+            "policy": self.policy,
+            "query": self.query,
+            "ok": self.ok,
+            "results": list(self.results),
+            "report": self.report,
+            "error_code": self.error_code,
+            "error_message": self.error_message,
+            "request_id": self.request_id,
+            "tenant": self.tenant,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "QueryResponse":
+        return cls(
+            policy=payload.get("policy", ""),
+            query=payload.get("query", ""),
+            ok=payload.get("ok", True),
+            results=tuple(payload.get("results") or ()),
+            report=payload.get("report"),
+            error_code=payload.get("error_code", ""),
+            error_message=payload.get("error_message", ""),
+            request_id=payload.get("request_id", ""),
+            tenant=payload.get("tenant", ""),
+        )

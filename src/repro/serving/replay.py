@@ -1,0 +1,180 @@
+"""Mixed-tenant workload replay for the serving layer.
+
+Builds the standard two-document catalog (the hospital example with
+its nurse and doctor user classes, plus the paper's Section 6 Adex
+workload) and replays a shuffled multi-tenant request stream against a
+:class:`~repro.serving.server.QueryServer` from N concurrent client
+threads, measuring end-to-end latency percentiles and throughput.
+
+This is both the ``repro replay`` CLI command and the engine room of
+``benchmarks/bench_serving.py`` — the benchmark checks the numbers in
+and asserts on them, the CLI prints them.
+"""
+
+from __future__ import annotations
+
+import random
+from threading import Thread
+from time import monotonic
+from typing import Dict, List, Optional
+
+from repro.core.options import ExecutionOptions
+from repro.serving.protocol import QueryRequest, QueryResponse
+from repro.serving.server import EngineCatalog, QueryServer
+
+__all__ = [
+    "standard_catalog",
+    "mixed_workload",
+    "replay",
+    "percentile",
+    "summarize",
+]
+
+#: Document refs of the standard catalog.
+HOSPITAL_REF = "hospital"
+ADEX_REF = "adex"
+
+
+def standard_catalog(seed: int = 0) -> EngineCatalog:
+    """The hospital (nurse + doctor tenants) and Adex (buyer tenant)
+    engines behind one catalog — two DTDs, three user classes."""
+    from repro.workloads.adex import adex_document, adex_engine
+    from repro.workloads.hospital import (
+        doctor_spec,
+        hospital_document,
+        hospital_dtd,
+        nurse_engine,
+    )
+
+    hospital = nurse_engine(ward="2")
+    hospital.register_policy("doctor", doctor_spec(hospital_dtd()))
+    adex = adex_engine()
+    return (
+        EngineCatalog()
+        .add(HOSPITAL_REF, hospital, hospital_document(seed=seed))
+        .add(ADEX_REF, adex, adex_document(seed=seed))
+    )
+
+
+def mixed_workload(
+    repetitions: int = 4,
+    seed: int = 0,
+    options: Optional[ExecutionOptions] = None,
+) -> List[QueryRequest]:
+    """A shuffled multi-tenant request stream: every hospital query as
+    nurse and as doctor, every Adex query as the buyer, repeated
+    ``repetitions`` times and shuffled deterministically by ``seed``."""
+    from repro.workloads.queries import ADEX_QUERY_TEXTS, HOSPITAL_QUERY_TEXTS
+
+    requests: List[QueryRequest] = []
+    for _ in range(repetitions):
+        for text in HOSPITAL_QUERY_TEXTS.values():
+            for policy in ("nurse", "doctor"):
+                requests.append(
+                    QueryRequest(
+                        policy=policy,
+                        query=text,
+                        document=HOSPITAL_REF,
+                        options=options,
+                    )
+                )
+        for text in ADEX_QUERY_TEXTS.values():
+            requests.append(
+                QueryRequest(
+                    policy="real-estate-buyer",
+                    query=text,
+                    document=ADEX_REF,
+                    options=options,
+                )
+            )
+    random.Random(seed).shuffle(requests)
+    return requests
+
+
+def percentile(samples: List[float], q: float) -> float:
+    """The ``q``-th percentile (0-100) by linear interpolation."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (len(ordered) - 1) * (q / 100.0)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    return ordered[low] + (ordered[high] - ordered[low]) * (rank - low)
+
+
+def summarize(latencies: List[float], elapsed: float) -> Dict[str, float]:
+    """Latency percentiles (ms) and throughput for one replay run."""
+    return {
+        "requests": len(latencies),
+        "elapsed_seconds": elapsed,
+        "qps": len(latencies) / elapsed if elapsed > 0 else 0.0,
+        "p50_ms": percentile(latencies, 50) * 1e3,
+        "p95_ms": percentile(latencies, 95) * 1e3,
+        "p99_ms": percentile(latencies, 99) * 1e3,
+    }
+
+
+def replay(
+    server: QueryServer,
+    requests: List[QueryRequest],
+    clients: int = 16,
+) -> Dict[str, object]:
+    """Replay ``requests`` through ``server`` from ``clients`` threads.
+
+    Each client thread submits its share synchronously (submit, wait,
+    next) — the closed-loop model, so concurrency equals ``clients``.
+    Returns the summary stats plus per-tenant latency breakdowns and
+    the count of failed responses by error code.
+    """
+    shares: List[List[QueryRequest]] = [[] for _ in range(clients)]
+    for index, request in enumerate(requests):
+        shares[index % clients].append(request)
+
+    latencies: List[List[float]] = [[] for _ in range(clients)]
+    responses: List[List[QueryResponse]] = [[] for _ in range(clients)]
+
+    def client(index: int) -> None:
+        for request in shares[index]:
+            started = monotonic()
+            response = server.query(request)
+            latencies[index].append(monotonic() - started)
+            responses[index].append(response)
+
+    threads = [
+        Thread(target=client, args=(index,), name="repro-client-%d" % index)
+        for index in range(clients)
+    ]
+    started = monotonic()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = monotonic() - started
+
+    flat_latencies = [value for share in latencies for value in share]
+    flat_responses = [value for share in responses for value in share]
+
+    per_tenant: Dict[str, List[float]] = {}
+    errors: Dict[str, int] = {}
+    for response, latency in zip(flat_responses, flat_latencies):
+        per_tenant.setdefault(response.tenant or response.policy, []).append(
+            latency
+        )
+        if not response.ok:
+            code = response.error_code or "E_UNKNOWN"
+            errors[code] = errors.get(code, 0) + 1
+
+    summary = summarize(flat_latencies, elapsed)
+    summary["clients"] = clients
+    summary["errors"] = errors
+    summary["tenants"] = {
+        tenant: {
+            "requests": len(values),
+            "p50_ms": percentile(values, 50) * 1e3,
+            "p95_ms": percentile(values, 95) * 1e3,
+        }
+        for tenant, values in sorted(per_tenant.items())
+    }
+    return summary

@@ -1,0 +1,312 @@
+"""The concurrent multi-tenant query server.
+
+:class:`QueryServer` is a stdlib thread-pool front end over one or
+more :class:`~repro.core.engine.SecureQueryEngine` instances.  The
+contract:
+
+* :meth:`QueryServer.submit` **never raises** — every request resolves
+  to a :class:`~repro.serving.protocol.QueryResponse` future, failures
+  included (typed error codes, exit-code and audit parity with the
+  CLI).
+* Per-tenant admission (:mod:`repro.serving.admission`) is applied
+  around execution, so one flooding tenant exhausts only its own
+  slots and queue.
+* Workers **coalesce** same-document requests: each worker drains up
+  to ``max_batch`` queued requests, groups them by document ref, and
+  executes each group through
+  :meth:`~repro.core.engine.SecureQueryEngine.execute_request` with a
+  shared scan cache — the batched-execution path that shares postings
+  scans across plans with a common label frontier (see
+  ``docs/serving.md`` and ``BENCH_serving.json``).
+
+Document refs are resolved through an :class:`EngineCatalog`: a ref
+names ``(engine, document)``, which is what lets one server front the
+hospital and Adex workloads (different DTDs, different engines) at
+once while still coalescing within each.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+from concurrent.futures import Future
+from threading import Lock, Thread
+from time import monotonic
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ReproError, SecurityError
+from repro.obs.events import ErrorEvent
+from repro.obs.metrics import observe as _observe, record as _record
+from repro.serving.admission import AdmissionController
+from repro.serving.protocol import QueryRequest, QueryResponse
+
+__all__ = ["EngineCatalog", "QueryServer"]
+
+
+class EngineCatalog(object):
+    """Resolves a request's document ref to ``(engine, document)``.
+
+    Thread-safe for concurrent resolve vs. add; refs are
+    immutable-once-added (re-adding a ref raises) so resolution
+    results never change under an in-flight batch.
+    """
+
+    def __init__(self):
+        self._entries: Dict[str, tuple] = {}
+        self._lock = Lock()
+
+    def add(self, ref: str, engine, document) -> "EngineCatalog":
+        with self._lock:
+            if ref in self._entries:
+                raise SecurityError(
+                    "document ref %r is already in the catalog" % (ref,)
+                )
+            self._entries[ref] = (engine, document)
+        return self
+
+    def resolve(self, ref: str) -> tuple:
+        with self._lock:
+            try:
+                return self._entries[ref]
+            except KeyError:
+                raise SecurityError(
+                    "unknown document ref %r (catalog has %s)"
+                    % (ref, sorted(self._entries) or "no entries")
+                )
+
+    def refs(self) -> List[str]:
+        with self._lock:
+            return sorted(self._entries)
+
+    def __contains__(self, ref: str) -> bool:
+        with self._lock:
+            return ref in self._entries
+
+
+class _Pending(object):
+    __slots__ = ("request", "future", "enqueued_at")
+
+    def __init__(self, request: QueryRequest, future: Future, enqueued_at: float):
+        self.request = request
+        self.future = future
+        self.enqueued_at = enqueued_at
+
+
+_STOP = object()
+
+
+class QueryServer(object):
+    """Thread-pool server with admission control and batch coalescing.
+
+    ``catalog``
+        The :class:`EngineCatalog` resolving document refs.
+    ``admission``
+        The :class:`~repro.serving.admission.AdmissionController`
+        (default: one with default tenant bounds).
+    ``workers``
+        Worker threads draining the shared request queue.
+    ``max_batch``
+        Most requests one worker drains per pass; same-document
+        requests within a drain share one scan cache.
+    """
+
+    def __init__(
+        self,
+        catalog: EngineCatalog,
+        admission: Optional[AdmissionController] = None,
+        workers: int = 4,
+        max_batch: int = 8,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be >= 1, got %r" % (workers,))
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1, got %r" % (max_batch,))
+        self.catalog = catalog
+        self.admission = admission if admission is not None else AdmissionController()
+        self.max_batch = max_batch
+        self._queue: "queue.Queue" = queue.Queue()
+        self._ids = itertools.count(1)
+        self._threads = [
+            Thread(
+                target=self._worker,
+                name="repro-serve-%d" % index,
+                daemon=True,
+            )
+            for index in range(workers)
+        ]
+        self._started = False
+        self._stopped = False
+        self._lifecycle = Lock()
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self) -> "QueryServer":
+        with self._lifecycle:
+            if self._started:
+                return self
+            self._started = True
+        for thread in self._threads:
+            thread.start()
+        return self
+
+    def stop(self, drain: bool = True) -> None:
+        """Stop the workers.  With ``drain`` (default) queued requests
+        finish first; without, they resolve to ``E_ADMISSION``
+        shutdown rejections."""
+        with self._lifecycle:
+            if self._stopped or not self._started:
+                self._stopped = True
+                return
+            self._stopped = True
+        if not drain:
+            while True:
+                try:
+                    pending = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if pending is not _STOP:
+                    self._reject_shutdown(pending)
+        for _ in self._threads:
+            self._queue.put(_STOP)
+        for thread in self._threads:
+            thread.join()
+
+    def __enter__(self) -> "QueryServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- submission ------------------------------------------------------
+
+    def submit(self, request: QueryRequest) -> "Future[QueryResponse]":
+        """Enqueue one request.  Never raises: malformed requests and
+        post-shutdown submissions resolve the future to an error
+        response like any other failure."""
+        future: "Future[QueryResponse]" = Future()
+        pending = _Pending(request, future, monotonic())
+        _record("serving.requests")
+        _observe("serving.queue_depth", self._queue.qsize())
+        if self._stopped:
+            self._reject_shutdown(pending)
+            return future
+        self._queue.put(pending)
+        return future
+
+    def query(
+        self, request: QueryRequest, timeout: Optional[float] = None
+    ) -> QueryResponse:
+        """Submit and wait — the synchronous convenience spelling."""
+        return self.submit(request).result(timeout=timeout)
+
+    def next_request_id(self) -> str:
+        """A server-unique request id for callers that don't mint
+        their own."""
+        return "r%d" % next(self._ids)
+
+    # -- worker loop -----------------------------------------------------
+
+    def _worker(self) -> None:
+        while True:
+            pending = self._queue.get()
+            if pending is _STOP:
+                return
+            batch = [pending]
+            while len(batch) < self.max_batch:
+                try:
+                    extra = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if extra is _STOP:
+                    # Put the sentinel back for a sibling and finish
+                    # this batch first (drain semantics).
+                    self._queue.put(_STOP)
+                    break
+                batch.append(extra)
+            if len(batch) > 1:
+                _record("serving.batches.coalesced")
+            _observe("serving.batch_size", len(batch))
+            groups: Dict[str, List[_Pending]] = {}
+            for item in batch:
+                groups.setdefault(item.request.document, []).append(item)
+            for ref, items in groups.items():
+                self._run_group(ref, items)
+
+    def _run_group(self, ref: str, items: List[_Pending]) -> None:
+        try:
+            engine, document = self.catalog.resolve(ref)
+        except SecurityError as error:
+            for item in items:
+                self._resolve(
+                    item, QueryResponse.from_error(item.request, error)
+                )
+            return
+        # One scan cache for the whole same-document group: postings
+        # slices are pure functions of (store, label, frontier), so
+        # plans sharing a label frontier reuse each other's scans.
+        shared_scans: dict = {}
+        for item in items:
+            self._run_one(engine, document, shared_scans, item)
+
+    def _run_one(self, engine, document, shared_scans, item: _Pending) -> None:
+        request = item.request
+        started = monotonic()
+        try:
+            # The slot is held per request, not per batch: a batch
+            # acquiring several tenants' slots at once could deadlock
+            # against a sibling worker acquiring them in another order.
+            with self.admission.admit(
+                request.tenant_id, enqueued_at=item.enqueued_at
+            ):
+                response = engine.execute_request(
+                    request, document, scan_cache=shared_scans
+                )
+        except ReproError as error:
+            # Admission failures happen outside the engine, so mirror
+            # its audit behaviour here for event parity.
+            if engine.events.active:
+                engine.events.emit(
+                    ErrorEvent(
+                        policy=request.policy,
+                        query=request.query,
+                        code=getattr(error, "code", ""),
+                        message=str(error),
+                    )
+                )
+            response = QueryResponse.from_error(request, error)
+        except BaseException as error:  # never leak through a future
+            response = QueryResponse.from_error(request, error)
+        if not response.ok:
+            _record("serving.errors")
+            if response.error_code:
+                _record("serving.errors.%s" % response.error_code)
+        _observe(
+            "serving.latency_seconds.%s" % request.tenant_id,
+            monotonic() - started,
+        )
+        _observe(
+            "serving.e2e_seconds.%s" % request.tenant_id,
+            monotonic() - item.enqueued_at,
+        )
+        self._resolve(item, response)
+
+    # -- helpers ---------------------------------------------------------
+
+    @staticmethod
+    def _resolve(item: _Pending, response: QueryResponse) -> None:
+        if not item.future.cancelled():
+            item.future.set_result(response)
+
+    def _reject_shutdown(self, item: _Pending) -> None:
+        from repro.errors import AdmissionRejected
+
+        _record("serving.admission.rejected")
+        self._resolve(
+            item,
+            QueryResponse.from_error(
+                item.request,
+                AdmissionRejected(
+                    "server is stopped", tenant=item.request.tenant_id
+                ),
+            ),
+        )

@@ -1,0 +1,301 @@
+"""Thread-safety regression suite for the shared engine (PR 6).
+
+One engine, many threads: the serving layer shares a single
+:class:`SecureQueryEngine` across a pool, so its caches (`_stores`,
+`_indexes`, the plan cache, materialized views) and policy table must
+tolerate concurrent queries, and concurrent administration
+(``register_policy`` / ``invalidate``) against in-flight queries must
+yield either a typed error or a consistent answer — never corruption,
+deadlock, or a wrong result.
+
+Run just this suite with ``pytest -m concurrency``.
+"""
+
+import threading
+
+import pytest
+
+from repro.core.engine import SecureQueryEngine
+from repro.core.options import ExecutionOptions
+from repro.errors import ReproError
+from repro.workloads.hospital import (
+    doctor_spec,
+    hospital_document,
+    hospital_dtd,
+    nurse_spec,
+)
+from repro.xmlmodel.serialize import serialize
+
+pytestmark = pytest.mark.concurrency
+
+THREADS = 16
+ROUNDS = 8
+
+QUERY_TEXTS = (
+    "//patient/name",
+    "//patient//bill",
+    "dept/patientInfo/patient/name",
+    "//patient/name/text()",
+)
+
+OPTION_MATRIX = (
+    ExecutionOptions(),
+    ExecutionOptions(strategy="columnar"),
+    ExecutionOptions(strategy="materialized"),
+    ExecutionOptions(use_index=True),
+    ExecutionOptions(strategy="columnar", use_index=True),
+    ExecutionOptions(use_cache=False),
+)
+
+
+def _build_engine():
+    dtd = hospital_dtd()
+    engine = SecureQueryEngine(dtd)
+    engine.register_policy("nurse", nurse_spec(dtd), wardNo="2")
+    engine.register_policy("doctor", doctor_spec(dtd))
+    return engine
+
+
+def _canonical(values):
+    return sorted(
+        value if isinstance(value, str) else serialize(value)
+        for value in values
+    )
+
+
+def _hammer(worker, threads=THREADS):
+    """Run ``worker(index)`` on N threads; re-raise the first failure."""
+    errors = []
+    barrier = threading.Barrier(threads)
+
+    def runner(index):
+        try:
+            barrier.wait(timeout=30)
+            worker(index)
+        except BaseException as error:  # noqa: BLE001 - surfaced below
+            errors.append(error)
+
+    pool = [
+        threading.Thread(target=runner, args=(index,), name="hammer-%d" % index)
+        for index in range(threads)
+    ]
+    for thread in pool:
+        thread.start()
+    for thread in pool:
+        thread.join(timeout=120)
+        assert not thread.is_alive(), "worker deadlocked"
+    if errors:
+        raise errors[0]
+
+
+class TestConcurrentQuerying:
+    def test_sixteen_threads_agree_with_sequential(self):
+        """The core hammer: 16 threads × every option combination on a
+        cold engine answer exactly like a sequential run."""
+        engine = _build_engine()
+        document = hospital_document(seed=7, max_branch=4)
+        reference_engine = _build_engine()
+        expected = {
+            (policy, text, id(options)): _canonical(
+                reference_engine.query(policy, text, document, options=options)
+            )
+            for policy in ("nurse", "doctor")
+            for text in QUERY_TEXTS
+            for options in OPTION_MATRIX
+        }
+
+        def worker(index):
+            for round_no in range(ROUNDS):
+                for policy in ("nurse", "doctor"):
+                    for text in QUERY_TEXTS:
+                        options = OPTION_MATRIX[
+                            (index + round_no) % len(OPTION_MATRIX)
+                        ]
+                        actual = _canonical(
+                            engine.query(policy, text, document, options=options)
+                        )
+                        assert (
+                            actual == expected[(policy, text, id(options))]
+                        ), (policy, text, options)
+
+        _hammer(worker)
+
+    def test_cold_cache_stampede_builds_once_each(self):
+        """All threads racing the same cold (store, index, plan) keys:
+        answers agree and the immutable-after-build caches hold exactly
+        one artifact per key afterwards."""
+        engine = _build_engine()
+        document = hospital_document(seed=3, max_branch=4)
+        options = ExecutionOptions(strategy="columnar", use_index=True)
+        expected = _canonical(
+            _build_engine().query(
+                "nurse", "//patient//bill", document, options=options
+            )
+        )
+
+        def worker(index):
+            actual = _canonical(
+                engine.query("nurse", "//patient//bill", document, options=options)
+            )
+            assert actual == expected
+
+        _hammer(worker)
+        assert len(engine._stores) == 1
+        assert len(engine._indexes) == 1
+
+    def test_query_batch_from_many_threads(self):
+        engine = _build_engine()
+        document = hospital_document(seed=5, max_branch=4)
+        options = ExecutionOptions(strategy="columnar")
+        expected = [
+            _canonical(
+                _build_engine().query("nurse", text, document, options=options)
+            )
+            for text in QUERY_TEXTS
+        ]
+
+        def worker(index):
+            results = engine.query_batch(
+                "nurse", list(QUERY_TEXTS), document, options=options
+            )
+            assert [_canonical(r) for r in results] == expected
+
+        _hammer(worker)
+
+
+class TestAdminRaces:
+    def test_register_policy_races_are_typed(self):
+        """Concurrent duplicate registration: exactly one thread wins,
+        the rest get the typed SecurityError — never a half-registered
+        policy."""
+        from repro.errors import SecurityError
+
+        engine = _build_engine()
+        dtd = hospital_dtd()
+        wins = []
+        losses = []
+
+        def worker(index):
+            try:
+                engine.register_policy(
+                    "contested", nurse_spec(dtd), wardNo=str(index)
+                )
+                wins.append(index)
+            except SecurityError:
+                losses.append(index)
+
+        _hammer(worker)
+        assert len(wins) == 1
+        assert len(losses) == THREADS - 1
+        assert "contested" in engine.policies()
+
+    def test_invalidate_races_inflight_queries(self):
+        """invalidate() storms while queries are in flight: every query
+        either answers consistently or raises a typed ReproError; the
+        engine stays usable afterwards."""
+        engine = _build_engine()
+        document = hospital_document(seed=7, max_branch=4)
+        options = ExecutionOptions(strategy="columnar", use_index=True)
+        expected = _canonical(
+            _build_engine().query(
+                "nurse", "//patient/name", document, options=options
+            )
+        )
+        stop = threading.Event()
+
+        def worker(index):
+            if index % 4 == 0:  # every fourth thread is an invalidator
+                while not stop.is_set():
+                    engine.invalidate()
+                return
+            try:
+                for _ in range(ROUNDS):
+                    actual = _canonical(
+                        engine.query(
+                            "nurse", "//patient/name", document, options=options
+                        )
+                    )
+                    assert actual == expected
+            finally:
+                stop.set()
+
+        _hammer(worker)
+        # still consistent once the dust settles
+        assert (
+            _canonical(
+                engine.query("nurse", "//patient/name", document, options=options)
+            )
+            == expected
+        )
+
+    def test_drop_policy_races_inflight_queries(self):
+        """Queries against a policy being dropped either answer or
+        raise the typed unknown-policy error."""
+        from repro.errors import SecurityError
+
+        engine = _build_engine()
+        document = hospital_document(seed=7, max_branch=4)
+        dropped = threading.Event()
+
+        def worker(index):
+            if index == 0:
+                engine.drop_policy("doctor")
+                dropped.set()
+                return
+            for _ in range(ROUNDS):
+                try:
+                    engine.query("doctor", "//patient/name", document)
+                except SecurityError:
+                    assert dropped.wait(timeout=30)
+                    break
+
+        _hammer(worker)
+        assert engine.policies() == ["nurse"]
+
+    def test_materialized_view_stampede(self):
+        """Concurrent first-touch of a materialized view builds one
+        shared tree (identical node objects across threads)."""
+        engine = _build_engine()
+        document = hospital_document(seed=9, max_branch=4)
+        options = ExecutionOptions(strategy="materialized")
+        snapshots = [None] * THREADS
+
+        def worker(index):
+            result = engine.query(
+                "nurse", "//patient", document, options=options
+            )
+            snapshots[index] = [id(node) for node in result]
+
+        _hammer(worker)
+        assert len({tuple(ids) for ids in snapshots}) == 1
+
+
+class TestPlanCacheConcurrency:
+    def test_shared_compiled_query_single_build(self):
+        """Many threads racing one cold plan-cache entry reuse a single
+        CompiledQuery whose plan was built exactly once."""
+        engine = _build_engine()
+        document = hospital_document(seed=7, max_branch=4)
+        options = ExecutionOptions(strategy="columnar")
+
+        def worker(index):
+            engine.query("nurse", "//patient//bill", document, options=options)
+
+        _hammer(worker)
+        stats = engine.plan_cache_stats()
+        assert stats.size >= 1
+        # one compiled entry, many hits: misses stay at the distinct
+        # (policy, query, options) cardinality, not the thread count
+        assert stats.misses <= len(OPTION_MATRIX)
+
+    def test_typed_errors_under_concurrency(self):
+        """Failing queries raise their typed error on every thread
+        (no cross-thread error leakage)."""
+        engine = _build_engine()
+        document = hospital_document(seed=7, max_branch=4)
+
+        def worker(index):
+            with pytest.raises(ReproError):
+                engine.query("ghost-%d" % index, "//patient", document)
+
+        _hammer(worker)

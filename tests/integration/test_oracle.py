@@ -58,6 +58,7 @@ def run_oracle(document, view, spec, query_texts, optimizer=None):
     so both sides serialize identically when the rewriting is correct.
     """
     from repro.core.engine import SecureQueryEngine
+    from repro.core.options import ExecutionOptions
     from repro.xmlmodel.serialize import serialize
 
     view_tree = materialize(document, view, spec)
@@ -72,7 +73,10 @@ def run_oracle(document, view, spec, query_texts, optimizer=None):
         )
         for use_optimizer in (False, True) if optimizer else (False,):
             results = engine.query(
-                "oracle", query, document, optimize=use_optimizer
+                "oracle",
+                query,
+                document,
+                options=ExecutionOptions(optimize=use_optimizer),
             )
             actual = sorted(
                 value if isinstance(value, str) else serialize(value)

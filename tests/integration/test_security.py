@@ -108,7 +108,14 @@ class TestContentConfidentiality:
 
     def test_raw_mode_documented_leak_is_projected_away(self, engine, document):
         # raw document nodes would expose the 'regular' label...
-        raw = engine.query("nurse", "//dummy2", document, project=False)
+        from repro.core.options import ExecutionOptions
+
+        raw = engine.query(
+            "nurse",
+            "//dummy2",
+            document,
+            options=ExecutionOptions(project=False),
+        )
         assert any(node.label == "regular" for node in raw)
         # ...which is why the default projects:
         projected = engine.query("nurse", "//dummy2", document)

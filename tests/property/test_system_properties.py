@@ -19,6 +19,7 @@ from repro.core.accessibility import compute_accessibility
 from repro.core.derive import derive
 from repro.core.engine import SecureQueryEngine
 from repro.core.materialize import materialize
+from repro.core.options import ExecutionOptions
 from repro.core.optimize import Optimizer
 from repro.core.spec import ANN_N, ANN_Y
 from repro.dtd.generator import DocumentGenerator
@@ -151,7 +152,10 @@ def test_rewrite_equivalence_random_queries(query, seed):
         actual = sorted(
             value if isinstance(value, str) else serialize(value)
             for value in engine.query(
-                "nurse", query, document, optimize=optimize
+                "nurse",
+                query,
+                document,
+                options=ExecutionOptions(optimize=optimize),
             )
         )
         assert expected == actual

@@ -4,6 +4,7 @@ import pytest
 
 from repro.errors import QueryRejectedError, SecurityError
 from repro.core.engine import SecureQueryEngine
+from repro.core.options import ExecutionOptions
 from repro.workloads.hospital import (
     doctor_spec,
     hospital_document,
@@ -81,7 +82,10 @@ class TestQuerying:
 
     def test_raw_results_opt_out(self, engine, document):
         raw = engine.query(
-            "nurse", "//treatment", document, project=False
+            "nurse",
+            "//treatment",
+            document,
+            options=ExecutionOptions(project=False),
         )
         assert raw
         assert all(node.parent is not None for node in raw)
@@ -116,8 +120,18 @@ class TestQuerying:
         assert results and all(isinstance(value, str) for value in results)
 
     def test_optimize_toggle_preserves_results(self, engine, document):
-        fast = engine.query("nurse", "//patient/name", document, optimize=True)
-        slow = engine.query("nurse", "//patient/name", document, optimize=False)
+        fast = engine.query(
+            "nurse",
+            "//patient/name",
+            document,
+            options=ExecutionOptions(optimize=True),
+        )
+        slow = engine.query(
+            "nurse",
+            "//patient/name",
+            document,
+            options=ExecutionOptions(optimize=False),
+        )
         assert len(fast) == len(slow)
 
 
@@ -128,7 +142,10 @@ class TestMaterializedStrategy:
         for text in ("//patient/name", "//treatment", "//patient/name/text()"):
             via_rewrite = engine.query("nurse", text, document)
             via_view = engine.query(
-                "nurse", text, document, strategy="materialized"
+                "nurse",
+                text,
+                document,
+                options=ExecutionOptions(strategy="materialized"),
             )
             assert sorted(
                 value if isinstance(value, str) else serialize(value)
@@ -139,29 +156,28 @@ class TestMaterializedStrategy:
             ), text
 
     def test_materialized_view_cached(self, engine, document):
-        first = engine.query(
-            "nurse", "//patient", document, strategy="materialized"
-        )
-        second = engine.query(
-            "nurse", "//patient", document, strategy="materialized"
-        )
+        materialized = ExecutionOptions(strategy="materialized")
+        first = engine.query("nurse", "//patient", document, options=materialized)
+        second = engine.query("nurse", "//patient", document, options=materialized)
         # same cached view tree => identical node objects
         assert [id(node) for node in first] == [id(node) for node in second]
 
     def test_invalidate_drops_cache(self, engine, document):
-        first = engine.query(
-            "nurse", "//patient", document, strategy="materialized"
-        )
+        materialized = ExecutionOptions(strategy="materialized")
+        first = engine.query("nurse", "//patient", document, options=materialized)
         engine.invalidate("nurse")
-        second = engine.query(
-            "nurse", "//patient", document, strategy="materialized"
-        )
+        second = engine.query("nurse", "//patient", document, options=materialized)
         if first:  # fresh materialization produces fresh objects
             assert first[0] is not second[0]
 
     def test_unknown_strategy_rejected(self, engine, document):
         with pytest.raises(SecurityError):
-            engine.query("nurse", "//patient", document, strategy="magic")
+            engine.query(
+                "nurse",
+                "//patient",
+                document,
+                options=ExecutionOptions(strategy="magic"),
+            )
 
 
 class TestExplain:

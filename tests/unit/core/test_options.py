@@ -1,6 +1,6 @@
 """The redesigned query surface: ``ExecutionOptions``, the structured
-``QueryResult``, and the one-release deprecation shims for the pre-1.1
-boolean keywords."""
+``QueryResult``, and the 2.0 removal of the pre-1.1 boolean keywords
+(``options=ExecutionOptions(...)`` is the only spelling now)."""
 
 import warnings
 
@@ -93,72 +93,103 @@ class TestQueryResult:
         assert "plan cache" in summary
 
 
-class TestDeprecationShims:
-    def test_legacy_keywords_warn_and_work(self, engine, document):
-        with pytest.warns(DeprecationWarning):
-            legacy = engine.query(
+class TestLegacyKeywordsRemoved:
+    """The 1.x per-call boolean keywords are gone in 2.0: ``query()``
+    and ``explain()`` take ``options`` only, and reject everything
+    else with ``TypeError`` (not a silent ignore)."""
+
+    def test_legacy_boolean_keyword_rejected(self, engine, document):
+        with pytest.raises(TypeError):
+            engine.query(
                 "nurse", "//patient", document, optimize=True, use_index=True
             )
-        new = engine.query(
-            "nurse",
-            "//patient",
-            document,
-            options=ExecutionOptions(optimize=True, use_index=True),
-        )
-        assert [str(n) for n in legacy] == [str(n) for n in new]
 
-    def test_legacy_project_keyword(self, engine, document):
-        with pytest.warns(DeprecationWarning):
-            raw = engine.query("nurse", "//patient", document, project=False)
-        assert raw and all(node.parent is not None for node in raw)
+    def test_legacy_project_keyword_rejected(self, engine, document):
+        with pytest.raises(TypeError):
+            engine.query("nurse", "//patient", document, project=False)
 
-    def test_legacy_strategy_keyword(self, engine, document):
-        with pytest.warns(DeprecationWarning):
-            result = engine.query(
+    def test_legacy_strategy_keyword_rejected(self, engine, document):
+        with pytest.raises(TypeError):
+            engine.query(
                 "nurse", "//patient", document, strategy="materialized"
             )
-        assert result.report.strategy == "materialized"
 
-    def test_new_path_does_not_warn(self, engine, document):
+    def test_unknown_keyword_rejected(self, engine, document):
+        with pytest.raises(TypeError):
+            engine.query("nurse", "//patient", document, turbo=True)
+
+    def test_positional_bool_rejected(self, engine, document):
+        # pre-1.1 call shape: optimize passed positionally after the
+        # document — now a typed error, not a silent options misparse
+        with pytest.raises(TypeError, match="ExecutionOptions"):
+            engine.query("nurse", "//patient", document, False)
+
+    def test_explain_rejects_legacy_keyword(self, engine, document):
+        with pytest.raises(TypeError):
+            engine.explain("nurse", "//patient", document, optimize=False)
+
+    def test_options_path_does_not_warn(self, engine, document):
         with warnings.catch_warnings():
             warnings.simplefilter("error", DeprecationWarning)
             engine.query(
                 "nurse", "//patient", document, options=ExecutionOptions()
             )
             engine.query("nurse", "//patient", document)
-
-    def test_mixing_options_and_legacy_rejected(self, engine, document):
-        with pytest.raises(TypeError):
-            with warnings.catch_warnings():
-                warnings.simplefilter("ignore", DeprecationWarning)
-                engine.query(
-                    "nurse",
-                    "//patient",
-                    document,
-                    options=ExecutionOptions(),
-                    optimize=False,
-                )
-
-    def test_unknown_keyword_rejected(self, engine, document):
-        with pytest.raises(TypeError):
-            engine.query("nurse", "//patient", document, turbo=True)
-
-    def test_positional_optimize_bool(self, engine, document):
-        # pre-1.1 call shape: optimize passed positionally after the
-        # document
-        with pytest.warns(DeprecationWarning):
-            result = engine.query("nurse", "//patient", document, False)
-        assert result.report.optimized == result.report.rewritten
-
-    def test_explain_accepts_legacy_and_new(self, engine, document):
-        with pytest.warns(DeprecationWarning):
-            legacy = engine.explain(
-                "nurse", "//patient", document, optimize=False
+            engine.explain(
+                "nurse",
+                "//patient",
+                document,
+                options=ExecutionOptions(optimize=False),
             )
-        new = engine.explain(
+
+    def test_options_replaces_each_legacy_spelling(self, engine, document):
+        raw = engine.query(
+            "nurse",
+            "//patient",
+            document,
+            options=ExecutionOptions(project=False),
+        )
+        assert raw and all(node.parent is not None for node in raw)
+        result = engine.query(
+            "nurse",
+            "//patient",
+            document,
+            options=ExecutionOptions(strategy="materialized"),
+        )
+        assert result.report.strategy == "materialized"
+        unoptimized = engine.query(
             "nurse",
             "//patient",
             document,
             options=ExecutionOptions(optimize=False),
         )
-        assert str(legacy.rewritten) == str(new.rewritten)
+        assert (
+            unoptimized.report.optimized == unoptimized.report.rewritten
+        )
+
+
+class TestOptionsWireShape:
+    def test_round_trip_defaults(self):
+        options = ExecutionOptions()
+        assert ExecutionOptions.from_dict(options.to_dict()) == options
+
+    def test_round_trip_with_limits(self):
+        from repro.robustness.governor import QueryLimits
+
+        options = ExecutionOptions(
+            strategy="columnar",
+            use_index=True,
+            trace=True,
+            slow_query_threshold=0.25,
+            limits=QueryLimits(deadline_seconds=0.5, max_results=10),
+        )
+        assert ExecutionOptions.from_dict(options.to_dict()) == options
+
+    def test_missing_keys_take_defaults(self):
+        assert ExecutionOptions.from_dict({}) == ExecutionOptions()
+
+    def test_unknown_keys_ignored(self):
+        options = ExecutionOptions.from_dict(
+            {"strategy": "columnar", "future_knob": 42}
+        )
+        assert options.strategy == "columnar"

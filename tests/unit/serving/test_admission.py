@@ -1,0 +1,147 @@
+"""Per-tenant admission control: slots, queue bounds, queue deadlines."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import AdmissionRejected, DeadlineExceeded
+from repro.serving.admission import AdmissionController, TenantPolicy
+
+
+class TestTenantPolicy:
+    def test_defaults(self):
+        policy = TenantPolicy()
+        assert policy.max_concurrent >= 1
+        assert policy.max_queue_depth >= 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TenantPolicy(max_concurrent=0)
+        with pytest.raises(ValueError):
+            TenantPolicy(max_queue_depth=-1)
+
+
+class TestAdmission:
+    def test_admit_releases_slot(self):
+        controller = AdmissionController(TenantPolicy(max_concurrent=1))
+        with controller.admit("t"):
+            assert controller.running("t") == 1
+        assert controller.running("t") == 0
+        # the slot is reusable
+        with controller.admit("t"):
+            pass
+
+    def test_tenants_are_isolated(self):
+        controller = AdmissionController(
+            TenantPolicy(max_concurrent=1, max_queue_depth=0)
+        )
+        with controller.admit("a"):
+            # tenant b still has its own slot while a's is busy
+            with controller.admit("b"):
+                assert controller.running() == 2
+
+    def test_queue_overflow_rejected(self):
+        controller = AdmissionController(
+            TenantPolicy(
+                max_concurrent=1,
+                max_queue_depth=0,
+                queue_deadline_seconds=5.0,
+            )
+        )
+        release = threading.Event()
+        entered = threading.Event()
+
+        def holder():
+            with controller.admit("t"):
+                entered.set()
+                release.wait(timeout=10)
+
+        thread = threading.Thread(target=holder)
+        thread.start()
+        try:
+            assert entered.wait(timeout=5)
+            # slot busy, zero queue depth allowed -> immediate rejection
+            with pytest.raises(AdmissionRejected) as excinfo:
+                with controller.admit("t"):
+                    pass  # pragma: no cover - never admitted
+            assert excinfo.value.code == "E_ADMISSION"
+            assert excinfo.value.tenant == "t"
+        finally:
+            release.set()
+            thread.join()
+
+    def test_queue_deadline_raises_e_deadline(self):
+        controller = AdmissionController(
+            TenantPolicy(
+                max_concurrent=1,
+                max_queue_depth=4,
+                queue_deadline_seconds=0.05,
+            )
+        )
+        release = threading.Event()
+        entered = threading.Event()
+
+        def holder():
+            with controller.admit("t"):
+                entered.set()
+                release.wait(timeout=10)
+
+        thread = threading.Thread(target=holder)
+        thread.start()
+        try:
+            assert entered.wait(timeout=5)
+            started = time.monotonic()
+            with pytest.raises(DeadlineExceeded) as excinfo:
+                with controller.admit("t"):
+                    pass  # pragma: no cover - never admitted
+            assert excinfo.value.code == "E_DEADLINE"
+            # waited roughly the queue deadline, not forever
+            assert time.monotonic() - started < 2.0
+            # waiter accounting rolled back
+            assert controller.queue_depth("t") == 0
+        finally:
+            release.set()
+            thread.join()
+
+    def test_deadline_accounts_time_already_queued(self):
+        controller = AdmissionController(
+            TenantPolicy(
+                max_concurrent=1,
+                max_queue_depth=4,
+                queue_deadline_seconds=0.2,
+            )
+        )
+        release = threading.Event()
+        entered = threading.Event()
+
+        def holder():
+            with controller.admit("t"):
+                entered.set()
+                release.wait(timeout=10)
+
+        thread = threading.Thread(target=holder)
+        thread.start()
+        try:
+            assert entered.wait(timeout=5)
+            # enqueued long ago -> the deadline has already lapsed
+            with pytest.raises(DeadlineExceeded):
+                with controller.admit(
+                    "t", enqueued_at=time.monotonic() - 10.0
+                ):
+                    pass  # pragma: no cover - never admitted
+        finally:
+            release.set()
+            thread.join()
+
+    def test_per_tenant_policy_override(self):
+        controller = AdmissionController(
+            TenantPolicy(max_concurrent=1, max_queue_depth=0)
+        )
+        controller.set_policy(
+            "big", TenantPolicy(max_concurrent=3, max_queue_depth=0)
+        )
+        with controller.admit("big"):
+            with controller.admit("big"):
+                with controller.admit("big"):
+                    assert controller.running("big") == 3

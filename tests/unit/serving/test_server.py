@@ -1,0 +1,227 @@
+"""The QueryServer: catalog resolution, futures contract, batching,
+admission and audit parity."""
+
+import threading
+
+import pytest
+
+from repro.core.engine import SecureQueryEngine
+from repro.core.options import ExecutionOptions
+from repro.obs.events import RingBufferSink
+from repro.serving.admission import AdmissionController, TenantPolicy
+from repro.serving.protocol import QueryRequest, QueryResponse
+from repro.serving.server import EngineCatalog, QueryServer
+from repro.workloads.hospital import (
+    hospital_document,
+    hospital_dtd,
+    nurse_spec,
+)
+
+
+@pytest.fixture(scope="module")
+def engine():
+    dtd = hospital_dtd()
+    built = SecureQueryEngine(dtd)
+    built.register_policy("nurse", nurse_spec(dtd), wardNo="2")
+    return built
+
+
+@pytest.fixture(scope="module")
+def document():
+    return hospital_document(seed=7, max_branch=4)
+
+
+@pytest.fixture()
+def catalog(engine, document):
+    return EngineCatalog().add("hospital", engine, document)
+
+
+class TestEngineCatalog:
+    def test_duplicate_ref_rejected(self, engine, document):
+        from repro.errors import SecurityError
+
+        catalog = EngineCatalog().add("d", engine, document)
+        with pytest.raises(SecurityError):
+            catalog.add("d", engine, document)
+
+    def test_unknown_ref_raises(self, catalog):
+        from repro.errors import SecurityError
+
+        with pytest.raises(SecurityError):
+            catalog.resolve("nope")
+        assert "nope" not in catalog
+        assert catalog.refs() == ["hospital"]
+
+
+class TestQueryServer:
+    def test_answers_match_direct_query(self, catalog, engine, document):
+        from repro.xmlmodel.serialize import serialize
+
+        direct = [
+            value if isinstance(value, str) else serialize(value)
+            for value in engine.query("nurse", "//patient/name", document)
+        ]
+        with QueryServer(catalog, workers=2) as server:
+            response = server.query(
+                QueryRequest(
+                    policy="nurse", query="//patient/name", document="hospital"
+                )
+            )
+        assert response.ok
+        assert list(response.results) == direct
+
+    def test_unknown_document_resolves_future(self, catalog):
+        with QueryServer(catalog, workers=1) as server:
+            response = server.query(
+                QueryRequest(policy="nurse", query="//a", document="ghost")
+            )
+        assert not response.ok
+        assert response.error_code == "E_SECURITY"
+
+    def test_submit_never_raises_after_stop(self, catalog):
+        server = QueryServer(catalog, workers=1).start()
+        server.stop()
+        response = server.submit(
+            QueryRequest(policy="nurse", query="//a", document="hospital")
+        ).result(timeout=5)
+        assert not response.ok
+        assert response.error_code == "E_ADMISSION"
+
+    def test_batch_coalescing_preserves_answers(self, catalog, engine, document):
+        columnar = ExecutionOptions(strategy="columnar")
+        texts = ["//patient/name", "//patient//bill", "//patient/name"] * 4
+        with QueryServer(catalog, workers=1, max_batch=8) as server:
+            futures = [
+                server.submit(
+                    QueryRequest(
+                        policy="nurse",
+                        query=text,
+                        document="hospital",
+                        options=columnar,
+                        request_id=str(index),
+                    )
+                )
+                for index, text in enumerate(texts)
+            ]
+            responses = [future.result(timeout=30) for future in futures]
+        assert all(response.ok for response in responses)
+        # identical queries agree regardless of which batch served them
+        by_text = {}
+        for text, response in zip(texts, responses):
+            by_text.setdefault(text, set()).add(response.results)
+        assert all(len(variants) == 1 for variants in by_text.values())
+
+    def test_admission_rejection_surfaces_and_audits(self, catalog, engine):
+        sink = engine.add_sink(RingBufferSink())
+        try:
+            admission = AdmissionController(
+                TenantPolicy(
+                    max_concurrent=1,
+                    max_queue_depth=0,
+                    queue_deadline_seconds=5.0,
+                )
+            )
+            # One slot, zero queue depth: racing many same-tenant
+            # requests across two workers must reject some at the gate.
+            with QueryServer(
+                catalog, admission=admission, workers=2, max_batch=1
+            ) as server:
+                blocker = server.submit(
+                    QueryRequest(
+                        policy="nurse",
+                        query="//patient//bill",
+                        document="hospital",
+                        tenant="hammer",
+                    )
+                )
+                # saturate: with one slot and zero queue depth, racing
+                # many requests must produce at least one E_ADMISSION
+                futures = [
+                    server.submit(
+                        QueryRequest(
+                            policy="nurse",
+                            query="//patient//bill",
+                            document="hospital",
+                            tenant="hammer",
+                        )
+                    )
+                    for _ in range(12)
+                ]
+                responses = [blocker.result(timeout=30)] + [
+                    future.result(timeout=30) for future in futures
+                ]
+            codes = {r.error_code for r in responses if not r.ok}
+            assert all(
+                code in {"E_ADMISSION", "E_DEADLINE"} for code in codes
+            )
+            ok_count = sum(1 for r in responses if r.ok)
+            assert ok_count >= 1
+            if codes:  # every serving failure has an audit ErrorEvent
+                audited = {
+                    event.code for event in sink.events(kind="error")
+                }
+                assert codes <= audited
+        finally:
+            engine.remove_sink(sink)
+
+    def test_tenant_isolation_under_flood(self, catalog):
+        """A flooding tenant gets rejections; a polite tenant's
+        requests all succeed."""
+        admission = AdmissionController(
+            TenantPolicy(max_concurrent=2, max_queue_depth=64)
+        )
+        admission.set_policy(
+            "flood",
+            TenantPolicy(
+                max_concurrent=1,
+                max_queue_depth=1,
+                queue_deadline_seconds=10.0,
+            ),
+        )
+        with QueryServer(
+            catalog, admission=admission, workers=4, max_batch=4
+        ) as server:
+            flood = [
+                server.submit(
+                    QueryRequest(
+                        policy="nurse",
+                        query="//patient//bill",
+                        document="hospital",
+                        tenant="flood",
+                    )
+                )
+                for _ in range(16)
+            ]
+            polite = [
+                server.submit(
+                    QueryRequest(
+                        policy="nurse",
+                        query="//patient/name",
+                        document="hospital",
+                        tenant="polite",
+                    )
+                )
+                for _ in range(8)
+            ]
+            polite_responses = [f.result(timeout=30) for f in polite]
+            flood_responses = [f.result(timeout=30) for f in flood]
+        assert all(r.ok for r in polite_responses)
+        # the flooder is bounded: not everything gets through at once
+        flood_codes = {r.error_code for r in flood_responses if not r.ok}
+        assert flood_codes <= {"E_ADMISSION", "E_DEADLINE"}
+
+    def test_context_manager_and_request_ids(self, catalog):
+        with QueryServer(catalog, workers=1) as server:
+            first = server.next_request_id()
+            second = server.next_request_id()
+            assert first != second
+
+    def test_response_is_protocol_type(self, catalog):
+        with QueryServer(catalog, workers=1) as server:
+            response = server.query(
+                QueryRequest(
+                    policy="nurse", query="//patient", document="hospital"
+                )
+            )
+        assert isinstance(response, QueryResponse)
+        assert QueryResponse.from_dict(response.to_dict()) == response

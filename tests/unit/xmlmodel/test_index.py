@@ -2,8 +2,11 @@
 
 import pytest
 
+from repro.core.options import ExecutionOptions
 from repro.xmlmodel.index import DocumentIndex, build_index
 from repro.xmlmodel.parser import parse_document
+
+INDEXED = ExecutionOptions(use_index=True)
 
 DOC = """
 <lib>
@@ -196,7 +199,9 @@ class TestEngineIntegration:
         document = hospital_document(seed=7, max_branch=4)
         for text in ("//patient/name", "//dummy2/medication"):
             plain = engine.query("nurse", text, document)
-            indexed = engine.query("nurse", text, document, use_index=True)
+            indexed = engine.query(
+                "nurse", text, document, options=INDEXED
+            )
             assert [serialize(a) for a in plain] == [
                 serialize(b) for b in indexed
             ]
@@ -213,7 +218,7 @@ class TestEngineIntegration:
         engine = SecureQueryEngine(dtd)
         engine.register_policy("nurse", nurse_spec(dtd), wardNo="2")
         document = hospital_document(seed=7)
-        engine.query("nurse", "//patient", document, use_index=True)
+        engine.query("nurse", "//patient", document, options=INDEXED)
         assert engine._indexes
         engine.invalidate()
         assert not engine._indexes
