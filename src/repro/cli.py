@@ -419,6 +419,28 @@ def _admission(arguments):
     )
 
 
+def _tracing_kwargs(arguments) -> dict:
+    """QueryServer tracing/flight/SLO settings from serving flags."""
+    from repro.obs.flight import FlightRecorder
+    from repro.obs.slo import SLObjective, SLOTracker
+
+    if arguments.no_tracing:
+        return {"tracing": False}
+    return {
+        "tracing": True,
+        "flight": FlightRecorder(
+            capacity=arguments.flight_capacity,
+            tail_capacity=arguments.flight_tail,
+        ),
+        "slo": SLOTracker(
+            SLObjective(
+                threshold_seconds=arguments.slo_ms / 1e3,
+                target=arguments.slo_target,
+            )
+        ),
+    }
+
+
 def cmd_serve(arguments) -> int:
     """Run the HTTP serving front end over the standard catalog (the
     hospital nurse/doctor tenants plus the Adex buyer)."""
@@ -434,10 +456,11 @@ def cmd_serve(arguments) -> int:
         admission=_admission(arguments),
         workers=arguments.workers,
         max_batch=arguments.max_batch,
+        **_tracing_kwargs(arguments)
     ).start()
     print(
         "serving %s on http://%s:%d (POST /query, GET /metrics, "
-        "GET /healthz)"
+        "GET /debug/traces, GET /debug/slo, GET /healthz)"
         % (", ".join(catalog.refs()), arguments.host, arguments.port),
         file=sys.stderr,
     )
@@ -461,7 +484,10 @@ def cmd_replay(arguments) -> int:
         repetitions=arguments.repetitions, seed=arguments.seed
     )
     with QueryServer(
-        catalog, workers=arguments.workers, max_batch=arguments.max_batch
+        catalog,
+        workers=arguments.workers,
+        max_batch=arguments.max_batch,
+        **_tracing_kwargs(arguments)
     ) as server:
         stats = replay(server, requests, clients=arguments.clients)
     if arguments.json:
@@ -487,10 +513,74 @@ def cmd_replay(arguments) -> int:
             "  tenant %-18s requests=%-4d p50=%.2fms p95=%.2fms"
             % (tenant, bucket["requests"], bucket["p50_ms"], bucket["p95_ms"])
         )
+    if "flight" in stats:
+        print(
+            "traces: %(retained)d retained of %(recorded)d recorded "
+            "(tail=%(tail)d interesting, %(ok_sampled)d ok-sampled)"
+            % stats["flight"]
+        )
+    for tenant, slo in stats.get("slo", {}).items():
+        print(
+            "  slo %-21s compliance=%.4f burn fast=%.2f slow=%.2f"
+            % (
+                tenant,
+                slo["compliance"],
+                slo["fast_burn_rate"],
+                slo["slow_burn_rate"],
+            )
+        )
     if stats["errors"]:
         for code, count in sorted(stats["errors"].items()):
             print("  errors[%s] = %d" % (code, count))
         return 1
+    return 0
+
+
+def cmd_trace_tail(arguments) -> int:
+    """Fetch and render the newest retained traces from a running
+    server's ``/debug/traces`` endpoint."""
+    import json
+    from urllib.parse import quote
+    from urllib.request import urlopen
+
+    from repro.obs.flight import render_trace
+
+    base = arguments.url.rstrip("/")
+    params = []
+    if arguments.trace_id:
+        params.append("trace_id=%s" % quote(arguments.trace_id))
+    else:
+        params.append("n=%d" % arguments.count)
+        if arguments.tenant:
+            params.append("tenant=%s" % quote(arguments.tenant))
+        if arguments.status:
+            params.append("status=%s" % quote(arguments.status))
+    with urlopen("%s/debug/traces?%s" % (base, "&".join(params))) as reply:
+        payload = json.load(reply)
+    if arguments.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    if not payload.get("enabled", True):
+        print("tracing is disabled on the server", file=sys.stderr)
+        return 1
+    stats = payload.get("stats")
+    if stats:
+        print(
+            "flight recorder: %(retained)d retained of %(recorded)d "
+            "recorded (tail=%(tail)d interesting, %(ok_sampled)d "
+            "ok-sampled)" % stats
+        )
+    traces = payload.get("traces", [])
+    if not traces:
+        if arguments.trace_id:
+            print(
+                "trace %s not retained" % arguments.trace_id, file=sys.stderr
+            )
+            return 1
+        print("no traces retained yet")
+        return 0
+    for trace in traces:
+        print(render_trace(trace))
     return 0
 
 
@@ -718,6 +808,38 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument(
             "--seed", type=int, default=0, help="document-generation seed"
         )
+        sub.add_argument(
+            "--no-tracing",
+            action="store_true",
+            help="disable request tracing, the flight recorder, and "
+            "SLO tracking",
+        )
+        sub.add_argument(
+            "--slo-ms",
+            type=float,
+            default=250.0,
+            metavar="MS",
+            help="per-request latency SLO threshold (default 250 ms)",
+        )
+        sub.add_argument(
+            "--slo-target",
+            type=float,
+            default=0.99,
+            help="fraction of requests that must meet the SLO "
+            "(default 0.99)",
+        )
+        sub.add_argument(
+            "--flight-capacity",
+            type=int,
+            default=128,
+            help="reservoir size for sampled OK traces",
+        )
+        sub.add_argument(
+            "--flight-tail",
+            type=int,
+            default=256,
+            help="tail buffer size for slow/error/denied traces",
+        )
 
     serve_cmd = commands.add_parser(
         "serve",
@@ -764,6 +886,36 @@ def build_parser() -> argparse.ArgumentParser:
     replay_cmd.add_argument("--json", action="store_true")
     add_serving_arguments(replay_cmd)
     replay_cmd.set_defaults(handler=cmd_replay)
+
+    trace_cmd = commands.add_parser(
+        "trace", help="inspect a running server's retained traces"
+    )
+    trace_commands = trace_cmd.add_subparsers(
+        dest="trace_command", required=True
+    )
+    trace_tail_cmd = trace_commands.add_parser(
+        "tail", help="show the newest retained traces"
+    )
+    trace_tail_cmd.add_argument(
+        "--url",
+        default="http://127.0.0.1:8000",
+        help="base URL of a running `repro serve`",
+    )
+    trace_tail_cmd.add_argument("-n", "--count", type=int, default=10)
+    trace_tail_cmd.add_argument(
+        "--tenant", default=None, help="only this tenant's traces"
+    )
+    trace_tail_cmd.add_argument(
+        "--status",
+        default=None,
+        choices=["ok", "slow", "error", "denied", "canary-violation"],
+        help="only traces with this retention status",
+    )
+    trace_tail_cmd.add_argument(
+        "--trace-id", default=None, help="fetch one trace by id"
+    )
+    trace_tail_cmd.add_argument("--json", action="store_true")
+    trace_tail_cmd.set_defaults(handler=cmd_trace_tail)
 
     return parser
 

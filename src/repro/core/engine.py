@@ -461,7 +461,11 @@ class SecureQueryEngine:
         ]
 
     def execute_request(
-        self, request, document, scan_cache: Optional[dict] = None
+        self,
+        request,
+        document,
+        scan_cache: Optional[dict] = None,
+        tracer: Optional[Tracer] = None,
     ):
         """Answer one frozen :class:`~repro.serving.protocol.QueryRequest`
         against the (caller-resolved) ``document``, returning a
@@ -471,13 +475,21 @@ class SecureQueryEngine:
         :class:`~repro.errors.ReproError` becomes an error response
         carrying the stable code — the wire contract of the serving
         layer.  ``scan_cache`` lets a caller thread one batch scan
-        cache through several calls (see :meth:`execute_batch`)."""
+        cache through several calls (see :meth:`execute_batch`); a
+        caller-supplied ``tracer`` (the serving layer's per-request
+        one) collects the engine's stage spans under the caller's
+        open span instead of a private tracer."""
         from repro.serving.protocol import QueryResponse
 
         options = self._resolve_options(request.options)
         try:
             result = self._query_one(
-                request.policy, request.query, document, options, scan_cache
+                request.policy,
+                request.query,
+                document,
+                options,
+                scan_cache,
+                tracer=tracer,
             )
         except ReproError as error:
             return QueryResponse.from_error(request, error)
@@ -502,17 +514,23 @@ class SecureQueryEngine:
         document,
         options: ExecutionOptions,
         scan_cache: Optional[dict],
+        tracer: Optional[Tracer] = None,
     ) -> QueryResult:
         """The shared core of :meth:`query` / :meth:`query_batch` /
         :meth:`execute_request`: execute, audit, post-process."""
         try:
             if options.strategy == STRATEGY_MATERIALIZED:
                 results, report = self._query_materialized(
-                    policy, query, document, options
+                    policy, query, document, options, tracer=tracer
                 )
             else:
                 results, report = self._execute(
-                    policy, query, document, options, scan_cache=scan_cache
+                    policy,
+                    query,
+                    document,
+                    options,
+                    scan_cache=scan_cache,
+                    tracer=tracer,
                 )
         except ReproError as error:
             # denials already produced a DenialEvent in _check_labels;
@@ -526,7 +544,7 @@ class SecureQueryEngine:
                     str(error),
                 )
             raise
-        self._post_query(policy, document, results, report, options)
+        self._post_query(policy, document, results, report, options, tracer)
         return QueryResult(results, report)
 
     def explain(
@@ -632,7 +650,13 @@ class SecureQueryEngine:
             self._events.emit(factory(*arguments))
 
     def _post_query(
-        self, policy, document, results, report, options: ExecutionOptions
+        self,
+        policy,
+        document,
+        results,
+        report,
+        options: ExecutionOptions,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         """Serving-path epilogue: sampled canary check, then the audit
         QueryEvent.  Both are guarded so they can never fail a query
@@ -644,7 +668,7 @@ class SecureQueryEngine:
             and document is not None
             and canary.should_sample()
         ):
-            self._run_canary(policy, document, results, report)
+            self._run_canary(policy, document, results, report, tracer)
         if not self._events.active:
             return
         latency = report.total_time()
@@ -674,7 +698,9 @@ class SecureQueryEngine:
             )
         )
 
-    def _run_canary(self, policy, document, results, report) -> None:
+    def _run_canary(
+        self, policy, document, results, report, tracer=None
+    ) -> None:
         """One sampled oracle comparison (see
         :class:`~repro.obs.canary.SecurityCanary`).  Guarded: a canary
         failure is recorded, never raised — the user already has their
@@ -690,6 +716,10 @@ class SecureQueryEngine:
             record("canary.checks")
             if event.violations:
                 record("canary.violations", event.violations)
+                if tracer is not None and tracer.roots:
+                    # flag the request's root span so the flight
+                    # recorder tail-retains this trace
+                    tracer.roots[0].set(canary_violations=event.violations)
             if self._events.active:
                 self._events.emit(event)
         except Exception:
@@ -1039,15 +1069,19 @@ class SecureQueryEngine:
         document,
         options: ExecutionOptions,
         scan_cache: Optional[dict] = None,
+        tracer: Optional[Tracer] = None,
     ):
         if not options.use_cache and options.strategy == STRATEGY_VIRTUAL:
             # the pre-plan-cache interpreter pipeline, kept verbatim as
             # the benchmarking baseline; columnar runs have no
             # interpreter equivalent, so they stay on the plan path
             # below (with the cache bypassed).
-            return self._execute_uncached(policy, query, document, options)
+            return self._execute_uncached(
+                policy, query, document, options, tracer=tracer
+            )
         entry = self._policy(policy)
-        tracer = Tracer()
+        if tracer is None:
+            tracer = Tracer()
         budget = self._budget_for(options)
         # a slow-query threshold implies collection: the whole point is
         # that an outlier's event arrives with its profile attached
@@ -1190,13 +1224,19 @@ class SecureQueryEngine:
         return projected
 
     def _execute_uncached(
-        self, policy, query, document, options: ExecutionOptions
+        self,
+        policy,
+        query,
+        document,
+        options: ExecutionOptions,
+        tracer: Optional[Tracer] = None,
     ):
         """The pre-plan-cache interpreter pipeline (kept verbatim as
         the ``use_cache=False`` baseline the benchmarks compare
         against)."""
         entry = self._policy(policy)
-        tracer = Tracer()
+        if tracer is None:
+            tracer = Tracer()
         budget = self._budget_for(options)
         timings: Dict[str, float] = {}
         with tracer.span(
@@ -1300,10 +1340,16 @@ class SecureQueryEngine:
         return projected
 
     def _query_materialized(
-        self, policy, query, document, options: ExecutionOptions
+        self,
+        policy,
+        query,
+        document,
+        options: ExecutionOptions,
+        tracer: Optional[Tracer] = None,
     ):
         entry = self._policy(policy)
-        tracer = Tracer()
+        if tracer is None:
+            tracer = Tracer()
         budget = self._budget_for(options)
         timings: Dict[str, float] = {}
         with tracer.span(

@@ -24,14 +24,23 @@ Zero-dependency layers, all off or near-free by default:
   text-exposition rendering of the metrics registry;
 * :mod:`repro.obs.canary` — :class:`SecurityCanary`, the sampled
   production re-check of served answers against the
-  materialized-view oracle.
+  materialized-view oracle;
+* :mod:`repro.obs.flight` — :class:`FlightRecorder`, bounded
+  tail-biased retention of finished request traces (errors, denials,
+  SLO-slow, canary violations always kept; OK traffic
+  reservoir-sampled), behind ``GET /debug/traces`` and ``repro trace
+  tail``;
+* :mod:`repro.obs.slo` — :class:`SLOTracker`, per-tenant latency
+  SLOs with fast/slow burn-rate windows, behind ``GET /debug/slo``.
 
 See ``docs/observability.md`` and ``docs/audit.md`` for usage and
 overhead guidance.
 """
 
 from repro.obs.metrics import (
+    LATENCY_BUCKETS,
     Counter,
+    Gauge,
     Histogram,
     MetricsRegistry,
     disable_metrics,
@@ -40,6 +49,9 @@ from repro.obs.metrics import (
     metrics_registry,
     observe,
     record,
+    series_name,
+    set_gauge,
+    split_series,
 )
 from repro.obs.profile import (
     ExplainProfile,
@@ -47,7 +59,16 @@ from repro.obs.profile import (
     ProfileCollector,
     ProfileNode,
 )
-from repro.obs.trace import NULL_SPAN, Span, Tracer
+from repro.obs.trace import (
+    NULL_SPAN,
+    Span,
+    TraceContext,
+    Tracer,
+    new_span_id,
+    new_trace_id,
+)
+from repro.obs.flight import FlightRecorder, TraceRecord, render_trace
+from repro.obs.slo import BurnWindow, SLObjective, SLOTracker
 from repro.obs.events import (
     CallbackSink,
     CanaryEvent,
@@ -74,16 +95,32 @@ __all__ = [
     "Span",
     "Tracer",
     "NULL_SPAN",
+    "TraceContext",
+    "new_trace_id",
+    "new_span_id",
+    # flight recorder
+    "FlightRecorder",
+    "TraceRecord",
+    "render_trace",
+    # SLOs
+    "SLObjective",
+    "SLOTracker",
+    "BurnWindow",
     # metrics
     "Counter",
+    "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "LATENCY_BUCKETS",
     "metrics_registry",
     "enable_metrics",
     "disable_metrics",
     "metrics_enabled",
     "record",
     "observe",
+    "set_gauge",
+    "series_name",
+    "split_series",
     # profiling
     "OperatorStats",
     "ProfileCollector",

@@ -9,23 +9,50 @@ library:
 
 * every counter becomes ``<prefix>_<name>_total`` with
   ``# TYPE ... counter``;
-* every histogram becomes a ``# TYPE ... summary`` pair
-  (``_count`` / ``_sum``) plus ``_min`` / ``_max`` gauges (the
-  registry keeps streaming min/max, not buckets).
+* every gauge becomes ``<prefix>_<name>`` with ``# TYPE ... gauge``;
+* a histogram **with buckets** becomes a real ``# TYPE ... histogram``
+  family: cumulative ``_bucket{le="..."}`` lines (including
+  ``le="+Inf"``) plus ``_sum`` / ``_count``, the shape PromQL's
+  ``histogram_quantile`` needs for p95/p99;
+* a bucketless histogram stays the historical ``summary`` pair
+  (``_count`` / ``_sum``) plus ``_min`` / ``_max`` gauges.
+
+Labeled series (snapshot keys like ``name{tenant="nurse"}``, see
+:func:`repro.obs.metrics.series_name`) render with their label set on
+every sample line; the family's ``# TYPE`` header is emitted once.
 
 Metric names are sanitized to the Prometheus grammar
 (``[a-zA-Z_:][a-zA-Z0-9_:]*``); the dots of registry names map to
 underscores (``plan_cache.hits`` -> ``repro_plan_cache_hits_total``).
+
+Back-compat shim: before labels existed, the serving layer
+interpolated the tenant into the metric *name*
+(``serving.latency_seconds.<tenant>``).  For the series in
+:data:`LEGACY_TENANT_SERIES` the exporter also emits those old
+flattened summary names alongside the labeled form, so dashboards
+scraping ``repro_serving_latency_seconds_nurse_count`` keep working
+during migration.
 """
 
 from __future__ import annotations
 
 import re
 
-__all__ = ["prometheus_text", "sanitize_metric_name"]
+from repro.obs.metrics import split_series
+
+__all__ = [
+    "prometheus_text",
+    "sanitize_metric_name",
+    "LEGACY_TENANT_SERIES",
+]
 
 _INVALID_CHARACTERS = re.compile(r"[^a-zA-Z0-9_:]")
 _INVALID_START = re.compile(r"^[^a-zA-Z_:]")
+_TENANT_LABEL = re.compile(r'(?:^|,)tenant="([^"]*)"')
+
+#: Labeled histogram series that also export their pre-label
+#: tenant-in-the-name summary form (see the module docstring).
+LEGACY_TENANT_SERIES = ("serving.latency_seconds", "serving.e2e_seconds")
 
 
 def sanitize_metric_name(name: str) -> str:
@@ -47,6 +74,35 @@ def _format_value(value) -> str:
     return repr(float(value))
 
 
+def _sample(metric: str, labels: str, value) -> str:
+    """One sample line: ``metric{labels} value`` (labels may be '')."""
+    if labels:
+        return "%s{%s} %s" % (metric, labels, _format_value(value))
+    return "%s %s" % (metric, _format_value(value))
+
+
+def _merge_labels(labels: str, extra: str) -> str:
+    return "%s,%s" % (labels, extra) if labels else extra
+
+
+def _summary_lines(lines, metric, labels, histogram, typed) -> None:
+    """The historical summary rendering of one (possibly labeled)
+    histogram series; ``typed`` tracks emitted ``# TYPE`` headers."""
+    if metric not in typed:
+        typed.add(metric)
+        lines.append("# TYPE %s summary" % metric)
+    lines.append(_sample(metric + "_count", labels, histogram["count"]))
+    lines.append(_sample(metric + "_sum", labels, histogram["sum"]))
+    if metric + "_min" not in typed:
+        typed.add(metric + "_min")
+        lines.append("# TYPE %s_min gauge" % metric)
+    lines.append(_sample(metric + "_min", labels, histogram["min"]))
+    if metric + "_max" not in typed:
+        typed.add(metric + "_max")
+        lines.append("# TYPE %s_max gauge" % metric)
+    lines.append(_sample(metric + "_max", labels, histogram["max"]))
+
+
 def prometheus_text(snapshot, prefix: str = "repro") -> str:
     """The Prometheus text-exposition rendering of a metrics snapshot.
 
@@ -57,17 +113,54 @@ def prometheus_text(snapshot, prefix: str = "repro") -> str:
     if hasattr(snapshot, "snapshot"):
         snapshot = snapshot.snapshot()
     lines = []
-    for name, value in sorted(snapshot.get("counters", {}).items()):
+    typed = set()
+    for series, value in sorted(snapshot.get("counters", {}).items()):
+        name, labels = split_series(series)
         metric = "%s_%s_total" % (prefix, sanitize_metric_name(name))
-        lines.append("# TYPE %s counter" % metric)
-        lines.append("%s %s" % (metric, _format_value(value)))
-    for name, histogram in sorted(snapshot.get("histograms", {}).items()):
+        if metric not in typed:
+            typed.add(metric)
+            lines.append("# TYPE %s counter" % metric)
+        lines.append(_sample(metric, labels, value))
+    for series, value in sorted(snapshot.get("gauges", {}).items()):
+        name, labels = split_series(series)
         metric = "%s_%s" % (prefix, sanitize_metric_name(name))
-        lines.append("# TYPE %s summary" % metric)
-        lines.append("%s_count %s" % (metric, _format_value(histogram["count"])))
-        lines.append("%s_sum %s" % (metric, _format_value(histogram["sum"])))
-        lines.append("# TYPE %s_min gauge" % metric)
-        lines.append("%s_min %s" % (metric, _format_value(histogram["min"])))
-        lines.append("# TYPE %s_max gauge" % metric)
-        lines.append("%s_max %s" % (metric, _format_value(histogram["max"])))
+        if metric not in typed:
+            typed.add(metric)
+            lines.append("# TYPE %s gauge" % metric)
+        lines.append(_sample(metric, labels, value))
+    for series, histogram in sorted(snapshot.get("histograms", {}).items()):
+        name, labels = split_series(series)
+        metric = "%s_%s" % (prefix, sanitize_metric_name(name))
+        buckets = histogram.get("buckets")
+        if buckets:
+            if metric not in typed:
+                typed.add(metric)
+                lines.append("# TYPE %s histogram" % metric)
+            for bound, cumulative in buckets:
+                lines.append(
+                    _sample(
+                        metric + "_bucket",
+                        _merge_labels(labels, 'le="%s"' % _format_value(bound)),
+                        cumulative,
+                    )
+                )
+            lines.append(
+                _sample(
+                    metric + "_bucket",
+                    _merge_labels(labels, 'le="+Inf"'),
+                    histogram["count"],
+                )
+            )
+            lines.append(_sample(metric + "_sum", labels, histogram["sum"]))
+            lines.append(_sample(metric + "_count", labels, histogram["count"]))
+        else:
+            _summary_lines(lines, metric, labels, histogram, typed)
+        if name in LEGACY_TENANT_SERIES:
+            tenant = _TENANT_LABEL.search(labels)
+            if tenant is not None:
+                legacy = "%s_%s" % (
+                    prefix,
+                    sanitize_metric_name("%s.%s" % (name, tenant.group(1))),
+                )
+                _summary_lines(lines, legacy, "", histogram, typed)
     return "\n".join(lines) + "\n" if lines else ""

@@ -1,0 +1,363 @@
+"""Tail-sampled flight recorder: the last-N traces worth keeping.
+
+A production query server cannot retain every trace, but the traces
+worth money are exactly the ones a uniform sampler throws away: the
+slow outliers, the errors, the security denials, the canary
+violations.  The :class:`FlightRecorder` therefore applies **tail-based
+retention**:
+
+* every *interesting* trace (error / denied / SLO-slow /
+  canary-violation) lands in a bounded FIFO **tail buffer** — always
+  kept until capacity evicts the oldest;
+* *uninteresting* OK traces go through **reservoir sampling**
+  (Algorithm R with a seeded RNG, so a given trace stream retains a
+  deterministic subset) into a second bounded buffer, preserving a
+  uniform sample of normal traffic for baseline comparison.
+
+Both buffers index by ``trace_id``, so a client holding the id echoed
+on its :class:`~repro.serving.protocol.QueryResponse` can fetch the
+full span tree from ``GET /debug/traces?trace_id=...`` (or ``repro
+trace tail``) after the fact.
+
+Everything is stdlib + one lock; ``record()`` is O(spans) for the
+dict conversion and O(1) for retention, far off the query hot path
+(it runs once per request, after the response future resolves).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from threading import Lock
+from time import time
+from typing import Deque, Dict, List, Optional
+
+from repro.obs.trace import Span
+
+__all__ = ["TraceRecord", "FlightRecorder", "render_trace"]
+
+#: Error codes classified as security denials for retention purposes.
+DENIAL_CODES = frozenset({"E_LABEL_DENIED", "E_SECURITY"})
+
+
+def _span_dict(span: Span, counter: List[int], parent_id: str) -> dict:
+    """``Span.to_dict`` plus deterministic ``span_id`` /
+    ``parent_span_id`` fields (preorder ``0001``, ``0002``, ...)."""
+    counter[0] += 1
+    span_id = "%04x" % counter[0]
+    out: dict = {
+        "name": span.name,
+        "span_id": span_id,
+        "parent_span_id": parent_id,
+        "duration_seconds": span.duration,
+    }
+    if span.attributes:
+        out["attributes"] = dict(span.attributes)
+    if span.children:
+        out["children"] = [
+            _span_dict(child, counter, span_id) for child in span.children
+        ]
+    return out
+
+
+class TraceRecord:
+    """One finished request's trace: identity, classification, and the
+    span tree (as plain dicts, JSON-safe)."""
+
+    __slots__ = (
+        "trace_id",
+        "request_id",
+        "tenant",
+        "policy",
+        "query",
+        "document",
+        "ok",
+        "error_code",
+        "latency_seconds",
+        "slow",
+        "canary_violations",
+        "recorded_at",
+        "spans",
+        "seq",
+    )
+
+    def __init__(
+        self,
+        trace_id: str,
+        tenant: str = "",
+        policy: str = "",
+        query: str = "",
+        document: str = "",
+        request_id: str = "",
+        ok: bool = True,
+        error_code: str = "",
+        latency_seconds: float = 0.0,
+        slow: bool = False,
+        canary_violations: int = 0,
+        spans: Optional[dict] = None,
+    ):
+        self.trace_id = trace_id
+        self.request_id = request_id
+        self.tenant = tenant
+        self.policy = policy
+        self.query = query
+        self.document = document
+        self.ok = ok
+        self.error_code = error_code
+        self.latency_seconds = latency_seconds
+        self.slow = slow
+        self.canary_violations = canary_violations
+        self.recorded_at = time()
+        self.spans = spans or {}
+        self.seq = 0  # assigned by the recorder (stable ordering key)
+
+    @classmethod
+    def from_span(cls, root: Span, **fields) -> "TraceRecord":
+        """Build a record from a (closed) root span, assigning
+        deterministic span ids; a canary-violation attribute set by the
+        engine on the root span is folded into the classification."""
+        violations = int(root.attributes.get("canary_violations", 0) or 0)
+        fields.setdefault("canary_violations", violations)
+        record = cls(spans=_span_dict(root, [0], ""), **fields)
+        return record
+
+    # -- classification ------------------------------------------------
+
+    @property
+    def denied(self) -> bool:
+        return self.error_code in DENIAL_CODES
+
+    @property
+    def interesting(self) -> bool:
+        """Tail-retention class: always kept (until capacity)."""
+        return (
+            not self.ok
+            or self.slow
+            or self.canary_violations > 0
+        )
+
+    @property
+    def status(self) -> str:
+        if not self.ok:
+            return "denied" if self.denied else "error"
+        if self.canary_violations > 0:
+            return "canary-violation"
+        if self.slow:
+            return "slow"
+        return "ok"
+
+    def to_dict(self) -> dict:
+        return {
+            "trace_id": self.trace_id,
+            "request_id": self.request_id,
+            "tenant": self.tenant,
+            "policy": self.policy,
+            "query": self.query,
+            "document": self.document,
+            "status": self.status,
+            "ok": self.ok,
+            "error_code": self.error_code,
+            "latency_seconds": self.latency_seconds,
+            "slow": self.slow,
+            "canary_violations": self.canary_violations,
+            "recorded_at": self.recorded_at,
+            "spans": self.spans,
+        }
+
+    def __repr__(self):
+        return "TraceRecord(%s, %s, tenant=%r, %.3fms)" % (
+            self.trace_id[:8],
+            self.status,
+            self.tenant,
+            self.latency_seconds * 1e3,
+        )
+
+
+def render_trace(payload: dict) -> str:
+    """Human text rendering of one ``TraceRecord.to_dict`` payload:
+    a header line plus the indented span tree."""
+    header = "%s  %-16s %-10s %s  %.3fms" % (
+        payload.get("trace_id", "")[:16],
+        payload.get("tenant", "-") or "-",
+        payload.get("status", "?"),
+        payload.get("query", ""),
+        payload.get("latency_seconds", 0.0) * 1e3,
+    )
+    lines = [header]
+
+    def walk(span: dict, indent: int) -> None:
+        attrs = span.get("attributes") or {}
+        rendered = (
+            "  " + " ".join("%s=%s" % kv for kv in sorted(attrs.items()))
+            if attrs
+            else ""
+        )
+        lines.append(
+            "%s%s [%s]  %.3fms%s"
+            % (
+                "  " * indent,
+                span.get("name", "?"),
+                span.get("span_id", ""),
+                span.get("duration_seconds", 0.0) * 1e3,
+                rendered,
+            )
+        )
+        for child in span.get("children", ()):
+            walk(child, indent + 1)
+
+    spans = payload.get("spans")
+    if spans:
+        walk(spans, 1)
+    return "\n".join(lines)
+
+
+class FlightRecorder:
+    """Bounded, thread-safe trace retention with tail bias.
+
+    ``capacity``
+        Reservoir size for OK traces (uniform sample of normal
+        traffic, Algorithm R, deterministic under ``seed``).
+    ``tail_capacity``
+        FIFO size for interesting traces (errors, denials, SLO-slow,
+        canary violations).  Oldest evict first; an eviction is
+        counted, never silent.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 128,
+        tail_capacity: int = 256,
+        seed: int = 0,
+    ):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1, got %r" % (capacity,))
+        if tail_capacity < 1:
+            raise ValueError(
+                "tail_capacity must be >= 1, got %r" % (tail_capacity,)
+            )
+        self.capacity = capacity
+        self.tail_capacity = tail_capacity
+        self._rng = random.Random(seed)
+        self._ok: List[TraceRecord] = []
+        self._tail: Deque[TraceRecord] = deque()
+        self._index: Dict[str, TraceRecord] = {}
+        self._lock = Lock()
+        self._seq = 0
+        # retention accounting (all monotonic)
+        self.recorded = 0
+        self.ok_seen = 0
+        self.ok_replaced = 0
+        self.ok_dropped = 0
+        self.tail_kept = 0
+        self.tail_evicted = 0
+
+    # -- recording -----------------------------------------------------
+
+    def record(self, record: TraceRecord) -> bool:
+        """Offer one finished trace; returns whether it was retained."""
+        with self._lock:
+            self._seq += 1
+            record.seq = self._seq
+            self.recorded += 1
+            if record.interesting:
+                self.tail_kept += 1
+                self._tail.append(record)
+                self._index[record.trace_id] = record
+                if len(self._tail) > self.tail_capacity:
+                    evicted = self._tail.popleft()
+                    self.tail_evicted += 1
+                    self._discard(evicted)
+                return True
+            # reservoir (Algorithm R) over the OK stream
+            self.ok_seen += 1
+            if len(self._ok) < self.capacity:
+                self._ok.append(record)
+                self._index[record.trace_id] = record
+                return True
+            slot = self._rng.randrange(self.ok_seen)
+            if slot < self.capacity:
+                replaced = self._ok[slot]
+                self.ok_replaced += 1
+                self._discard(replaced)
+                self._ok[slot] = record
+                self._index[record.trace_id] = record
+                return True
+            self.ok_dropped += 1
+            return False
+
+    def _discard(self, record: TraceRecord) -> None:
+        # only drop the index entry if it still points at this record
+        # (a trace_id collision must not orphan the newer record)
+        if self._index.get(record.trace_id) is record:
+            del self._index[record.trace_id]
+
+    # -- lookup --------------------------------------------------------
+
+    def get(self, trace_id: str) -> Optional[TraceRecord]:
+        with self._lock:
+            return self._index.get(trace_id)
+
+    def traces(
+        self,
+        n: Optional[int] = None,
+        tenant: Optional[str] = None,
+        status: Optional[str] = None,
+    ) -> List[TraceRecord]:
+        """Retained traces, newest first, optionally filtered."""
+        with self._lock:
+            merged = list(self._tail) + list(self._ok)
+        merged.sort(key=lambda record: record.seq, reverse=True)
+        out = []
+        for record in merged:
+            if tenant is not None and record.tenant != tenant:
+                continue
+            if status is not None and record.status != status:
+                continue
+            out.append(record)
+            if n is not None and len(out) >= n:
+                break
+        return out
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._tail) + len(self._ok)
+
+    # -- introspection -------------------------------------------------
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "recorded": self.recorded,
+                "retained": len(self._tail) + len(self._ok),
+                "tail": len(self._tail),
+                "tail_kept": self.tail_kept,
+                "tail_evicted": self.tail_evicted,
+                "ok_sampled": len(self._ok),
+                "ok_seen": self.ok_seen,
+                "ok_replaced": self.ok_replaced,
+                "ok_dropped": self.ok_dropped,
+                "capacity": self.capacity,
+                "tail_capacity": self.tail_capacity,
+            }
+
+    def to_dict(
+        self,
+        n: Optional[int] = None,
+        tenant: Optional[str] = None,
+        status: Optional[str] = None,
+    ) -> dict:
+        """The ``GET /debug/traces`` payload: stats + newest-first
+        trace dicts."""
+        return {
+            "stats": self.stats(),
+            "traces": [
+                record.to_dict()
+                for record in self.traces(n=n, tenant=tenant, status=status)
+            ],
+        }
+
+    def __repr__(self):
+        return "FlightRecorder(retained=%d, recorded=%d)" % (
+            len(self),
+            self.recorded,
+        )

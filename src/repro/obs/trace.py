@@ -28,10 +28,80 @@ left in place costs one attribute check.
 
 from __future__ import annotations
 
+import uuid
 from time import perf_counter
 from typing import Dict, List, Optional
 
-__all__ = ["Span", "Tracer", "NULL_SPAN"]
+__all__ = [
+    "Span",
+    "Tracer",
+    "NULL_SPAN",
+    "TraceContext",
+    "new_trace_id",
+    "new_span_id",
+]
+
+
+def new_trace_id() -> str:
+    """A fresh 32-hex-char trace id (request-scoped correlation key)."""
+    return uuid.uuid4().hex
+
+
+def new_span_id() -> str:
+    """A fresh 16-hex-char span id."""
+    return uuid.uuid4().hex[:16]
+
+
+class TraceContext:
+    """The request-scoped trace identity minted at ingress.
+
+    ``trace_id`` correlates every span of one request across the
+    serving stack (queue wait, batch, engine stages) and is echoed on
+    the :class:`~repro.serving.protocol.QueryResponse`;  ``span_id``
+    names the server's root span; ``parent_span_id`` is the *client's*
+    span when the caller propagated one (the ``X-Repro-Trace`` header
+    form ``<trace_id>-<parent_span_id>``)."""
+
+    __slots__ = ("trace_id", "span_id", "parent_span_id")
+
+    def __init__(
+        self,
+        trace_id: str,
+        span_id: Optional[str] = None,
+        parent_span_id: str = "",
+    ):
+        self.trace_id = trace_id
+        self.span_id = span_id if span_id is not None else new_span_id()
+        self.parent_span_id = parent_span_id
+
+    @classmethod
+    def new(cls) -> "TraceContext":
+        return cls(new_trace_id())
+
+    @classmethod
+    def from_header(cls, header: str) -> "TraceContext":
+        """Parse an ``X-Repro-Trace`` header: ``<trace_id>`` or
+        ``<trace_id>-<parent_span_id>``.  Blank input mints a fresh
+        context."""
+        header = (header or "").strip()
+        if not header:
+            return cls.new()
+        trace_id, _, parent = header.partition("-")
+        return cls(trace_id, parent_span_id=parent)
+
+    def to_header(self) -> str:
+        return (
+            "%s-%s" % (self.trace_id, self.span_id)
+            if self.span_id
+            else self.trace_id
+        )
+
+    def __repr__(self):
+        return "TraceContext(trace_id=%r, span_id=%r, parent_span_id=%r)" % (
+            self.trace_id,
+            self.span_id,
+            self.parent_span_id,
+        )
 
 
 class Span:

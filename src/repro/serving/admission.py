@@ -41,6 +41,7 @@ from typing import Dict, Optional
 
 from repro.errors import AdmissionRejected, DeadlineExceeded
 from repro.obs.metrics import observe as _observe, record as _record
+from repro.obs.trace import NULL_SPAN
 
 __all__ = ["AdmissionController", "TenantPolicy"]
 
@@ -139,69 +140,87 @@ class AdmissionController(object):
     # -- the gate --------------------------------------------------------
 
     @contextmanager
-    def admit(self, tenant: str, enqueued_at: Optional[float] = None):
+    def admit(
+        self,
+        tenant: str,
+        enqueued_at: Optional[float] = None,
+        tracer=None,
+    ):
         """Hold one of ``tenant``'s concurrency slots for the body.
 
         Raises :class:`~repro.errors.AdmissionRejected` when the
         tenant's queue is full, :class:`~repro.errors.DeadlineExceeded`
         when the queue deadline (measured from ``enqueued_at``, default
         now) lapses before a slot frees up.
+
+        A ``tracer`` (see :class:`repro.obs.trace.Tracer`) records the
+        time from enqueue to admission — or to rejection — as a
+        ``queue_wait`` span.
         """
         state = self._state(tenant)
         policy = state.policy
         if enqueued_at is None:
             enqueued_at = monotonic()
 
-        # Fast path: a free slot admits immediately — queue bounds only
-        # govern requests that would actually have to wait.
-        acquired = state.slots.acquire(blocking=False)
-        if acquired:
-            with self._lock:
-                state.running += 1
-        else:
-            with self._lock:
-                if state.waiting >= policy.max_queue_depth:
-                    depth = state.waiting
-                    _record("serving.admission.rejected")
-                    raise AdmissionRejected(
-                        "tenant %r queue is full (%d waiting, "
-                        "max_queue_depth=%d)"
-                        % (tenant, depth, policy.max_queue_depth),
-                        tenant=tenant,
-                        queue_depth=depth,
-                        limit=policy.max_queue_depth,
-                    )
-                state.waiting += 1
-            try:
-                deadline = policy.queue_deadline_seconds
-                if deadline is None:
-                    state.slots.acquire()
-                    acquired = True
-                else:
-                    remaining = deadline - (monotonic() - enqueued_at)
-                    acquired = remaining > 0 and state.slots.acquire(
-                        timeout=remaining
-                    )
-                    if not acquired:
-                        waited = monotonic() - enqueued_at
-                        _record("serving.admission.deadline")
-                        raise DeadlineExceeded(
-                            "tenant %r request waited %.1f ms for a slot, "
-                            "past its %.1f ms queue deadline"
-                            % (tenant, waited * 1e3, deadline * 1e3),
-                            deadline_seconds=deadline,
-                            elapsed_seconds=waited,
-                        )
-            finally:
-                with self._lock:
-                    state.waiting -= 1
-                    if acquired:
-                        state.running += 1
-
-        _record("serving.admission.admitted")
-        _observe(
-            "serving.queue_wait_seconds", monotonic() - enqueued_at
+        span = NULL_SPAN if tracer is None else tracer.span(
+            "queue_wait", tenant=tenant
         )
+        with span:
+            # Fast path: a free slot admits immediately — queue bounds
+            # only govern requests that would actually have to wait.
+            acquired = state.slots.acquire(blocking=False)
+            if acquired:
+                with self._lock:
+                    state.running += 1
+            else:
+                with self._lock:
+                    if state.waiting >= policy.max_queue_depth:
+                        depth = state.waiting
+                        _record("serving.admission.rejected")
+                        span.set(outcome="rejected", queue_depth=depth)
+                        raise AdmissionRejected(
+                            "tenant %r queue is full (%d waiting, "
+                            "max_queue_depth=%d)"
+                            % (tenant, depth, policy.max_queue_depth),
+                            tenant=tenant,
+                            queue_depth=depth,
+                            limit=policy.max_queue_depth,
+                        )
+                    state.waiting += 1
+                try:
+                    deadline = policy.queue_deadline_seconds
+                    if deadline is None:
+                        state.slots.acquire()
+                        acquired = True
+                    else:
+                        remaining = deadline - (monotonic() - enqueued_at)
+                        acquired = remaining > 0 and state.slots.acquire(
+                            timeout=remaining
+                        )
+                        if not acquired:
+                            waited = monotonic() - enqueued_at
+                            _record("serving.admission.deadline")
+                            span.set(
+                                outcome="deadline",
+                                waited_seconds=round(waited, 6),
+                            )
+                            raise DeadlineExceeded(
+                                "tenant %r request waited %.1f ms for a "
+                                "slot, past its %.1f ms queue deadline"
+                                % (tenant, waited * 1e3, deadline * 1e3),
+                                deadline_seconds=deadline,
+                                elapsed_seconds=waited,
+                            )
+                finally:
+                    with self._lock:
+                        state.waiting -= 1
+                        if acquired:
+                            state.running += 1
+
+            waited = monotonic() - enqueued_at
+            span.set(outcome="admitted", waited_seconds=round(waited, 6))
+            _record("serving.admission.admitted")
+            _observe("serving.queue_wait_seconds", waited)
         try:
             yield
         finally:

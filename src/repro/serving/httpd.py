@@ -1,6 +1,6 @@
 """A minimal HTTP front end over :class:`~repro.serving.server.QueryServer`.
 
-Stdlib-only (:mod:`http.server`), three endpoints:
+Stdlib-only (:mod:`http.server`), five endpoints:
 
 ``POST /query``
     Body: a :class:`~repro.serving.protocol.QueryRequest` as JSON.
@@ -9,15 +9,27 @@ Stdlib-only (:mod:`http.server`), three endpoints:
     429 for admission rejections, 504 for deadline misses, 400 for
     malformed bodies.  The body always carries the typed
     ``error_code``; the status is a convenience mapping of it.
+    An ``X-Repro-Trace`` request header (``<trace_id>`` or
+    ``<trace_id>-<parent_span_id>``) joins the request to the
+    caller's trace; the response always carries the effective
+    ``trace_id`` both in the body and as an ``X-Repro-Trace``
+    response header.
 ``GET /metrics``
     Prometheus text exposition of the ambient metrics registry
-    (including the ``serving_*`` series).
+    (including the labeled ``serving_*`` histogram and ``slo_*``
+    burn counters).
+``GET /debug/traces``
+    The flight recorder's retained traces, newest first, as JSON.
+    Filters: ``?trace_id=`` (one exact trace), ``?tenant=``,
+    ``?status=`` (ok/slow/error/denied/canary-violation), ``?n=``.
+``GET /debug/slo``
+    Per-tenant SLO compliance and fast/slow burn rates as JSON.
 ``GET /healthz``
     Liveness: ``{"ok": true, "documents": [...]}``.
 
 This is deliberately a thin shell: all semantics (admission,
-batching, audit) live in :class:`QueryServer`, so library users and
-HTTP users get identical behaviour.
+batching, tracing, audit) live in :class:`QueryServer`, so library
+users and HTTP users get identical behaviour.
 """
 
 from __future__ import annotations
@@ -25,7 +37,9 @@ from __future__ import annotations
 import json
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
 
+from repro.obs.trace import TraceContext
 from repro.serving.protocol import QueryRequest, QueryResponse
 from repro.serving.server import QueryServer
 
@@ -51,16 +65,22 @@ class _Handler(BaseHTTPRequestHandler):
     def log_message(self, format, *args):  # noqa: A002 - stdlib signature
         pass
 
-    def _send_json(self, status: int, payload: dict) -> None:
+    def _send_json(
+        self, status: int, payload: dict, trace_id: str = ""
+    ) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if trace_id:
+            self.send_header("X-Repro-Trace", trace_id)
         self.end_headers()
         self.wfile.write(body)
 
     def do_GET(self):
-        if self.path == "/healthz":
+        parts = urlsplit(self.path)
+        path, query_string = parts.path, parts.query
+        if path == "/healthz":
             self._send_json(
                 200,
                 {
@@ -68,7 +88,11 @@ class _Handler(BaseHTTPRequestHandler):
                     "documents": self.query_server.catalog.refs(),
                 },
             )
-        elif self.path == "/metrics":
+        elif path == "/debug/traces":
+            self._send_json(200, self._traces_payload(query_string))
+        elif path == "/debug/slo":
+            self._send_json(200, self.query_server.slo_payload())
+        elif path == "/metrics":
             from repro.obs.export import prometheus_text
             from repro.obs.metrics import metrics_registry
 
@@ -80,6 +104,33 @@ class _Handler(BaseHTTPRequestHandler):
             self.wfile.write(body)
         else:
             self._send_json(404, {"ok": False, "error": "not found"})
+
+    def _traces_payload(self, query_string: str) -> dict:
+        """The ``/debug/traces`` response for one query string."""
+        params = parse_qs(query_string or "")
+
+        def first(key):
+            values = params.get(key)
+            return values[0] if values else None
+
+        trace_id = first("trace_id")
+        if trace_id:
+            record = (
+                self.query_server.flight.get(trace_id)
+                if self.query_server.flight is not None
+                else None
+            )
+            return {
+                "enabled": self.query_server.flight is not None,
+                "traces": [record.to_dict()] if record is not None else [],
+            }
+        try:
+            n = int(first("n")) if first("n") else None
+        except ValueError:
+            n = None
+        return self.query_server.trace_payload(
+            n=n, tenant=first("tenant"), status=first("status")
+        )
 
     def do_POST(self):
         if self.path != "/query":
@@ -95,9 +146,13 @@ class _Handler(BaseHTTPRequestHandler):
                 400, {"ok": False, "error": "malformed request: %s" % error}
             )
             return
+        header = self.headers.get("X-Repro-Trace", "")
+        if header and not request.trace_id:
+            context = TraceContext.from_header(header)
+            request = request.with_(trace_id=context.trace_id)
         response: QueryResponse = self.query_server.query(request)
         status = _STATUS_BY_CODE.get(response.error_code, 400)
-        self._send_json(status, response.to_dict())
+        self._send_json(status, response.to_dict(), trace_id=response.trace_id)
 
 
 def make_http_server(

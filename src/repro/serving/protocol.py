@@ -62,6 +62,11 @@ class QueryRequest:
         (``None`` → engine defaults).
     ``request_id``
         Opaque client-chosen correlation id, echoed on the response.
+    ``trace_id``
+        Distributed-trace correlation id.  Usually empty on the wire —
+        the server mints one at ingress (or adopts the
+        ``X-Repro-Trace`` header) and echoes it on the response; a
+        client may set it to join the request to its own trace.
     """
 
     policy: str
@@ -70,6 +75,7 @@ class QueryRequest:
     tenant: str = ""
     options: Optional[ExecutionOptions] = None
     request_id: str = ""
+    trace_id: str = ""
 
     @property
     def tenant_id(self) -> str:
@@ -90,6 +96,7 @@ class QueryRequest:
             "tenant": self.tenant,
             "options": self.options.to_dict() if self.options else None,
             "request_id": self.request_id,
+            "trace_id": self.trace_id,
         }
 
     @classmethod
@@ -107,6 +114,7 @@ class QueryRequest:
                 ExecutionOptions.from_dict(options) if options else None
             ),
             request_id=payload.get("request_id", ""),
+            trace_id=payload.get("trace_id", ""),
         )
 
 
@@ -137,6 +145,7 @@ class QueryResponse:
     error_message: str = ""
     request_id: str = ""
     tenant: str = ""
+    trace_id: str = ""
 
     # -- constructors ----------------------------------------------------
 
@@ -156,6 +165,7 @@ class QueryResponse:
             report=result.report.to_dict(),
             request_id=request.request_id,
             tenant=request.tenant_id,
+            trace_id=request.trace_id,
         )
 
     @classmethod
@@ -173,6 +183,7 @@ class QueryResponse:
             error_message=str(error),
             request_id=request.request_id,
             tenant=request.tenant_id,
+            trace_id=request.trace_id,
         )
 
     # -- wire shape ------------------------------------------------------
@@ -189,6 +200,7 @@ class QueryResponse:
             "error_message": self.error_message,
             "request_id": self.request_id,
             "tenant": self.tenant,
+            "trace_id": self.trace_id,
         }
 
     @classmethod
@@ -203,4 +215,5 @@ class QueryResponse:
             error_message=payload.get("error_message", ""),
             request_id=payload.get("request_id", ""),
             tenant=payload.get("tenant", ""),
+            trace_id=payload.get("trace_id", ""),
         )

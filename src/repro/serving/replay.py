@@ -177,4 +177,19 @@ def replay(
         }
         for tenant, values in sorted(per_tenant.items())
     }
+    if server.flight is not None:
+        # tracing was on: surface the flight recorder's retention
+        # stats and per-tenant burn rates alongside the latencies
+        summary["flight"] = server.flight.stats()
+    if server.slo is not None:
+        summary["slo"] = {
+            tenant: {
+                "requests": stats["requests"],
+                "breaches": stats["breaches"],
+                "compliance": stats["compliance"],
+                "fast_burn_rate": stats["fast"]["burn_rate"],
+                "slow_burn_rate": stats["slow"]["burn_rate"],
+            }
+            for tenant, stats in server.slo.snapshot()["tenants"].items()
+        }
     return summary

@@ -36,7 +36,15 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.errors import ReproError, SecurityError
 from repro.obs.events import ErrorEvent
-from repro.obs.metrics import observe as _observe, record as _record
+from repro.obs.flight import FlightRecorder, TraceRecord
+from repro.obs.metrics import (
+    LATENCY_BUCKETS,
+    observe as _observe,
+    record as _record,
+    set_gauge as _set_gauge,
+)
+from repro.obs.slo import SLOTracker
+from repro.obs.trace import NULL_SPAN, Tracer, new_trace_id
 from repro.serving.admission import AdmissionController
 from repro.serving.protocol import QueryRequest, QueryResponse
 
@@ -108,6 +116,19 @@ class QueryServer(object):
     ``max_batch``
         Most requests one worker drains per pass; same-document
         requests within a drain share one scan cache.
+    ``tracing``
+        Whether to trace requests end to end.  When on (the default)
+        every request gets a ``trace_id`` minted at ingress (unless
+        the client sent one), a span tree (``request`` → ``queue_wait``
+        → ``batch`` → engine stages), tail-sampled retention in the
+        :class:`~repro.obs.flight.FlightRecorder`, and per-tenant SLO
+        accounting.  When off, the request path costs one attribute
+        check — the engine still traces internally for its report.
+    ``flight`` / ``slo``
+        Override the default :class:`FlightRecorder` /
+        :class:`~repro.obs.slo.SLOTracker` (sizing, SLO objective,
+        seeded sampling for tests).  Ignored-by-default when
+        ``tracing`` is off unless passed explicitly.
     """
 
     def __init__(
@@ -116,6 +137,9 @@ class QueryServer(object):
         admission: Optional[AdmissionController] = None,
         workers: int = 4,
         max_batch: int = 8,
+        tracing: bool = True,
+        flight: Optional[FlightRecorder] = None,
+        slo: Optional[SLOTracker] = None,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1, got %r" % (workers,))
@@ -124,6 +148,13 @@ class QueryServer(object):
         self.catalog = catalog
         self.admission = admission if admission is not None else AdmissionController()
         self.max_batch = max_batch
+        self.tracing = bool(tracing)
+        self.flight = flight if flight is not None else (
+            FlightRecorder() if self.tracing else None
+        )
+        self.slo = slo if slo is not None else (
+            SLOTracker() if self.tracing else None
+        )
         self._queue: "queue.Queue" = queue.Queue()
         self._ids = itertools.count(1)
         self._threads = [
@@ -183,10 +214,12 @@ class QueryServer(object):
         """Enqueue one request.  Never raises: malformed requests and
         post-shutdown submissions resolve the future to an error
         response like any other failure."""
+        if self.tracing and not request.trace_id:
+            request = request.with_(trace_id=new_trace_id())
         future: "Future[QueryResponse]" = Future()
         pending = _Pending(request, future, monotonic())
         _record("serving.requests")
-        _observe("serving.queue_depth", self._queue.qsize())
+        _set_gauge("serving.queue_depth", self._queue.qsize())
         if self._stopped:
             self._reject_shutdown(pending)
             return future
@@ -230,9 +263,11 @@ class QueryServer(object):
             for item in batch:
                 groups.setdefault(item.request.document, []).append(item)
             for ref, items in groups.items():
-                self._run_group(ref, items)
+                self._run_group(ref, items, batch_size=len(batch))
 
-    def _run_group(self, ref: str, items: List[_Pending]) -> None:
+    def _run_group(
+        self, ref: str, items: List[_Pending], batch_size: int = 1
+    ) -> None:
         try:
             engine, document = self.catalog.resolve(ref)
         except SecurityError as error:
@@ -246,49 +281,141 @@ class QueryServer(object):
         # plans sharing a label frontier reuse each other's scans.
         shared_scans: dict = {}
         for item in items:
-            self._run_one(engine, document, shared_scans, item)
+            self._run_one(
+                engine,
+                document,
+                shared_scans,
+                item,
+                batch_size=batch_size,
+                group_size=len(items),
+            )
 
-    def _run_one(self, engine, document, shared_scans, item: _Pending) -> None:
+    def _run_one(
+        self,
+        engine,
+        document,
+        shared_scans,
+        item: _Pending,
+        batch_size: int = 1,
+        group_size: int = 1,
+    ) -> None:
         request = item.request
+        # Each request gets its own tracer (span trees are per-trace);
+        # the engine must NOT be handed a disabled tracer — with no
+        # tracer it builds its own enabled one, which QueryReport
+        # timings depend on.
+        tracer = Tracer() if self.tracing else None
+        root_span = NULL_SPAN if tracer is None else tracer.span(
+            "request",
+            trace_id=request.trace_id,
+            tenant=request.tenant_id,
+            request_id=request.request_id,
+        )
         started = monotonic()
-        try:
-            # The slot is held per request, not per batch: a batch
-            # acquiring several tenants' slots at once could deadlock
-            # against a sibling worker acquiring them in another order.
-            with self.admission.admit(
-                request.tenant_id, enqueued_at=item.enqueued_at
-            ):
-                response = engine.execute_request(
-                    request, document, scan_cache=shared_scans
-                )
-        except ReproError as error:
-            # Admission failures happen outside the engine, so mirror
-            # its audit behaviour here for event parity.
-            if engine.events.active:
-                engine.events.emit(
-                    ErrorEvent(
-                        policy=request.policy,
-                        query=request.query,
-                        code=getattr(error, "code", ""),
-                        message=str(error),
+        with root_span:
+            try:
+                # The slot is held per request, not per batch: a batch
+                # acquiring several tenants' slots at once could deadlock
+                # against a sibling worker acquiring them in another order.
+                with self.admission.admit(
+                    request.tenant_id,
+                    enqueued_at=item.enqueued_at,
+                    tracer=tracer,
+                ):
+                    batch_span = NULL_SPAN if tracer is None else tracer.span(
+                        "batch",
+                        batch_size=batch_size,
+                        group_size=group_size,
+                        document=request.document,
                     )
-                )
-            response = QueryResponse.from_error(request, error)
-        except BaseException as error:  # never leak through a future
-            response = QueryResponse.from_error(request, error)
-        if not response.ok:
-            _record("serving.errors")
-            if response.error_code:
-                _record("serving.errors.%s" % response.error_code)
+                    with batch_span:
+                        response = engine.execute_request(
+                            request,
+                            document,
+                            scan_cache=shared_scans,
+                            tracer=tracer,
+                        )
+            except ReproError as error:
+                # Admission failures happen outside the engine, so mirror
+                # its audit behaviour here for event parity.
+                if engine.events.active:
+                    engine.events.emit(
+                        ErrorEvent(
+                            policy=request.policy,
+                            query=request.query,
+                            code=getattr(error, "code", ""),
+                            message=str(error),
+                        )
+                    )
+                response = QueryResponse.from_error(request, error)
+            except BaseException as error:  # never leak through a future
+                response = QueryResponse.from_error(request, error)
+            if not response.ok:
+                root_span.set(error_code=response.error_code)
+                _record("serving.errors")
+                if response.error_code:
+                    _record("serving.errors.%s" % response.error_code)
+        latency = monotonic() - started
+        tenant_labels = {"tenant": request.tenant_id}
         _observe(
-            "serving.latency_seconds.%s" % request.tenant_id,
-            monotonic() - started,
+            "serving.latency_seconds",
+            latency,
+            labels=tenant_labels,
+            buckets=LATENCY_BUCKETS,
         )
         _observe(
-            "serving.e2e_seconds.%s" % request.tenant_id,
+            "serving.e2e_seconds",
             monotonic() - item.enqueued_at,
+            labels=tenant_labels,
+            buckets=LATENCY_BUCKETS,
         )
+        breach = (
+            self.slo.observe(request.tenant_id, latency, response.ok)
+            if self.slo is not None
+            else False
+        )
+        if self.flight is not None and tracer is not None and tracer.root:
+            self.flight.record(
+                TraceRecord.from_span(
+                    tracer.root,
+                    trace_id=request.trace_id,
+                    request_id=request.request_id,
+                    tenant=request.tenant_id,
+                    policy=request.policy,
+                    query=request.query,
+                    document=request.document,
+                    ok=response.ok,
+                    error_code=response.error_code,
+                    latency_seconds=latency,
+                    slow=response.ok and breach,
+                )
+            )
         self._resolve(item, response)
+
+    # -- debug introspection ---------------------------------------------
+
+    def trace_payload(
+        self,
+        n: Optional[int] = None,
+        tenant: Optional[str] = None,
+        status: Optional[str] = None,
+    ) -> dict:
+        """The ``GET /debug/traces`` payload (flight-recorder stats
+        plus newest-first retained traces)."""
+        if self.flight is None:
+            return {"enabled": False, "stats": {}, "traces": []}
+        payload = self.flight.to_dict(n=n, tenant=tenant, status=status)
+        payload["enabled"] = True
+        return payload
+
+    def slo_payload(self) -> dict:
+        """The ``GET /debug/slo`` payload (objective plus per-tenant
+        burn rates)."""
+        if self.slo is None:
+            return {"enabled": False, "objective": None, "tenants": {}}
+        payload = self.slo.snapshot()
+        payload["enabled"] = True
+        return payload
 
     # -- helpers ---------------------------------------------------------
 

@@ -299,3 +299,155 @@ class TestPlanCacheConcurrency:
                 engine.query("ghost-%d" % index, "//patient", document)
 
         _hammer(worker)
+
+
+class TestFlightRecorderConcurrency:
+    """The flight recorder is written from every serving worker; the
+    debug endpoints read it concurrently.  16 threads must not grow it
+    past its bounds, drop an error trace, or corrupt the id index."""
+
+    def _trace(self, trace_id, ok=True, error_code="", tenant="t"):
+        from repro.obs.flight import TraceRecord
+
+        return TraceRecord(
+            trace_id,
+            tenant=tenant,
+            policy="nurse",
+            query="//a",
+            ok=ok,
+            error_code=error_code,
+            latency_seconds=0.001,
+        )
+
+    def test_bounded_memory_under_write_storm(self):
+        from repro.obs.flight import FlightRecorder
+
+        recorder = FlightRecorder(capacity=32, tail_capacity=32, seed=0)
+        per_thread = 500
+
+        def worker(index):
+            for round_no in range(per_thread):
+                ok = round_no % 5 != 0  # 20% errors: forces tail churn
+                recorder.record(
+                    self._trace(
+                        "t%02d-%04d" % (index, round_no),
+                        ok=ok,
+                        error_code="" if ok else "E_BUDGET",
+                    )
+                )
+
+        _hammer(worker)
+        stats = recorder.stats()
+        assert stats["recorded"] == THREADS * per_thread
+        assert len(recorder) <= 32 + 32
+        assert stats["ok_sampled"] <= 32
+        assert stats["tail"] <= 32
+        # the id index tracks exactly the retained records
+        for record in recorder.traces(n=10_000):
+            assert recorder.get(record.trace_id) is record
+
+    def test_error_traces_never_dropped_within_tail_capacity(self):
+        from repro.obs.flight import FlightRecorder
+
+        errors_per_thread = 8
+        recorder = FlightRecorder(
+            capacity=4, tail_capacity=THREADS * errors_per_thread, seed=0
+        )
+
+        def worker(index):
+            for round_no in range(200):
+                recorder.record(self._trace("ok%02d-%04d" % (index, round_no)))
+            for round_no in range(errors_per_thread):
+                retained = recorder.record(
+                    self._trace(
+                        "err%02d-%02d" % (index, round_no),
+                        ok=False,
+                        error_code="E_LABEL_DENIED",
+                    )
+                )
+                assert retained
+
+        _hammer(worker)
+        # every error from every thread survived the OK flood
+        for index in range(THREADS):
+            for round_no in range(errors_per_thread):
+                record = recorder.get("err%02d-%02d" % (index, round_no))
+                assert record is not None
+                assert record.status == "denied"
+        assert recorder.stats()["tail_evicted"] == 0
+
+    def test_seeded_sampling_is_deterministic_for_a_fixed_order(self):
+        """Sampling decisions depend only on (seed, arrival order) —
+        replaying the same stream twice retains the same trace ids."""
+        from repro.obs.flight import FlightRecorder
+
+        def run():
+            recorder = FlightRecorder(capacity=8, tail_capacity=8, seed=42)
+            for index in range(2000):
+                recorder.record(self._trace("t%05d" % index))
+            return sorted(r.trace_id for r in recorder.traces())
+
+        first, second = run(), run()
+        assert first == second
+
+    def test_concurrent_readers_see_consistent_records(self):
+        """Readers racing the write storm always get either None or a
+        fully-formed record — never a torn one."""
+        from repro.obs.flight import FlightRecorder
+
+        recorder = FlightRecorder(capacity=16, tail_capacity=16, seed=0)
+        stop = threading.Event()
+
+        def worker(index):
+            if index % 4 == 0:  # every fourth thread reads
+                while not stop.is_set():
+                    for record in recorder.traces(n=50):
+                        assert record.trace_id
+                        assert record.status in (
+                            "ok",
+                            "slow",
+                            "error",
+                            "denied",
+                            "canary-violation",
+                        )
+                    recorder.stats()
+                return
+            try:
+                for round_no in range(300):
+                    recorder.record(
+                        self._trace(
+                            "t%02d-%04d" % (index, round_no),
+                            ok=round_no % 7 != 0,
+                            error_code="" if round_no % 7 else "E_BUDGET",
+                        )
+                    )
+            finally:
+                stop.set()
+
+        _hammer(worker)
+        assert len(recorder) <= 32
+
+    def test_slo_tracker_counts_every_observation(self):
+        """SLOTracker shared across 16 threads loses no requests and
+        keeps per-tenant tallies exact."""
+        from repro.obs.slo import SLObjective, SLOTracker
+
+        tracker = SLOTracker(SLObjective(threshold_seconds=0.1, target=0.9))
+        per_thread = 200
+
+        def worker(index):
+            tenant = "tenant-%d" % (index % 4)
+            for round_no in range(per_thread):
+                tracker.observe(tenant, 0.5 if round_no % 2 else 0.01, True)
+
+        _hammer(worker)
+        snapshot = tracker.snapshot()
+        assert sorted(snapshot["tenants"]) == [
+            "tenant-0",
+            "tenant-1",
+            "tenant-2",
+            "tenant-3",
+        ]
+        for tenant in snapshot["tenants"].values():
+            assert tenant["requests"] == 4 * per_thread
+            assert tenant["breaches"] == 4 * per_thread // 2

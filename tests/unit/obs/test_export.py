@@ -1,7 +1,11 @@
 """Prometheus text-exposition export of metrics snapshots."""
 
-from repro.obs.export import prometheus_text, sanitize_metric_name
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.export import (
+    LEGACY_TENANT_SERIES,
+    prometheus_text,
+    sanitize_metric_name,
+)
+from repro.obs.metrics import LATENCY_BUCKETS, MetricsRegistry
 
 
 class TestSanitize:
@@ -62,3 +66,69 @@ class TestPrometheusText:
                 continue
             name, value = line.split(" ")
             assert name and float(value) >= 0
+
+
+class TestLabeledExport:
+    def test_labeled_counter_samples_share_one_type_header(self):
+        registry = MetricsRegistry()
+        registry.increment("req", labels={"tenant": "a"})
+        registry.increment("req", labels={"tenant": "b"})
+        text = prometheus_text(registry)
+        assert text.count("# TYPE repro_req_total counter") == 1
+        assert 'repro_req_total{tenant="a"} 1' in text
+        assert 'repro_req_total{tenant="b"} 1' in text
+
+    def test_gauges_render_with_gauge_type(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("queue.depth", 4)
+        registry.set_gauge("queue.depth", 2, labels={"tenant": "a"})
+        text = prometheus_text(registry)
+        assert "# TYPE repro_queue_depth gauge" in text
+        assert "repro_queue_depth 2" not in text.splitlines()  # labeled only
+        assert "repro_queue_depth 4" in text
+        assert 'repro_queue_depth{tenant="a"} 2' in text
+
+    def test_bucketed_histogram_renders_prometheus_histogram(self):
+        registry = MetricsRegistry()
+        for value in (0.05, 0.3, 0.9):
+            registry.observe(
+                "lat", value, labels={"tenant": "a"}, buckets=(0.1, 0.5, 1.0)
+            )
+        text = prometheus_text(registry)
+        assert "# TYPE repro_lat histogram" in text
+        assert 'repro_lat_bucket{tenant="a",le="0.1"} 1' in text
+        assert 'repro_lat_bucket{tenant="a",le="0.5"} 2' in text
+        assert 'repro_lat_bucket{tenant="a",le="1.0"} 3' in text
+        assert 'repro_lat_bucket{tenant="a",le="+Inf"} 3' in text
+        assert 'repro_lat_count{tenant="a"} 3' in text
+        assert 'repro_lat_sum{tenant="a"}' in text
+
+    def test_above_top_bucket_only_in_inf(self):
+        registry = MetricsRegistry()
+        registry.observe("lat", 99.0, buckets=(1.0,))
+        text = prometheus_text(registry)
+        assert 'repro_lat_bucket{le="1.0"} 0' in text
+        assert 'repro_lat_bucket{le="+Inf"} 1' in text
+
+    def test_legacy_tenant_shim_emits_old_flattened_names(self):
+        registry = MetricsRegistry()
+        for name in LEGACY_TENANT_SERIES:
+            registry.observe(
+                name, 0.02, labels={"tenant": "nurse"}, buckets=LATENCY_BUCKETS
+            )
+        text = prometheus_text(registry)
+        # new labeled histogram form...
+        assert 'repro_serving_latency_seconds_bucket{tenant="nurse",le=' in text
+        # ...plus the pre-label tenant-in-the-name summary names
+        assert "repro_serving_latency_seconds_nurse_count 1" in text
+        assert "repro_serving_latency_seconds_nurse_sum" in text
+        assert "repro_serving_latency_seconds_nurse_min" in text
+        assert "repro_serving_e2e_seconds_nurse_count 1" in text
+
+    def test_legacy_shim_skips_series_without_tenant_label(self):
+        registry = MetricsRegistry()
+        registry.observe("serving.latency_seconds", 0.02)
+        text = prometheus_text(registry)
+        assert "repro_serving_latency_seconds_count 1" in text
+        # no tenant label: nothing flattened beyond the plain series
+        assert "repro_serving_latency_seconds__count" not in text

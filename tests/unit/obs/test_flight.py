@@ -1,0 +1,166 @@
+"""The flight recorder: tail retention, reservoir sampling, lookup."""
+
+import pytest
+
+from repro.obs.flight import FlightRecorder, TraceRecord, render_trace
+from repro.obs.trace import Tracer
+
+
+def _record(index, ok=True, error_code="", slow=False, violations=0, tenant="t"):
+    return TraceRecord(
+        "trace%04d" % index,
+        tenant=tenant,
+        policy="nurse",
+        query="//a",
+        ok=ok,
+        error_code=error_code,
+        latency_seconds=0.01,
+        slow=slow,
+        canary_violations=violations,
+    )
+
+
+class TestTraceRecord:
+    def test_status_classification(self):
+        assert _record(1).status == "ok"
+        assert _record(2, slow=True).status == "slow"
+        assert _record(3, ok=False, error_code="E_BUDGET").status == "error"
+        assert _record(4, ok=False, error_code="E_LABEL_DENIED").status == "denied"
+        assert _record(5, ok=False, error_code="E_SECURITY").status == "denied"
+        assert _record(6, violations=2).status == "canary-violation"
+
+    def test_interesting_is_the_tail_class(self):
+        assert not _record(1).interesting
+        assert _record(2, slow=True).interesting
+        assert _record(3, ok=False, error_code="E_BUDGET").interesting
+        assert _record(4, violations=1).interesting
+
+    def test_from_span_assigns_preorder_span_ids(self):
+        tracer = Tracer()
+        with tracer.span("request") as root:
+            with tracer.span("queue_wait"):
+                pass
+            with tracer.span("batch"):
+                with tracer.span("query"):
+                    pass
+        record = TraceRecord.from_span(root, trace_id="t1")
+        spans = record.spans
+        assert spans["name"] == "request"
+        assert spans["span_id"] == "0001"
+        assert spans["parent_span_id"] == ""
+        children = spans["children"]
+        assert [c["name"] for c in children] == ["queue_wait", "batch"]
+        assert [c["span_id"] for c in children] == ["0002", "0003"]
+        assert all(c["parent_span_id"] == "0001" for c in children)
+        query = children[1]["children"][0]
+        assert (query["name"], query["parent_span_id"]) == ("query", "0003")
+
+    def test_from_span_folds_canary_attribute(self):
+        tracer = Tracer()
+        with tracer.span("request") as root:
+            pass
+        root.set(canary_violations=3)
+        record = TraceRecord.from_span(root, trace_id="t1")
+        assert record.canary_violations == 3
+        assert record.interesting
+        assert record.status == "canary-violation"
+
+    def test_to_dict_is_json_safe(self):
+        import json
+
+        tracer = Tracer()
+        with tracer.span("request", tenant="t") as root:
+            pass
+        record = TraceRecord.from_span(root, trace_id="abc", tenant="t")
+        assert json.loads(json.dumps(record.to_dict()))["trace_id"] == "abc"
+
+
+class TestFlightRecorder:
+    def test_interesting_traces_always_retained_until_capacity(self):
+        recorder = FlightRecorder(capacity=2, tail_capacity=100)
+        for index in range(50):
+            assert recorder.record(
+                _record(index, ok=False, error_code="E_BUDGET")
+            )
+        stats = recorder.stats()
+        assert stats["tail"] == 50
+        assert stats["tail_evicted"] == 0
+        for index in range(50):
+            assert recorder.get("trace%04d" % index) is not None
+
+    def test_tail_eviction_is_fifo_and_counted(self):
+        recorder = FlightRecorder(capacity=2, tail_capacity=3)
+        for index in range(5):
+            recorder.record(_record(index, slow=True))
+        stats = recorder.stats()
+        assert stats["tail"] == 3
+        assert stats["tail_evicted"] == 2
+        assert recorder.get("trace0000") is None
+        assert recorder.get("trace0001") is None
+        assert recorder.get("trace0004") is not None
+
+    def test_ok_traces_reservoir_sampled_and_bounded(self):
+        recorder = FlightRecorder(capacity=8, tail_capacity=8, seed=0)
+        for index in range(1000):
+            recorder.record(_record(index))
+        stats = recorder.stats()
+        assert stats["ok_sampled"] == 8
+        assert stats["ok_seen"] == 1000
+        assert stats["ok_replaced"] + stats["ok_dropped"] == 1000 - 8
+        assert len(recorder) == 8
+
+    def test_sampling_is_deterministic_under_seed(self):
+        def run(seed):
+            recorder = FlightRecorder(capacity=4, tail_capacity=4, seed=seed)
+            for index in range(200):
+                recorder.record(_record(index))
+            return sorted(r.trace_id for r in recorder.traces())
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)
+
+    def test_traces_newest_first_with_filters(self):
+        recorder = FlightRecorder(capacity=16, tail_capacity=16)
+        recorder.record(_record(0, tenant="a"))
+        recorder.record(_record(1, tenant="b", slow=True))
+        recorder.record(_record(2, tenant="a", ok=False, error_code="E_SECURITY"))
+        ids = [r.trace_id for r in recorder.traces()]
+        assert ids == ["trace0002", "trace0001", "trace0000"]
+        assert [r.trace_id for r in recorder.traces(tenant="a")] == [
+            "trace0002",
+            "trace0000",
+        ]
+        assert [r.trace_id for r in recorder.traces(status="slow")] == [
+            "trace0001"
+        ]
+        assert [r.trace_id for r in recorder.traces(n=1)] == ["trace0002"]
+
+    def test_to_dict_payload_shape(self):
+        recorder = FlightRecorder()
+        recorder.record(_record(0))
+        payload = recorder.to_dict()
+        assert set(payload) == {"stats", "traces"}
+        assert payload["stats"]["recorded"] == 1
+        assert payload["traces"][0]["trace_id"] == "trace0000"
+
+    def test_rejects_nonpositive_capacities(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+        with pytest.raises(ValueError):
+            FlightRecorder(tail_capacity=0)
+
+
+def test_render_trace_includes_header_and_span_tree():
+    tracer = Tracer()
+    with tracer.span("request") as root:
+        with tracer.span("batch", batch_size=3):
+            pass
+    record = TraceRecord.from_span(
+        root, trace_id="abcd" * 8, tenant="nurse", query="//a", slow=True
+    )
+    text = render_trace(record.to_dict())
+    lines = text.splitlines()
+    assert "abcdabcdabcdabcd" in lines[0]
+    assert "slow" in lines[0]
+    assert any("request [0001]" in line for line in lines)
+    assert any("batch [0002]" in line and "batch_size=3" in line for line in lines)

@@ -3,7 +3,9 @@
 import pytest
 
 from repro.obs.metrics import (
+    LATENCY_BUCKETS,
     Counter,
+    Gauge,
     Histogram,
     MetricsRegistry,
     disable_metrics,
@@ -12,6 +14,9 @@ from repro.obs.metrics import (
     metrics_registry,
     observe,
     record,
+    series_name,
+    set_gauge,
+    split_series,
 )
 
 
@@ -51,6 +56,118 @@ class TestHistogram:
             "min": 0.0,
             "max": 0.0,
         }
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge("g")
+        gauge.set(4.0)
+        gauge.inc()
+        gauge.dec(2.0)
+        assert gauge.value == 3.0
+
+
+class TestSeriesNames:
+    def test_unlabeled_series_name_is_the_name(self):
+        assert series_name("a.b") == "a.b"
+        assert series_name("a.b", {}) == "a.b"
+
+    def test_labels_render_sorted(self):
+        rendered = series_name("lat", {"tenant": "nurse", "doc": "h"})
+        assert rendered == 'lat{doc="h",tenant="nurse"}'
+
+    def test_split_series_roundtrip(self):
+        rendered = series_name("lat", {"tenant": "nurse"})
+        assert split_series(rendered) == ("lat", 'tenant="nurse"')
+        assert split_series("plain") == ("plain", "")
+
+
+class TestBucketedHistogram:
+    def test_cumulative_buckets(self):
+        histogram = Histogram("h", buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 0.5, 5.0, 50.0):
+            histogram.observe(value)
+        assert histogram.cumulative_buckets() == [
+            (0.1, 1),
+            (1.0, 3),
+            (10.0, 4),
+        ]
+        # the 50.0 observation lives only in the implicit +Inf bucket
+        assert histogram.count == 5
+
+    def test_bucketless_histogram_dict_has_no_buckets_key(self):
+        histogram = Histogram("h")
+        histogram.observe(1.0)
+        assert "buckets" not in histogram.as_dict()
+
+    def test_bucketed_histogram_dict_carries_buckets(self):
+        histogram = Histogram("h", buckets=(1.0, 2.0))
+        histogram.observe(1.5)
+        assert histogram.as_dict()["buckets"] == [[1.0, 0], [2.0, 1]]
+
+    def test_quantile_estimate_lands_in_the_right_bucket(self):
+        histogram = Histogram("h", buckets=LATENCY_BUCKETS)
+        for _ in range(99):
+            histogram.observe(0.002)
+        histogram.observe(9.0)
+        assert histogram.quantile(0.5) <= 0.0025
+        assert histogram.quantile(0.999) > 5.0
+
+
+class TestLabeledRegistry:
+    def test_labels_create_distinct_series(self):
+        registry = MetricsRegistry()
+        registry.increment("req", labels={"tenant": "a"})
+        registry.increment("req", 2, labels={"tenant": "b"})
+        registry.increment("req")
+        counters = registry.snapshot()["counters"]
+        assert counters["req"] == 1
+        assert counters['req{tenant="a"}'] == 1
+        assert counters['req{tenant="b"}'] == 2
+
+    def test_labeled_handles_are_get_or_create(self):
+        registry = MetricsRegistry()
+        labels = {"tenant": "a"}
+        assert registry.counter("c", labels) is registry.counter("c", labels)
+        assert registry.histogram("h", labels) is registry.histogram(
+            "h", labels
+        )
+        assert registry.gauge("g", labels) is registry.gauge("g", labels)
+
+    def test_gauge_section_in_snapshot(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("depth", 7, labels={"tenant": "a"})
+        registry.set_gauge("depth", 3)
+        gauges = registry.snapshot()["gauges"]
+        assert gauges == {"depth": 3, 'depth{tenant="a"}': 7}
+
+    def test_observe_with_buckets_renders_in_snapshot(self):
+        registry = MetricsRegistry()
+        registry.observe(
+            "lat", 0.3, labels={"tenant": "a"}, buckets=(0.25, 0.5)
+        )
+        entry = registry.snapshot()["histograms"]['lat{tenant="a"}']
+        assert entry["count"] == 1
+        assert entry["buckets"] == [[0.25, 0], [0.5, 1]]
+
+    def test_reset_zeroes_gauges_and_buckets(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("g")
+        gauge.set(5.0)
+        histogram = registry.histogram("h", buckets=(1.0,))
+        histogram.observe(0.5)
+        registry.reset()
+        assert gauge.value == 0.0
+        assert histogram.as_dict()["buckets"] == [[1.0, 0]]
+
+
+class TestGuardedGauge:
+    def test_set_gauge_respects_enable_flag(self):
+        set_gauge("dropped", 9)
+        assert "dropped" not in metrics_registry().snapshot().get("gauges", {})
+        enable_metrics()
+        set_gauge("kept", 4)
+        assert metrics_registry().snapshot()["gauges"]["kept"] == 4
 
 
 class TestMetricsRegistry:

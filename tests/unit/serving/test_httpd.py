@@ -1,0 +1,227 @@
+"""The HTTP front end: trace header round-trip and debug endpoints."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core.engine import SecureQueryEngine
+from repro.serving.httpd import make_http_server
+from repro.serving.server import EngineCatalog, QueryServer
+from repro.workloads.hospital import (
+    hospital_document,
+    hospital_dtd,
+    nurse_spec,
+)
+
+
+@pytest.fixture(scope="module")
+def served():
+    dtd = hospital_dtd()
+    engine = SecureQueryEngine(dtd)
+    engine.register_policy("nurse", nurse_spec(dtd), wardNo="2")
+    catalog = EngineCatalog().add(
+        "hospital", engine, hospital_document(seed=7, max_branch=4)
+    )
+    with QueryServer(catalog, workers=2) as server:
+        httpd = make_http_server(server, port=0)
+        thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+        thread.start()
+        try:
+            yield server, "http://127.0.0.1:%d" % httpd.server_address[1]
+        finally:
+            httpd.shutdown()
+            httpd.server_close()
+            thread.join(timeout=5)
+
+
+def _get(url):
+    try:
+        with urllib.request.urlopen(url, timeout=10) as reply:
+            return reply.status, dict(reply.headers), json.loads(reply.read())
+    except urllib.error.HTTPError as error:
+        return error.code, dict(error.headers), json.loads(error.read())
+
+
+def _post(url, payload, headers=None):
+    body = json.dumps(payload).encode("utf-8")
+    request = urllib.request.Request(
+        url, data=body, headers=dict(headers or {}), method="POST"
+    )
+    request.add_header("Content-Type", "application/json")
+    try:
+        with urllib.request.urlopen(request, timeout=10) as reply:
+            return reply.status, dict(reply.headers), json.loads(reply.read())
+    except urllib.error.HTTPError as error:
+        return error.code, dict(error.headers), json.loads(error.read())
+
+
+class TestQueryEndpoint:
+    def test_query_minted_trace_echoed_in_header_and_body(self, served):
+        _, base = served
+        status, headers, body = _post(
+            base + "/query",
+            {"policy": "nurse", "query": "//patient", "document": "hospital"},
+        )
+        assert status == 200
+        assert body["ok"]
+        assert len(body["trace_id"]) == 32
+        assert headers["X-Repro-Trace"] == body["trace_id"]
+
+    def test_client_trace_header_adopted(self, served):
+        _, base = served
+        trace_id = "feed" * 8
+        status, headers, body = _post(
+            base + "/query",
+            {"policy": "nurse", "query": "//patient", "document": "hospital"},
+            headers={"X-Repro-Trace": "%s-00000000000000aa" % trace_id},
+        )
+        assert status == 200
+        assert body["trace_id"] == trace_id
+        assert headers["X-Repro-Trace"] == trace_id
+
+    def test_malformed_body_is_400(self, served):
+        _, base = served
+        request = urllib.request.Request(
+            base + "/query", data=b"not json", method="POST"
+        )
+        with pytest.raises(urllib.error.HTTPError) as caught:
+            urllib.request.urlopen(request, timeout=10)
+        assert caught.value.code == 400
+
+
+class TestDebugTraces:
+    def test_posted_query_findable_by_trace_id(self, served):
+        _, base = served
+        _, _, body = _post(
+            base + "/query",
+            {"policy": "nurse", "query": "//patient", "document": "hospital"},
+        )
+        status, _, payload = _get(
+            base + "/debug/traces?trace_id=" + body["trace_id"]
+        )
+        assert status == 200
+        assert payload["enabled"]
+        assert len(payload["traces"]) == 1
+        trace = payload["traces"][0]
+        assert trace["trace_id"] == body["trace_id"]
+        assert trace["spans"]["name"] == "request"
+
+    def test_unknown_trace_id_is_empty_not_error(self, served):
+        _, base = served
+        status, _, payload = _get(
+            base + "/debug/traces?trace_id=" + "0" * 32
+        )
+        assert status == 200
+        assert payload["traces"] == []
+
+    def test_listing_with_filters(self, served):
+        _, base = served
+        _post(
+            base + "/query",
+            {
+                "policy": "nurse",
+                "query": "//patient",
+                "document": "hospital",
+                "tenant": "ward2",
+            },
+        )
+        status, _, payload = _get(
+            base + "/debug/traces?tenant=ward2&n=1"
+        )
+        assert status == 200
+        assert payload["stats"]["recorded"] >= 1
+        assert len(payload["traces"]) == 1
+        assert payload["traces"][0]["tenant"] == "ward2"
+
+    def test_bad_n_parameter_falls_back_to_default(self, served):
+        _, base = served
+        status, _, payload = _get(base + "/debug/traces?n=bogus")
+        assert status == 200
+        assert "traces" in payload
+
+
+class TestDebugSLO:
+    def test_slo_payload_has_burn_windows(self, served):
+        _, base = served
+        _post(
+            base + "/query",
+            {"policy": "nurse", "query": "//patient", "document": "hospital"},
+        )
+        status, _, payload = _get(base + "/debug/slo")
+        assert status == 200
+        assert payload["enabled"]
+        assert payload["objective"]["target"] == pytest.approx(0.99)
+        tenant = payload["tenants"]["nurse"]
+        assert tenant["requests"] >= 1
+        assert set(tenant["fast"]) == {
+            "window_seconds",
+            "requests",
+            "bad",
+            "bad_fraction",
+            "burn_rate",
+        }
+
+
+class TestRouting:
+    def test_unknown_path_is_404(self, served):
+        _, base = served
+        status, _, body = _get(base + "/debug/nope")
+        assert status == 404
+        assert not body["ok"]
+
+    def test_metrics_includes_labeled_serving_series(self, served):
+        server, base = served
+        from repro.obs.metrics import enable_metrics, metrics_registry
+
+        enable_metrics()
+        try:
+            _post(
+                base + "/query",
+                {
+                    "policy": "nurse",
+                    "query": "//patient",
+                    "document": "hospital",
+                },
+            )
+            with urllib.request.urlopen(
+                base + "/metrics", timeout=10
+            ) as reply:
+                text = reply.read().decode("utf-8")
+            assert "repro_serving_latency_seconds_bucket{" in text
+            assert 'repro_slo_requests_total{tenant="nurse"}' in text
+        finally:
+            from repro.obs.metrics import disable_metrics
+
+            disable_metrics()
+            metrics_registry().reset()
+
+
+class TestDisabledTracing:
+    def test_debug_endpoints_report_disabled(self):
+        dtd = hospital_dtd()
+        engine = SecureQueryEngine(dtd)
+        engine.register_policy("nurse", nurse_spec(dtd), wardNo="2")
+        catalog = EngineCatalog().add(
+            "hospital", engine, hospital_document(seed=7, max_branch=4)
+        )
+        with QueryServer(catalog, workers=1, tracing=False) as server:
+            httpd = make_http_server(server, port=0)
+            thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+            thread.start()
+            base = "http://127.0.0.1:%d" % httpd.server_address[1]
+            try:
+                _, _, traces = _get(base + "/debug/traces")
+                _, _, by_id = _get(
+                    base + "/debug/traces?trace_id=" + "0" * 32
+                )
+                _, _, slo = _get(base + "/debug/slo")
+            finally:
+                httpd.shutdown()
+                httpd.server_close()
+                thread.join(timeout=5)
+        assert traces == {"enabled": False, "stats": {}, "traces": []}
+        assert by_id == {"enabled": False, "traces": []}
+        assert slo["enabled"] is False

@@ -225,3 +225,120 @@ class TestQueryServer:
             )
         assert isinstance(response, QueryResponse)
         assert QueryResponse.from_dict(response.to_dict()) == response
+
+
+class TestRequestTracing:
+    def _span_names(self, span, out=None):
+        out = [] if out is None else out
+        out.append(span["name"])
+        for child in span.get("children", ()):
+            self._span_names(child, out)
+        return out
+
+    def test_trace_id_minted_and_echoed(self, catalog):
+        with QueryServer(catalog, workers=1) as server:
+            response = server.query(
+                QueryRequest(
+                    policy="nurse", query="//patient", document="hospital"
+                )
+            )
+        assert response.ok
+        assert len(response.trace_id) == 32
+
+    def test_client_trace_id_is_adopted(self, catalog):
+        with QueryServer(catalog, workers=1) as server:
+            response = server.query(
+                QueryRequest(
+                    policy="nurse",
+                    query="//patient",
+                    document="hospital",
+                    trace_id="cafe" * 8,
+                )
+            )
+        assert response.trace_id == "cafe" * 8
+
+    def test_trace_findable_with_full_span_tree(self, catalog):
+        with QueryServer(catalog, workers=1) as server:
+            # a query no other test issues: a plan-cache hit would skip
+            # the parse span and this test wants the full stage tree
+            response = server.query(
+                QueryRequest(
+                    policy="nurse",
+                    query="//patient/treatment/trId",
+                    document="hospital",
+                    request_id="rq-1",
+                )
+            )
+            record = server.flight.get(response.trace_id)
+        assert record is not None
+        assert record.request_id == "rq-1"
+        assert record.tenant == "nurse"
+        names = self._span_names(record.spans)
+        # queue wait, batch coalescing, and the engine stages all
+        # appear in one request-rooted tree
+        assert names[0] == "request"
+        for expected in ("queue_wait", "batch", "query", "parse", "evaluate"):
+            assert expected in names
+
+    def test_denied_requests_always_tail_retained(self, document):
+        from repro.obs.flight import FlightRecorder
+
+        dtd = hospital_dtd()
+        strict = SecureQueryEngine(dtd, strict=True)
+        strict.register_policy("nurse", nurse_spec(dtd), wardNo="2")
+        catalog = EngineCatalog().add("hospital", strict, document)
+        # capacity-1 reservoir: OK traffic would crowd out anything
+        # sampled, but denials must survive in the tail regardless
+        with QueryServer(
+            catalog,
+            workers=1,
+            flight=FlightRecorder(capacity=1, tail_capacity=16, seed=0),
+        ) as server:
+            for _ in range(5):
+                server.query(
+                    QueryRequest(
+                        policy="nurse", query="//patient", document="hospital"
+                    )
+                )
+            denied = server.query(
+                QueryRequest(
+                    policy="nurse",
+                    query="//clinicalTrial",
+                    document="hospital",
+                )
+            )
+            record = server.flight.get(denied.trace_id)
+        assert not denied.ok
+        assert denied.error_code == "E_LABEL_DENIED"
+        assert record is not None
+        assert record.status == "denied"
+
+    def test_slo_tracks_tenants(self, catalog):
+        with QueryServer(catalog, workers=1) as server:
+            server.query(
+                QueryRequest(
+                    policy="nurse", query="//patient", document="hospital"
+                )
+            )
+            payload = server.slo_payload()
+        assert payload["enabled"]
+        assert "nurse" in payload["tenants"]
+        assert payload["tenants"]["nurse"]["requests"] == 1
+
+    def test_tracing_disabled_is_inert(self, catalog):
+        with QueryServer(catalog, workers=1, tracing=False) as server:
+            response = server.query(
+                QueryRequest(
+                    policy="nurse", query="//patient", document="hospital"
+                )
+            )
+            traces = server.trace_payload()
+            slo = server.slo_payload()
+        assert response.ok
+        assert response.trace_id == ""
+        # the engine still times its stages for the report
+        assert response.report["total_seconds"] > 0
+        assert response.report["timings"]
+        assert server.flight is None and server.slo is None
+        assert traces == {"enabled": False, "stats": {}, "traces": []}
+        assert slo["enabled"] is False
