@@ -12,14 +12,19 @@ its own private tracer exactly as before this PR).
 Two measurements over the same mixed-tenant replay workload as
 ``bench_serving.py`` (16 clients, 8 workers):
 
-* ``disabled`` — ``QueryServer(tracing=False)``.  Compared against
-  the pre-tracing replay throughput checked into
-  ``BENCH_serving.json``; the acceptance bar is a geometric-mean
-  (sequential + concurrent qps ratio) overhead below 3%.
+* ``disabled`` — ``QueryServer(tracing=False)``.
 * ``enabled`` — the default tracing path: span tree per request,
-  tail-sampled retention, SLO burn windows.  Reported for scale (no
-  bar — but the same replay must leave every request findable in the
-  flight recorder's accounting).
+  tail-sampled retention, SLO burn windows.  The same replay must
+  leave every request findable in the flight recorder's accounting.
+
+**The acceptance bar is same-process**: the geometric-mean
+(sequential + concurrent qps ratio) slowdown of ``enabled`` over
+``disabled``, both arms measured in this run, must stay below 3%.
+Earlier revisions asserted ``disabled`` against the replay throughput
+checked into ``BENCH_serving.json``; that cross-run ratio mixes in
+machine/load drift between the run that wrote the baseline file and
+the run reading it (it has measured *faster* than 1.0x), so it is now
+recorded as informational only.
 
 ``test_tracing_overhead_report`` writes ``BENCH_tracing.json`` at the
 repository root for machine consumption.
@@ -40,8 +45,8 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 REPORT_PATH = REPO_ROOT / "BENCH_tracing.json"
 BASELINE_PATH = REPO_ROOT / "BENCH_serving.json"
 
-#: Acceptance bar: geometric-mean qps slowdown of the tracing-disabled
-#: serving path vs the pre-tracing baseline in ``BENCH_serving.json``.
+#: Acceptance bar: geometric-mean qps slowdown of tracing-enabled over
+#: tracing-disabled, both arms measured in the same process.
 OVERHEAD_BAR = 1.03
 
 REPLAY_CLIENTS = 16
@@ -99,8 +104,8 @@ def _geomean(ratios):
 
 
 def test_tracing_overhead_report(requests, request):
-    """Measure disabled vs enabled tracing, write ``BENCH_tracing.json``
-    and enforce the <1.03x disabled bar against ``BENCH_serving.json``."""
+    """Measure disabled vs enabled tracing same-process, write
+    ``BENCH_tracing.json``, and enforce the <1.03x enabled bar."""
     quick = request.config.getoption("--quick", default=False)
     trials = 1 if quick else 3
 
@@ -117,6 +122,12 @@ def test_tracing_overhead_report(requests, request):
     # (warm pass + measured pass through the same server)
     assert flight_stats["recorded"] == 2 * len(requests)
 
+    enabled_overhead = _geomean(
+        [
+            sequential_off / sequential_on,
+            concurrent_off["qps"] / concurrent_on["qps"],
+        ]
+    )
     report = {
         "scale": bench_scale(),
         "overhead_bar": OVERHEAD_BAR,
@@ -135,12 +146,7 @@ def test_tracing_overhead_report(requests, request):
             "sequential_qps": sequential_on,
             "concurrent_qps": concurrent_on["qps"],
             "concurrent_p95_ms": concurrent_on["p95_ms"],
-            "enabled_overhead": _geomean(
-                [
-                    sequential_off / sequential_on,
-                    concurrent_off["qps"] / concurrent_on["qps"],
-                ]
-            ),
+            "enabled_overhead": enabled_overhead,
             "flight": flight_stats,
         },
     }
@@ -148,20 +154,23 @@ def test_tracing_overhead_report(requests, request):
     if quick:
         # smoke: correctness only, tiny documents are noise-bound
         return
-    if not BASELINE_PATH.exists():
-        pytest.skip("no BENCH_serving.json baseline checked in")
-    baseline = json.loads(BASELINE_PATH.read_text())["replay"]
-    ratios = [
-        baseline["sequential"]["qps"] / sequential_off,
-        baseline["concurrent"]["qps"] / concurrent_off["qps"],
-    ]
-    disabled_overhead = _geomean(ratios)
-    report["disabled"]["baseline_sequential_qps"] = baseline["sequential"][
-        "qps"
-    ]
-    report["disabled"]["baseline_concurrent_qps"] = baseline["concurrent"][
-        "qps"
-    ]
-    report["disabled"]["disabled_overhead"] = disabled_overhead
+    # informational only: the cross-run ratio against the checked-in
+    # serving baseline drifts with machine load between runs, so it
+    # carries no assertion (it once measured 0.89x — "faster than the
+    # baseline" — purely from that drift)
+    if BASELINE_PATH.exists():
+        baseline = json.loads(BASELINE_PATH.read_text())["replay"]
+        report["disabled"]["baseline_sequential_qps"] = baseline[
+            "sequential"
+        ]["qps"]
+        report["disabled"]["baseline_concurrent_qps"] = baseline[
+            "concurrent"
+        ]["qps"]
+        report["disabled"]["cross_run_disabled_ratio"] = _geomean(
+            [
+                baseline["sequential"]["qps"] / sequential_off,
+                baseline["concurrent"]["qps"] / concurrent_off["qps"],
+            ]
+        )
     REPORT_PATH.write_text(json.dumps(report, indent=2) + "\n")
-    assert disabled_overhead <= OVERHEAD_BAR, report["disabled"]
+    assert enabled_overhead <= OVERHEAD_BAR, report["enabled"]

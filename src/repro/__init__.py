@@ -62,7 +62,7 @@ pay for observability, robustness, or serving imports.
 
 from typing import TYPE_CHECKING
 
-__version__ = "2.1.0"
+__version__ = "2.2.0"
 
 #: Exported name → defining submodule.  The single source of truth for
 #: both ``__getattr__`` and ``__all__``.
@@ -115,6 +115,8 @@ _EXPORTS = {
     "CompiledPlan": "repro.xpath",
     "PlanRuntime": "repro.xpath",
     "compile_path": "repro.xpath",
+    "Fingerprint": "repro.xpath",
+    "query_fingerprint": "repro.xpath",
     # core
     "AccessSpec": "repro.core",
     "ANN_Y": "repro.core",
@@ -168,6 +170,7 @@ _EXPORTS = {
     "AuditLog": "repro.obs",
     "SecurityCanary": "repro.obs",
     "prometheus_text": "repro.obs",
+    "WorkloadProfiler": "repro.obs",
     # robustness (see docs/robustness.md)
     "QueryLimits": "repro.robustness",
     "Budget": "repro.robustness",

@@ -11,7 +11,8 @@
                     [--audit-log PATH] [--slow-ms MS]
                     [--canary RATE] [--canary-seed N]
                     [--timeout-ms MS] [--max-results N] [--max-visits N]
-    repro audit     tail  LOG.jsonl [-n N] [--kind K] [--policy P] [--json]
+    repro audit     tail  LOG.jsonl [-n N] [--kind K] [--policy P]
+                    [--trace-id ID] [--json]
     repro audit     stats LOG.jsonl [--policy P] [--json]
     repro metrics   SNAPSHOT.json [--format text|prometheus]
     repro table1    [--scale S] [--repeat N]
@@ -20,6 +21,10 @@
                     [--queue-timeout-ms MS] [--seed N]
     repro replay    [--clients N] [--repetitions N] [--workers N]
                     [--max-batch N] [--seed N] [--json]
+    repro trace     tail [--url URL] [-n N] [--tenant T] [--status S]
+                    [--trace-id ID] [--json]
+    repro workload  top    [--url URL] [--tenant T] [-n N] [--json]
+    repro workload  report [--url URL] [--tenant T] [-n N] [--json]
 
 Specification files use the line format of
 :func:`repro.core.spec.parse_spec_text`:
@@ -292,7 +297,10 @@ def cmd_audit_tail(arguments) -> int:
 
     log = AuditLog.from_jsonl(arguments.log)
     events = log.tail(
-        arguments.count, kind=arguments.kind, policy=arguments.policy
+        arguments.count,
+        kind=arguments.kind,
+        policy=arguments.policy,
+        trace_id=arguments.trace_id,
     )
     if arguments.json:
         for event in events:
@@ -460,7 +468,8 @@ def cmd_serve(arguments) -> int:
     ).start()
     print(
         "serving %s on http://%s:%d (POST /query, GET /metrics, "
-        "GET /debug/traces, GET /debug/slo, GET /healthz)"
+        "GET /debug/traces, GET /debug/slo, GET /debug/workload, "
+        "GET /debug/cachez, GET /debug/vars, GET /healthz)"
         % (", ".join(catalog.refs()), arguments.host, arguments.port),
         file=sys.stderr,
     )
@@ -581,6 +590,79 @@ def cmd_trace_tail(arguments) -> int:
         return 0
     for trace in traces:
         print(render_trace(trace))
+    return 0
+
+
+def _fetch_workload(arguments) -> dict:
+    """GET a running server's ``/debug/workload`` payload."""
+    import json
+    from urllib.parse import quote
+    from urllib.request import urlopen
+
+    base = arguments.url.rstrip("/")
+    params = []
+    if arguments.tenant:
+        params.append("tenant=%s" % quote(arguments.tenant))
+    if arguments.count is not None:
+        params.append("n=%d" % arguments.count)
+    url = "%s/debug/workload" % base
+    if params:
+        url += "?%s" % "&".join(params)
+    with urlopen(url) as reply:
+        return json.load(reply)
+
+
+def cmd_workload_top(arguments) -> int:
+    """Show each tenant's heaviest query shapes from a running
+    server's ``/debug/workload`` endpoint."""
+    payload = _fetch_workload(arguments)
+    if arguments.json:
+        import json
+
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    if not payload.get("enabled", True):
+        print("workload profiling is disabled on the server", file=sys.stderr)
+        return 1
+    tenants = payload.get("tenants", {})
+    if not tenants:
+        print("no workload recorded yet")
+        return 0
+    for tenant in sorted(tenants):
+        bucket = tenants[tenant]
+        print(
+            "tenant %s: queries=%d errors=%d denials=%d "
+            "fingerprints=%d evictions=%d"
+            % (
+                tenant,
+                bucket["queries"],
+                bucket["errors"],
+                bucket["denials"],
+                bucket["fingerprints"],
+                bucket["evictions"],
+            )
+        )
+        for entry in bucket.get("top", []):
+            print(
+                "  %-16s count=%-6d p50=%.2fms p95=%.2fms hit=%.2f  %s"
+                % (
+                    entry["fingerprint"],
+                    entry["count"],
+                    entry["p50_ms"],
+                    entry["p95_ms"],
+                    entry["cache_hit_ratio"],
+                    entry["shape"],
+                )
+            )
+    return 0
+
+
+def cmd_workload_report(arguments) -> int:
+    """Dump the full workload report (always JSON; the human view is
+    ``repro workload top``)."""
+    import json
+
+    print(json.dumps(_fetch_workload(arguments), indent=2, sort_keys=True))
     return 0
 
 
@@ -753,6 +835,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     tail_cmd.add_argument("--policy", default=None)
     tail_cmd.add_argument(
+        "--trace-id",
+        default=None,
+        help="only events stamped with this request trace id",
+    )
+    tail_cmd.add_argument(
         "--json", action="store_true", help="print raw JSONL instead"
     )
     tail_cmd.set_defaults(handler=cmd_audit_tail)
@@ -916,6 +1003,43 @@ def build_parser() -> argparse.ArgumentParser:
     )
     trace_tail_cmd.add_argument("--json", action="store_true")
     trace_tail_cmd.set_defaults(handler=cmd_trace_tail)
+
+    workload_cmd = commands.add_parser(
+        "workload",
+        help="inspect a running server's per-tenant query workload",
+    )
+    workload_commands = workload_cmd.add_subparsers(
+        dest="workload_command", required=True
+    )
+
+    def add_workload_arguments(sub):
+        sub.add_argument(
+            "--url",
+            default="http://127.0.0.1:8000",
+            help="base URL of a running `repro serve`",
+        )
+        sub.add_argument(
+            "--tenant", default=None, help="only this tenant's workload"
+        )
+        sub.add_argument(
+            "-n",
+            "--count",
+            type=int,
+            default=None,
+            help="top-K fingerprints per tenant (default: server's)",
+        )
+        sub.add_argument("--json", action="store_true")
+
+    workload_top_cmd = workload_commands.add_parser(
+        "top", help="heaviest query shapes per tenant"
+    )
+    add_workload_arguments(workload_top_cmd)
+    workload_top_cmd.set_defaults(handler=cmd_workload_top)
+    workload_report_cmd = workload_commands.add_parser(
+        "report", help="full workload report as JSON"
+    )
+    add_workload_arguments(workload_report_cmd)
+    workload_report_cmd.set_defaults(handler=cmd_workload_report)
 
     return parser
 

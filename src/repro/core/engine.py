@@ -84,6 +84,7 @@ from repro.core.unfold import unfold_view
 from repro.core.view import SecurityView
 from repro.xpath.ast import Absolute, Label, Path
 from repro.xpath.evaluator import XPathEvaluator
+from repro.xpath.fingerprint import query_fingerprint
 from repro.xpath.parser import parse_xpath
 from repro.xpath.plan import PlanRuntime, compile_path
 
@@ -135,6 +136,7 @@ class QueryReport:
         "timings",
         "total_seconds",
         "profile",
+        "fingerprint",
     )
 
     def __init__(
@@ -150,6 +152,7 @@ class QueryReport:
         timings: Optional[Dict[str, float]] = None,
         total_seconds: Optional[float] = None,
         profile: Optional[ExplainProfile] = None,
+        fingerprint=None,
     ):
         self.policy = policy
         self.original = original
@@ -162,6 +165,7 @@ class QueryReport:
         self.timings = dict(timings) if timings else {}
         self.total_seconds = total_seconds
         self.profile = profile
+        self.fingerprint = fingerprint
 
     def total_time(self) -> float:
         """End-to-end wall seconds of the query (the enclosing query
@@ -212,6 +216,7 @@ class QueryReport:
             "visits": self.visits,
             "strategy": self.strategy,
             "cache_hit": self.cache_hit,
+            "fingerprint": str(self.fingerprint) if self.fingerprint else "",
             "timings": dict(self.timings),
             "total_seconds": (
                 self.total_seconds
@@ -306,6 +311,9 @@ class SecureQueryEngine:
         # site) until a sink is attached
         self._events = events if events is not None else EventPipeline()
         self._canary: Optional[SecurityCanary] = None
+        # workload heavy-hitter profiler; None (one attribute check on
+        # the hot path) until enable_workload_profiler attaches one
+        self._workload = None
         # concurrency: administrative mutation holds _admin_lock;
         # per-key artifact builds hold their _build_locks entry (see
         # the module docstring and docs/serving.md)
@@ -490,6 +498,8 @@ class SecureQueryEngine:
                 options,
                 scan_cache,
                 tracer=tracer,
+                trace_id=request.trace_id or "",
+                tenant=request.tenant_id,
             )
         except ReproError as error:
             return QueryResponse.from_error(request, error)
@@ -515,13 +525,20 @@ class SecureQueryEngine:
         options: ExecutionOptions,
         scan_cache: Optional[dict],
         tracer: Optional[Tracer] = None,
+        trace_id: str = "",
+        tenant: Optional[str] = None,
     ) -> QueryResult:
         """The shared core of :meth:`query` / :meth:`query_batch` /
-        :meth:`execute_request`: execute, audit, post-process."""
+        :meth:`execute_request`: execute, audit, post-process.
+        ``trace_id`` (the serving layer's, empty for direct calls)
+        stamps the audit events this query emits; ``tenant`` attributes
+        the query in the workload profiler (defaults to the policy
+        name, matching the serving layer's tenant fallback)."""
         try:
             if options.strategy == STRATEGY_MATERIALIZED:
                 results, report = self._query_materialized(
-                    policy, query, document, options, tracer=tracer
+                    policy, query, document, options, tracer=tracer,
+                    trace_id=trace_id,
                 )
             else:
                 results, report = self._execute(
@@ -531,6 +548,7 @@ class SecureQueryEngine:
                     options,
                     scan_cache=scan_cache,
                     tracer=tracer,
+                    trace_id=trace_id,
                 )
         except ReproError as error:
             # denials already produced a DenialEvent in _check_labels;
@@ -542,9 +560,45 @@ class SecureQueryEngine:
                     query if isinstance(query, str) else str(query),
                     error.code,
                     str(error),
+                    trace_id,
                 )
+            profiler = self._workload
+            if profiler is not None:
+                try:
+                    profiler.record_error(
+                        tenant or policy,
+                        policy,
+                        query_fingerprint(query),
+                        denied=isinstance(error, QueryRejectedError),
+                    )
+                except Exception:
+                    record("workload.failures")
             raise
-        self._post_query(policy, document, results, report, options, tracer)
+        profiler = self._workload
+        if profiler is not None:
+            try:
+                profiler.record_query(
+                    tenant or policy,
+                    policy,
+                    report.fingerprint or query_fingerprint(query),
+                    report.total_time(),
+                    visits=report.visits,
+                    result_count=report.result_count,
+                    cache_hit=report.cache_hit,
+                )
+            except Exception:
+                record("workload.failures")
+        if (
+            tracer is not None
+            and tracer.roots
+            and report.fingerprint is not None
+        ):
+            # stamp the request's root span so flight-recorder traces
+            # carry the query shape (see TraceRecord.from_span)
+            tracer.roots[0].set(fingerprint=str(report.fingerprint))
+        self._post_query(
+            policy, document, results, report, options, tracer, trace_id
+        )
         return QueryResult(results, report)
 
     def explain(
@@ -609,6 +663,55 @@ class SecureQueryEngine:
         see ``docs/audit.md`` for a scrape example)."""
         return prometheus_text(metrics_registry())
 
+    # -- workload intelligence / cache introspection -----------------------------
+
+    @property
+    def workload(self):
+        """The attached
+        :class:`~repro.obs.workload.WorkloadProfiler` (``None`` when
+        profiling is off — the hot-path cost of "off" is one attribute
+        check per query)."""
+        return self._workload
+
+    def enable_workload_profiler(
+        self, capacity: int = 64, profiler=None
+    ):
+        """Attach a workload profiler (per-tenant query-shape heavy
+        hitters; see ``docs/observability.md``).  Pass an existing
+        ``profiler`` to share one sketch across several engines — the
+        serving layer does this so a catalog of engines aggregates
+        into one report."""
+        if profiler is None:
+            from repro.obs.workload import WorkloadProfiler
+
+            profiler = WorkloadProfiler(capacity=capacity)
+        self._workload = profiler
+        return profiler
+
+    def disable_workload_profiler(self) -> None:
+        """Detach the profiler (its accumulated data stays readable by
+        whoever still holds a reference)."""
+        self._workload = None
+
+    def workload_report(
+        self, tenant: Optional[str] = None, n: Optional[int] = None
+    ) -> dict:
+        """The profiler's JSON-safe heavy-hitter report (top-``n``
+        query shapes per tenant).  Empty when profiling is off."""
+        if self._workload is None:
+            return {"capacity": 0, "tenants": {}}
+        return self._workload.report(tenant=tenant, n=n)
+
+    def introspect(self) -> dict:
+        """One JSON-safe report of what this engine's caches hold and
+        cost: plan cache (entries, bytes, hit/eviction counters),
+        columnar NodeTables, DocumentIndexes, and materialized view
+        trees, each with entry counts and byte estimates (see
+        :mod:`repro.obs.introspect`)."""
+        from repro.obs.introspect import engine_report
+
+        return engine_report(self)
+
     # -- audit events / canary ---------------------------------------------------
 
     @property
@@ -657,6 +760,7 @@ class SecureQueryEngine:
         report,
         options: ExecutionOptions,
         tracer: Optional[Tracer] = None,
+        trace_id: str = "",
     ) -> None:
         """Serving-path epilogue: sampled canary check, then the audit
         QueryEvent.  Both are guarded so they can never fail a query
@@ -695,6 +799,10 @@ class SecureQueryEngine:
                 latency_seconds=latency,
                 slow=slow,
                 profile=profile_text,
+                fingerprint=(
+                    str(report.fingerprint) if report.fingerprint else ""
+                ),
+                trace_id=trace_id,
             )
         )
 
@@ -781,13 +889,20 @@ class SecureQueryEngine:
         except KeyError:
             raise SecurityError("unknown policy %r" % name) from None
 
-    def _parse(self, entry: _Policy, query: TypingUnion[str, Path]) -> Path:
+    def _parse(
+        self,
+        entry: _Policy,
+        query: TypingUnion[str, Path],
+        trace_id: str = "",
+    ) -> Path:
         parsed = parse_xpath(query) if isinstance(query, str) else query
         if self.strict:
-            self._check_labels(entry, parsed)
+            self._check_labels(entry, parsed, trace_id)
         return parsed
 
-    def _check_labels(self, entry: _Policy, query: Path) -> None:
+    def _check_labels(
+        self, entry: _Policy, query: Path, trace_id: str = ""
+    ) -> None:
         labels = entry.view.labels()
         for node in query.iter_nodes():
             if isinstance(node, Label) and node.name not in labels:
@@ -802,6 +917,7 @@ class SecureQueryEngine:
                     node.name,
                     error.code,
                     str(error),
+                    trace_id,
                 )
                 record("query.denials")
                 raise error
@@ -928,6 +1044,7 @@ class SecureQueryEngine:
         use_index: bool = False,
         use_cache: bool = True,
         tracer: Optional[Tracer] = None,
+        trace_id: str = "",
     ):
         """The cached compilation of ``query`` under ``entry``'s
         policy: ``(CompiledQuery, cache_hit)``.  The key carries the
@@ -958,7 +1075,7 @@ class SecureQueryEngine:
             tracer = Tracer()
         timings: Dict[str, float] = {}
         with tracer.span("parse") as span:
-            parsed = self._parse(entry, query)
+            parsed = self._parse(entry, query, trace_id)
         timings["parse"] = span.duration
         rewriter = self._rewriter(entry, document)
         with tracer.span("rewrite") as span:
@@ -983,6 +1100,10 @@ class SecureQueryEngine:
             strategy=strategy,
             use_index=use_index,
         )
+        # computed once per compilation (from the already-parsed AST)
+        # and carried by the cache entry, so warm requests pay a field
+        # read, never a re-parse or re-mask
+        compiled.fingerprint = query_fingerprint(parsed)
         if use_cache:
             try:
                 fault_trip("plan_cache.put")
@@ -1070,6 +1191,7 @@ class SecureQueryEngine:
         options: ExecutionOptions,
         scan_cache: Optional[dict] = None,
         tracer: Optional[Tracer] = None,
+        trace_id: str = "",
     ):
         if not options.use_cache and options.strategy == STRATEGY_VIRTUAL:
             # the pre-plan-cache interpreter pipeline, kept verbatim as
@@ -1077,7 +1199,8 @@ class SecureQueryEngine:
             # interpreter equivalent, so they stay on the plan path
             # below (with the cache bypassed).
             return self._execute_uncached(
-                policy, query, document, options, tracer=tracer
+                policy, query, document, options, tracer=tracer,
+                trace_id=trace_id,
             )
         entry = self._policy(policy)
         if tracer is None:
@@ -1099,6 +1222,7 @@ class SecureQueryEngine:
                 use_index=options.use_index,
                 use_cache=options.use_cache,
                 tracer=tracer,
+                trace_id=trace_id,
             )
             if budget is not None:
                 # the deadline covers compilation too
@@ -1146,6 +1270,7 @@ class SecureQueryEngine:
             timings=timings,
             total_seconds=query_span.duration,
             profile=self._build_profile(compiled, collector, options),
+            fingerprint=compiled.fingerprint,
         )
         self._record_query_metrics(report)
         return results, report
@@ -1230,6 +1355,7 @@ class SecureQueryEngine:
         document,
         options: ExecutionOptions,
         tracer: Optional[Tracer] = None,
+        trace_id: str = "",
     ):
         """The pre-plan-cache interpreter pipeline (kept verbatim as
         the ``use_cache=False`` baseline the benchmarks compare
@@ -1243,7 +1369,7 @@ class SecureQueryEngine:
             "query", policy=policy, strategy=STRATEGY_VIRTUAL
         ) as query_span:
             with tracer.span("parse") as span:
-                parsed = self._parse(entry, query)
+                parsed = self._parse(entry, query, trace_id)
             timings["parse"] = span.duration
             rewriter = self._rewriter(entry, document)
             with tracer.span("rewrite") as span:
@@ -1289,6 +1415,7 @@ class SecureQueryEngine:
             cache_hit=False,
             timings=timings,
             total_seconds=query_span.duration,
+            fingerprint=query_fingerprint(parsed),
         )
         self._record_query_metrics(report)
         return results, report
@@ -1346,6 +1473,7 @@ class SecureQueryEngine:
         document,
         options: ExecutionOptions,
         tracer: Optional[Tracer] = None,
+        trace_id: str = "",
     ):
         entry = self._policy(policy)
         if tracer is None:
@@ -1356,7 +1484,7 @@ class SecureQueryEngine:
             "query", policy=policy, strategy=STRATEGY_MATERIALIZED
         ) as query_span:
             with tracer.span("parse") as span:
-                parsed = self._parse(entry, query)
+                parsed = self._parse(entry, query, trace_id)
             timings["parse"] = span.duration
             cached = entry.materialized.get(id(document))
             view_cache_hit = cached is not None and cached[0] is document
@@ -1402,6 +1530,7 @@ class SecureQueryEngine:
             cache_hit=view_cache_hit,
             timings=timings,
             total_seconds=query_span.duration,
+            fingerprint=query_fingerprint(parsed),
         )
         self._record_query_metrics(report)
         return results, report

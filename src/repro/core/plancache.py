@@ -70,6 +70,7 @@ class CompiledQuery:
         "view",
         "plan",
         "projected",
+        "fingerprint",
         "timings",
         "hits",
         "build_lock",
@@ -101,6 +102,7 @@ class CompiledQuery:
         self.view = view
         self.plan = None
         self.projected = None
+        self.fingerprint = None
         self.timings = timings
         self.hits = 0
         self.build_lock = Lock()
@@ -277,6 +279,13 @@ class PlanCache:
         """Cache keys in LRU order (least recently used first)."""
         with self._lock:
             return list(self._entries)
+
+    def entries(self):
+        """A snapshot of cached entries in LRU order, for byte
+        accounting and workload introspection.  Entries are shared
+        (not copied): callers must treat them as read-only."""
+        with self._lock:
+            return list(self._entries.values())
 
     def __len__(self) -> int:
         with self._lock:

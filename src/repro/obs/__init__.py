@@ -31,7 +31,15 @@ Zero-dependency layers, all off or near-free by default:
   reservoir-sampled), behind ``GET /debug/traces`` and ``repro trace
   tail``;
 * :mod:`repro.obs.slo` — :class:`SLOTracker`, per-tenant latency
-  SLOs with fast/slow burn-rate windows, behind ``GET /debug/slo``.
+  SLOs with fast/slow burn-rate windows, behind ``GET /debug/slo``;
+* :mod:`repro.obs.workload` — :class:`WorkloadProfiler`, bounded
+  per-tenant heavy hitters over canonical query fingerprints
+  (:mod:`repro.xpath.fingerprint`), behind ``GET /debug/workload``
+  and ``repro workload top``;
+* :mod:`repro.obs.introspect` — cache/memory byte accounting for the
+  engine's plan cache, NodeTables, DocumentIndexes, and materialized
+  view trees, behind ``engine.introspect()`` and ``GET
+  /debug/cachez``.
 
 See ``docs/observability.md`` and ``docs/audit.md`` for usage and
 overhead guidance.
@@ -87,8 +95,15 @@ from repro.obs.events import (
     read_jsonl,
 )
 from repro.obs.audit import AuditLog, percentile
-from repro.obs.export import prometheus_text, sanitize_metric_name
+from repro.obs.export import (
+    prometheus_text,
+    publish_cache_report,
+    publish_workload,
+    sanitize_metric_name,
+)
 from repro.obs.canary import SecurityCanary
+from repro.obs.workload import WorkloadEntry, WorkloadProfiler
+from repro.obs.introspect import engine_report, plan_cache_report
 
 __all__ = [
     # tracing
@@ -148,6 +163,14 @@ __all__ = [
     # export
     "prometheus_text",
     "sanitize_metric_name",
+    "publish_workload",
+    "publish_cache_report",
     # canary
     "SecurityCanary",
+    # workload intelligence
+    "WorkloadProfiler",
+    "WorkloadEntry",
+    # cache introspection
+    "engine_report",
+    "plan_cache_report",
 ]

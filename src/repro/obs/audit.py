@@ -71,9 +71,13 @@ class AuditLog:
         policy: Optional[str] = None,
         since: Optional[float] = None,
         until: Optional[float] = None,
+        trace_id: Optional[str] = None,
     ) -> List[Event]:
         """Events matching every given filter, oldest first.  ``since``
-        is inclusive, ``until`` exclusive (epoch seconds)."""
+        is inclusive, ``until`` exclusive (epoch seconds);
+        ``trace_id`` matches the id stamped by the serving layer
+        (events without one — policy lifecycle, canary — never
+        match)."""
         out = []
         for event in self._events:
             if kind is not None and event.kind != kind:
@@ -84,6 +88,11 @@ class AuditLog:
                 continue
             if until is not None and event.timestamp >= until:
                 continue
+            if (
+                trace_id is not None
+                and getattr(event, "trace_id", None) != trace_id
+            ):
+                continue
             out.append(event)
         return out
 
@@ -92,9 +101,10 @@ class AuditLog:
         count: int = 10,
         kind: Optional[str] = None,
         policy: Optional[str] = None,
+        trace_id: Optional[str] = None,
     ) -> List[Event]:
         """The most recent ``count`` matching events, oldest first."""
-        matching = self.events(kind=kind, policy=policy)
+        matching = self.events(kind=kind, policy=policy, trace_id=trace_id)
         return matching[-count:] if count >= 0 else matching
 
     def policies(self) -> List[str]:

@@ -116,6 +116,8 @@ class QueryEvent(Event):
         "latency_seconds",
         "slow",
         "profile",
+        "fingerprint",
+        "trace_id",
     )
     __slots__ = _fields
 
@@ -131,6 +133,8 @@ class QueryEvent(Event):
         latency_seconds: float = 0.0,
         slow: bool = False,
         profile: Optional[str] = None,
+        fingerprint: str = "",
+        trace_id: str = "",
         timestamp: Optional[float] = None,
     ):
         super().__init__(timestamp)
@@ -144,6 +148,8 @@ class QueryEvent(Event):
         self.latency_seconds = float(latency_seconds)
         self.slow = bool(slow)
         self.profile = profile
+        self.fingerprint = fingerprint
+        self.trace_id = trace_id
 
 
 class DenialEvent(Event):
@@ -151,7 +157,7 @@ class DenialEvent(Event):
     ``_check_labels`` guard of the engine)."""
 
     kind = "denial"
-    _fields = ("policy", "query", "label", "code", "message")
+    _fields = ("policy", "query", "label", "code", "message", "trace_id")
     __slots__ = _fields
 
     def __init__(
@@ -161,6 +167,7 @@ class DenialEvent(Event):
         label: str = "",
         code: str = "E_LABEL_DENIED",
         message: str = "",
+        trace_id: str = "",
         timestamp: Optional[float] = None,
     ):
         super().__init__(timestamp)
@@ -169,6 +176,7 @@ class DenialEvent(Event):
         self.label = label
         self.code = code
         self.message = message
+        self.trace_id = trace_id
 
 
 class PolicyEvent(Event):
@@ -195,7 +203,7 @@ class ErrorEvent(Event):
     :attr:`~repro.errors.ReproError.code` of the raised exception."""
 
     kind = "error"
-    _fields = ("policy", "query", "code", "message")
+    _fields = ("policy", "query", "code", "message", "trace_id")
     __slots__ = _fields
 
     def __init__(
@@ -204,6 +212,7 @@ class ErrorEvent(Event):
         query: str = "",
         code: str = "E_REPRO",
         message: str = "",
+        trace_id: str = "",
         timestamp: Optional[float] = None,
     ):
         super().__init__(timestamp)
@@ -211,6 +220,7 @@ class ErrorEvent(Event):
         self.query = query
         self.code = code
         self.message = message
+        self.trace_id = trace_id
 
 
 class CanaryEvent(Event):

@@ -38,11 +38,13 @@ from __future__ import annotations
 
 import re
 
-from repro.obs.metrics import split_series
+from repro.obs.metrics import metrics_registry, split_series
 
 __all__ = [
     "prometheus_text",
     "sanitize_metric_name",
+    "publish_workload",
+    "publish_cache_report",
     "LEGACY_TENANT_SERIES",
 ]
 
@@ -164,3 +166,56 @@ def prometheus_text(snapshot, prefix: str = "repro") -> str:
                 )
                 _summary_lines(lines, legacy, "", histogram, typed)
     return "\n".join(lines) + "\n" if lines else ""
+
+
+def publish_workload(profiler, registry=None) -> None:
+    """Fold a :class:`~repro.obs.workload.WorkloadProfiler`'s roll-up
+    totals into ``registry`` (the process-wide one by default) as
+    ``workload.*`` gauges, labeled per tenant.  Only the bounded
+    per-tenant totals are exported — per-fingerprint series would blow
+    the scrape's cardinality; the full top-K detail lives behind
+    ``GET /debug/workload``."""
+    if profiler is None:
+        return
+    if registry is None:
+        registry = metrics_registry()
+    report = profiler.report(n=0)
+    for tenant, totals in report["tenants"].items():
+        labels = {"tenant": tenant}
+        registry.set_gauge("workload.queries", totals["queries"], labels)
+        registry.set_gauge("workload.errors", totals["errors"], labels)
+        registry.set_gauge("workload.denials", totals["denials"], labels)
+        registry.set_gauge(
+            "workload.fingerprints", totals["fingerprints"], labels
+        )
+        registry.set_gauge(
+            "workload.heavy_hitter_evictions", totals["evictions"], labels
+        )
+    registry.set_gauge("workload.capacity", report["capacity"])
+
+
+def publish_cache_report(report, registry=None) -> None:
+    """Fold an :func:`~repro.obs.introspect.engine_report` dict into
+    ``registry`` as ``cache.*`` gauges labeled by cache name (byte
+    estimates, entry counts, and — where the cache tracks them — hit
+    ratios and evictions)."""
+    if not report:
+        return
+    if registry is None:
+        registry = metrics_registry()
+    for cache, section in report.items():
+        if not isinstance(section, dict):
+            continue
+        labels = {"cache": cache}
+        if "bytes" in section:
+            registry.set_gauge("cache.bytes", section["bytes"], labels)
+        if "entries" in section:
+            registry.set_gauge("cache.entries", section["entries"], labels)
+        if "hit_rate" in section:
+            registry.set_gauge("cache.hit_ratio", section["hit_rate"], labels)
+        if "evictions" in section:
+            registry.set_gauge(
+                "cache.evictions", section["evictions"], labels
+            )
+    if "total_bytes" in report:
+        registry.set_gauge("cache.total_bytes", report["total_bytes"])

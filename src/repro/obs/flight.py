@@ -76,6 +76,7 @@ class TraceRecord:
         "latency_seconds",
         "slow",
         "canary_violations",
+        "fingerprint",
         "recorded_at",
         "spans",
         "seq",
@@ -94,6 +95,7 @@ class TraceRecord:
         latency_seconds: float = 0.0,
         slow: bool = False,
         canary_violations: int = 0,
+        fingerprint: str = "",
         spans: Optional[dict] = None,
     ):
         self.trace_id = trace_id
@@ -107,6 +109,7 @@ class TraceRecord:
         self.latency_seconds = latency_seconds
         self.slow = slow
         self.canary_violations = canary_violations
+        self.fingerprint = fingerprint
         self.recorded_at = time()
         self.spans = spans or {}
         self.seq = 0  # assigned by the recorder (stable ordering key)
@@ -118,6 +121,11 @@ class TraceRecord:
         engine on the root span is folded into the classification."""
         violations = int(root.attributes.get("canary_violations", 0) or 0)
         fields.setdefault("canary_violations", violations)
+        # likewise folded from a root-span attribute the engine sets
+        # at answer time (see SecureQueryEngine._query_one)
+        fields.setdefault(
+            "fingerprint", str(root.attributes.get("fingerprint", "") or "")
+        )
         record = cls(spans=_span_dict(root, [0], ""), **fields)
         return record
 
@@ -160,6 +168,7 @@ class TraceRecord:
             "latency_seconds": self.latency_seconds,
             "slow": self.slow,
             "canary_violations": self.canary_violations,
+            "fingerprint": self.fingerprint,
             "recorded_at": self.recorded_at,
             "spans": self.spans,
         }

@@ -1,0 +1,138 @@
+"""Cache and memory introspection: what the engine's caches hold.
+
+Every serving-path cache in :class:`~repro.core.engine.SecureQueryEngine`
+trades memory for latency — the plan cache, the per-document columnar
+:class:`~repro.xmlmodel.store.NodeTable` and
+:class:`~repro.xmlmodel.index.DocumentIndex`, and the per-policy
+materialized view trees.  A view-selection policy (and an operator
+sizing a deployment) needs to see that trade: entry counts, byte
+costs, and hit/eviction counters, in one JSON-safe report.
+
+Byte figures are **estimates with stated precision**: fixed-width
+array columns are exact (``itemsize * len``), container overheads use
+``sys.getsizeof``, and object trees (cached ASTs, materialized view
+subtrees) are node counts times a per-node constant — Python object
+graphs have no cheap exact answer, and a stable estimate beats an
+O(heap) traversal on a debug endpoint.
+
+The entry point is :func:`engine_report` (surfaced as
+``engine.introspect()``, ``GET /debug/cachez``, and the ``cache.*``
+Prometheus gauges in :mod:`repro.obs.export`).
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Dict
+
+__all__ = [
+    "AST_NODE_BYTES",
+    "XML_NODE_BYTES",
+    "plan_cache_report",
+    "engine_report",
+    "report_total_bytes",
+]
+
+#: Estimated resident bytes per cached AST node: one slotted Python
+#: object plus its interned hash and child references.
+AST_NODE_BYTES = 96
+
+#: Estimated resident bytes per materialized XML node (element or text
+#: leaf): object header, label/value string share, children list slot.
+XML_NODE_BYTES = 160
+
+
+def _entry_bytes(entry) -> int:
+    """Estimated bytes of one plan-cache entry: the query text, the
+    three pipeline ASTs, and (when built) the compiled plans — all as
+    node counts times :data:`AST_NODE_BYTES`."""
+    total = sys.getsizeof(entry.query_text)
+    for tree in (entry.parsed, entry.rewritten, entry.optimized):
+        if tree is not None:
+            total += tree.size() * AST_NODE_BYTES
+    # lazily built plans mirror the optimized AST's shape; projected
+    # runs hold one per-view-target plan of comparable size each
+    if entry.plan is not None:
+        total += entry.optimized.size() * AST_NODE_BYTES
+    if entry.projected is not None:
+        total += (
+            len(entry.projected) * entry.optimized.size() * AST_NODE_BYTES
+        )
+    return total
+
+
+def plan_cache_report(cache) -> Dict[str, object]:
+    """Entry count, byte estimate, and full hit/miss/eviction counters
+    of one :class:`~repro.core.plancache.PlanCache`."""
+    stats = cache.stats().as_dict()
+    entries = cache.entries()
+    fingerprints = set()
+    total = 0
+    for entry in entries:
+        total += _entry_bytes(entry)
+        fingerprint = getattr(entry, "fingerprint", None)
+        if fingerprint is not None:
+            fingerprints.add(str(fingerprint))
+    report = dict(stats)
+    report["bytes"] = total
+    report["entries"] = len(entries)
+    report["distinct_fingerprints"] = len(fingerprints)
+    return report
+
+
+def engine_report(engine) -> Dict[str, object]:
+    """The one-stop cache report of a
+    :class:`~repro.core.engine.SecureQueryEngine`: plan cache, columnar
+    NodeTables, DocumentIndexes, and per-policy materialized view
+    trees, each with entry counts and byte estimates, plus a
+    ``total_bytes`` roll-up."""
+    plan_cache = plan_cache_report(engine.plan_cache)
+
+    stores = list(engine._stores.values())
+    node_tables = {
+        "entries": len(stores),
+        "rows": sum(store.size for _, store in stores),
+        "bytes": sum(store.nbytes() for _, store in stores),
+    }
+
+    indexes = list(engine._indexes.values())
+    document_indexes = {
+        "entries": len(indexes),
+        "elements": sum(index.size() for _, index in indexes),
+        "bytes": sum(index.nbytes() for _, index in indexes),
+    }
+
+    materialized_entries = 0
+    materialized_nodes = 0
+    per_policy: Dict[str, int] = {}
+    for name, policy in sorted(engine._policies.items()):
+        cached = list(policy.materialized.values())
+        if cached:
+            per_policy[name] = len(cached)
+        materialized_entries += len(cached)
+        materialized_nodes += sum(tree.size() for _, tree in cached)
+    materialized = {
+        "entries": materialized_entries,
+        "nodes": materialized_nodes,
+        "bytes": materialized_nodes * XML_NODE_BYTES,
+        "by_policy": per_policy,
+    }
+
+    report = {
+        "plan_cache": plan_cache,
+        "node_tables": node_tables,
+        "document_indexes": document_indexes,
+        "materialized_views": materialized,
+    }
+    report["total_bytes"] = report_total_bytes(report)
+    return report
+
+
+def report_total_bytes(report: Dict[str, object]) -> int:
+    """Sum of the ``bytes`` fields of an :func:`engine_report` (or any
+    mapping of cache-name -> report-with-bytes)."""
+    return sum(
+        section["bytes"]
+        for section in report.values()
+        if isinstance(section, dict) and "bytes" in section
+    )

@@ -137,6 +137,20 @@ class AdmissionController(object):
                 return state.running if state else 0
             return sum(state.running for state in self._tenants.values())
 
+    def snapshot(self) -> Dict[str, Dict[str, int]]:
+        """Per-tenant ``{waiting, running, max_concurrent,
+        max_queue_depth}`` — one consistent read for debug endpoints."""
+        with self._lock:
+            return {
+                tenant: {
+                    "waiting": state.waiting,
+                    "running": state.running,
+                    "max_concurrent": state.policy.max_concurrent,
+                    "max_queue_depth": state.policy.max_queue_depth,
+                }
+                for tenant, state in sorted(self._tenants.items())
+            }
+
     # -- the gate --------------------------------------------------------
 
     @contextmanager

@@ -1,6 +1,6 @@
 """A minimal HTTP front end over :class:`~repro.serving.server.QueryServer`.
 
-Stdlib-only (:mod:`http.server`), five endpoints:
+Stdlib-only (:mod:`http.server`), the endpoints:
 
 ``POST /query``
     Body: a :class:`~repro.serving.protocol.QueryRequest` as JSON.
@@ -24,6 +24,17 @@ Stdlib-only (:mod:`http.server`), five endpoints:
     ``?status=`` (ok/slow/error/denied/canary-violation), ``?n=``.
 ``GET /debug/slo``
     Per-tenant SLO compliance and fast/slow burn rates as JSON.
+``GET /debug/workload``
+    Per-tenant heavy-hitter query shapes (count, p50/p95, cache hit
+    ratio, error/denial counts) from the workload profiler.
+    Filters: ``?tenant=``, ``?n=`` (top-K per tenant).
+``GET /debug/cachez``
+    Cache/memory introspection per catalog engine: plan cache,
+    NodeTables, DocumentIndexes, materialized views — entries, byte
+    estimates, hit/eviction counters.
+``GET /debug/vars``
+    Process vars: version, uptime, worker/queue/admission state,
+    cache byte totals, workload roll-up.
 ``GET /healthz``
     Liveness: ``{"ok": true, "documents": [...]}``.
 
@@ -92,10 +103,19 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(200, self._traces_payload(query_string))
         elif path == "/debug/slo":
             self._send_json(200, self.query_server.slo_payload())
+        elif path == "/debug/workload":
+            self._send_json(200, self._workload_payload(query_string))
+        elif path == "/debug/cachez":
+            self._send_json(200, self.query_server.cache_payload())
+        elif path == "/debug/vars":
+            self._send_json(200, self.query_server.vars_payload())
         elif path == "/metrics":
             from repro.obs.export import prometheus_text
             from repro.obs.metrics import metrics_registry
 
+            # fold live workload/cache state into the registry so the
+            # scrape carries current gauges, not last-scrape values
+            self.query_server.publish_metrics()
             body = prometheus_text(metrics_registry()).encode("utf-8")
             self.send_response(200)
             self.send_header("Content-Type", "text/plain; version=0.0.4")
@@ -130,6 +150,22 @@ class _Handler(BaseHTTPRequestHandler):
             n = None
         return self.query_server.trace_payload(
             n=n, tenant=first("tenant"), status=first("status")
+        )
+
+    def _workload_payload(self, query_string: str) -> dict:
+        """The ``/debug/workload`` response for one query string."""
+        params = parse_qs(query_string or "")
+
+        def first(key):
+            values = params.get(key)
+            return values[0] if values else None
+
+        try:
+            n = int(first("n")) if first("n") else None
+        except ValueError:
+            n = None
+        return self.query_server.workload_payload(
+            tenant=first("tenant"), n=n
         )
 
     def do_POST(self):

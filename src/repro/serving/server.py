@@ -86,6 +86,25 @@ class EngineCatalog(object):
         with self._lock:
             return sorted(self._entries)
 
+    def entries(self) -> Dict[str, tuple]:
+        """A ref -> ``(engine, document)`` snapshot."""
+        with self._lock:
+            return dict(self._entries)
+
+    def engines(self) -> List:
+        """The distinct engines behind the catalog's refs (several
+        refs may share one engine; each appears once, in first-ref
+        order)."""
+        entries = self.entries()
+        seen = set()
+        out = []
+        for ref in sorted(entries):
+            engine = entries[ref][0]
+            if id(engine) not in seen:
+                seen.add(id(engine))
+                out.append(engine)
+        return out
+
     def __contains__(self, ref: str) -> bool:
         with self._lock:
             return ref in self._entries
@@ -129,6 +148,16 @@ class QueryServer(object):
         :class:`~repro.obs.slo.SLOTracker` (sizing, SLO objective,
         seeded sampling for tests).  Ignored-by-default when
         ``tracing`` is off unless passed explicitly.
+    ``profiling`` / ``workload``
+        Workload intelligence (see :mod:`repro.obs.workload`).  With
+        ``profiling`` (the default) the server owns one
+        :class:`~repro.obs.workload.WorkloadProfiler` and installs it
+        on every catalog engine at :meth:`start` that doesn't already
+        have one, so a multi-engine catalog aggregates into a single
+        per-tenant heavy-hitter report (``GET /debug/workload``,
+        ``repro workload top``).  Pass ``workload`` to share or size
+        the profiler yourself; ``profiling=False`` leaves engines
+        unprofiled (one attribute check per query).
     """
 
     def __init__(
@@ -140,6 +169,8 @@ class QueryServer(object):
         tracing: bool = True,
         flight: Optional[FlightRecorder] = None,
         slo: Optional[SLOTracker] = None,
+        profiling: bool = True,
+        workload=None,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1, got %r" % (workers,))
@@ -155,6 +186,12 @@ class QueryServer(object):
         self.slo = slo if slo is not None else (
             SLOTracker() if self.tracing else None
         )
+        if workload is None and profiling:
+            from repro.obs.workload import WorkloadProfiler
+
+            workload = WorkloadProfiler()
+        self.workload = workload
+        self._started_at: Optional[float] = None
         self._queue: "queue.Queue" = queue.Queue()
         self._ids = itertools.count(1)
         self._threads = [
@@ -176,6 +213,13 @@ class QueryServer(object):
             if self._started:
                 return self
             self._started = True
+            self._started_at = monotonic()
+        if self.workload is not None:
+            # one shared sketch across the catalog; an engine with its
+            # own profiler (attached by the owner) keeps it
+            for engine in self.catalog.engines():
+                if engine.workload is None:
+                    engine.enable_workload_profiler(profiler=self.workload)
         for thread in self._threads:
             thread.start()
         return self
@@ -345,8 +389,20 @@ class QueryServer(object):
                             query=request.query,
                             code=getattr(error, "code", ""),
                             message=str(error),
+                            trace_id=request.trace_id,
                         )
                     )
+                if self.workload is not None:
+                    try:
+                        from repro.xpath.fingerprint import query_fingerprint
+
+                        self.workload.record_error(
+                            request.tenant_id,
+                            request.policy,
+                            query_fingerprint(request.query),
+                        )
+                    except Exception:
+                        _record("workload.failures")
                 response = QueryResponse.from_error(request, error)
             except BaseException as error:  # never leak through a future
                 response = QueryResponse.from_error(request, error)
@@ -416,6 +472,74 @@ class QueryServer(object):
         payload = self.slo.snapshot()
         payload["enabled"] = True
         return payload
+
+    def workload_payload(
+        self, tenant: Optional[str] = None, n: Optional[int] = None
+    ) -> dict:
+        """The ``GET /debug/workload`` payload (per-tenant heavy
+        hitters with count/latency-percentile/cache-hit stats)."""
+        if self.workload is None:
+            return {"enabled": False, "capacity": 0, "tenants": {}}
+        payload = self.workload.report(tenant=tenant, n=n)
+        payload["enabled"] = True
+        return payload
+
+    def cache_payload(self) -> dict:
+        """The ``GET /debug/cachez`` payload: one
+        :func:`~repro.obs.introspect.engine_report` per distinct
+        catalog engine (keyed by the refs it serves) plus a byte
+        total across them."""
+        by_ref: Dict[int, List[str]] = {}
+        entries = self.catalog.entries()
+        for ref, (engine, _) in sorted(entries.items()):
+            by_ref.setdefault(id(engine), []).append(ref)
+        engines = {}
+        total = 0
+        for engine in self.catalog.engines():
+            report = engine.introspect()
+            total += report.get("total_bytes", 0)
+            engines["+".join(by_ref.get(id(engine), ["?"]))] = report
+        return {"engines": engines, "total_bytes": total}
+
+    def vars_payload(self) -> dict:
+        """The ``GET /debug/vars`` payload: build/runtime identity and
+        the numbers an operator checks first (uptime, worker count,
+        queue depths, cache byte totals, workload roll-up)."""
+        import repro
+
+        uptime = (
+            monotonic() - self._started_at
+            if self._started_at is not None
+            else 0.0
+        )
+        cache_bytes = 0
+        for engine in self.catalog.engines():
+            cache_bytes += engine.introspect().get("total_bytes", 0)
+        return {
+            "version": repro.__version__,
+            "uptime_seconds": uptime,
+            "workers": len(self._threads),
+            "max_batch": self.max_batch,
+            "tracing": self.tracing,
+            "profiling": self.workload is not None,
+            "documents": self.catalog.refs(),
+            "queue_depth": self._queue.qsize(),
+            "admission": self.admission.snapshot(),
+            "cache_bytes": cache_bytes,
+            "workload": (
+                self.workload.stats() if self.workload is not None else {}
+            ),
+        }
+
+    def publish_metrics(self) -> None:
+        """Refresh the ``workload.*`` / ``cache.*`` gauges in the
+        process-wide registry from live state (called by the HTTP
+        front end before rendering ``/metrics``)."""
+        from repro.obs.export import publish_cache_report, publish_workload
+
+        publish_workload(self.workload)
+        for engine in self.catalog.engines():
+            publish_cache_report(engine.introspect())
 
     # -- helpers ---------------------------------------------------------
 

@@ -64,6 +64,26 @@ class DocumentIndex:
     def size(self) -> int:
         return len(self.intervals)
 
+    def nbytes(self) -> int:
+        """Estimated resident bytes of the index's own structures
+        (``sys.getsizeof`` for the containers plus per-entry interval
+        tuples and per-label position lists; indexed element objects
+        belong to the document and are not counted)."""
+        import sys
+
+        total = sys.getsizeof(self.intervals)
+        total += sum(
+            sys.getsizeof(interval) for interval in self.intervals.values()
+        )
+        total += sys.getsizeof(self.element_at)
+        total += sys.getsizeof(self.positions_by_label)
+        total += sum(
+            sys.getsizeof(label) + sys.getsizeof(positions)
+            + 28 * len(positions)  # the position ints themselves
+            for label, positions in self.positions_by_label.items()
+        )
+        return total
+
     def position(self, element) -> Optional[int]:
         interval = self.intervals.get(id(element))
         return None if interval is None else interval[0]

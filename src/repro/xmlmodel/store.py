@@ -209,6 +209,34 @@ class NodeTable:
         high = bisect_left(posting, self.end[row])
         return list(posting[low:high])
 
+    def nbytes(self) -> int:
+        """Estimated resident bytes of the table's own structures:
+        exact for the fixed-width columns and postings
+        (``itemsize * len``), container-overhead estimates
+        (``sys.getsizeof``) for the label list, the row map, and the
+        node back-pointer list.  The node *objects* belong to the
+        document, not the table, and are not counted."""
+        import sys
+
+        columns = (
+            self.end,
+            self.parent,
+            self.depth,
+            self.label_ids,
+            self.first_child,
+            self.next_sibling,
+        )
+        total = sum(column.itemsize * len(column) for column in columns)
+        total += sum(
+            posting.itemsize * len(posting) for posting in self.postings
+        )
+        total += sys.getsizeof(self.nodes)
+        total += sys.getsizeof(self._row_of)
+        total += sys.getsizeof(self.labels)
+        total += sum(sys.getsizeof(label) for label in self.labels)
+        total += sys.getsizeof(self.label_index)
+        return total
+
     def __len__(self) -> int:
         return self.size
 

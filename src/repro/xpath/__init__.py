@@ -40,6 +40,11 @@ from repro.xpath.ast import (
     slash,
     union,
 )
+from repro.xpath.fingerprint import (
+    Fingerprint,
+    fingerprint_shape,
+    query_fingerprint,
+)
 from repro.xpath.parser import parse_xpath, parse_qualifier
 from repro.xpath.evaluator import XPathEvaluator, evaluate, evaluate_qualifier
 from repro.xpath.plan import CompiledPlan, PlanRuntime, compile_path
@@ -83,4 +88,7 @@ __all__ = [
     "PlanRuntime",
     "compile_path",
     "ascending_subqueries",
+    "Fingerprint",
+    "fingerprint_shape",
+    "query_fingerprint",
 ]

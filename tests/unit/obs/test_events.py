@@ -102,6 +102,50 @@ class TestSchema:
         assert rebuilt.action == "drop" and rebuilt.timestamp == 5.0
 
 
+class TestCorrelationFields:
+    """``trace_id`` (query/denial/error) and ``fingerprint`` (query)
+    join audit events to traces and workload entries."""
+
+    def test_query_event_carries_fingerprint_and_trace_id(self):
+        event = make_query_event(
+            1, fingerprint="92842f23398efdad", trace_id="t-123"
+        )
+        rebuilt = event_from_dict(json.loads(event.to_json()))
+        assert rebuilt.fingerprint == "92842f23398efdad"
+        assert rebuilt.trace_id == "t-123"
+
+    def test_defaults_are_empty_strings(self):
+        event = make_query_event(0)
+        assert event.fingerprint == ""
+        assert event.trace_id == ""
+
+    @pytest.mark.parametrize(
+        "event",
+        [
+            DenialEvent(
+                "nurse", "//trial", "trial", "E_LABEL_DENIED", "no",
+                trace_id="t-9",
+            ),
+            ErrorEvent(
+                "nurse", "//a[", "E_PARSE_XPATH", "bad", trace_id="t-9"
+            ),
+        ],
+    )
+    def test_denial_and_error_round_trip_trace_id(self, event):
+        rebuilt = event_from_dict(json.loads(event.to_json()))
+        assert rebuilt.trace_id == "t-9"
+        assert rebuilt.to_dict() == event.to_dict()
+
+    def test_pre_trace_id_payloads_still_parse(self):
+        # a JSONL trail written before these fields existed
+        payload = make_query_event(2).to_dict()
+        del payload["trace_id"]
+        del payload["fingerprint"]
+        rebuilt = event_from_dict(payload)
+        assert rebuilt.trace_id == ""
+        assert rebuilt.fingerprint == ""
+
+
 # JSON-safe scalar values for free-form string-ish fields.
 _text = st.text(max_size=40)
 

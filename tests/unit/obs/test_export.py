@@ -3,6 +3,8 @@
 from repro.obs.export import (
     LEGACY_TENANT_SERIES,
     prometheus_text,
+    publish_cache_report,
+    publish_workload,
     sanitize_metric_name,
 )
 from repro.obs.metrics import LATENCY_BUCKETS, MetricsRegistry
@@ -132,3 +134,139 @@ class TestLabeledExport:
         assert "repro_serving_latency_seconds_count 1" in text
         # no tenant label: nothing flattened beyond the plain series
         assert "repro_serving_latency_seconds__count" not in text
+
+    def test_legacy_shim_ignores_non_tenant_labels(self):
+        registry = MetricsRegistry()
+        registry.observe(
+            "serving.latency_seconds",
+            0.02,
+            labels={"region": "eu"},
+            buckets=LATENCY_BUCKETS,
+        )
+        text = prometheus_text(registry)
+        assert 'repro_serving_latency_seconds_bucket{region="eu"' in text
+        assert "repro_serving_latency_seconds_eu" not in text
+
+    def test_legacy_shim_sanitizes_tenant_names(self):
+        registry = MetricsRegistry()
+        registry.observe(
+            "serving.latency_seconds",
+            0.02,
+            labels={"tenant": "real-estate-buyer"},
+            buckets=LATENCY_BUCKETS,
+        )
+        text = prometheus_text(registry)
+        assert (
+            "repro_serving_latency_seconds_real_estate_buyer_count 1" in text
+        )
+
+    def test_legacy_shim_not_applied_to_other_series(self):
+        registry = MetricsRegistry()
+        registry.observe(
+            "workload.latency_seconds",
+            0.02,
+            labels={"tenant": "nurse"},
+            buckets=LATENCY_BUCKETS,
+        )
+        text = prometheus_text(registry)
+        assert 'repro_workload_latency_seconds_bucket{tenant="nurse"' in text
+        assert "repro_workload_latency_seconds_nurse" not in text
+
+
+class TestPublishWorkload:
+    def _profiler(self):
+        from repro.obs.workload import WorkloadProfiler
+        from repro.xpath.fingerprint import query_fingerprint
+
+        profiler = WorkloadProfiler(capacity=4)
+        profiler.record_query(
+            "nurse", "nurse", query_fingerprint("//patient"), 0.001
+        )
+        profiler.record_query(
+            "nurse", "nurse", query_fingerprint("//patient"), 0.002
+        )
+        profiler.record_error(
+            "doctor", "doctor", query_fingerprint("//secret"), denied=True
+        )
+        return profiler
+
+    def test_publishes_per_tenant_gauges(self):
+        registry = MetricsRegistry()
+        publish_workload(self._profiler(), registry)
+        gauges = registry.snapshot()["gauges"]
+        assert gauges['workload.queries{tenant="nurse"}'] == 2
+        assert gauges['workload.queries{tenant="doctor"}'] == 1
+        assert gauges['workload.denials{tenant="doctor"}'] == 1
+        assert gauges['workload.fingerprints{tenant="nurse"}'] == 1
+        assert gauges["workload.capacity"] == 4
+
+    def test_no_per_fingerprint_series(self):
+        # per-fingerprint series would blow scrape cardinality; only
+        # bounded per-tenant totals may reach the registry
+        registry = MetricsRegistry()
+        profiler = self._profiler()
+        publish_workload(profiler, registry)
+        digest = profiler.top("nurse")[0]["fingerprint"]
+        assert digest not in str(registry.snapshot()["gauges"])
+
+    def test_none_profiler_is_noop(self):
+        registry = MetricsRegistry()
+        publish_workload(None, registry)
+        assert registry.snapshot()["gauges"] == {}
+
+    def test_renders_through_prometheus_text(self):
+        registry = MetricsRegistry()
+        publish_workload(self._profiler(), registry)
+        text = prometheus_text(registry)
+        assert "# TYPE repro_workload_queries gauge" in text
+        assert 'repro_workload_queries{tenant="nurse"} 2' in text
+
+
+class TestPublishCacheReport:
+    REPORT = {
+        "plan_cache": {
+            "bytes": 4096,
+            "entries": 3,
+            "hit_rate": 0.75,
+            "evictions": 1,
+        },
+        "node_tables": {"bytes": 1024, "entries": 1},
+        "total_bytes": 5120,
+    }
+
+    def test_publishes_labeled_cache_gauges(self):
+        registry = MetricsRegistry()
+        publish_cache_report(self.REPORT, registry)
+        gauges = registry.snapshot()["gauges"]
+        assert gauges['cache.bytes{cache="plan_cache"}'] == 4096
+        assert gauges['cache.entries{cache="plan_cache"}'] == 3
+        assert gauges['cache.hit_ratio{cache="plan_cache"}'] == 0.75
+        assert gauges['cache.evictions{cache="plan_cache"}'] == 1
+        assert gauges['cache.bytes{cache="node_tables"}'] == 1024
+        assert gauges["cache.total_bytes"] == 5120
+
+    def test_sections_without_optional_counters(self):
+        registry = MetricsRegistry()
+        publish_cache_report(self.REPORT, registry)
+        gauges = registry.snapshot()["gauges"]
+        # node_tables has no hit_rate/evictions: no phantom series
+        assert 'cache.hit_ratio{cache="node_tables"}' not in gauges
+
+    def test_empty_report_is_noop(self):
+        registry = MetricsRegistry()
+        publish_cache_report({}, registry)
+        publish_cache_report(None, registry)
+        assert registry.snapshot()["gauges"] == {}
+
+    def test_accepts_real_engine_report(self):
+        from repro.core.engine import SecureQueryEngine
+        from repro.workloads.hospital import hospital_dtd, nurse_spec
+
+        dtd = hospital_dtd()
+        engine = SecureQueryEngine(dtd)
+        engine.register_policy("nurse", nurse_spec(dtd), wardNo="1")
+        registry = MetricsRegistry()
+        publish_cache_report(engine.introspect(), registry)
+        gauges = registry.snapshot()["gauges"]
+        assert 'cache.entries{cache="plan_cache"}' in gauges
+        assert "cache.total_bytes" in gauges

@@ -108,6 +108,15 @@ class TestDebugTraces:
         trace = payload["traces"][0]
         assert trace["trace_id"] == body["trace_id"]
         assert trace["spans"]["name"] == "request"
+        # the root span carries the query's workload fingerprint so a
+        # trace can be joined to its /debug/workload entry
+        assert trace["fingerprint"]
+        _, _, workload = _get(base + "/debug/workload?tenant=nurse")
+        digests = {
+            entry["fingerprint"]
+            for entry in workload["tenants"]["nurse"]["top"]
+        }
+        assert trace["fingerprint"] in digests
 
     def test_unknown_trace_id_is_empty_not_error(self, served):
         _, base = served
@@ -197,6 +206,176 @@ class TestRouting:
 
             disable_metrics()
             metrics_registry().reset()
+
+
+class TestDebugWorkload:
+    def test_served_query_shows_up_in_workload(self, served):
+        _, base = served
+        _post(
+            base + "/query",
+            {"policy": "nurse", "query": "//patient", "document": "hospital"},
+        )
+        status, _, payload = _get(base + "/debug/workload")
+        assert status == 200
+        assert payload["enabled"]
+        assert payload["capacity"] >= 1
+        bucket = payload["tenants"]["nurse"]
+        assert bucket["queries"] >= 1
+        entry = bucket["top"][0]
+        assert set(entry) >= {
+            "fingerprint",
+            "shape",
+            "count",
+            "p50_ms",
+            "p95_ms",
+            "cache_hit_ratio",
+        }
+
+    def test_tenant_and_n_filters(self, served):
+        _, base = served
+        for query in ("//patient", "//patient/name", "//patient/parent"):
+            _post(
+                base + "/query",
+                {"policy": "nurse", "query": query, "document": "hospital"},
+            )
+        status, _, payload = _get(base + "/debug/workload?tenant=nurse&n=1")
+        assert status == 200
+        assert list(payload["tenants"]) == ["nurse"]
+        bucket = payload["tenants"]["nurse"]
+        assert len(bucket["top"]) == 1
+        assert bucket["fingerprints"] >= 3
+        status, _, missing = _get(base + "/debug/workload?tenant=nobody")
+        assert status == 200
+        assert missing["tenants"] == {}
+
+    def test_failed_query_counted(self, served):
+        _, base = served
+        status, _, body = _post(
+            base + "/query",
+            {
+                "policy": "nurse",
+                "query": "//patient[",
+                "document": "hospital",
+            },
+        )
+        assert status == 400
+        _, _, payload = _get(base + "/debug/workload?tenant=nurse")
+        assert payload["tenants"]["nurse"]["errors"] >= 1
+
+
+class TestDebugCachez:
+    def test_cache_report_per_engine(self, served):
+        _, base = served
+        _post(
+            base + "/query",
+            {"policy": "nurse", "query": "//patient", "document": "hospital"},
+        )
+        status, _, payload = _get(base + "/debug/cachez")
+        assert status == 200
+        report = payload["engines"]["hospital"]
+        assert report["plan_cache"]["entries"] >= 1
+        assert report["plan_cache"]["bytes"] > 0
+        assert report["plan_cache"]["distinct_fingerprints"] >= 1
+        assert {
+            "plan_cache",
+            "node_tables",
+            "document_indexes",
+            "materialized_views",
+            "total_bytes",
+        } <= set(report)
+        assert payload["total_bytes"] >= report["total_bytes"]
+
+
+class TestDebugVars:
+    def test_vars_payload(self, served):
+        server, base = served
+        status, _, payload = _get(base + "/debug/vars")
+        assert status == 200
+        import repro
+
+        assert payload["version"] == repro.__version__
+        assert payload["uptime_seconds"] >= 0
+        assert payload["workers"] == 2
+        assert payload["documents"] == ["hospital"]
+        assert payload["tracing"] is True
+        assert payload["profiling"] is True
+        assert payload["queue_depth"] >= 0
+        assert isinstance(payload["admission"], dict)
+        assert payload["cache_bytes"] >= 0
+        assert payload["workload"]["capacity"] >= 1
+
+
+class TestWorkloadUnderConcurrentReplay:
+    def test_top_k_under_sixteen_thread_mixed_tenant_replay(self):
+        """The acceptance scenario: a 16-client mixed-tenant replay,
+        then ``/debug/workload?tenant=X&n=K`` serves bounded top-K."""
+        from repro.serving.replay import (
+            mixed_workload,
+            replay,
+            standard_catalog,
+        )
+
+        catalog = standard_catalog(seed=0)
+        requests = mixed_workload(repetitions=2, seed=0)
+        with QueryServer(catalog, workers=4) as server:
+            httpd = make_http_server(server, port=0)
+            thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+            thread.start()
+            base = "http://127.0.0.1:%d" % httpd.server_address[1]
+            try:
+                stats = replay(server, requests, clients=16)
+                assert not stats["errors"], stats["errors"]
+                status, _, payload = _get(base + "/debug/workload")
+                tenants = set(payload["tenants"])
+                for tenant in sorted(tenants):
+                    status, _, top2 = _get(
+                        base + "/debug/workload?tenant=%s&n=2" % tenant
+                    )
+                    assert status == 200
+                    bucket = top2["tenants"][tenant]
+                    assert len(bucket["top"]) <= 2
+                    assert (
+                        bucket["fingerprints"] <= payload["capacity"]
+                    )
+                    for entry in bucket["top"]:
+                        assert entry["count"] >= 1
+                        assert entry["p95_ms"] >= entry["p50_ms"] >= 0
+                        assert 0.0 <= entry["cache_hit_ratio"] <= 1.0
+            finally:
+                httpd.shutdown()
+                httpd.server_close()
+                thread.join(timeout=5)
+        assert status == 200
+        assert len(tenants) >= 2
+        total = sum(
+            bucket["queries"] for bucket in payload["tenants"].values()
+        )
+        assert total == len(requests)
+
+
+class TestDisabledProfiling:
+    def test_workload_endpoint_reports_disabled(self):
+        dtd = hospital_dtd()
+        engine = SecureQueryEngine(dtd)
+        engine.register_policy("nurse", nurse_spec(dtd), wardNo="2")
+        catalog = EngineCatalog().add(
+            "hospital", engine, hospital_document(seed=7, max_branch=4)
+        )
+        with QueryServer(catalog, workers=1, profiling=False) as server:
+            httpd = make_http_server(server, port=0)
+            thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+            thread.start()
+            base = "http://127.0.0.1:%d" % httpd.server_address[1]
+            try:
+                _, _, workload = _get(base + "/debug/workload")
+                _, _, vars_payload = _get(base + "/debug/vars")
+            finally:
+                httpd.shutdown()
+                httpd.server_close()
+                thread.join(timeout=5)
+        assert workload == {"enabled": False, "capacity": 0, "tenants": {}}
+        assert vars_payload["profiling"] is False
+        assert vars_payload["workload"] == {}
 
 
 class TestDisabledTracing:

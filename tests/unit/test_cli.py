@@ -368,6 +368,37 @@ class TestAuditCommands:
         assert len(lines) == 1
         assert json.loads(lines[0])["kind"] == "query"
 
+    def test_audit_tail_trace_id_filter(self, workspace, capsys):
+        from repro.obs.events import ErrorEvent, QueryEvent
+
+        log = workspace / "traced.jsonl"
+        events = [
+            QueryEvent(
+                policy="nurse",
+                query="//patient",
+                rewritten="//patient",
+                strategy="virtual",
+                cache_hit=False,
+                result_count=1,
+                visits=3,
+                latency_seconds=0.001,
+                slow=False,
+                trace_id="aa" * 16,
+            ),
+            ErrorEvent("nurse", "//a[", "E_PARSE_XPATH", "bad",
+                       trace_id="bb" * 16),
+        ]
+        log.write_text(
+            "".join(event.to_json() + "\n" for event in events)
+        )
+        assert (
+            main(["audit", "tail", str(log), "--trace-id", "bb" * 16]) == 0
+        )
+        out = capsys.readouterr().out
+        lines = out.strip().splitlines()
+        assert len(lines) == 1
+        assert "//a[" in lines[0] and "error" in lines[0]
+
     def test_audit_stats(self, workspace, capsys):
         log = self.write_log(workspace, capsys)
         assert main(["audit", "stats", str(log)]) == 0
@@ -558,3 +589,91 @@ class TestGovernorFlags:
 
         assert EXIT_CODES["E_DEADLINE"] == 11
         assert EXIT_CODES["E_BUDGET"] == 12
+
+
+class TestWorkloadCommand:
+    """`repro workload top|report` against a live HTTP front end."""
+
+    @pytest.fixture()
+    def live_server(self):
+        import threading
+
+        from repro.core.engine import SecureQueryEngine
+        from repro.serving.httpd import make_http_server
+        from repro.serving.protocol import QueryRequest
+        from repro.serving.server import EngineCatalog, QueryServer
+        from repro.workloads.hospital import (
+            hospital_document,
+            hospital_dtd,
+            nurse_spec,
+        )
+
+        dtd = hospital_dtd()
+        engine = SecureQueryEngine(dtd)
+        engine.register_policy("nurse", nurse_spec(dtd), wardNo="2")
+        catalog = EngineCatalog().add(
+            "hospital", engine, hospital_document(seed=7, max_branch=4)
+        )
+        with QueryServer(catalog, workers=1) as server:
+            for query in ("//patient", "//patient", "//patient/name"):
+                response = server.query(
+                    QueryRequest(
+                        policy="nurse", query=query, document="hospital"
+                    )
+                )
+                assert response.ok, response.error_message
+            httpd = make_http_server(server, port=0)
+            thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+            thread.start()
+            try:
+                yield "http://127.0.0.1:%d" % httpd.server_address[1]
+            finally:
+                httpd.shutdown()
+                httpd.server_close()
+                thread.join(timeout=5)
+
+    def test_workload_top(self, live_server, capsys):
+        assert main(["workload", "top", "--url", live_server]) == 0
+        out = capsys.readouterr().out
+        assert "tenant nurse:" in out
+        assert "queries=3" in out
+        assert "count=2" in out  # //patient served twice
+        assert "//patient" in out  # shape column
+
+    def test_workload_top_n_limits_rows(self, live_server, capsys):
+        assert (
+            main(["workload", "top", "--url", live_server, "-n", "1"]) == 0
+        )
+        out = capsys.readouterr().out
+        # header plus exactly one fingerprint row
+        assert len(out.strip().splitlines()) == 2
+
+    def test_workload_report_json(self, live_server, capsys):
+        import json
+
+        assert (
+            main(
+                [
+                    "workload",
+                    "report",
+                    "--url",
+                    live_server,
+                    "--tenant",
+                    "nurse",
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["enabled"] is True
+        assert list(payload["tenants"]) == ["nurse"]
+        assert payload["tenants"]["nurse"]["queries"] == 3
+
+    def test_workload_top_json(self, live_server, capsys):
+        import json
+
+        assert (
+            main(["workload", "top", "--url", live_server, "--json"]) == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["tenants"]["nurse"]["fingerprints"] == 2
