@@ -67,6 +67,7 @@ EXIT_CODES = {
     "E_DEADLINE": 11,
     "E_BUDGET": 12,
     "E_ADMISSION": 13,
+    "E_SHED": 14,
 }
 
 
@@ -413,7 +414,11 @@ def cmd_table1(arguments) -> int:
 
 def _admission(arguments):
     from repro.serving.admission import AdmissionController, TenantPolicy
+    from repro.serving.resilience import OverloadDetector
 
+    overload = (
+        None if getattr(arguments, "no_shed", False) else OverloadDetector()
+    )
     return AdmissionController(
         TenantPolicy(
             max_concurrent=arguments.max_concurrent,
@@ -423,7 +428,8 @@ def _admission(arguments):
                 if arguments.queue_timeout_ms is not None
                 else None
             ),
-        )
+        ),
+        overload=overload,
     )
 
 
@@ -451,9 +457,15 @@ def _tracing_kwargs(arguments) -> dict:
 
 def cmd_serve(arguments) -> int:
     """Run the HTTP serving front end over the standard catalog (the
-    hospital nurse/doctor tenants plus the Adex buyer)."""
+    hospital nurse/doctor tenants plus the Adex buyer).  SIGTERM and
+    SIGINT both trigger a graceful drain: intake stops (``/readyz``
+    flips to 503), queued and in-flight work flushes for up to
+    ``--drain-ms``, then the process exits."""
+    import signal
+    from threading import Thread
+
     from repro.obs.metrics import enable_metrics
-    from repro.serving.httpd import serve_http
+    from repro.serving.httpd import make_http_server
     from repro.serving.replay import standard_catalog
     from repro.serving.server import QueryServer
 
@@ -466,19 +478,53 @@ def cmd_serve(arguments) -> int:
         max_batch=arguments.max_batch,
         **_tracing_kwargs(arguments)
     ).start()
+    httpd = make_http_server(
+        server, host=arguments.host, port=arguments.port
+    )
+
+    def _drain_signal(signum, frame):  # pragma: no cover - signal path
+        print(
+            "received %s, draining..."
+            % signal.Signals(signum).name,
+            file=sys.stderr,
+        )
+        server.begin_drain()
+        # shutdown() blocks until serve_forever returns, so it must
+        # run off the signal-handling (main) thread
+        Thread(target=httpd.shutdown, daemon=True).start()
+
+    try:
+        signal.signal(signal.SIGTERM, _drain_signal)
+        signal.signal(signal.SIGINT, _drain_signal)
+    except ValueError:
+        pass  # not the main thread (tests); rely on KeyboardInterrupt
     print(
         "serving %s on http://%s:%d (POST /query, GET /metrics, "
         "GET /debug/traces, GET /debug/slo, GET /debug/workload, "
-        "GET /debug/cachez, GET /debug/vars, GET /healthz)"
+        "GET /debug/cachez, GET /debug/vars, GET /debug/resilience, "
+        "GET /healthz, GET /readyz)"
         % (", ".join(catalog.refs()), arguments.host, arguments.port),
         file=sys.stderr,
     )
     try:
-        serve_http(server, host=arguments.host, port=arguments.port)
+        httpd.serve_forever()
     except KeyboardInterrupt:
-        pass
+        server.begin_drain()
     finally:
-        server.stop()
+        httpd.server_close()
+        report = server.drain(deadline_seconds=arguments.drain_ms / 1e3)
+        print(
+            "drained in %.2fs (deadline %.2fs): %d rejected, "
+            "%d unresolved%s"
+            % (
+                report["duration_seconds"],
+                report["deadline_seconds"],
+                report["rejected"],
+                report["unresolved"],
+                "" if report["within_deadline"] else " [DEADLINE MISSED]",
+            ),
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -492,18 +538,29 @@ def cmd_replay(arguments) -> int:
     requests = mixed_workload(
         repetitions=arguments.repetitions, seed=arguments.seed
     )
+    retry_budget = None
+    if arguments.retry_budget > 0:
+        from repro.serving.resilience import RetryBudget
+
+        retry_budget = RetryBudget(ratio=arguments.retry_budget)
     with QueryServer(
         catalog,
         workers=arguments.workers,
         max_batch=arguments.max_batch,
         **_tracing_kwargs(arguments)
     ) as server:
-        stats = replay(server, requests, clients=arguments.clients)
+        stats = replay(
+            server,
+            requests,
+            clients=arguments.clients,
+            retry_budget=retry_budget,
+        )
+    partial = bool(stats.get("partial"))
     if arguments.json:
         import json
 
         print(json.dumps(stats, indent=2, sort_keys=True))
-        return 0
+        return 1 if partial else 0
     print(
         "replayed %d requests from %d clients in %.2fs (%.1f qps)"
         % (
@@ -541,8 +598,18 @@ def cmd_replay(arguments) -> int:
     if stats["errors"]:
         for code, count in sorted(stats["errors"].items()):
             print("  errors[%s] = %d" % (code, count))
+    if "retries" in stats:
+        print("  retries = %d" % stats["retries"])
+    if partial:
+        print(
+            "replay PARTIAL: %d transport errors, %d skipped (server "
+            "drained or stopped mid-replay); summary covers completed "
+            "requests only"
+            % (stats["transport_errors"], stats["skipped"]),
+            file=sys.stderr,
+        )
         return 1
-    return 0
+    return 1 if stats["errors"] else 0
 
 
 def cmd_trace_tail(arguments) -> int:
@@ -955,6 +1022,21 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="MS",
         help="queue deadline; waiting longer surfaces E_DEADLINE",
     )
+    serve_cmd.add_argument(
+        "--no-shed",
+        action="store_true",
+        help="disable utilization-based load shedding (requests only "
+        "fail on hard queue bounds, never E_SHED/exit %d)"
+        % EXIT_CODES["E_SHED"],
+    )
+    serve_cmd.add_argument(
+        "--drain-ms",
+        type=float,
+        default=5000.0,
+        metavar="MS",
+        help="graceful-drain deadline after SIGTERM/SIGINT "
+        "(default 5000 ms)",
+    )
     serve_cmd.set_defaults(handler=cmd_serve)
 
     replay_cmd = commands.add_parser(
@@ -971,6 +1053,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="workload repetitions per tenant",
     )
     replay_cmd.add_argument("--json", action="store_true")
+    replay_cmd.add_argument(
+        "--retry-budget",
+        type=float,
+        default=0.0,
+        metavar="RATIO",
+        help="enable client-side retries of shed/rejected requests, "
+        "budgeted to RATIO of each tenant's traffic (0 disables)",
+    )
     add_serving_arguments(replay_cmd)
     replay_cmd.set_defaults(handler=cmd_replay)
 

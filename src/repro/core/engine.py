@@ -291,6 +291,7 @@ class SecureQueryEngine:
         plan_cache_size: int = 256,
         events: Optional[EventPipeline] = None,
         degradation: Optional[DegradationPolicy] = None,
+        breakers=None,
     ):
         self.dtd = dtd
         self.strict = strict
@@ -299,6 +300,16 @@ class SecureQueryEngine:
         self._degradation = (
             degradation if degradation is not None else DegradationPolicy()
         )
+        # circuit breakers over the degradation seams: a seam that
+        # fails repeatedly is short-circuited straight to its fallback
+        # (no per-request re-probe) until a seeded-jitter exponential
+        # backoff elapses, then one half-open probe re-closes or
+        # re-opens it.  Pass breakers=False to disable.
+        if breakers is None:
+            from repro.serving.resilience import BreakerBoard
+
+            breakers = BreakerBoard()
+        self.breakers = breakers or None
         self._policies: Dict[str, _Policy] = {}
         self._optimizer = Optimizer(dtd)
         self._plan_cache = PlanCache(plan_cache_size)
@@ -965,13 +976,17 @@ class SecureQueryEngine:
             cached = self._indexes.get(id(document))
             if cached is not None and cached[0] is document:
                 return cached[1]
+            if self._seam_open("index.build"):
+                return None
             try:
                 fault_trip("index.build")
                 index = DocumentIndex(document)
             except Exception as error:
+                self._seam_failed("index.build")
                 if self._degrade("index.build", policy, error):
                     return None
                 raise
+            self._seam_ok("index.build")
             self._indexes[id(document)] = (document, index)
         return index
 
@@ -989,17 +1004,45 @@ class SecureQueryEngine:
             cached = self._stores.get(id(document))
             if cached is not None and cached[0] is document:
                 return cached[1]
+            if self._seam_open("store.build"):
+                return None
             try:
                 fault_trip("store.build")
                 store = NodeTable(document)
             except Exception as error:
+                self._seam_failed("store.build")
                 if self._degrade("store.build", policy, error):
                     return None
                 raise
+            self._seam_ok("store.build")
             self._stores[id(document)] = (document, store)
         return store
 
     # -- graceful degradation / resource governance --------------------------
+
+    def _seam_open(self, seam: str) -> bool:
+        """Whether ``seam``'s circuit breaker says to skip the attempt
+        and take the fallback straight away — only ever ``True`` when
+        the degradation policy allows the seam to fail soft (a strict
+        engine must see the raise, not a silent fallback).  A ``True``
+        here is the breaker refusing a probe; ``False`` either means
+        the breaker is closed or that this call *is* the half-open
+        probe."""
+        breakers = self.breakers
+        if breakers is None or not self._degradation.allows(seam):
+            return False
+        if breakers.allow(seam):
+            return False
+        record("resilience.breaker.shorted", labels={"seam": seam})
+        return True
+
+    def _seam_failed(self, seam: str) -> None:
+        if self.breakers is not None:
+            self.breakers.failure(seam)
+
+    def _seam_ok(self, seam: str) -> None:
+        if self.breakers is not None:
+            self.breakers.success(seam)
 
     def _degrade(self, seam: str, policy: str, error: Exception) -> bool:
         """Whether a failure at ``seam`` may be absorbed: when the
@@ -1062,13 +1105,19 @@ class SecureQueryEngine:
         )
         key = (entry.name, query_text, optimize, height, strategy, use_index)
         if use_cache:
-            try:
-                fault_trip("plan_cache.get")
-                cached = self._plan_cache.get(key)
-            except Exception as error:
-                if not self._degrade("plan_cache.get", entry.name, error):
-                    raise
-                cached = None  # degraded: treat as a miss, compile fresh
+            if self._seam_open("plan_cache.get"):
+                cached = None  # breaker open: skip the lookup outright
+            else:
+                try:
+                    fault_trip("plan_cache.get")
+                    cached = self._plan_cache.get(key)
+                except Exception as error:
+                    self._seam_failed("plan_cache.get")
+                    if not self._degrade("plan_cache.get", entry.name, error):
+                        raise
+                    cached = None  # degraded: treat as a miss, compile fresh
+                else:
+                    self._seam_ok("plan_cache.get")
             if cached is not None:
                 return cached, True
         if tracer is None:
@@ -1104,14 +1153,17 @@ class SecureQueryEngine:
         # and carried by the cache entry, so warm requests pay a field
         # read, never a re-parse or re-mask
         compiled.fingerprint = query_fingerprint(parsed)
-        if use_cache:
+        if use_cache and not self._seam_open("plan_cache.put"):
             try:
                 fault_trip("plan_cache.put")
                 self._plan_cache.put(key, compiled)
             except Exception as error:
+                self._seam_failed("plan_cache.put")
                 if not self._degrade("plan_cache.put", entry.name, error):
                     raise
                 # degraded: this compilation just goes uncached
+            else:
+                self._seam_ok("plan_cache.put")
         return compiled, False
 
     def _whole_query_plan(

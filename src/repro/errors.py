@@ -195,15 +195,57 @@ class AdmissionRejected(ResourceError):
     ``max_queue_depth``.  Distinct from ``E_DEADLINE`` (which a queued
     request gets when its queue deadline lapses before a slot frees
     up): a rejection is immediate back-pressure, the signal to retry
-    elsewhere or later (see ``docs/serving.md``)."""
+    elsewhere or later (see ``docs/serving.md``).
+
+    ``retry_after_seconds``, when set, is the server's hint for when a
+    retry has a chance (surfaced as the HTTP ``Retry-After`` header).
+    """
 
     code = "E_ADMISSION"
 
-    def __init__(self, message, tenant="", queue_depth=None, limit=None):
+    def __init__(
+        self,
+        message,
+        tenant="",
+        queue_depth=None,
+        limit=None,
+        retry_after_seconds=None,
+    ):
         super().__init__(message)
         self.tenant = tenant
         self.queue_depth = queue_depth
         self.limit = limit
+        self.retry_after_seconds = retry_after_seconds
+
+
+class RequestShed(ResourceError):
+    """Raised by priority load shedding: the serving layer is
+    overloaded (queue-wait utilization past the shedding threshold for
+    this request's criticality class) and dropped the request *before*
+    queueing it, preserving capacity for more critical traffic.
+
+    Distinct from :class:`AdmissionRejected` (a per-tenant bound was
+    hit) — shedding is a server-wide overload response ordered by
+    criticality: ``sheddable`` goes first, ``default`` only under
+    severe overload, ``critical`` never (it is only ever bounded by
+    the hard per-tenant queue limits).  See ``docs/serving.md``.
+    """
+
+    code = "E_SHED"
+
+    def __init__(
+        self,
+        message,
+        tenant="",
+        criticality="",
+        utilization=None,
+        retry_after_seconds=None,
+    ):
+        super().__init__(message)
+        self.tenant = tenant
+        self.criticality = criticality
+        self.utilization = utilization
+        self.retry_after_seconds = retry_after_seconds
 
 
 class FaultInjected(ReproError):

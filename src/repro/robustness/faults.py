@@ -14,7 +14,11 @@ Instrumented sites (see ``docs/robustness.md`` for the full table):
 * ``store.build`` — columnar NodeTable construction;
 * ``index.build`` — DocumentIndex construction;
 * ``plan_cache.get`` / ``plan_cache.put`` — plan-cache traffic;
-* ``materialize`` — view (subtree) materialization.
+* ``materialize`` — view (subtree) materialization;
+* ``admission.admit`` — the serving layer's admission gate;
+* ``serving.resolve`` — catalog document-ref resolution;
+* ``serving.execute`` — batch execution of one admitted request;
+* ``httpd.write`` — the HTTP front end writing a response body.
 
 The sink seam needs no ``trip`` call: :class:`FaultySink` *is* the
 fault — attach it to an engine and every ``emit`` raises, proving the
@@ -54,6 +58,10 @@ SITES = (
     "plan_cache.get",
     "plan_cache.put",
     "materialize",
+    "admission.admit",
+    "serving.resolve",
+    "serving.execute",
+    "httpd.write",
 )
 
 #: Supported effects.

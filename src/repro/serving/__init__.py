@@ -7,7 +7,13 @@ engine — see ``docs/serving.md``:
   :class:`~repro.serving.protocol.QueryRequest` /
   :class:`~repro.serving.protocol.QueryResponse` wire shapes;
 * :mod:`repro.serving.admission` — per-tenant concurrency slots and
-  bounded queues (``E_ADMISSION`` / queue-deadline ``E_DEADLINE``);
+  bounded queues (``E_ADMISSION`` / queue-deadline ``E_DEADLINE``)
+  plus priority load shedding (``E_SHED``);
+* :mod:`repro.serving.resilience` — the overload survival layer:
+  criticality classes, the utilization
+  :class:`~repro.serving.resilience.OverloadDetector`, circuit
+  breakers over the engine's degradation seams and audit sinks, and
+  per-tenant client retry budgets;
 * :mod:`repro.serving.server` — the thread-pool
   :class:`~repro.serving.server.QueryServer` with same-document batch
   coalescing over :class:`~repro.serving.server.EngineCatalog`;
@@ -20,6 +26,17 @@ engine — see ``docs/serving.md``:
 from repro.serving.admission import AdmissionController, TenantPolicy
 from repro.serving.protocol import PROTOCOL_VERSION, QueryRequest, QueryResponse
 from repro.serving.replay import mixed_workload, replay, standard_catalog
+from repro.serving.resilience import (
+    CRITICAL,
+    CRITICALITIES,
+    DEFAULT,
+    SHEDDABLE,
+    BreakerBoard,
+    BreakerSink,
+    CircuitBreaker,
+    OverloadDetector,
+    RetryBudget,
+)
 from repro.serving.server import EngineCatalog, QueryServer
 
 __all__ = [
@@ -33,4 +50,13 @@ __all__ = [
     "standard_catalog",
     "mixed_workload",
     "replay",
+    "CRITICAL",
+    "DEFAULT",
+    "SHEDDABLE",
+    "CRITICALITIES",
+    "OverloadDetector",
+    "CircuitBreaker",
+    "BreakerBoard",
+    "BreakerSink",
+    "RetryBudget",
 ]

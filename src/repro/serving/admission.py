@@ -26,10 +26,23 @@ internal queue counts) raises
 ``E_DEADLINE`` code the governor uses, because to the client "timed
 out waiting to run" and "timed out running" are the same contract.
 
+On top of the hard per-tenant bounds sits **priority load shedding**
+(see :mod:`repro.serving.resilience`): when the controller is built
+with an :class:`~repro.serving.resilience.OverloadDetector`, a request
+that would have to *wait* is first checked against the detector — if
+the queue-wait utilization EWMA is past the threshold for the
+request's criticality class, the request is shed immediately with
+:class:`~repro.errors.RequestShed` (``E_SHED``), lowest class first
+(``sheddable``, then ``default``; ``critical`` is never shed).  The
+detector is fed by every admission outcome: admitted waits observe
+``waited/deadline``, deadline misses and queue-full rejections observe
+1.0 — so shedding starts as deadline misses approach and stops as the
+queue drains.
+
 Everything is stdlib threading; each tenant gets a
 :class:`threading.Semaphore` for slots plus a counter of waiters kept
-under the controller lock.  Metrics land in the ``serving.*``
-namespace of the ambient registry.
+under the controller lock.  Metrics land in the ``serving.*`` and
+``resilience.*`` namespaces of the ambient registry.
 """
 
 from __future__ import annotations
@@ -39,9 +52,15 @@ from threading import Lock, Semaphore
 from time import monotonic
 from typing import Dict, Optional
 
-from repro.errors import AdmissionRejected, DeadlineExceeded
+from repro.errors import AdmissionRejected, DeadlineExceeded, RequestShed
 from repro.obs.metrics import observe as _observe, record as _record
 from repro.obs.trace import NULL_SPAN
+from repro.robustness.faults import trip as fault_trip
+from repro.serving.resilience import (
+    CRITICALITIES,
+    DEFAULT,
+    OverloadDetector,
+)
 
 __all__ = ["AdmissionController", "TenantPolicy"]
 
@@ -96,11 +115,19 @@ class AdmissionController(object):
     cardinality is policy-bounded in this system, so no eviction).
     """
 
-    def __init__(self, default: Optional[TenantPolicy] = None, **per_tenant):
+    def __init__(
+        self,
+        default: Optional[TenantPolicy] = None,
+        overload: Optional[OverloadDetector] = None,
+        **per_tenant,
+    ):
         self._default = default or TenantPolicy()
         self._overrides: Dict[str, TenantPolicy] = dict(per_tenant)
         self._tenants: Dict[str, _TenantState] = {}
         self._lock = Lock()
+        #: Load-shedding signal; ``None`` disables shedding entirely.
+        self.overload = overload
+        self._shed: Dict[str, int] = {cls: 0 for cls in CRITICALITIES}
 
     def set_policy(self, tenant: str, policy: TenantPolicy) -> None:
         """Install per-tenant bounds (before the tenant's first
@@ -151,7 +178,38 @@ class AdmissionController(object):
                 for tenant, state in sorted(self._tenants.items())
             }
 
+    def shed_counts(self) -> Dict[str, int]:
+        """Requests shed so far, by criticality class."""
+        with self._lock:
+            return dict(self._shed)
+
     # -- the gate --------------------------------------------------------
+
+    def _shed_check(self, tenant, state, criticality, span):
+        """Raise :class:`~repro.errors.RequestShed` when the overload
+        detector says requests of ``criticality`` that would have to
+        wait must be dropped right now."""
+        overload = self.overload
+        if overload is None or not overload.should_shed(criticality):
+            return
+        with self._lock:
+            self._shed[criticality] = self._shed.get(criticality, 0) + 1
+        _record("serving.admission.shed")
+        _record("resilience.shed", labels={"criticality": criticality})
+        utilization = overload.utilization()
+        span.set(
+            outcome="shed",
+            criticality=criticality,
+            utilization=round(utilization, 4),
+        )
+        raise RequestShed(
+            "tenant %r request shed (criticality %r, queue-wait "
+            "utilization %.2f)" % (tenant, criticality, utilization),
+            tenant=tenant,
+            criticality=criticality,
+            utilization=utilization,
+            retry_after_seconds=overload.retry_after_seconds(),
+        )
 
     @contextmanager
     def admit(
@@ -159,85 +217,114 @@ class AdmissionController(object):
         tenant: str,
         enqueued_at: Optional[float] = None,
         tracer=None,
+        criticality: str = DEFAULT,
     ):
         """Hold one of ``tenant``'s concurrency slots for the body.
 
-        Raises :class:`~repro.errors.AdmissionRejected` when the
-        tenant's queue is full, :class:`~repro.errors.DeadlineExceeded`
-        when the queue deadline (measured from ``enqueued_at``, default
+        Raises :class:`~repro.errors.RequestShed` when the overload
+        detector sheds this ``criticality`` class,
+        :class:`~repro.errors.AdmissionRejected` when the tenant's
+        queue is full, :class:`~repro.errors.DeadlineExceeded` when
+        the queue deadline (measured from ``enqueued_at``, default
         now) lapses before a slot frees up.
 
         A ``tracer`` (see :class:`repro.obs.trace.Tracer`) records the
         time from enqueue to admission — or to rejection — as a
         ``queue_wait`` span.
         """
+        fault_trip("admission.admit")
         state = self._state(tenant)
         policy = state.policy
+        overload = self.overload
         if enqueued_at is None:
             enqueued_at = monotonic()
 
         span = NULL_SPAN if tracer is None else tracer.span(
             "queue_wait", tenant=tenant
         )
-        with span:
-            # Fast path: a free slot admits immediately — queue bounds
-            # only govern requests that would actually have to wait.
-            acquired = state.slots.acquire(blocking=False)
-            if acquired:
+        admitted = False
+        acquired = False
+        try:
+            with span:
+                # Fast path: a free slot admits immediately — shedding
+                # and queue bounds only govern requests that would
+                # actually have to wait.
+                acquired = state.slots.acquire(blocking=False)
+                if not acquired:
+                    self._shed_check(tenant, state, criticality, span)
+                    with self._lock:
+                        if state.waiting >= policy.max_queue_depth:
+                            depth = state.waiting
+                            _record("serving.admission.rejected")
+                            span.set(outcome="rejected", queue_depth=depth)
+                            if overload is not None:
+                                overload.observe(1.0)
+                            raise AdmissionRejected(
+                                "tenant %r queue is full (%d waiting, "
+                                "max_queue_depth=%d)"
+                                % (tenant, depth, policy.max_queue_depth),
+                                tenant=tenant,
+                                queue_depth=depth,
+                                limit=policy.max_queue_depth,
+                                retry_after_seconds=(
+                                    overload.retry_after_seconds()
+                                    if overload is not None
+                                    else None
+                                ),
+                            )
+                        state.waiting += 1
+                    try:
+                        deadline = policy.queue_deadline_seconds
+                        if deadline is None:
+                            state.slots.acquire()
+                            acquired = True
+                        else:
+                            remaining = deadline - (monotonic() - enqueued_at)
+                            acquired = remaining > 0 and state.slots.acquire(
+                                timeout=remaining
+                            )
+                            if not acquired:
+                                waited = monotonic() - enqueued_at
+                                _record("serving.admission.deadline")
+                                span.set(
+                                    outcome="deadline",
+                                    waited_seconds=round(waited, 6),
+                                )
+                                if overload is not None:
+                                    overload.observe(1.0)
+                                raise DeadlineExceeded(
+                                    "tenant %r request waited %.1f ms for a "
+                                    "slot, past its %.1f ms queue deadline"
+                                    % (tenant, waited * 1e3, deadline * 1e3),
+                                    deadline_seconds=deadline,
+                                    elapsed_seconds=waited,
+                                )
+                    finally:
+                        with self._lock:
+                            state.waiting -= 1
+                # the slot is held from here on: flip `admitted` (the
+                # release key) and the running gauge atomically so no
+                # exception window can leak the slot or the count
                 with self._lock:
                     state.running += 1
-            else:
-                with self._lock:
-                    if state.waiting >= policy.max_queue_depth:
-                        depth = state.waiting
-                        _record("serving.admission.rejected")
-                        span.set(outcome="rejected", queue_depth=depth)
-                        raise AdmissionRejected(
-                            "tenant %r queue is full (%d waiting, "
-                            "max_queue_depth=%d)"
-                            % (tenant, depth, policy.max_queue_depth),
-                            tenant=tenant,
-                            queue_depth=depth,
-                            limit=policy.max_queue_depth,
-                        )
-                    state.waiting += 1
-                try:
-                    deadline = policy.queue_deadline_seconds
-                    if deadline is None:
-                        state.slots.acquire()
-                        acquired = True
-                    else:
-                        remaining = deadline - (monotonic() - enqueued_at)
-                        acquired = remaining > 0 and state.slots.acquire(
-                            timeout=remaining
-                        )
-                        if not acquired:
-                            waited = monotonic() - enqueued_at
-                            _record("serving.admission.deadline")
-                            span.set(
-                                outcome="deadline",
-                                waited_seconds=round(waited, 6),
-                            )
-                            raise DeadlineExceeded(
-                                "tenant %r request waited %.1f ms for a "
-                                "slot, past its %.1f ms queue deadline"
-                                % (tenant, waited * 1e3, deadline * 1e3),
-                                deadline_seconds=deadline,
-                                elapsed_seconds=waited,
-                            )
-                finally:
-                    with self._lock:
-                        state.waiting -= 1
-                        if acquired:
-                            state.running += 1
+                    admitted = True
 
-            waited = monotonic() - enqueued_at
-            span.set(outcome="admitted", waited_seconds=round(waited, 6))
-            _record("serving.admission.admitted")
-            _observe("serving.queue_wait_seconds", waited)
-        try:
+                waited = monotonic() - enqueued_at
+                if overload is not None:
+                    overload.observe_wait(
+                        waited, policy.queue_deadline_seconds
+                    )
+                span.set(outcome="admitted", waited_seconds=round(waited, 6))
+                _record("serving.admission.admitted")
+                _observe("serving.queue_wait_seconds", waited)
             yield
         finally:
-            with self._lock:
-                state.running -= 1
-            state.slots.release()
+            if admitted:
+                with self._lock:
+                    state.running -= 1
+                state.slots.release()
+            elif acquired:
+                # acquired but never flipped to admitted (an exception
+                # in the instrumentation window): give the slot back
+                # without touching the running gauge it never entered
+                state.slots.release()

@@ -6,14 +6,19 @@ Stdlib-only (:mod:`http.server`), the endpoints:
     Body: a :class:`~repro.serving.protocol.QueryRequest` as JSON.
     Response: the :class:`~repro.serving.protocol.QueryResponse` as
     JSON — HTTP 200 for answered queries, 403 for security denials,
-    429 for admission rejections, 504 for deadline misses, 400 for
-    malformed bodies.  The body always carries the typed
-    ``error_code``; the status is a convenience mapping of it.
+    429 for admission rejections and load shedding (``E_ADMISSION`` /
+    ``E_SHED`` / ``E_BUDGET``, always with a ``Retry-After`` header),
+    504 for deadline misses (both queue-deadline expiry and engine
+    deadlines ride ``E_DEADLINE``), 400 for malformed bodies.  The
+    body always carries the typed ``error_code``; the status is a
+    convenience mapping of it.
     An ``X-Repro-Trace`` request header (``<trace_id>`` or
     ``<trace_id>-<parent_span_id>``) joins the request to the
     caller's trace; the response always carries the effective
     ``trace_id`` both in the body and as an ``X-Repro-Trace``
-    response header.
+    response header.  An ``X-Repro-Criticality`` request header
+    (``critical`` / ``default`` / ``sheddable``) sets the request's
+    load-shedding class when the body doesn't.
 ``GET /metrics``
     Prometheus text exposition of the ambient metrics registry
     (including the labeled ``serving_*`` histogram and ``slo_*``
@@ -35,8 +40,17 @@ Stdlib-only (:mod:`http.server`), the endpoints:
 ``GET /debug/vars``
     Process vars: version, uptime, worker/queue/admission state,
     cache byte totals, workload roll-up.
+``GET /debug/resilience``
+    Overload survival state: shedding (utilization EWMA, classes
+    currently shed, shed counts by class), per-engine circuit-breaker
+    boards, and drain status.
 ``GET /healthz``
-    Liveness: ``{"ok": true, "documents": [...]}``.
+    Liveness only — 200 while the process can answer at all (even
+    mid-drain): ``{"ok": true, "documents": [...]}``.
+``GET /readyz``
+    Readiness — 200 when this instance should receive traffic, 503
+    (with reasons) when starting, draining, stopped, or serving with
+    an open circuit breaker.
 
 This is deliberately a thin shell: all semantics (admission,
 batching, tracing, audit) live in :class:`QueryServer`, so library
@@ -46,11 +60,13 @@ users and HTTP users get identical behaviour.
 from __future__ import annotations
 
 import json
+import math
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
 from repro.obs.trace import TraceContext
+from repro.robustness.faults import trip as fault_trip
 from repro.serving.protocol import QueryRequest, QueryResponse
 from repro.serving.server import QueryServer
 
@@ -60,11 +76,15 @@ __all__ = ["serve_http", "make_http_server"]
 _STATUS_BY_CODE = {
     "": 200,
     "E_ADMISSION": 429,
+    "E_SHED": 429,
     "E_DEADLINE": 504,
     "E_BUDGET": 429,
     "E_LABEL_DENIED": 403,
     "E_SECURITY": 403,
 }
+
+#: Fallback Retry-After (seconds) when the response carries no hint.
+_DEFAULT_RETRY_AFTER = 1
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -77,7 +97,23 @@ class _Handler(BaseHTTPRequestHandler):
         pass
 
     def _send_json(
-        self, status: int, payload: dict, trace_id: str = ""
+        self,
+        status: int,
+        payload: dict,
+        trace_id: str = "",
+        retry_after: Optional[float] = None,
+    ) -> None:
+        fault_trip("httpd.write")
+        self._write_json(
+            status, payload, trace_id=trace_id, retry_after=retry_after
+        )
+
+    def _write_json(
+        self,
+        status: int,
+        payload: dict,
+        trace_id: str = "",
+        retry_after: Optional[float] = None,
     ) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
@@ -85,6 +121,10 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_header("Content-Length", str(len(body)))
         if trace_id:
             self.send_header("X-Repro-Trace", trace_id)
+        if retry_after is not None:
+            self.send_header(
+                "Retry-After", str(max(1, int(math.ceil(retry_after))))
+            )
         self.end_headers()
         self.wfile.write(body)
 
@@ -99,6 +139,11 @@ class _Handler(BaseHTTPRequestHandler):
                     "documents": self.query_server.catalog.refs(),
                 },
             )
+        elif path == "/readyz":
+            ready, payload = self.query_server.ready_payload()
+            self._send_json(200 if ready else 503, payload)
+        elif path == "/debug/resilience":
+            self._send_json(200, self.query_server.resilience_payload())
         elif path == "/debug/traces":
             self._send_json(200, self._traces_payload(query_string))
         elif path == "/debug/slo":
@@ -186,9 +231,41 @@ class _Handler(BaseHTTPRequestHandler):
         if header and not request.trace_id:
             context = TraceContext.from_header(header)
             request = request.with_(trace_id=context.trace_id)
+        criticality = self.headers.get("X-Repro-Criticality", "")
+        if criticality and not request.criticality:
+            request = request.with_(criticality=criticality)
         response: QueryResponse = self.query_server.query(request)
         status = _STATUS_BY_CODE.get(response.error_code, 400)
-        self._send_json(status, response.to_dict(), trace_id=response.trace_id)
+        retry_after = None
+        if status == 429:
+            # back-pressure always tells the client when to come back
+            retry_after = (
+                response.retry_after_seconds or _DEFAULT_RETRY_AFTER
+            )
+        try:
+            self._send_json(
+                status,
+                response.to_dict(),
+                trace_id=response.trace_id,
+                retry_after=retry_after,
+            )
+        except Exception:
+            # the write seam failed (injected fault or a torn
+            # connection): best-effort typed 500, then give up —
+            # never let a write failure take the worker thread down
+            try:
+                self._write_json(
+                    500,
+                    {
+                        "ok": False,
+                        "error_code": "E_FAULT",
+                        "error_message": "response write failed",
+                        "request_id": request.request_id,
+                    },
+                    trace_id=response.trace_id,
+                )
+            except Exception:
+                pass
 
 
 def make_http_server(

@@ -34,6 +34,7 @@ from typing import Optional, Tuple
 
 from repro.core.options import ExecutionOptions
 from repro.errors import error_code as _error_code
+from repro.serving.resilience import normalize_criticality
 
 __all__ = ["PROTOCOL_VERSION", "QueryRequest", "QueryResponse"]
 
@@ -67,6 +68,12 @@ class QueryRequest:
         the server mints one at ingress (or adopts the
         ``X-Repro-Trace`` header) and echoes it on the response; a
         client may set it to join the request to its own trace.
+    ``criticality``
+        Load-shedding class (``critical`` / ``default`` /
+        ``sheddable``, or the ``X-Repro-Criticality`` header).  Under
+        overload the server sheds the lowest class first; empty or
+        unknown values mean ``default`` (read
+        :attr:`criticality_class`, not this field).
     """
 
     policy: str
@@ -76,12 +83,19 @@ class QueryRequest:
     options: Optional[ExecutionOptions] = None
     request_id: str = ""
     trace_id: str = ""
+    criticality: str = ""
 
     @property
     def tenant_id(self) -> str:
         """The admission-control identity: ``tenant``, defaulting to
         the policy name."""
         return self.tenant or self.policy
+
+    @property
+    def criticality_class(self) -> str:
+        """The effective shedding class: ``criticality`` normalized —
+        empty and unknown values mean ``default``."""
+        return normalize_criticality(self.criticality)
 
     def with_(self, **changes) -> "QueryRequest":
         """A copy with some fields replaced."""
@@ -97,6 +111,7 @@ class QueryRequest:
             "options": self.options.to_dict() if self.options else None,
             "request_id": self.request_id,
             "trace_id": self.trace_id,
+            "criticality": self.criticality,
         }
 
     @classmethod
@@ -115,6 +130,7 @@ class QueryRequest:
             ),
             request_id=payload.get("request_id", ""),
             trace_id=payload.get("trace_id", ""),
+            criticality=payload.get("criticality", ""),
         )
 
 
@@ -134,6 +150,10 @@ class QueryResponse:
         The :class:`~repro.core.engine.QueryReport` as a plain dict
         (``None`` on failure) — kept as data so the response shape
         does not depend on engine classes.
+    ``retry_after_seconds``
+        Back-pressure hint on shed/rejected failures (``E_SHED`` /
+        ``E_ADMISSION``): when a retry has a chance.  Surfaced over
+        HTTP as the ``Retry-After`` header on 429 responses.
     """
 
     policy: str = ""
@@ -146,6 +166,7 @@ class QueryResponse:
     request_id: str = ""
     tenant: str = ""
     trace_id: str = ""
+    retry_after_seconds: Optional[float] = None
 
     # -- constructors ----------------------------------------------------
 
@@ -184,6 +205,7 @@ class QueryResponse:
             request_id=request.request_id,
             tenant=request.tenant_id,
             trace_id=request.trace_id,
+            retry_after_seconds=getattr(error, "retry_after_seconds", None),
         )
 
     # -- wire shape ------------------------------------------------------
@@ -201,6 +223,7 @@ class QueryResponse:
             "request_id": self.request_id,
             "tenant": self.tenant,
             "trace_id": self.trace_id,
+            "retry_after_seconds": self.retry_after_seconds,
         }
 
     @classmethod
@@ -216,4 +239,5 @@ class QueryResponse:
             request_id=payload.get("request_id", ""),
             tenant=payload.get("tenant", ""),
             trace_id=payload.get("trace_id", ""),
+            retry_after_seconds=payload.get("retry_after_seconds"),
         )

@@ -14,12 +14,16 @@ and asserts on them, the CLI prints them.
 from __future__ import annotations
 
 import random
+from concurrent.futures import CancelledError
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from threading import Thread
 from time import monotonic
 from typing import Dict, List, Optional
 
 from repro.core.options import ExecutionOptions
+from repro.errors import AdmissionRejected
 from repro.serving.protocol import QueryRequest, QueryResponse
+from repro.serving.resilience import RetryBudget
 from repro.serving.server import EngineCatalog, QueryServer
 
 __all__ = [
@@ -29,6 +33,14 @@ __all__ = [
     "percentile",
     "summarize",
 ]
+
+#: Error codes a client may retry (pure back-pressure — the request
+#: itself was fine); everything else retries would just repeat.
+RETRYABLE_CODES = frozenset({"E_SHED", "E_ADMISSION"})
+
+#: Per-request wait bound for the replay client: a future unresolved
+#: past this is reported as a transport error, never a hang.
+CLIENT_TIMEOUT_SECONDS = 60.0
 
 #: Document refs of the standard catalog.
 HOSPITAL_REF = "hospital"
@@ -116,10 +128,30 @@ def summarize(latencies: List[float], elapsed: float) -> Dict[str, float]:
     }
 
 
+def _client_query(server: QueryServer, request: QueryRequest) -> tuple:
+    """One synchronous request that can *never* raise: transport-level
+    failures (cancelled futures, dropped connections while the server
+    drains mid-replay, client-side timeouts) come back as a typed
+    error response plus a ``transport_error`` flag."""
+    try:
+        response = server.query(request, timeout=CLIENT_TIMEOUT_SECONDS)
+        return response, False
+    except (CancelledError, FutureTimeoutError) as error:
+        dropped = AdmissionRejected(
+            "request dropped by the server (%s) — likely a mid-replay "
+            "drain or shutdown" % type(error).__name__,
+            tenant=request.tenant_id,
+        )
+        return QueryResponse.from_error(request, dropped), True
+    except Exception as error:
+        return QueryResponse.from_error(request, error), True
+
+
 def replay(
     server: QueryServer,
     requests: List[QueryRequest],
     clients: int = 16,
+    retry_budget: Optional[RetryBudget] = None,
 ) -> Dict[str, object]:
     """Replay ``requests`` through ``server`` from ``clients`` threads.
 
@@ -127,6 +159,17 @@ def replay(
     next) — the closed-loop model, so concurrency equals ``clients``.
     Returns the summary stats plus per-tenant latency breakdowns and
     the count of failed responses by error code.
+
+    With a ``retry_budget`` (see
+    :class:`~repro.serving.resilience.RetryBudget`) the client path
+    retries shed/rejected responses (``E_SHED`` / ``E_ADMISSION``)
+    once, but only while the per-tenant budget has tokens — the
+    well-behaved-client model that cannot amplify an overload.
+
+    Never tracebacks when the server drains or stops mid-replay:
+    dropped requests become typed error responses, the summary is
+    marked ``partial``, and each client stops submitting as soon as
+    the server reports it is draining.
     """
     shares: List[List[QueryRequest]] = [[] for _ in range(clients)]
     for index, request in enumerate(requests):
@@ -134,11 +177,34 @@ def replay(
 
     latencies: List[List[float]] = [[] for _ in range(clients)]
     responses: List[List[QueryResponse]] = [[] for _ in range(clients)]
+    transport_errors = [0] * clients
+    retries = [0] * clients
+    skipped = [0] * clients
 
     def client(index: int) -> None:
         for request in shares[index]:
+            if server.draining or server.stopped:
+                # mid-replay drain: stop offering load, report the
+                # remainder as skipped rather than hammering a dying
+                # server with requests it will only reject
+                skipped[index] += 1
+                continue
             started = monotonic()
-            response = server.query(request)
+            response, dropped = _client_query(server, request)
+            if dropped:
+                transport_errors[index] += 1
+            if retry_budget is not None:
+                retry_budget.record_request(request.tenant_id)
+                if (
+                    not response.ok
+                    and response.error_code in RETRYABLE_CODES
+                    and not (server.draining or server.stopped)
+                    and retry_budget.try_spend(request.tenant_id)
+                ):
+                    retries[index] += 1
+                    response, dropped = _client_query(server, request)
+                    if dropped:
+                        transport_errors[index] += 1
             latencies[index].append(monotonic() - started)
             responses[index].append(response)
 
@@ -169,6 +235,17 @@ def replay(
     summary = summarize(flat_latencies, elapsed)
     summary["clients"] = clients
     summary["errors"] = errors
+    summary["transport_errors"] = sum(transport_errors)
+    summary["skipped"] = sum(skipped)
+    summary["partial"] = bool(
+        sum(transport_errors)
+        or sum(skipped)
+        or server.draining
+        or server.stopped
+    )
+    if retry_budget is not None:
+        summary["retries"] = sum(retries)
+        summary["retry_budget"] = retry_budget.snapshot()
     summary["tenants"] = {
         tenant: {
             "requests": len(values),

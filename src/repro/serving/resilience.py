@@ -1,0 +1,511 @@
+"""Overload-and-failure survival for the serving layer.
+
+Four small, composable pieces (see ``docs/serving.md`` "Overload &
+lifecycle" and ``docs/robustness.md``):
+
+**Criticality classes.**  Every request carries one of three
+criticality classes — :data:`CRITICAL`, :data:`DEFAULT`,
+:data:`SHEDDABLE` — set on :class:`~repro.serving.protocol.QueryRequest`
+or via the ``X-Repro-Criticality`` HTTP header.  Under overload the
+admission gate sheds the *lowest* class first; ``critical`` traffic is
+never shed (only the hard per-tenant queue bounds can reject it).
+
+**OverloadDetector.**  The shedding signal: an EWMA of queue-wait
+utilization (observed wait over the queue deadline, 1.0 on a deadline
+miss or queue-full rejection).  Requests that would have to wait are
+shed with :class:`~repro.errors.RequestShed` (``E_SHED``) when the
+EWMA crosses their class's threshold — ``sheddable`` at
+``shed_sheddable_at``, ``default`` at the higher ``shed_default_at``.
+The detector is deterministic given its observation sequence, which is
+what the chaos suite leans on.
+
+**CircuitBreaker.**  A thread-safe closed → open → half-open breaker
+for seams that fail repeatedly: instead of re-probing a broken
+accelerator (or audit sink) on *every* request, the breaker opens
+after ``failure_threshold`` consecutive failures and short-circuits
+callers straight to the fallback until a seeded-jitter exponential
+backoff elapses; then exactly one probe runs half-open and either
+re-closes the breaker or re-opens it with a longer backoff.
+:class:`BreakerBoard` keys breakers by seam name (the engine wires one
+over its degradation seams); :class:`BreakerSink` wraps an audit sink.
+
+**RetryBudget.**  The client-side complement: a per-tenant token
+bucket that caps retries to a fraction of successful traffic so shed
+or rejected requests cannot amplify an overload into a retry storm.
+``repro replay``'s client path honors it.
+
+Everything is stdlib threading and accounts into the ``resilience.*``
+metric namespace; state is surfaced at ``GET /debug/resilience``.
+"""
+
+from __future__ import annotations
+
+from random import Random
+from threading import Lock
+from time import monotonic
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.obs.events import Event, EventSink
+from repro.obs.metrics import record as _record, set_gauge as _set_gauge
+
+__all__ = [
+    "CRITICAL",
+    "DEFAULT",
+    "SHEDDABLE",
+    "CRITICALITIES",
+    "normalize_criticality",
+    "OverloadDetector",
+    "CircuitBreaker",
+    "BreakerBoard",
+    "BreakerSink",
+    "RetryBudget",
+]
+
+#: Criticality classes, most to least important.  Shedding order is
+#: the reverse: ``sheddable`` first, ``critical`` never.
+CRITICAL = "critical"
+DEFAULT = "default"
+SHEDDABLE = "sheddable"
+CRITICALITIES: Tuple[str, ...] = (CRITICAL, DEFAULT, SHEDDABLE)
+
+
+def normalize_criticality(value: Optional[str]) -> str:
+    """The effective criticality class of a wire value: unknown or
+    empty values mean :data:`DEFAULT` (never an error — a typo in a
+    client header must not fail the request)."""
+    if value in CRITICALITIES:
+        return value
+    return DEFAULT
+
+
+class OverloadDetector(object):
+    """Utilization-based shedding signal.
+
+    ``observe_wait(waited, deadline)`` feeds one queue-wait sample:
+    utilization is ``waited / deadline`` (``reference_seconds`` when
+    the tenant has no queue deadline), clamped to 1.0; queue-deadline
+    misses and queue-full rejections count as 1.0.  The EWMA
+    (``alpha`` per sample) is compared against the per-class
+    thresholds by :meth:`should_shed`.
+
+    Deterministic: state is a pure function of the observation
+    sequence, so seeded chaos runs replay exactly.
+    """
+
+    __slots__ = (
+        "alpha",
+        "shed_sheddable_at",
+        "shed_default_at",
+        "reference_seconds",
+        "_ewma",
+        "_samples",
+        "_lock",
+    )
+
+    def __init__(
+        self,
+        alpha: float = 0.2,
+        shed_sheddable_at: float = 0.5,
+        shed_default_at: float = 0.85,
+        reference_seconds: float = 1.0,
+    ):
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1], got %r" % (alpha,))
+        if not 0.0 < shed_sheddable_at <= shed_default_at:
+            raise ValueError(
+                "thresholds must satisfy 0 < shed_sheddable_at <= "
+                "shed_default_at, got %r / %r"
+                % (shed_sheddable_at, shed_default_at)
+            )
+        self.alpha = alpha
+        self.shed_sheddable_at = shed_sheddable_at
+        self.shed_default_at = shed_default_at
+        self.reference_seconds = reference_seconds
+        self._ewma = 0.0
+        self._samples = 0
+        self._lock = Lock()
+
+    def observe(self, utilization: float) -> None:
+        """Feed one raw utilization sample in [0, 1]."""
+        value = min(1.0, max(0.0, utilization))
+        with self._lock:
+            self._ewma += self.alpha * (value - self._ewma)
+            self._samples += 1
+        _set_gauge("resilience.overload.utilization", self._ewma)
+
+    def observe_wait(
+        self, waited_seconds: float, deadline_seconds: Optional[float] = None
+    ) -> None:
+        """Feed one queue-wait sample against its deadline (or the
+        reference deadline when the tenant queues unbounded)."""
+        reference = deadline_seconds or self.reference_seconds
+        self.observe(waited_seconds / reference if reference > 0 else 0.0)
+
+    def utilization(self) -> float:
+        return self._ewma
+
+    def should_shed(self, criticality: str) -> bool:
+        """Whether a request of ``criticality`` that would have to
+        wait should be shed right now.  ``critical`` is never shed."""
+        if criticality == SHEDDABLE:
+            return self._ewma >= self.shed_sheddable_at
+        if criticality == CRITICAL:
+            return False
+        return self._ewma >= self.shed_default_at
+
+    def shed_classes(self) -> Tuple[str, ...]:
+        """The classes currently being shed, least critical first."""
+        return tuple(
+            cls for cls in (SHEDDABLE, DEFAULT) if self.should_shed(cls)
+        )
+
+    def retry_after_seconds(self) -> float:
+        """The back-off hint for shed/rejected requests: scale the
+        reference deadline by how overloaded we are (floor 0.1 s)."""
+        return max(0.1, self.reference_seconds * self._ewma)
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "utilization": self._ewma,
+                "samples": self._samples,
+                "shed_classes": list(self.shed_classes()),
+                "shed_sheddable_at": self.shed_sheddable_at,
+                "shed_default_at": self.shed_default_at,
+                "alpha": self.alpha,
+                "reference_seconds": self.reference_seconds,
+            }
+
+    def __repr__(self):
+        return "OverloadDetector(utilization=%.3f, shedding=%s)" % (
+            self._ewma,
+            list(self.shed_classes()),
+        )
+
+
+#: Breaker states.
+STATE_CLOSED = "closed"
+STATE_OPEN = "open"
+STATE_HALF_OPEN = "half-open"
+
+
+class CircuitBreaker(object):
+    """Thread-safe closed/open/half-open circuit breaker.
+
+    * **closed** — calls flow; ``failure_threshold`` *consecutive*
+      failures open the breaker.
+    * **open** — :meth:`allow` returns ``False`` (callers take their
+      fallback without paying for the failing call) until the backoff
+      elapses: ``reset_timeout_seconds * backoff_multiplier**(opens-1)``
+      capped at ``max_backoff_seconds``, with seeded ±``jitter``
+      fractional noise so a fleet of breakers doesn't re-probe in
+      lockstep (the RNG is seeded — chaos runs replay exactly).
+    * **half-open** — the first :meth:`allow` after the backoff admits
+      exactly one probe; its :meth:`record_success` re-closes the
+      breaker (and resets the backoff), its :meth:`record_failure`
+      re-opens with the next longer backoff.
+
+    The closed-state fast paths of :meth:`allow` and
+    :meth:`record_success` are lock-free reads (a benignly racy extra
+    call during a state transition is acceptable; transitions
+    themselves always hold the lock).
+    """
+
+    __slots__ = (
+        "name",
+        "failure_threshold",
+        "reset_timeout_seconds",
+        "backoff_multiplier",
+        "max_backoff_seconds",
+        "jitter",
+        "_clock",
+        "_rng",
+        "_lock",
+        "_state",
+        "_failures",
+        "_opens",
+        "_open_until",
+        "opened",
+        "reclosed",
+        "probes",
+        "short_circuits",
+    )
+
+    def __init__(
+        self,
+        name: str = "",
+        failure_threshold: int = 3,
+        reset_timeout_seconds: float = 0.5,
+        backoff_multiplier: float = 2.0,
+        max_backoff_seconds: float = 30.0,
+        jitter: float = 0.1,
+        seed: int = 0,
+        clock: Callable[[], float] = monotonic,
+    ):
+        if failure_threshold < 1:
+            raise ValueError(
+                "failure_threshold must be >= 1, got %r" % (failure_threshold,)
+            )
+        self.name = name
+        self.failure_threshold = failure_threshold
+        self.reset_timeout_seconds = reset_timeout_seconds
+        self.backoff_multiplier = backoff_multiplier
+        self.max_backoff_seconds = max_backoff_seconds
+        self.jitter = jitter
+        self._clock = clock
+        self._rng = Random(seed)
+        self._lock = Lock()
+        self._state = STATE_CLOSED
+        self._failures = 0
+        #: Consecutive opens since the last close (drives the backoff).
+        self._opens = 0
+        self._open_until = 0.0
+        self.opened = 0
+        self.reclosed = 0
+        self.probes = 0
+        self.short_circuits = 0
+
+    @property
+    def state(self) -> str:
+        return self._state
+
+    def allow(self) -> bool:
+        """Whether the protected call may proceed right now."""
+        if self._state == STATE_CLOSED:  # lock-free hot path
+            return True
+        with self._lock:
+            if self._state == STATE_CLOSED:
+                return True
+            if (
+                self._state == STATE_OPEN
+                and self._clock() >= self._open_until
+            ):
+                self._state = STATE_HALF_OPEN
+                self.probes += 1
+                _record(
+                    "resilience.breaker.probes", labels={"name": self.name}
+                )
+                return True
+            # open (still backing off) or half-open (probe in flight)
+            self.short_circuits += 1
+            _record(
+                "resilience.breaker.short_circuits",
+                labels={"name": self.name},
+            )
+            return False
+
+    def record_success(self) -> None:
+        if self._state == STATE_CLOSED and self._failures == 0:
+            return  # lock-free hot path
+        with self._lock:
+            self._failures = 0
+            if self._state != STATE_CLOSED:
+                self._state = STATE_CLOSED
+                self._opens = 0
+                self.reclosed += 1
+                _record(
+                    "resilience.breaker.reclosed", labels={"name": self.name}
+                )
+
+    def record_failure(self) -> None:
+        with self._lock:
+            if self._state == STATE_HALF_OPEN:
+                self._open()
+                return
+            if self._state == STATE_OPEN:
+                return
+            self._failures += 1
+            if self._failures >= self.failure_threshold:
+                self._open()
+
+    def _open(self) -> None:
+        """(Re-)open with the next exponential backoff.  Caller holds
+        the lock."""
+        self._opens += 1
+        backoff = min(
+            self.max_backoff_seconds,
+            self.reset_timeout_seconds
+            * self.backoff_multiplier ** (self._opens - 1),
+        )
+        backoff *= 1.0 + self.jitter * (2.0 * self._rng.random() - 1.0)
+        self._state = STATE_OPEN
+        self._failures = 0
+        self._open_until = self._clock() + backoff
+        self.opened += 1
+        _record("resilience.breaker.opened", labels={"name": self.name})
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            remaining = (
+                max(0.0, self._open_until - self._clock())
+                if self._state == STATE_OPEN
+                else 0.0
+            )
+            return {
+                "state": self._state,
+                "failures": self._failures,
+                "consecutive_opens": self._opens,
+                "backoff_remaining_seconds": round(remaining, 6),
+                "opened": self.opened,
+                "reclosed": self.reclosed,
+                "probes": self.probes,
+                "short_circuits": self.short_circuits,
+            }
+
+    def __repr__(self):
+        return "CircuitBreaker(%r, state=%r, opened=%d)" % (
+            self.name,
+            self._state,
+            self.opened,
+        )
+
+
+class BreakerBoard(object):
+    """A registry of named :class:`CircuitBreaker` instances sharing
+    one configuration — the engine keys one per degradation seam
+    (``store.build``, ``index.build``, ``plan_cache.get``,
+    ``plan_cache.put``), created on first failure-capable use."""
+
+    def __init__(self, clock: Callable[[], float] = monotonic, **defaults):
+        self._defaults = defaults
+        self._clock = clock
+        self._breakers: Dict[str, CircuitBreaker] = {}
+        self._lock = Lock()
+
+    def breaker(self, name: str) -> CircuitBreaker:
+        found = self._breakers.get(name)  # lock-free hot path
+        if found is not None:
+            return found
+        with self._lock:
+            found = self._breakers.get(name)
+            if found is None:
+                found = CircuitBreaker(
+                    name=name, clock=self._clock, **self._defaults
+                )
+                self._breakers[name] = found
+            return found
+
+    def allow(self, name: str) -> bool:
+        return self.breaker(name).allow()
+
+    def success(self, name: str) -> None:
+        self.breaker(name).record_success()
+
+    def failure(self, name: str) -> None:
+        self.breaker(name).record_failure()
+
+    def state(self, name: str) -> str:
+        return self.breaker(name).state
+
+    def open_names(self) -> Tuple[str, ...]:
+        with self._lock:
+            return tuple(
+                sorted(
+                    name
+                    for name, breaker in self._breakers.items()
+                    if breaker.state != STATE_CLOSED
+                )
+            )
+
+    def snapshot(self) -> Dict[str, dict]:
+        with self._lock:
+            breakers = dict(self._breakers)
+        return {
+            name: breaker.snapshot()
+            for name, breaker in sorted(breakers.items())
+        }
+
+
+class BreakerSink(EventSink):
+    """An audit sink wrapper with a circuit breaker: a sink that fails
+    repeatedly (dead disk, full pipe) is skipped outright until its
+    backoff elapses, instead of paying a raise-and-drop on every event.
+
+    Skipped events count into ``resilience.sink.skipped`` and the
+    sink's own ``skipped`` counter; failures still propagate to the
+    :class:`~repro.obs.events.EventPipeline` per-sink guard, which is
+    what keeps any sink failure from ever failing a query.
+    """
+
+    __slots__ = ("inner", "breaker", "skipped")
+
+    def __init__(
+        self, inner: EventSink, breaker: Optional[CircuitBreaker] = None
+    ):
+        self.inner = inner
+        self.breaker = breaker if breaker is not None else CircuitBreaker(
+            name="sink.%s" % type(inner).__name__
+        )
+        self.skipped = 0
+
+    def emit(self, event: Event) -> None:
+        if not self.breaker.allow():
+            self.skipped += 1
+            _record("resilience.sink.skipped")
+            return
+        try:
+            self.inner.emit(event)
+        except BaseException:
+            self.breaker.record_failure()
+            raise
+        self.breaker.record_success()
+
+
+class RetryBudget(object):
+    """Per-tenant retry token bucket.
+
+    Every completed request deposits ``ratio`` tokens for its tenant
+    (capped at ``burst``); a retry withdraws one whole token.  With
+    ``ratio=0.1`` retries can never exceed ~10% of traffic per tenant,
+    which bounds the amplification a retrying client fleet can add to
+    an already-overloaded server.  ``min_tokens`` seeds each tenant's
+    bucket so cold tenants can still retry a transient failure.
+    """
+
+    __slots__ = ("ratio", "burst", "min_tokens", "_tokens", "_lock",
+                 "spent", "denied")
+
+    def __init__(
+        self, ratio: float = 0.1, burst: float = 10.0, min_tokens: float = 1.0
+    ):
+        if ratio < 0:
+            raise ValueError("ratio must be >= 0, got %r" % (ratio,))
+        self.ratio = ratio
+        self.burst = burst
+        self.min_tokens = min_tokens
+        self._tokens: Dict[str, float] = {}
+        self._lock = Lock()
+        self.spent = 0
+        self.denied = 0
+
+    def record_request(self, tenant: str) -> None:
+        """Deposit for one completed request."""
+        with self._lock:
+            tokens = self._tokens.get(tenant, self.min_tokens)
+            self._tokens[tenant] = min(self.burst, tokens + self.ratio)
+
+    def try_spend(self, tenant: str) -> bool:
+        """Withdraw one retry token; ``False`` means the budget is
+        exhausted and the caller must not retry."""
+        with self._lock:
+            tokens = self._tokens.get(tenant, self.min_tokens)
+            if tokens >= 1.0:
+                self._tokens[tenant] = tokens - 1.0
+                self.spent += 1
+                _record("resilience.retry.spent")
+                return True
+            self.denied += 1
+            _record("resilience.retry.denied")
+            return False
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "ratio": self.ratio,
+                "spent": self.spent,
+                "denied": self.denied,
+                "tokens": {
+                    tenant: round(tokens, 3)
+                    for tenant, tokens in sorted(self._tokens.items())
+                },
+            }

@@ -30,11 +30,12 @@ from __future__ import annotations
 import itertools
 import queue
 from concurrent.futures import Future
-from threading import Lock, Thread
+from threading import Condition, Lock, Thread
 from time import monotonic
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import ReproError, SecurityError
+from repro.robustness.faults import trip as fault_trip
 from repro.obs.events import ErrorEvent
 from repro.obs.flight import FlightRecorder, TraceRecord
 from repro.obs.metrics import (
@@ -204,7 +205,13 @@ class QueryServer(object):
         ]
         self._started = False
         self._stopped = False
+        self._draining = False
         self._lifecycle = Lock()
+        # in-flight accounting: submitted-but-unresolved requests;
+        # drain() waits on the condition until it reaches zero
+        self._inflight = 0
+        self._inflight_cond = Condition()
+        self._drain_report: Optional[dict] = None
 
     # -- lifecycle -------------------------------------------------------
 
@@ -246,6 +253,79 @@ class QueryServer(object):
         for thread in self._threads:
             thread.join()
 
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    @property
+    def stopped(self) -> bool:
+        return self._stopped
+
+    def begin_drain(self) -> None:
+        """Stop intake immediately (``submit`` rejects, ``/readyz``
+        turns 503) without waiting — the first half of :meth:`drain`,
+        callable from a signal handler."""
+        with self._lifecycle:
+            self._draining = True
+
+    def drain(self, deadline_seconds: float = 10.0) -> dict:
+        """Gracefully wind down: stop intake, let the workers flush
+        the queue and in-flight requests, and — once everything is
+        resolved or ``deadline_seconds`` has elapsed — stop the
+        workers.  Requests still queued at the deadline resolve to
+        ``E_ADMISSION`` drain rejections; **every** submitted future
+        is resolved by the time this returns.
+
+        Always terminates: the wait is bounded by the deadline plus a
+        one-second join grace for workers mid-request.  Returns (and
+        stores, for ``GET /debug/resilience``) a report of what
+        happened.
+        """
+        started = monotonic()
+        self.begin_drain()
+        _record("resilience.drain.started")
+        deadline = started + max(0.0, deadline_seconds)
+        with self._inflight_cond:
+            while self._inflight > 0 and monotonic() < deadline:
+                self._inflight_cond.wait(
+                    timeout=min(0.05, max(0.001, deadline - monotonic()))
+                )
+        # past the deadline (or already idle): reject whatever is
+        # still queued so no future is left hanging
+        rejected = 0
+        while True:
+            try:
+                pending = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if pending is not _STOP:
+                self._reject_shutdown(pending)
+                rejected += 1
+        with self._lifecycle:
+            stop_workers = self._started and not self._stopped
+            self._stopped = True
+        if stop_workers:
+            for _ in self._threads:
+                self._queue.put(_STOP)
+            for thread in self._threads:
+                thread.join(
+                    timeout=max(0.05, deadline - monotonic() + 1.0)
+                )
+        with self._inflight_cond:
+            unresolved = self._inflight
+        duration = monotonic() - started
+        report = {
+            "duration_seconds": round(duration, 6),
+            "deadline_seconds": deadline_seconds,
+            "within_deadline": duration <= deadline_seconds,
+            "rejected": rejected,
+            "unresolved": unresolved,
+        }
+        self._drain_report = report
+        _record("resilience.drain.rejected", rejected)
+        _set_gauge("resilience.drain.duration_seconds", duration)
+        return report
+
     def __enter__(self) -> "QueryServer":
         return self.start()
 
@@ -255,19 +335,21 @@ class QueryServer(object):
     # -- submission ------------------------------------------------------
 
     def submit(self, request: QueryRequest) -> "Future[QueryResponse]":
-        """Enqueue one request.  Never raises: malformed requests and
-        post-shutdown submissions resolve the future to an error
-        response like any other failure."""
+        """Enqueue one request.  Never raises: malformed requests,
+        post-shutdown and mid-drain submissions resolve the future to
+        an error response like any other failure."""
         if self.tracing and not request.trace_id:
             request = request.with_(trace_id=new_trace_id())
         future: "Future[QueryResponse]" = Future()
         pending = _Pending(request, future, monotonic())
         _record("serving.requests")
-        _set_gauge("serving.queue_depth", self._queue.qsize())
-        if self._stopped:
-            self._reject_shutdown(pending)
+        if self._stopped or self._draining:
+            self._reject_shutdown(pending, track=False)
             return future
+        with self._inflight_cond:
+            self._inflight += 1
         self._queue.put(pending)
+        _set_gauge("serving.queue_depth", self._queue.qsize())
         return future
 
     def query(
@@ -303,8 +385,19 @@ class QueryServer(object):
             if len(batch) > 1:
                 _record("serving.batches.coalesced")
             _observe("serving.batch_size", len(batch))
-            groups: Dict[str, List[_Pending]] = {}
+            _set_gauge("serving.queue_depth", self._queue.qsize())
+            # a future cancelled while queued is abandoned here — it
+            # must not occupy an admission slot or engine time, and it
+            # must still leave the in-flight accounting balanced
+            live: List[_Pending] = []
             for item in batch:
+                if item.future.set_running_or_notify_cancel():
+                    live.append(item)
+                else:
+                    _record("serving.cancelled")
+                    self._finish(item, None)
+            groups: Dict[str, List[_Pending]] = {}
+            for item in live:
                 groups.setdefault(item.request.document, []).append(item)
             for ref, items in groups.items():
                 self._run_group(ref, items, batch_size=len(batch))
@@ -313,10 +406,11 @@ class QueryServer(object):
         self, ref: str, items: List[_Pending], batch_size: int = 1
     ) -> None:
         try:
+            fault_trip("serving.resolve")
             engine, document = self.catalog.resolve(ref)
-        except SecurityError as error:
+        except Exception as error:
             for item in items:
-                self._resolve(
+                self._finish(
                     item, QueryResponse.from_error(item.request, error)
                 )
             return
@@ -365,6 +459,7 @@ class QueryServer(object):
                     request.tenant_id,
                     enqueued_at=item.enqueued_at,
                     tracer=tracer,
+                    criticality=request.criticality_class,
                 ):
                     batch_span = NULL_SPAN if tracer is None else tracer.span(
                         "batch",
@@ -373,6 +468,7 @@ class QueryServer(object):
                         document=request.document,
                     )
                     with batch_span:
+                        fault_trip("serving.execute")
                         response = engine.execute_request(
                             request,
                             document,
@@ -446,7 +542,7 @@ class QueryServer(object):
                     slow=response.ok and breach,
                 )
             )
-        self._resolve(item, response)
+        self._finish(item, response)
 
     # -- debug introspection ---------------------------------------------
 
@@ -531,6 +627,71 @@ class QueryServer(object):
             ),
         }
 
+    def ready_payload(self) -> Tuple[bool, dict]:
+        """The ``GET /readyz`` payload: whether this instance should
+        receive traffic, with the reasons when it shouldn't.  Gates on
+        lifecycle (started / draining / stopped), catalog readiness,
+        and engine circuit-breaker state — an instance with an open
+        breaker is serving degraded and reports not-ready so load
+        balancers prefer healthy peers."""
+        reasons: List[str] = []
+        if not self._started:
+            reasons.append("not started")
+        if self._draining:
+            reasons.append("draining")
+        if self._stopped:
+            reasons.append("stopped")
+        refs = self.catalog.refs()
+        if not refs:
+            reasons.append("empty catalog")
+        open_breakers: List[str] = []
+        for engine in self.catalog.engines():
+            board = getattr(engine, "breakers", None)
+            if board is not None:
+                open_breakers.extend(board.open_names())
+        if open_breakers:
+            reasons.append(
+                "open circuit breakers: %s" % ", ".join(sorted(open_breakers))
+            )
+        ready = not reasons
+        return ready, {
+            "ready": ready,
+            "reasons": reasons,
+            "documents": refs,
+            "draining": self._draining,
+            "open_breakers": sorted(open_breakers),
+        }
+
+    def resilience_payload(self) -> dict:
+        """The ``GET /debug/resilience`` payload: shedding state and
+        counts, per-engine breaker boards, and drain status — the
+        overload story in one read."""
+        overload = self.admission.overload
+        by_ref: Dict[int, List[str]] = {}
+        for ref, (engine, _) in sorted(self.catalog.entries().items()):
+            by_ref.setdefault(id(engine), []).append(ref)
+        breakers: Dict[str, dict] = {}
+        for engine in self.catalog.engines():
+            board = getattr(engine, "breakers", None)
+            if board is not None:
+                key = "+".join(by_ref.get(id(engine), ["?"]))
+                breakers[key] = board.snapshot()
+        return {
+            "shedding": (
+                dict(overload.snapshot(), enabled=True)
+                if overload is not None
+                else {"enabled": False}
+            ),
+            "shed": self.admission.shed_counts(),
+            "breakers": breakers,
+            "drain": {
+                "draining": self._draining,
+                "stopped": self._stopped,
+                "inflight": self._inflight,
+                "report": self._drain_report,
+            },
+        }
+
     def publish_metrics(self) -> None:
         """Refresh the ``workload.*`` / ``cache.*`` gauges in the
         process-wide registry from live state (called by the HTTP
@@ -543,21 +704,38 @@ class QueryServer(object):
 
     # -- helpers ---------------------------------------------------------
 
-    @staticmethod
-    def _resolve(item: _Pending, response: QueryResponse) -> None:
-        if not item.future.cancelled():
-            item.future.set_result(response)
+    def _finish(
+        self, item: _Pending, response: Optional[QueryResponse]
+    ) -> None:
+        """Resolve one submitted request exactly once: set the future
+        (unless cancelled, or ``response`` is ``None`` for an
+        abandoned-future skip) and balance the in-flight count."""
+        if response is not None and not item.future.cancelled():
+            try:
+                item.future.set_result(response)
+            except Exception:
+                pass  # lost the race with a concurrent cancel
+        with self._inflight_cond:
+            self._inflight -= 1
+            self._inflight_cond.notify_all()
 
-    def _reject_shutdown(self, item: _Pending) -> None:
+    def _reject_shutdown(self, item: _Pending, track: bool = True) -> None:
         from repro.errors import AdmissionRejected
 
         _record("serving.admission.rejected")
-        self._resolve(
-            item,
-            QueryResponse.from_error(
-                item.request,
-                AdmissionRejected(
-                    "server is stopped", tenant=item.request.tenant_id
-                ),
+        reason = "draining" if self._draining and not self._stopped \
+            else "stopped"
+        response = QueryResponse.from_error(
+            item.request,
+            AdmissionRejected(
+                "server is %s" % reason,
+                tenant=item.request.tenant_id,
+                retry_after_seconds=1.0,
             ),
         )
+        if track:
+            self._finish(item, response)
+        elif not item.future.cancelled():
+            # rejected at submit time, before entering the in-flight
+            # count — resolve without decrementing it
+            item.future.set_result(response)

@@ -20,6 +20,8 @@ from repro.workloads.adex import adex_document, adex_dtd, adex_spec
 from repro.workloads.hospital import hospital_document, hospital_dtd, nurse_spec
 from repro.workloads.queries import ADEX_QUERY_TEXTS
 
+pytestmark = pytest.mark.chaos
+
 STRATEGIES = ["virtual", "columnar", "materialized"]
 
 NURSE_QUERIES = [

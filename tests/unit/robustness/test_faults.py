@@ -119,6 +119,10 @@ class TestFaultPlan:
             "plan_cache.get",
             "plan_cache.put",
             "materialize",
+            "admission.admit",
+            "serving.resolve",
+            "serving.execute",
+            "httpd.write",
         }
 
 

@@ -1,12 +1,19 @@
-"""Per-tenant admission control: slots, queue bounds, queue deadlines."""
+"""Per-tenant admission control: slots, queue bounds, queue deadlines,
+and priority load shedding."""
 
 import threading
 import time
 
 import pytest
 
-from repro.errors import AdmissionRejected, DeadlineExceeded
+from repro.errors import AdmissionRejected, DeadlineExceeded, RequestShed
 from repro.serving.admission import AdmissionController, TenantPolicy
+from repro.serving.resilience import (
+    CRITICAL,
+    DEFAULT,
+    SHEDDABLE,
+    OverloadDetector,
+)
 
 
 class TestTenantPolicy:
@@ -145,3 +152,246 @@ class TestAdmission:
             with controller.admit("big"):
                 with controller.admit("big"):
                     assert controller.running("big") == 3
+
+
+def _saturated_detector(**kw):
+    """A detector already past both shedding thresholds."""
+    detector = OverloadDetector(alpha=1.0, **kw)
+    detector.observe(1.0)
+    return detector
+
+
+class TestLoadShedding:
+    def holder(self, controller, tenant="t"):
+        """Occupy the tenant's single slot from a background thread;
+        returns (release, thread) with the slot already held."""
+        release = threading.Event()
+        entered = threading.Event()
+
+        def hold():
+            with controller.admit(tenant):
+                entered.set()
+                release.wait(timeout=10)
+
+        thread = threading.Thread(target=hold)
+        thread.start()
+        assert entered.wait(timeout=5)
+        return release, thread
+
+    def test_no_detector_means_no_shedding(self):
+        controller = AdmissionController(
+            TenantPolicy(
+                max_concurrent=1,
+                max_queue_depth=4,
+                queue_deadline_seconds=0.05,
+            )
+        )
+        release, thread = self.holder(controller)
+        try:
+            # waits then hits the queue deadline — never E_SHED
+            with pytest.raises(DeadlineExceeded):
+                with controller.admit("t", criticality=SHEDDABLE):
+                    pass  # pragma: no cover - never admitted
+        finally:
+            release.set()
+            thread.join()
+
+    def test_free_slot_admits_even_under_overload(self):
+        controller = AdmissionController(
+            TenantPolicy(max_concurrent=1),
+            overload=_saturated_detector(),
+        )
+        # idle slots: shedding must not touch requests that don't wait
+        with controller.admit("t", criticality=SHEDDABLE):
+            pass
+        assert controller.shed_counts()[SHEDDABLE] == 0
+
+    def test_waiting_sheddable_request_is_shed(self):
+        detector = OverloadDetector(alpha=1.0)
+        controller = AdmissionController(
+            TenantPolicy(
+                max_concurrent=1,
+                max_queue_depth=4,
+                queue_deadline_seconds=5.0,
+            ),
+            overload=detector,
+        )
+        release, thread = self.holder(controller)
+        # saturate after the holder's own (fast-path) admit observed
+        detector.observe(1.0)
+        try:
+            started = time.monotonic()
+            with pytest.raises(RequestShed) as excinfo:
+                with controller.admit("t", criticality=SHEDDABLE):
+                    pass  # pragma: no cover - never admitted
+            # shed immediately, not after waiting out the deadline
+            assert time.monotonic() - started < 1.0
+            error = excinfo.value
+            assert error.code == "E_SHED"
+            assert error.tenant == "t"
+            assert error.criticality == SHEDDABLE
+            assert error.utilization == pytest.approx(1.0)
+            assert error.retry_after_seconds > 0
+            assert controller.shed_counts()[SHEDDABLE] == 1
+        finally:
+            release.set()
+            thread.join()
+
+    def test_critical_is_never_shed(self):
+        detector = OverloadDetector(alpha=1.0)
+        controller = AdmissionController(
+            TenantPolicy(
+                max_concurrent=1,
+                max_queue_depth=4,
+                queue_deadline_seconds=0.05,
+            ),
+            overload=detector,
+        )
+        release, thread = self.holder(controller)
+        detector.observe(1.0)
+        try:
+            # critical rides the queue to its deadline instead
+            with pytest.raises(DeadlineExceeded):
+                with controller.admit("t", criticality=CRITICAL):
+                    pass  # pragma: no cover - never admitted
+            assert controller.shed_counts()[CRITICAL] == 0
+        finally:
+            release.set()
+            thread.join()
+
+    def test_default_shed_only_past_higher_threshold(self):
+        detector = OverloadDetector(
+            alpha=1.0, shed_sheddable_at=0.5, shed_default_at=0.85
+        )
+        controller = AdmissionController(
+            TenantPolicy(
+                max_concurrent=1,
+                max_queue_depth=4,
+                queue_deadline_seconds=0.05,
+            ),
+            overload=detector,
+        )
+        release, thread = self.holder(controller)
+        detector.observe(0.6)  # between the two thresholds
+        try:
+            with pytest.raises(RequestShed):
+                with controller.admit("t", criticality=SHEDDABLE):
+                    pass  # pragma: no cover
+            with pytest.raises(DeadlineExceeded):
+                with controller.admit("t", criticality=DEFAULT):
+                    pass  # pragma: no cover
+        finally:
+            release.set()
+            thread.join()
+
+    def test_detector_fed_by_rejections_and_deadline_misses(self):
+        detector = OverloadDetector(alpha=0.5)
+        controller = AdmissionController(
+            TenantPolicy(
+                max_concurrent=1,
+                max_queue_depth=0,
+                queue_deadline_seconds=5.0,
+            ),
+            overload=detector,
+        )
+        release, thread = self.holder(controller)
+        try:
+            # only the holder's near-zero fast-path wait so far
+            assert detector.utilization() < 0.01
+            with pytest.raises(AdmissionRejected) as excinfo:
+                with controller.admit("t"):
+                    pass  # pragma: no cover
+            # queue-full counted as a saturated sample, and the
+            # rejection carries the detector's back-off hint
+            assert detector.utilization() == pytest.approx(0.5, abs=0.01)
+            assert excinfo.value.retry_after_seconds > 0
+        finally:
+            release.set()
+            thread.join()
+
+
+class TestAccountingUnderFailure:
+    """Regression: no slot leaks or negative drift when admitted work
+    raises, is abandoned, or races shutdown."""
+
+    def test_exception_in_body_releases_slot_and_gauge(self):
+        controller = AdmissionController(TenantPolicy(max_concurrent=1))
+        with pytest.raises(RuntimeError):
+            with controller.admit("t"):
+                raise RuntimeError("worker died")
+        assert controller.running("t") == 0
+        with controller.admit("t"):  # the slot is reusable
+            pass
+
+    def test_shed_request_leaves_no_accounting_residue(self):
+        detector = OverloadDetector(alpha=1.0)
+        controller = AdmissionController(
+            TenantPolicy(
+                max_concurrent=1,
+                max_queue_depth=4,
+                queue_deadline_seconds=5.0,
+            ),
+            overload=detector,
+        )
+        release = threading.Event()
+        entered = threading.Event()
+
+        def hold():
+            with controller.admit("t"):
+                entered.set()
+                release.wait(timeout=10)
+
+        thread = threading.Thread(target=hold)
+        thread.start()
+        try:
+            assert entered.wait(timeout=5)
+            detector.observe(1.0)
+            for _ in range(5):
+                with pytest.raises(RequestShed):
+                    with controller.admit("t", criticality=SHEDDABLE):
+                        pass  # pragma: no cover
+            assert controller.queue_depth("t") == 0
+            assert controller.running("t") == 1  # just the holder
+        finally:
+            release.set()
+            thread.join()
+        assert controller.running("t") == 0
+
+    def test_contended_mixed_outcomes_never_drift(self):
+        """Hammer one tenant from many threads with a mix of successes
+        and body failures; waiting/running must return to zero and the
+        slots must still admit max_concurrent afterwards."""
+        controller = AdmissionController(
+            TenantPolicy(
+                max_concurrent=2,
+                max_queue_depth=32,
+                queue_deadline_seconds=5.0,
+            )
+        )
+        errors = []
+
+        def worker(index):
+            for turn in range(10):
+                try:
+                    with controller.admit("t"):
+                        if (index + turn) % 3 == 0:
+                            raise RuntimeError("boom")
+                except RuntimeError:
+                    pass
+                except Exception as error:  # pragma: no cover
+                    errors.append(error)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert controller.running("t") == 0
+        assert controller.queue_depth("t") == 0
+        # both slots still available — no leak under contention
+        with controller.admit("t"):
+            with controller.admit("t"):
+                assert controller.running("t") == 2

@@ -353,6 +353,231 @@ class TestWorkloadUnderConcurrentReplay:
         assert total == len(requests)
 
 
+class TestReadiness:
+    def test_healthz_and_readyz_on_live_server(self, served):
+        _, base = served
+        status, _, body = _get(base + "/healthz")
+        assert status == 200 and body["ok"]
+        status, _, payload = _get(base + "/readyz")
+        assert status == 200
+        assert payload["ready"] and payload["reasons"] == []
+        assert payload["documents"] == ["hospital"]
+
+    def test_readyz_flips_503_while_draining(self):
+        dtd = hospital_dtd()
+        engine = SecureQueryEngine(dtd)
+        engine.register_policy("nurse", nurse_spec(dtd), wardNo="2")
+        catalog = EngineCatalog().add(
+            "hospital", engine, hospital_document(seed=7, max_branch=4)
+        )
+        server = QueryServer(catalog, workers=1).start()
+        httpd = make_http_server(server, port=0)
+        thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+        thread.start()
+        base = "http://127.0.0.1:%d" % httpd.server_address[1]
+        try:
+            status, _, _ = _get(base + "/readyz")
+            assert status == 200
+            server.begin_drain()
+            status, _, payload = _get(base + "/readyz")
+            assert status == 503
+            assert "draining" in payload["reasons"]
+            # liveness stays green mid-drain
+            status, _, _ = _get(base + "/healthz")
+            assert status == 200
+            # mid-drain queries are typed rejections, not hangs
+            status, headers, body = _post(
+                base + "/query",
+                {
+                    "policy": "nurse",
+                    "query": "//patient",
+                    "document": "hospital",
+                },
+            )
+            assert status == 429
+            assert body["error_code"] == "E_ADMISSION"
+            assert "Retry-After" in headers
+        finally:
+            httpd.shutdown()
+            httpd.server_close()
+            thread.join(timeout=5)
+            server.drain(deadline_seconds=5.0)
+
+
+class TestDebugResilience:
+    def test_payload_shape(self, served):
+        _, base = served
+        status, _, payload = _get(base + "/debug/resilience")
+        assert status == 200
+        assert set(payload) == {"shedding", "shed", "breakers", "drain"}
+        assert set(payload["shed"]) == {"critical", "default", "sheddable"}
+        assert "hospital" in payload["breakers"]
+        assert payload["drain"]["draining"] is False
+
+
+class _GatedServer:
+    """An HTTP server whose single admission slot the test occupies."""
+
+    def __init__(self, overload=None, queue_deadline_seconds=5.0,
+                 max_queue_depth=4):
+        from repro.serving.admission import (
+            AdmissionController,
+            TenantPolicy,
+        )
+
+        dtd = hospital_dtd()
+        engine = SecureQueryEngine(dtd)
+        engine.register_policy("nurse", nurse_spec(dtd), wardNo="2")
+        catalog = EngineCatalog().add(
+            "hospital", engine, hospital_document(seed=7, max_branch=4)
+        )
+        self.admission = AdmissionController(
+            TenantPolicy(
+                max_concurrent=1,
+                max_queue_depth=max_queue_depth,
+                queue_deadline_seconds=queue_deadline_seconds,
+            ),
+            overload=overload,
+        )
+        self.server = QueryServer(
+            catalog, admission=self.admission, workers=2
+        ).start()
+        self.httpd = make_http_server(self.server, port=0)
+        self.thread = threading.Thread(
+            target=self.httpd.serve_forever, daemon=True
+        )
+        self.thread.start()
+        self.base = "http://127.0.0.1:%d" % self.httpd.server_address[1]
+        self._release = threading.Event()
+        self._entered = threading.Event()
+        self._holder = threading.Thread(target=self._hold)
+        self._holder.start()
+        assert self._entered.wait(timeout=5)
+
+    def _hold(self):
+        with self.admission.admit("nurse"):
+            self._entered.set()
+            self._release.wait(timeout=30)
+
+    def close(self):
+        self._release.set()
+        self._holder.join()
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        self.thread.join(timeout=5)
+        self.server.stop()
+
+
+class TestBackPressureStatusMapping:
+    def post(self, gated, payload, headers=None):
+        return _post(gated.base + "/query", payload, headers=headers)
+
+    def test_queue_full_maps_to_429_with_retry_after(self):
+        gated = _GatedServer(max_queue_depth=0)
+        try:
+            status, headers, body = self.post(
+                gated,
+                {
+                    "policy": "nurse",
+                    "query": "//patient",
+                    "document": "hospital",
+                },
+            )
+            assert status == 429
+            assert not body["ok"]
+            assert body["error_code"] == "E_ADMISSION"
+            assert int(headers["Retry-After"]) >= 1
+        finally:
+            gated.close()
+
+    def test_queue_deadline_maps_to_504(self):
+        gated = _GatedServer(queue_deadline_seconds=0.05)
+        try:
+            status, headers, body = self.post(
+                gated,
+                {
+                    "policy": "nurse",
+                    "query": "//patient",
+                    "document": "hospital",
+                },
+            )
+            assert status == 504
+            assert body["error_code"] == "E_DEADLINE"
+            assert "Retry-After" not in headers
+        finally:
+            gated.close()
+
+    def test_shed_maps_to_429_with_retry_after(self):
+        from repro.serving.resilience import OverloadDetector
+
+        detector = OverloadDetector(alpha=1.0)
+        gated = _GatedServer(overload=detector)
+        try:
+            detector.observe(1.0)
+            status, headers, body = self.post(
+                gated,
+                {
+                    "policy": "nurse",
+                    "query": "//patient",
+                    "document": "hospital",
+                    "criticality": "sheddable",
+                },
+            )
+            assert status == 429
+            assert body["error_code"] == "E_SHED"
+            assert body["retry_after_seconds"] > 0
+            assert int(headers["Retry-After"]) >= 1
+            # the shed shows up in the resilience debug payload
+            _, _, payload = _get(gated.base + "/debug/resilience")
+            assert payload["shed"]["sheddable"] >= 1
+        finally:
+            gated.close()
+
+    def test_criticality_header_sets_shedding_class(self):
+        from repro.serving.resilience import OverloadDetector
+
+        detector = OverloadDetector(alpha=1.0)
+        gated = _GatedServer(overload=detector)
+        try:
+            detector.observe(1.0)
+            status, _, body = self.post(
+                gated,
+                {
+                    "policy": "nurse",
+                    "query": "//patient",
+                    "document": "hospital",
+                },
+                headers={"X-Repro-Criticality": "sheddable"},
+            )
+            assert status == 429
+            assert body["error_code"] == "E_SHED"
+        finally:
+            gated.close()
+
+    def test_body_criticality_wins_over_header(self):
+        from repro.serving.resilience import OverloadDetector
+
+        detector = OverloadDetector(alpha=1.0)
+        gated = _GatedServer(queue_deadline_seconds=0.05, overload=detector)
+        try:
+            detector.observe(1.0)
+            # body says critical -> never shed, rides to its deadline
+            status, _, body = self.post(
+                gated,
+                {
+                    "policy": "nurse",
+                    "query": "//patient",
+                    "document": "hospital",
+                    "criticality": "critical",
+                },
+                headers={"X-Repro-Criticality": "sheddable"},
+            )
+            assert status == 504
+            assert body["error_code"] == "E_DEADLINE"
+        finally:
+            gated.close()
+
+
 class TestDisabledProfiling:
     def test_workload_endpoint_reports_disabled(self):
         dtd = hospital_dtd()

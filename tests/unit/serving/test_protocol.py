@@ -68,6 +68,36 @@ class TestQueryRequest:
         )
         assert request.policy == "p"
 
+    def test_criticality_round_trip(self):
+        request = QueryRequest(
+            policy="nurse", query="//a", criticality="sheddable"
+        )
+        assert request.to_dict()["criticality"] == "sheddable"
+        assert QueryRequest.from_dict(request.to_dict()) == request
+
+    def test_criticality_class_normalizes(self):
+        assert QueryRequest(policy="p", query="//a").criticality_class == (
+            "default"
+        )
+        assert (
+            QueryRequest(
+                policy="p", query="//a", criticality="critical"
+            ).criticality_class
+            == "critical"
+        )
+        # unknown wire values degrade to default, never an error
+        assert (
+            QueryRequest(
+                policy="p", query="//a", criticality="ultra"
+            ).criticality_class
+            == "default"
+        )
+
+    def test_old_wire_payload_without_criticality_still_parses(self):
+        request = QueryRequest.from_dict({"policy": "p", "query": "//a"})
+        assert request.criticality == ""
+        assert request.criticality_class == "default"
+
 
 class TestQueryResponse:
     def test_from_error_carries_stable_code(self):
@@ -105,6 +135,31 @@ class TestQueryResponse:
         response = QueryResponse.from_error(request, DeadlineExceeded("x"))
         payload = json.loads(json.dumps(response.to_dict()))
         assert QueryResponse.from_dict(payload) == response
+
+    def test_shed_error_carries_retry_after(self):
+        from repro.errors import RequestShed
+
+        request = QueryRequest(policy="p", query="//a", request_id="r9")
+        response = QueryResponse.from_error(
+            request,
+            RequestShed(
+                "shed",
+                tenant="p",
+                criticality="sheddable",
+                utilization=0.7,
+                retry_after_seconds=0.25,
+            ),
+        )
+        assert response.error_code == "E_SHED"
+        assert response.retry_after_seconds == pytest.approx(0.25)
+        payload = json.loads(json.dumps(response.to_dict()))
+        assert QueryResponse.from_dict(payload) == response
+
+    def test_retry_after_defaults_to_none(self):
+        request = QueryRequest(policy="p", query="//a")
+        response = QueryResponse.from_error(request, DeadlineExceeded("x"))
+        assert response.retry_after_seconds is None
+        assert QueryResponse.from_dict({}).retry_after_seconds is None
 
 
 class TestEngineIntegration:

@@ -342,3 +342,131 @@ class TestRequestTracing:
         assert server.flight is None and server.slo is None
         assert traces == {"enabled": False, "stats": {}, "traces": []}
         assert slo["enabled"] is False
+
+
+class TestLifecycle:
+    def request(self, **kw):
+        kw.setdefault("policy", "nurse")
+        kw.setdefault("query", "//patient/name")
+        kw.setdefault("document", "hospital")
+        return QueryRequest(**kw)
+
+    def test_drain_flushes_queued_work_and_stops(self, catalog):
+        server = QueryServer(catalog, workers=2).start()
+        futures = [server.submit(self.request()) for _ in range(8)]
+        report = server.drain(deadline_seconds=30.0)
+        # every submitted future resolved, all answered
+        responses = [future.result(timeout=0) for future in futures]
+        assert all(response.ok for response in responses)
+        assert report["unresolved"] == 0
+        assert report["within_deadline"]
+        assert server.stopped
+
+    def test_begin_drain_stops_intake_with_retry_hint(self, catalog):
+        server = QueryServer(catalog, workers=1).start()
+        try:
+            server.begin_drain()
+            assert server.draining
+            response = server.submit(self.request()).result(timeout=5)
+            assert not response.ok
+            assert response.error_code == "E_ADMISSION"
+            assert "draining" in response.error_message
+            assert response.retry_after_seconds is not None
+        finally:
+            server.drain(deadline_seconds=5.0)
+
+    def test_drain_terminates_with_empty_queue(self, catalog):
+        server = QueryServer(catalog, workers=1).start()
+        report = server.drain(deadline_seconds=5.0)
+        assert report["rejected"] == 0
+        assert report["unresolved"] == 0
+        assert report["within_deadline"]
+
+    def test_drain_twice_is_idempotent(self, catalog):
+        server = QueryServer(catalog, workers=1).start()
+        server.drain(deadline_seconds=5.0)
+        report = server.drain(deadline_seconds=5.0)
+        assert report["unresolved"] == 0
+
+    def test_cancelled_future_never_runs_and_never_leaks(self, catalog):
+        """Regression: a future cancelled while queued must be skipped
+        by the workers without occupying an admission slot, and the
+        in-flight accounting must return to zero (a drift would stall
+        drain forever)."""
+        admission = AdmissionController(
+            TenantPolicy(max_concurrent=1, max_queue_depth=64)
+        )
+        server = QueryServer(
+            catalog, admission=admission, workers=1, max_batch=1
+        )
+        # queue up work BEFORE starting workers so cancellation wins
+        futures = [server.submit(self.request()) for _ in range(6)]
+        cancelled = [future for future in futures if future.cancel()]
+        assert cancelled  # nothing was running yet
+        server.start()
+        for future in futures:
+            if future not in cancelled:
+                assert future.result(timeout=30).ok
+        report = server.drain(deadline_seconds=10.0)
+        assert report["unresolved"] == 0
+        assert report["within_deadline"]
+        assert admission.running() == 0
+        assert admission.queue_depth() == 0
+
+    def test_ready_payload_lifecycle(self, catalog):
+        server = QueryServer(catalog, workers=1)
+        ready, payload = server.ready_payload()
+        assert not ready and "not started" in payload["reasons"]
+        server.start()
+        ready, payload = server.ready_payload()
+        assert ready and payload["reasons"] == []
+        server.begin_drain()
+        ready, payload = server.ready_payload()
+        assert not ready and "draining" in payload["reasons"]
+        server.drain(deadline_seconds=5.0)
+        ready, payload = server.ready_payload()
+        assert not ready
+        assert "stopped" in payload["reasons"]
+
+    def test_ready_payload_gates_on_open_breakers(self, catalog):
+        engine = catalog.engines()[0]
+        board = engine.breakers
+        assert board is not None
+        server = QueryServer(catalog, workers=1).start()
+        try:
+            breaker = board.breaker("store.build")
+            for _ in range(breaker.failure_threshold):
+                breaker.record_failure()
+            ready, payload = server.ready_payload()
+            assert not ready
+            assert "store.build" in payload["open_breakers"]
+        finally:
+            board.breaker("store.build").record_success()
+            server.stop()
+
+    def test_resilience_payload_shape(self, catalog):
+        from repro.serving.resilience import OverloadDetector
+
+        admission = AdmissionController(overload=OverloadDetector())
+        server = QueryServer(catalog, admission=admission, workers=1)
+        server.start()
+        try:
+            payload = server.resilience_payload()
+            assert payload["shedding"]["enabled"]
+            assert set(payload["shed"]) == {
+                "critical",
+                "default",
+                "sheddable",
+            }
+            assert "hospital" in payload["breakers"]
+            assert payload["drain"]["draining"] is False
+            assert payload["drain"]["report"] is None
+        finally:
+            server.stop()
+        payload = server.resilience_payload()
+        assert payload["drain"]["stopped"] is True
+
+    def test_resilience_payload_without_detector(self, catalog):
+        server = QueryServer(catalog, workers=1)
+        payload = server.resilience_payload()
+        assert payload["shedding"] == {"enabled": False}

@@ -72,7 +72,7 @@ class TestLazyImport:
         assert "repro.core" in set(probe["after"])
 
     def test_version(self, probe):
-        assert probe["version"] == "2.2.0"
+        assert probe["version"] == "2.3.0"
 
 
 class TestFacadeCompleteness:
